@@ -1,0 +1,125 @@
+"""Shared benchmark scaffolding.
+
+Every benchmark reproduces one figure of the paper (see DESIGN.md's
+experiment index).  Figures are printed as text tables AND persisted under
+``benchmarks/results/`` so the series survive pytest's output capture; the
+pytest-benchmark fixture provides the timing column.
+
+The benchmark city is larger than the unit-test city (1200 intersections,
+~5 km x 6 km) so search/index behaviour is measured in a regime where the
+paper's effects are visible, while still building in seconds.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import random
+from typing import Iterable, List
+
+import pytest
+
+from repro.config import XARConfig
+from repro.core import XAREngine
+from repro.baselines import TShareEngine
+from repro.discretization import build_region
+from repro.mmtp import MultiModalPlanner, synthetic_feed
+from repro.roadnet import manhattan_city
+from repro.workloads import NYCWorkloadGenerator, trips_to_requests
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer for figure tables: prints and persists under results/."""
+
+    def _write(name: str, lines: Iterable[str]) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = "\n".join(lines) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n=== {name} ===\n{text}")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def bench_city():
+    return manhattan_city(n_avenues=20, n_streets=60)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return XARConfig.validated()
+
+
+@pytest.fixture(scope="session")
+def bench_region(bench_city, bench_config):
+    return build_region(bench_city, bench_config)
+
+
+@pytest.fixture(scope="session")
+def bench_requests(bench_city):
+    """2000 requests over the 6am-12pm window (the Fig. 4 regime, scaled)."""
+    generator = NYCWorkloadGenerator(bench_city, seed=2024)
+    return trips_to_requests(generator.generate(2000, 6.0, 12.0))
+
+
+@pytest.fixture(scope="session")
+def bench_planner(bench_city):
+    feed = synthetic_feed(bench_city, n_subway_lines=6, n_bus_lines=12, seed=23)
+    return MultiModalPlanner(feed)
+
+
+def populate_xar(region, requests, n_rides: int, seed: int = 5) -> XAREngine:
+    """An XAR engine holding ``n_rides`` offers drawn from the request mix."""
+    engine = XAREngine(region)
+    rng = random.Random(seed)
+    for request in rng.sample(list(requests), min(n_rides, len(requests))):
+        try:
+            engine.create_ride(
+                request.source, request.destination, request.window_start_s
+            )
+        except Exception:
+            continue
+    return engine
+
+
+def populate_tshare(
+    city, requests, n_rides: int, seed: int = 5, distance_mode: str = "dijkstra"
+) -> TShareEngine:
+    engine = TShareEngine(city, cell_m=1000.0, distance_mode=distance_mode)
+    rng = random.Random(seed)
+    for request in rng.sample(list(requests), min(n_rides, len(requests))):
+        try:
+            engine.create_taxi(
+                request.source, request.destination, request.window_start_s
+            )
+        except Exception:
+            continue
+    return engine
+
+
+@pytest.fixture(scope="session")
+def xar_populated(bench_region, bench_requests):
+    """400 live ride offers — the standing supply for search benchmarks."""
+    return populate_xar(bench_region, bench_requests, n_rides=400)
+
+
+@pytest.fixture(scope="session")
+def tshare_populated(bench_city, bench_requests):
+    return populate_tshare(bench_city, bench_requests, n_rides=400)
+
+
+@pytest.fixture(scope="session")
+def tshare_haversine(bench_city, bench_requests):
+    """The Fig. 5a setting: T-Share with haversine distance validation."""
+    return populate_tshare(
+        bench_city, bench_requests, n_rides=400, distance_mode="haversine"
+    )
+
+
+@pytest.fixture(scope="session")
+def query_requests(bench_requests):
+    """A fixed slice of requests used as search queries (not as supply)."""
+    rng = random.Random(99)
+    return rng.sample(list(bench_requests), 200)

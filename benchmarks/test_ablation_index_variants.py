@@ -1,0 +1,101 @@
+"""Ablation — the dual sorted lists vs a naive unsorted list (Section VI).
+
+The paper's design keeps the per-cluster potential-ride tuples in an
+ETA-sorted list, making the search window query O(log n + answer).  The
+naive alternative scans every tuple.  This bench measures the window-query
+cost of both at realistic list sizes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.index import ClusterRideIndex
+
+
+class NaiveClusterIndex:
+    """Unsorted per-cluster lists — the ablation baseline."""
+
+    def __init__(self, n_clusters: int):
+        self._lists = [[] for _c in range(n_clusters)]
+
+    def add(self, cluster_id: int, ride_id: int, eta_s: float) -> None:
+        entries = self._lists[cluster_id]
+        for index, (rid, eta) in enumerate(entries):
+            if rid == ride_id:
+                if eta_s < eta:
+                    entries[index] = (ride_id, eta_s)
+                return
+        entries.append((ride_id, eta_s))
+
+    def rides_in_window(self, cluster_id, start_s, end_s):
+        return [
+            (rid, eta)
+            for rid, eta in self._lists[cluster_id]
+            if start_s <= eta <= end_s
+        ]
+
+
+N_ENTRIES = 20_000
+
+
+@pytest.fixture(scope="module")
+def filled():
+    rng = random.Random(8)
+    sorted_index = ClusterRideIndex(1)
+    naive_index = NaiveClusterIndex(1)
+    for ride_id in range(N_ENTRIES):
+        eta = rng.uniform(0, 86400)
+        sorted_index.add(0, ride_id, eta)
+        naive_index.add(0, ride_id, eta)
+    windows = [(t, t + 600.0) for t in range(0, 86400, 1800)]
+    return sorted_index, naive_index, windows
+
+
+def test_ablation_sorted_window_query(benchmark, filled):
+    sorted_index, _naive, windows = filled
+    benchmark(
+        lambda: [
+            sum(1 for _p in sorted_index.rides_in_window(0, a, b)) for a, b in windows
+        ]
+    )
+
+
+def test_ablation_naive_window_query(benchmark, filled):
+    _sorted, naive_index, windows = filled
+    benchmark(
+        lambda: [len(naive_index.rides_in_window(0, a, b)) for a, b in windows]
+    )
+
+
+def test_ablation_results_agree(benchmark, filled, report):
+    sorted_index, naive_index, windows = filled
+    import time
+
+    for a, b in windows:
+        fast = sorted({p.ride_id for p in sorted_index.rides_in_window(0, a, b)})
+        slow = sorted({rid for rid, _eta in naive_index.rides_in_window(0, a, b)})
+        assert fast == slow
+
+    t0 = time.perf_counter()
+    for a, b in windows:
+        list(sorted_index.rides_in_window(0, a, b))
+    fast_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for a, b in windows:
+        naive_index.rides_in_window(0, a, b)
+    slow_s = time.perf_counter() - t0
+    report(
+        "ablation_index_variants",
+        [
+            f"entries per cluster list : {N_ENTRIES}",
+            f"window queries           : {len(windows)}",
+            f"sorted (paper design)    : {1000*fast_s:.3f} ms",
+            f"naive linear scan        : {1000*slow_s:.3f} ms",
+            f"speedup                  : {slow_s / max(fast_s, 1e-12):.1f}x",
+        ],
+    )
+    assert fast_s < slow_s
+    benchmark(lambda: None)

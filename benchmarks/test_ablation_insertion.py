@@ -1,0 +1,41 @@
+"""Ablation — booking insertion optimization (beyond the paper).
+
+Default XAR splices the pickup at its earliest supporting segment and the
+drop-off at its latest; ``optimize_insertion=True`` scores every supported
+segment pair on the landmark matrix and splices the cheapest — still at most
+4 shortest paths.  This bench measures the actual-detour saving.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XAREngine
+from repro.sim import RideShareSimulator, XARAdapter
+
+
+def _mean_detour(region, requests, optimize: bool):
+    engine = XAREngine(region, optimize_insertion=optimize)
+    RideShareSimulator(XARAdapter(engine)).run(requests)
+    detours = [record.detour_actual_m for record in engine.bookings]
+    if not detours:
+        return float("nan"), 0
+    return sum(detours) / len(detours), len(detours)
+
+
+def test_ablation_insertion_optimization(benchmark, bench_region, bench_requests, report):
+    requests = bench_requests[:1000]
+    default_mean, default_n = _mean_detour(bench_region, requests, optimize=False)
+    optimized_mean, optimized_n = _mean_detour(bench_region, requests, optimize=True)
+    saving = 100.0 * (1.0 - optimized_mean / default_mean) if default_mean else 0.0
+    report(
+        "ablation_insertion",
+        [
+            "variant      bookings   mean actual detour (m)",
+            f"default      {default_n:8d}   {default_mean:10.0f}",
+            f"optimized    {optimized_n:8d}   {optimized_mean:10.0f}",
+            f"mean detour saving from insertion optimization: {saving:.1f}%",
+        ],
+    )
+    assert optimized_mean <= default_mean * 1.05
+    benchmark(lambda: None)

@@ -1,0 +1,61 @@
+"""Figure 3a — approximated detour for ride requests.
+
+Paper: with ε = 1 km, 98% of matched requests have detour approximation
+error below ε and 99.9% below 2ε; the theoretical worst case is 4ε.
+
+We replay the request stream (search → book best → create on miss), collect
+|actual − estimated| detour per booking, and print the CDF milestones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import cdf_chart
+from repro.core import XAREngine
+from repro.sim import RideShareSimulator, XARAdapter
+from repro.sim.metrics import fraction_below, percentile
+
+
+def _replay(region, requests):
+    engine = XAREngine(region)
+    return RideShareSimulator(XARAdapter(engine)).run(requests)
+
+
+def test_fig3a_detour_approximation_cdf(
+    benchmark, bench_region, bench_requests, report
+):
+    result = benchmark.pedantic(
+        _replay, args=(bench_region, bench_requests), rounds=1, iterations=1
+    )
+    errors = result.detour_approx_errors_m
+    assert errors, "replay must produce bookings"
+    epsilon = bench_region.config.epsilon_m
+
+    frac_1 = fraction_below(errors, epsilon)
+    frac_2 = fraction_below(errors, 2 * epsilon)
+    frac_4 = fraction_below(errors, 4 * epsilon)
+    report(
+        "fig3a_detour_quality",
+        [
+            f"epsilon (4*delta)        : {epsilon:.0f} m",
+            f"bookings measured        : {len(errors)}",
+            f"mean approx error        : {sum(errors)/len(errors):.0f} m",
+            f"p50 / p98 / p99.9 error  : {percentile(errors, 50):.0f} / "
+            f"{percentile(errors, 98):.0f} / {percentile(errors, 99.9):.0f} m",
+            f"fraction <= eps          : {frac_1:.4f}   (paper: 0.98)",
+            f"fraction <= 2*eps        : {frac_2:.4f}   (paper: 0.999)",
+            f"fraction <= 4*eps        : {frac_4:.4f}   (theory: 1.0)",
+            "",
+            cdf_chart(
+                errors,
+                title="CDF of detour approximation error (| = eps, 2eps)",
+                marks=[epsilon, 2 * epsilon],
+            ),
+        ],
+    )
+    # The theoretical guarantee must hold outright; the empirical milestones
+    # must be at least as good as the paper's.
+    assert frac_4 == 1.0
+    assert frac_1 >= 0.90
+    assert frac_2 >= 0.98

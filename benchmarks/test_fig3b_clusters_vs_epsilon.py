@@ -1,0 +1,54 @@
+"""Figure 3b — number of clusters as ε changes.
+
+Paper: ε and the cluster count C are inversely related (C = 500 at large ε
+down to ε = 700 m at C = 5000, on 16k landmarks).  We sweep δ (ε = 4δ) over
+the same landmark set and report C.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import bar_chart
+from repro.clustering import greedy_search, landmark_distance_matrix
+from repro.landmarks import extract_landmarks, synthesize_pois
+
+DELTAS_M = [100.0, 200.0, 400.0, 800.0, 1600.0]
+
+
+@pytest.fixture(scope="module")
+def matrix(bench_city):
+    pois = synthesize_pois(bench_city, seed=11)
+    landmarks = extract_landmarks(pois, bench_city, min_separation_m=250.0)
+    return landmark_distance_matrix(bench_city, landmarks)
+
+
+def test_fig3b_cluster_count_vs_epsilon(benchmark, matrix, report):
+    rows = []
+    results = {}
+    for delta in DELTAS_M:
+        clustering = greedy_search(matrix, delta)
+        results[delta] = clustering
+        rows.append(
+            f"delta {delta:7.0f} m   eps=4d {4*delta:7.0f} m   "
+            f"clusters C = {clustering.k:4d}   realised max intra "
+            f"{clustering.max_intra_distance:7.0f} m"
+        )
+    report(
+        "fig3b_clusters_vs_epsilon",
+        [
+            f"landmarks n = {matrix.n}",
+            *rows,
+            "(C decreases as eps grows — inverse relation)",
+            "",
+            bar_chart(
+                [f"eps={4*d:.0f}m" for d in DELTAS_M],
+                [float(results[d].k) for d in DELTAS_M],
+                title="clusters C per eps",
+            ),
+        ],
+    )
+    counts = [results[d].k for d in DELTAS_M]
+    assert counts == sorted(counts, reverse=True), "C must fall as eps grows"
+    # Timing column: one clustering at the paper's default delta.
+    benchmark(greedy_search, matrix, 250.0)

@@ -1,0 +1,59 @@
+"""Figure 3d — ride search time as the cluster count changes.
+
+Paper: search takes <1 ms at C = 500 and ~65 ms at C = 5000 — finer
+discretization costs search time.  We sweep δ and benchmark the search
+operation at each resulting C.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.config import XARConfig
+from repro.discretization import build_region
+
+from .conftest import populate_xar
+
+DELTAS_M = [800.0, 400.0, 200.0, 100.0]
+
+
+@pytest.fixture(scope="module", params=DELTAS_M)
+def sized_engine(request, bench_city, bench_requests):
+    config = XARConfig.validated(delta_m=request.param)
+    region = build_region(bench_city, config)
+    engine = populate_xar(region, bench_requests, n_rides=250)
+    return engine
+
+
+def test_fig3d_search_time_vs_clusters(benchmark, sized_engine, query_requests):
+    engine = sized_engine
+    queries = query_requests[:50]
+
+    def search_batch():
+        for request in queries:
+            engine.search(request)
+
+    benchmark(search_batch)
+    benchmark.extra_info["clusters"] = engine.region.n_clusters
+    benchmark.extra_info["delta_m"] = engine.region.config.delta_m
+
+
+def test_fig3d_report_series(bench_city, bench_requests, query_requests, report, benchmark):
+    rows = []
+    for delta in DELTAS_M:
+        config = XARConfig.validated(delta_m=delta)
+        region = build_region(bench_city, config)
+        engine = populate_xar(region, bench_requests, n_rides=250)
+        queries = query_requests[:100]
+        t0 = time.perf_counter()
+        for request in queries:
+            engine.search(request)
+        mean_ms = 1000.0 * (time.perf_counter() - t0) / len(queries)
+        rows.append(
+            f"delta {delta:6.0f} m   C = {region.n_clusters:4d}   "
+            f"mean search = {mean_ms:7.3f} ms"
+        )
+    report("fig3d_search_time", rows)
+    benchmark(lambda: None)  # timing column satisfied above per-C

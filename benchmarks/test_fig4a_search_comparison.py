@@ -1,0 +1,55 @@
+"""Figure 4a — time to search all possible matches: XAR vs T-Share.
+
+Paper: XAR's worst case is ~3 ms while T-Share needs up to ~1 s; the entire
+percentile curve of XAR sits orders of magnitude below T-Share's.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.sim.metrics import percentile
+
+
+def _search_times_ms(engine, queries):
+    samples = []
+    for request in queries:
+        t0 = time.perf_counter()
+        engine.search(request)
+        samples.append(1000.0 * (time.perf_counter() - t0))
+    return samples
+
+
+def test_fig4a_xar_search(benchmark, xar_populated, query_requests):
+    queries = query_requests[:100]
+    benchmark(lambda: [xar_populated.search(q) for q in queries])
+
+
+def test_fig4a_tshare_search(benchmark, tshare_populated, query_requests):
+    queries = query_requests[:30]
+    benchmark.pedantic(
+        lambda: [tshare_populated.search(q) for q in queries],
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_fig4a_percentile_curves(
+    benchmark, xar_populated, tshare_populated, query_requests, report
+):
+    queries = query_requests[:120]
+    xar_ms = _search_times_ms(xar_populated, queries)
+    tshare_ms = _search_times_ms(tshare_populated, queries)
+    rows = ["percentile        XAR (ms)    T-Share (ms)"]
+    for q in (50, 75, 90, 95, 99, 100):
+        rows.append(
+            f"p{q:<3}          {percentile(xar_ms, q):10.3f}  "
+            f"{percentile(tshare_ms, q):12.3f}"
+        )
+    speedup = percentile(tshare_ms, 95) / max(percentile(xar_ms, 95), 1e-9)
+    rows.append(f"p95 speedup XAR over T-Share: {speedup:.0f}x   (paper: ~300x)")
+    report("fig4a_search_comparison", rows)
+    assert percentile(xar_ms, 95) < percentile(tshare_ms, 95)
+    benchmark(lambda: xar_populated.search(queries[0]))

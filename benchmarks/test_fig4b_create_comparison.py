@@ -1,0 +1,81 @@
+"""Figure 4b — time to create a ride: XAR vs T-Share.
+
+Paper: T-Share creates rides faster (XAR must compute pass-through and
+reachable clusters), but the two are of comparable order.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import XAREngine
+from repro.baselines import TShareEngine
+from repro.sim.metrics import percentile
+
+
+@pytest.fixture(scope="module")
+def create_pairs(bench_requests):
+    import random
+
+    rng = random.Random(17)
+    return [
+        (r.source, r.destination, r.window_start_s)
+        for r in rng.sample(list(bench_requests), 150)
+    ]
+
+
+def test_fig4b_xar_create(benchmark, bench_region, create_pairs):
+    engine = XAREngine(bench_region)
+    batch = iter(create_pairs * 50)
+
+    def create_one():
+        source, destination, depart = next(batch)
+        try:
+            engine.create_ride(source, destination, depart)
+        except Exception:
+            pass
+
+    benchmark(create_one)
+
+
+def test_fig4b_tshare_create(benchmark, bench_city, create_pairs):
+    engine = TShareEngine(bench_city, cell_m=1000.0)
+    batch = iter(create_pairs * 50)
+
+    def create_one():
+        source, destination, depart = next(batch)
+        try:
+            engine.create_taxi(source, destination, depart)
+        except Exception:
+            pass
+
+    benchmark(create_one)
+
+
+def test_fig4b_report(benchmark, bench_region, bench_city, create_pairs, report):
+    def times_ms(create):
+        samples = []
+        for source, destination, depart in create_pairs:
+            t0 = time.perf_counter()
+            try:
+                create(source, destination, depart)
+            except Exception:
+                continue
+            samples.append(1000.0 * (time.perf_counter() - t0))
+        return samples
+
+    xar = XAREngine(bench_region)
+    tshare = TShareEngine(bench_city, cell_m=1000.0)
+    xar_ms = times_ms(xar.create_ride)
+    tshare_ms = times_ms(tshare.create_taxi)
+    rows = ["percentile        XAR (ms)    T-Share (ms)"]
+    for q in (50, 95, 100):
+        rows.append(
+            f"p{q:<3}          {percentile(xar_ms, q):10.3f}  "
+            f"{percentile(tshare_ms, q):12.3f}"
+        )
+    rows.append("(paper: T-Share slightly faster, same order — expected here too)")
+    report("fig4b_create_comparison", rows)
+    benchmark(lambda: None)

@@ -1,0 +1,104 @@
+"""Figure 4c — time to book a ride: XAR vs T-Share.
+
+Paper: T-Share books faster (XAR re-indexes pass-through/reachable clusters
+after the splice) but both are the same order of magnitude.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.baselines import TShareEngine
+from repro.core import XAREngine
+from repro.exceptions import BookingError
+from repro.sim.metrics import percentile
+
+from .conftest import populate_tshare, populate_xar
+
+
+def _xar_bookables(engine, queries, limit):
+    out = []
+    for request in queries:
+        matches = engine.search(request)
+        if matches:
+            out.append((request, matches[0]))
+        if len(out) >= limit:
+            break
+    return out
+
+
+def _tshare_bookables(engine, queries, limit):
+    out = []
+    for request in queries:
+        matches = engine.search(request)
+        if matches:
+            out.append((request, matches[0]))
+        if len(out) >= limit:
+            break
+    return out
+
+
+def test_fig4c_xar_book(benchmark, bench_region, bench_requests, query_requests):
+    engine = populate_xar(bench_region, bench_requests, n_rides=400, seed=31)
+    bookables = iter(_xar_bookables(engine, query_requests, limit=60))
+
+    def book_one():
+        try:
+            request, match = next(bookables)
+        except StopIteration:
+            return
+        try:
+            engine.book(request, match)
+        except BookingError:
+            pass
+
+    benchmark.pedantic(book_one, rounds=40, iterations=1)
+
+
+def test_fig4c_tshare_book(benchmark, bench_city, bench_requests, query_requests):
+    engine = populate_tshare(bench_city, bench_requests, n_rides=400, seed=31)
+    bookables = iter(_tshare_bookables(engine, query_requests, limit=60))
+
+    def book_one():
+        try:
+            request, match = next(bookables)
+        except StopIteration:
+            return
+        try:
+            engine.book(request, match)
+        except BookingError:
+            pass
+
+    benchmark.pedantic(book_one, rounds=40, iterations=1)
+
+
+def test_fig4c_report(
+    benchmark, bench_region, bench_city, bench_requests, query_requests, report
+):
+    def times_ms(engine, bookables):
+        samples = []
+        for request, match in bookables:
+            t0 = time.perf_counter()
+            try:
+                engine.book(request, match)
+            except BookingError:
+                continue
+            samples.append(1000.0 * (time.perf_counter() - t0))
+        return samples
+
+    xar = populate_xar(bench_region, bench_requests, n_rides=400, seed=32)
+    tshare = populate_tshare(bench_city, bench_requests, n_rides=400, seed=32)
+    xar_ms = times_ms(xar, _xar_bookables(xar, query_requests, 60))
+    tshare_ms = times_ms(tshare, _tshare_bookables(tshare, query_requests, 60))
+    rows = ["percentile        XAR (ms)    T-Share (ms)"]
+    for q in (50, 95, 100):
+        rows.append(
+            f"p{q:<3}          {percentile(xar_ms, q):10.3f}  "
+            f"{percentile(tshare_ms, q):12.3f}"
+        )
+    rows.append(f"bookings measured: XAR {len(xar_ms)}, T-Share {len(tshare_ms)}")
+    rows.append("(paper: T-Share faster on booking, same order — XAR pays re-indexing)")
+    report("fig4c_book_comparison", rows)
+    benchmark(lambda: None)

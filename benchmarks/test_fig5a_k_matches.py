@@ -1,0 +1,90 @@
+"""Figure 5a — average search time for k matches: XAR flat, T-Share linear.
+
+Paper setting: T-Share's lazy shortest paths are replaced by the haversine
+formula (to isolate the indexing cost), k = 1..25.  T-Share's time grows
+linearly with k while XAR stays ~flat (<0.5 ms).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import line_chart
+
+from .conftest import populate_tshare, populate_xar
+
+K_VALUES = [1, 5, 10, 25]
+
+#: Denser supply than the shared fixtures: Fig. 5a needs >= 25 candidate
+#: matches per request for the linear-in-k effect to be visible.
+N_RIDES = 1200
+
+
+@pytest.fixture(scope="module", params=K_VALUES)
+def k(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def xar_dense(bench_region, bench_requests):
+    return populate_xar(bench_region, bench_requests, n_rides=N_RIDES)
+
+
+@pytest.fixture(scope="module")
+def tshare_dense(bench_city, bench_requests):
+    return populate_tshare(
+        bench_city, bench_requests, n_rides=N_RIDES, distance_mode="haversine"
+    )
+
+
+def test_fig5a_xar_search_k(benchmark, xar_dense, query_requests, k):
+    queries = query_requests[:60]
+    benchmark(lambda: [xar_dense.search(q, k=k) for q in queries])
+    benchmark.extra_info["k"] = k
+
+
+def test_fig5a_tshare_search_k(benchmark, tshare_dense, query_requests, k):
+    queries = query_requests[:60]
+    benchmark(lambda: [tshare_dense.search(q, k=k) for q in queries])
+    benchmark.extra_info["k"] = k
+
+
+def test_fig5a_report(benchmark, xar_dense, tshare_dense, query_requests, report):
+    xar_populated, tshare_haversine = xar_dense, tshare_dense
+    queries = query_requests[:100]
+
+    def mean_ms(engine, k):
+        t0 = time.perf_counter()
+        for request in queries:
+            engine.search(request, k=k)
+        return 1000.0 * (time.perf_counter() - t0) / len(queries)
+
+    rows = ["k        XAR mean (ms)   T-Share/haversine mean (ms)"]
+    xar_series = []
+    tshare_series = []
+    for k in K_VALUES:
+        xar_mean = mean_ms(xar_populated, k)
+        tshare_mean = mean_ms(tshare_haversine, k)
+        xar_series.append(xar_mean)
+        tshare_series.append(tshare_mean)
+        rows.append(f"{k:<8} {xar_mean:13.4f}   {tshare_mean:12.4f}")
+    rows.append(
+        "(paper: T-Share grows with k even without shortest paths; "
+        "XAR flat at <0.5 ms)"
+    )
+    rows.append("")
+    rows.append(
+        line_chart(
+            {
+                "XAR": list(zip(map(float, K_VALUES), xar_series)),
+                "T-Share": list(zip(map(float, K_VALUES), tshare_series)),
+            },
+            title="mean search ms vs k",
+        )
+    )
+    report("fig5a_k_matches", rows)
+    # XAR's k=25 search must not cost meaningfully more than its k=1 search.
+    assert xar_series[-1] <= xar_series[0] * 3 + 0.5
+    benchmark(lambda: xar_populated.search(queries[0], k=25))

@@ -1,0 +1,85 @@
+"""Figure 5b — total time to process queries at look-to-book ratio r.
+
+Paper: at r = 1 T-Share is faster (cheap booking); as r grows the search
+cost dominates and T-Share's total time grows much faster than XAR's — at
+r = 1000, ~42 s vs ~1 s.
+
+We measure the cost of serving one booked request at ratio r: r searches
+plus one create plus one book, for r in {1, 10, 100, 1000} (XAR) and
+{1, 10, 100} real / 1000 extrapolated (T-Share, which would take minutes).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import line_chart
+from repro.exceptions import BookingError
+
+from .conftest import populate_tshare, populate_xar
+
+RATIOS = [1, 10, 100, 1000]
+
+
+def _mean_op_times(engine, queries):
+    """(mean search s, mean book s) over the query slice."""
+    search_samples = []
+    book_samples = []
+    for request in queries:
+        t0 = time.perf_counter()
+        matches = engine.search(request)
+        search_samples.append(time.perf_counter() - t0)
+        if matches:
+            t0 = time.perf_counter()
+            try:
+                engine.book(request, matches[0])
+            except BookingError:
+                continue
+            finally:
+                book_samples.append(time.perf_counter() - t0)
+    mean_search = sum(search_samples) / len(search_samples)
+    mean_book = sum(book_samples) / len(book_samples) if book_samples else 0.0
+    return mean_search, mean_book
+
+
+def test_fig5b_look_to_book(
+    benchmark, bench_region, bench_city, bench_requests, query_requests, report
+):
+    xar = populate_xar(bench_region, bench_requests, n_rides=400, seed=41)
+    tshare = populate_tshare(bench_city, bench_requests, n_rides=400, seed=41)
+    queries = query_requests[:80]
+
+    xar_search, xar_book = _mean_op_times(xar, queries)
+    tshare_search, tshare_book = _mean_op_times(tshare, queries[:40])
+
+    rows = ["r          XAR total (s)    T-Share total (s)    ratio"]
+    xar_points = []
+    tshare_points = []
+    for r in RATIOS:
+        xar_total = r * xar_search + xar_book
+        tshare_total = r * tshare_search + tshare_book
+        xar_points.append((float(r), xar_total))
+        tshare_points.append((float(r), tshare_total))
+        rows.append(
+            f"{r:<10} {xar_total:12.4f}    {tshare_total:14.4f}"
+            f"    {tshare_total / max(xar_total, 1e-12):8.1f}x"
+        )
+    rows.append(
+        "(paper: T-Share ~42 s vs XAR ~1 s at r = 1000 — the gap grows with r)"
+    )
+    rows.append("")
+    rows.append(
+        line_chart(
+            {"XAR": xar_points, "T-Share": tshare_points},
+            title="total seconds vs look-to-book ratio (log y)",
+            logy=True,
+        )
+    )
+    report("fig5b_look_to_book", rows)
+
+    # The defining crossover: T-Share's r=1000 total exceeds XAR's by a
+    # large factor, while the engines are comparable at r=1.
+    assert 1000 * tshare_search > 10 * (1000 * xar_search + xar_book)
+    benchmark(lambda: xar.search(queries[0]))

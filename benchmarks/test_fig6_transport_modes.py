@@ -1,0 +1,64 @@
+"""Figure 6 — comparing Taxi, PT, RS and RS+PT on the same requests.
+
+Paper headlines: RS cuts car usage ~64% vs taxi at ~30% more travel time;
+RS+PT cuts walking ~56% and travel ~30% vs PT, and needs ~50% fewer cars
+than standalone RS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.modes import compare_modes
+
+
+def test_fig6_transport_modes(benchmark, bench_region, bench_planner, bench_requests, report):
+    requests = bench_requests[:600]
+    results = benchmark.pedantic(
+        compare_modes, args=(bench_region, bench_planner, requests),
+        rounds=1, iterations=1,
+    )
+    rows = [
+        "mode     travel(min)  walk(min)  wait(min)   cars  veh-km  served  unserved"
+    ]
+    for name in ("Taxi", "PT", "RS", "RS+PT"):
+        row = results[name].row()
+        rows.append(
+            f"{name:<8} {row['travel_min']:10.1f} {row['walk_min']:10.1f} "
+            f"{row['wait_min']:10.1f} {row['cars']:6.0f} {row['vehicle_km']:7.0f} "
+            f"{row['served']:7.0f} {row['unserved']:9.0f}"
+        )
+    taxi, pt, rs, rspt = (results[n] for n in ("Taxi", "PT", "RS", "RS+PT"))
+    rows.append(
+        f"car reduction RS vs Taxi    : {100*(1 - rs.cars/max(taxi.cars,1)):.0f}%"
+        "  (paper: ~64%)"
+    )
+    rows.append(
+        f"car reduction RS+PT vs RS   : {100*(1 - rspt.cars/max(rs.cars,1)):.0f}%"
+        "  (paper: ~50%)"
+    )
+    rows.append(
+        f"walk reduction RS+PT vs PT  : "
+        f"{100*(1 - rspt.mean_walk_s()/max(pt.mean_walk_s(),1e-9)):.0f}%"
+        "  (paper: ~56%)"
+    )
+    rows.append(
+        f"travel reduction RS+PT vs PT: "
+        f"{100*(1 - rspt.mean_travel_s()/max(pt.mean_travel_s(),1e-9)):.0f}%"
+        "  (paper: ~30%)"
+    )
+    report("fig6_transport_modes", rows)
+
+    rows.append(
+        f"vehicle-km: RS saves {100*(1 - rs.vehicle_km/max(taxi.vehicle_km,1e-9)):.0f}% "
+        "over taxi (distance-travelled objective)"
+    )
+    # The qualitative orderings the paper reports:
+    assert rs.vehicle_km < taxi.vehicle_km             # sharing saves distance
+    assert taxi.cars == taxi.served                    # taxi: 1 car / request
+    assert pt.cars == 0                                # PT: no cars
+    assert rs.cars < taxi.cars                         # RS saves cars
+    assert rspt.cars < rs.cars                         # RS+PT saves more cars
+    assert rspt.mean_walk_s() < pt.mean_walk_s()       # less walking than PT
+    assert rspt.mean_travel_s() < pt.mean_travel_s()   # faster than PT
+    assert pt.mean_travel_s() > taxi.mean_travel_s()   # PT slowest end-to-end

@@ -1,0 +1,48 @@
+"""Scaling study (beyond the paper) — search cost vs standing supply.
+
+XAR's search is a walk of sorted per-cluster lists, so its cost should grow
+sub-linearly (roughly with the matches retrieved, not the rides stored) as
+the number of active rides grows.  This is the property that lets the paper
+claim scalability at 120k offers; we measure the curve directly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import linear_fit
+from repro.core import XAREngine
+
+from .conftest import populate_xar
+
+SUPPLY = [100, 300, 900]
+
+
+def test_scaling_search_vs_supply(benchmark, bench_region, bench_requests, query_requests, report):
+    queries = query_requests[:100]
+    rows = ["active rides   mean search (ms)   mean matches"]
+    points = []
+    for n_rides in SUPPLY:
+        engine = populate_xar(bench_region, bench_requests, n_rides=n_rides, seed=71)
+        t0 = time.perf_counter()
+        total_matches = 0
+        for request in queries:
+            total_matches += len(engine.search(request))
+        mean_ms = 1000.0 * (time.perf_counter() - t0) / len(queries)
+        points.append((float(n_rides), mean_ms))
+        rows.append(
+            f"{n_rides:12d}   {mean_ms:16.3f}   {total_matches / len(queries):12.1f}"
+        )
+    # Sub-linearity: 9x the supply must cost far less than 9x the time.
+    ratio = points[-1][1] / max(points[0][1], 1e-9)
+    supply_ratio = SUPPLY[-1] / SUPPLY[0]
+    rows.append(
+        f"time grew {ratio:.1f}x for {supply_ratio:.0f}x the supply "
+        "(sub-linear, as the sorted-list design promises)"
+    )
+    report("scaling_search_vs_supply", rows)
+    assert ratio < supply_ratio
+    engine = populate_xar(bench_region, bench_requests, n_rides=SUPPLY[-1], seed=71)
+    benchmark(lambda: engine.search(queries[0]))

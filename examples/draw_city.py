@@ -1,0 +1,47 @@
+"""Render a city's discretization and one ride's corridor as SVG files.
+
+Produces ``city_region.svg`` (landmarks coloured by cluster over the road
+grid) and ``city_ride.svg`` (a ride's route with its pass-through — green —
+and reachable — orange — cluster landmarks).
+
+Run:  python examples/draw_city.py [output_dir]
+"""
+
+import pathlib
+import sys
+
+from repro import XARConfig, XAREngine, build_region, manhattan_city
+from repro.visualize import render_region_svg, render_ride_svg
+
+
+def main(output_dir: str = "."):
+    out = pathlib.Path(output_dir)
+    out.mkdir(parents=True, exist_ok=True)
+
+    city = manhattan_city(n_avenues=14, n_streets=40)
+    region = build_region(city, XARConfig.validated())
+    print(
+        f"city: {city.node_count} intersections; "
+        f"{region.n_landmarks} landmarks in {region.n_clusters} clusters"
+    )
+
+    region_path = out / "city_region.svg"
+    render_region_svg(region, region_path)
+    print(f"wrote {region_path}")
+
+    engine = XAREngine(region)
+    ride = engine.create_ride(
+        city.position(0), city.position(city.node_count - 1),
+        departure_s=8 * 3600.0, detour_limit_m=2500.0,
+    )
+    entry = engine.ride_entries[ride.ride_id]
+    ride_path = out / "city_ride.svg"
+    render_ride_svg(region, ride, ride_path, entry=entry)
+    print(
+        f"wrote {ride_path}  ({len(entry.pass_through)} pass-through, "
+        f"{len(entry.reachable)} reachable clusters)"
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

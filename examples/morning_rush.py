@@ -1,0 +1,56 @@
+"""Morning rush replay: the paper's core simulation on a synthetic workload.
+
+Replays an NYC-style request stream (hotspots + rush-hour peaks) against
+XAR: every request searches for a shared ride, books the least-walk match or
+becomes a new driver.  Prints matching statistics, the detour-approximation
+CDF milestones of Fig. 3a, and search-time percentiles.
+
+Run:  python examples/morning_rush.py [n_requests]
+"""
+
+import sys
+
+from repro import XARConfig, XAREngine, build_region, manhattan_city
+from repro.sim import RideShareSimulator, XARAdapter
+from repro.sim.metrics import fraction_below, percentile
+from repro.workloads import NYCWorkloadGenerator, trips_to_requests
+
+
+def main(n_requests: int = 1500):
+    print(f"Simulating {n_requests} morning-rush ride requests...\n")
+    city = manhattan_city(n_avenues=16, n_streets=50)
+    region = build_region(city, XARConfig.validated())
+    generator = NYCWorkloadGenerator(city, seed=42)
+    trips = generator.generate(n_requests, start_hour=6.0, end_hour=10.0)
+    requests = trips_to_requests(trips, window_s=600.0, walk_threshold_m=800.0)
+
+    engine = XAREngine(region)
+    simulator = RideShareSimulator(XARAdapter(engine))
+    report = simulator.run(requests)
+
+    print(report.describe())
+
+    errors = report.detour_approx_errors_m
+    epsilon = region.config.epsilon_m
+    if errors:
+        print("\nDetour approximation quality (Fig. 3a):")
+        print(f"  epsilon = {epsilon:.0f} m")
+        print(f"  <= eps  : {100 * fraction_below(errors, epsilon):.1f}%  (paper: 98%)")
+        print(f"  <= 2eps : {100 * fraction_below(errors, 2 * epsilon):.1f}%  (paper: 99.9%)")
+        print(f"  <= 4eps : {100 * fraction_below(errors, 4 * epsilon):.1f}%  (theory: 100%)")
+
+    searches_ms = [1000.0 * s for s in report.timings.search_s]
+    print("\nSearch latency (Fig. 4a regime):")
+    for q in (50, 95, 99):
+        print(f"  p{q}: {percentile(searches_ms, q):.3f} ms")
+
+    sharing = report.n_booked / report.n_requests
+    print(
+        f"\n{report.n_booked} of {report.n_requests} commuters shared a ride "
+        f"({100 * sharing:.1f}%); {report.n_created} cars on the road instead "
+        f"of {report.n_requests}."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1500)

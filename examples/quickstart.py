@@ -1,0 +1,88 @@
+"""Quickstart: build a city, offer rides, search without shortest paths, book.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import XARConfig, XAREngine, build_region, manhattan_city
+
+
+def main():
+    # 1. A synthetic Manhattan-style city (the OSM substitute): 12 avenues x
+    #    40 streets, one-way streets, two-way avenues.
+    print("Building city and discretization...")
+    city = manhattan_city(n_avenues=12, n_streets=40)
+
+    # 2. The three-tier discretization: grids -> landmarks -> clusters.
+    #    delta_m is the cluster tightness target; the guarantee is 4*delta.
+    config = XARConfig.validated(delta_m=250.0)
+    region = build_region(city, config)
+    print(
+        f"  {city.node_count} intersections, {region.n_landmarks} landmarks, "
+        f"{region.n_clusters} clusters"
+    )
+    print(
+        f"  worst intra-cluster distance: {region.epsilon_realised:.0f} m "
+        f"(guarantee: {config.epsilon_m:.0f} m)"
+    )
+
+    # 3. The runtime engine.
+    engine = XAREngine(region)
+
+    # 4. A driver offers a ride across town departing at 8:00.
+    depart = 8 * 3600.0
+    ride = engine.create_ride(
+        source=city.position(0),
+        destination=city.position(city.node_count - 1),
+        departure_s=depart,
+        detour_limit_m=3000.0,
+        seats=3,
+    )
+    print(f"\nOffered: {ride}")
+
+    # 5. A commuter wants to travel between two points near that route,
+    #    departing 8:00-8:15, willing to walk up to 600 m in total.
+    request = engine.make_request(
+        source=city.position(45),
+        destination=city.position(330),
+        window_start_s=depart,
+        window_end_s=depart + 900.0,
+        walk_threshold_m=600.0,
+    )
+
+    # 6. Search.  No shortest path is computed here — only sorted-list and
+    #    distance-matrix lookups.
+    matches = engine.search(request)
+    print(f"\nSearch found {len(matches)} match(es)")
+    for match in matches:
+        print(
+            f"  ride {match.ride_id}: walk {match.walk_source_m:.0f} m to "
+            f"landmark {match.pickup_landmark}, pickup ~{match.eta_pickup_s/3600:.2f}h, "
+            f"drop near landmark {match.dropoff_landmark} "
+            f"(+{match.walk_destination_m:.0f} m walk), "
+            f"estimated ride detour {match.detour_estimate_m:.0f} m"
+        )
+
+    if not matches:
+        print("No match this time — the request becomes a new ride offer.")
+        return
+
+    # 7. Book the best match.  This is where shortest paths run (at most 4).
+    record = engine.book(request, matches[0])
+    print(
+        f"\nBooked on ride {record.ride_id}: actual detour "
+        f"{record.detour_actual_m:.0f} m vs estimated "
+        f"{record.detour_estimate_m:.0f} m "
+        f"(approximation error {record.approximation_error_m:.0f} m, "
+        f"guarantee <= {4 * config.epsilon_m:.0f} m), "
+        f"{record.shortest_paths_computed} shortest paths computed"
+    )
+    print(f"Ride after booking: {ride}")
+
+    # 8. Track the ride mid-journey: clusters behind it stop matching.
+    halfway = ride.departure_s + ride.duration_s / 2
+    engine.track(ride.ride_id, halfway)
+    print(f"\nTracked to t={halfway/3600:.2f}h; index now: {engine.index_stats()}")
+
+
+if __name__ == "__main__":
+    main()

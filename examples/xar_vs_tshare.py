@@ -1,0 +1,56 @@
+"""Head-to-head: XAR vs the T-Share baseline on the same request stream.
+
+Reproduces the Fig. 4 comparison in miniature: search / create / book
+latencies for both systems, plus the look-to-book extrapolation of Fig. 5b.
+
+Run:  python examples/xar_vs_tshare.py [n_requests]
+"""
+
+import sys
+
+from repro import TShareEngine, XARConfig, XAREngine, build_region, manhattan_city
+from repro.sim import RideShareSimulator, TShareAdapter, XARAdapter
+from repro.workloads import NYCWorkloadGenerator, trips_to_requests
+
+
+def main(n_requests: int = 400):
+    city = manhattan_city(n_avenues=16, n_streets=50)
+    region = build_region(city, XARConfig.validated())
+    trips = NYCWorkloadGenerator(city, seed=12).generate(n_requests, 6.0, 12.0)
+    requests = trips_to_requests(trips)
+
+    print(f"Replaying {n_requests} requests on both systems...\n")
+    xar_report = RideShareSimulator(XARAdapter(XAREngine(region))).run(requests)
+    tshare_report = RideShareSimulator(
+        TShareAdapter(TShareEngine(city, cell_m=1000.0))
+    ).run(requests)
+
+    for report in (xar_report, tshare_report):
+        print(report.describe())
+        print()
+
+    xar_search = sum(xar_report.timings.search_s) / len(xar_report.timings.search_s)
+    ts_search = sum(tshare_report.timings.search_s) / len(tshare_report.timings.search_s)
+    print(f"Search speedup (XAR over T-Share): {ts_search / xar_search:.0f}x")
+
+    print("\nLook-to-book extrapolation (Fig. 5b): total seconds for r looks + 1 book")
+    xar_book = (
+        sum(xar_report.timings.book_s) / len(xar_report.timings.book_s)
+        if xar_report.timings.book_s
+        else 0.0
+    )
+    ts_book = (
+        sum(tshare_report.timings.book_s) / len(tshare_report.timings.book_s)
+        if tshare_report.timings.book_s
+        else 0.0
+    )
+    print(f"{'r':>6}  {'XAR (s)':>10}  {'T-Share (s)':>12}")
+    for r in (1, 10, 100, 1000):
+        print(
+            f"{r:>6}  {r * xar_search + xar_book:>10.4f}  "
+            f"{r * ts_search + ts_book:>12.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

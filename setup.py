@@ -1,0 +1,5 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+without the `wheel` package (PEP 660 editable builds need it)."""
+from setuptools import setup
+
+setup()

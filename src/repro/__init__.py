@@ -1,0 +1,114 @@
+"""Xhare-a-Ride (XAR) — ICDE 2017 reproduction.
+
+A search-optimized dynamic peer-to-peer ride sharing system with an additive
+approximation guarantee, built from scratch in Python: hierarchical
+three-tier region discretization (grids → landmarks → clusters), the
+GREEDYSEARCH bicriteria clustering algorithm, an in-memory spatio-temporal
+ride index, a shortest-path-free search runtime, the T-Share baseline, a
+multi-modal trip planner with Aider/Enhancer integration modes, and the full
+evaluation harness.
+
+Quickstart::
+
+    from repro import XARConfig, XAREngine, build_region, manhattan_city
+
+    network = manhattan_city(n_avenues=12, n_streets=40)
+    region = build_region(network, XARConfig.validated())
+    engine = XAREngine(region)
+
+    ride = engine.create_ride(source, destination, departure_s=8 * 3600)
+    request = engine.make_request(src, dst, 8 * 3600, 8.2 * 3600)
+    matches = engine.search(request)       # no shortest paths computed
+    record = engine.book(request, matches[0])
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+per-figure reproduction harness.
+"""
+
+from .config import DEFAULT_CONFIG, XARConfig, paper_nyc_config
+from .exceptions import (
+    BookingError,
+    ConfigurationError,
+    DiscretizationError,
+    NoPathError,
+    PlannerError,
+    RequestError,
+    RideError,
+    RoadNetworkError,
+    UncoveredLocationError,
+    UnknownRideError,
+    XARError,
+)
+from .geo import BoundingBox, GeoPoint, GridIndex
+from .roadnet import RoadNetwork, manhattan_city, radial_city, random_planar_city
+from .landmarks import Landmark, extract_landmarks, synthesize_pois
+from .clustering import greedy_search, landmark_distance_matrix
+from .discretization import Cluster, DiscretizedRegion, WalkOption, build_region
+from .core import (
+    BookingRecord,
+    EngineInvariantError,
+    MatchOption,
+    Ride,
+    RideRequest,
+    RideStatus,
+    XAREngine,
+    validate_engine,
+)
+from .baselines import TShareEngine
+from .workloads import NYCWorkloadGenerator, trips_to_requests
+from .mmtp import AiderMode, EnhancerMode, MultiModalPlanner, synthetic_feed
+from .social import SocialNetwork, small_world_network, social_ranking
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "XARConfig",
+    "DEFAULT_CONFIG",
+    "paper_nyc_config",
+    "validate_engine",
+    "EngineInvariantError",
+    "XARError",
+    "ConfigurationError",
+    "RoadNetworkError",
+    "NoPathError",
+    "DiscretizationError",
+    "UncoveredLocationError",
+    "RideError",
+    "UnknownRideError",
+    "BookingError",
+    "RequestError",
+    "PlannerError",
+    "GeoPoint",
+    "BoundingBox",
+    "GridIndex",
+    "RoadNetwork",
+    "manhattan_city",
+    "radial_city",
+    "random_planar_city",
+    "Landmark",
+    "synthesize_pois",
+    "extract_landmarks",
+    "greedy_search",
+    "landmark_distance_matrix",
+    "Cluster",
+    "WalkOption",
+    "DiscretizedRegion",
+    "build_region",
+    "Ride",
+    "RideStatus",
+    "RideRequest",
+    "MatchOption",
+    "BookingRecord",
+    "XAREngine",
+    "TShareEngine",
+    "NYCWorkloadGenerator",
+    "trips_to_requests",
+    "MultiModalPlanner",
+    "synthetic_feed",
+    "AiderMode",
+    "EnhancerMode",
+    "SocialNetwork",
+    "small_world_network",
+    "social_ranking",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Analysis helpers for the evaluation harness.
+
+* :mod:`~repro.analysis.asciichart` — dependency-free ASCII bar/line/CDF
+  charts so benchmark result files carry the figure, not just the numbers;
+* :mod:`~repro.analysis.stats` — bootstrap confidence intervals, linear
+  fits (for "grows linearly with k" style claims), and summary statistics.
+"""
+
+from .asciichart import bar_chart, cdf_chart, line_chart
+from .stats import bootstrap_mean_ci, linear_fit, summarize
+
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "cdf_chart",
+    "bootstrap_mean_ci",
+    "linear_fit",
+    "summarize",
+]

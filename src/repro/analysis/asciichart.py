@@ -1,0 +1,129 @@
+"""Dependency-free ASCII charts.
+
+The benchmark harness runs in terminals and CI logs; these renderers let the
+per-figure result files carry a visual of the series alongside the numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart; bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return title
+    peak = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines: List[str] = [title] if title else []
+    for label, value in zip(labels, values):
+        if peak > 0:
+            bar = "#" * max(1 if value > 0 else 0, round(width * value / peak))
+        else:
+            bar = ""
+        lines.append(f"{str(label):>{label_width}} | {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def line_chart(
+    series: Dict[str, List[Tuple[float, float]]],
+    width: int = 60,
+    height: int = 16,
+    title: str = "",
+    logy: bool = False,
+) -> str:
+    """Multi-series scatter/line chart on a character grid.
+
+    Each series gets a distinct marker; points are nearest-cell plotted.
+    ``logy`` plots log10 of positive y values (the Fig. 5b axis).
+    """
+    if not series or all(not pts for pts in series.values()):
+        return title
+    markers = "*o+x@%&"
+    points_all = [
+        (x, y) for pts in series.values() for x, y in pts if not logy or y > 0
+    ]
+    if not points_all:
+        return title
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    xs = [x for x, _y in points_all]
+    ys = [ty(y) for _x, y in points_all]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _row in range(height)]
+    for index, (name, pts) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            if logy and y <= 0:
+                continue
+            col = round((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - round((ty(y) - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines: List[str] = [title] if title else []
+    y_label = "log10(y)" if logy else "y"
+    lines.append(f"{y_hi:10.3g} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row))
+    lines.append(f"{y_lo:10.3g} +" + "-" * width)
+    lines.append(f"{'':11} x: {x_lo:g} .. {x_hi:g}   ({y_label})")
+    for index, name in enumerate(series):
+        lines.append(f"{'':11} {markers[index % len(markers)]} = {name}")
+    return "\n".join(lines)
+
+
+def cdf_chart(
+    samples: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+    marks: Sequence[float] = (),
+) -> str:
+    """Empirical CDF as an ASCII staircase, with optional vertical marks."""
+    if not samples:
+        return title
+    ordered = sorted(samples)
+    n = len(ordered)
+    lo, hi = ordered[0], ordered[-1]
+    span = (hi - lo) or 1.0
+
+    def fraction_at(value: float) -> float:
+        from bisect import bisect_right
+
+        return bisect_right(ordered, value) / n
+
+    grid = [[" "] * width for _row in range(height)]
+    for col in range(width):
+        value = lo + span * col / (width - 1)
+        frac = fraction_at(value)
+        row = height - 1 - round(frac * (height - 1))
+        grid[row][col] = "#"
+    for mark in marks:
+        if lo <= mark <= hi:
+            col = round((mark - lo) / span * (width - 1))
+            for row in range(height):
+                if grid[row][col] == " ":
+                    grid[row][col] = "|"
+
+    lines: List[str] = [title] if title else []
+    lines.append("1.0 +" + "-" * width)
+    for row in grid:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 +" + "-" * width)
+    lines.append(f"     x: {lo:g} .. {hi:g}" + (f"   marks at {list(marks)}" if marks else ""))
+    return "\n".join(lines)

@@ -1,0 +1,91 @@
+"""Statistics for benchmark claims.
+
+* :func:`bootstrap_mean_ci` — nonparametric CI on a mean (timings are
+  skewed, so normal-theory intervals mislead);
+* :func:`linear_fit` — least-squares slope/intercept/R², used to check
+  "grows linearly with k" style statements;
+* :func:`summarize` — the standard descriptive bundle.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y ≈ slope * x + intercept with goodness-of-fit r2."""
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares on paired samples (needs >= 2 distinct x)."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must align")
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0:
+        raise ValueError("all x values identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return LinearFit(slope=slope, intercept=intercept, r2=r2)
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> Tuple[float, float, float]:
+    """(mean, ci_low, ci_high) via percentile bootstrap."""
+    if not samples:
+        raise ValueError("bootstrap on empty samples")
+    if not (0.0 < confidence < 1.0):
+        raise ValueError(f"confidence out of (0,1): {confidence!r}")
+    rng = random.Random(seed)
+    n = len(samples)
+    mean = sum(samples) / n
+    resampled_means = []
+    for _draw in range(n_resamples):
+        total = 0.0
+        for _i in range(n):
+            total += samples[rng.randrange(n)]
+        resampled_means.append(total / n)
+    resampled_means.sort()
+    alpha = (1.0 - confidence) / 2.0
+    lo_index = int(alpha * n_resamples)
+    hi_index = min(n_resamples - 1, int((1.0 - alpha) * n_resamples))
+    return mean, resampled_means[lo_index], resampled_means[hi_index]
+
+
+def summarize(samples: Sequence[float]) -> Dict[str, float]:
+    """mean / std / min / max / n descriptive bundle."""
+    if not samples:
+        return {"n": 0.0}
+    n = len(samples)
+    mean = sum(samples) / n
+    variance = sum((s - mean) ** 2 for s in samples) / n
+    return {
+        "n": float(n),
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": min(samples),
+        "max": max(samples),
+    }

@@ -1,0 +1,10 @@
+"""Baseline systems XAR is benchmarked against.
+
+Currently one baseline: T-Share (Ma, Zheng, Wolfson — ICDE 2013), the
+state-of-the-art grid-based dynamic taxi ridesharing system the paper
+compares with in Section X-B2.
+"""
+
+from .tshare import TShareEngine, TShareMatch
+
+__all__ = ["TShareEngine", "TShareMatch"]

@@ -1,0 +1,19 @@
+"""T-Share reimplementation (grid-based spatio-temporal ride sharing).
+
+The original implementation is not public; like the XAR authors (footnote 5),
+we implement T-Share to resemble the description in Ma et al., ICDE 2013,
+with the two modifications the XAR paper makes for the comparison:
+
+* the search explores the region until it finds *all* (or the first k)
+  matching taxis instead of stopping at the first one;
+* exploration is capped at 80 neighbouring grid cells (~4 km detour bound).
+
+Distances during search validation are either lazy shortest paths
+(``distance_mode="dijkstra"``, the default, matching Fig. 4) or the haversine
+formula (``distance_mode="haversine"``, the alternate setting of Fig. 5).
+"""
+
+from .engine import TShareEngine, TShareMatch
+from .grid_index import CellEntry, CellTaxiIndex
+
+__all__ = ["TShareEngine", "TShareMatch", "CellTaxiIndex", "CellEntry"]

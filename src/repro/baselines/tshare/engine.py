@@ -1,0 +1,422 @@
+"""T-Share engine: create / dual-side search / book / track.
+
+Search follows T-Share's *dual-side taxi searching*: expand grid cells in
+rings around the request's origin and destination (nearest cells first),
+collect taxis whose expected arrival falls in the time window, and validate
+each candidate with **lazy shortest-path computations** — the insertion
+detour at the pickup and at the drop-off.  Exploration stops when the
+combined number of examined cells reaches ``max_cells`` (80 in the paper's
+setting, ~4 km) or, in first-k mode, when k validated matches are found.
+
+This gives the baseline its measured character: search cost grows with the
+number of cells and candidates examined (linear in k, Fig. 5a) because every
+candidate costs distance computations, while create and book are cheap grid
+operations (Fig. 4b/4c).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ...config import DEFAULT_DRIVE_SPEED
+from ...exceptions import BookingError, RideError, UnknownRideError
+from ...geo import GeoPoint, GridIndex
+from ...roadnet import RoadNetwork, astar, dijkstra_path
+from ...core.request import RideRequest
+from ...core.ride import Ride, RideStatus, ViaPoint
+from .grid_index import CellEntry, CellTaxiIndex
+
+
+@dataclass(frozen=True)
+class TShareMatch:
+    """A validated T-Share match."""
+
+    taxi_id: int
+    request_id: int
+    pickup_node: int
+    dropoff_node: int
+    pickup_route_index: int
+    dropoff_route_index: int
+    eta_pickup_s: float
+    detour_m: float
+    #: Shortest-path (or haversine) evaluations spent validating this match.
+    validations: int
+
+
+class TShareEngine:
+    """A running T-Share instance."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        cell_m: float = 1000.0,
+        max_cells: int = 80,
+        max_detour_m: float = 4000.0,
+        distance_mode: str = "dijkstra",
+        default_seats: int = 3,
+        max_passenger_delay_s: float = 600.0,
+    ):
+        if distance_mode not in ("dijkstra", "haversine"):
+            raise ValueError(
+                f"distance_mode must be 'dijkstra' or 'haversine', got {distance_mode!r}"
+            )
+        self.network = network
+        self.grid = GridIndex(network.bounding_box(), cell_m)
+        self.cells = CellTaxiIndex(self.grid)
+        self.taxis: Dict[int, Ride] = {}
+        self.max_cells = max_cells
+        self.max_detour_m = max_detour_m
+        self.distance_mode = distance_mode
+        self.default_seats = default_seats
+        #: T-Share's service guarantee: an accepted passenger's drop-off may
+        #: slip by at most this much due to later insertions.
+        self.max_passenger_delay_s = max_passenger_delay_s
+        #: request_id -> promised drop-off ETA, recorded at booking.
+        self.promises: Dict[int, float] = {}
+        self._taxi_ids = itertools.count(1)
+        #: Cumulative distance evaluations — the experiment's cost counter.
+        self.distance_evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Distance backends
+    # ------------------------------------------------------------------
+    def _distance(self, a: int, b: int) -> float:
+        """Driving distance between two nodes, by the configured backend."""
+        self.distance_evaluations += 1
+        if a == b:
+            return 0.0
+        if self.distance_mode == "dijkstra":
+            _d, _path = dijkstra_path(self.network, a, b)
+            return _d
+        return self.network.position(a).distance_to(self.network.position(b))
+
+    # ------------------------------------------------------------------
+    # Taxi creation (cheap: route + grid inserts)
+    # ------------------------------------------------------------------
+    def create_taxi(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        departure_s: float,
+        seats: Optional[int] = None,
+    ) -> Ride:
+        source_node = self.network.snap(source)
+        destination_node = self.network.snap(destination)
+        if source_node == destination_node:
+            raise RideError("taxi source and destination snap to the same node")
+        _length, route = astar(self.network, source_node, destination_node)
+        taxi = Ride(
+            ride_id=next(self._taxi_ids),
+            network=self.network,
+            route=route,
+            departure_s=departure_s,
+            detour_limit_m=self.max_detour_m,
+            seats=seats if seats is not None else self.default_seats,
+            source_point=source,
+            destination_point=destination,
+        )
+        self.taxis[taxi.ride_id] = taxi
+        self._index_taxi(taxi)
+        return taxi
+
+    def _index_taxi(self, taxi: Ride) -> None:
+        seen: Set = set()
+        for route_index, node in enumerate(taxi.route):
+            cell = self.grid.cell_of(self.network.position(node))
+            if cell in seen:
+                continue
+            seen.add(cell)
+            self.cells.add_visit(
+                cell,
+                CellEntry(
+                    taxi_id=taxi.ride_id,
+                    eta_s=taxi.eta_at_index(route_index),
+                    route_index=route_index,
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    # Dual-side search with lazy shortest paths
+    # ------------------------------------------------------------------
+    def search(
+        self, request: RideRequest, k: Optional[int] = None
+    ) -> List[TShareMatch]:
+        """Dual-side incremental search: first k validated matches.
+
+        Rings around the origin and destination cells are expanded
+        alternately; as soon as a taxi appears on both sides it is validated
+        with lazy distance computations.  The search stops when k matches
+        are confirmed or the cell budget (``2 * max_cells``) is exhausted —
+        which is why T-Share's search cost grows with k (Fig. 5a) and with
+        the region it must sweep, while XAR's does not.
+        """
+        origin_cell = self.grid.cell_of(request.source)
+        dest_cell = self.grid.cell_of(request.destination)
+        pickup_node = self.network.snap(request.source)
+        dropoff_node = self.network.snap(request.destination)
+
+        origin_candidates: Dict[int, CellEntry] = {}
+        dest_candidates: Dict[int, CellEntry] = {}
+        validated: Set[int] = set()
+        matches: List[TShareMatch] = []
+        cells_examined = 0
+        max_ring = max(1, int(self.max_detour_m / self.grid.side_m))
+
+        for radius in range(0, max_ring + 1):
+            for cell in self.grid.ring(origin_cell, radius):
+                cells_examined += 1
+                for entry in self.cells.visits_in_window(
+                    cell, request.window_start_s, request.window_end_s
+                ):
+                    current = origin_candidates.get(entry.taxi_id)
+                    if current is None or entry.eta_s < current.eta_s:
+                        origin_candidates[entry.taxi_id] = entry
+            for cell in self.grid.ring(dest_cell, radius):
+                cells_examined += 1
+                for entry in self.cells.visits_in_window(
+                    cell, request.window_start_s, float("inf")
+                ):
+                    current = dest_candidates.get(entry.taxi_id)
+                    if current is None or entry.eta_s < current.eta_s:
+                        dest_candidates[entry.taxi_id] = entry
+
+            # Validate taxis now present on both sides, earliest pickup first.
+            ready = sorted(
+                (
+                    taxi_id
+                    for taxi_id in dest_candidates
+                    if taxi_id in origin_candidates and taxi_id not in validated
+                ),
+                key=lambda taxi_id: origin_candidates[taxi_id].eta_s,
+            )
+            for taxi_id in ready:
+                validated.add(taxi_id)
+                origin_entry = origin_candidates[taxi_id]
+                dest_entry = dest_candidates[taxi_id]
+                taxi = self.taxis.get(taxi_id)
+                if taxi is None or taxi.seats_available < 1:
+                    continue
+                # Drop-off must not precede pickup along the schedule; equal
+                # ETAs (one cell holds both endpoints) are valid — the splice
+                # keeps order.
+                if dest_entry.eta_s < origin_entry.eta_s:
+                    continue
+                match = self._validate(
+                    taxi, request, origin_entry, dest_entry,
+                    pickup_node, dropoff_node,
+                )
+                if match is not None:
+                    matches.append(match)
+                    if k is not None and len(matches) >= k:
+                        matches.sort(key=lambda m: (m.detour_m, m.taxi_id))
+                        return matches
+            if cells_examined >= 2 * self.max_cells:
+                break
+
+        matches.sort(key=lambda m: (m.detour_m, m.taxi_id))
+        return matches
+
+    def _validate(
+        self,
+        taxi: Ride,
+        request: RideRequest,
+        origin_entry: CellEntry,
+        dest_entry: CellEntry,
+        pickup_node: int,
+        dropoff_node: int,
+    ) -> Optional[TShareMatch]:
+        """Insertion feasibility via lazy distance computations.
+
+        The added detour of serving the request is estimated as the
+        out-and-back cost of leaving the route at the recorded visit points:
+        2·d(route_o, pickup) + 2·d(route_d, dropoff), the standard T-Share
+        insertion bound with pickup and drop-off handled independently.
+        """
+        evaluations_before = self.distance_evaluations
+        route = taxi.route
+        route_o = route[min(origin_entry.route_index, len(route) - 1)]
+        route_d = route[min(dest_entry.route_index, len(route) - 1)]
+        detour_pickup = 2.0 * self._distance(route_o, pickup_node)
+        if detour_pickup > taxi.detour_limit_m:
+            return None
+        detour_dropoff = 2.0 * self._distance(route_d, dropoff_node)
+        detour = detour_pickup + detour_dropoff
+        if detour > taxi.detour_limit_m:
+            return None
+        return TShareMatch(
+            taxi_id=taxi.ride_id,
+            request_id=request.request_id,
+            pickup_node=pickup_node,
+            dropoff_node=dropoff_node,
+            pickup_route_index=origin_entry.route_index,
+            dropoff_route_index=dest_entry.route_index,
+            eta_pickup_s=origin_entry.eta_s,
+            detour_m=detour,
+            validations=self.distance_evaluations - evaluations_before,
+        )
+
+    # ------------------------------------------------------------------
+    # Booking: splice the schedule, update grid lists
+    # ------------------------------------------------------------------
+    def book(self, request: RideRequest, match: TShareMatch) -> Ride:
+        """Insert the request into the taxi's schedule."""
+        taxi = self.taxis.get(match.taxi_id)
+        if taxi is None:
+            raise UnknownRideError(match.taxi_id)
+        if taxi.seats_available < 1:
+            raise BookingError(f"taxi {match.taxi_id} has no free seats")
+
+        route = taxi.route
+        old_length = taxi.length_m
+        pickup_at = min(match.pickup_route_index, len(route) - 2)
+        dropoff_at = min(match.dropoff_route_index, len(route) - 2)
+        if dropoff_at < pickup_at:
+            dropoff_at = pickup_at
+
+        def splice(path: List[int], at: int, node: int) -> Tuple[List[int], int]:
+            """Divert the route through ``node`` at route position ``at``."""
+            if path[at] == node:
+                return path, at
+            _d1, leg_out = dijkstra_path(self.network, path[at], node)
+            _d2, leg_back = dijkstra_path(self.network, node, path[at + 1])
+            new_path = path[: at + 1] + leg_out[1:] + leg_back[1:] + path[at + 2:]
+            return new_path, at + len(leg_out) - 1
+
+        new_route, pickup_index = splice(route, pickup_at, match.pickup_node)
+        shift = len(new_route) - len(route)
+        new_route, dropoff_index = splice(
+            new_route, dropoff_at + shift, match.dropoff_node
+        )
+        if dropoff_index < pickup_index:
+            raise BookingError("T-Share splice produced drop-off before pickup")
+
+        vias = [
+            ViaPoint(node=new_route[0], route_index=0, label="source"),
+            ViaPoint(
+                node=new_route[pickup_index],
+                route_index=pickup_index,
+                label="pickup",
+                request_id=request.request_id,
+            ),
+            ViaPoint(
+                node=new_route[dropoff_index],
+                route_index=dropoff_index,
+                label="dropoff",
+                request_id=request.request_id,
+            ),
+            ViaPoint(
+                node=new_route[-1], route_index=len(new_route) - 1, label="destination"
+            ),
+        ]
+        vias.sort(key=lambda v: v.route_index)
+        old_route = taxi.route
+        old_vias = list(taxi.via_points)
+        # Preserve already-booked passengers' via-points: re-anchor them onto
+        # the new route (their nodes are still on it, in order).
+        vias = self._merge_existing_vias(old_vias, new_route, vias)
+        taxi.replace_route(new_route, vias)
+
+        # Service guarantee (Ma et al.): no previously accepted passenger's
+        # drop-off may slip beyond the allowed delay.
+        for via in taxi.via_points:
+            if via.label != "dropoff" or via.request_id == request.request_id:
+                continue
+            promise = self.promises.get(via.request_id)
+            if promise is None:
+                continue
+            new_eta = taxi.eta_at_index(via.route_index)
+            if new_eta > promise + self.max_passenger_delay_s:
+                taxi.replace_route(old_route, old_vias)
+                raise BookingError(
+                    f"insertion would delay passenger {via.request_id} by "
+                    f"{new_eta - promise:.0f}s (> {self.max_passenger_delay_s:.0f}s)"
+                )
+
+        taxi.consume_seat()
+        taxi.consume_detour(max(0.0, taxi.length_m - old_length))
+        dropoff_via = next(
+            v for v in taxi.via_points
+            if v.label == "dropoff" and v.request_id == request.request_id
+        )
+        self.promises[request.request_id] = taxi.eta_at_index(dropoff_via.route_index)
+        # Refresh the grid lists for the new schedule.
+        self.cells.remove_taxi(taxi.ride_id)
+        self._index_taxi(taxi)
+        return taxi
+
+    @staticmethod
+    def _merge_existing_vias(
+        old_vias: List[ViaPoint], new_route: List[int], new_vias: List[ViaPoint]
+    ) -> List[ViaPoint]:
+        """Carry previous pickup/drop-off via-points onto the spliced route.
+
+        Splices only ever insert nodes, so every old via node still occurs on
+        the new route in order; each old via is re-anchored at the first
+        occurrence at or after the previous via's position.
+        """
+        carried: List[ViaPoint] = []
+        cursor = 0
+        for via in old_vias:
+            if via.label in ("source", "destination"):
+                continue
+            try:
+                index = new_route.index(via.node, cursor)
+            except ValueError:
+                continue  # node vanished (should not happen); drop the via
+            carried.append(
+                ViaPoint(
+                    node=via.node, route_index=index,
+                    label=via.label, request_id=via.request_id,
+                )
+            )
+            cursor = index
+        merged = {(v.route_index, v.label, v.request_id): v for v in new_vias}
+        for via in carried:
+            merged.setdefault((via.route_index, via.label, via.request_id), via)
+        out = sorted(merged.values(), key=lambda v: (v.route_index, v.label))
+        # Anchors first/last.
+        out = (
+            [v for v in out if v.label == "source"]
+            + [v for v in out if v.label not in ("source", "destination")]
+            + [v for v in out if v.label == "destination"]
+        )
+        return out
+
+    def remove_taxi(self, taxi_id: int) -> None:
+        """Withdraw a taxi entirely (driver cancelled)."""
+        if taxi_id not in self.taxis:
+            raise UnknownRideError(taxi_id)
+        self.cells.remove_taxi(taxi_id)
+        del self.taxis[taxi_id]
+
+    # ------------------------------------------------------------------
+    # Tracking
+    # ------------------------------------------------------------------
+    def track(self, taxi_id: int, now_s: float) -> None:
+        """Completed taxis leave the index (grid lists are time-filtered, so
+        passed cells naturally stop matching windows)."""
+        taxi = self.taxis.get(taxi_id)
+        if taxi is None:
+            raise UnknownRideError(taxi_id)
+        if now_s >= taxi.arrival_s:
+            taxi.status = RideStatus.COMPLETED
+            self.cells.remove_taxi(taxi_id)
+            del self.taxis[taxi_id]
+        elif now_s >= taxi.departure_s:
+            taxi.status = RideStatus.ACTIVE
+            taxi.progressed_m = taxi.offset_at_index(taxi.index_at_time(now_s))
+
+    def track_all(self, now_s: float) -> int:
+        completed = 0
+        for taxi_id in list(self.taxis):
+            before = taxi_id in self.taxis
+            self.track(taxi_id, now_s)
+            if before and taxi_id not in self.taxis:
+                completed += 1
+        return completed
+
+    @property
+    def n_taxis(self) -> int:
+        return len(self.taxis)

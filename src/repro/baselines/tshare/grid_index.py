@@ -1,0 +1,71 @@
+"""T-Share's grid-cell taxi index.
+
+T-Share partitions the city into uniform grid cells (the XAR experiments use
+1 km cells, "equivalent to the cluster size of XAR") and keeps, per cell, a
+*temporally-ordered* list of the taxis expected to arrive in the cell with
+their estimated arrival times.  That is the only spatial structure — all
+accuracy beyond the cell resolution comes from lazy shortest-path validation
+during search, which is precisely what XAR's cluster-level indexing avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ...geo import GridCell, GridIndex
+from ...index import SortedKeyList
+
+
+@dataclass(frozen=True)
+class CellEntry:
+    """One taxi's expected visit of a cell."""
+
+    taxi_id: int
+    eta_s: float
+    route_index: int
+
+
+class CellTaxiIndex:
+    """Per-cell temporally ordered taxi lists."""
+
+    def __init__(self, grid: GridIndex):
+        self.grid = grid
+        self._cells: Dict[GridCell, SortedKeyList[CellEntry]] = {}
+        #: taxi id -> cells it currently appears in (for removal).
+        self._taxi_cells: Dict[int, List[GridCell]] = {}
+
+    def add_visit(self, cell: GridCell, entry: CellEntry) -> None:
+        bucket = self._cells.get(cell)
+        if bucket is None:
+            bucket = SortedKeyList(key=lambda e: e.eta_s)
+            self._cells[cell] = bucket
+        bucket.add(entry)
+        self._taxi_cells.setdefault(entry.taxi_id, []).append(cell)
+
+    def remove_taxi(self, taxi_id: int) -> None:
+        """Remove every visit of a taxi (used on booking re-index / finish)."""
+        for cell in self._taxi_cells.pop(taxi_id, []):
+            bucket = self._cells.get(cell)
+            if bucket is None:
+                continue
+            stale = [entry for entry in bucket if entry.taxi_id == taxi_id]
+            for entry in stale:
+                bucket.discard(entry)
+            if not len(bucket):
+                del self._cells[cell]
+
+    def visits_in_window(
+        self, cell: GridCell, start_s: float, end_s: float
+    ) -> Iterator[CellEntry]:
+        """Binary search of the cell's temporal list."""
+        bucket = self._cells.get(cell)
+        if bucket is None:
+            return iter(())
+        return bucket.irange(start_s, end_s)
+
+    def cell_count(self) -> int:
+        return len(self._cells)
+
+    def total_entries(self) -> int:
+        return sum(len(bucket) for bucket in self._cells.values())

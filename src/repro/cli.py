@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro.cli <command>`` (or ``xar``).
+
+Commands mirror a deployment's lifecycle:
+
+* ``build-city``    generate a synthetic city and save it (OSM substitute),
+* ``build-region``  run the pre-processing pipeline and persist the region,
+* ``info``          inspect a saved region,
+* ``simulate``      replay an NYC-style workload on XAR or T-Share,
+* ``compare``       head-to-head XAR vs T-Share on one stream,
+* ``modes``         the four-transport-mode comparison (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .baselines import TShareEngine
+from .config import XARConfig
+from .core import XAREngine
+from .discretization import build_region, load_region, save_region
+from .mmtp import MultiModalPlanner, synthetic_feed
+from .roadnet import (
+    load_network,
+    manhattan_city,
+    radial_city,
+    random_planar_city,
+    save_network,
+)
+from .sim import RideShareSimulator, TShareAdapter, XARAdapter
+from .sim.modes import compare_modes
+from .workloads import NYCWorkloadGenerator, trips_to_requests
+
+
+def _build_city(args: argparse.Namespace) -> int:
+    if args.kind == "manhattan":
+        network = manhattan_city(n_avenues=args.avenues, n_streets=args.streets)
+    elif args.kind == "radial":
+        network = radial_city(n_rings=args.rings, n_spokes=args.spokes)
+    else:
+        network = random_planar_city(n_nodes=args.nodes, seed=args.seed)
+    save_network(network, args.output)
+    print(
+        f"wrote {args.kind} city: {network.node_count} nodes, "
+        f"{network.edge_count} edges -> {args.output}"
+    )
+    return 0
+
+
+def _build_region(args: argparse.Namespace) -> int:
+    t0 = time.perf_counter()
+    if args.city:
+        network = load_network(args.city)
+    else:
+        network = manhattan_city(n_avenues=args.avenues, n_streets=args.streets)
+    config = XARConfig.validated(delta_m=args.delta)
+    region = build_region(network, config, poi_seed=args.seed)
+    save_region(region, args.output)
+    print(
+        f"region built in {time.perf_counter() - t0:.1f}s: "
+        f"{region.n_landmarks} landmarks, {region.n_clusters} clusters, "
+        f"eps_realised {region.epsilon_realised:.0f} m "
+        f"(guarantee {config.epsilon_m:.0f} m) -> {args.output}"
+    )
+    return 0
+
+
+def _info(args: argparse.Namespace) -> int:
+    region = load_region(args.region)
+    config = region.config
+    print(f"region       : {args.region}")
+    print(f"network      : {region.network.node_count} nodes, "
+          f"{region.network.edge_count} edges")
+    print(f"landmarks    : {region.n_landmarks}")
+    print(f"clusters     : {region.n_clusters}")
+    print(f"delta / eps  : {config.delta_m:.0f} m / {config.epsilon_m:.0f} m "
+          f"(realised {region.epsilon_realised:.0f} m)")
+    print(f"grid side    : {config.grid_side_m:.0f} m "
+          f"({region.grid.cell_count()} implicit cells)")
+    print(f"walk limit W : {config.max_walk_m:.0f} m")
+    return 0
+
+
+def _workload(region_network, args):
+    generator = NYCWorkloadGenerator(region_network, seed=args.seed)
+    trips = generator.generate(args.requests, args.start_hour, args.end_hour)
+    return trips_to_requests(trips, window_s=args.window, walk_threshold_m=args.walk)
+
+
+def _simulate(args: argparse.Namespace) -> int:
+    region = load_region(args.region)
+    requests = _workload(region.network, args)
+    if args.engine == "xar":
+        adapter = XARAdapter(XAREngine(region, optimize_insertion=args.optimize))
+    else:
+        adapter = TShareAdapter(TShareEngine(region.network))
+    report = RideShareSimulator(adapter).run(requests)
+    print(report.describe())
+    return 0
+
+
+def _compare(args: argparse.Namespace) -> int:
+    region = load_region(args.region)
+    requests = _workload(region.network, args)
+    for adapter in (
+        XARAdapter(XAREngine(region)),
+        TShareAdapter(TShareEngine(region.network)),
+    ):
+        report = RideShareSimulator(adapter).run(requests)
+        print(report.describe())
+        print()
+    return 0
+
+
+def _modes(args: argparse.Namespace) -> int:
+    region = load_region(args.region)
+    requests = _workload(region.network, args)
+    feed = synthetic_feed(region.network, seed=args.seed)
+    planner = MultiModalPlanner(feed)
+    results = compare_modes(region, planner, requests)
+    print("mode     travel(min)  walk(min)  wait(min)   cars")
+    for name in ("Taxi", "PT", "RS", "RS+PT"):
+        row = results[name].row()
+        print(
+            f"{name:<8} {row['travel_min']:10.1f} {row['walk_min']:10.1f} "
+            f"{row['wait_min']:10.1f} {row['cars']:6.0f}"
+        )
+    return 0
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--requests", type=int, default=500)
+    parser.add_argument("--start-hour", type=float, default=6.0, dest="start_hour")
+    parser.add_argument("--end-hour", type=float, default=12.0, dest="end_hour")
+    parser.add_argument("--window", type=float, default=600.0,
+                        help="departure window per request, seconds")
+    parser.add_argument("--walk", type=float, default=800.0,
+                        help="walk threshold per request, metres")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xar", description="Xhare-a-Ride reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("build-city", help="generate a synthetic city")
+    p.add_argument("output")
+    p.add_argument("--kind", choices=["manhattan", "radial", "random"],
+                   default="manhattan")
+    p.add_argument("--avenues", type=int, default=16)
+    p.add_argument("--streets", type=int, default=50)
+    p.add_argument("--rings", type=int, default=6)
+    p.add_argument("--spokes", type=int, default=12)
+    p.add_argument("--nodes", type=int, default=300)
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_build_city)
+
+    p = sub.add_parser("build-region", help="pre-process a city into a region")
+    p.add_argument("output")
+    p.add_argument("--city", help="saved network JSON (default: generate)")
+    p.add_argument("--avenues", type=int, default=16)
+    p.add_argument("--streets", type=int, default=50)
+    p.add_argument("--delta", type=float, default=250.0,
+                   help="cluster tightness target delta (m); eps = 4*delta")
+    p.add_argument("--seed", type=int, default=11)
+    p.set_defaults(func=_build_region)
+
+    p = sub.add_parser("info", help="inspect a saved region")
+    p.add_argument("region")
+    p.set_defaults(func=_info)
+
+    p = sub.add_parser("simulate", help="replay a workload on one engine")
+    p.add_argument("region")
+    p.add_argument("--engine", choices=["xar", "tshare"], default="xar")
+    p.add_argument("--optimize", action="store_true",
+                   help="XAR insertion optimization at booking")
+    _add_workload_args(p)
+    p.set_defaults(func=_simulate)
+
+    p = sub.add_parser("compare", help="XAR vs T-Share on one stream")
+    p.add_argument("region")
+    _add_workload_args(p)
+    p.set_defaults(func=_compare)
+
+    p = sub.add_parser("modes", help="four-transport-mode comparison (Fig. 6)")
+    p.add_argument("region")
+    _add_workload_args(p)
+    p.set_defaults(func=_modes)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""CLUSTERMINIMIZATION: algorithms and guarantees (paper Section V).
+
+Given the filtered landmarks, the problem is to partition them into the
+minimum number of clusters such that no two landmarks in a cluster are more
+than δ driving distance apart.  The paper proves NP-completeness and set-cover
+hardness, then gives GREEDYSEARCH — a binary search over k around the
+Gonzalez greedy 2-approximation for METRIC K-CENTER — with the bicriteria
+guarantee (k_ALG ≤ k_OPT, intra-cluster ≤ 4δ) of Theorem 6.
+
+This package implements:
+
+* :mod:`~repro.clustering.metrics` — landmark driving-distance matrices,
+* :mod:`~repro.clustering.kcenter` — the Gonzalez greedy subroutine,
+* :mod:`~repro.clustering.greedy_search` — GREEDYSEARCH itself,
+* :mod:`~repro.clustering.clique_partition` — the threshold-graph view with
+  validation and a greedy heuristic,
+* :mod:`~repro.clustering.exact` — an exact branch-and-bound solver used to
+  *verify* the bicriteria guarantee on small instances.
+"""
+
+from .metrics import DistanceMatrix, landmark_distance_matrix
+from .kcenter import KCenterResult, gonzalez_kcenter
+from .greedy_search import Clustering, GreedySearchTrace, greedy_search
+from .clique_partition import (
+    greedy_clique_cover,
+    is_valid_partition,
+    max_intra_cluster_distance,
+    threshold_graph,
+)
+from .exact import exact_cluster_minimization
+
+__all__ = [
+    "DistanceMatrix",
+    "landmark_distance_matrix",
+    "KCenterResult",
+    "gonzalez_kcenter",
+    "Clustering",
+    "GreedySearchTrace",
+    "greedy_search",
+    "threshold_graph",
+    "is_valid_partition",
+    "max_intra_cluster_distance",
+    "greedy_clique_cover",
+    "exact_cluster_minimization",
+]

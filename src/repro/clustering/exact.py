@@ -1,0 +1,98 @@
+"""Exact CLUSTERMINIMIZATION solver (small instances only).
+
+This is the reproduction of the paper's integer linear program (Section V) as
+an exact combinatorial solver: it finds the true minimum number of clusters
+such that every landmark is in exactly one cluster and all intra-cluster
+pairwise distances are <= δ.  The problem is NP-complete (Theorem 4), so this
+solver is exponential and intended for instances of a few dozen landmarks —
+its role in this repository is to *verify* GREEDYSEARCH's bicriteria
+guarantee (k_ALG <= k_OPT) in the test suite and the ablation benches.
+
+Algorithm: iterative deepening on the number of cliques m = lower_bound..n,
+with backtracking that always branches on the lowest-indexed unplaced vertex
+(a canonical-form cut that removes clique-order symmetry).  The lower bound
+is a greedy independent set in the threshold graph: mutually far vertices can
+never share a cluster.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from .clique_partition import threshold_graph
+from .metrics import DistanceMatrix
+
+
+def exact_cluster_minimization(
+    matrix: DistanceMatrix,
+    delta: float,
+    max_n: int = 40,
+) -> List[List[int]]:
+    """Optimal partition into minimum cliques of the δ-threshold graph.
+
+    Raises ``ValueError`` for instances larger than ``max_n`` — a guard rail
+    against accidentally exponential runs.
+    """
+    n = matrix.n
+    if n > max_n:
+        raise ValueError(
+            f"exact solver limited to n <= {max_n} (got {n}); "
+            "use greedy_search for real instances"
+        )
+    if n == 0:
+        return []
+    adjacency = threshold_graph(matrix, delta)
+
+    lower = _independent_set_lower_bound(adjacency)
+    for m in range(lower, n + 1):
+        solution = _search(adjacency, n, m)
+        if solution is not None:
+            return [sorted(c) for c in solution]
+    # Unreachable: m = n (all singletons) always succeeds.
+    raise AssertionError("exact solver failed to find the trivial partition")
+
+
+def _independent_set_lower_bound(adjacency: List[Set[int]]) -> int:
+    """Greedy independent set size — a valid lower bound on clique count."""
+    n = len(adjacency)
+    picked: List[int] = []
+    forbidden: Set[int] = set()
+    for vertex in sorted(range(n), key=lambda v: len(adjacency[v])):
+        if vertex in forbidden:
+            continue
+        picked.append(vertex)
+        forbidden.add(vertex)
+        forbidden |= adjacency[vertex]
+    return max(1, len(picked))
+
+
+def _search(
+    adjacency: List[Set[int]],
+    n: int,
+    m: int,
+) -> Optional[List[List[int]]]:
+    """Backtracking: can vertices 0..n-1 be partitioned into <= m cliques?"""
+    cliques: List[List[int]] = []
+
+    def place(vertex: int) -> bool:
+        if vertex == n:
+            return True
+        # Try existing cliques first.
+        for clique in cliques:
+            if all(other in adjacency[vertex] for other in clique):
+                clique.append(vertex)
+                if place(vertex + 1):
+                    return True
+                clique.pop()
+        # Open a new clique (canonical: vertex is its lowest member since we
+        # branch in vertex order).
+        if len(cliques) < m:
+            cliques.append([vertex])
+            if place(vertex + 1):
+                return True
+            cliques.pop()
+        return False
+
+    if place(0):
+        return [list(c) for c in cliques]
+    return None

@@ -1,0 +1,137 @@
+"""GREEDYSEARCH: bicriteria approximation for CLUSTERMINIMIZATION (Thm 6).
+
+The algorithm, as specified in the paper:
+
+1. binary search k over [1, n] for log2(n) iterations;
+2. at each k, run the greedy k-center subroutine and record the covering
+   radius δ_k (max distance of any landmark to its centre);
+3. if δ_k > 2δ, recurse into the upper half (more clusters needed), else the
+   lower half;
+4. return all (k, δ_k) tuples; pick k_ALG = min k with δ_k <= 2δ.
+
+Guarantee: k_ALG <= k_OPT(δ) and, by the triangle inequality, no two
+landmarks in a cluster are more than 4δ apart.  The worst-case intra-cluster
+bound ε = 4δ is what the rest of the system treats as its error tolerance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import DiscretizationError
+from .kcenter import KCenterResult, gonzalez_kcenter
+from .metrics import DistanceMatrix
+
+
+@dataclass(frozen=True)
+class GreedySearchTrace:
+    """One probed (k, δ_k) pair from the binary search."""
+
+    k: int
+    radius: float
+    accepted: bool
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """A landmark partition with its realised quality numbers."""
+
+    clusters: List[List[int]]
+    centers: List[int]
+    radius: float
+    max_intra_distance: float
+    delta_target: float
+    trace: List[GreedySearchTrace] = field(default_factory=list)
+
+    @property
+    def k(self) -> int:
+        return len(self.clusters)
+
+    def cluster_of(self) -> Dict[int, int]:
+        """Map each landmark index to its cluster index."""
+        mapping: Dict[int, int] = {}
+        for cluster_index, members in enumerate(self.clusters):
+            for landmark in members:
+                mapping[landmark] = cluster_index
+        return mapping
+
+
+def greedy_search(
+    matrix: DistanceMatrix,
+    delta: float,
+    first_center: int = 0,
+) -> Clustering:
+    """Run GREEDYSEARCH for target inter-landmark distance ``delta``.
+
+    Returns the clustering for the smallest probed k whose greedy radius is
+    at most ``2 * delta``.  Raises
+    :class:`~repro.exceptions.DiscretizationError` if even k = n fails (only
+    possible with infinite distances between distinct landmarks, i.e. a
+    disconnected metric — but k = n always yields radius 0, so this means the
+    instance itself was degenerate).
+    """
+    if delta <= 0:
+        raise ValueError(f"delta must be > 0, got {delta!r}")
+    n = matrix.n
+    if n == 0:
+        raise DiscretizationError("cannot cluster zero landmarks")
+    iterations = max(1, math.ceil(math.log2(n))) if n > 1 else 1
+
+    trace: List[GreedySearchTrace] = []
+    results: Dict[int, KCenterResult] = {}
+
+    def probe(k: int) -> KCenterResult:
+        if k not in results:
+            results[k] = gonzalez_kcenter(matrix, k, first_center)
+        return results[k]
+
+    lo, hi = 1, n
+    for _iteration in range(iterations):
+        if lo > hi:
+            break
+        k = (lo + hi) // 2
+        result = probe(k)
+        accepted = result.radius <= 2.0 * delta
+        trace.append(GreedySearchTrace(k=k, radius=result.radius, accepted=accepted))
+        if accepted:
+            hi = k - 1
+        else:
+            lo = k + 1
+
+    accepted_ks = [t.k for t in trace if t.accepted]
+    if not accepted_ks:
+        # The binary search can exhaust its iterations without probing an
+        # accepting k on adversarial metrics; k = n (radius 0) always works.
+        result = probe(n)
+        trace.append(GreedySearchTrace(k=n, radius=result.radius, accepted=True))
+        accepted_ks = [n]
+    k_alg = min(accepted_ks)
+    chosen = probe(k_alg)
+
+    # Every Gonzalez centre is assigned to itself, so groups are non-empty in
+    # practice; the pairing keeps centres aligned with clusters regardless.
+    paired = [
+        (center, members)
+        for center, members in zip(chosen.centers, chosen.clusters())
+        if members
+    ]
+    clusters = [members for _center, members in paired]
+    centers = [center for center, _members in paired]
+    max_intra = max(
+        (matrix.max_pairwise(members) for members in clusters), default=0.0
+    )
+    if max_intra > 4.0 * delta + 1e-9:
+        raise DiscretizationError(
+            f"bicriteria guarantee violated: intra-cluster {max_intra} > 4δ "
+            f"({4.0 * delta}); this indicates a non-metric distance matrix"
+        )
+    return Clustering(
+        clusters=clusters,
+        centers=centers,
+        radius=chosen.radius,
+        max_intra_distance=max_intra,
+        delta_target=delta,
+        trace=trace,
+    )

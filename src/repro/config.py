@@ -1,0 +1,156 @@
+"""System parameters for the XAR system.
+
+The paper defines a handful of tunable knobs (Section IV, Section X):
+
+* grid side — grids are ~100 m squares (Definition 1),
+* ``f`` — minimum separation between two landmarks (Definition 2),
+* ``delta`` (δ) — maximum pairwise driving distance between landmarks in a
+  cluster (Definition 3); GREEDYSEARCH guarantees at most ``4 * delta`` in the
+  worst case, and the paper calls that worst-case bound ε (``epsilon``),
+* ``Delta`` (Δ) — maximum driving distance for associating a grid with a
+  landmark,
+* ``W`` — maximum system-wide walking distance for walkable clusters,
+* default detour limits of rides and walking thresholds of requests.
+
+All distances are metres, all times seconds, consistently everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from .exceptions import ConfigurationError
+
+#: Average driving speed used to convert distances to ETAs when a ride's own
+#: route does not pin the time down (m/s).  25 km/h, urban traffic.
+DEFAULT_DRIVE_SPEED = 25.0 * 1000.0 / 3600.0
+
+#: Average walking speed (m/s); 5 km/h.
+DEFAULT_WALK_SPEED = 5.0 * 1000.0 / 3600.0
+
+#: Walking distances are estimated as haversine x circuity (see DESIGN.md).
+DEFAULT_WALK_CIRCUITY = 1.3
+
+
+@dataclass(frozen=True)
+class XARConfig:
+    """Immutable bundle of the XAR system parameters.
+
+    Use :func:`XARConfig.validated` (or the module-level helpers) to construct
+    a config that is guaranteed internally consistent.
+    """
+
+    #: Side of an (implicit) grid square, metres.  Paper: ~100 m.
+    grid_side_m: float = 100.0
+    #: Minimum separation between two landmarks (``f``), metres.
+    landmark_separation_m: float = 250.0
+    #: Max pairwise intra-cluster landmark distance target (δ), metres.
+    #: GREEDYSEARCH guarantees at most ``4 * delta`` = ε.
+    delta_m: float = 250.0
+    #: Max driving distance associating a grid with a landmark (Δ), metres.
+    grid_landmark_max_m: float = 1000.0
+    #: System-wide maximum walking distance (W), metres.
+    max_walk_m: float = 1500.0
+    #: Default detour budget of a newly created ride, metres.
+    default_detour_m: float = 4000.0
+    #: Default walking threshold of a request, metres.
+    default_walk_threshold_m: float = 800.0
+    #: Default seats in a ride excluding the driver.  Paper: capacity 4
+    #: including the driver, i.e. 3 passenger seats.
+    default_seats: int = 3
+    #: Average driving speed for ETA estimation, m/s.
+    drive_speed_mps: float = DEFAULT_DRIVE_SPEED
+    #: Average walking speed, m/s.
+    walk_speed_mps: float = DEFAULT_WALK_SPEED
+    #: Circuity factor applied to haversine for walking estimates.
+    walk_circuity: float = DEFAULT_WALK_CIRCUITY
+
+    @property
+    def epsilon_m(self) -> float:
+        """Worst-case intra-cluster distance guarantee ε = 4δ (Theorem 6)."""
+        return 4.0 * self.delta_m
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` if parameters are inconsistent."""
+        positive = {
+            "grid_side_m": self.grid_side_m,
+            "landmark_separation_m": self.landmark_separation_m,
+            "delta_m": self.delta_m,
+            "grid_landmark_max_m": self.grid_landmark_max_m,
+            "max_walk_m": self.max_walk_m,
+            "default_detour_m": self.default_detour_m,
+            "drive_speed_mps": self.drive_speed_mps,
+            "walk_speed_mps": self.walk_speed_mps,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+        if self.default_walk_threshold_m < 0:
+            raise ConfigurationError(
+                "default_walk_threshold_m must be >= 0, got "
+                f"{self.default_walk_threshold_m!r}"
+            )
+        if self.default_seats < 1:
+            raise ConfigurationError(
+                f"default_seats must be >= 1, got {self.default_seats!r}"
+            )
+        if self.walk_circuity < 1.0:
+            raise ConfigurationError(
+                f"walk_circuity must be >= 1.0, got {self.walk_circuity!r}"
+            )
+        if self.default_walk_threshold_m > self.max_walk_m:
+            raise ConfigurationError(
+                "default_walk_threshold_m cannot exceed the system-wide "
+                f"max_walk_m ({self.default_walk_threshold_m} > {self.max_walk_m})"
+            )
+        if self.grid_side_m > self.grid_landmark_max_m:
+            raise ConfigurationError(
+                "grid_side_m larger than grid_landmark_max_m makes grid->"
+                "landmark association degenerate"
+            )
+
+    @classmethod
+    def validated(cls, **kwargs) -> "XARConfig":
+        """Construct and validate in one step."""
+        config = cls(**kwargs)
+        config.validate()
+        return config
+
+    def with_updates(self, **kwargs) -> "XARConfig":
+        """Return a validated copy with the given fields replaced."""
+        updated = replace(self, **kwargs)
+        updated.validate()
+        return updated
+
+    def drive_seconds(self, metres: float) -> float:
+        """Convert a driving distance to an estimated duration."""
+        return metres / self.drive_speed_mps
+
+    def walk_seconds(self, metres: float) -> float:
+        """Convert a walking distance to an estimated duration."""
+        return metres / self.walk_speed_mps
+
+
+#: A conservative default configuration, validated at import time.
+DEFAULT_CONFIG = XARConfig.validated()
+
+
+def paper_nyc_config() -> XARConfig:
+    """The parameter point of the paper's NYC experiments (Section X-A3).
+
+    Grids of ~100 m, ε = 1 km (δ = 250 m with the 4δ guarantee), taxi
+    capacity 4 including the driver.  The landmark separation f and the
+    walking limits are not stated numerically in the paper; these defaults
+    match the regime its numbers imply (16k landmarks over NYC ≈ 250 m
+    spacing; 1 km infeasible-walk threshold in the Fig. 6 experiment).
+    """
+    return XARConfig.validated(
+        grid_side_m=100.0,
+        landmark_separation_m=250.0,
+        delta_m=250.0,       # => epsilon = 1 km, the paper's headline value
+        grid_landmark_max_m=1000.0,
+        max_walk_m=1500.0,
+        default_walk_threshold_m=1000.0,
+        default_seats=3,     # capacity 4 including the driver
+    )

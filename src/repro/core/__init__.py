@@ -1,0 +1,27 @@
+"""XAR runtime: rides, requests, optimized search, booking, tracking.
+
+This is the paper's primary contribution (Sections VI–VIII) on top of the
+discretization substrate: the :class:`~repro.core.engine.XAREngine` exposes
+``create_ride`` (O2), ``search`` (O1), ``book`` and ``track`` (O3) with the
+defining property that **search never computes a shortest path** — all
+spatio-temporal reasoning happens at cluster level within the ε tolerance.
+"""
+
+from .ride import Ride, RideStatus, ViaPoint
+from .request import RideRequest
+from .search import MatchOption
+from .booking import BookingRecord
+from .engine import XAREngine
+from .validation import EngineInvariantError, validate_engine
+
+__all__ = [
+    "EngineInvariantError",
+    "validate_engine",
+    "Ride",
+    "RideStatus",
+    "ViaPoint",
+    "RideRequest",
+    "MatchOption",
+    "BookingRecord",
+    "XAREngine",
+]

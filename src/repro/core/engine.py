@@ -1,0 +1,232 @@
+"""The XAR engine: the paper's "run-time unit" façade (Section III).
+
+Exposes the four runtime operations on top of a
+:class:`~repro.discretization.model.DiscretizedRegion`:
+
+* :meth:`XAREngine.create_ride` — O2: route the offer (the only other place
+  shortest paths are allowed), compute pass-through and reachable clusters,
+  and insert the ride into every relevant cluster's potential-ride lists;
+* :meth:`XAREngine.search` — O1: the shortest-path-free two-step search;
+* :meth:`XAREngine.book` — confirm a match, splice the route (≤ 4 shortest
+  paths), charge seats and detour budget, re-index;
+* :meth:`XAREngine.track` / :meth:`XAREngine.track_all` — O3: obsolete-
+  cluster invalidation for rides on the move.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional, Sequence
+
+from ..discretization import DiscretizedRegion
+from ..exceptions import RideError, UnknownRideError
+from ..geo import GeoPoint
+from ..index import ClusterRideIndex, RideIndexEntry
+from ..roadnet import astar
+from .booking import BookingRecord, book_ride
+from .reachability import build_ride_entry
+from .request import RideRequest
+from .ride import Ride, RideStatus
+from .search import MatchOption, search_rides
+from .tracking import apply_obsolescence, track_all, track_ride
+
+
+class XAREngine:
+    """A running XAR instance over one discretized region."""
+
+    def __init__(
+        self,
+        region: DiscretizedRegion,
+        detour_slack_m: Optional[float] = None,
+        optimize_insertion: bool = False,
+        router=None,
+    ):
+        self.region = region
+        #: When True, booking scores every supported segment pair with the
+        #: landmark matrix and splices the cheapest (still <= 4 shortest
+        #: paths) — see booking._best_segment_pair.
+        self.optimize_insertion = optimize_insertion
+        #: Optional accelerated router (e.g. roadnet.ALTRouter) used by the
+        #: create and book back-ends; anything with
+        #: ``shortest_path(a, b) -> (distance, node_path)``.
+        self.router = router
+        self.cluster_index = ClusterRideIndex(region.n_clusters)
+        self.rides: Dict[int, Ride] = {}
+        self.completed_rides: Dict[int, Ride] = {}
+        self.ride_entries: Dict[int, RideIndexEntry] = {}
+        self.bookings: List[BookingRecord] = []
+        self.tracked_to: Dict[int, float] = {}
+        #: Additive tolerance on the detour budget at booking time; defaults
+        #: to the theoretical worst case 4ε (ε = 4δ, Theorem 6 + Section V).
+        self.detour_slack_m = (
+            detour_slack_m
+            if detour_slack_m is not None
+            else 4.0 * region.config.epsilon_m
+        )
+        self._ride_ids = itertools.count(1)
+        self._request_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # O2: ride creation
+    # ------------------------------------------------------------------
+    def create_ride(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        departure_s: float,
+        detour_limit_m: Optional[float] = None,
+        seats: Optional[int] = None,
+        route: Optional[Sequence[int]] = None,
+        driver_id: Optional[int] = None,
+    ) -> Ride:
+        """Offer a new ride; routes via shortest path unless ``route`` given."""
+        config = self.region.config
+        network = self.region.network
+        source_node = network.snap(source)
+        destination_node = network.snap(destination)
+        if source_node == destination_node:
+            raise RideError("ride source and destination snap to the same node")
+        if route is None:
+            if self.router is not None:
+                _length, route = self.router.shortest_path(
+                    source_node, destination_node
+                )
+            else:
+                _length, route = astar(network, source_node, destination_node)
+        ride = Ride(
+            ride_id=next(self._ride_ids),
+            network=network,
+            route=route,
+            departure_s=departure_s,
+            detour_limit_m=(
+                detour_limit_m if detour_limit_m is not None else config.default_detour_m
+            ),
+            seats=seats if seats is not None else config.default_seats,
+            source_point=source,
+            destination_point=destination,
+            driver_id=driver_id,
+        )
+        self.rides[ride.ride_id] = ride
+        self._index_ride(ride)
+        return ride
+
+    def _index_ride(self, ride: Ride) -> None:
+        entry = build_ride_entry(self.region, ride)
+        self.ride_entries[ride.ride_id] = entry
+        for cluster_id, info in entry.reachable.items():
+            self.cluster_index.add(cluster_id, ride.ride_id, info.eta_s)
+
+    def _unindex_ride(self, ride_id: int) -> None:
+        entry = self.ride_entries.pop(ride_id, None)
+        if entry is None:
+            return
+        for cluster_id in entry.reachable_ids():
+            self.cluster_index.remove(cluster_id, ride_id)
+
+    def reindex_ride(self, ride_id: int) -> None:
+        """Rebuild a ride's index entry (after booking changed its route)."""
+        ride = self.rides.get(ride_id)
+        if ride is None:
+            raise UnknownRideError(ride_id)
+        self._unindex_ride(ride_id)
+        self._index_ride(ride)
+        # Re-apply any progress the ride had already made: clusters crossed
+        # before the booking stay obsolete.
+        tracked = self.tracked_to.get(ride_id)
+        if tracked is not None and tracked > ride.departure_s:
+            apply_obsolescence(self, ride_id, tracked)
+
+    def remove_ride(self, ride_id: int) -> None:
+        """Withdraw a ride entirely (driver cancelled)."""
+        if ride_id not in self.rides:
+            raise UnknownRideError(ride_id)
+        self._unindex_ride(ride_id)
+        del self.rides[ride_id]
+        self.tracked_to.pop(ride_id, None)
+
+    # ------------------------------------------------------------------
+    # O1: search
+    # ------------------------------------------------------------------
+    def make_request(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        window_start_s: float,
+        window_end_s: float,
+        walk_threshold_m: Optional[float] = None,
+    ) -> RideRequest:
+        """Convenience constructor applying the config's default threshold."""
+        return RideRequest(
+            request_id=next(self._request_ids),
+            source=source,
+            destination=destination,
+            window_start_s=window_start_s,
+            window_end_s=window_end_s,
+            walk_threshold_m=(
+                walk_threshold_m
+                if walk_threshold_m is not None
+                else self.region.config.default_walk_threshold_m
+            ),
+        )
+
+    def search(
+        self,
+        request: RideRequest,
+        k: Optional[int] = None,
+        ranking=None,
+    ) -> List[MatchOption]:
+        """All feasible matches (or the best ``k``), least walking first.
+
+        ``ranking`` overrides the ordering — e.g.
+        :func:`repro.social.social_ranking` puts rides offered by the
+        requester's friends first (Section VII's safety motivation).  The
+        top-k cut is applied after re-ranking.
+        """
+        if ranking is None:
+            return search_rides(self, request, k)
+        matches = search_rides(self, request, None)
+        matches.sort(key=ranking)
+        return matches[:k] if k is not None else matches
+
+    def driver_of(self, ride_id: int) -> Optional[int]:
+        """Driver user id of a ride, if it is live and has one."""
+        ride = self.rides.get(ride_id)
+        return ride.driver_id if ride is not None else None
+
+    # ------------------------------------------------------------------
+    # Booking + tracking
+    # ------------------------------------------------------------------
+    def book(self, request: RideRequest, match: MatchOption) -> BookingRecord:
+        """Confirm a previously returned match."""
+        return book_ride(self, request, match)
+
+    def track(self, ride_id: int, now_s: float) -> None:
+        track_ride(self, ride_id, now_s)
+
+    def track_all(self, now_s: float) -> int:
+        return track_all(self, now_s)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_active_rides(self) -> int:
+        return len(self.rides)
+
+    @property
+    def n_bookings(self) -> int:
+        return len(self.bookings)
+
+    def index_stats(self) -> Dict[str, int]:
+        """Cheap counters describing the in-memory index."""
+        return {
+            "rides": len(self.rides),
+            "completed_rides": len(self.completed_rides),
+            "cluster_entries": self.cluster_index.total_entries(),
+            "pass_through_total": sum(
+                len(entry.pass_through) for entry in self.ride_entries.values()
+            ),
+            "reachable_total": sum(
+                len(entry.reachable) for entry in self.ride_entries.values()
+            ),
+        }

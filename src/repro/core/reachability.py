@@ -1,0 +1,165 @@
+"""Pass-through and reachable cluster computation (paper Section VI).
+
+For a ride offered in the system:
+
+1. the grids its route passes through are identified, their landmarks give
+   the **pass-through clusters** per segment;
+2. per pass-through cluster C in segment (i, i+1), the candidate reachable
+   set is every cluster within the detour limit d of C, pruned by the test
+   ``d(C, C') + d(C', via_{i+1}) - d(C, via_{i+1}) <= d``;
+3. the ride is added to the potential-ride list of each pass-through and
+   reachable cluster with its estimated time of arrival.
+
+All distances here are *cluster-level* (closest landmark pairs), which is the
+whole point: no shortest path is ever computed, and the resulting detour
+estimates are correct within the ε = 4δ tolerance of Theorem 6.
+
+The distance from a cluster X to a via-point v is approximated by
+``cluster_distance(X, cluster_of(v))`` — when v's grid maps to no cluster,
+the nearest pass-through cluster of the segment stands in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..discretization import DiscretizedRegion
+from ..index import PassThrough, ReachableInfo, RideIndexEntry, SegmentMeta
+from .ride import Ride
+
+
+def build_ride_entry(region: DiscretizedRegion, ride: Ride) -> RideIndexEntry:
+    """Compute the full index entry (pass-through + reachable) for a ride."""
+    entry = RideIndexEntry(ride_id=ride.ride_id)
+    visits = _pass_through_visits(region, ride)
+    entry.pass_through = visits
+    entry.segments = _segment_meta(region, ride)
+    if not visits:
+        return entry
+
+    detour_limit = ride.detour_limit_m
+    drive = region.config.drive_seconds
+    via_landmarks = {
+        segment_index: _via_landmark(region, ride, segment_index, visits)
+        for segment_index in range(ride.n_segments)
+    }
+
+    # Pass-through clusters serve requests with zero cluster-level detour.
+    for visit in visits:
+        info = entry.reachable.setdefault(
+            visit.cluster_id, ReachableInfo(cluster_id=visit.cluster_id)
+        )
+        info.merge(
+            support=visit.cluster_id,
+            eta_s=visit.eta_s,
+            detour_m=0.0,
+            support_landmark=visit.landmark_id,
+            via_landmark=via_landmarks.get(visit.segment_index, -1),
+        )
+
+    if detour_limit <= 0:
+        return entry
+
+    for segment_index in range(ride.n_segments):
+        segment_visits = [v for v in visits if v.segment_index == segment_index]
+        if not segment_visits:
+            continue
+        via_cluster = _via_cluster(region, ride, segment_index, segment_visits)
+        via_landmark = via_landmarks[segment_index]
+        for visit in segment_visits:
+            c = visit.cluster_id
+            d_c_via = region.cluster_distance(c, via_cluster)
+            for candidate, d_c_cand in region.clusters_within(c, detour_limit):
+                if candidate == c:
+                    continue
+                d_cand_via = region.cluster_distance(candidate, via_cluster)
+                detour = d_c_cand + d_cand_via - d_c_via
+                if detour > detour_limit:
+                    continue
+                info = entry.reachable.setdefault(
+                    candidate, ReachableInfo(cluster_id=candidate)
+                )
+                info.merge(
+                    support=c,
+                    eta_s=visit.eta_s + drive(d_c_cand),
+                    detour_m=max(0.0, detour),
+                    support_landmark=visit.landmark_id,
+                    via_landmark=via_landmark,
+                )
+    return entry
+
+
+def _pass_through_visits(region: DiscretizedRegion, ride: Ride) -> List[PassThrough]:
+    """First-encounter cluster visits along the ride's route, in route order."""
+    visits: List[PassThrough] = []
+    seen: Set[int] = set()
+    route = ride.route
+    for route_index, node in enumerate(route):
+        hit = region.landmark_of_node(node)
+        if hit is None:
+            continue
+        landmark_id, _distance = hit
+        cluster_id = region.cluster_of_landmark(landmark_id)
+        if cluster_id in seen:
+            continue
+        seen.add(cluster_id)
+        visits.append(
+            PassThrough(
+                cluster_id=cluster_id,
+                segment_index=ride.segment_of_route_index(route_index),
+                eta_s=ride.eta_at_index(route_index),
+                route_offset_m=ride.offset_at_index(route_index),
+                landmark_id=landmark_id,
+            )
+        )
+    return visits
+
+
+def _via_cluster(
+    region: DiscretizedRegion,
+    ride: Ride,
+    segment_index: int,
+    segment_visits: List[PassThrough],
+) -> int:
+    """Cluster standing in for via-point ``segment_index + 1`` in the detour
+    test; falls back to the segment's last pass-through cluster."""
+    via_node = ride.via_points[segment_index + 1].node
+    hit = region.landmark_of_node(via_node)
+    if hit is not None:
+        return region.cluster_of_landmark(hit[0])
+    return segment_visits[-1].cluster_id
+
+
+def _segment_meta(region: DiscretizedRegion, ride: Ride) -> List[SegmentMeta]:
+    """Landmark-level segment descriptors for detour estimation."""
+    meta: List[SegmentMeta] = []
+    for segment_index in range(ride.n_segments):
+        start, end = ride.segment_bounds(segment_index)
+        start_hit = region.landmark_of_node(ride.route[start])
+        end_hit = region.landmark_of_node(ride.route[end])
+        meta.append(
+            SegmentMeta(
+                start_landmark=start_hit[0] if start_hit else -1,
+                end_landmark=end_hit[0] if end_hit else -1,
+                length_m=ride.offset_at_index(end) - ride.offset_at_index(start),
+            )
+        )
+    return meta
+
+
+def _via_landmark(
+    region: DiscretizedRegion,
+    ride: Ride,
+    segment_index: int,
+    visits: List[PassThrough],
+) -> int:
+    """Landmark standing in for via-point ``segment_index + 1``; falls back
+    to the segment's (or ride's) last pass-through landmark, else -1."""
+    via_node = ride.via_points[segment_index + 1].node
+    hit = region.landmark_of_node(via_node)
+    if hit is not None:
+        return hit[0]
+    segment_visits = [v for v in visits if v.segment_index == segment_index]
+    if segment_visits:
+        return segment_visits[-1].landmark_id
+    return visits[-1].landmark_id if visits else -1

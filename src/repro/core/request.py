@@ -1,0 +1,48 @@
+"""Ride requests (paper Section VII).
+
+A request is characterised by source location, destination location, a
+departure time window, and a walking threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import RequestError
+from ..geo import GeoPoint
+
+
+@dataclass(frozen=True)
+class RideRequest:
+    """An immutable ride request."""
+
+    request_id: int
+    source: GeoPoint
+    destination: GeoPoint
+    window_start_s: float
+    window_end_s: float
+    walk_threshold_m: float
+
+    def __post_init__(self):
+        if self.window_end_s < self.window_start_s:
+            raise RequestError(
+                f"request {self.request_id}: departure window ends "
+                f"({self.window_end_s}) before it starts ({self.window_start_s})"
+            )
+        if self.walk_threshold_m < 0:
+            raise RequestError(
+                f"request {self.request_id}: negative walk threshold "
+                f"{self.walk_threshold_m}"
+            )
+        if self.source == self.destination:
+            raise RequestError(
+                f"request {self.request_id}: source equals destination"
+            )
+
+    @property
+    def window_length_s(self) -> float:
+        return self.window_end_s - self.window_start_s
+
+    def straight_line_m(self) -> float:
+        """Great-circle length of the requested trip."""
+        return self.source.distance_to(self.destination)

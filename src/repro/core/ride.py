@@ -1,0 +1,227 @@
+"""Ride model: route, via-points, segments, detour budget (paper Section VI).
+
+Ride entities mirror the paper's list exactly: source/destination locations,
+departure time, seats, the route (shortest path unless overridden),
+*via-points* (pickup/drop-off points including the endpoints — different from
+road waypoints), *segments* between consecutive via-points, and the detour
+limit remaining.
+
+The route is a node path on the road network.  Cumulative distance and time
+offsets are precomputed so that the ETA at any route index is O(1); those
+ETAs feed the cluster index.
+"""
+
+from __future__ import annotations
+
+import enum
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import RideError
+from ..geo import GeoPoint
+from ..roadnet import RoadNetwork
+
+
+class RideStatus(enum.Enum):
+    PLANNED = "planned"
+    ACTIVE = "active"
+    COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class ViaPoint:
+    """A location the ride must pass through (Section VI item 6).
+
+    ``route_index`` is the index of the via-point's node in the ride's route
+    node list; via-points are kept sorted by it.
+    """
+
+    node: int
+    route_index: int
+    label: str  # 'source' | 'destination' | 'pickup' | 'dropoff'
+    request_id: Optional[int] = None
+
+
+class Ride:
+    """A mutable ride offer with its live spatio-temporal state."""
+
+    def __init__(
+        self,
+        ride_id: int,
+        network: RoadNetwork,
+        route: Sequence[int],
+        departure_s: float,
+        detour_limit_m: float,
+        seats: int,
+        source_point: Optional[GeoPoint] = None,
+        destination_point: Optional[GeoPoint] = None,
+        driver_id: Optional[int] = None,
+    ):
+        if len(route) < 2:
+            raise RideError(f"ride {ride_id}: route must have >= 2 nodes")
+        if detour_limit_m < 0:
+            raise RideError(f"ride {ride_id}: negative detour limit")
+        if seats < 1:
+            raise RideError(f"ride {ride_id}: needs at least one seat")
+        self.ride_id = ride_id
+        self.network = network
+        self.departure_s = departure_s
+        self.detour_limit_m = detour_limit_m
+        self.seats_total = seats
+        self.seats_available = seats
+        self.status = RideStatus.PLANNED
+        self.source_point = source_point or network.position(route[0])
+        self.destination_point = destination_point or network.position(route[-1])
+        #: User id of the offering driver (social-ranking support); optional.
+        self.driver_id = driver_id
+        #: Route offset (metres) the ride has verifiably progressed past;
+        #: maintained by tracking.
+        self.progressed_m = 0.0
+
+        self._route: List[int] = []
+        self._offsets_m: List[float] = []
+        self._times_s: List[float] = []
+        self.via_points: List[ViaPoint] = []
+        self._set_route(list(route))
+        self.via_points = [
+            ViaPoint(node=self._route[0], route_index=0, label="source"),
+            ViaPoint(
+                node=self._route[-1],
+                route_index=len(self._route) - 1,
+                label="destination",
+            ),
+        ]
+        #: Length of the original (un-detoured) route, fixed at creation.
+        self.base_length_m = self.length_m
+
+    # ------------------------------------------------------------------
+    # Route geometry
+    # ------------------------------------------------------------------
+    def _set_route(self, route: List[int]) -> None:
+        offsets = [0.0]
+        times = [0.0]
+        for a, b in zip(route, route[1:]):
+            edge = self.network._find_edge(a, b)
+            if edge is None:
+                raise RideError(
+                    f"ride {self.ride_id}: route hop {a}->{b} is not a road edge"
+                )
+            offsets.append(offsets[-1] + edge.length_m)
+            times.append(times[-1] + edge.travel_seconds)
+        self._route = route
+        self._offsets_m = offsets
+        self._times_s = times
+
+    @property
+    def route(self) -> List[int]:
+        return list(self._route)
+
+    @property
+    def length_m(self) -> float:
+        return self._offsets_m[-1]
+
+    @property
+    def duration_s(self) -> float:
+        return self._times_s[-1]
+
+    @property
+    def arrival_s(self) -> float:
+        return self.departure_s + self.duration_s
+
+    def offset_at_index(self, route_index: int) -> float:
+        return self._offsets_m[route_index]
+
+    def eta_at_index(self, route_index: int) -> float:
+        """Estimated time of arrival at a route node (departure + cum. time)."""
+        return self.departure_s + self._times_s[route_index]
+
+    def index_at_time(self, now_s: float) -> int:
+        """Last route index reached by time ``now_s`` (0 before departure)."""
+        elapsed = now_s - self.departure_s
+        if elapsed <= 0:
+            return 0
+        index = bisect_right(self._times_s, elapsed) - 1
+        return min(index, len(self._route) - 1)
+
+    def position_at_time(self, now_s: float) -> GeoPoint:
+        """Node-resolution position of the ride at ``now_s``."""
+        return self.network.position(self._route[self.index_at_time(now_s)])
+
+    # ------------------------------------------------------------------
+    # Via-points and segments
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        return len(self.via_points) - 1
+
+    def segment_bounds(self, segment_index: int) -> Tuple[int, int]:
+        """Route-index span [start, end] of a segment (Section VI item 7)."""
+        if not (0 <= segment_index < self.n_segments):
+            raise RideError(
+                f"ride {self.ride_id}: segment {segment_index} out of range "
+                f"(has {self.n_segments})"
+            )
+        return (
+            self.via_points[segment_index].route_index,
+            self.via_points[segment_index + 1].route_index,
+        )
+
+    def segment_of_route_index(self, route_index: int) -> int:
+        """Segment containing a route index (last segment for the endpoint)."""
+        for segment_index in range(self.n_segments):
+            start, end = self.segment_bounds(segment_index)
+            if start <= route_index < end:
+                return segment_index
+        return self.n_segments - 1
+
+    def replace_route(
+        self,
+        route: List[int],
+        via_points: List[ViaPoint],
+    ) -> None:
+        """Install a post-booking route + via-point set (booking back-end).
+
+        Validates that via-points are sorted, anchored at the route ends, and
+        reference the claimed nodes.
+        """
+        self._set_route(route)
+        if not via_points or via_points[0].route_index != 0:
+            raise RideError(f"ride {self.ride_id}: first via-point must be index 0")
+        if via_points[-1].route_index != len(route) - 1:
+            raise RideError(f"ride {self.ride_id}: last via-point must be route end")
+        previous = 0
+        for via in via_points:
+            # Non-decreasing: two via-points may share a node (pickup at an
+            # existing stop), never move backwards.
+            if via.route_index < previous:
+                raise RideError(
+                    f"ride {self.ride_id}: via-points out of order at {via}"
+                )
+            if route[via.route_index] != via.node:
+                raise RideError(
+                    f"ride {self.ride_id}: via-point node mismatch at {via}"
+                )
+            previous = via.route_index
+        self.via_points = list(via_points)
+
+    # ------------------------------------------------------------------
+    # Seats / detour accounting
+    # ------------------------------------------------------------------
+    def consume_seat(self) -> None:
+        if self.seats_available <= 0:
+            raise RideError(f"ride {self.ride_id}: no seats available")
+        self.seats_available -= 1
+
+    def consume_detour(self, metres: float) -> None:
+        if metres < 0:
+            raise RideError(f"ride {self.ride_id}: negative detour {metres}")
+        self.detour_limit_m = max(0.0, self.detour_limit_m - metres)
+
+    def __repr__(self) -> str:
+        return (
+            f"Ride(id={self.ride_id}, depart={self.departure_s:.0f}s, "
+            f"len={self.length_m:.0f}m, seats={self.seats_available}/"
+            f"{self.seats_total}, detour_left={self.detour_limit_m:.0f}m, "
+            f"vias={len(self.via_points)})"
+        )

@@ -1,0 +1,238 @@
+"""Optimized ride search (paper Section VII).
+
+The two-step procedure, verbatim from the paper:
+
+* **Step 1** — resolve the request's *source* grid, take its walkable
+  clusters pruned to the request's walking threshold (linear scan of a
+  sorted list), and for each such cluster binary-search its potential-ride
+  list for rides whose ETA falls in the departure window → candidate set R1.
+* **Step 2** — repeat from the *destination* → R2; the candidate set is the
+  intersection R' = R1 ∩ R2.
+
+Final checks on R': combined walking distance within the requester's limit,
+combined (cluster-level) detour within the ride's remaining detour limit,
+pickup strictly before drop-off, and a free seat.  **No shortest path is
+computed anywhere on this path.**
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..discretization import WalkOption
+from .request import RideRequest
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import XAREngine
+
+
+@dataclass(frozen=True)
+class MatchOption:
+    """One feasible ride match returned to the requester."""
+
+    ride_id: int
+    request_id: int
+    #: Pickup: walk to this landmark of this cluster.
+    pickup_cluster: int
+    pickup_landmark: int
+    walk_source_m: float
+    #: Drop-off: ride leaves the requester at this landmark.
+    dropoff_cluster: int
+    dropoff_landmark: int
+    walk_destination_m: float
+    #: Estimated time the ride reaches the pickup cluster.
+    eta_pickup_s: float
+    eta_dropoff_s: float
+    #: Cluster-level detour estimate charged to the ride (metres).
+    detour_estimate_m: float
+
+    @property
+    def total_walk_m(self) -> float:
+        return self.walk_source_m + self.walk_destination_m
+
+
+def search_rides(
+    engine: "XAREngine",
+    request: RideRequest,
+    k: Optional[int] = None,
+) -> List[MatchOption]:
+    """Find up to ``k`` feasible matches (all of them when ``k`` is None).
+
+    Results are sorted by total walking distance (the simulation's booking
+    policy picks the least-walk option, Section X-A2), ties broken by ETA.
+    """
+    region = engine.region
+    index = engine.cluster_index
+
+    source_options = region.walkable_clusters(
+        request.source, request.walk_threshold_m
+    )
+    if not source_options:
+        return []
+    destination_options = region.walkable_clusters(
+        request.destination, request.walk_threshold_m
+    )
+    if not destination_options:
+        return []
+
+    # Step 1: candidate rides near the source, keyed for the intersection.
+    # ride id -> best (walk, WalkOption, eta) among the source clusters.
+    candidates_src: Dict[int, Tuple[float, WalkOption, float]] = {}
+    for option in source_options:
+        for potential in index.rides_in_window(
+            option.cluster_id, request.window_start_s, request.window_end_s
+        ):
+            best = candidates_src.get(potential.ride_id)
+            if best is None or option.walk_m < best[0]:
+                candidates_src[potential.ride_id] = (
+                    option.walk_m,
+                    option,
+                    potential.eta_s,
+                )
+
+    if not candidates_src:
+        return []
+
+    # Step 2: candidates near the destination.  The destination arrival is
+    # later than the departure window by the trip duration; we accept any ETA
+    # from window start onwards (drop-off has no hard deadline in the paper).
+    candidates_dst: Dict[int, Tuple[float, WalkOption, float]] = {}
+    for option in destination_options:
+        for potential in index.rides_in_window(
+            option.cluster_id, request.window_start_s, float("inf")
+        ):
+            if potential.ride_id not in candidates_src:
+                continue
+            best = candidates_dst.get(potential.ride_id)
+            if best is None or option.walk_m < best[0]:
+                candidates_dst[potential.ride_id] = (
+                    option.walk_m,
+                    option,
+                    potential.eta_s,
+                )
+
+    # Intersection + final validity checks.
+    matches: List[MatchOption] = []
+    for ride_id, (walk_dst, option_dst, eta_dst) in candidates_dst.items():
+        walk_src, option_src, eta_src = candidates_src[ride_id]
+        ride = engine.rides.get(ride_id)
+        entry = engine.ride_entries.get(ride_id)
+        if ride is None or entry is None:
+            continue
+        if ride.seats_available < 1:
+            continue
+        # Combined walking within the requester's threshold.
+        if walk_src + walk_dst > request.walk_threshold_m:
+            continue
+        # Pickup must happen before drop-off.
+        if eta_src >= eta_dst:
+            continue
+        # Same cluster at both ends means no actual ride leg.
+        if option_src.cluster_id == option_dst.cluster_id:
+            continue
+        # Combined detour within the ride's remaining budget.  The coarse
+        # (cluster-level) estimate gates feasibility exactly as stored in the
+        # index; the landmark-level refinement (the landmark matrix is in
+        # memory — still no shortest path computed) gives the number reported
+        # to the user and measured in Fig. 3a.
+        info_src = entry.reachable.get(option_src.cluster_id)
+        info_dst = entry.reachable.get(option_dst.cluster_id)
+        if info_src is None or info_dst is None:
+            continue
+        coarse = info_src.detour_estimate_m + info_dst.detour_estimate_m
+        # The booking back-end will splice the pickup/drop-off into specific
+        # segments; estimate the detour of exactly that splice at landmark
+        # level (matrix lookups only).  Falls back to the coarse estimate
+        # when a segment endpoint has no landmark.
+        segment_pickup = entry.segment_for(option_src.cluster_id, earliest=True)
+        segment_dropoff = entry.segment_for(option_dst.cluster_id, earliest=False)
+        if segment_pickup is None or segment_dropoff is None:
+            continue
+        if segment_dropoff < segment_pickup:
+            segment_dropoff = entry.segment_for(
+                option_dst.cluster_id, earliest=False, at_least=segment_pickup
+            )
+            if segment_dropoff is None:
+                continue
+        detour = _splice_estimate(
+            region,
+            entry,
+            segment_pickup,
+            segment_dropoff,
+            option_src.landmark_id,
+            option_dst.landmark_id,
+        )
+        if detour is None:
+            detour = coarse
+        # Gate on the best available estimate: splice-accurate when segment
+        # landmarks are known, cluster-level otherwise.  Still zero shortest
+        # paths — everything reads the precomputed landmark matrix.
+        if detour > ride.detour_limit_m:
+            continue
+        matches.append(
+            MatchOption(
+                ride_id=ride_id,
+                request_id=request.request_id,
+                pickup_cluster=option_src.cluster_id,
+                pickup_landmark=option_src.landmark_id,
+                walk_source_m=walk_src,
+                dropoff_cluster=option_dst.cluster_id,
+                dropoff_landmark=option_dst.landmark_id,
+                walk_destination_m=walk_dst,
+                eta_pickup_s=eta_src,
+                eta_dropoff_s=eta_dst,
+                detour_estimate_m=detour,
+            )
+        )
+
+    matches.sort(key=lambda m: (m.total_walk_m, m.eta_pickup_s, m.ride_id))
+    if k is not None:
+        return matches[:k]
+    return matches
+
+
+def _splice_estimate(
+    region,
+    entry,
+    segment_pickup: int,
+    segment_dropoff: int,
+    pickup_landmark: int,
+    dropoff_landmark: int,
+) -> Optional[float]:
+    """Landmark-level estimate of the booking splice's detour.
+
+    Same-segment bookings splice s₁→P→D→s₂; distinct segments splice each
+    independently.  ``None`` when a via-point landmark is unknown (caller
+    falls back to the coarse cluster-level estimate).
+    """
+    if not (0 <= segment_pickup < len(entry.segments)):
+        return None
+    if not (0 <= segment_dropoff < len(entry.segments)):
+        return None
+    seg_p = entry.segments[segment_pickup]
+    seg_d = entry.segments[segment_dropoff]
+    if min(seg_p.start_landmark, seg_p.end_landmark,
+           seg_d.start_landmark, seg_d.end_landmark) < 0:
+        return None
+    distance = region.landmark_matrix.distance
+    if segment_pickup == segment_dropoff:
+        estimate = (
+            distance(seg_p.start_landmark, pickup_landmark)
+            + distance(pickup_landmark, dropoff_landmark)
+            + distance(dropoff_landmark, seg_p.end_landmark)
+            - seg_p.length_m
+        )
+    else:
+        estimate = (
+            distance(seg_p.start_landmark, pickup_landmark)
+            + distance(pickup_landmark, seg_p.end_landmark)
+            - seg_p.length_m
+        ) + (
+            distance(seg_d.start_landmark, dropoff_landmark)
+            + distance(dropoff_landmark, seg_d.end_landmark)
+            - seg_d.length_m
+        )
+    if estimate == float("inf") or estimate != estimate:
+        return None
+    return max(0.0, estimate)

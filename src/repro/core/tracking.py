@@ -1,0 +1,97 @@
+"""Ride tracking (paper Section VIII-A).
+
+Once a ride is on the move, clusters it has already crossed — and clusters it
+can no longer reach within its detour budget — are *obsolete* and must stop
+surfacing the ride as a potential match.  The paper's three steps:
+
+* **Step 1** — mark each crossed pass-through cluster and all its connected
+  reachable clusters obsolete;
+* **Step 2** — a cluster marked obsolete may still be reachable through a
+  *valid* (not yet crossed) pass-through cluster; only when no valid support
+  remains is the ride removed from the cluster's potential-ride list;
+* **Step 3** — drop the crossed pass-through clusters from the ride's
+  pass-through list.
+
+:class:`~repro.index.ride_index.RideIndexEntry` stores, per reachable
+cluster, the set of supporting pass-through clusters, which makes Step 2 a
+set-difference.  A ride past its arrival time is removed entirely.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Set
+
+from ..exceptions import UnknownRideError
+from .ride import Ride, RideStatus
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .engine import XAREngine
+
+
+def track_ride(engine: "XAREngine", ride_id: int, now_s: float) -> None:
+    """Advance one ride's spatio-temporal index state to ``now_s``."""
+    ride = engine.rides.get(ride_id)
+    if ride is None:
+        raise UnknownRideError(ride_id)
+    previous = engine.tracked_to.get(ride_id)
+    if previous is not None and now_s < previous:
+        raise ValueError(
+            f"ride {ride_id}: tracking cannot move backwards "
+            f"({now_s} < {previous})"
+        )
+    engine.tracked_to[ride_id] = now_s
+
+    if now_s < ride.departure_s:
+        return
+    if now_s >= ride.arrival_s:
+        _complete(engine, ride)
+        return
+
+    ride.status = RideStatus.ACTIVE
+    ride.progressed_m = ride.offset_at_index(ride.index_at_time(now_s))
+    apply_obsolescence(engine, ride_id, now_s)
+
+
+def apply_obsolescence(engine: "XAREngine", ride_id: int, now_s: float) -> None:
+    """Steps 1–3 for one ride at time ``now_s``."""
+    entry = engine.ride_entries.get(ride_id)
+    if entry is None:
+        return
+    crossed: Set[int] = {
+        visit.cluster_id for visit in entry.pass_through if visit.eta_s <= now_s
+    }
+    if not crossed:
+        return
+    # Step 1 + 2: withdraw crossed supports; clusters losing all support are
+    # truly obsolete and leave the potential-ride lists.
+    orphaned = entry.remove_supports(crossed)
+    for cluster_id in orphaned:
+        engine.cluster_index.remove(cluster_id, ride_id)
+    # Step 3: crossed pass-through clusters leave the pass-through list.
+    entry.drop_pass_through(crossed)
+
+
+def track_all(engine: "XAREngine", now_s: float) -> int:
+    """Track every ride; returns how many rides completed and left the index."""
+    completed = 0
+    for ride_id in list(engine.rides):
+        ride = engine.rides[ride_id]
+        previous = engine.tracked_to.get(ride_id)
+        if previous is not None and now_s < previous:
+            continue  # another caller already tracked this ride further
+        track_ride(engine, ride_id, now_s)
+        if ride.status is RideStatus.COMPLETED:
+            completed += 1
+    return completed
+
+
+def _complete(engine: "XAREngine", ride: Ride) -> None:
+    """Remove a finished ride from every index structure."""
+    ride.status = RideStatus.COMPLETED
+    ride.progressed_m = ride.length_m
+    entry = engine.ride_entries.pop(ride.ride_id, None)
+    if entry is not None:
+        for cluster_id in entry.reachable_ids():
+            engine.cluster_index.remove(cluster_id, ride.ride_id)
+    engine.rides.pop(ride.ride_id, None)
+    engine.completed_rides[ride.ride_id] = ride

@@ -1,0 +1,24 @@
+"""Three-tiered hierarchical region discretization (paper Section IV).
+
+The hierarchy is region → clusters → landmarks → grids → point locations,
+with the cross relation that every grid is directly associated with a cluster
+(through its landmark) and with a sorted list of *walkable clusters*.
+
+:mod:`~repro.discretization.model` holds the data model
+(:class:`Cluster`, :class:`WalkOption`, :class:`DiscretizedRegion`);
+:mod:`~repro.discretization.builder` runs the offline pre-processing pipeline
+(the paper's "XAR pre-processing unit").
+"""
+
+from .model import Cluster, DiscretizedRegion, WalkOption
+from .builder import build_region
+from .io import load_region, save_region
+
+__all__ = [
+    "Cluster",
+    "WalkOption",
+    "DiscretizedRegion",
+    "build_region",
+    "save_region",
+    "load_region",
+]

@@ -1,0 +1,123 @@
+"""Discretized-region persistence.
+
+Building a region costs one Dijkstra per landmark (the distance matrix) —
+seconds to minutes depending on city size.  Saving the built region to a
+directory and reloading skips all of it.  Layout::
+
+    <dir>/network.json        road network (repro.roadnet.io format)
+    <dir>/region.json         config, landmarks, clusters, node→landmark map
+    <dir>/landmark_matrix.npy landmark distance matrix (numpy binary)
+
+Rationale for the split: the matrix dominates the bytes and numpy's own
+format is the efficient, safe container for it; everything else is
+diff-able JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, Union
+
+import numpy as np
+
+from ..clustering import DistanceMatrix
+from ..config import XARConfig
+from ..exceptions import DiscretizationError
+from ..geo import GeoPoint, GridIndex
+from ..landmarks import Landmark
+from ..roadnet.io import load_network, save_network
+from .model import Cluster, DiscretizedRegion
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def save_region(region: DiscretizedRegion, directory: PathLike) -> None:
+    """Persist a region (and its network) to ``directory``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_network(region.network, directory / "network.json")
+    np.save(directory / "landmark_matrix.npy", region.landmark_matrix.values)
+    payload = {
+        "format": "repro.region",
+        "version": FORMAT_VERSION,
+        "config": dataclasses.asdict(region.config),
+        "epsilon_realised": region.epsilon_realised,
+        "landmarks": [
+            {
+                "id": lm.landmark_id,
+                "lat": lm.position.lat,
+                "lon": lm.position.lon,
+                "node": lm.node,
+                "category": lm.category,
+                "importance": lm.importance,
+            }
+            for lm in region.landmarks
+        ],
+        "clusters": [
+            {
+                "id": cluster.cluster_id,
+                "landmarks": list(cluster.landmark_ids),
+                "center": cluster.center_landmark,
+            }
+            for cluster in region.clusters
+        ],
+        "node_landmark": [
+            [node, landmark_id, distance]
+            for node, (landmark_id, distance) in sorted(
+                region._node_landmark.items()
+            )
+        ],
+    }
+    (directory / "region.json").write_text(json.dumps(payload))
+
+
+def load_region(directory: PathLike) -> DiscretizedRegion:
+    """Load a region persisted by :func:`save_region`."""
+    directory = pathlib.Path(directory)
+    payload = json.loads((directory / "region.json").read_text())
+    if payload.get("format") != "repro.region":
+        raise DiscretizationError("not a serialized region directory")
+    if payload.get("version") != FORMAT_VERSION:
+        raise DiscretizationError(
+            f"unsupported region format version {payload.get('version')!r}"
+        )
+    network = load_network(directory / "network.json")
+    matrix = DistanceMatrix(np.load(directory / "landmark_matrix.npy"))
+    config = XARConfig(**payload["config"])
+    config.validate()
+    landmarks = [
+        Landmark(
+            landmark_id=int(item["id"]),
+            position=GeoPoint(float(item["lat"]), float(item["lon"])),
+            node=int(item["node"]),
+            category=str(item["category"]),
+            importance=float(item["importance"]),
+        )
+        for item in payload["landmarks"]
+    ]
+    clusters = [
+        Cluster(
+            cluster_id=int(item["id"]),
+            landmark_ids=tuple(int(x) for x in item["landmarks"]),
+            center_landmark=int(item["center"]),
+        )
+        for item in payload["clusters"]
+    ]
+    node_landmark: Dict[int, tuple] = {
+        int(node): (int(landmark_id), float(distance))
+        for node, landmark_id, distance in payload["node_landmark"]
+    }
+    return DiscretizedRegion(
+        config=config,
+        network=network,
+        grid=GridIndex(network.bounding_box(), config.grid_side_m),
+        landmarks=landmarks,
+        clusters=clusters,
+        landmark_matrix=matrix,
+        node_landmark=node_landmark,
+        epsilon_realised=float(payload["epsilon_realised"]),
+    )

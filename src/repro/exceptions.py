@@ -1,0 +1,64 @@
+"""Exception hierarchy for the XAR reproduction.
+
+Every error raised by this library derives from :class:`XARError` so callers
+can catch library failures with a single except clause while letting
+programming errors (TypeError, etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class XARError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(XARError):
+    """A system parameter is missing, inconsistent, or out of range."""
+
+
+class RoadNetworkError(XARError):
+    """The road network is malformed or a routing query cannot be served."""
+
+
+class NoPathError(RoadNetworkError):
+    """No path exists between the requested endpoints."""
+
+    def __init__(self, source: int, target: int):
+        super().__init__(f"no path from node {source} to node {target}")
+        self.source = source
+        self.target = target
+
+
+class DiscretizationError(XARError):
+    """Region discretization failed (e.g. no landmarks, bad parameters)."""
+
+
+class UncoveredLocationError(DiscretizationError):
+    """A location maps to no landmark and no walkable cluster.
+
+    The paper's semantics: such a request "will not be served" (Section IV).
+    """
+
+
+class RideError(XARError):
+    """A ride operation (create / book / track) is invalid."""
+
+
+class UnknownRideError(RideError):
+    """A ride id does not exist in the engine."""
+
+    def __init__(self, ride_id: int):
+        super().__init__(f"unknown ride id {ride_id}")
+        self.ride_id = ride_id
+
+
+class BookingError(RideError):
+    """A booking cannot be completed (no seats, detour exhausted, ...)."""
+
+
+class RequestError(XARError):
+    """A ride request is malformed (bad window, negative thresholds, ...)."""
+
+
+class PlannerError(XARError):
+    """The multi-modal trip planner cannot produce a plan."""

@@ -1,0 +1,31 @@
+"""Geodesy primitives: points, haversine distances, bounding boxes, grids.
+
+This package is the lowest substrate of the reproduction: everything above it
+(road networks, discretization, indexes) speaks in terms of
+:class:`~repro.geo.point.GeoPoint`, :class:`~repro.geo.bbox.BoundingBox` and
+the implicit 100 m grid of :class:`~repro.geo.grid.GridIndex` (paper
+Definition 1).
+"""
+
+from .point import (
+    EARTH_RADIUS_M,
+    GeoPoint,
+    destination_point,
+    haversine_m,
+    haversine_points,
+    midpoint,
+)
+from .bbox import BoundingBox
+from .grid import GridCell, GridIndex
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "GeoPoint",
+    "haversine_m",
+    "haversine_points",
+    "destination_point",
+    "midpoint",
+    "BoundingBox",
+    "GridCell",
+    "GridIndex",
+]

@@ -1,0 +1,59 @@
+"""Axis-aligned geographic bounding boxes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from .point import GeoPoint
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """A lat/lon axis-aligned box, inclusive of its edges."""
+
+    min_lat: float
+    min_lon: float
+    max_lat: float
+    max_lon: float
+
+    def __post_init__(self):
+        if self.min_lat > self.max_lat:
+            raise ValueError("min_lat > max_lat")
+        if self.min_lon > self.max_lon:
+            raise ValueError("min_lon > max_lon")
+
+    @classmethod
+    def around(cls, points: Iterable[GeoPoint], margin_deg: float = 0.0) -> "BoundingBox":
+        """Smallest box containing all ``points``, padded by ``margin_deg``."""
+        pts = list(points)
+        if not pts:
+            raise ValueError("bounding box of an empty collection")
+        return cls(
+            min(p.lat for p in pts) - margin_deg,
+            min(p.lon for p in pts) - margin_deg,
+            max(p.lat for p in pts) + margin_deg,
+            max(p.lon for p in pts) + margin_deg,
+        )
+
+    def contains(self, point: GeoPoint) -> bool:
+        """True if ``point`` lies within the (closed) box."""
+        return (
+            self.min_lat <= point.lat <= self.max_lat
+            and self.min_lon <= point.lon <= self.max_lon
+        )
+
+    @property
+    def south_west(self) -> GeoPoint:
+        return GeoPoint(self.min_lat, self.min_lon)
+
+    @property
+    def north_east(self) -> GeoPoint:
+        return GeoPoint(self.max_lat, self.max_lon)
+
+    @property
+    def center(self) -> GeoPoint:
+        return GeoPoint(
+            (self.min_lat + self.max_lat) / 2.0,
+            (self.min_lon + self.max_lon) / 2.0,
+        )

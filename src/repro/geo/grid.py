@@ -1,0 +1,148 @@
+"""Implicit square grids over a geographic region (paper Definition 1).
+
+A *grid* is a bounded square region; every point location maps to exactly one
+grid.  The paper uses ~100 m squares and identifies each grid by its centroid.
+Grids are *implicit*: we never materialise the full lattice, we only compute
+cell ids numerically from a latitude/longitude — exactly the property the
+paper relies on to keep grid-level storage tiny.
+
+The cell id is a pair ``(ix, iy)`` of integer column/row offsets from the
+south-west corner of the region bounding box.  Metric spacing is achieved by
+converting the configured side length (metres) into degree deltas at the
+region's reference latitude, so cells are square *in metres* to within the
+local-projection error, which is negligible at city scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from .bbox import BoundingBox
+from .point import EARTH_RADIUS_M, GeoPoint
+
+#: A grid cell identifier: (column, row) from the region's south-west corner.
+GridCell = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridIndex:
+    """Maps point locations to implicit square grid cells and back.
+
+    Parameters
+    ----------
+    bbox:
+        The region covered.  Points outside the box are still mapped (ids can
+        be negative or exceed the nominal extent); callers that need coverage
+        checks use :meth:`in_region`.
+    side_m:
+        Side of a cell in metres (paper: ~100 m).
+    """
+
+    bbox: BoundingBox
+    side_m: float
+
+    def __post_init__(self):
+        if self.side_m <= 0:
+            raise ValueError(f"grid side must be > 0, got {self.side_m!r}")
+
+    @property
+    def _lat_step(self) -> float:
+        """Degrees of latitude spanned by one cell side."""
+        return math.degrees(self.side_m / EARTH_RADIUS_M)
+
+    @property
+    def _lon_step(self) -> float:
+        """Degrees of longitude spanned by one cell side at the mid latitude."""
+        mid_lat = math.radians((self.bbox.min_lat + self.bbox.max_lat) / 2.0)
+        shrink = max(math.cos(mid_lat), 1e-9)
+        return math.degrees(self.side_m / (EARTH_RADIUS_M * shrink))
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns covering the bounding box."""
+        span = self.bbox.max_lon - self.bbox.min_lon
+        return max(1, int(math.ceil(span / self._lon_step)))
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows covering the bounding box."""
+        span = self.bbox.max_lat - self.bbox.min_lat
+        return max(1, int(math.ceil(span / self._lat_step)))
+
+    def cell_of(self, point: GeoPoint) -> GridCell:
+        """Unique cell containing ``point`` (many-to-one, Definition 1)."""
+        ix = int(math.floor((point.lon - self.bbox.min_lon) / self._lon_step))
+        iy = int(math.floor((point.lat - self.bbox.min_lat) / self._lat_step))
+        return (ix, iy)
+
+    def centroid_of(self, cell: GridCell) -> GeoPoint:
+        """Centroid of a cell — the paper identifies a grid by its centroid."""
+        ix, iy = cell
+        lon = self.bbox.min_lon + (ix + 0.5) * self._lon_step
+        lat = self.bbox.min_lat + (iy + 0.5) * self._lat_step
+        return GeoPoint(lat, lon)
+
+    def in_region(self, cell: GridCell) -> bool:
+        """True if the cell lies within the nominal region extent."""
+        ix, iy = cell
+        return 0 <= ix < self.n_cols and 0 <= iy < self.n_rows
+
+    def neighbours(self, cell: GridCell, ring: int = 1) -> List[GridCell]:
+        """All in-region cells within Chebyshev distance ``ring`` (excl. self)."""
+        if ring < 0:
+            raise ValueError(f"ring must be >= 0, got {ring!r}")
+        ix, iy = cell
+        out: List[GridCell] = []
+        for dx in range(-ring, ring + 1):
+            for dy in range(-ring, ring + 1):
+                if dx == 0 and dy == 0:
+                    continue
+                candidate = (ix + dx, iy + dy)
+                if self.in_region(candidate):
+                    out.append(candidate)
+        return out
+
+    def ring(self, cell: GridCell, radius: int) -> List[GridCell]:
+        """In-region cells at exactly Chebyshev distance ``radius``.
+
+        Used by T-Share's incrementally expanding dual-side search.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius!r}")
+        if radius == 0:
+            return [cell] if self.in_region(cell) else []
+        ix, iy = cell
+        out: List[GridCell] = []
+        for dx in range(-radius, radius + 1):
+            for dy in range(-radius, radius + 1):
+                if max(abs(dx), abs(dy)) != radius:
+                    continue
+                candidate = (ix + dx, iy + dy)
+                if self.in_region(candidate):
+                    out.append(candidate)
+        return out
+
+    def cells_within(self, point: GeoPoint, radius_m: float) -> Iterator[GridCell]:
+        """Yield in-region cells whose centroid is within ``radius_m`` of point.
+
+        A cheap disk query used to prefilter spatial searches (e.g. finding
+        walkable landmarks).  The candidate window is the square circumscribing
+        the disk; each candidate centroid is then distance-checked.
+        """
+        if radius_m < 0:
+            raise ValueError(f"radius_m must be >= 0, got {radius_m!r}")
+        reach = int(math.ceil(radius_m / self.side_m)) + 1
+        cx, cy = self.cell_of(point)
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                candidate = (cx + dx, cy + dy)
+                if not self.in_region(candidate):
+                    continue
+                if self.centroid_of(candidate).distance_to(point) <= radius_m:
+                    yield candidate
+
+    def cell_count(self) -> int:
+        """Total number of (implicit) cells in the region."""
+        return self.n_cols * self.n_rows

@@ -1,0 +1,24 @@
+"""XAR in-memory indexing (paper Section VI).
+
+Clusters are the main units.  Each cluster keeps its *potential rides* in two
+sorted orders — by estimated time of arrival and by ride id — so the search
+operation is a walk of sorted lists and binary searches, never a shortest
+path.  Each ride keeps its pass-through clusters and, per pass-through
+cluster, the reachable clusters within the detour limit.
+"""
+
+from .sorted_list import SortedKeyList
+from .cluster_index import ClusterRideIndex, PotentialRide
+from .ride_index import PassThrough, ReachableInfo, RideIndexEntry, SegmentMeta
+from .memory import deep_size_bytes
+
+__all__ = [
+    "SortedKeyList",
+    "ClusterRideIndex",
+    "PotentialRide",
+    "PassThrough",
+    "ReachableInfo",
+    "RideIndexEntry",
+    "SegmentMeta",
+    "deep_size_bytes",
+]

@@ -1,0 +1,112 @@
+"""Per-cluster potential-ride lists (paper Section VI).
+
+Each cluster C keeps tuples ⟨r, t⟩ — ride r can serve requests near C with an
+estimated arrival time t — "in two different lists, one sorted in
+non-decreasing order by the time of arrival, and the other sorted by the
+unique ride identification numbers".
+
+The ETA-sorted list answers the search window query in O(log n + answer);
+the id-sorted list makes removal and membership checks O(log n).  One entry
+is kept per (cluster, ride): when several pass-through clusters make the
+same ride potential for C, the earliest ETA wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .sorted_list import SortedKeyList
+
+
+@dataclass(frozen=True)
+class PotentialRide:
+    """One ⟨ride, eta⟩ tuple in a cluster's potential-ride lists."""
+
+    ride_id: int
+    eta_s: float
+
+
+class _ClusterLists:
+    """The two sorted orders over one cluster's potential rides."""
+
+    __slots__ = ("by_eta", "by_ride")
+
+    def __init__(self):
+        self.by_eta: SortedKeyList[PotentialRide] = SortedKeyList(
+            key=lambda entry: entry.eta_s
+        )
+        self.by_ride: SortedKeyList[PotentialRide] = SortedKeyList(
+            key=lambda entry: entry.ride_id
+        )
+
+
+class ClusterRideIndex:
+    """All clusters' potential-ride lists, with consistent dual ordering."""
+
+    def __init__(self, n_clusters: int):
+        if n_clusters < 0:
+            raise ValueError(f"n_clusters must be >= 0, got {n_clusters!r}")
+        self._lists: List[_ClusterLists] = [_ClusterLists() for _c in range(n_clusters)]
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self._lists)
+
+    def add(self, cluster_id: int, ride_id: int, eta_s: float) -> None:
+        """Insert (or improve) ride's entry at a cluster.
+
+        If the ride is already potential for this cluster, the entry is
+        replaced only when the new ETA is earlier.
+        """
+        lists = self._lists[cluster_id]
+        existing = lists.by_ride.find_by_key(ride_id)
+        if existing is not None:
+            if eta_s >= existing.eta_s:
+                return
+            lists.by_ride.remove(existing)
+            lists.by_eta.remove(existing)
+        entry = PotentialRide(ride_id=ride_id, eta_s=eta_s)
+        lists.by_eta.add(entry)
+        lists.by_ride.add(entry)
+
+    def remove(self, cluster_id: int, ride_id: int) -> bool:
+        """Remove ride's entry at a cluster; True if it existed."""
+        lists = self._lists[cluster_id]
+        existing = lists.by_ride.find_by_key(ride_id)
+        if existing is None:
+            return False
+        lists.by_ride.remove(existing)
+        lists.by_eta.remove(existing)
+        return True
+
+    def eta(self, cluster_id: int, ride_id: int) -> Optional[float]:
+        """The stored ETA of a ride at a cluster, if potential there."""
+        existing = self._lists[cluster_id].by_ride.find_by_key(ride_id)
+        return existing.eta_s if existing is not None else None
+
+    def rides_in_window(
+        self, cluster_id: int, start_s: float, end_s: float
+    ) -> Iterator[PotentialRide]:
+        """Binary search on the ETA-sorted list (the paper's Step 1 lookup)."""
+        return self._lists[cluster_id].by_eta.irange(start_s, end_s)
+
+    def potential_count(self, cluster_id: int) -> int:
+        return len(self._lists[cluster_id].by_ride)
+
+    def all_rides(self, cluster_id: int) -> Iterator[PotentialRide]:
+        return iter(self._lists[cluster_id].by_ride)
+
+    def total_entries(self) -> int:
+        """Total ⟨r, t⟩ tuples across clusters (a memory-footprint proxy)."""
+        return sum(len(lists.by_ride) for lists in self._lists)
+
+    def check_consistency(self) -> None:
+        """Debug invariant: both orders contain identical entry sets."""
+        for cluster_id, lists in enumerate(self._lists):
+            a = sorted((e.ride_id, e.eta_s) for e in lists.by_eta)
+            b = sorted((e.ride_id, e.eta_s) for e in lists.by_ride)
+            if a != b:
+                raise AssertionError(
+                    f"cluster {cluster_id} dual lists diverged: {a} != {b}"
+                )

@@ -1,0 +1,152 @@
+"""Per-ride spatio-temporal index entries (paper Section VI).
+
+For every ride the system maintains:
+
+* its **pass-through clusters** — clusters of the landmarks of the grids its
+  route crosses, each with a segment index and an ETA,
+* per pass-through cluster, the **reachable clusters** that pass the detour
+  test ``d(C, C') + d(C', via_{i+1}) - d(C, via_{i+1}) <= d``,
+* the reverse view reachable-cluster → supporting pass-through clusters,
+  which is what tracking's Step 2 needs to decide whether a cluster is
+  *obsolete* ("can the cluster still be reached through any valid
+  pass-through cluster?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class PassThrough:
+    """A ride's visit of a cluster along its route."""
+
+    cluster_id: int
+    segment_index: int
+    eta_s: float
+    route_offset_m: float
+    #: Landmark whose grid triggered the visit — refines detour estimates.
+    landmark_id: int = -1
+
+
+@dataclass
+class ReachableInfo:
+    """How a ride can serve a (reachable) cluster off its route."""
+
+    cluster_id: int
+    #: Pass-through clusters from which this cluster stays within detour.
+    supports: Set[int] = field(default_factory=set)
+    #: Earliest estimated arrival over all supports.
+    eta_s: float = float("inf")
+    #: Smallest cluster-level detour estimate over all supports (metres).
+    detour_estimate_m: float = float("inf")
+    #: Landmark of the min-detour supporting visit (-1 if unknown); lets the
+    #: search refine the detour estimate to landmark level without touching
+    #: the cluster-level index semantics.
+    support_landmark: int = -1
+    #: Landmark standing in for the next via-point of that support.
+    via_landmark: int = -1
+
+    def merge(
+        self,
+        support: int,
+        eta_s: float,
+        detour_m: float,
+        support_landmark: int = -1,
+        via_landmark: int = -1,
+    ) -> None:
+        self.supports.add(support)
+        if eta_s < self.eta_s:
+            self.eta_s = eta_s
+        if detour_m < self.detour_estimate_m:
+            self.detour_estimate_m = detour_m
+            self.support_landmark = support_landmark
+            self.via_landmark = via_landmark
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """Landmark-level view of one route segment, for detour estimation.
+
+    ``length_m`` is the exact on-route length; the landmarks stand in for the
+    segment's bounding via-points (-1 when the via node has no landmark).
+    """
+
+    start_landmark: int
+    end_landmark: int
+    length_m: float
+
+
+@dataclass
+class RideIndexEntry:
+    """Everything the index knows about one ride's geometry."""
+
+    ride_id: int
+    #: Ordered pass-through visits (ascending ETA along the route).
+    pass_through: List[PassThrough] = field(default_factory=list)
+    #: cluster id -> ReachableInfo (includes the pass-through clusters
+    #: themselves with detour estimate 0).
+    reachable: Dict[int, ReachableInfo] = field(default_factory=dict)
+    #: Per-segment metadata aligned with the ride's segments at index time.
+    segments: List[SegmentMeta] = field(default_factory=list)
+
+    def pass_through_ids(self) -> Set[int]:
+        return {visit.cluster_id for visit in self.pass_through}
+
+    def reachable_ids(self) -> Set[int]:
+        return set(self.reachable)
+
+    def first_visit(self, cluster_id: int) -> Optional[PassThrough]:
+        """Earliest pass-through visit of a cluster, or None."""
+        for visit in self.pass_through:
+            if visit.cluster_id == cluster_id:
+                return visit
+        return None
+
+    def drop_pass_through(self, cluster_ids: Set[int]) -> None:
+        """Tracking Step 3: remove obsolete pass-through visits."""
+        self.pass_through = [
+            visit for visit in self.pass_through if visit.cluster_id not in cluster_ids
+        ]
+
+    def segment_for(
+        self,
+        cluster_id: int,
+        earliest: bool,
+        at_least: Optional[int] = None,
+    ) -> Optional[int]:
+        """Segment on which the ride serves ``cluster_id``.
+
+        Chosen from the supporting pass-through visits: earliest visit for a
+        pickup, latest for a drop-off; ``at_least`` constrains the choice when
+        pickup-before-drop-off ordering matters.  Used identically by the
+        search estimate and the booking splice so they agree.
+        """
+        info = self.reachable.get(cluster_id)
+        if info is None:
+            return None
+        candidates = [
+            visit
+            for visit in self.pass_through
+            if visit.cluster_id in info.supports
+            and (at_least is None or visit.segment_index >= at_least)
+        ]
+        if not candidates:
+            return None
+        if earliest:
+            chosen = min(candidates, key=lambda visit: visit.eta_s)
+        else:
+            chosen = max(candidates, key=lambda visit: visit.eta_s)
+        return chosen.segment_index
+
+    def remove_supports(self, cluster_ids: Set[int]) -> List[int]:
+        """Remove pass-through supports; return reachable clusters that lost
+        *all* support (tracking Step 2's removal candidates)."""
+        orphaned: List[int] = []
+        for cluster_id, info in list(self.reachable.items()):
+            info.supports -= cluster_ids
+            if not info.supports:
+                orphaned.append(cluster_id)
+                del self.reachable[cluster_id]
+        return orphaned

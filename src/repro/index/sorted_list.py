@@ -1,0 +1,90 @@
+"""A bisect-backed sorted container with key extraction.
+
+The standard library has no sorted container and external dependencies are
+off the table, so this is the building block for the paper's "two different
+lists, one sorted in non-decreasing order by the time of arrival, and the
+other sorted by the unique ride identification numbers" (Section VI).
+
+``add`` / ``remove`` are O(n) worst case (list shifting) but with C-speed
+memmove; ``irange`` window queries are O(log n + answer), which is the
+operation the search path cares about.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort_right
+from typing import Any, Callable, Generic, Iterable, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class SortedKeyList(Generic[T]):
+    """List of items kept sorted by ``key(item)`` (stable for equal keys)."""
+
+    def __init__(self, key: Callable[[T], Any], items: Iterable[T] = ()):
+        self._key = key
+        self._items: List[T] = sorted(items, key=key)
+        self._keys: List[Any] = [key(item) for item in self._items]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> T:
+        return self._items[index]
+
+    def add(self, item: T) -> None:
+        """Insert keeping order; equal keys append after existing ones."""
+        key = self._key(item)
+        index = bisect_right(self._keys, key)
+        self._keys.insert(index, key)
+        self._items.insert(index, item)
+
+    def remove(self, item: T) -> None:
+        """Remove one occurrence of ``item``; raises ValueError if absent."""
+        key = self._key(item)
+        lo = bisect_left(self._keys, key)
+        hi = bisect_right(self._keys, key)
+        for index in range(lo, hi):
+            if self._items[index] == item:
+                del self._items[index]
+                del self._keys[index]
+                return
+        raise ValueError(f"item not in sorted list: {item!r}")
+
+    def discard(self, item: T) -> bool:
+        """Remove if present; returns True when something was removed."""
+        try:
+            self.remove(item)
+            return True
+        except ValueError:
+            return False
+
+    def irange(self, min_key: Any = None, max_key: Any = None) -> Iterator[T]:
+        """Iterate items with ``min_key <= key(item) <= max_key`` (inclusive)."""
+        lo = 0 if min_key is None else bisect_left(self._keys, min_key)
+        hi = len(self._keys) if max_key is None else bisect_right(self._keys, max_key)
+        for index in range(lo, hi):
+            yield self._items[index]
+
+    def count_in_range(self, min_key: Any = None, max_key: Any = None) -> int:
+        lo = 0 if min_key is None else bisect_left(self._keys, min_key)
+        hi = len(self._keys) if max_key is None else bisect_right(self._keys, max_key)
+        return max(0, hi - lo)
+
+    def contains_key(self, key: Any) -> bool:
+        index = bisect_left(self._keys, key)
+        return index < len(self._keys) and self._keys[index] == key
+
+    def find_by_key(self, key: Any) -> Optional[T]:
+        """First item with exactly this key, or None."""
+        index = bisect_left(self._keys, key)
+        if index < len(self._keys) and self._keys[index] == key:
+            return self._items[index]
+        return None
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._keys.clear()

@@ -1,0 +1,20 @@
+"""Landmark substrate: POI synthesis and the f-separation filter.
+
+The paper extracts ~30k points of interest from Google Places and prunes them
+to 16k significant landmarks (bus stops, stations, big stores) such that no
+two are closer than a system parameter ``f`` (Definition 2).  We synthesise
+POIs near road intersections with importance weights and apply the same
+filter.
+"""
+
+from .pois import POI, POICategory, synthesize_pois
+from .extraction import Landmark, extract_landmarks, filter_by_separation
+
+__all__ = [
+    "POI",
+    "POICategory",
+    "synthesize_pois",
+    "Landmark",
+    "extract_landmarks",
+    "filter_by_separation",
+]

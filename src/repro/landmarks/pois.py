@@ -1,0 +1,116 @@
+"""Synthetic points of interest (the Google Places substitute).
+
+POIs are generated near road intersections — where real POIs overwhelmingly
+sit — with a category drawn from a frequency table and an importance weight.
+The paper prunes "insignificant landmarks (e.g., small stores)"; we reproduce
+that with the importance threshold in
+:func:`repro.landmarks.extraction.extract_landmarks`.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..geo import GeoPoint, destination_point
+from ..roadnet import RoadNetwork
+
+
+class POICategory(enum.Enum):
+    """Categories mirroring the paper's examples (Section X-A3)."""
+
+    BUS_STOP = "bus_stop"
+    RAIL_STATION = "rail_station"
+    TAXI_STAND = "taxi_stand"
+    BIG_STORE = "big_store"
+    MALL = "mall"
+    OFFICE = "office"
+    SMALL_STORE = "small_store"
+    CAFE = "cafe"
+
+
+#: (category, sampling weight, importance range) — transit infrastructure is
+#: rarer but always significant; small stores are common and insignificant.
+_CATEGORY_TABLE = [
+    (POICategory.BUS_STOP, 0.18, (0.7, 1.0)),
+    (POICategory.RAIL_STATION, 0.04, (0.9, 1.0)),
+    (POICategory.TAXI_STAND, 0.05, (0.7, 1.0)),
+    (POICategory.BIG_STORE, 0.08, (0.6, 0.9)),
+    (POICategory.MALL, 0.03, (0.8, 1.0)),
+    (POICategory.OFFICE, 0.12, (0.5, 0.9)),
+    (POICategory.SMALL_STORE, 0.35, (0.0, 0.4)),
+    (POICategory.CAFE, 0.15, (0.1, 0.5)),
+]
+
+
+@dataclass(frozen=True)
+class POI:
+    """A point of interest with an importance in [0, 1]."""
+
+    poi_id: int
+    position: GeoPoint
+    category: POICategory
+    importance: float
+    name: str = ""
+
+    def __post_init__(self):
+        if not (0.0 <= self.importance <= 1.0):
+            raise ValueError(f"importance out of [0,1]: {self.importance!r}")
+
+
+def synthesize_pois(
+    network: RoadNetwork,
+    per_node_rate: float = 0.8,
+    max_offset_m: float = 40.0,
+    seed: int = 11,
+) -> List[POI]:
+    """Generate POIs scattered around road intersections.
+
+    ``per_node_rate`` is the expected number of POIs per road node (Poisson-
+    thinned as independent Bernoulli draws per candidate).  Positions are
+    offset up to ``max_offset_m`` from the intersection in a uniform random
+    direction.
+    """
+    if per_node_rate < 0:
+        raise ValueError(f"per_node_rate must be >= 0, got {per_node_rate!r}")
+    rng = random.Random(seed)
+    categories = [row[0] for row in _CATEGORY_TABLE]
+    weights = [row[1] for row in _CATEGORY_TABLE]
+    importance_ranges = {row[0]: row[2] for row in _CATEGORY_TABLE}
+    pois: List[POI] = []
+    poi_id = 0
+    for node in network.nodes():
+        count = _poisson(rng, per_node_rate)
+        base = network.position(node)
+        for _draw in range(count):
+            category = rng.choices(categories, weights=weights, k=1)[0]
+            lo, hi = importance_ranges[category]
+            position = destination_point(
+                base, rng.uniform(0.0, 360.0), rng.uniform(0.0, max_offset_m)
+            )
+            pois.append(
+                POI(
+                    poi_id=poi_id,
+                    position=position,
+                    category=category,
+                    importance=rng.uniform(lo, hi),
+                    name=f"{category.value}-{poi_id}",
+                )
+            )
+            poi_id += 1
+    return pois
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's Poisson sampler — fine for the small rates used here."""
+    if lam <= 0:
+        return 0
+    threshold = pow(2.718281828459045, -lam)
+    k = 0
+    product = rng.random()
+    while product > threshold:
+        k += 1
+        product *= rng.random()
+    return k

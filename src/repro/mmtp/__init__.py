@@ -1,0 +1,31 @@
+"""Multi-modal trip planner substrate (the OpenTripPlanner substitute).
+
+Provides what Section IX of the paper needs from an MMTP:
+
+* a GTFS-like synthetic transit network (:mod:`~repro.mmtp.gtfs`) — subway
+  and bus lines with stops, headways and per-line speeds,
+* a time-dependent multimodal planner (:mod:`~repro.mmtp.planner`) that
+  produces trip plans with walk / wait / ride legs,
+* the two XAR integration modes (:mod:`~repro.mmtp.integration`):
+  **Aider** (replace infeasible legs with shared rides) and **Enhancer**
+  (try shared rides over hop combinations to reduce hops and travel time).
+"""
+
+from .gtfs import TransitFeed, TransitRoute, TransitStop, synthetic_feed
+from .plan import Leg, LegMode, TripPlan
+from .planner import MultiModalPlanner
+from .integration import AiderMode, EnhancerMode, enhancer_segment_pairs
+
+__all__ = [
+    "TransitStop",
+    "TransitRoute",
+    "TransitFeed",
+    "synthetic_feed",
+    "Leg",
+    "LegMode",
+    "TripPlan",
+    "MultiModalPlanner",
+    "AiderMode",
+    "EnhancerMode",
+    "enhancer_segment_pairs",
+]

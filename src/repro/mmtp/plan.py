@@ -1,0 +1,131 @@
+"""Trip plans: ordered legs with walk / wait / ride semantics.
+
+A plan's quality metrics — end-to-end travel time, walking time, waiting
+time, number of hops — are exactly the Fig. 6 axes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..geo import GeoPoint
+
+
+class LegMode(enum.Enum):
+    WALK = "walk"
+    TRANSIT = "transit"
+    RIDESHARE = "rideshare"
+    TAXI = "taxi"
+
+
+@dataclass(frozen=True)
+class Leg:
+    """One leg of a trip plan.
+
+    ``wait_s`` is the time spent waiting *before* this leg departs (at a
+    transit stop or a pickup landmark); ``start_s`` is the moment movement
+    begins, so the traveller is at the leg's origin from
+    ``start_s - wait_s``.
+    """
+
+    mode: LegMode
+    origin: GeoPoint
+    destination: GeoPoint
+    start_s: float
+    end_s: float
+    wait_s: float = 0.0
+    description: str = ""
+
+    def __post_init__(self):
+        if self.end_s < self.start_s:
+            raise ValueError(f"leg ends before it starts: {self}")
+        if self.wait_s < 0:
+            raise ValueError(f"negative wait: {self}")
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+@dataclass
+class TripPlan:
+    """An ordered sequence of legs from a source to a destination."""
+
+    legs: List[Leg] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Check temporal and spatial continuity."""
+        for previous, current in zip(self.legs, self.legs[1:]):
+            if current.start_s - current.wait_s + 1e-6 < previous.end_s:
+                raise ValueError(
+                    f"legs overlap in time: {previous} then {current}"
+                )
+
+    @property
+    def start_s(self) -> float:
+        if not self.legs:
+            raise ValueError("empty plan has no start")
+        return self.legs[0].start_s - self.legs[0].wait_s
+
+    @property
+    def end_s(self) -> float:
+        if not self.legs:
+            raise ValueError("empty plan has no end")
+        return self.legs[-1].end_s
+
+    @property
+    def travel_time_s(self) -> float:
+        """End-to-end time including waits."""
+        return self.end_s - self.start_s
+
+    @property
+    def walk_time_s(self) -> float:
+        return sum(leg.duration_s for leg in self.legs if leg.mode is LegMode.WALK)
+
+    @property
+    def wait_time_s(self) -> float:
+        return sum(leg.wait_s for leg in self.legs)
+
+    @property
+    def n_hops(self) -> int:
+        """Number of vehicle boardings minus one (0 for a single vehicle)."""
+        boardings = sum(
+            1 for leg in self.legs if leg.mode in (LegMode.TRANSIT, LegMode.RIDESHARE, LegMode.TAXI)
+        )
+        return max(0, boardings - 1)
+
+    @property
+    def n_vehicle_legs(self) -> int:
+        return sum(
+            1 for leg in self.legs if leg.mode in (LegMode.TRANSIT, LegMode.RIDESHARE, LegMode.TAXI)
+        )
+
+    def transfer_points(self) -> List[Tuple[GeoPoint, float]]:
+        """Intermediate (location, arrival time) pairs between vehicle legs.
+
+        These are the "intermediate hops" the Enhancer mode combines
+        (Section IX-B).
+        """
+        points: List[Tuple[GeoPoint, float]] = []
+        vehicle_legs = [
+            leg for leg in self.legs
+            if leg.mode in (LegMode.TRANSIT, LegMode.RIDESHARE, LegMode.TAXI)
+        ]
+        for leg in vehicle_legs[:-1]:
+            points.append((leg.destination, leg.end_s))
+        return points
+
+    def describe(self) -> str:
+        lines = [
+            f"plan: {self.travel_time_s/60:.1f} min total, "
+            f"{self.walk_time_s/60:.1f} min walk, "
+            f"{self.wait_time_s/60:.1f} min wait, {self.n_hops} hops"
+        ]
+        for leg in self.legs:
+            lines.append(
+                f"  {leg.mode.value:<9} {leg.duration_s/60:6.1f} min"
+                f"  (wait {leg.wait_s/60:4.1f})  {leg.description}"
+            )
+        return "\n".join(lines)

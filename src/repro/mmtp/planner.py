@@ -1,0 +1,309 @@
+"""Time-dependent multimodal earliest-arrival planner.
+
+The core algorithm family OpenTripPlanner uses for frequency-based feeds: a
+label-correcting Dijkstra over (stop, earliest arrival) with walking
+transfers, boarding the next headway departure of every line serving a stop.
+
+Walking is modelled as haversine x circuity at walking speed (same model as
+the rest of the library).  Transfers are limited to stops within the walk
+radius of each other; access/egress walks connect the query endpoints to
+nearby stops.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..config import DEFAULT_WALK_CIRCUITY, DEFAULT_WALK_SPEED
+from ..exceptions import PlannerError
+from ..geo import BoundingBox, GeoPoint, GridIndex
+from .gtfs import TransitFeed, TransitRoute
+from .plan import Leg, LegMode, TripPlan
+
+
+@dataclass(frozen=True)
+class _Boarding:
+    """Backpointer for plan reconstruction."""
+
+    kind: str  # 'walk' | 'transit' | 'origin'
+    from_stop: Optional[int]
+    route: Optional[TransitRoute]
+    board_index: Optional[int]
+    alight_index: Optional[int]
+    depart_s: float
+    arrive_s: float
+
+
+class MultiModalPlanner:
+    """Earliest-arrival planning over one transit feed."""
+
+    def __init__(
+        self,
+        feed: TransitFeed,
+        max_access_walk_m: float = 1200.0,
+        max_transfer_walk_m: float = 400.0,
+        walk_speed_mps: float = DEFAULT_WALK_SPEED,
+        walk_circuity: float = DEFAULT_WALK_CIRCUITY,
+    ):
+        if feed.n_stops == 0 or feed.n_routes == 0:
+            raise PlannerError("cannot plan over an empty transit feed")
+        self.feed = feed
+        self.max_access_walk_m = max_access_walk_m
+        self.max_transfer_walk_m = max_transfer_walk_m
+        self.walk_speed = walk_speed_mps
+        self.circuity = walk_circuity
+        #: route visits per stop: stop -> [(route, stop index on route)]
+        self._stop_routes: Dict[int, List[Tuple[TransitRoute, int]]] = {}
+        for route in feed.routes:
+            for index, stop_id in enumerate(route.stop_ids):
+                self._stop_routes.setdefault(stop_id, []).append((route, index))
+        self._stop_grid = GridIndex(
+            BoundingBox.around((s.position for s in feed.stops), 0.002),
+            max(self.max_access_walk_m, 200.0),
+        )
+        self._stop_buckets: Dict[Tuple[int, int], List[int]] = {}
+        for stop in feed.stops:
+            cell = self._stop_grid.cell_of(stop.position)
+            self._stop_buckets.setdefault(cell, []).append(stop.stop_id)
+        self._transfers = self._build_transfers()
+
+    # ------------------------------------------------------------------
+    # Walking geometry
+    # ------------------------------------------------------------------
+    def walk_m(self, a: GeoPoint, b: GeoPoint) -> float:
+        return a.distance_to(b) * self.circuity
+
+    def walk_s(self, a: GeoPoint, b: GeoPoint) -> float:
+        return self.walk_m(a, b) / self.walk_speed
+
+    def stops_near(self, point: GeoPoint, radius_m: float) -> List[Tuple[int, float]]:
+        """(stop id, walk metres) pairs within the radius, nearest first."""
+        out: List[Tuple[int, float]] = []
+        cx, cy = self._stop_grid.cell_of(point)
+        reach = 1 + int(radius_m // self._stop_grid.side_m)
+        for dx in range(-reach, reach + 1):
+            for dy in range(-reach, reach + 1):
+                for stop_id in self._stop_buckets.get((cx + dx, cy + dy), ()):
+                    walk = self.walk_m(point, self.feed.stop(stop_id).position)
+                    if walk <= radius_m:
+                        out.append((stop_id, walk))
+        out.sort(key=lambda pair: pair[1])
+        return out
+
+    def _build_transfers(self) -> Dict[int, List[Tuple[int, float]]]:
+        transfers: Dict[int, List[Tuple[int, float]]] = {}
+        for stop in self.feed.stops:
+            near = [
+                (other, walk)
+                for other, walk in self.stops_near(
+                    stop.position, self.max_transfer_walk_m
+                )
+                if other != stop.stop_id
+            ]
+            transfers[stop.stop_id] = near
+        return transfers
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+    ) -> TripPlan:
+        """Earliest-arrival multimodal plan; walk-only if that is fastest.
+
+        Raises :class:`~repro.exceptions.PlannerError` when neither transit
+        nor a direct walk can serve the query.
+        """
+        direct_walk_m = self.walk_m(source, destination)
+        best_walk_arrival = depart_s + direct_walk_m / self.walk_speed
+
+        access = self.stops_near(source, self.max_access_walk_m)
+        egress = self.stops_near(destination, self.max_access_walk_m)
+        egress_walk: Dict[int, float] = {stop: walk for stop, walk in egress}
+
+        arrival: Dict[int, float] = {}
+        back: Dict[int, _Boarding] = {}
+        heap: List[Tuple[float, int]] = []
+        for stop_id, walk in access:
+            t = depart_s + walk / self.walk_speed
+            if t < arrival.get(stop_id, float("inf")):
+                arrival[stop_id] = t
+                back[stop_id] = _Boarding(
+                    kind="origin", from_stop=None, route=None,
+                    board_index=None, alight_index=None,
+                    depart_s=depart_s, arrive_s=t,
+                )
+                heapq.heappush(heap, (t, stop_id))
+
+        settled: Dict[int, float] = {}
+        while heap:
+            t, stop_id = heapq.heappop(heap)
+            if stop_id in settled:
+                continue
+            settled[stop_id] = t
+            # Ride every line serving this stop to every downstream stop.
+            for route, index in self._stop_routes.get(stop_id, ()):
+                departure = route.next_departure_from(index, t)
+                if departure is None:
+                    continue
+                for to_index in range(index + 1, len(route.stop_ids)):
+                    to_stop = route.stop_ids[to_index]
+                    arrive = departure + route.ride_time(index, to_index)
+                    if arrive < arrival.get(to_stop, float("inf")):
+                        arrival[to_stop] = arrive
+                        back[to_stop] = _Boarding(
+                            kind="transit", from_stop=stop_id, route=route,
+                            board_index=index, alight_index=to_index,
+                            depart_s=departure, arrive_s=arrive,
+                        )
+                        heapq.heappush(heap, (arrive, to_stop))
+            # Walking transfers.
+            for to_stop, walk in self._transfers.get(stop_id, ()):
+                arrive = t + walk / self.walk_speed
+                if arrive < arrival.get(to_stop, float("inf")):
+                    arrival[to_stop] = arrive
+                    back[to_stop] = _Boarding(
+                        kind="walk", from_stop=stop_id, route=None,
+                        board_index=None, alight_index=None,
+                        depart_s=t, arrive_s=arrive,
+                    )
+                    heapq.heappush(heap, (arrive, to_stop))
+
+        # Best egress stop by final arrival at the destination.
+        best_stop: Optional[int] = None
+        best_arrival = best_walk_arrival
+        for stop_id, walk in egress_walk.items():
+            if stop_id not in arrival:
+                continue
+            total = arrival[stop_id] + walk / self.walk_speed
+            if total < best_arrival:
+                best_arrival = total
+                best_stop = stop_id
+
+        if best_stop is None:
+            if direct_walk_m > self.max_access_walk_m * 4:
+                raise PlannerError(
+                    "no transit path and the direct walk is unreasonably long"
+                )
+            return TripPlan(legs=[
+                Leg(
+                    mode=LegMode.WALK, origin=source, destination=destination,
+                    start_s=depart_s, end_s=best_walk_arrival,
+                    description="direct walk",
+                )
+            ])
+
+        return self._reconstruct(
+            source, destination, depart_s, best_stop, egress_walk[best_stop],
+            arrival, back,
+        )
+
+    def _reconstruct(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+        last_stop: int,
+        egress_walk_m: float,
+        arrival: Dict[int, float],
+        back: Dict[int, _Boarding],
+    ) -> TripPlan:
+        chain: List[Tuple[int, _Boarding]] = []
+        stop_id = last_stop
+        while True:
+            boarding = back[stop_id]
+            chain.append((stop_id, boarding))
+            if boarding.kind == "origin":
+                break
+            stop_id = boarding.from_stop  # type: ignore[assignment]
+        chain.reverse()
+
+        legs: List[Leg] = []
+        first_stop, first_boarding = chain[0]
+        legs.append(
+            Leg(
+                mode=LegMode.WALK,
+                origin=source,
+                destination=self.feed.stop(first_stop).position,
+                start_s=depart_s,
+                end_s=first_boarding.arrive_s,
+                description=f"walk to {self.feed.stop(first_stop).name}",
+            )
+        )
+        for stop_id, boarding in chain[1:]:
+            origin = self.feed.stop(boarding.from_stop).position  # type: ignore[arg-type]
+            dest = self.feed.stop(stop_id).position
+            if boarding.kind == "transit":
+                ready = arrival[boarding.from_stop]  # type: ignore[index]
+                legs.append(
+                    Leg(
+                        mode=LegMode.TRANSIT,
+                        origin=origin,
+                        destination=dest,
+                        start_s=boarding.depart_s,
+                        end_s=boarding.arrive_s,
+                        wait_s=max(0.0, boarding.depart_s - ready),
+                        description=boarding.route.name,  # type: ignore[union-attr]
+                    )
+                )
+            else:
+                legs.append(
+                    Leg(
+                        mode=LegMode.WALK,
+                        origin=origin,
+                        destination=dest,
+                        start_s=boarding.depart_s,
+                        end_s=boarding.arrive_s,
+                        description="transfer walk",
+                    )
+                )
+        legs.append(
+            Leg(
+                mode=LegMode.WALK,
+                origin=self.feed.stop(last_stop).position,
+                destination=destination,
+                start_s=arrival[last_stop],
+                end_s=arrival[last_stop] + egress_walk_m / self.walk_speed,
+                description="walk to destination",
+            )
+        )
+        plan = TripPlan(legs=_merge_same_vehicle(legs))
+        plan.validate()
+        return plan
+
+
+def _merge_same_vehicle(legs: List[Leg]) -> List[Leg]:
+    """Collapse consecutive transit legs that continue on the same vehicle.
+
+    The label-correcting search may record a stop-by-stop chain along one
+    line; when the second boarding departs exactly when the first arrives
+    (same trip, frequency model) the two legs are one physical ride — merging
+    keeps hop counts honest.
+    """
+    merged: List[Leg] = []
+    for leg in legs:
+        previous = merged[-1] if merged else None
+        if (
+            previous is not None
+            and previous.mode is LegMode.TRANSIT
+            and leg.mode is LegMode.TRANSIT
+            and previous.description == leg.description
+            and abs(leg.start_s - previous.end_s) < 1e-6
+        ):
+            merged[-1] = Leg(
+                mode=LegMode.TRANSIT,
+                origin=previous.origin,
+                destination=leg.destination,
+                start_s=previous.start_s,
+                end_s=leg.end_s,
+                wait_s=previous.wait_s,
+                description=previous.description,
+            )
+        else:
+            merged.append(leg)
+    return merged

@@ -1,0 +1,231 @@
+"""Parametric synthetic city generators (the OSM-extract substitute).
+
+The paper runs on the New York road network.  XAR's data structures consume
+nothing but a directed weighted graph with coordinates, so we generate cities
+with the properties that matter for the experiments:
+
+* :func:`manhattan_city` — a lattice of one-way streets and two-way avenues
+  with NYC-like block spacing (~80 m between streets, ~250 m between
+  avenues); this is the default substrate for every benchmark,
+* :func:`radial_city` — ring-and-spoke layout, a sanity check that nothing
+  assumes a lattice,
+* :func:`random_planar_city` — jittered random intersections with k-nearest
+  links, exercising irregular topologies.
+
+Every generator returns a strongly connected :class:`RoadNetwork` (verified
+at build time) so that routing never dead-ends.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..exceptions import RoadNetworkError
+from ..geo import GeoPoint, destination_point
+from .graph import RoadNetwork
+
+#: Default anchor: lower Manhattan.
+DEFAULT_ORIGIN = GeoPoint(40.700, -74.020)
+
+#: Typical urban speeds, m/s.
+STREET_SPEED = 8.3  # ~30 km/h
+AVENUE_SPEED = 11.1  # ~40 km/h
+
+
+def manhattan_city(
+    n_avenues: int = 12,
+    n_streets: int = 40,
+    avenue_spacing_m: float = 250.0,
+    street_spacing_m: float = 100.0,
+    origin: GeoPoint = DEFAULT_ORIGIN,
+    one_way_streets: bool = True,
+    rng: Optional[random.Random] = None,
+) -> RoadNetwork:
+    """Manhattan-style lattice.
+
+    Avenues run south-north and are always two-way; streets run west-east and
+    alternate direction when ``one_way_streets`` — the pattern that makes the
+    result strongly connected by construction while reproducing the one-way
+    character that separates driving from walking distance in the paper
+    (Section IV).  A small positional jitter (if ``rng``) avoids perfectly
+    degenerate geometry.
+    """
+    if n_avenues < 2 or n_streets < 2:
+        raise ValueError("need at least a 2x2 lattice")
+    network = RoadNetwork()
+    node_id: Dict[Tuple[int, int], int] = {}
+    next_id = 0
+    for ai in range(n_avenues):
+        for si in range(n_streets):
+            east = ai * avenue_spacing_m
+            north = si * street_spacing_m
+            if rng is not None:
+                east += rng.uniform(-5.0, 5.0)
+                north += rng.uniform(-5.0, 5.0)
+            position = destination_point(
+                destination_point(origin, 90.0, east), 0.0, north
+            )
+            node_id[(ai, si)] = next_id
+            network.add_node(next_id, position)
+            next_id += 1
+    # Avenues: two-way vertical links.
+    for ai in range(n_avenues):
+        for si in range(n_streets - 1):
+            network.add_edge(
+                node_id[(ai, si)], node_id[(ai, si + 1)],
+                speed_mps=AVENUE_SPEED, bidirectional=True,
+            )
+    # Streets: horizontal links, alternating one-way east/west.
+    for si in range(n_streets):
+        eastbound = si % 2 == 0
+        for ai in range(n_avenues - 1):
+            a = node_id[(ai, si)]
+            b = node_id[(ai + 1, si)]
+            if not one_way_streets:
+                network.add_edge(a, b, speed_mps=STREET_SPEED, bidirectional=True)
+            elif eastbound:
+                network.add_edge(a, b, speed_mps=STREET_SPEED)
+            else:
+                network.add_edge(b, a, speed_mps=STREET_SPEED)
+    _require_strongly_connected(network)
+    return network
+
+
+def radial_city(
+    n_rings: int = 6,
+    n_spokes: int = 12,
+    ring_spacing_m: float = 400.0,
+    origin: GeoPoint = DEFAULT_ORIGIN,
+) -> RoadNetwork:
+    """Ring-and-spoke city: a centre node, concentric rings, radial spokes."""
+    if n_rings < 1 or n_spokes < 3:
+        raise ValueError("need at least 1 ring and 3 spokes")
+    network = RoadNetwork()
+    network.add_node(0, origin)
+    next_id = 1
+    ring_nodes: List[List[int]] = []
+    for ring in range(1, n_rings + 1):
+        nodes_here: List[int] = []
+        for spoke in range(n_spokes):
+            bearing = 360.0 * spoke / n_spokes
+            position = destination_point(origin, bearing, ring * ring_spacing_m)
+            network.add_node(next_id, position)
+            nodes_here.append(next_id)
+            next_id += 1
+        ring_nodes.append(nodes_here)
+    # Spokes: two-way radial edges.
+    for spoke in range(n_spokes):
+        network.add_edge(0, ring_nodes[0][spoke], speed_mps=AVENUE_SPEED, bidirectional=True)
+        for ring in range(n_rings - 1):
+            network.add_edge(
+                ring_nodes[ring][spoke], ring_nodes[ring + 1][spoke],
+                speed_mps=AVENUE_SPEED, bidirectional=True,
+            )
+    # Rings: two-way circumferential edges.
+    for ring in range(n_rings):
+        for spoke in range(n_spokes):
+            network.add_edge(
+                ring_nodes[ring][spoke], ring_nodes[ring][(spoke + 1) % n_spokes],
+                speed_mps=STREET_SPEED, bidirectional=True,
+            )
+    _require_strongly_connected(network)
+    return network
+
+
+def random_planar_city(
+    n_nodes: int = 300,
+    extent_m: float = 4000.0,
+    k_nearest: int = 4,
+    origin: GeoPoint = DEFAULT_ORIGIN,
+    seed: int = 7,
+) -> RoadNetwork:
+    """Random jittered intersections wired to their k nearest neighbours.
+
+    All edges are two-way; a spanning pass guarantees connectivity even for
+    unlucky samples.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    rng = random.Random(seed)
+    network = RoadNetwork()
+    offsets: List[Tuple[float, float]] = []
+    for node in range(n_nodes):
+        east = rng.uniform(0.0, extent_m)
+        north = rng.uniform(0.0, extent_m)
+        offsets.append((east, north))
+        position = destination_point(destination_point(origin, 90.0, east), 0.0, north)
+        network.add_node(node, position)
+
+    def _euclid(i: int, j: int) -> float:
+        (e1, n1), (e2, n2) = offsets[i], offsets[j]
+        return math.hypot(e1 - e2, n1 - n2)
+
+    added = set()
+    for i in range(n_nodes):
+        neighbours = sorted(
+            (j for j in range(n_nodes) if j != i), key=lambda j: _euclid(i, j)
+        )[:k_nearest]
+        for j in neighbours:
+            key = (min(i, j), max(i, j))
+            if key not in added:
+                added.add(key)
+                network.add_edge(i, j, speed_mps=STREET_SPEED, bidirectional=True)
+    # Connectivity pass: greedily link any unreached component to the reached
+    # set via the closest pair.
+    reached = _reachable(network, 0)
+    while len(reached) < n_nodes:
+        best: Optional[Tuple[float, int, int]] = None
+        for i in reached:
+            for j in range(n_nodes):
+                if j in reached:
+                    continue
+                d = _euclid(i, j)
+                if best is None or d < best[0]:
+                    best = (d, i, j)
+        assert best is not None
+        _d, i, j = best
+        network.add_edge(i, j, speed_mps=STREET_SPEED, bidirectional=True)
+        reached = _reachable(network, 0)
+    _require_strongly_connected(network)
+    return network
+
+
+def _reachable(network: RoadNetwork, start: int) -> set:
+    """Forward-reachable node set from ``start``."""
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for edge in network.out_edges(node):
+            if edge.target not in seen:
+                seen.add(edge.target)
+                stack.append(edge.target)
+    return seen
+
+
+def _reverse_reachable(network: RoadNetwork, start: int) -> set:
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        for edge in network.in_edges(node):
+            if edge.source not in seen:
+                seen.add(edge.source)
+                stack.append(edge.source)
+    return seen
+
+
+def is_strongly_connected(network: RoadNetwork) -> bool:
+    """True iff every node reaches and is reached by node 0."""
+    if network.node_count == 0:
+        return True
+    start = next(network.nodes())
+    n = network.node_count
+    return len(_reachable(network, start)) == n and len(_reverse_reachable(network, start)) == n
+
+
+def _require_strongly_connected(network: RoadNetwork) -> None:
+    if not is_strongly_connected(network):
+        raise RoadNetworkError("generated city is not strongly connected")

@@ -1,0 +1,76 @@
+"""Road-network serialization.
+
+The paper's pre-processing runs once per city (Section III); persisting the
+network (and the discretization, see :mod:`repro.discretization.io`) lets a
+deployment load in milliseconds instead of rebuilding.  The format is plain
+JSON — diff-able, versioned, and free of pickle's code-execution hazards.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Union
+
+from ..exceptions import RoadNetworkError
+from ..geo import GeoPoint
+from .graph import RoadNetwork
+
+#: Format version; bump on breaking changes.
+FORMAT_VERSION = 1
+
+PathLike = Union[str, pathlib.Path]
+
+
+def network_to_dict(network: RoadNetwork) -> Dict:
+    """Serialize a network to a JSON-safe dictionary."""
+    return {
+        "format": "repro.roadnet",
+        "version": FORMAT_VERSION,
+        "nodes": [
+            {"id": node, "lat": network.position(node).lat, "lon": network.position(node).lon}
+            for node in network.nodes()
+        ],
+        "edges": [
+            {
+                "source": edge.source,
+                "target": edge.target,
+                "length_m": edge.length_m,
+                "speed_mps": edge.speed_mps,
+            }
+            for edge in network.edges()
+        ],
+    }
+
+
+def network_from_dict(payload: Dict) -> RoadNetwork:
+    """Rebuild a network from :func:`network_to_dict` output."""
+    if payload.get("format") != "repro.roadnet":
+        raise RoadNetworkError("not a serialized road network")
+    if payload.get("version") != FORMAT_VERSION:
+        raise RoadNetworkError(
+            f"unsupported network format version {payload.get('version')!r}"
+        )
+    network = RoadNetwork()
+    for node in payload["nodes"]:
+        network.add_node(int(node["id"]), GeoPoint(float(node["lat"]), float(node["lon"])))
+    for edge in payload["edges"]:
+        network.add_edge(
+            int(edge["source"]),
+            int(edge["target"]),
+            length_m=float(edge["length_m"]),
+            speed_mps=float(edge["speed_mps"]),
+        )
+    return network
+
+
+def save_network(network: RoadNetwork, path: PathLike) -> None:
+    """Write a network to a JSON file."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(network_to_dict(network)))
+
+
+def load_network(path: PathLike) -> RoadNetwork:
+    """Read a network from a JSON file."""
+    path = pathlib.Path(path)
+    return network_from_dict(json.loads(path.read_text()))

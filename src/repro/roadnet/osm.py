@@ -1,0 +1,183 @@
+"""OpenStreetMap XML ingestion (the paper's map-processor input, §III).
+
+Parses a ``.osm`` XML extract into a :class:`RoadNetwork`:
+
+* ``<node>`` elements become graph nodes (only those referenced by kept
+  ways are materialised),
+* ``<way>`` elements with a ``highway`` tag become edge chains; ``oneway``
+  tags are honoured; speeds default from the highway class and respect
+  ``maxspeed`` when parseable.
+
+This is a deliberately dependency-free subset parser (xml.etree): enough to
+load a city extract, not a full OSM toolchain.  Ways whose class is in
+``IGNORED_HIGHWAYS`` (footpaths etc.) are skipped — driving network only.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import xml.etree.ElementTree as ET
+from typing import Dict, List, Optional, Union
+
+from ..exceptions import RoadNetworkError
+from ..geo import GeoPoint
+from .graph import RoadNetwork
+
+PathLike = Union[str, pathlib.Path]
+
+#: Default speeds (m/s) by highway class.
+HIGHWAY_SPEEDS = {
+    "motorway": 27.0,
+    "trunk": 22.0,
+    "primary": 16.0,
+    "secondary": 13.0,
+    "tertiary": 11.0,
+    "unclassified": 8.0,
+    "residential": 8.0,
+    "service": 5.0,
+    "living_street": 4.0,
+    "motorway_link": 16.0,
+    "trunk_link": 13.0,
+    "primary_link": 11.0,
+    "secondary_link": 11.0,
+    "tertiary_link": 8.0,
+}
+
+#: Non-drivable classes.
+IGNORED_HIGHWAYS = {
+    "footway", "path", "cycleway", "steps", "pedestrian", "bridleway",
+    "corridor", "track", "construction", "proposed", "raceway",
+}
+
+
+def _parse_maxspeed(value: Optional[str]) -> Optional[float]:
+    """'50', '50 km/h' or '30 mph' → m/s; None when unparseable."""
+    if not value:
+        return None
+    text = value.strip().lower()
+    factor = 1000.0 / 3600.0
+    if text.endswith("mph"):
+        factor = 1609.344 / 3600.0
+        text = text[:-3].strip()
+    elif text.endswith("km/h"):
+        text = text[:-4].strip()
+    try:
+        speed = float(text)
+    except ValueError:
+        return None
+    return speed * factor if speed > 0 else None
+
+
+def load_osm_xml(path: PathLike) -> RoadNetwork:
+    """Parse an OSM XML extract into a strongly usable road network.
+
+    Node ids are re-numbered densely (0..n-1) so they index arrays directly;
+    the original OSM ids only matter inside the file.
+
+    Raises :class:`RoadNetworkError` if no drivable way survives.
+    """
+    path = pathlib.Path(path)
+    try:
+        tree = ET.parse(path)
+    except ET.ParseError as exc:
+        raise RoadNetworkError(f"malformed OSM XML in {path}: {exc}") from exc
+    root = tree.getroot()
+
+    positions: Dict[str, GeoPoint] = {}
+    for node in root.iter("node"):
+        try:
+            positions[node.attrib["id"]] = GeoPoint(
+                float(node.attrib["lat"]), float(node.attrib["lon"])
+            )
+        except (KeyError, ValueError):
+            continue  # skip malformed nodes
+
+    network = RoadNetwork()
+    renumber: Dict[str, int] = {}
+
+    def node_id(osm_id: str) -> int:
+        if osm_id not in renumber:
+            renumber[osm_id] = len(renumber)
+            network.add_node(renumber[osm_id], positions[osm_id])
+        return renumber[osm_id]
+
+    ways_kept = 0
+    for way in root.iter("way"):
+        tags = {
+            tag.attrib.get("k"): tag.attrib.get("v") for tag in way.findall("tag")
+        }
+        highway = tags.get("highway")
+        if highway is None or highway in IGNORED_HIGHWAYS:
+            continue
+        speed = _parse_maxspeed(tags.get("maxspeed"))
+        if speed is None:
+            speed = HIGHWAY_SPEEDS.get(highway, 8.0)
+        oneway_tag = tags.get("oneway", "no")
+        oneway = oneway_tag in ("yes", "true", "1", "-1")
+        reversed_way = oneway_tag == "-1"
+
+        refs = [nd.attrib.get("ref") for nd in way.findall("nd")]
+        refs = [r for r in refs if r in positions]
+        if len(refs) < 2:
+            continue
+        if reversed_way:
+            refs = list(reversed(refs))
+        ways_kept += 1
+        for a_ref, b_ref in zip(refs, refs[1:]):
+            a, b = node_id(a_ref), node_id(b_ref)
+            if a == b:
+                continue
+            network.add_edge(a, b, speed_mps=speed, bidirectional=not oneway)
+
+    if ways_kept == 0:
+        raise RoadNetworkError(f"no drivable ways found in {path}")
+    return network
+
+
+def largest_component(network: RoadNetwork) -> RoadNetwork:
+    """Restrict a network to its largest strongly connected component.
+
+    Real OSM extracts contain disconnected fragments (parking lots, islands);
+    routing needs one strongly connected graph.  Tarjan-free approach:
+    repeated forward/backward reachability intersection from a sampled node —
+    O(V+E) per probe, few probes in practice.
+    """
+    if network.node_count == 0:
+        return network
+
+    remaining = set(network.nodes())
+    best: set = set()
+    while remaining and len(remaining) > len(best):
+        start = next(iter(remaining))
+        forward = _reach(network, start, reverse=False)
+        backward = _reach(network, start, reverse=True)
+        component = forward & backward
+        if len(component) > len(best):
+            best = component
+        remaining -= component
+
+    rebuilt = RoadNetwork()
+    keep = best
+    for node in keep:
+        rebuilt.add_node(node, network.position(node))
+    for edge in network.edges():
+        if edge.source in keep and edge.target in keep:
+            rebuilt.add_edge(
+                edge.source, edge.target,
+                length_m=edge.length_m, speed_mps=edge.speed_mps,
+            )
+    return rebuilt
+
+
+def _reach(network: RoadNetwork, start: int, reverse: bool) -> set:
+    seen = {start}
+    stack = [start]
+    while stack:
+        node = stack.pop()
+        edges = network.in_edges(node) if reverse else network.out_edges(node)
+        for edge in edges:
+            nxt = edge.source if reverse else edge.target
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen

@@ -1,0 +1,296 @@
+"""Shortest-path algorithms over :class:`~repro.roadnet.graph.RoadNetwork`.
+
+The paper's design principle is that shortest paths are computed only at ride
+*creation* and *booking* time, never during search.  These are the routines
+those operations use:
+
+* :func:`dijkstra_all` — one-to-all distances (optionally early-terminated),
+* :func:`dijkstra_path` — one-to-one distance + node path,
+* :func:`bidirectional_dijkstra` — faster one-to-one distance queries,
+* :func:`astar` — haversine-guided one-to-one path search,
+* :func:`multi_source_nearest` — nearest-source labelling used by the
+  discretization builder to associate every grid with its closest landmark in
+  a single pass (instead of one Dijkstra per grid).
+
+All distances are metres over edge lengths; time-weighted variants are
+obtained by passing ``weight="time"``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..exceptions import NoPathError, RoadNetworkError
+from .graph import RoadEdge, RoadNetwork
+
+#: Edge weight selectors.
+_WEIGHTS: Dict[str, Callable[[RoadEdge], float]] = {
+    "length": lambda e: e.length_m,
+    "time": lambda e: e.travel_seconds,
+}
+
+
+def _weight_fn(weight: str) -> Callable[[RoadEdge], float]:
+    try:
+        return _WEIGHTS[weight]
+    except KeyError:
+        raise ValueError(f"unknown weight {weight!r}, expected 'length' or 'time'")
+
+
+def dijkstra_all(
+    network: RoadNetwork,
+    source: int,
+    weight: str = "length",
+    cutoff: Optional[float] = None,
+    targets: Optional[Set[int]] = None,
+) -> Dict[int, float]:
+    """One-to-all Dijkstra from ``source``.
+
+    ``cutoff`` stops expanding beyond that distance; ``targets`` stops as soon
+    as every target has been settled (whichever comes first).  Returns settled
+    distances only.
+    """
+    if not network.has_node(source):
+        raise RoadNetworkError(f"unknown source node {source}")
+    wf = _weight_fn(weight)
+    dist: Dict[int, float] = {}
+    remaining = set(targets) if targets is not None else None
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        dist[node] = d
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        for edge in network.out_edges(node):
+            if edge.target not in dist:
+                heapq.heappush(heap, (d + wf(edge), edge.target))
+    return dist
+
+
+def dijkstra_path(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weight: str = "length",
+) -> Tuple[float, List[int]]:
+    """One-to-one Dijkstra returning ``(distance, node_path)``.
+
+    Raises :class:`~repro.exceptions.NoPathError` if unreachable.
+    """
+    if not network.has_node(source):
+        raise RoadNetworkError(f"unknown source node {source}")
+    if not network.has_node(target):
+        raise RoadNetworkError(f"unknown target node {target}")
+    if source == target:
+        return 0.0, [source]
+    wf = _weight_fn(weight)
+    settled: Dict[int, float] = {}
+    seen: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled[node] = d
+        if node == target:
+            return d, _trace(parent, source, target)
+        for edge in network.out_edges(node):
+            nxt = edge.target
+            if nxt in settled:
+                continue
+            nd = d + wf(edge)
+            if nd < seen.get(nxt, float("inf")):
+                seen[nxt] = nd
+                parent[nxt] = node
+                heapq.heappush(heap, (nd, nxt))
+    raise NoPathError(source, target)
+
+
+def _trace(parent: Dict[int, int], source: int, target: int) -> List[int]:
+    path = [target]
+    while path[-1] != source:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+def bidirectional_dijkstra(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weight: str = "length",
+) -> float:
+    """Distance-only bidirectional Dijkstra (typically ~2x faster)."""
+    if not network.has_node(source):
+        raise RoadNetworkError(f"unknown source node {source}")
+    if not network.has_node(target):
+        raise RoadNetworkError(f"unknown target node {target}")
+    if source == target:
+        return 0.0
+    wf = _weight_fn(weight)
+    dist_f: Dict[int, float] = {}
+    dist_b: Dict[int, float] = {}
+    heap_f: List[Tuple[float, int]] = [(0.0, source)]
+    heap_b: List[Tuple[float, int]] = [(0.0, target)]
+    best = float("inf")
+    while heap_f and heap_b:
+        if heap_f[0][0] + heap_b[0][0] >= best:
+            break
+        # Expand the smaller frontier.
+        if heap_f[0][0] <= heap_b[0][0]:
+            d, node = heapq.heappop(heap_f)
+            if node in dist_f:
+                continue
+            dist_f[node] = d
+            if node in dist_b:
+                best = min(best, d + dist_b[node])
+            for edge in network.out_edges(node):
+                if edge.target not in dist_f:
+                    nd = d + wf(edge)
+                    heapq.heappush(heap_f, (nd, edge.target))
+                    if edge.target in dist_b:
+                        best = min(best, nd + dist_b[edge.target])
+        else:
+            d, node = heapq.heappop(heap_b)
+            if node in dist_b:
+                continue
+            dist_b[node] = d
+            if node in dist_f:
+                best = min(best, d + dist_f[node])
+            for edge in network.in_edges(node):
+                if edge.source not in dist_b:
+                    nd = d + wf(edge)
+                    heapq.heappush(heap_b, (nd, edge.source))
+                    if edge.source in dist_f:
+                        best = min(best, nd + dist_f[edge.source])
+    if best == float("inf"):
+        raise NoPathError(source, target)
+    return best
+
+
+def astar(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+) -> Tuple[float, List[int]]:
+    """A* with the great-circle lower bound; length-weighted only.
+
+    The haversine distance is an admissible heuristic for road length, so the
+    result is exact.
+    """
+    if not network.has_node(source):
+        raise RoadNetworkError(f"unknown source node {source}")
+    if not network.has_node(target):
+        raise RoadNetworkError(f"unknown target node {target}")
+    if source == target:
+        return 0.0, [source]
+    goal = network.position(target)
+    settled: Dict[int, float] = {}
+    seen: Dict[int, float] = {source: 0.0}
+    parent: Dict[int, int] = {}
+    start_h = network.position(source).distance_to(goal)
+    heap: List[Tuple[float, float, int]] = [(start_h, 0.0, source)]
+    while heap:
+        _f, d, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled[node] = d
+        if node == target:
+            return d, _trace(parent, source, target)
+        for edge in network.out_edges(node):
+            nxt = edge.target
+            if nxt in settled:
+                continue
+            nd = d + edge.length_m
+            if nd < seen.get(nxt, float("inf")):
+                seen[nxt] = nd
+                parent[nxt] = node
+                h = network.position(nxt).distance_to(goal)
+                heapq.heappush(heap, (nd + h, nd, nxt))
+    raise NoPathError(source, target)
+
+
+def multi_source_nearest(
+    network: RoadNetwork,
+    sources: Iterable[int],
+    weight: str = "length",
+    cutoff: Optional[float] = None,
+) -> Dict[int, Tuple[int, float]]:
+    """Label every reachable node with its nearest source and the distance.
+
+    One heap pass from all sources simultaneously — the classic trick the
+    discretization builder uses to associate every grid/node with its closest
+    landmark without running a Dijkstra per grid.
+
+    Note: distances here are *from source to node* following edge directions;
+    for "driving distance from grid to landmark" semantics the caller passes
+    the landmark set and we search the reverse graph.
+    """
+    wf = _weight_fn(weight)
+    label: Dict[int, Tuple[int, float]] = {}
+    heap: List[Tuple[float, int, int]] = []
+    for src in sources:
+        if not network.has_node(src):
+            raise RoadNetworkError(f"unknown source node {src}")
+        heapq.heappush(heap, (0.0, src, src))
+    while heap:
+        d, node, origin = heapq.heappop(heap)
+        if node in label:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        label[node] = (origin, d)
+        for edge in network.out_edges(node):
+            if edge.target not in label:
+                heapq.heappush(heap, (d + wf(edge), edge.target, origin))
+    return label
+
+
+def multi_source_nearest_reverse(
+    network: RoadNetwork,
+    sources: Iterable[int],
+    weight: str = "length",
+    cutoff: Optional[float] = None,
+) -> Dict[int, Tuple[int, float]]:
+    """Like :func:`multi_source_nearest` but over reversed edges.
+
+    The label of node ``v`` is then the nearest source *measured as the
+    driving distance from v to the source*, which is the correct semantics for
+    "drive from this grid to its landmark".
+    """
+    wf = _weight_fn(weight)
+    label: Dict[int, Tuple[int, float]] = {}
+    heap: List[Tuple[float, int, int]] = []
+    for src in sources:
+        if not network.has_node(src):
+            raise RoadNetworkError(f"unknown source node {src}")
+        heapq.heappush(heap, (0.0, src, src))
+    while heap:
+        d, node, origin = heapq.heappop(heap)
+        if node in label:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        label[node] = (origin, d)
+        for edge in network.in_edges(node):
+            if edge.source not in label:
+                heapq.heappush(heap, (d + wf(edge), edge.source, origin))
+    return label
+
+
+def shortest_distance(
+    network: RoadNetwork,
+    source: int,
+    target: int,
+    weight: str = "length",
+) -> float:
+    """Convenience wrapper: distance only, bidirectional under the hood."""
+    return bidirectional_dijkstra(network, source, target, weight)

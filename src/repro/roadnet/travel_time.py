@@ -1,0 +1,94 @@
+"""Travel-time models: converting route distances into ETAs.
+
+The paper estimates the time of arrival of a ride at a cluster "from
+historical travel times" (Section VI).  We model that with a pluggable
+:class:`TravelTimeModel`: the default :class:`UniformSpeedModel` applies a
+single urban average speed; :class:`EdgeSpeedModel` integrates per-edge
+speeds along an actual route; :class:`TimeOfDayModel` layers a rush-hour
+slowdown profile on top, standing in for historical data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..config import DEFAULT_DRIVE_SPEED
+from .graph import RoadNetwork
+
+
+class TravelTimeModel(Protocol):
+    """Anything that can turn a distance (and a departure time) into seconds."""
+
+    def seconds_for(self, distance_m: float, depart_s: float = 0.0) -> float:
+        """Estimated seconds to drive ``distance_m`` departing at ``depart_s``."""
+        ...
+
+
+@dataclass(frozen=True)
+class UniformSpeedModel:
+    """Constant average speed (m/s); the simplest historical-speed stand-in."""
+
+    speed_mps: float = DEFAULT_DRIVE_SPEED
+
+    def __post_init__(self):
+        if self.speed_mps <= 0:
+            raise ValueError(f"speed must be > 0, got {self.speed_mps!r}")
+
+    def seconds_for(self, distance_m: float, depart_s: float = 0.0) -> float:
+        return distance_m / self.speed_mps
+
+
+@dataclass(frozen=True)
+class TimeOfDayModel:
+    """Speed scaled by a rush-hour profile.
+
+    The multiplier dips to ``rush_factor`` at the morning (8h) and evening
+    (18h) peaks with Gaussian shoulders — a standard shape for urban
+    historical speeds.
+    """
+
+    base_speed_mps: float = DEFAULT_DRIVE_SPEED
+    rush_factor: float = 0.6
+    peak_hours: Sequence[float] = (8.0, 18.0)
+    peak_width_h: float = 1.5
+
+    def speed_at(self, depart_s: float) -> float:
+        hour = (depart_s / 3600.0) % 24.0
+        dip = 0.0
+        for peak in self.peak_hours:
+            dip = max(dip, math.exp(-((hour - peak) ** 2) / (2 * self.peak_width_h ** 2)))
+        factor = 1.0 - (1.0 - self.rush_factor) * dip
+        return self.base_speed_mps * factor
+
+    def seconds_for(self, distance_m: float, depart_s: float = 0.0) -> float:
+        return distance_m / self.speed_at(depart_s)
+
+
+class EdgeSpeedModel:
+    """Integrates per-edge speeds along explicit routes.
+
+    Falls back to the network-wide mean speed when asked about a bare
+    distance with no route.
+    """
+
+    def __init__(self, network: RoadNetwork):
+        self._network = network
+        total_len = 0.0
+        total_time = 0.0
+        for edge in network.edges():
+            total_len += edge.length_m
+            total_time += edge.travel_seconds
+        self._mean_speed = (total_len / total_time) if total_time > 0 else DEFAULT_DRIVE_SPEED
+
+    @property
+    def mean_speed_mps(self) -> float:
+        return self._mean_speed
+
+    def seconds_for(self, distance_m: float, depart_s: float = 0.0) -> float:
+        return distance_m / self._mean_speed
+
+    def seconds_for_route(self, nodes: Sequence[int]) -> float:
+        """Exact free-flow traversal time of a node route."""
+        return self._network.route_time_s(nodes)

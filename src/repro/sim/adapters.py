@@ -1,0 +1,104 @@
+"""Uniform engine adapters for head-to-head simulation.
+
+XAR and T-Share expose slightly different vocabularies (rides vs taxis,
+walk-based vs detour-based match ranking).  The simulator drives both
+through :class:`EngineAdapter`, which also makes the booking policy of each
+system explicit:
+
+* XAR books the match with the least total walking (Section X-A2);
+* T-Share books the match with the least detour (it has no walking concept —
+  taxis pick up at the door).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Protocol
+
+from ..baselines import TShareEngine
+from ..core import XAREngine
+from ..core.request import RideRequest
+from ..geo import GeoPoint
+
+
+class EngineAdapter(Protocol):
+    """What the simulator needs from a ride-sharing engine."""
+
+    name: str
+
+    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float) -> Any:
+        """Offer a new ride/taxi starting at ``depart_s``."""
+        ...
+
+    def search(self, request: RideRequest, k: Optional[int] = None) -> List[Any]:
+        """Feasible matches, best first."""
+        ...
+
+    def book(self, request: RideRequest, match: Any) -> Any:
+        """Confirm a match."""
+        ...
+
+    def track_all(self, now_s: float) -> int:
+        """Advance all rides to simulated time ``now_s``."""
+        ...
+
+    def cancel(self, ride: Any) -> None:
+        """Withdraw a previously created ride (driver cancellation)."""
+        ...
+
+    def active_rides(self) -> List[Any]:
+        """Handles of rides currently in the system (for cancellation)."""
+        ...
+
+
+class XARAdapter:
+    """Adapter over :class:`~repro.core.engine.XAREngine`."""
+
+    name = "XAR"
+
+    def __init__(self, engine: XAREngine):
+        self.engine = engine
+
+    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float):
+        return self.engine.create_ride(source, destination, departure_s=depart_s)
+
+    def search(self, request: RideRequest, k: Optional[int] = None):
+        return self.engine.search(request, k)
+
+    def book(self, request: RideRequest, match):
+        return self.engine.book(request, match)
+
+    def track_all(self, now_s: float) -> int:
+        return self.engine.track_all(now_s)
+
+    def cancel(self, ride) -> None:
+        self.engine.remove_ride(ride.ride_id)
+
+    def active_rides(self):
+        return list(self.engine.rides.values())
+
+
+class TShareAdapter:
+    """Adapter over :class:`~repro.baselines.tshare.engine.TShareEngine`."""
+
+    name = "T-Share"
+
+    def __init__(self, engine: TShareEngine):
+        self.engine = engine
+
+    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float):
+        return self.engine.create_taxi(source, destination, departure_s=depart_s)
+
+    def search(self, request: RideRequest, k: Optional[int] = None):
+        return self.engine.search(request, k)
+
+    def book(self, request: RideRequest, match):
+        return self.engine.book(request, match)
+
+    def track_all(self, now_s: float) -> int:
+        return self.engine.track_all(now_s)
+
+    def cancel(self, taxi) -> None:
+        self.engine.remove_taxi(taxi.ride_id)
+
+    def active_rides(self):
+        return list(self.engine.taxis.values())

@@ -1,0 +1,222 @@
+"""Transport-mode comparison (paper Section X-B3, Figure 6).
+
+Serves the *same* request stream under four modes and reports the paper's
+metrics — mean end-to-end travel time, walking time, waiting time, and the
+number of cars needed:
+
+* **Taxi** — every request gets its own car, door to door;
+* **Public transport (PT)** — every request rides the synthetic GTFS network
+  through the multimodal planner;
+* **Ride sharing (RS)** — the XAR replay policy: book a shared ride when one
+  matches, otherwise become a driver (one more car) whose ride others share;
+* **RS + PT (aider mode)** — requests ride PT; segments that are infeasible
+  (long walk / long wait) are patched with shared rides via XAR's aider
+  mode; requests that PT + aider cannot serve drive themselves and offer
+  their ride for sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..core import XAREngine
+from ..core.request import RideRequest
+from ..discretization import DiscretizedRegion
+from ..exceptions import BookingError, PlannerError, XARError
+from ..mmtp import AiderMode, LegMode, MultiModalPlanner
+from ..roadnet import dijkstra_path
+
+
+@dataclass
+class ModeMetrics:
+    """Aggregated Fig. 6 metrics for one transport mode."""
+
+    name: str
+    travel_times_s: List[float] = field(default_factory=list)
+    walk_times_s: List[float] = field(default_factory=list)
+    wait_times_s: List[float] = field(default_factory=list)
+    cars: int = 0
+    unserved: int = 0
+    #: Total distance driven by this mode's vehicles (the Agatz objective).
+    vehicle_km: float = 0.0
+
+    def add(self, travel_s: float, walk_s: float, wait_s: float) -> None:
+        self.travel_times_s.append(travel_s)
+        self.walk_times_s.append(walk_s)
+        self.wait_times_s.append(wait_s)
+
+    @property
+    def served(self) -> int:
+        return len(self.travel_times_s)
+
+    def mean_travel_s(self) -> float:
+        return _mean(self.travel_times_s)
+
+    def mean_walk_s(self) -> float:
+        return _mean(self.walk_times_s)
+
+    def mean_wait_s(self) -> float:
+        return _mean(self.wait_times_s)
+
+    def row(self) -> Dict[str, float]:
+        return {
+            "travel_min": self.mean_travel_s() / 60.0,
+            "walk_min": self.mean_walk_s() / 60.0,
+            "wait_min": self.mean_wait_s() / 60.0,
+            "cars": float(self.cars),
+            "served": float(self.served),
+            "unserved": float(self.unserved),
+            "vehicle_km": self.vehicle_km,
+        }
+
+
+def _mean(samples: List[float]) -> float:
+    return sum(samples) / len(samples) if samples else float("nan")
+
+
+#: Assumed hail wait for a taxi (the dataset's metrics are per-trip only).
+TAXI_PICKUP_WAIT_S = 180.0
+
+
+def evaluate_taxi(region: DiscretizedRegion, requests: Iterable[RideRequest]) -> ModeMetrics:
+    """Door-to-door single-occupancy taxi; one car per request."""
+    network = region.network
+    metrics = ModeMetrics(name="Taxi")
+    for request in requests:
+        try:
+            source = network.snap(request.source)
+            target = network.snap(request.destination)
+            _length, path = dijkstra_path(network, source, target)
+            drive_s = network.route_time_s(path)
+        except XARError:
+            metrics.unserved += 1
+            continue
+        metrics.add(
+            travel_s=TAXI_PICKUP_WAIT_S + drive_s,
+            walk_s=0.0,
+            wait_s=TAXI_PICKUP_WAIT_S,
+        )
+        metrics.cars += 1
+        metrics.vehicle_km += network.route_length_m(path) / 1000.0
+    return metrics
+
+
+def evaluate_public_transport(
+    planner: MultiModalPlanner, requests: Iterable[RideRequest]
+) -> ModeMetrics:
+    """Pure PT through the multimodal planner; zero cars."""
+    metrics = ModeMetrics(name="PT")
+    for request in requests:
+        try:
+            plan = planner.plan(request.source, request.destination, request.window_start_s)
+        except PlannerError:
+            metrics.unserved += 1
+            continue
+        metrics.add(plan.travel_time_s, plan.walk_time_s, plan.wait_time_s)
+    return metrics
+
+
+def evaluate_ride_share(
+    region: DiscretizedRegion, requests: Iterable[RideRequest]
+) -> ModeMetrics:
+    """XAR replay: book the least-walk match or become a driver."""
+    engine = XAREngine(region)
+    walk_speed = region.config.walk_speed_mps
+    metrics = ModeMetrics(name="RS")
+    for request in requests:
+        engine.track_all(request.window_start_s)
+        matches = engine.search(request)
+        booked = None
+        for match in matches:
+            try:
+                booked = engine.book(request, match)
+                break
+            except BookingError:
+                continue
+        if booked is not None:
+            walk_s = (booked.walk_source_m + booked.walk_destination_m) / walk_speed
+            at_pickup = request.window_start_s + booked.walk_source_m / walk_speed
+            wait_s = max(0.0, booked.eta_pickup_s - at_pickup)
+            ride_s = max(0.0, booked.eta_dropoff_s - booked.eta_pickup_s)
+            metrics.add(travel_s=walk_s + wait_s + ride_s, walk_s=walk_s, wait_s=wait_s)
+            continue
+        # No share available: drive yourself, offer the ride to others.
+        try:
+            ride = engine.create_ride(
+                request.source, request.destination, request.window_start_s
+            )
+        except XARError:
+            metrics.unserved += 1
+            continue
+        metrics.cars += 1
+        metrics.add(travel_s=ride.duration_s, walk_s=0.0, wait_s=0.0)
+    metrics.vehicle_km = _engine_vehicle_km(engine)
+    return metrics
+
+
+def _engine_vehicle_km(engine: XAREngine) -> float:
+    rides = list(engine.rides.values()) + list(engine.completed_rides.values())
+    return sum(ride.length_m for ride in rides) / 1000.0
+
+
+def evaluate_rs_pt(
+    region: DiscretizedRegion,
+    planner: MultiModalPlanner,
+    requests: Iterable[RideRequest],
+    max_walk_leg_m: float = 1000.0,
+    max_wait_s: float = 600.0,
+) -> ModeMetrics:
+    """PT patched with shared rides (aider mode); self-drive as last resort.
+
+    The paper's infeasibility thresholds: a single segment walking more than
+    1 km or waiting more than 10 minutes.
+    """
+    engine = XAREngine(region)
+    aider = AiderMode(
+        planner,
+        engine,
+        max_walk_leg_m=max_walk_leg_m,
+        max_wait_s=max_wait_s,
+        book=True,
+    )
+    metrics = ModeMetrics(name="RS+PT")
+    for request in requests:
+        engine.track_all(request.window_start_s)
+        try:
+            plan = aider.improve(
+                request.source, request.destination, request.window_start_s
+            )
+        except PlannerError:
+            plan = None
+        if plan is not None:
+            still_infeasible = any(aider._leg_infeasible(leg) for leg in plan.legs)
+            if not still_infeasible:
+                metrics.add(plan.travel_time_s, plan.walk_time_s, plan.wait_time_s)
+                continue
+        # PT + aider could not produce a tolerable plan: self-drive and share.
+        try:
+            ride = engine.create_ride(
+                request.source, request.destination, request.window_start_s
+            )
+        except XARError:
+            metrics.unserved += 1
+            continue
+        metrics.cars += 1
+        metrics.add(travel_s=ride.duration_s, walk_s=0.0, wait_s=0.0)
+    metrics.vehicle_km = _engine_vehicle_km(engine)
+    return metrics
+
+
+def compare_modes(
+    region: DiscretizedRegion,
+    planner: MultiModalPlanner,
+    requests: List[RideRequest],
+) -> Dict[str, ModeMetrics]:
+    """Run all four modes on the same request list (Fig. 6)."""
+    return {
+        "Taxi": evaluate_taxi(region, requests),
+        "PT": evaluate_public_transport(planner, requests),
+        "RS": evaluate_ride_share(region, requests),
+        "RS+PT": evaluate_rs_pt(region, planner, requests),
+    }

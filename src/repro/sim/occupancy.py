@@ -1,0 +1,88 @@
+"""Occupancy and vehicle-distance accounting.
+
+T-Share's stated objective is reducing the overall distance travelled, and
+Agatz et al. (the paper's related work) optimise total system-wide vehicle
+miles.  These helpers measure both on a finished XAR engine:
+
+* :func:`ride_occupancy_timeline` — occupants per route interval, derived
+  from the ride's pickup/drop-off via-points;
+* :func:`vehicle_km` / :func:`passenger_km` — totals across rides;
+* :func:`occupancy_stats` — the distance-weighted mean occupancy and the
+  passenger-km / vehicle-km utilisation ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core import XAREngine
+from ..core.ride import Ride
+
+
+def ride_occupancy_timeline(ride: Ride) -> List[Tuple[float, float, int]]:
+    """(start_offset_m, end_offset_m, occupants) intervals along the route.
+
+    The driver counts as one occupant; each pickup via-point adds one and
+    each drop-off removes one.  Interval boundaries are via-point offsets.
+    """
+    boundaries: List[Tuple[float, int]] = []
+    for via in ride.via_points:
+        offset = ride.offset_at_index(via.route_index)
+        if via.label == "pickup":
+            boundaries.append((offset, +1))
+        elif via.label == "dropoff":
+            boundaries.append((offset, -1))
+    boundaries.sort()
+
+    timeline: List[Tuple[float, float, int]] = []
+    occupants = 1  # the driver
+    cursor = 0.0
+    for offset, delta in boundaries:
+        if offset > cursor:
+            timeline.append((cursor, offset, occupants))
+            cursor = offset
+        occupants += delta
+        if occupants < 1:
+            raise ValueError(
+                f"ride {ride.ride_id}: occupancy dropped below the driver "
+                "(drop-off before pickup?)"
+            )
+    if cursor < ride.length_m:
+        timeline.append((cursor, ride.length_m, occupants))
+    return timeline
+
+
+def _all_rides(engine: XAREngine) -> List[Ride]:
+    return list(engine.rides.values()) + list(engine.completed_rides.values())
+
+
+def vehicle_km(engine: XAREngine) -> float:
+    """Total distance driven by every ride in the system, km."""
+    return sum(ride.length_m for ride in _all_rides(engine)) / 1000.0
+
+
+def passenger_km(engine: XAREngine) -> float:
+    """Total occupant-distance, km (driver included, per occupancy)."""
+    total_m = 0.0
+    for ride in _all_rides(engine):
+        for start, end, occupants in ride_occupancy_timeline(ride):
+            total_m += (end - start) * occupants
+    return total_m / 1000.0
+
+
+def occupancy_stats(engine: XAREngine) -> Dict[str, float]:
+    """Distance-weighted occupancy summary across all rides."""
+    vkm = vehicle_km(engine)
+    pkm = passenger_km(engine)
+    rides = _all_rides(engine)
+    peak = 1
+    for ride in rides:
+        for _start, _end, occupants in ride_occupancy_timeline(ride):
+            peak = max(peak, occupants)
+    return {
+        "rides": float(len(rides)),
+        "vehicle_km": vkm,
+        "passenger_km": pkm,
+        "mean_occupancy": (pkm / vkm) if vkm > 0 else float("nan"),
+        "peak_occupancy": float(peak),
+    }

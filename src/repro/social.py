@@ -1,0 +1,123 @@
+"""Social network substrate for match ranking (paper Section VII).
+
+"...if a social networking graph could be built or integrated into the
+system then the rides offered by people in the social network graph of the
+requester can be given higher priority while listing the options.  This will
+address the safety concern to some extent..."
+
+:class:`SocialNetwork` is an undirected friendship graph with hop queries;
+:func:`social_ranking` produces a sort key for
+:meth:`XAREngine.search`-style match lists that puts direct friends first,
+friends-of-friends second, strangers last — each tier still ordered by the
+system's default least-walk criterion.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+
+class SocialNetwork:
+    """An undirected friendship graph over user ids."""
+
+    def __init__(self):
+        self._friends: Dict[int, Set[int]] = {}
+
+    def add_user(self, user: int) -> None:
+        self._friends.setdefault(user, set())
+
+    def add_friendship(self, a: int, b: int) -> None:
+        """Befriend two (auto-registered) users; self-loops are rejected."""
+        if a == b:
+            raise ValueError("a user cannot befriend themselves")
+        self.add_user(a)
+        self.add_user(b)
+        self._friends[a].add(b)
+        self._friends[b].add(a)
+
+    def friends(self, user: int) -> Set[int]:
+        return set(self._friends.get(user, ()))
+
+    def are_friends(self, a: int, b: int) -> bool:
+        return b in self._friends.get(a, ())
+
+    def hop_distance(self, a: int, b: int, max_hops: int = 2) -> Optional[int]:
+        """BFS hop count up to ``max_hops``; None beyond (or unknown users)."""
+        if a not in self._friends or b not in self._friends:
+            return None
+        if a == b:
+            return 0
+        frontier = {a}
+        seen = {a}
+        for hops in range(1, max_hops + 1):
+            frontier = {
+                friend
+                for user in frontier
+                for friend in self._friends[user]
+                if friend not in seen
+            }
+            if b in frontier:
+                return hops
+            seen |= frontier
+            if not frontier:
+                return None
+        return None
+
+    @property
+    def n_users(self) -> int:
+        return len(self._friends)
+
+    @property
+    def n_friendships(self) -> int:
+        return sum(len(friends) for friends in self._friends.values()) // 2
+
+
+def small_world_network(
+    n_users: int,
+    mean_degree: int = 6,
+    rewire_p: float = 0.1,
+    seed: int = 0,
+) -> SocialNetwork:
+    """Watts–Strogatz-style small world: ring lattice + random rewiring."""
+    if n_users < 3:
+        raise ValueError("need at least 3 users")
+    if mean_degree < 2 or mean_degree % 2:
+        raise ValueError("mean_degree must be an even integer >= 2")
+    rng = random.Random(seed)
+    network = SocialNetwork()
+    half = mean_degree // 2
+    for user in range(n_users):
+        for offset in range(1, half + 1):
+            neighbour = (user + offset) % n_users
+            if rng.random() < rewire_p:
+                neighbour = rng.randrange(n_users)
+                while neighbour == user:
+                    neighbour = rng.randrange(n_users)
+            if neighbour != user:
+                network.add_friendship(user, neighbour)
+    return network
+
+
+def social_ranking(
+    social: SocialNetwork,
+    requester: int,
+    driver_of: Callable[[int], Optional[int]],
+) -> Callable[[object], Tuple]:
+    """Sort key for match lists: friends → friends-of-friends → strangers.
+
+    ``driver_of(ride_id)`` resolves a match's driver (None when unknown);
+    ties within a tier fall back to total walking then pickup ETA — the
+    system's default ordering.
+    """
+
+    def key(match) -> Tuple:
+        driver = driver_of(match.ride_id)
+        if driver is None:
+            tier = 3
+        else:
+            hops = social.hop_distance(requester, driver, max_hops=2)
+            tier = hops if hops is not None else 3
+        return (tier, match.total_walk_m, match.eta_pickup_s, match.ride_id)
+
+    return key

@@ -1,0 +1,151 @@
+"""SVG rendering of cities, discretizations and rides (no dependencies).
+
+Deployments need to *see* the discretization — which landmarks clustered
+together, what a ride's pass-through corridor looks like.  These renderers
+emit standalone SVG files:
+
+* :func:`render_region_svg` — road network, landmarks coloured by cluster;
+* :func:`render_ride_svg` — a ride's route, via-points, and the landmarks of
+  its pass-through vs merely reachable clusters.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .core.ride import Ride
+from .discretization import DiscretizedRegion
+from .geo import GeoPoint
+from .roadnet import RoadNetwork
+
+PathLike = Union[str, pathlib.Path]
+
+#: A categorical palette cycled over cluster ids.
+PALETTE = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+    "#e377c2", "#7f7f7f", "#bcbd22", "#17becf",
+]
+
+
+class _Projector:
+    """Equirectangular lat/lon → pixel mapping for one drawing."""
+
+    def __init__(self, points: Sequence[GeoPoint], width: int, margin: int = 20):
+        if not points:
+            raise ValueError("cannot project zero points")
+        self.min_lat = min(p.lat for p in points)
+        self.max_lat = max(p.lat for p in points)
+        self.min_lon = min(p.lon for p in points)
+        self.max_lon = max(p.lon for p in points)
+        lat_span = (self.max_lat - self.min_lat) or 1e-6
+        lon_span = (self.max_lon - self.min_lon) or 1e-6
+        self.margin = margin
+        usable = width - 2 * margin
+        self.scale = usable / lon_span
+        self.width = width
+        self.height = int(lat_span * self.scale) + 2 * margin
+
+    def xy(self, point: GeoPoint) -> Tuple[float, float]:
+        x = self.margin + (point.lon - self.min_lon) * self.scale
+        y = self.margin + (self.max_lat - point.lat) * self.scale
+        return (round(x, 1), round(y, 1))
+
+
+def _svg_document(body: List[str], width: int, height: int) -> str:
+    return "\n".join(
+        [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" viewBox="0 0 {width} {height}">',
+            '<rect width="100%" height="100%" fill="white"/>',
+            *body,
+            "</svg>",
+        ]
+    )
+
+
+def _edges_svg(network: RoadNetwork, proj: _Projector) -> List[str]:
+    body: List[str] = []
+    drawn = set()
+    for edge in network.edges():
+        key = (min(edge.source, edge.target), max(edge.source, edge.target))
+        if key in drawn:
+            continue
+        drawn.add(key)
+        x1, y1 = proj.xy(network.position(edge.source))
+        x2, y2 = proj.xy(network.position(edge.target))
+        body.append(
+            f'<line x1="{x1}" y1="{y1}" x2="{x2}" y2="{y2}" '
+            f'stroke="#d0d0d0" stroke-width="1"/>'
+        )
+    return body
+
+
+def render_region_svg(
+    region: DiscretizedRegion,
+    path: PathLike,
+    width: int = 900,
+) -> None:
+    """Draw the road network with landmarks coloured by cluster."""
+    network = region.network
+    proj = _Projector([network.position(n) for n in network.nodes()], width)
+    body = _edges_svg(network, proj)
+    for landmark in region.landmarks:
+        cluster_id = region.cluster_of_landmark(landmark.landmark_id)
+        colour = PALETTE[cluster_id % len(PALETTE)]
+        x, y = proj.xy(landmark.position)
+        body.append(
+            f'<circle cx="{x}" cy="{y}" r="4" fill="{colour}">'
+            f"<title>landmark {landmark.landmark_id} "
+            f"(cluster {cluster_id}, {landmark.category})</title></circle>"
+        )
+    for cluster in region.clusters:
+        center = region.landmarks[cluster.center_landmark]
+        x, y = proj.xy(center.position)
+        body.append(
+            f'<text x="{x + 5}" y="{y - 5}" font-size="10" '
+            f'fill="#333">C{cluster.cluster_id}</text>'
+        )
+    pathlib.Path(path).write_text(_svg_document(body, proj.width, proj.height))
+
+
+def render_ride_svg(
+    region: DiscretizedRegion,
+    ride: Ride,
+    path: PathLike,
+    entry=None,
+    width: int = 900,
+) -> None:
+    """Draw a ride: route polyline, via-points, pass-through/reachable
+    cluster landmarks (``entry`` is the ride's RideIndexEntry, optional)."""
+    network = region.network
+    proj = _Projector([network.position(n) for n in network.nodes()], width)
+    body = _edges_svg(network, proj)
+
+    if entry is not None:
+        pass_ids = entry.pass_through_ids()
+        for cluster_id in entry.reachable_ids():
+            colour = "#2ca02c" if cluster_id in pass_ids else "#ffbb66"
+            for lid in region.clusters[cluster_id].landmark_ids:
+                x, y = proj.xy(region.landmarks[lid].position)
+                body.append(
+                    f'<circle cx="{x}" cy="{y}" r="3" fill="{colour}" '
+                    f'opacity="0.8"/>'
+                )
+
+    points = " ".join(
+        "{},{}".format(*proj.xy(network.position(node))) for node in ride.route
+    )
+    body.append(
+        f'<polyline points="{points}" fill="none" stroke="#d62728" '
+        f'stroke-width="2.5"/>'
+    )
+    for via in ride.via_points:
+        x, y = proj.xy(network.position(via.node))
+        body.append(
+            f'<circle cx="{x}" cy="{y}" r="5" fill="#d62728" stroke="black"/>'
+            if via.label in ("source", "destination")
+            else f'<rect x="{x - 4}" y="{y - 4}" width="8" height="8" '
+            f'fill="#1f77b4" stroke="black"><title>{via.label}</title></rect>'
+        )
+    pathlib.Path(path).write_text(_svg_document(body, proj.width, proj.height))

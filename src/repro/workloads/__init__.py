@@ -1,0 +1,26 @@
+"""Workload generation: the NYC-taxi-trip substitute.
+
+The paper's experiments replay ~350k real taxi trips from 2013-03-07 as ride
+share requests.  That dataset is not shippable here, so
+:class:`~repro.workloads.nyc.NYCWorkloadGenerator` synthesises a request
+stream with the properties that drive the evaluation: spatial hotspots
+(business district, transit terminals), a double-peaked time-of-day demand
+curve, and a log-normal trip length distribution matching published NYC taxi
+statistics (median ~2.9 km).
+"""
+
+from .nyc import NYCWorkloadGenerator, TripRecord
+from .stream import RequestStream, trips_to_requests
+from .synthetic import corridor_workload, hotspot_pulse_workload, uniform_workload
+from .nyc_csv import load_nyc_trips_csv
+
+__all__ = [
+    "NYCWorkloadGenerator",
+    "TripRecord",
+    "RequestStream",
+    "trips_to_requests",
+    "uniform_workload",
+    "corridor_workload",
+    "hotspot_pulse_workload",
+    "load_nyc_trips_csv",
+]

@@ -1,0 +1,62 @@
+"""Turning trip records into ride-share request streams.
+
+The paper's simulation "considers all the trips in the data set as requests
+for sharing rides" (Section X-A2): each taxi trip becomes a ride request
+with a departure window opening at its pickup time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..core.request import RideRequest
+from .nyc import TripRecord
+
+
+def trips_to_requests(
+    trips: Sequence[TripRecord],
+    window_s: float = 600.0,
+    walk_threshold_m: float = 800.0,
+) -> List[RideRequest]:
+    """Each trip becomes a request with window [pickup, pickup + window_s]."""
+    if window_s < 0:
+        raise ValueError(f"window_s must be >= 0, got {window_s!r}")
+    requests: List[RideRequest] = []
+    for trip in trips:
+        requests.append(
+            RideRequest(
+                request_id=trip.trip_id,
+                source=trip.pickup,
+                destination=trip.dropoff,
+                window_start_s=trip.pickup_s,
+                window_end_s=trip.pickup_s + window_s,
+                walk_threshold_m=walk_threshold_m,
+            )
+        )
+    return requests
+
+
+@dataclass
+class RequestStream:
+    """A replayable, time-ordered request stream."""
+
+    requests: List[RideRequest]
+
+    def __post_init__(self):
+        self.requests = sorted(self.requests, key=lambda r: r.window_start_s)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[RideRequest]:
+        return iter(self.requests)
+
+    def between(self, start_s: float, end_s: float) -> "RequestStream":
+        """Sub-stream with window starts inside [start_s, end_s)."""
+        return RequestStream(
+            [r for r in self.requests if start_s <= r.window_start_s < end_s]
+        )
+
+    def head(self, n: int) -> "RequestStream":
+        return RequestStream(self.requests[:n])

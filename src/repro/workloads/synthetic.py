@@ -1,0 +1,131 @@
+"""Additional workload shapes beyond the NYC-style generator.
+
+* :func:`uniform_workload` — origins/destinations uniform over intersections,
+  times uniform in a window: the null model for ablations;
+* :func:`corridor_workload` — commute-corridor demand: origins near one
+  anchor, destinations near another, all in a tight time band — the
+  high-shareability regime where pooling rates peak;
+* :func:`hotspot_pulse_workload` — a burst of requests from one location
+  (event egress: stadium, station), stress-testing per-cluster index lists.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..geo import GeoPoint, destination_point
+from ..roadnet import RoadNetwork
+from .nyc import TripRecord
+
+
+def uniform_workload(
+    network: RoadNetwork,
+    n_trips: int,
+    start_s: float = 0.0,
+    end_s: float = 3600.0,
+    seed: int = 0,
+) -> List[TripRecord]:
+    """Uniform origins, destinations and times."""
+    if n_trips < 0:
+        raise ValueError(f"n_trips must be >= 0, got {n_trips!r}")
+    if end_s < start_s:
+        raise ValueError("end_s before start_s")
+    rng = random.Random(seed)
+    nodes = list(network.nodes())
+    trips: List[TripRecord] = []
+    times = sorted(rng.uniform(start_s, end_s) for _i in range(n_trips))
+    for trip_id, pickup_s in enumerate(times):
+        a, b = rng.sample(nodes, 2)
+        trips.append(
+            TripRecord(
+                trip_id=trip_id,
+                pickup_s=pickup_s,
+                pickup=network.position(a),
+                dropoff=network.position(b),
+            )
+        )
+    return trips
+
+
+def corridor_workload(
+    network: RoadNetwork,
+    n_trips: int,
+    origin_anchor: Optional[GeoPoint] = None,
+    destination_anchor: Optional[GeoPoint] = None,
+    spread_m: float = 500.0,
+    start_s: float = 8.0 * 3600,
+    band_s: float = 1800.0,
+    seed: int = 0,
+) -> List[TripRecord]:
+    """Commute corridor: everyone travels anchor→anchor within one band.
+
+    Defaults anchor the corridor across the city's bounding-box diagonal.
+    """
+    if n_trips < 0:
+        raise ValueError(f"n_trips must be >= 0, got {n_trips!r}")
+    rng = random.Random(seed)
+    box = network.bounding_box()
+    origin_anchor = origin_anchor or box.south_west
+    destination_anchor = destination_anchor or box.north_east
+
+    def jitter(anchor: GeoPoint) -> GeoPoint:
+        moved = destination_point(
+            anchor, rng.uniform(0, 360), abs(rng.gauss(0.0, spread_m))
+        )
+        return network.position(network.snap(moved))
+
+    times = sorted(rng.uniform(start_s, start_s + band_s) for _i in range(n_trips))
+    trips: List[TripRecord] = []
+    for trip_id, pickup_s in enumerate(times):
+        pickup = jitter(origin_anchor)
+        dropoff = jitter(destination_anchor)
+        for _retry in range(5):
+            if network.snap(pickup) != network.snap(dropoff):
+                break
+            dropoff = jitter(destination_anchor)
+        trips.append(
+            TripRecord(
+                trip_id=trip_id, pickup_s=pickup_s, pickup=pickup, dropoff=dropoff
+            )
+        )
+    return trips
+
+
+def hotspot_pulse_workload(
+    network: RoadNetwork,
+    n_trips: int,
+    epicentre: Optional[GeoPoint] = None,
+    pulse_start_s: float = 22.0 * 3600,
+    pulse_length_s: float = 900.0,
+    spread_m: float = 300.0,
+    seed: int = 0,
+) -> List[TripRecord]:
+    """Event egress: a burst of trips leaving one spot for everywhere."""
+    if n_trips < 0:
+        raise ValueError(f"n_trips must be >= 0, got {n_trips!r}")
+    rng = random.Random(seed)
+    nodes = list(network.nodes())
+    epicentre = epicentre or network.bounding_box().center
+
+    times = sorted(
+        rng.uniform(pulse_start_s, pulse_start_s + pulse_length_s)
+        for _i in range(n_trips)
+    )
+    trips: List[TripRecord] = []
+    for trip_id, pickup_s in enumerate(times):
+        moved = destination_point(
+            epicentre, rng.uniform(0, 360), abs(rng.gauss(0.0, spread_m))
+        )
+        pickup = network.position(network.snap(moved))
+        dropoff = network.position(rng.choice(nodes))
+        for _retry in range(5):
+            if network.snap(pickup) != network.snap(dropoff):
+                break
+            dropoff = network.position(rng.choice(nodes))
+        trips.append(
+            TripRecord(
+                trip_id=trip_id, pickup_s=pickup_s, pickup=pickup, dropoff=dropoff
+            )
+        )
+    return trips

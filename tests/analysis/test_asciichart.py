@@ -1,0 +1,65 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.analysis import bar_chart, cdf_chart, line_chart
+
+
+class TestBarChart:
+    def test_renders_all_rows(self):
+        text = bar_chart(["a", "bb"], [1.0, 2.0], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 3
+        assert "##" in lines[2]
+
+    def test_max_value_fills_width(self):
+        text = bar_chart(["x", "y"], [10.0, 5.0], width=20)
+        rows = text.splitlines()
+        assert rows[0].count("#") == 20
+        assert rows[1].count("#") == 10
+
+    def test_zero_values(self):
+        text = bar_chart(["x"], [0.0])
+        assert "#" not in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert bar_chart([], [], title="empty") == "empty"
+
+
+class TestLineChart:
+    def test_markers_present_per_series(self):
+        text = line_chart(
+            {"one": [(0, 1), (1, 2)], "two": [(0, 2), (1, 4)]}, width=20, height=8
+        )
+        assert "*" in text and "o" in text
+        assert "* = one" in text and "o = two" in text
+
+    def test_log_scale_skips_nonpositive(self):
+        text = line_chart({"s": [(0, 0.0), (1, 10.0), (2, 100.0)]}, logy=True)
+        assert "log10(y)" in text
+
+    def test_empty(self):
+        assert line_chart({}, title="nothing") == "nothing"
+
+    def test_single_point(self):
+        text = line_chart({"s": [(1.0, 5.0)]})
+        assert "*" in text
+
+
+class TestCdfChart:
+    def test_staircase_rises(self):
+        text = cdf_chart([1, 2, 3, 4, 5], width=20, height=6)
+        assert "#" in text
+        assert "1.0 +" in text and "0.0 +" in text
+
+    def test_marks_drawn(self):
+        text = cdf_chart([0.0, 10.0], marks=[5.0], width=20)
+        assert "|" in text
+
+    def test_empty(self):
+        assert cdf_chart([], title="none") == "none"

@@ -1,0 +1,86 @@
+"""Statistics helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import bootstrap_mean_ci, linear_fit, summarize
+
+
+class TestLinearFit:
+    def test_exact_line_recovered(self):
+        xs = [0.0, 1.0, 2.0, 3.0]
+        ys = [2.0 * x + 1.0 for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_noise_lowers_r2(self):
+        xs = list(range(10))
+        ys = [x + (1.0 if x % 2 else -1.0) * 3.0 for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.r2 < 1.0
+
+    def test_predict(self):
+        fit = linear_fit([0, 1], [0, 2])
+        assert fit.predict(3.0) == pytest.approx(6.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+        with pytest.raises(ValueError):
+            linear_fit([1, 1], [1, 2])
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+    @given(
+        st.floats(-10, 10),
+        st.floats(-10, 10),
+        st.lists(st.integers(-100, 100), min_size=3, max_size=20, unique=True),
+    )
+    @settings(max_examples=50)
+    def test_recovers_any_exact_line(self, slope, intercept, xs):
+        # Integer x values keep the system well-conditioned; nearly-identical
+        # float xs make OLS legitimately ill-conditioned.
+        ys = [slope * x + intercept for x in xs]
+        fit = linear_fit(xs, ys)
+        assert fit.slope == pytest.approx(slope, abs=1e-6)
+        assert fit.intercept == pytest.approx(intercept, abs=1e-5)
+
+
+class TestBootstrap:
+    def test_ci_brackets_mean_for_tight_data(self):
+        samples = [10.0] * 50
+        mean, lo, hi = bootstrap_mean_ci(samples)
+        assert mean == lo == hi == 10.0
+
+    def test_ci_contains_sample_mean(self):
+        samples = [1.0, 2.0, 3.0, 4.0, 5.0] * 10
+        mean, lo, hi = bootstrap_mean_ci(samples, seed=1)
+        assert lo <= mean <= hi
+        assert lo < hi
+
+    def test_deterministic_for_seed(self):
+        samples = list(range(20))
+        assert bootstrap_mean_ci(samples, seed=3) == bootstrap_mean_ci(samples, seed=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+
+class TestSummarize:
+    def test_bundle(self):
+        out = summarize([1.0, 2.0, 3.0])
+        assert out["n"] == 3
+        assert out["mean"] == pytest.approx(2.0)
+        assert out["min"] == 1.0 and out["max"] == 3.0
+        assert out["std"] == pytest.approx(math.sqrt(2.0 / 3.0))
+
+    def test_empty(self):
+        assert summarize([]) == {"n": 0.0}

@@ -1,0 +1,158 @@
+"""T-Share baseline: grid index, dual-side search, booking, tracking."""
+
+import random
+
+import pytest
+
+from repro.baselines import TShareEngine
+from repro.core import RideRequest, RideStatus
+from repro.exceptions import BookingError, RideError, UnknownRideError
+
+
+@pytest.fixture
+def tshare(city):
+    return TShareEngine(city, cell_m=500.0)
+
+
+@pytest.fixture
+def populated(tshare, city):
+    rng = random.Random(21)
+    nodes = list(city.nodes())
+    for _i in range(60):
+        a, b = rng.sample(nodes, 2)
+        try:
+            tshare.create_taxi(
+                city.position(a), city.position(b), departure_s=rng.uniform(0, 1200)
+            )
+        except RideError:
+            continue
+    return tshare
+
+
+def random_request(city, rng, rid=1, window=(0.0, 3600.0)):
+    nodes = list(city.nodes())
+    a, b = rng.sample(nodes, 2)
+    return RideRequest(rid, city.position(a), city.position(b), *window, 800.0)
+
+
+class TestCreation:
+    def test_taxi_indexed_along_route(self, tshare, city):
+        taxi = tshare.create_taxi(city.position(0), city.position(300), 0.0)
+        assert tshare.n_taxis == 1
+        assert tshare.cells.total_entries() >= 1
+        cells = {
+            tshare.grid.cell_of(city.position(node)) for node in taxi.route
+        }
+        assert tshare.cells.cell_count() >= 1
+        assert len(cells) >= tshare.cells.cell_count() - 1  # route-covered cells
+
+    def test_same_node_rejected(self, tshare, city):
+        with pytest.raises(RideError):
+            tshare.create_taxi(city.position(0), city.position(0), 0.0)
+
+    def test_invalid_distance_mode_rejected(self, city):
+        with pytest.raises(ValueError):
+            TShareEngine(city, distance_mode="euclid")
+
+
+class TestSearch:
+    def test_matches_validated_within_detour(self, populated, city):
+        rng = random.Random(3)
+        found_any = False
+        for trial in range(40):
+            request = random_request(city, rng, rid=trial)
+            for match in populated.search(request):
+                found_any = True
+                assert match.detour_m <= populated.max_detour_m + 1e-6
+                assert match.taxi_id in populated.taxis
+        assert found_any
+
+    def test_search_counts_distance_evaluations(self, populated, city):
+        rng = random.Random(4)
+        before = populated.distance_evaluations
+        for trial in range(10):
+            populated.search(random_request(city, rng, rid=trial))
+        assert populated.distance_evaluations > before
+
+    def test_first_k_mode_stops_early(self, populated, city):
+        rng = random.Random(5)
+        for trial in range(40):
+            request = random_request(city, rng, rid=trial)
+            full = populated.search(request)
+            if len(full) >= 2:
+                limited = populated.search(request, k=1)
+                assert len(limited) == 1
+                return
+        pytest.skip("no request with 2+ matches")
+
+    def test_haversine_mode_cheaper_than_dijkstra(self, city):
+        rng = random.Random(6)
+        nodes = list(city.nodes())
+        engines = {}
+        import time
+
+        for mode in ("dijkstra", "haversine"):
+            engine = TShareEngine(city, cell_m=500.0, distance_mode=mode)
+            rng2 = random.Random(21)
+            for _i in range(40):
+                a, b = rng2.sample(nodes, 2)
+                engine.create_taxi(city.position(a), city.position(b), rng2.uniform(0, 1200))
+            t0 = time.perf_counter()
+            for trial in range(20):
+                engine.search(random_request(city, random.Random(trial), rid=trial))
+            engines[mode] = time.perf_counter() - t0
+        assert engines["haversine"] < engines["dijkstra"]
+
+    def test_empty_when_no_taxis(self, tshare, city):
+        request = random_request(city, random.Random(1))
+        assert tshare.search(request) == []
+
+
+class TestBooking:
+    def _book_one(self, populated, city):
+        rng = random.Random(7)
+        for trial in range(60):
+            request = random_request(city, rng, rid=trial)
+            matches = populated.search(request)
+            for match in matches:
+                try:
+                    return request, match, populated.book(request, match)
+                except BookingError:
+                    continue
+        pytest.skip("no bookable match found")
+
+    def test_booking_updates_schedule(self, populated, city):
+        request, match, taxi = self._book_one(populated, city)
+        assert taxi.seats_available == taxi.seats_total - 1
+        labels = [v.label for v in taxi.via_points]
+        assert "pickup" in labels and "dropoff" in labels
+        route = taxi.route
+        assert match.pickup_node in route and match.dropoff_node in route
+
+    def test_booking_reindexes_cells(self, populated, city):
+        request, match, taxi = self._book_one(populated, city)
+        # The taxi must appear in the pickup node's cell with some ETA.
+        cell = populated.grid.cell_of(city.position(match.pickup_node))
+        entries = list(populated.cells.visits_in_window(cell, 0.0, float("inf")))
+        assert any(e.taxi_id == taxi.ride_id for e in entries)
+
+    def test_book_unknown_taxi_rejected(self, populated, city):
+        request, match, _taxi = self._book_one(populated, city)
+        populated.cells.remove_taxi(match.taxi_id)
+        del populated.taxis[match.taxi_id]
+        with pytest.raises(UnknownRideError):
+            populated.book(request, match)
+
+
+class TestTracking:
+    def test_completed_taxi_removed(self, tshare, city):
+        taxi = tshare.create_taxi(city.position(0), city.position(300), 0.0)
+        tshare.track(taxi.ride_id, taxi.arrival_s + 1.0)
+        assert taxi.status is RideStatus.COMPLETED
+        assert tshare.n_taxis == 0
+        assert tshare.cells.total_entries() == 0
+
+    def test_track_all(self, populated):
+        completed = populated.track_all(1e9)
+        assert completed > 0
+        assert populated.n_taxis == 0

@@ -1,0 +1,64 @@
+"""T-Share's incremental search: cost grows with k (the Fig. 5a mechanism).
+
+These tests pin the behavioural contract the Fig. 5a benchmark relies on:
+first-k mode stops expanding as soon as k matches validate, so larger k
+examines at least as many candidates.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import TShareEngine
+from repro.core.request import RideRequest
+
+
+@pytest.fixture(scope="module")
+def dense(city):
+    engine = TShareEngine(city, cell_m=500.0, distance_mode="haversine")
+    rng = random.Random(33)
+    nodes = list(city.nodes())
+    for _i in range(250):
+        a, b = rng.sample(nodes, 2)
+        try:
+            engine.create_taxi(
+                city.position(a), city.position(b), departure_s=rng.uniform(0, 1800)
+            )
+        except Exception:
+            continue
+    return engine
+
+
+def _request(city, rid):
+    rng = random.Random(rid)
+    nodes = list(city.nodes())
+    a, b = rng.sample(nodes, 2)
+    return RideRequest(rid, city.position(a), city.position(b), 0.0, 3600.0, 800.0)
+
+
+class TestIncrementalK:
+    def test_k_results_prefix_consistent(self, dense, city):
+        """Results for k are a subset of the full result set and are sorted
+        by detour within what was explored."""
+        for trial in range(20):
+            request = _request(city, trial)
+            full_ids = {m.taxi_id for m in dense.search(request)}
+            for k in (1, 3):
+                limited = dense.search(request, k=k)
+                assert len(limited) <= k
+                assert {m.taxi_id for m in limited} <= full_ids
+
+    def test_distance_evaluations_grow_with_k(self, dense, city):
+        """Validating more matches costs more lazy distance computations."""
+        totals = {}
+        for k in (1, 10):
+            dense.distance_evaluations = 0
+            for trial in range(20):
+                dense.search(_request(city, trial), k=k)
+            totals[k] = dense.distance_evaluations
+        assert totals[10] >= totals[1]
+
+    def test_all_matches_mode_finds_at_least_first_k(self, dense, city):
+        for trial in range(20):
+            request = _request(city, trial)
+            assert len(dense.search(request)) >= len(dense.search(request, k=2))

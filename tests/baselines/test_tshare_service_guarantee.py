@@ -1,0 +1,100 @@
+"""T-Share's service guarantee: later insertions can't strand passengers."""
+
+import random
+
+import pytest
+
+from repro.baselines import TShareEngine
+from repro.core.request import RideRequest
+from repro.exceptions import BookingError
+
+
+@pytest.fixture
+def booked_setup(city):
+    """A taxi with one booked passenger and a pending second request."""
+    engine = TShareEngine(city, cell_m=500.0, distance_mode="haversine")
+    rng = random.Random(9)
+    nodes = list(city.nodes())
+    for _i in range(150):
+        a, b = rng.sample(nodes, 2)
+        try:
+            engine.create_taxi(
+                city.position(a), city.position(b), departure_s=rng.uniform(0, 900)
+            )
+        except Exception:
+            continue
+    # Book a first passenger somewhere.
+    for trial in range(100):
+        a, b = rng.sample(nodes, 2)
+        request = RideRequest(
+            trial, city.position(a), city.position(b), 0.0, 3600.0, 800.0
+        )
+        matches = engine.search(request)
+        for match in matches:
+            try:
+                taxi = engine.book(request, match)
+                return engine, taxi, request
+            except BookingError:
+                continue
+    pytest.skip("no initial booking possible")
+
+
+class TestServiceGuarantee:
+    def test_promise_recorded(self, booked_setup):
+        engine, taxi, request = booked_setup
+        assert request.request_id in engine.promises
+        dropoff = next(
+            v for v in taxi.via_points
+            if v.label == "dropoff" and v.request_id == request.request_id
+        )
+        assert engine.promises[request.request_id] == pytest.approx(
+            taxi.eta_at_index(dropoff.route_index)
+        )
+
+    def test_existing_vias_preserved_by_second_booking(self, booked_setup, city):
+        engine, taxi, first_request = booked_setup
+        rng = random.Random(77)
+        nodes = list(city.nodes())
+        for trial in range(200):
+            a, b = rng.sample(nodes, 2)
+            request = RideRequest(
+                10_000 + trial, city.position(a), city.position(b), 0.0, 3600.0, 800.0
+            )
+            matches = [m for m in engine.search(request) if m.taxi_id == taxi.ride_id]
+            for match in matches:
+                try:
+                    engine.book(request, match)
+                except BookingError:
+                    continue
+                labels = [
+                    (v.label, v.request_id)
+                    for v in taxi.via_points
+                    if v.request_id == first_request.request_id
+                ]
+                assert ("pickup", first_request.request_id) in labels
+                assert ("dropoff", first_request.request_id) in labels
+                return
+        pytest.skip("no second booking landed on the same taxi")
+
+    def test_tight_guarantee_rejects_delaying_insertions(self, booked_setup, city):
+        engine, taxi, first_request = booked_setup
+        engine.max_passenger_delay_s = 0.0  # zero tolerance
+        rng = random.Random(78)
+        nodes = list(city.nodes())
+        rejected = 0
+        for trial in range(150):
+            a, b = rng.sample(nodes, 2)
+            request = RideRequest(
+                20_000 + trial, city.position(a), city.position(b), 0.0, 3600.0, 800.0
+            )
+            matches = [m for m in engine.search(request) if m.taxi_id == taxi.ride_id]
+            for match in matches:
+                route_before = taxi.route
+                try:
+                    engine.book(request, match)
+                except BookingError:
+                    rejected += 1
+                    # Rollback must leave the schedule untouched.
+                    assert taxi.route == route_before
+        if rejected == 0:
+            pytest.skip("no insertion attempted on the booked taxi")

@@ -1,0 +1,74 @@
+"""Threshold graph and clique-partition helpers."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    DistanceMatrix,
+    greedy_clique_cover,
+    is_valid_partition,
+    max_intra_cluster_distance,
+    threshold_graph,
+)
+
+from .test_kcenter import random_metric
+
+
+@pytest.fixture
+def line_metric():
+    """Four points on a line at 0, 10, 20, 30."""
+    pos = np.array([0.0, 10.0, 20.0, 30.0])
+    values = np.abs(pos[:, None] - pos[None, :])
+    return DistanceMatrix(values)
+
+
+class TestThresholdGraph:
+    def test_edges_match_threshold(self, line_metric):
+        adjacency = threshold_graph(line_metric, 10.0)
+        assert adjacency[0] == {1}
+        assert adjacency[1] == {0, 2}
+        assert adjacency[3] == {2}
+
+    def test_no_self_loops(self, line_metric):
+        adjacency = threshold_graph(line_metric, 100.0)
+        for v, neighbours in enumerate(adjacency):
+            assert v not in neighbours
+
+    def test_negative_delta_rejected(self, line_metric):
+        with pytest.raises(ValueError):
+            threshold_graph(line_metric, -1.0)
+
+
+class TestPartitionValidation:
+    def test_valid_partition_accepted(self, line_metric):
+        assert is_valid_partition([[0, 1], [2, 3]], 4, line_metric, 10.0)
+
+    def test_overlapping_rejected(self, line_metric):
+        assert not is_valid_partition([[0, 1], [1, 2], [3]], 4, line_metric, 10.0)
+
+    def test_missing_vertex_rejected(self, line_metric):
+        assert not is_valid_partition([[0, 1], [2]], 4, line_metric, 10.0)
+
+    def test_distance_violation_rejected(self, line_metric):
+        assert not is_valid_partition([[0, 2], [1, 3]], 4, line_metric, 10.0)
+
+    def test_max_intra_distance(self, line_metric):
+        assert max_intra_cluster_distance([[0, 1], [2, 3]], line_metric) == 10.0
+        assert max_intra_cluster_distance([[0], [1], [2], [3]], line_metric) == 0.0
+
+
+class TestGreedyCliqueCover:
+    def test_respects_delta_exactly(self):
+        for seed in range(5):
+            matrix = random_metric(12, seed)
+            clusters = greedy_clique_cover(matrix, 30.0)
+            assert is_valid_partition(clusters, 12, matrix, 30.0)
+
+    def test_line_instance(self, line_metric):
+        clusters = greedy_clique_cover(line_metric, 10.0)
+        assert is_valid_partition(clusters, 4, line_metric, 10.0)
+        assert len(clusters) == 2  # optimal here
+
+    def test_zero_delta_gives_singletons(self, line_metric):
+        clusters = greedy_clique_cover(line_metric, 0.0)
+        assert sorted(map(tuple, clusters)) == [(0,), (1,), (2,), (3,)]

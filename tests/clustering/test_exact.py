@@ -1,0 +1,74 @@
+"""Exact CLUSTERMINIMIZATION solver: optimality on brute-forceable instances."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.clustering import (
+    DistanceMatrix,
+    exact_cluster_minimization,
+    is_valid_partition,
+)
+
+from .test_kcenter import random_metric
+
+
+def brute_force_min_clusters(matrix, delta):
+    """Try all set partitions (n <= 7) and return the minimum valid size."""
+    n = matrix.n
+
+    def partitions(collection):
+        if len(collection) == 1:
+            yield [collection]
+            return
+        first, *rest = collection
+        for smaller in partitions(rest):
+            for index, subset in enumerate(smaller):
+                yield smaller[:index] + [[first] + subset] + smaller[index + 1:]
+            yield [[first]] + smaller
+
+    best = n
+    for partition in partitions(list(range(n))):
+        if len(partition) >= best:
+            continue
+        if is_valid_partition(partition, n, matrix, delta):
+            best = len(partition)
+    return best
+
+
+class TestExactSolver:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force(self, seed):
+        matrix = random_metric(6, seed)
+        delta = 40.0
+        solution = exact_cluster_minimization(matrix, delta)
+        assert is_valid_partition(solution, 6, matrix, delta)
+        assert len(solution) == brute_force_min_clusters(matrix, delta)
+
+    def test_all_close_is_one_cluster(self):
+        values = np.full((5, 5), 1.0)
+        np.fill_diagonal(values, 0.0)
+        matrix = DistanceMatrix(values)
+        assert len(exact_cluster_minimization(matrix, 2.0)) == 1
+
+    def test_all_far_is_singletons(self):
+        values = np.full((5, 5), 100.0)
+        np.fill_diagonal(values, 0.0)
+        matrix = DistanceMatrix(values)
+        assert len(exact_cluster_minimization(matrix, 2.0)) == 5
+
+    def test_empty_instance(self):
+        matrix = DistanceMatrix(np.zeros((0, 0)))
+        assert exact_cluster_minimization(matrix, 1.0) == []
+
+    def test_size_guard(self):
+        matrix = random_metric(10, 0)
+        with pytest.raises(ValueError):
+            exact_cluster_minimization(matrix, 10.0, max_n=5)
+
+    def test_solution_is_exact_cover(self):
+        matrix = random_metric(7, 3)
+        solution = exact_cluster_minimization(matrix, 30.0)
+        members = sorted(v for clique in solution for v in clique)
+        assert members == list(range(7))

@@ -1,0 +1,109 @@
+"""GREEDYSEARCH: the Theorem 6 bicriteria guarantee, verified.
+
+The two halves of the guarantee:
+
+* intra-cluster distance <= 4δ — checked on every run (and enforced inside
+  the algorithm itself);
+* k_ALG <= k_OPT(δ) — checked against the exact branch-and-bound solver on
+  small random metrics.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import (
+    exact_cluster_minimization,
+    greedy_search,
+    is_valid_partition,
+    max_intra_cluster_distance,
+)
+from repro.exceptions import DiscretizationError
+
+from .test_kcenter import random_metric
+
+
+class TestBicriteriaGuarantee:
+    @given(st.integers(3, 20), st.floats(5.0, 80.0), st.integers(0, 500))
+    @settings(max_examples=50, deadline=None)
+    def test_intra_cluster_at_most_4_delta(self, n, delta, seed):
+        matrix = random_metric(n, seed)
+        clustering = greedy_search(matrix, delta)
+        assert clustering.max_intra_distance <= 4.0 * delta + 1e-9
+        # And the returned number equals a fresh measurement.
+        assert clustering.max_intra_distance == pytest.approx(
+            max_intra_cluster_distance(clustering.clusters, matrix)
+        )
+
+    @given(st.integers(3, 9), st.floats(10.0, 60.0), st.integers(0, 300))
+    @settings(max_examples=30, deadline=None)
+    def test_k_alg_at_most_k_opt(self, n, delta, seed):
+        """k_ALG <= k_OPT — the headline half of Theorem 6."""
+        matrix = random_metric(n, seed)
+        clustering = greedy_search(matrix, delta)
+        optimal = exact_cluster_minimization(matrix, delta)
+        assert clustering.k <= len(optimal)
+
+    def test_partition_is_exact_cover(self):
+        matrix = random_metric(15, seed=11)
+        clustering = greedy_search(matrix, 30.0)
+        members = sorted(p for group in clustering.clusters for p in group)
+        assert members == list(range(15))
+
+    def test_huge_delta_gives_one_cluster(self):
+        matrix = random_metric(10, seed=12)
+        clustering = greedy_search(matrix, delta=10_000.0)
+        assert clustering.k == 1
+
+    def test_tiny_delta_gives_singletons_or_near(self):
+        matrix = random_metric(10, seed=13)
+        clustering = greedy_search(matrix, delta=1e-6)
+        # All pairwise distances exceed 4δ, so every cluster is a singleton.
+        assert clustering.k == 10
+        assert clustering.max_intra_distance == 0.0
+
+
+class TestMechanics:
+    def test_trace_recorded(self):
+        matrix = random_metric(16, seed=14)
+        clustering = greedy_search(matrix, 30.0)
+        assert clustering.trace  # log2(16) = 4 probes
+        assert len(clustering.trace) >= 4
+        accepted = [t for t in clustering.trace if t.accepted]
+        assert min(t.k for t in accepted) == clustering.k
+
+    def test_cluster_of_mapping(self):
+        matrix = random_metric(12, seed=15)
+        clustering = greedy_search(matrix, 25.0)
+        mapping = clustering.cluster_of()
+        assert set(mapping) == set(range(12))
+        for landmark, cluster_index in mapping.items():
+            assert landmark in clustering.clusters[cluster_index]
+
+    def test_centers_belong_to_their_clusters(self):
+        matrix = random_metric(12, seed=16)
+        clustering = greedy_search(matrix, 25.0)
+        for center, members in zip(clustering.centers, clustering.clusters):
+            assert center in members
+
+    def test_invalid_delta_rejected(self):
+        matrix = random_metric(5, seed=17)
+        with pytest.raises(ValueError):
+            greedy_search(matrix, 0.0)
+
+    def test_single_landmark(self):
+        from repro.clustering import DistanceMatrix
+
+        matrix = DistanceMatrix(np.zeros((1, 1)))
+        clustering = greedy_search(matrix, 10.0)
+        assert clustering.k == 1
+        assert clustering.clusters == [[0]]
+
+    def test_deterministic(self):
+        matrix = random_metric(14, seed=18)
+        a = greedy_search(matrix, 20.0)
+        b = greedy_search(matrix, 20.0)
+        assert a.clusters == b.clusters

@@ -1,0 +1,99 @@
+"""Gonzalez greedy k-center: assignment validity and the 2-approximation."""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import DistanceMatrix, gonzalez_kcenter
+
+
+def random_metric(n, seed):
+    """A random metric via shortest-path closure of a random symmetric matrix."""
+    rng = random.Random(seed)
+    values = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            values[i, j] = values[j, i] = rng.uniform(1.0, 100.0)
+    # Floyd-Warshall closure makes it a metric.
+    for k in range(n):
+        values = np.minimum(values, values[:, [k]] + values[[k], :])
+    np.fill_diagonal(values, 0.0)
+    return DistanceMatrix(values)
+
+
+def optimal_radius(matrix, k):
+    """Brute-force optimal k-center radius (tiny n only)."""
+    n = matrix.n
+    best = float("inf")
+    for centers in itertools.combinations(range(n), k):
+        radius = max(
+            min(matrix.distance(p, c) for c in centers) for p in range(n)
+        )
+        best = min(best, radius)
+    return best
+
+
+class TestGreedyKCenter:
+    def test_assignment_points_to_nearest_center(self):
+        matrix = random_metric(12, seed=1)
+        result = gonzalez_kcenter(matrix, 3)
+        for point, center_index in enumerate(result.assignment):
+            assigned = matrix.distance(point, result.centers[center_index])
+            best = min(matrix.distance(point, c) for c in result.centers)
+            assert assigned == pytest.approx(best)
+
+    def test_radius_is_max_assigned_distance(self):
+        matrix = random_metric(12, seed=2)
+        result = gonzalez_kcenter(matrix, 4)
+        observed = max(
+            matrix.distance(p, result.centers[ci])
+            for p, ci in enumerate(result.assignment)
+        )
+        assert result.radius == pytest.approx(observed)
+
+    def test_radius_decreases_with_k(self):
+        matrix = random_metric(15, seed=3)
+        radii = [gonzalez_kcenter(matrix, k).radius for k in range(1, 16)]
+        for a, b in zip(radii, radii[1:]):
+            assert b <= a + 1e-9
+
+    def test_k_equals_n_gives_zero_radius(self):
+        matrix = random_metric(8, seed=4)
+        assert gonzalez_kcenter(matrix, 8).radius == 0.0
+
+    def test_k_clamped_to_n(self):
+        matrix = random_metric(5, seed=5)
+        result = gonzalez_kcenter(matrix, 50)
+        assert result.k <= 5
+
+    def test_clusters_partition_everything(self):
+        matrix = random_metric(10, seed=6)
+        result = gonzalez_kcenter(matrix, 3)
+        members = sorted(p for group in result.clusters() for p in group)
+        assert members == list(range(10))
+
+    @given(st.integers(4, 9), st.integers(1, 3), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_two_approximation(self, n, k, seed):
+        """The Gonzalez guarantee: greedy radius <= 2 x optimal radius."""
+        matrix = random_metric(n, seed)
+        greedy = gonzalez_kcenter(matrix, k).radius
+        opt = optimal_radius(matrix, min(k, n))
+        assert greedy <= 2.0 * opt + 1e-9
+
+    def test_invalid_args(self):
+        matrix = random_metric(5, seed=7)
+        with pytest.raises(ValueError):
+            gonzalez_kcenter(matrix, 0)
+        with pytest.raises(ValueError):
+            gonzalez_kcenter(matrix, 2, first_center=10)
+
+    def test_deterministic(self):
+        matrix = random_metric(12, seed=8)
+        a = gonzalez_kcenter(matrix, 4)
+        b = gonzalez_kcenter(matrix, 4)
+        assert a.centers == b.centers and a.assignment == b.assignment

@@ -1,0 +1,93 @@
+"""Distance matrices: validation and landmark-matrix correctness."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import DistanceMatrix, landmark_distance_matrix
+from repro.landmarks import extract_landmarks, synthesize_pois
+from repro.roadnet import dijkstra_path
+
+
+class TestDistanceMatrixValidation:
+    def test_accepts_valid_metric(self):
+        values = np.array([[0.0, 1.0], [1.0, 0.0]])
+        m = DistanceMatrix(values)
+        assert m.n == 2
+        assert m.distance(0, 1) == 1.0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix(np.zeros((2, 3)))
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix(np.array([[1.0, 2.0], [2.0, 0.0]]))
+
+    def test_rejects_asymmetry(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix(np.array([[0.0, 1.0], [2.0, 0.0]]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DistanceMatrix(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_allows_inf_for_unreachable(self):
+        inf = float("inf")
+        m = DistanceMatrix(np.array([[0.0, inf], [inf, 0.0]]))
+        assert m.distance(0, 1) == inf
+
+
+class TestSubsetQueries:
+    @pytest.fixture
+    def matrix(self):
+        values = np.array(
+            [
+                [0.0, 1.0, 5.0, 9.0],
+                [1.0, 0.0, 4.0, 8.0],
+                [5.0, 4.0, 0.0, 2.0],
+                [9.0, 8.0, 2.0, 0.0],
+            ]
+        )
+        return DistanceMatrix(values)
+
+    def test_max_pairwise(self, matrix):
+        assert matrix.max_pairwise([0, 1, 2]) == 5.0
+        assert matrix.max_pairwise([0]) == 0.0
+        assert matrix.max_pairwise([]) == 0.0
+
+    def test_min_cross(self, matrix):
+        assert matrix.min_cross([0, 1], [2, 3]) == 4.0
+
+    def test_min_cross_empty_rejected(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.min_cross([], [1])
+
+
+class TestLandmarkMatrix:
+    @pytest.fixture(scope="class")
+    def setup(self, small_city):
+        pois = synthesize_pois(small_city, seed=17)
+        landmarks = extract_landmarks(pois, small_city, min_separation_m=200.0)
+        matrix = landmark_distance_matrix(small_city, landmarks)
+        return small_city, landmarks, matrix
+
+    def test_matches_direct_dijkstra_with_max_symmetrisation(self, setup):
+        city, landmarks, matrix = setup
+        for i in range(min(4, len(landmarks))):
+            for j in range(min(4, len(landmarks))):
+                if i == j:
+                    continue
+                d_ij, _ = dijkstra_path(city, landmarks[i].node, landmarks[j].node)
+                d_ji, _ = dijkstra_path(city, landmarks[j].node, landmarks[i].node)
+                assert matrix.distance(i, j) == pytest.approx(max(d_ij, d_ji))
+
+    def test_mean_symmetrisation_is_not_larger(self, small_city):
+        pois = synthesize_pois(small_city, seed=17)
+        landmarks = extract_landmarks(pois, small_city, min_separation_m=200.0)
+        mx = landmark_distance_matrix(small_city, landmarks, symmetrise="max")
+        mn = landmark_distance_matrix(small_city, landmarks, symmetrise="mean")
+        assert (mn.values <= mx.values + 1e-9).all()
+
+    def test_bad_symmetrise_rejected(self, small_city):
+        with pytest.raises(ValueError):
+            landmark_distance_matrix(small_city, [], symmetrise="median")

@@ -1,0 +1,41 @@
+"""XAREngine with the ALT router back-end."""
+
+import pytest
+
+from repro.core import XAREngine
+from repro.roadnet import ALTRouter
+from repro.sim import RideShareSimulator, XARAdapter
+
+
+@pytest.fixture(scope="module")
+def alt_router(city):
+    return ALTRouter(city, n_landmarks=6)
+
+
+class TestALTBackedEngine:
+    def test_replay_identical_matching(self, region, workload, alt_router):
+        """ALT is exact, so the replay outcome must be identical to the
+        default Dijkstra back-end (timings aside)."""
+        default = RideShareSimulator(XARAdapter(XAREngine(region))).run(workload[:200])
+        with_alt = RideShareSimulator(
+            XARAdapter(XAREngine(region, router=alt_router))
+        ).run(workload[:200])
+        assert with_alt.n_booked == default.n_booked
+        assert with_alt.n_created == default.n_created
+        assert with_alt.matches_per_search == default.matches_per_search
+
+    def test_booking_detours_identical(self, region, workload, alt_router):
+        engine_a = XAREngine(region)
+        engine_b = XAREngine(region, router=alt_router)
+        RideShareSimulator(XARAdapter(engine_a)).run(workload[:150])
+        RideShareSimulator(XARAdapter(engine_b)).run(workload[:150])
+        detours_a = [round(b.detour_actual_m, 3) for b in engine_a.bookings]
+        detours_b = [round(b.detour_actual_m, 3) for b in engine_b.bookings]
+        assert detours_a == detours_b
+
+    def test_invariants_hold_with_alt(self, region, workload, alt_router):
+        engine = XAREngine(region, router=alt_router)
+        RideShareSimulator(XARAdapter(engine)).run(workload[:150])
+        engine.cluster_index.check_consistency()
+        for record in engine.bookings:
+            assert record.shortest_paths_computed <= 4

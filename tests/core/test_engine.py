@@ -1,0 +1,84 @@
+"""XAREngine façade: lifecycle, ids, stats, consistency."""
+
+import pytest
+
+from repro.core import XAREngine
+from repro.exceptions import RideError, UnknownRideError
+
+
+class TestCreateRide:
+    def test_creates_with_defaults(self, engine, city):
+        ride = engine.create_ride(city.position(0), city.position(200), 100.0)
+        config = engine.region.config
+        assert ride.detour_limit_m == config.default_detour_m
+        assert ride.seats_total == config.default_seats
+        assert ride.ride_id in engine.rides
+        assert ride.ride_id in engine.ride_entries
+
+    def test_ride_ids_unique_and_increasing(self, engine, city):
+        a = engine.create_ride(city.position(0), city.position(100), 0.0)
+        b = engine.create_ride(city.position(5), city.position(105), 0.0)
+        assert b.ride_id > a.ride_id
+
+    def test_same_snap_node_rejected(self, engine, city):
+        p = city.position(0)
+        with pytest.raises(RideError):
+            engine.create_ride(p, p, 0.0)
+
+    def test_explicit_route_respected(self, engine, city):
+        from repro.roadnet import dijkstra_path
+
+        _d, route = dijkstra_path(city, 0, 200)
+        ride = engine.create_ride(
+            city.position(0), city.position(200), 0.0, route=route
+        )
+        assert ride.route == route
+
+    def test_created_ride_indexed_in_clusters(self, engine, city):
+        ride = engine.create_ride(city.position(0), city.position(200), 0.0)
+        entry = engine.ride_entries[ride.ride_id]
+        for cluster_id in entry.reachable_ids():
+            assert engine.cluster_index.eta(cluster_id, ride.ride_id) is not None
+
+
+class TestRemoveRide:
+    def test_remove_clears_everything(self, engine, city):
+        ride = engine.create_ride(city.position(0), city.position(200), 0.0)
+        engine.remove_ride(ride.ride_id)
+        assert ride.ride_id not in engine.rides
+        for cluster_id in range(engine.region.n_clusters):
+            assert engine.cluster_index.eta(cluster_id, ride.ride_id) is None
+
+    def test_remove_unknown_rejected(self, engine):
+        with pytest.raises(UnknownRideError):
+            engine.remove_ride(999)
+
+
+class TestRequests:
+    def test_make_request_applies_default_walk(self, engine, city):
+        request = engine.make_request(city.position(0), city.position(50), 0.0, 600.0)
+        assert request.walk_threshold_m == engine.region.config.default_walk_threshold_m
+
+    def test_request_ids_increase(self, engine, city):
+        a = engine.make_request(city.position(0), city.position(50), 0.0, 600.0)
+        b = engine.make_request(city.position(1), city.position(51), 0.0, 600.0)
+        assert b.request_id > a.request_id
+
+
+class TestStats:
+    def test_index_stats_track_reality(self, engine, city):
+        stats0 = engine.index_stats()
+        assert stats0["rides"] == 0 and stats0["cluster_entries"] == 0
+        engine.create_ride(city.position(0), city.position(200), 0.0)
+        stats1 = engine.index_stats()
+        assert stats1["rides"] == 1
+        assert stats1["cluster_entries"] > 0
+        assert stats1["reachable_total"] == stats1["cluster_entries"]
+
+    def test_detour_slack_default_is_4_epsilon(self, region):
+        engine = XAREngine(region)
+        assert engine.detour_slack_m == pytest.approx(4.0 * region.config.epsilon_m)
+
+    def test_detour_slack_override(self, region):
+        engine = XAREngine(region, detour_slack_m=123.0)
+        assert engine.detour_slack_m == 123.0

@@ -1,0 +1,48 @@
+"""The optimize_insertion booking extension."""
+
+import random
+
+import pytest
+
+from repro.core import XAREngine
+from repro.exceptions import BookingError
+from repro.sim import RideShareSimulator, XARAdapter
+
+
+class TestOptimizedInsertion:
+    def _replay(self, region, workload, optimize):
+        engine = XAREngine(region, optimize_insertion=optimize)
+        report = RideShareSimulator(XARAdapter(engine)).run(workload)
+        return engine, report
+
+    def test_optimized_replay_completes(self, region, workload):
+        engine, report = self._replay(region, workload[:200], optimize=True)
+        assert report.n_booked > 0
+        engine.cluster_index.check_consistency()
+
+    def test_still_at_most_four_shortest_paths(self, region, workload):
+        engine, _report = self._replay(region, workload[:200], optimize=True)
+        for record in engine.bookings:
+            assert record.shortest_paths_computed <= 4
+
+    def test_mean_actual_detour_not_worse(self, region, workload):
+        """Optimization must not increase the mean actual detour."""
+        engine_default, _r1 = self._replay(region, workload[:300], optimize=False)
+        engine_optimized, _r2 = self._replay(region, workload[:300], optimize=True)
+        if not engine_default.bookings or not engine_optimized.bookings:
+            pytest.skip("no bookings to compare")
+
+        def mean_detour(engine):
+            detours = [b.detour_actual_m for b in engine.bookings]
+            return sum(detours) / len(detours)
+
+        assert mean_detour(engine_optimized) <= mean_detour(engine_default) * 1.05
+
+    def test_detour_guarantee_still_holds(self, region, workload):
+        engine, _report = self._replay(region, workload[:200], optimize=True)
+        epsilon = region.config.epsilon_m
+        for record in engine.bookings:
+            assert record.approximation_error_m <= 4 * epsilon + 1e-6
+
+    def test_flag_default_off(self, region):
+        assert XAREngine(region).optimize_insertion is False

@@ -1,0 +1,104 @@
+"""Pass-through / reachable cluster computation (Section VI)."""
+
+import pytest
+
+from repro.core.reachability import build_ride_entry
+
+
+@pytest.fixture
+def ride_and_entry(engine, city):
+    ride = engine.create_ride(
+        city.position(0), city.position(city.node_count - 1), departure_s=100.0
+    )
+    return ride, engine.ride_entries[ride.ride_id]
+
+
+class TestPassThrough:
+    def test_visits_cover_route_clusters(self, ride_and_entry, region):
+        ride, entry = ride_and_entry
+        expected = set()
+        for node in ride.route:
+            hit = region.landmark_of_node(node)
+            if hit is not None:
+                expected.add(region.cluster_of_landmark(hit[0]))
+        assert entry.pass_through_ids() == expected
+
+    def test_visits_in_eta_order(self, ride_and_entry):
+        _ride, entry = ride_and_entry
+        etas = [v.eta_s for v in entry.pass_through]
+        assert etas == sorted(etas)
+
+    def test_each_cluster_visited_once(self, ride_and_entry):
+        _ride, entry = ride_and_entry
+        ids = [v.cluster_id for v in entry.pass_through]
+        assert len(ids) == len(set(ids))
+
+    def test_visit_etas_within_ride_lifetime(self, ride_and_entry):
+        ride, entry = ride_and_entry
+        for visit in entry.pass_through:
+            assert ride.departure_s <= visit.eta_s <= ride.arrival_s + 1e-6
+
+    def test_visit_landmarks_recorded(self, ride_and_entry, region):
+        _ride, entry = ride_and_entry
+        for visit in entry.pass_through:
+            assert 0 <= visit.landmark_id < region.n_landmarks
+            assert region.cluster_of_landmark(visit.landmark_id) == visit.cluster_id
+
+
+class TestReachable:
+    def test_pass_through_clusters_have_zero_detour(self, ride_and_entry):
+        _ride, entry = ride_and_entry
+        for visit in entry.pass_through:
+            info = entry.reachable[visit.cluster_id]
+            assert info.detour_estimate_m == 0.0
+
+    def test_reachable_superset_of_pass_through(self, ride_and_entry):
+        _ride, entry = ride_and_entry
+        assert entry.pass_through_ids() <= entry.reachable_ids()
+
+    def test_detour_estimates_within_limit(self, ride_and_entry):
+        ride, entry = ride_and_entry
+        for info in entry.reachable.values():
+            assert info.detour_estimate_m <= ride.detour_limit_m + 1e-6
+
+    def test_supports_are_pass_through_clusters(self, ride_and_entry):
+        _ride, entry = ride_and_entry
+        pass_ids = entry.pass_through_ids()
+        for info in entry.reachable.values():
+            assert info.supports <= pass_ids
+
+    def test_reachable_eta_not_before_support_eta(self, ride_and_entry):
+        _ride, entry = ride_and_entry
+        first_eta = {v.cluster_id: v.eta_s for v in entry.pass_through}
+        for info in entry.reachable.values():
+            earliest_support = min(first_eta[s] for s in info.supports)
+            assert info.eta_s >= earliest_support - 1e-6
+
+    def test_zero_detour_limit_gives_only_pass_through(self, engine, city, region):
+        ride = engine.create_ride(
+            city.position(0), city.position(100), departure_s=0.0, detour_limit_m=1e-9
+        )
+        entry = engine.ride_entries[ride.ride_id]
+        assert entry.reachable_ids() == entry.pass_through_ids()
+
+    def test_bigger_detour_reaches_more(self, region, engine, city):
+        small = engine.create_ride(
+            city.position(0), city.position(100), departure_s=0.0, detour_limit_m=500.0
+        )
+        large = engine.create_ride(
+            city.position(0), city.position(100), departure_s=0.0, detour_limit_m=4000.0
+        )
+        small_entry = engine.ride_entries[small.ride_id]
+        large_entry = engine.ride_entries[large.ride_id]
+        assert small_entry.reachable_ids() <= large_entry.reachable_ids()
+
+
+class TestSegmentMeta:
+    def test_one_meta_per_segment(self, ride_and_entry):
+        ride, entry = ride_and_entry
+        assert len(entry.segments) == ride.n_segments
+
+    def test_lengths_match_route(self, ride_and_entry):
+        ride, entry = ride_and_entry
+        total = sum(meta.length_m for meta in entry.segments)
+        assert total == pytest.approx(ride.length_m)

@@ -1,0 +1,38 @@
+"""Ride request validation."""
+
+import pytest
+
+from repro.core import RideRequest
+from repro.exceptions import RequestError
+from repro.geo import GeoPoint
+
+
+SRC = GeoPoint(40.71, -74.00)
+DST = GeoPoint(40.73, -73.98)
+
+
+class TestRequestValidation:
+    def test_valid_request(self):
+        r = RideRequest(1, SRC, DST, 100.0, 700.0, 500.0)
+        assert r.window_length_s == 600.0
+        assert r.straight_line_m() > 0
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(RequestError):
+            RideRequest(1, SRC, DST, 700.0, 100.0, 500.0)
+
+    def test_zero_length_window_allowed(self):
+        RideRequest(1, SRC, DST, 100.0, 100.0, 500.0)
+
+    def test_negative_walk_threshold_rejected(self):
+        with pytest.raises(RequestError):
+            RideRequest(1, SRC, DST, 0.0, 1.0, -5.0)
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(RequestError):
+            RideRequest(1, SRC, SRC, 0.0, 1.0, 100.0)
+
+    def test_frozen(self):
+        r = RideRequest(1, SRC, DST, 0.0, 1.0, 100.0)
+        with pytest.raises(AttributeError):
+            r.walk_threshold_m = 0.0

@@ -1,0 +1,152 @@
+"""Ride model: route geometry, ETAs, via-points, budgets."""
+
+import pytest
+
+from repro.core import Ride, RideStatus
+from repro.core.ride import ViaPoint
+from repro.exceptions import RideError
+from repro.roadnet import dijkstra_path
+
+
+@pytest.fixture
+def ride(city):
+    _d, route = dijkstra_path(city, 0, 250)
+    return Ride(
+        ride_id=1,
+        network=city,
+        route=route,
+        departure_s=1000.0,
+        detour_limit_m=3000.0,
+        seats=3,
+    )
+
+
+class TestConstruction:
+    def test_validation(self, city):
+        with pytest.raises(RideError):
+            Ride(1, city, route=[0], departure_s=0, detour_limit_m=10, seats=1)
+        with pytest.raises(RideError):
+            Ride(1, city, route=[0, 1], departure_s=0, detour_limit_m=-1, seats=1)
+        with pytest.raises(RideError):
+            Ride(1, city, route=[0, 1], departure_s=0, detour_limit_m=10, seats=0)
+
+    def test_route_must_follow_edges(self, city):
+        with pytest.raises(RideError):
+            Ride(1, city, route=[0, 300], departure_s=0, detour_limit_m=10, seats=1)
+
+    def test_initial_via_points(self, ride):
+        assert [v.label for v in ride.via_points] == ["source", "destination"]
+        assert ride.via_points[0].route_index == 0
+        assert ride.via_points[-1].route_index == len(ride.route) - 1
+
+    def test_length_matches_network(self, ride, city):
+        assert ride.length_m == pytest.approx(city.route_length_m(ride.route))
+
+    def test_base_length_frozen(self, ride):
+        assert ride.base_length_m == ride.length_m
+
+
+class TestTimeGeometry:
+    def test_eta_monotonic_along_route(self, ride):
+        etas = [ride.eta_at_index(i) for i in range(len(ride.route))]
+        assert etas == sorted(etas)
+        assert etas[0] == ride.departure_s
+
+    def test_arrival_is_departure_plus_duration(self, ride):
+        assert ride.arrival_s == pytest.approx(ride.departure_s + ride.duration_s)
+
+    def test_index_at_time_before_departure(self, ride):
+        assert ride.index_at_time(0.0) == 0
+
+    def test_index_at_time_after_arrival(self, ride):
+        assert ride.index_at_time(ride.arrival_s + 100) == len(ride.route) - 1
+
+    def test_index_at_time_midway(self, ride):
+        mid = ride.departure_s + ride.duration_s / 2
+        index = ride.index_at_time(mid)
+        assert 0 < index < len(ride.route) - 1
+        assert ride.eta_at_index(index) <= mid
+
+    def test_position_at_time_is_route_node(self, ride, city):
+        mid = ride.departure_s + ride.duration_s / 2
+        pos = ride.position_at_time(mid)
+        assert pos == city.position(ride.route[ride.index_at_time(mid)])
+
+
+class TestSegments:
+    def test_single_segment_initially(self, ride):
+        assert ride.n_segments == 1
+        assert ride.segment_bounds(0) == (0, len(ride.route) - 1)
+
+    def test_segment_of_route_index(self, ride):
+        assert ride.segment_of_route_index(0) == 0
+        assert ride.segment_of_route_index(len(ride.route) - 1) == 0
+
+    def test_out_of_range_segment(self, ride):
+        with pytest.raises(RideError):
+            ride.segment_bounds(1)
+
+
+class TestReplaceRoute:
+    def test_valid_replacement(self, ride, city):
+        route = ride.route
+        mid = len(route) // 2
+        vias = [
+            ViaPoint(node=route[0], route_index=0, label="source"),
+            ViaPoint(node=route[mid], route_index=mid, label="pickup", request_id=9),
+            ViaPoint(node=route[-1], route_index=len(route) - 1, label="destination"),
+        ]
+        ride.replace_route(route, vias)
+        assert ride.n_segments == 2
+
+    def test_rejects_unanchored_vias(self, ride):
+        route = ride.route
+        bad = [
+            ViaPoint(node=route[1], route_index=1, label="source"),
+            ViaPoint(node=route[-1], route_index=len(route) - 1, label="destination"),
+        ]
+        with pytest.raises(RideError):
+            ride.replace_route(route, bad)
+
+    def test_rejects_node_mismatch(self, ride):
+        route = ride.route
+        bad = [
+            ViaPoint(node=route[0], route_index=0, label="source"),
+            ViaPoint(node=route[0], route_index=len(route) - 1, label="destination"),
+        ]
+        with pytest.raises(RideError):
+            ride.replace_route(route, bad)
+
+    def test_rejects_backwards_vias(self, ride):
+        route = ride.route
+        bad = [
+            ViaPoint(node=route[0], route_index=0, label="source"),
+            ViaPoint(node=route[5], route_index=5, label="pickup"),
+            ViaPoint(node=route[2], route_index=2, label="dropoff"),
+            ViaPoint(node=route[-1], route_index=len(route) - 1, label="destination"),
+        ]
+        with pytest.raises(RideError):
+            ride.replace_route(route, bad)
+
+
+class TestBudgets:
+    def test_consume_seat(self, ride):
+        ride.consume_seat()
+        assert ride.seats_available == 2
+        ride.consume_seat()
+        ride.consume_seat()
+        with pytest.raises(RideError):
+            ride.consume_seat()
+
+    def test_consume_detour_clamps_at_zero(self, ride):
+        ride.consume_detour(2999.0)
+        assert ride.detour_limit_m == pytest.approx(1.0)
+        ride.consume_detour(500.0)
+        assert ride.detour_limit_m == 0.0
+
+    def test_negative_detour_rejected(self, ride):
+        with pytest.raises(RideError):
+            ride.consume_detour(-1.0)
+
+    def test_repr_mentions_id(self, ride):
+        assert "Ride(id=1" in repr(ride)

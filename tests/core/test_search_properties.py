@@ -1,0 +1,97 @@
+"""Monotonicity properties of the search operation.
+
+Relaxing a request constraint can only grow the feasible match set — these
+properties catch subtle pruning bugs that example-based tests miss.
+"""
+
+import random
+
+import pytest
+
+from repro.core import XAREngine
+from repro.core.request import RideRequest
+
+
+@pytest.fixture(scope="module")
+def populated(region, city):
+    engine = XAREngine(region)
+    rng = random.Random(41)
+    nodes = list(city.nodes())
+    for _i in range(60):
+        a, b = rng.sample(nodes, 2)
+        try:
+            engine.create_ride(
+                city.position(a), city.position(b), departure_s=rng.uniform(0, 1800)
+            )
+        except Exception:
+            continue
+    return engine
+
+
+def _request(city, rng, request_id, window, walk):
+    nodes = list(city.nodes())
+    a, b = rng.sample(nodes, 2)
+    return RideRequest(
+        request_id, city.position(a), city.position(b), window[0], window[1], walk
+    )
+
+
+class TestMonotonicity:
+    def test_wider_walk_threshold_superset(self, populated, city):
+        rng = random.Random(5)
+        for trial in range(25):
+            a = _request(city, random.Random(trial), trial, (0.0, 3600.0), 300.0)
+            wide = RideRequest(
+                trial + 1000, a.source, a.destination,
+                a.window_start_s, a.window_end_s, 800.0,
+            )
+            narrow_ids = {m.ride_id for m in populated.search(a)}
+            wide_ids = {m.ride_id for m in populated.search(wide)}
+            assert narrow_ids <= wide_ids
+
+    def test_window_gates_pickup_eta(self, populated, city):
+        """Time-window monotonicity does NOT hold in general: widening the
+        window can switch a ride's least-walk pickup cluster, and the new
+        cluster may fail a downstream check (the paper's search keeps one
+        best option per side).  The enforceable property is that every match
+        respects the window it was searched with."""
+        for trial in range(25):
+            request = _request(city, random.Random(trial), trial, (600.0, 1200.0), 800.0)
+            for match in populated.search(request):
+                assert 600.0 <= match.eta_pickup_s <= 1200.0
+
+    def test_smaller_k_is_prefix(self, populated, city):
+        for trial in range(25):
+            request = _request(city, random.Random(trial), trial, (0.0, 3600.0), 800.0)
+            full = populated.search(request)
+            for k in (1, 2, 3):
+                assert populated.search(request, k=k) == full[:k]
+
+    def test_search_is_pure(self, populated, city):
+        """Searching twice with no intervening mutation gives identical
+        results — search must not mutate the index."""
+        for trial in range(15):
+            request = _request(city, random.Random(trial), trial, (0.0, 3600.0), 800.0)
+            first = populated.search(request)
+            second = populated.search(request)
+            assert first == second
+
+    def test_more_supply_never_loses_matches(self, region, city):
+        rng = random.Random(77)
+        nodes = list(city.nodes())
+        sparse = XAREngine(region)
+        dense = XAREngine(region)
+        offers = []
+        for _i in range(40):
+            a, b = rng.sample(nodes, 2)
+            offers.append((city.position(a), city.position(b), rng.uniform(0, 1800)))
+        for offer in offers[:20]:
+            sparse.create_ride(*offer)
+            dense.create_ride(*offer)
+        for offer in offers[20:]:
+            dense.create_ride(*offer)
+        for trial in range(15):
+            request = _request(city, random.Random(trial), trial, (0.0, 3600.0), 800.0)
+            sparse_ids = {m.ride_id for m in sparse.search(request)}
+            dense_ids = {m.ride_id for m in dense.search(request)}
+            assert sparse_ids <= dense_ids

@@ -1,0 +1,71 @@
+"""Discretization pipeline invariants (Section IV / V)."""
+
+import pytest
+
+from repro.config import XARConfig
+from repro.discretization import build_region
+from repro.exceptions import DiscretizationError
+from repro.landmarks import Landmark
+from repro.roadnet import dijkstra_path
+
+
+class TestBuildRegion:
+    def test_every_landmark_in_exactly_one_cluster(self, region):
+        seen = {}
+        for cluster in region.clusters:
+            for lid in cluster.landmark_ids:
+                assert lid not in seen
+                seen[lid] = cluster.cluster_id
+        assert set(seen) == set(range(region.n_landmarks))
+
+    def test_epsilon_realised_within_4_delta(self, region):
+        assert region.epsilon_realised <= region.config.epsilon_m + 1e-6
+
+    def test_intra_cluster_distances_bounded(self, region):
+        for cluster in region.clusters:
+            d = region.landmark_matrix.max_pairwise(cluster.landmark_ids)
+            assert d <= region.config.epsilon_m + 1e-6
+
+    def test_node_landmark_associations_within_delta_cap(self, region, city):
+        checked = 0
+        for node in list(city.nodes())[::37]:
+            hit = region.landmark_of_node(node)
+            if hit is None:
+                continue
+            landmark_id, distance = hit
+            assert distance <= region.config.grid_landmark_max_m + 1e-6
+            # The recorded distance is the true node -> landmark driving cost.
+            true, _ = dijkstra_path(city, node, region.landmarks[landmark_id].node)
+            assert distance == pytest.approx(true)
+            checked += 1
+        assert checked > 0
+
+    def test_association_is_nearest_landmark(self, region, city):
+        # Spot check: no other landmark is strictly closer than the recorded.
+        for node in list(city.nodes())[::97]:
+            hit = region.landmark_of_node(node)
+            if hit is None:
+                continue
+            _lid, recorded = hit
+            for other in region.landmarks[:10]:
+                d, _ = dijkstra_path(city, node, other.node)
+                assert d >= recorded - 1e-6
+
+    def test_custom_landmarks_used_verbatim(self, small_city, config):
+        landmarks = [
+            Landmark(0, small_city.position(0), 0, "bus_stop", 0.9),
+            Landmark(1, small_city.position(30), 30, "mall", 0.8),
+            Landmark(2, small_city.position(60), 60, "rail_station", 0.95),
+        ]
+        region = build_region(small_city, config, landmarks=landmarks)
+        assert region.n_landmarks == 3
+
+    def test_non_contiguous_landmark_ids_rejected(self, small_city, config):
+        landmarks = [Landmark(5, small_city.position(0), 0, "bus_stop", 0.9)]
+        with pytest.raises(DiscretizationError):
+            build_region(small_city, config, landmarks=landmarks)
+
+    def test_smaller_delta_gives_more_clusters(self, small_city):
+        coarse = build_region(small_city, XARConfig.validated(delta_m=600.0))
+        fine = build_region(small_city, XARConfig.validated(delta_m=150.0))
+        assert fine.n_clusters >= coarse.n_clusters

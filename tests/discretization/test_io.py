@@ -1,0 +1,74 @@
+"""Region persistence round-trips."""
+
+import pytest
+
+from repro.core import XAREngine
+from repro.discretization import load_region, save_region
+from repro.exceptions import DiscretizationError
+
+
+class TestRegionRoundTrip:
+    @pytest.fixture(scope="class")
+    def reloaded(self, small_region, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("region")
+        save_region(small_region, directory)
+        return load_region(directory)
+
+    def test_structure_preserved(self, small_region, reloaded):
+        assert reloaded.n_landmarks == small_region.n_landmarks
+        assert reloaded.n_clusters == small_region.n_clusters
+        assert reloaded.epsilon_realised == small_region.epsilon_realised
+        assert reloaded.config == small_region.config
+
+    def test_landmarks_identical(self, small_region, reloaded):
+        for a, b in zip(small_region.landmarks, reloaded.landmarks):
+            assert a == b
+
+    def test_clusters_identical(self, small_region, reloaded):
+        for a, b in zip(small_region.clusters, reloaded.clusters):
+            assert a.landmark_ids == b.landmark_ids
+            assert a.center_landmark == b.center_landmark
+
+    def test_matrix_identical(self, small_region, reloaded):
+        import numpy as np
+
+        assert np.array_equal(
+            small_region.landmark_matrix.values, reloaded.landmark_matrix.values
+        )
+
+    def test_runtime_behaviour_identical(self, small_region, reloaded, small_city):
+        """The acid test: an engine over the reloaded region produces the
+        same search results as one over the original."""
+        def run(region):
+            engine = XAREngine(region)
+            ride = engine.create_ride(
+                small_city.position(0),
+                small_city.position(small_city.node_count - 1),
+                departure_s=100.0,
+            )
+            request = engine.make_request(
+                small_city.position(7), small_city.position(50), 0.0, 3600.0
+            )
+            return [
+                (m.ride_id, m.pickup_cluster, m.dropoff_cluster, m.detour_estimate_m)
+                for m in engine.search(request)
+            ]
+
+        assert run(small_region) == run(reloaded)
+
+    def test_walkable_clusters_identical(self, small_region, reloaded, small_city):
+        point = small_city.position(20)
+        assert small_region.walkable_clusters(point) == reloaded.walkable_clusters(point)
+
+
+class TestValidation:
+    def test_missing_directory_fails(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_region(tmp_path / "nope")
+
+    def test_bad_format_rejected(self, tmp_path, small_region):
+        save_region(small_region, tmp_path)
+        payload_path = tmp_path / "region.json"
+        payload_path.write_text(payload_path.read_text().replace("repro.region", "bogus"))
+        with pytest.raises(DiscretizationError):
+            load_region(tmp_path)

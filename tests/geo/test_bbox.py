@@ -1,0 +1,39 @@
+"""Bounding boxes."""
+
+import pytest
+
+from repro.geo import BoundingBox, GeoPoint
+
+
+class TestBoundingBox:
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            BoundingBox(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            BoundingBox(0.0, 1.0, 1.0, 0.0)
+
+    def test_around_contains_all_points(self):
+        points = [GeoPoint(40.0, -74.0), GeoPoint(40.5, -73.5), GeoPoint(40.2, -74.2)]
+        box = BoundingBox.around(points)
+        assert all(box.contains(p) for p in points)
+
+    def test_around_empty_raises(self):
+        with pytest.raises(ValueError):
+            BoundingBox.around([])
+
+    def test_margin_expands(self):
+        p = GeoPoint(40.0, -74.0)
+        box = BoundingBox.around([p], margin_deg=0.1)
+        assert box.contains(GeoPoint(40.05, -74.05))
+        assert not box.contains(GeoPoint(40.2, -74.0))
+
+    def test_contains_is_closed_on_edges(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        assert box.contains(GeoPoint(0.0, 0.0))
+        assert box.contains(GeoPoint(1.0, 1.0))
+
+    def test_corners_and_center(self):
+        box = BoundingBox(0.0, 10.0, 2.0, 14.0)
+        assert box.south_west == GeoPoint(0.0, 10.0)
+        assert box.north_east == GeoPoint(2.0, 14.0)
+        assert box.center == GeoPoint(1.0, 12.0)

@@ -1,0 +1,113 @@
+"""Implicit grids (Definition 1): unique mapping, neighbours, disk queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import BoundingBox, GeoPoint, GridIndex
+
+
+@pytest.fixture(scope="module")
+def grid():
+    box = BoundingBox(40.70, -74.02, 40.75, -73.95)
+    return GridIndex(box, side_m=100.0)
+
+
+in_box_points = st.builds(
+    GeoPoint,
+    st.floats(40.70, 40.75, allow_nan=False),
+    st.floats(-74.02, -73.95, allow_nan=False),
+)
+
+
+class TestCellMapping:
+    def test_rejects_nonpositive_side(self):
+        box = BoundingBox(0.0, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            GridIndex(box, side_m=0.0)
+
+    @given(in_box_points)
+    @settings(max_examples=200)
+    def test_every_point_maps_to_exactly_one_in_region_cell(self, grid_module_pt):
+        box = BoundingBox(40.70, -74.02, 40.75, -73.95)
+        grid = GridIndex(box, side_m=100.0)
+        cell = grid.cell_of(grid_module_pt)
+        assert grid.in_region(cell)
+
+    @given(in_box_points)
+    @settings(max_examples=200)
+    def test_centroid_maps_back_to_its_cell(self, point):
+        box = BoundingBox(40.70, -74.02, 40.75, -73.95)
+        grid = GridIndex(box, side_m=100.0)
+        cell = grid.cell_of(point)
+        assert grid.cell_of(grid.centroid_of(cell)) == cell
+
+    def test_centroid_within_half_diagonal(self, grid):
+        point = GeoPoint(40.723, -73.987)
+        cell = grid.cell_of(point)
+        # Max distance point-to-centroid is half the cell diagonal ~ 71 m.
+        assert grid.centroid_of(cell).distance_to(point) <= 0.5 * 100.0 * 2 ** 0.5 * 1.05
+
+    def test_cell_count_matches_grid_extent(self, grid):
+        assert grid.cell_count() == grid.n_cols * grid.n_rows
+        assert grid.n_cols > 10 and grid.n_rows > 10
+
+    def test_adjacent_points_share_or_neighbour_cells(self, grid):
+        a = GeoPoint(40.72, -74.0)
+        cell_a = grid.cell_of(a)
+        b = grid.centroid_of((cell_a[0] + 1, cell_a[1]))
+        cell_b = grid.cell_of(b)
+        assert abs(cell_b[0] - cell_a[0]) == 1 and cell_b[1] == cell_a[1]
+
+
+class TestNeighbours:
+    def test_interior_cell_has_eight_neighbours(self, grid):
+        cell = (5, 5)
+        assert len(grid.neighbours(cell)) == 8
+
+    def test_corner_cell_has_three_neighbours(self, grid):
+        assert len(grid.neighbours((0, 0))) == 3
+
+    def test_neighbours_exclude_self(self, grid):
+        assert (5, 5) not in grid.neighbours((5, 5))
+
+    def test_ring_zero_is_self(self, grid):
+        assert grid.ring((5, 5), 0) == [(5, 5)]
+
+    def test_ring_counts(self, grid):
+        # Interior ring r has 8r cells.
+        assert len(grid.ring((10, 10), 1)) == 8
+        assert len(grid.ring((10, 10), 2)) == 16
+
+    def test_ring_clipped_at_boundary(self, grid):
+        cells = grid.ring((0, 0), 1)
+        assert len(cells) == 3
+        assert all(grid.in_region(c) for c in cells)
+
+    def test_negative_args_rejected(self, grid):
+        with pytest.raises(ValueError):
+            grid.neighbours((5, 5), ring=-1)
+        with pytest.raises(ValueError):
+            grid.ring((5, 5), -2)
+
+
+class TestDiskQuery:
+    def test_cells_within_includes_own_cell(self, grid):
+        point = GeoPoint(40.72, -74.0)
+        cells = list(grid.cells_within(point, 150.0))
+        assert grid.cell_of(point) in cells
+
+    def test_cells_within_respects_radius(self, grid):
+        point = GeoPoint(40.72, -74.0)
+        for cell in grid.cells_within(point, 300.0):
+            assert grid.centroid_of(cell).distance_to(point) <= 300.0
+
+    def test_larger_radius_is_superset(self, grid):
+        point = GeoPoint(40.72, -74.0)
+        small = set(grid.cells_within(point, 200.0))
+        large = set(grid.cells_within(point, 500.0))
+        assert small <= large
+
+    def test_negative_radius_rejected(self, grid):
+        with pytest.raises(ValueError):
+            list(grid.cells_within(GeoPoint(40.72, -74.0), -1.0))

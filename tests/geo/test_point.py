@@ -1,0 +1,117 @@
+"""Geodesy: haversine, destination points, GeoPoint validation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo import GeoPoint, destination_point, haversine_m, haversine_points, midpoint
+from repro.geo.point import centroid
+
+# City-scale coordinates: keeps hypothesis away from the poles/antimeridian
+# where haversine is fine but destination_point wrap-around obscures intent.
+lat_st = st.floats(min_value=-60.0, max_value=60.0, allow_nan=False)
+lon_st = st.floats(min_value=-170.0, max_value=170.0, allow_nan=False)
+points_st = st.builds(GeoPoint, lat_st, lon_st)
+
+
+class TestHaversine:
+    def test_zero_distance_to_self(self):
+        assert haversine_m(40.7, -74.0, 40.7, -74.0) == 0.0
+
+    def test_known_distance_new_york_to_london(self):
+        # JFK to LHR is ~5540 km great-circle.
+        d = haversine_m(40.6413, -73.7781, 51.4700, -0.4543)
+        assert 5.50e6 < d < 5.60e6
+
+    def test_one_degree_latitude_is_111km(self):
+        d = haversine_m(40.0, -74.0, 41.0, -74.0)
+        assert abs(d - 111_195) < 300
+
+    def test_longitude_shrinks_with_latitude(self):
+        at_equator = haversine_m(0.0, 0.0, 0.0, 1.0)
+        at_60 = haversine_m(60.0, 0.0, 60.0, 1.0)
+        assert at_60 == pytest.approx(at_equator * 0.5, rel=0.01)
+
+    @given(points_st, points_st)
+    def test_symmetry(self, a, b):
+        assert haversine_points(a, b) == pytest.approx(haversine_points(b, a), abs=1e-6)
+
+    @given(points_st, points_st, points_st)
+    @settings(max_examples=200)
+    def test_triangle_inequality(self, a, b, c):
+        ab = haversine_points(a, b)
+        bc = haversine_points(b, c)
+        ac = haversine_points(a, c)
+        assert ac <= ab + bc + 1e-6
+
+    @given(points_st)
+    def test_non_negative_and_zero_iff_equal(self, a):
+        assert haversine_points(a, a) == 0.0
+
+
+class TestGeoPoint:
+    def test_rejects_bad_latitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(91.0, 0.0)
+        with pytest.raises(ValueError):
+            GeoPoint(-90.5, 0.0)
+
+    def test_rejects_bad_longitude(self):
+        with pytest.raises(ValueError):
+            GeoPoint(0.0, 181.0)
+
+    def test_boundary_values_accepted(self):
+        GeoPoint(90.0, 180.0)
+        GeoPoint(-90.0, -180.0)
+
+    def test_as_tuple(self):
+        assert GeoPoint(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_is_hashable_and_frozen(self):
+        p = GeoPoint(1.0, 2.0)
+        assert p in {p}
+        with pytest.raises(AttributeError):
+            p.lat = 3.0
+
+
+class TestDestinationPoint:
+    @given(points_st, st.floats(0, 360), st.floats(1.0, 20_000.0))
+    @settings(max_examples=150)
+    def test_distance_roundtrip(self, origin, bearing, distance):
+        moved = destination_point(origin, bearing, distance)
+        assert haversine_points(origin, moved) == pytest.approx(distance, rel=1e-3)
+
+    def test_north_increases_latitude(self):
+        origin = GeoPoint(40.0, -74.0)
+        moved = destination_point(origin, 0.0, 1000.0)
+        assert moved.lat > origin.lat
+        assert moved.lon == pytest.approx(origin.lon, abs=1e-9)
+
+    def test_east_increases_longitude(self):
+        origin = GeoPoint(40.0, -74.0)
+        moved = destination_point(origin, 90.0, 1000.0)
+        assert moved.lon > origin.lon
+
+    def test_zero_distance_is_identity(self):
+        origin = GeoPoint(40.0, -74.0)
+        moved = destination_point(origin, 123.0, 0.0)
+        assert haversine_points(origin, moved) < 1e-6
+
+
+class TestMidpointCentroid:
+    def test_midpoint_is_halfway(self):
+        a = GeoPoint(40.0, -74.0)
+        b = GeoPoint(41.0, -73.0)
+        m = midpoint(a, b)
+        assert m.lat == pytest.approx(40.5)
+        assert m.lon == pytest.approx(-73.5)
+
+    def test_centroid_of_single_point(self):
+        p = GeoPoint(1.0, 2.0)
+        assert centroid([p]) == p
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])

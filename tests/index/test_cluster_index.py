@@ -1,0 +1,87 @@
+"""ClusterRideIndex: the dual-sorted potential-ride lists (Section VI)."""
+
+import pytest
+
+from repro.index import ClusterRideIndex
+
+
+@pytest.fixture
+def index():
+    return ClusterRideIndex(n_clusters=5)
+
+
+class TestAddRemove:
+    def test_add_and_query(self, index):
+        index.add(0, ride_id=7, eta_s=100.0)
+        assert index.eta(0, 7) == 100.0
+        assert index.potential_count(0) == 1
+
+    def test_add_improves_only_earlier_eta(self, index):
+        index.add(0, 7, 100.0)
+        index.add(0, 7, 200.0)  # worse: ignored
+        assert index.eta(0, 7) == 100.0
+        index.add(0, 7, 50.0)  # better: replaces
+        assert index.eta(0, 7) == 50.0
+        assert index.potential_count(0) == 1  # never duplicated
+
+    def test_remove(self, index):
+        index.add(1, 3, 10.0)
+        assert index.remove(1, 3) is True
+        assert index.remove(1, 3) is False
+        assert index.eta(1, 3) is None
+
+    def test_clusters_independent(self, index):
+        index.add(0, 1, 5.0)
+        index.add(1, 1, 9.0)
+        assert index.eta(0, 1) == 5.0
+        assert index.eta(1, 1) == 9.0
+        index.remove(0, 1)
+        assert index.eta(1, 1) == 9.0
+
+    def test_negative_cluster_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterRideIndex(-1)
+
+
+class TestWindowQueries:
+    def test_window_inclusive(self, index):
+        for ride, eta in [(1, 10.0), (2, 20.0), (3, 30.0)]:
+            index.add(2, ride, eta)
+        hits = [p.ride_id for p in index.rides_in_window(2, 10.0, 20.0)]
+        assert hits == [1, 2]
+
+    def test_window_sorted_by_eta(self, index):
+        for ride, eta in [(5, 50.0), (1, 10.0), (3, 30.0)]:
+            index.add(0, ride, eta)
+        etas = [p.eta_s for p in index.rides_in_window(0, 0.0, 100.0)]
+        assert etas == sorted(etas)
+
+    def test_empty_window(self, index):
+        index.add(0, 1, 10.0)
+        assert list(index.rides_in_window(0, 20.0, 30.0)) == []
+
+
+class TestConsistency:
+    def test_dual_lists_stay_consistent(self, index):
+        import random
+
+        rng = random.Random(5)
+        live = set()
+        for _step in range(300):
+            cluster = rng.randrange(5)
+            ride = rng.randrange(20)
+            if rng.random() < 0.6:
+                index.add(cluster, ride, rng.uniform(0, 1000))
+                live.add((cluster, ride))
+            else:
+                index.remove(cluster, ride)
+                live.discard((cluster, ride))
+        index.check_consistency()
+        total = sum(index.potential_count(c) for c in range(5))
+        assert total == len(live)
+
+    def test_total_entries(self, index):
+        index.add(0, 1, 1.0)
+        index.add(1, 1, 2.0)
+        index.add(1, 2, 3.0)
+        assert index.total_entries() == 3

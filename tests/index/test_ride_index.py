@@ -1,0 +1,94 @@
+"""RideIndexEntry: supports bookkeeping and segment selection."""
+
+import pytest
+
+from repro.index import PassThrough, ReachableInfo, RideIndexEntry, SegmentMeta
+
+
+def _visit(cluster, segment, eta, landmark=0):
+    return PassThrough(
+        cluster_id=cluster,
+        segment_index=segment,
+        eta_s=eta,
+        route_offset_m=eta * 10.0,
+        landmark_id=landmark,
+    )
+
+
+@pytest.fixture
+def entry():
+    e = RideIndexEntry(ride_id=1)
+    e.pass_through = [_visit(10, 0, 100.0), _visit(11, 0, 200.0), _visit(12, 1, 300.0)]
+    for visit in e.pass_through:
+        info = e.reachable.setdefault(visit.cluster_id, ReachableInfo(visit.cluster_id))
+        info.merge(visit.cluster_id, visit.eta_s, 0.0)
+    # Cluster 50 reachable from pass-throughs 10 and 12.
+    info = e.reachable.setdefault(50, ReachableInfo(50))
+    info.merge(10, 150.0, 500.0)
+    info.merge(12, 350.0, 300.0)
+    return e
+
+
+class TestReachableInfo:
+    def test_merge_keeps_min_eta_and_detour_independently(self):
+        info = ReachableInfo(cluster_id=1)
+        info.merge(support=10, eta_s=100.0, detour_m=500.0)
+        info.merge(support=11, eta_s=200.0, detour_m=100.0)
+        assert info.eta_s == 100.0
+        assert info.detour_estimate_m == 100.0
+        assert info.supports == {10, 11}
+
+    def test_merge_tracks_best_support_landmarks(self):
+        info = ReachableInfo(cluster_id=1)
+        info.merge(10, 100.0, 500.0, support_landmark=3, via_landmark=4)
+        info.merge(11, 200.0, 100.0, support_landmark=5, via_landmark=6)
+        assert info.support_landmark == 5  # landmark of min-detour support
+        info.merge(12, 300.0, 999.0, support_landmark=7, via_landmark=8)
+        assert info.support_landmark == 5  # not improved
+
+
+class TestSupportsLifecycle:
+    def test_remove_supports_orphans_only_unsupported(self, entry):
+        orphaned = entry.remove_supports({10})
+        # Cluster 10 itself loses its only support; 50 still has support 12.
+        assert 10 in orphaned
+        assert 50 not in orphaned
+        assert entry.reachable[50].supports == {12}
+
+    def test_remove_all_supports_orphans_everything(self, entry):
+        orphaned = entry.remove_supports({10, 11, 12})
+        assert set(orphaned) == {10, 11, 12, 50}
+        assert entry.reachable == {}
+
+    def test_drop_pass_through(self, entry):
+        entry.drop_pass_through({10, 11})
+        assert [v.cluster_id for v in entry.pass_through] == [12]
+
+    def test_first_visit(self, entry):
+        assert entry.first_visit(11).eta_s == 200.0
+        assert entry.first_visit(99) is None
+
+    def test_id_sets(self, entry):
+        assert entry.pass_through_ids() == {10, 11, 12}
+        assert entry.reachable_ids() == {10, 11, 12, 50}
+
+
+class TestSegmentFor:
+    def test_pickup_uses_earliest_support(self, entry):
+        assert entry.segment_for(50, earliest=True) == 0  # support 10 @ 100s
+
+    def test_dropoff_uses_latest_support(self, entry):
+        assert entry.segment_for(50, earliest=False) == 1  # support 12 @ 300s
+
+    def test_at_least_constrains(self, entry):
+        assert entry.segment_for(50, earliest=False, at_least=1) == 1
+        assert entry.segment_for(11, earliest=False, at_least=1) is None
+
+    def test_unknown_cluster(self, entry):
+        assert entry.segment_for(999, earliest=True) is None
+
+
+class TestSegmentMeta:
+    def test_fields(self):
+        meta = SegmentMeta(start_landmark=1, end_landmark=2, length_m=500.0)
+        assert meta.length_m == 500.0

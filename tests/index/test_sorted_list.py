@@ -1,0 +1,121 @@
+"""SortedKeyList: model-based correctness against a plain sorted list."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import SortedKeyList
+
+
+class TestBasics:
+    def test_initial_items_sorted(self):
+        sl = SortedKeyList(key=lambda x: x, items=[3, 1, 2])
+        assert list(sl) == [1, 2, 3]
+
+    def test_add_keeps_order(self):
+        sl = SortedKeyList(key=lambda x: x)
+        for v in [5, 1, 3, 2, 4]:
+            sl.add(v)
+        assert list(sl) == [1, 2, 3, 4, 5]
+
+    def test_stable_for_equal_keys(self):
+        sl = SortedKeyList(key=lambda pair: pair[0])
+        sl.add((1, "a"))
+        sl.add((1, "b"))
+        sl.add((1, "c"))
+        assert [v for _k, v in sl] == ["a", "b", "c"]
+
+    def test_remove_specific_item(self):
+        sl = SortedKeyList(key=lambda pair: pair[0])
+        sl.add((1, "a"))
+        sl.add((1, "b"))
+        sl.remove((1, "a"))
+        assert list(sl) == [(1, "b")]
+
+    def test_remove_missing_raises(self):
+        sl = SortedKeyList(key=lambda x: x, items=[1])
+        with pytest.raises(ValueError):
+            sl.remove(2)
+
+    def test_discard(self):
+        sl = SortedKeyList(key=lambda x: x, items=[1])
+        assert sl.discard(1) is True
+        assert sl.discard(1) is False
+        assert len(sl) == 0
+
+    def test_find_by_key(self):
+        sl = SortedKeyList(key=lambda pair: pair[0], items=[(2, "x"), (4, "y")])
+        assert sl.find_by_key(2) == (2, "x")
+        assert sl.find_by_key(3) is None
+        assert sl.contains_key(4)
+        assert not sl.contains_key(5)
+
+    def test_getitem_and_clear(self):
+        sl = SortedKeyList(key=lambda x: x, items=[2, 1])
+        assert sl[0] == 1
+        sl.clear()
+        assert len(sl) == 0
+
+
+class TestRangeQueries:
+    @pytest.fixture
+    def sl(self):
+        return SortedKeyList(key=lambda x: x, items=[1, 3, 5, 7, 9])
+
+    def test_irange_inclusive(self, sl):
+        assert list(sl.irange(3, 7)) == [3, 5, 7]
+
+    def test_irange_open_ends(self, sl):
+        assert list(sl.irange(None, 5)) == [1, 3, 5]
+        assert list(sl.irange(5, None)) == [5, 7, 9]
+        assert list(sl.irange()) == [1, 3, 5, 7, 9]
+
+    def test_irange_empty_window(self, sl):
+        assert list(sl.irange(4, 4)) == []
+
+    def test_count_in_range(self, sl):
+        assert sl.count_in_range(3, 7) == 3
+        assert sl.count_in_range(100, 200) == 0
+
+
+@st.composite
+def operations(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["add", "discard"]),
+                st.integers(0, 20),
+            ),
+            max_size=60,
+        )
+    )
+    return ops
+
+
+class TestModelBased:
+    @given(operations())
+    @settings(max_examples=150)
+    def test_matches_reference_multiset(self, ops):
+        sl = SortedKeyList(key=lambda x: x)
+        reference = []
+        for op, value in ops:
+            if op == "add":
+                sl.add(value)
+                reference.append(value)
+            else:
+                removed = sl.discard(value)
+                assert removed == (value in reference)
+                if removed:
+                    reference.remove(value)
+        assert list(sl) == sorted(reference)
+
+    @given(
+        st.lists(st.integers(-50, 50), max_size=40),
+        st.integers(-60, 60),
+        st.integers(-60, 60),
+    )
+    @settings(max_examples=150)
+    def test_irange_matches_filter(self, values, lo, hi):
+        sl = SortedKeyList(key=lambda x: x, items=values)
+        expected = sorted(v for v in values if lo <= v <= hi)
+        assert list(sl.irange(lo, hi)) == expected

@@ -1,0 +1,76 @@
+"""Randomized operation sequences: global invariants under arbitrary mixes.
+
+A fuzz-style stateful test: apply long random sequences of create / search /
+book / track / cancel operations and check, after every step, the invariants
+that define the system:
+
+* the dual sorted lists of every cluster agree;
+* every index entry belongs to a live ride and vice versa;
+* seats stay within [0, total]; detour budgets stay >= 0;
+* every surviving reachable cluster still has a supporting pass-through;
+* booked via-points stay ordered along routes.
+"""
+
+import random
+
+import pytest
+
+from repro.core import XAREngine, validate_engine
+from repro.exceptions import BookingError, RideError, XARError
+
+
+def _check_invariants(engine):
+    # The library's own doctor covers the full invariant set.
+    validate_engine(engine)
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_random_operation_sequences(region, city, seed):
+    rng = random.Random(seed)
+    engine = XAREngine(region)
+    nodes = list(city.nodes())
+    clock = 0.0
+    live_matches = []
+
+    for step in range(300):
+        clock += rng.uniform(0.0, 30.0)
+        op = rng.random()
+        if op < 0.35:  # create
+            a, b = rng.sample(nodes, 2)
+            try:
+                engine.create_ride(
+                    city.position(a), city.position(b),
+                    departure_s=clock + rng.uniform(0, 600),
+                    detour_limit_m=rng.uniform(500, 5000),
+                    seats=rng.randint(1, 4),
+                )
+            except RideError:
+                pass
+        elif op < 0.65:  # search (stash a match for later booking)
+            a, b = rng.sample(nodes, 2)
+            request = engine.make_request(
+                city.position(a), city.position(b),
+                clock, clock + rng.uniform(60, 1800),
+                walk_threshold_m=rng.uniform(100, 800),
+            )
+            matches = engine.search(request, k=rng.choice([None, 1, 3]))
+            if matches:
+                live_matches.append((request, rng.choice(matches)))
+        elif op < 0.80 and live_matches:  # book a stashed (possibly stale) match
+            request, match = live_matches.pop(rng.randrange(len(live_matches)))
+            try:
+                engine.book(request, match)
+            except (BookingError, XARError):
+                pass  # staleness is expected; consistency must still hold
+        elif op < 0.92:  # track everything forward
+            engine.track_all(clock)
+        elif engine.rides:  # cancel a random ride
+            ride_id = rng.choice(list(engine.rides))
+            engine.remove_ride(ride_id)
+
+        if step % 25 == 0:
+            _check_invariants(engine)
+
+    _check_invariants(engine)
+    # The sequence must have actually exercised the system.
+    assert engine.completed_rides or engine.rides

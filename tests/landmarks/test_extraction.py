@@ -1,0 +1,96 @@
+"""Landmark extraction: f-separation (Definition 2), pruning, snapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DiscretizationError
+from repro.geo import GeoPoint
+from repro.landmarks import (
+    POI,
+    POICategory,
+    extract_landmarks,
+    filter_by_separation,
+    synthesize_pois,
+)
+
+
+def _poi(poi_id, lat, lon, importance=0.9):
+    return POI(poi_id, GeoPoint(lat, lon), POICategory.BUS_STOP, importance)
+
+
+class TestSeparationFilter:
+    def test_pairwise_separation_holds(self, city):
+        pois = synthesize_pois(city, seed=8)
+        kept = filter_by_separation(pois, min_separation_m=250.0)
+        for i, a in enumerate(kept):
+            for b in kept[i + 1:]:
+                assert a.position.distance_to(b.position) >= 250.0
+
+    @given(st.integers(1, 30), st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_separation_property_random_clusters(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        pois = [
+            _poi(i, 40.0 + rng.uniform(0, 0.01), -74.0 + rng.uniform(0, 0.01),
+                 rng.random())
+            for i in range(n)
+        ]
+        kept = filter_by_separation(pois, min_separation_m=300.0)
+        assert kept  # at least the most important survives
+        for i, a in enumerate(kept):
+            for b in kept[i + 1:]:
+                assert a.position.distance_to(b.position) >= 300.0
+
+    def test_most_important_of_crowd_wins(self):
+        crowd = [
+            _poi(0, 40.0, -74.0, importance=0.5),
+            _poi(1, 40.0001, -74.0, importance=0.9),
+            _poi(2, 40.0002, -74.0, importance=0.7),
+        ]
+        kept = filter_by_separation(crowd, min_separation_m=500.0)
+        assert [p.poi_id for p in kept] == [1]
+
+    def test_far_apart_pois_all_kept(self):
+        pois = [_poi(0, 40.0, -74.0), _poi(1, 40.1, -74.0)]
+        assert len(filter_by_separation(pois, 500.0)) == 2
+
+    def test_empty_input(self):
+        assert filter_by_separation([], 100.0) == []
+
+    def test_nonpositive_separation_rejected(self):
+        with pytest.raises(ValueError):
+            filter_by_separation([], 0.0)
+
+
+class TestExtraction:
+    def test_full_pipeline_properties(self, city):
+        pois = synthesize_pois(city, seed=9)
+        landmarks = extract_landmarks(pois, city, min_separation_m=250.0)
+        # ids contiguous, snapped to real nodes, importance above threshold
+        assert [lm.landmark_id for lm in landmarks] == list(range(len(landmarks)))
+        for lm in landmarks:
+            assert city.has_node(lm.node)
+            assert lm.importance >= 0.5
+
+    def test_importance_threshold_prunes(self, city):
+        pois = synthesize_pois(city, seed=9)
+        strict = extract_landmarks(pois, city, 250.0, importance_threshold=0.9)
+        loose = extract_landmarks(pois, city, 250.0, importance_threshold=0.5)
+        assert len(strict) < len(loose)
+
+    def test_max_landmarks_cap(self, city):
+        pois = synthesize_pois(city, seed=9)
+        capped = extract_landmarks(pois, city, 250.0, max_landmarks=5)
+        assert len(capped) == 5
+
+    def test_nothing_survives_raises(self, city):
+        pois = synthesize_pois(city, seed=9)
+        with pytest.raises(DiscretizationError):
+            extract_landmarks(pois, city, 250.0, importance_threshold=1.0)
+
+    def test_bad_threshold_rejected(self, city):
+        with pytest.raises(ValueError):
+            extract_landmarks([], city, 250.0, importance_threshold=2.0)

@@ -1,0 +1,58 @@
+"""POI synthesis: determinism, categories, spatial placement."""
+
+import pytest
+
+from repro.landmarks import POI, POICategory, synthesize_pois
+
+
+class TestSynthesis:
+    def test_deterministic_for_seed(self, small_city):
+        a = synthesize_pois(small_city, seed=3)
+        b = synthesize_pois(small_city, seed=3)
+        assert len(a) == len(b)
+        assert all(x.position == y.position for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self, small_city):
+        a = synthesize_pois(small_city, seed=3)
+        b = synthesize_pois(small_city, seed=4)
+        assert [p.position for p in a] != [p.position for p in b]
+
+    def test_rate_scales_count(self, small_city):
+        low = synthesize_pois(small_city, per_node_rate=0.3, seed=1)
+        high = synthesize_pois(small_city, per_node_rate=2.0, seed=1)
+        assert len(high) > len(low)
+
+    def test_zero_rate_gives_nothing(self, small_city):
+        assert synthesize_pois(small_city, per_node_rate=0.0) == []
+
+    def test_negative_rate_rejected(self, small_city):
+        with pytest.raises(ValueError):
+            synthesize_pois(small_city, per_node_rate=-1.0)
+
+    def test_pois_near_intersections(self, small_city):
+        pois = synthesize_pois(small_city, max_offset_m=40.0, seed=2)
+        for poi in pois[:50]:
+            node = small_city.snap(poi.position)
+            assert small_city.position(node).distance_to(poi.position) <= 80.0
+
+    def test_ids_unique_and_contiguous(self, small_city):
+        pois = synthesize_pois(small_city, seed=5)
+        assert [p.poi_id for p in pois] == list(range(len(pois)))
+
+    def test_importance_in_range(self, small_city):
+        for poi in synthesize_pois(small_city, seed=6):
+            assert 0.0 <= poi.importance <= 1.0
+
+    def test_category_mix_includes_transit_and_stores(self, city):
+        pois = synthesize_pois(city, seed=7)
+        categories = {p.category for p in pois}
+        assert POICategory.BUS_STOP in categories
+        assert POICategory.SMALL_STORE in categories
+
+
+class TestPOIValidation:
+    def test_importance_bounds_enforced(self):
+        from repro.geo import GeoPoint
+
+        with pytest.raises(ValueError):
+            POI(0, GeoPoint(0, 0), POICategory.CAFE, importance=1.5)

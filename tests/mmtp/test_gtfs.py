@@ -1,0 +1,96 @@
+"""Synthetic GTFS feeds and frequency-based departures."""
+
+import pytest
+
+from repro.mmtp import TransitRoute, synthetic_feed
+from repro.mmtp.gtfs import TransitMode
+
+
+@pytest.fixture(scope="module")
+def feed(city):
+    return synthetic_feed(city, n_subway_lines=3, n_bus_lines=5, seed=23)
+
+
+class TestFeedGeneration:
+    def test_has_lines_and_stops(self, feed):
+        assert feed.n_routes >= 4
+        assert feed.n_stops >= 10
+
+    def test_route_offsets_non_decreasing(self, feed):
+        for route in feed.routes:
+            assert list(route.offsets_s) == sorted(route.offsets_s)
+
+    def test_stops_exist(self, feed):
+        for route in feed.routes:
+            for stop_id in route.stop_ids:
+                assert 0 <= stop_id < feed.n_stops
+
+    def test_modes_present(self, feed):
+        modes = {route.mode for route in feed.routes}
+        assert TransitMode.SUBWAY in modes
+        assert TransitMode.BUS in modes
+
+    def test_deterministic(self, city):
+        a = synthetic_feed(city, seed=9)
+        b = synthetic_feed(city, seed=9)
+        assert [r.stop_ids for r in a.routes] == [r.stop_ids for r in b.routes]
+
+    def test_subway_faster_than_bus(self, feed):
+        def speed(route, feed):
+            first = feed.stop(route.stop_ids[0]).position
+            last = feed.stop(route.stop_ids[-1]).position
+            if route.offsets_s[-1] == 0:
+                return 0.0
+            return first.distance_to(last) / route.offsets_s[-1]
+
+        subways = [r for r in feed.routes if r.mode is TransitMode.SUBWAY]
+        buses = [r for r in feed.routes if r.mode is TransitMode.BUS]
+        if not subways or not buses:
+            pytest.skip("need both modes")
+        # Offsets follow the line path, so straight-line speed is a lower
+        # bound; subway in-vehicle speed is set 2x bus speed.
+        assert max(speed(r, feed) for r in subways) > min(speed(r, feed) for r in buses)
+
+
+class TestRouteModel:
+    @pytest.fixture
+    def route(self):
+        return TransitRoute(
+            route_id=0,
+            name="test",
+            mode=TransitMode.BUS,
+            stop_ids=(0, 1, 2),
+            offsets_s=(0.0, 100.0, 250.0),
+            headway_s=600.0,
+            first_departure_s=0.0,
+            last_departure_s=3600.0,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransitRoute(0, "x", TransitMode.BUS, (0,), (0.0,), 600.0)
+        with pytest.raises(ValueError):
+            TransitRoute(0, "x", TransitMode.BUS, (0, 1), (0.0,), 600.0)
+        with pytest.raises(ValueError):
+            TransitRoute(0, "x", TransitMode.BUS, (0, 1), (0.0, 10.0), 0.0)
+        with pytest.raises(ValueError):
+            TransitRoute(0, "x", TransitMode.BUS, (0, 1), (10.0, 0.0), 600.0)
+
+    def test_next_departure_before_service(self, route):
+        # Stop 1's first departure is first_departure + offset = 100.
+        assert route.next_departure_from(1, 0.0) == 100.0
+
+    def test_next_departure_mid_service(self, route):
+        # Departures from stop 0: 0, 600, 1200, ...
+        assert route.next_departure_from(0, 1.0) == 600.0
+        assert route.next_departure_from(0, 600.0) == 600.0
+        assert route.next_departure_from(0, 601.0) == 1200.0
+
+    def test_next_departure_after_service(self, route):
+        assert route.next_departure_from(0, 3601.0) is None
+
+    def test_ride_time(self, route):
+        assert route.ride_time(0, 2) == 250.0
+        assert route.ride_time(1, 2) == 150.0
+        with pytest.raises(ValueError):
+            route.ride_time(2, 1)

@@ -1,0 +1,116 @@
+"""GTFS directory ingestion."""
+
+import pytest
+
+from repro.exceptions import PlannerError
+from repro.mmtp.gtfs import TransitMode
+from repro.mmtp.gtfs_io import load_gtfs, parse_gtfs_time
+from repro.mmtp.planner import MultiModalPlanner
+
+
+@pytest.fixture
+def feed_dir(tmp_path):
+    (tmp_path / "stops.txt").write_text(
+        "stop_id,stop_name,stop_lat,stop_lon\n"
+        "S1,First St,40.700,-74.000\n"
+        "S2,Second St,40.710,-74.000\n"
+        "S3,Third St,40.720,-74.000\n"
+        "S4,Cross Ave,40.710,-73.990\n"
+    )
+    (tmp_path / "routes.txt").write_text(
+        "route_id,route_short_name,route_type\n"
+        "R1,1,1\n"     # subway
+        "RB,B9,3\n"    # bus
+    )
+    (tmp_path / "trips.txt").write_text(
+        "route_id,service_id,trip_id\n"
+        "R1,WK,T1\nR1,WK,T2\nRB,WK,T3\n"
+    )
+    (tmp_path / "stop_times.txt").write_text(
+        "trip_id,departure_time,stop_id,stop_sequence\n"
+        "T1,06:00:00,S1,1\nT1,06:05:00,S2,2\nT1,06:10:00,S3,3\n"
+        "T2,06:20:00,S1,1\nT2,06:25:00,S2,2\nT2,06:30:00,S3,3\n"
+        "T3,06:00:00,S2,1\nT3,06:07:00,S4,2\n"
+    )
+    return tmp_path
+
+
+class TestLoadGtfs:
+    def test_basic_feed(self, feed_dir):
+        feed = load_gtfs(feed_dir)
+        assert feed.n_stops == 4
+        assert feed.n_routes == 2
+
+    def test_modes_from_route_type(self, feed_dir):
+        feed = load_gtfs(feed_dir)
+        modes = {route.name: route.mode for route in feed.routes}
+        assert modes["1"] is TransitMode.SUBWAY
+        assert modes["B9"] is TransitMode.BUS
+
+    def test_offsets_from_stop_times(self, feed_dir):
+        feed = load_gtfs(feed_dir)
+        subway = next(r for r in feed.routes if r.name == "1")
+        assert subway.offsets_s == (0.0, 300.0, 600.0)
+        assert subway.first_departure_s == 6 * 3600.0
+
+    def test_headway_estimated_from_departures(self, feed_dir):
+        feed = load_gtfs(feed_dir)
+        subway = next(r for r in feed.routes if r.name == "1")
+        assert subway.headway_s == pytest.approx(1200.0)  # T1 06:00, T2 06:20
+
+    def test_frequencies_file_overrides(self, feed_dir):
+        (feed_dir / "frequencies.txt").write_text(
+            "trip_id,start_time,end_time,headway_secs\nT1,06:00:00,22:00:00,240\n"
+        )
+        feed = load_gtfs(feed_dir)
+        subway = next(r for r in feed.routes if r.name == "1")
+        assert subway.headway_s == 240.0
+
+    def test_planner_runs_on_loaded_feed(self, feed_dir):
+        feed = load_gtfs(feed_dir)
+        planner = MultiModalPlanner(feed)
+        source = feed.stop(0).position
+        destination = feed.stop(2).position
+        plan = planner.plan(source, destination, 6 * 3600.0)
+        plan.validate()
+        assert plan.travel_time_s > 0
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(PlannerError):
+            load_gtfs(tmp_path)
+
+    def test_malformed_rows_skipped(self, feed_dir):
+        (feed_dir / "stop_times.txt").write_text(
+            "trip_id,departure_time,stop_id,stop_sequence\n"
+            "T1,06:00:00,S1,1\nT1,garbage,S2,2\nT1,06:10:00,S3,3\n"
+            "T3,06:00:00,S2,1\nT3,06:07:00,S4,2\n"
+        )
+        feed = load_gtfs(feed_dir)
+        subway = next(r for r in feed.routes if r.name == "1")
+        # The garbage row vanished; the trip still has 2 valid stops.
+        assert len(subway.stop_ids) == 2
+
+    def test_non_monotone_trip_dropped(self, feed_dir):
+        (feed_dir / "stop_times.txt").write_text(
+            "trip_id,departure_time,stop_id,stop_sequence\n"
+            "T1,06:10:00,S1,1\nT1,06:05:00,S2,2\n"
+            "T3,06:00:00,S2,1\nT3,06:07:00,S4,2\n"
+        )
+        feed = load_gtfs(feed_dir)
+        assert {r.name for r in feed.routes} == {"B9"}
+
+
+class TestGtfsTime:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("06:00:00", 21600.0),
+            ("25:30:00", 91800.0),  # service past midnight
+            ("00:00:59", 59.0),
+            ("6:00", None),
+            ("aa:bb:cc", None),
+            ("06:61:00", None),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_gtfs_time(text) == expected

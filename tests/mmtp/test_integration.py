@@ -1,0 +1,128 @@
+"""Aider / Enhancer integration modes (Section IX)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core import XAREngine
+from repro.mmtp import (
+    AiderMode,
+    EnhancerMode,
+    LegMode,
+    MultiModalPlanner,
+    enhancer_segment_pairs,
+    synthetic_feed,
+)
+
+
+@pytest.fixture(scope="module")
+def planner(city):
+    feed = synthetic_feed(city, n_subway_lines=5, n_bus_lines=10, seed=23)
+    return MultiModalPlanner(feed)
+
+
+@pytest.fixture
+def supplied_engine(region, city):
+    """XAR engine with plentiful supply across the morning."""
+    engine = XAREngine(region)
+    rng = random.Random(77)
+    nodes = list(city.nodes())
+    for _i in range(120):
+        a, b = rng.sample(nodes, 2)
+        try:
+            engine.create_ride(
+                city.position(a), city.position(b),
+                departure_s=rng.uniform(7.9 * 3600, 8.6 * 3600),
+            )
+        except Exception:
+            continue
+    return engine
+
+
+class TestSegmentPairs:
+    @pytest.mark.parametrize("k,expected", [(1, 1), (2, 3), (3, 6), (4, 10)])
+    def test_small_k_is_choose_k_plus_1_2(self, k, expected):
+        """The paper's C(k+1, 2) count for k <= 4."""
+        assert len(enhancer_segment_pairs(k)) == expected
+        assert expected == math.comb(k + 1, 2)
+
+    @pytest.mark.parametrize("k", [5, 6, 10])
+    def test_large_k_is_2k_plus_1(self, k):
+        pairs = enhancer_segment_pairs(k)
+        assert len(pairs) == 2 * k + 1
+
+    def test_k0_is_full_journey(self):
+        assert enhancer_segment_pairs(0) == [(0, 1)]
+
+    def test_no_adjacent_pairs_for_small_k(self):
+        for i, j in enhancer_segment_pairs(4):
+            assert j - i >= 2
+
+    def test_pairs_in_range(self):
+        for k in (2, 6):
+            for i, j in enhancer_segment_pairs(k):
+                assert 0 <= i < j <= k + 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            enhancer_segment_pairs(-1)
+
+
+class TestAiderMode:
+    def test_feasible_plan_untouched(self, planner, supplied_engine, city):
+        aider = AiderMode(planner, supplied_engine, max_walk_leg_m=1e9, max_wait_s=1e9)
+        source, destination = city.position(0), city.position(300)
+        plan = aider.improve(source, destination, 8 * 3600.0)
+        assert all(leg.mode is not LegMode.RIDESHARE for leg in plan.legs)
+
+    def test_infeasible_legs_trigger_ride_queries(self, planner, supplied_engine, city, rng):
+        aider = AiderMode(
+            planner, supplied_engine, max_walk_leg_m=400.0, max_wait_s=300.0, book=True
+        )
+        nodes = list(city.nodes())
+        replaced = 0
+        for _trial in range(25):
+            a, b = rng.sample(nodes, 2)
+            plan = aider.improve(city.position(a), city.position(b), 8 * 3600.0)
+            plan.validate()
+            if any(leg.mode is LegMode.RIDESHARE for leg in plan.legs):
+                replaced += 1
+        assert replaced >= 1, "with dense supply, some infeasible leg must be patched"
+
+    def test_bookings_happen_when_enabled(self, planner, supplied_engine, city, rng):
+        aider = AiderMode(
+            planner, supplied_engine, max_walk_leg_m=400.0, max_wait_s=300.0, book=True
+        )
+        nodes = list(city.nodes())
+        before = supplied_engine.n_bookings
+        for _trial in range(25):
+            a, b = rng.sample(nodes, 2)
+            aider.improve(city.position(a), city.position(b), 8 * 3600.0)
+        assert supplied_engine.n_bookings >= before  # may or may not book; no crash
+
+
+class TestEnhancerMode:
+    def test_never_worse_than_baseline(self, planner, supplied_engine, city, rng):
+        enhancer = EnhancerMode(planner, supplied_engine)
+        nodes = list(city.nodes())
+        for _trial in range(15):
+            a, b = rng.sample(nodes, 2)
+            source, destination = city.position(a), city.position(b)
+            baseline = planner.plan(source, destination, 8 * 3600.0)
+            enhanced = enhancer.enhance(source, destination, 8 * 3600.0)
+            enhanced.validate()
+            assert enhanced.travel_time_s <= baseline.travel_time_s + 1e-6
+
+    def test_enhancement_found_with_dense_supply(self, planner, supplied_engine, city, rng):
+        enhancer = EnhancerMode(planner, supplied_engine)
+        nodes = list(city.nodes())
+        improved = 0
+        for _trial in range(25):
+            a, b = rng.sample(nodes, 2)
+            source, destination = city.position(a), city.position(b)
+            baseline = planner.plan(source, destination, 8 * 3600.0)
+            enhanced = enhancer.enhance(source, destination, 8 * 3600.0)
+            if enhanced.travel_time_s < baseline.travel_time_s - 1.0:
+                improved += 1
+        assert improved >= 1

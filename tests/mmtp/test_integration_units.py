@@ -1,0 +1,62 @@
+"""Unit tests for the integration helpers (leg shifting, plan splitting)."""
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.mmtp import Leg, LegMode, TripPlan
+from repro.mmtp.integration import _legs_until_point, _shift_leg
+
+A = GeoPoint(40.70, -74.00)
+B = GeoPoint(40.71, -74.00)
+C = GeoPoint(40.72, -74.00)
+D = GeoPoint(40.73, -74.00)
+
+
+class TestShiftLeg:
+    def test_leg_already_late_enough_untouched(self):
+        leg = Leg(LegMode.WALK, A, B, 100.0, 200.0)
+        assert _shift_leg(leg, 50.0) is leg
+
+    def test_leg_delayed_preserving_duration_and_wait(self):
+        leg = Leg(LegMode.TRANSIT, A, B, 100.0, 200.0, wait_s=30.0)
+        shifted = _shift_leg(leg, 150.0)
+        # Traveller ready at 150; original presence started at 70 (100-30).
+        delay = 150.0 - 70.0
+        assert shifted.start_s == pytest.approx(100.0 + delay)
+        assert shifted.end_s == pytest.approx(200.0 + delay)
+        assert shifted.duration_s == leg.duration_s
+        assert shifted.wait_s == leg.wait_s
+
+    def test_boundary_exact(self):
+        leg = Leg(LegMode.WALK, A, B, 100.0, 200.0)
+        assert _shift_leg(leg, 100.0) is leg
+
+
+class TestLegsUntilPoint:
+    @pytest.fixture
+    def plan(self):
+        return TripPlan(
+            legs=[
+                Leg(LegMode.WALK, A, B, 0.0, 10.0),
+                Leg(LegMode.TRANSIT, B, C, 10.0, 20.0, description="L1"),
+                Leg(LegMode.WALK, C, C, 20.0, 22.0),
+                Leg(LegMode.TRANSIT, C, D, 25.0, 40.0, wait_s=3.0, description="L2"),
+                Leg(LegMode.WALK, D, A, 40.0, 45.0),
+            ]
+        )
+
+    def test_point_zero_is_empty_prefix(self, plan):
+        assert _legs_until_point(plan, 0) == []
+
+    def test_first_vehicle_leg_prefix(self, plan):
+        prefix = _legs_until_point(plan, 1)
+        assert len(prefix) == 2
+        assert prefix[-1].description == "L1"
+
+    def test_second_vehicle_leg_prefix(self, plan):
+        prefix = _legs_until_point(plan, 2)
+        assert len(prefix) == 4
+        assert prefix[-1].description == "L2"
+
+    def test_beyond_vehicles_returns_whole_plan(self, plan):
+        assert len(_legs_until_point(plan, 9)) == len(plan.legs)

@@ -1,0 +1,86 @@
+"""Trip plan model: metrics, validation, transfer points."""
+
+import pytest
+
+from repro.geo import GeoPoint
+from repro.mmtp import Leg, LegMode, TripPlan
+
+
+A = GeoPoint(40.70, -74.00)
+B = GeoPoint(40.71, -74.00)
+C = GeoPoint(40.72, -74.00)
+D = GeoPoint(40.73, -74.00)
+
+
+def _walk(o, d, start, end):
+    return Leg(LegMode.WALK, o, d, start, end)
+
+
+def _transit(o, d, start, end, wait=0.0, name="L1"):
+    return Leg(LegMode.TRANSIT, o, d, start, end, wait_s=wait, description=name)
+
+
+@pytest.fixture
+def plan():
+    return TripPlan(
+        legs=[
+            _walk(A, B, 0.0, 120.0),
+            _transit(B, C, 300.0, 600.0, wait=180.0),
+            _transit(C, D, 700.0, 900.0, wait=100.0),
+            _walk(D, A, 900.0, 960.0),
+        ]
+    )
+
+
+class TestLeg:
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Leg(LegMode.WALK, A, B, 100.0, 50.0)
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            Leg(LegMode.WALK, A, B, 0.0, 50.0, wait_s=-1.0)
+
+
+class TestPlanMetrics:
+    def test_travel_time_includes_waits(self, plan):
+        assert plan.travel_time_s == 960.0
+
+    def test_walk_time(self, plan):
+        assert plan.walk_time_s == 120.0 + 60.0
+
+    def test_wait_time(self, plan):
+        assert plan.wait_time_s == 280.0
+
+    def test_hops(self, plan):
+        assert plan.n_vehicle_legs == 2
+        assert plan.n_hops == 1
+
+    def test_transfer_points(self, plan):
+        points = plan.transfer_points()
+        assert points == [(C, 600.0)]
+
+    def test_empty_plan_has_no_times(self):
+        with pytest.raises(ValueError):
+            TripPlan().start_s
+
+
+class TestValidation:
+    def test_valid_plan(self, plan):
+        plan.validate()
+
+    def test_time_travel_rejected(self):
+        bad = TripPlan(
+            legs=[_walk(A, B, 0.0, 200.0), _walk(B, C, 100.0, 300.0)]
+        )
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_wait_absorbs_gap(self):
+        ok = TripPlan(
+            legs=[_walk(A, B, 0.0, 100.0), _transit(B, C, 300.0, 400.0, wait=200.0)]
+        )
+        ok.validate()
+
+    def test_describe_mentions_minutes(self, plan):
+        assert "min total" in plan.describe()

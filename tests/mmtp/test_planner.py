@@ -1,0 +1,107 @@
+"""Multimodal planner: plan validity, earliest-arrival sanity."""
+
+import random
+
+import pytest
+
+from repro.exceptions import PlannerError
+from repro.mmtp import LegMode, MultiModalPlanner, TransitFeed, synthetic_feed
+
+
+@pytest.fixture(scope="module")
+def planner(city):
+    feed = synthetic_feed(city, n_subway_lines=5, n_bus_lines=10, seed=23)
+    return MultiModalPlanner(feed)
+
+
+@pytest.fixture(scope="module")
+def od_pairs(city):
+    rng = random.Random(31)
+    nodes = list(city.nodes())
+    return [
+        (city.position(a), city.position(b))
+        for a, b in (rng.sample(nodes, 2) for _i in range(15))
+    ]
+
+
+class TestPlanning:
+    def test_plans_are_temporally_valid(self, planner, od_pairs):
+        for source, destination in od_pairs:
+            plan = planner.plan(source, destination, depart_s=8 * 3600.0)
+            plan.validate()
+            assert plan.start_s >= 8 * 3600.0 - 1e-6
+
+    def test_plans_start_and_end_at_query_points(self, planner, od_pairs):
+        source, destination = od_pairs[0]
+        plan = planner.plan(source, destination, 8 * 3600.0)
+        assert plan.legs[0].origin == source
+        assert plan.legs[-1].destination == destination
+
+    def test_never_slower_than_direct_walk(self, planner, od_pairs):
+        for source, destination in od_pairs:
+            plan = planner.plan(source, destination, 8 * 3600.0)
+            walk_s = planner.walk_s(source, destination)
+            assert plan.travel_time_s <= walk_s + 1e-6
+
+    def test_transit_used_for_long_trips(self, planner, od_pairs):
+        used_transit = 0
+        for source, destination in od_pairs:
+            if source.distance_to(destination) < 2000.0:
+                continue
+            plan = planner.plan(source, destination, 8 * 3600.0)
+            if any(leg.mode is LegMode.TRANSIT for leg in plan.legs):
+                used_transit += 1
+        assert used_transit >= 1
+
+    def test_earlier_departure_never_arrives_later(self, planner, od_pairs):
+        source, destination = od_pairs[1]
+        early = planner.plan(source, destination, 8 * 3600.0)
+        late = planner.plan(source, destination, 8 * 3600.0 + 600.0)
+        assert early.end_s <= late.end_s + 1e-6
+
+    def test_no_unmerged_same_vehicle_legs(self, planner, od_pairs):
+        """Consecutive transit legs on one line with contiguous times are one
+        physical ride and must be merged (honest hop counting)."""
+        for source, destination in od_pairs:
+            plan = planner.plan(source, destination, 8 * 3600.0)
+            for a, b in zip(plan.legs, plan.legs[1:]):
+                same_vehicle = (
+                    a.mode is LegMode.TRANSIT
+                    and b.mode is LegMode.TRANSIT
+                    and a.description == b.description
+                    and abs(b.start_s - a.end_s) < 1e-6
+                )
+                assert not same_vehicle
+
+    def test_transit_legs_have_wait_bounded_by_headway(self, planner, od_pairs):
+        max_headway = 720.0  # bus headway in the fixture feed
+        for source, destination in od_pairs:
+            plan = planner.plan(source, destination, 8 * 3600.0)
+            for leg in plan.legs:
+                if leg.mode is LegMode.TRANSIT:
+                    assert leg.wait_s <= max_headway + 1e-6
+
+
+class TestStopsNear:
+    def test_sorted_and_bounded(self, planner, od_pairs):
+        point = od_pairs[0][0]
+        near = planner.stops_near(point, 800.0)
+        walks = [w for _s, w in near]
+        assert walks == sorted(walks)
+        assert all(w <= 800.0 for w in walks)
+
+    def test_matches_brute_force(self, planner, od_pairs):
+        point = od_pairs[2][0]
+        near = {s for s, _w in planner.stops_near(point, 600.0)}
+        brute = {
+            stop.stop_id
+            for stop in planner.feed.stops
+            if planner.walk_m(point, stop.position) <= 600.0
+        }
+        assert near == brute
+
+
+class TestErrors:
+    def test_empty_feed_rejected(self):
+        with pytest.raises(PlannerError):
+            MultiModalPlanner(TransitFeed())

@@ -1,0 +1,91 @@
+"""Synthetic city generators: connectivity, spacing, one-way structure."""
+
+import random
+
+import pytest
+
+from repro.roadnet import manhattan_city, radial_city, random_planar_city
+from repro.roadnet.generators import is_strongly_connected
+from repro.roadnet.shortest_path import dijkstra_path
+
+
+class TestManhattan:
+    def test_node_count(self):
+        net = manhattan_city(n_avenues=5, n_streets=7)
+        assert net.node_count == 35
+
+    def test_strongly_connected_with_one_ways(self):
+        net = manhattan_city(n_avenues=8, n_streets=20, one_way_streets=True)
+        assert is_strongly_connected(net)
+
+    def test_strongly_connected_two_way(self):
+        net = manhattan_city(n_avenues=5, n_streets=5, one_way_streets=False)
+        assert is_strongly_connected(net)
+
+    def test_one_ways_create_asymmetric_distances(self):
+        net = manhattan_city(n_avenues=6, n_streets=10, one_way_streets=True)
+        # Adjacent nodes on a one-way street: forward one hop, backward a loop.
+        found_asymmetric = False
+        for si in (0, 2):
+            a = si  # node ids are ai * n_streets + si with ai = 0
+            b = 10 + si  # ai = 1
+            d_ab, _ = dijkstra_path(net, a, b)
+            d_ba, _ = dijkstra_path(net, b, a)
+            if abs(d_ab - d_ba) > 1.0:
+                found_asymmetric = True
+        assert found_asymmetric
+
+    def test_spacing_is_metric(self):
+        net = manhattan_city(
+            n_avenues=3, n_streets=3, avenue_spacing_m=250.0, street_spacing_m=100.0
+        )
+        # Nodes 0 and 1 are adjacent along an avenue: 100 m apart.
+        d = net.position(0).distance_to(net.position(1))
+        assert d == pytest.approx(100.0, rel=0.01)
+
+    def test_jitter_changes_positions(self):
+        a = manhattan_city(n_avenues=4, n_streets=4)
+        b = manhattan_city(n_avenues=4, n_streets=4, rng=random.Random(1))
+        assert any(
+            a.position(n).distance_to(b.position(n)) > 0.5 for n in a.nodes()
+        )
+
+    def test_too_small_lattice_rejected(self):
+        with pytest.raises(ValueError):
+            manhattan_city(n_avenues=1, n_streets=5)
+
+
+class TestRadial:
+    def test_structure(self):
+        net = radial_city(n_rings=3, n_spokes=8)
+        assert net.node_count == 1 + 3 * 8
+        assert is_strongly_connected(net)
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            radial_city(n_rings=0)
+        with pytest.raises(ValueError):
+            radial_city(n_spokes=2)
+
+
+class TestRandomPlanar:
+    def test_connected_and_sized(self):
+        net = random_planar_city(n_nodes=80, seed=5)
+        assert net.node_count == 80
+        assert is_strongly_connected(net)
+
+    def test_deterministic_for_seed(self):
+        a = random_planar_city(n_nodes=40, seed=9)
+        b = random_planar_city(n_nodes=40, seed=9)
+        assert a.edge_count == b.edge_count
+        for n in a.nodes():
+            assert a.position(n) == b.position(n)
+
+    def test_different_seeds_differ(self):
+        a = random_planar_city(n_nodes=40, seed=1)
+        b = random_planar_city(n_nodes=40, seed=2)
+        assert any(a.position(n) != b.position(n) for n in a.nodes())
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            random_planar_city(n_nodes=1)

@@ -1,0 +1,125 @@
+"""Road network graph: construction, access, snapping, route metrics."""
+
+import random
+
+import pytest
+
+from repro.exceptions import RoadNetworkError
+from repro.geo import GeoPoint, destination_point
+from repro.roadnet import RoadNetwork
+
+
+@pytest.fixture
+def triangle():
+    net = RoadNetwork()
+    base = GeoPoint(40.7, -74.0)
+    net.add_node(0, base)
+    net.add_node(1, destination_point(base, 90.0, 500.0))
+    net.add_node(2, destination_point(base, 0.0, 500.0))
+    net.add_edge(0, 1, bidirectional=True)
+    net.add_edge(1, 2, bidirectional=True)
+    net.add_edge(2, 0, bidirectional=True)
+    return net
+
+
+class TestConstruction:
+    def test_counts(self, triangle):
+        assert triangle.node_count == 3
+        assert triangle.edge_count == 6  # bidirectional doubles
+
+    def test_readding_same_node_same_position_is_noop(self, triangle):
+        triangle.add_node(0, triangle.position(0))
+        assert triangle.node_count == 3
+
+    def test_moving_a_node_is_rejected(self, triangle):
+        with pytest.raises(RoadNetworkError):
+            triangle.add_node(0, GeoPoint(41.0, -74.0))
+
+    def test_edge_to_unknown_node_rejected(self, triangle):
+        with pytest.raises(RoadNetworkError):
+            triangle.add_edge(0, 99)
+
+    def test_default_edge_length_is_haversine(self, triangle):
+        edge = triangle.out_edges(0)[0]
+        expected = triangle.position(0).distance_to(triangle.position(edge.target))
+        assert edge.length_m == pytest.approx(expected)
+
+    def test_negative_length_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.add_edge(0, 1, length_m=-5.0)
+
+    def test_nonpositive_speed_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            triangle.add_edge(0, 1, speed_mps=0.0)
+
+
+class TestAccess:
+    def test_position_of_unknown_node(self, triangle):
+        with pytest.raises(RoadNetworkError):
+            triangle.position(42)
+
+    def test_out_and_in_edges_are_mirrored(self, triangle):
+        for edge in triangle.edges():
+            assert edge in triangle.in_edges(edge.target)
+
+    def test_bounding_box_contains_all_nodes(self, triangle):
+        box = triangle.bounding_box()
+        for node in triangle.nodes():
+            assert box.contains(triangle.position(node))
+
+    def test_empty_network_bounding_box_raises(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork().bounding_box()
+
+
+class TestRouteMetrics:
+    def test_route_length_sums_edges(self, triangle):
+        length = triangle.route_length_m([0, 1, 2])
+        e01 = triangle.position(0).distance_to(triangle.position(1))
+        e12 = triangle.position(1).distance_to(triangle.position(2))
+        assert length == pytest.approx(e01 + e12)
+
+    def test_route_time_uses_edge_speeds(self, triangle):
+        time = triangle.route_time_s([0, 1])
+        edge = [e for e in triangle.out_edges(0) if e.target == 1][0]
+        assert time == pytest.approx(edge.length_m / edge.speed_mps)
+
+    def test_route_with_missing_edge_rejected(self, triangle):
+        net = RoadNetwork()
+        net.add_node(0, GeoPoint(40.7, -74.0))
+        net.add_node(1, GeoPoint(40.71, -74.0))
+        with pytest.raises(RoadNetworkError):
+            net.route_length_m([0, 1])
+
+    def test_single_node_route_is_zero(self, triangle):
+        assert triangle.route_length_m([0]) == 0.0
+
+
+class TestSnap:
+    def test_snap_exact_node_position(self, triangle):
+        for node in triangle.nodes():
+            assert triangle.snap(triangle.position(node)) == node
+
+    def test_snap_matches_brute_force(self, city, rng):
+        base = city.bounding_box()
+        for _trial in range(50):
+            point = GeoPoint(
+                rng.uniform(base.min_lat, base.max_lat),
+                rng.uniform(base.min_lon, base.max_lon),
+            )
+            snapped = city.snap(point)
+            best = min(
+                city.nodes(), key=lambda n: city.position(n).distance_to(point)
+            )
+            assert city.position(snapped).distance_to(point) == pytest.approx(
+                city.position(best).distance_to(point), abs=1e-6
+            )
+
+    def test_snap_point_far_outside_bbox(self, city):
+        outside = GeoPoint(41.5, -74.0)  # tens of km north
+        node = city.snap(outside)
+        assert city.has_node(node)
+
+    def test_snap_empty_network_raises(self):
+        with pytest.raises(RoadNetworkError):
+            RoadNetwork().snap(GeoPoint(0.0, 0.0))

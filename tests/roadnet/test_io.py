@@ -1,0 +1,69 @@
+"""Network serialization round-trips."""
+
+import json
+
+import pytest
+
+from repro.exceptions import RoadNetworkError
+from repro.roadnet import (
+    load_network,
+    manhattan_city,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.roadnet.shortest_path import dijkstra_path
+
+
+class TestRoundTrip:
+    def test_nodes_and_edges_preserved(self, small_city, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(small_city, path)
+        loaded = load_network(path)
+        assert loaded.node_count == small_city.node_count
+        assert loaded.edge_count == small_city.edge_count
+        for node in small_city.nodes():
+            assert loaded.position(node) == small_city.position(node)
+
+    def test_shortest_paths_identical(self, small_city, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(small_city, path)
+        loaded = load_network(path)
+        for a, b in [(0, 30), (5, 60), (12, 48)]:
+            d1, _ = dijkstra_path(small_city, a, b)
+            d2, _ = dijkstra_path(loaded, a, b)
+            assert d1 == pytest.approx(d2)
+
+    def test_dict_round_trip(self, small_city):
+        rebuilt = network_from_dict(network_to_dict(small_city))
+        assert rebuilt.node_count == small_city.node_count
+
+    def test_edge_attributes_preserved(self, small_city, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(small_city, path)
+        loaded = load_network(path)
+        original = sorted(
+            (e.source, e.target, e.length_m, e.speed_mps) for e in small_city.edges()
+        )
+        restored = sorted(
+            (e.source, e.target, e.length_m, e.speed_mps) for e in loaded.edges()
+        )
+        assert original == restored
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(RoadNetworkError):
+            network_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, small_city):
+        payload = network_to_dict(small_city)
+        payload["version"] = 999
+        with pytest.raises(RoadNetworkError):
+            network_from_dict(payload)
+
+    def test_file_is_valid_json(self, small_city, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(small_city, path)
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro.roadnet"

@@ -1,0 +1,191 @@
+"""OSM XML ingestion."""
+
+import textwrap
+
+import pytest
+
+from repro.exceptions import RoadNetworkError
+from repro.roadnet.osm import (
+    HIGHWAY_SPEEDS,
+    _parse_maxspeed,
+    largest_component,
+    load_osm_xml,
+)
+from repro.roadnet.generators import is_strongly_connected
+from repro.roadnet.shortest_path import dijkstra_path
+
+
+def _osm(tmp_path, body):
+    path = tmp_path / "map.osm"
+    path.write_text(
+        f"<?xml version='1.0'?>\n<osm version='0.6'>\n{textwrap.dedent(body)}\n</osm>"
+    )
+    return path
+
+
+SQUARE = """
+    <node id='1' lat='40.700' lon='-74.000'/>
+    <node id='2' lat='40.701' lon='-74.000'/>
+    <node id='3' lat='40.701' lon='-73.999'/>
+    <node id='4' lat='40.700' lon='-73.999'/>
+    <way id='10'>
+      <nd ref='1'/><nd ref='2'/><nd ref='3'/><nd ref='4'/><nd ref='1'/>
+      <tag k='highway' v='residential'/>
+    </way>
+"""
+
+
+class TestLoadOsm:
+    def test_square_block(self, tmp_path):
+        network = load_osm_xml(_osm(tmp_path, SQUARE))
+        assert network.node_count == 4
+        assert is_strongly_connected(network)
+
+    def test_oneway_respected(self, tmp_path):
+        body = """
+            <node id='1' lat='40.700' lon='-74.000'/>
+            <node id='2' lat='40.701' lon='-74.000'/>
+            <way id='10'>
+              <nd ref='1'/><nd ref='2'/>
+              <tag k='highway' v='residential'/>
+              <tag k='oneway' v='yes'/>
+            </way>
+        """
+        network = load_osm_xml(_osm(tmp_path, body))
+        assert network.edge_count == 1
+
+    def test_reversed_oneway(self, tmp_path):
+        body = """
+            <node id='1' lat='40.700' lon='-74.000'/>
+            <node id='2' lat='40.701' lon='-74.000'/>
+            <way id='10'>
+              <nd ref='1'/><nd ref='2'/>
+              <tag k='highway' v='residential'/>
+              <tag k='oneway' v='-1'/>
+            </way>
+        """
+        network = load_osm_xml(_osm(tmp_path, body))
+        edge = next(network.edges())
+        # Way listed 1->2 but oneway=-1 flips it: the single edge runs from
+        # the node at 40.701 to the node at 40.700.
+        assert network.position(edge.source).lat == pytest.approx(40.701)
+
+    def test_footways_ignored(self, tmp_path):
+        body = SQUARE + """
+            <node id='5' lat='40.702' lon='-74.000'/>
+            <way id='11'>
+              <nd ref='2'/><nd ref='5'/>
+              <tag k='highway' v='footway'/>
+            </way>
+        """
+        network = load_osm_xml(_osm(tmp_path, body))
+        assert network.node_count == 4  # node 5 never materialised
+
+    def test_maxspeed_used(self, tmp_path):
+        body = """
+            <node id='1' lat='40.700' lon='-74.000'/>
+            <node id='2' lat='40.701' lon='-74.000'/>
+            <way id='10'>
+              <nd ref='1'/><nd ref='2'/>
+              <tag k='highway' v='residential'/>
+              <tag k='maxspeed' v='36'/>
+            </way>
+        """
+        network = load_osm_xml(_osm(tmp_path, body))
+        edge = next(network.edges())
+        assert edge.speed_mps == pytest.approx(10.0)  # 36 km/h
+
+    def test_class_speed_default(self, tmp_path):
+        network = load_osm_xml(_osm(tmp_path, SQUARE))
+        edge = next(network.edges())
+        assert edge.speed_mps == HIGHWAY_SPEEDS["residential"]
+
+    def test_no_drivable_ways_rejected(self, tmp_path):
+        body = """
+            <node id='1' lat='40.700' lon='-74.000'/>
+            <node id='2' lat='40.701' lon='-74.000'/>
+            <way id='10'>
+              <nd ref='1'/><nd ref='2'/>
+              <tag k='highway' v='footway'/>
+            </way>
+        """
+        with pytest.raises(RoadNetworkError):
+            load_osm_xml(_osm(tmp_path, body))
+
+    def test_malformed_xml_rejected(self, tmp_path):
+        path = tmp_path / "bad.osm"
+        path.write_text("<osm><node id='1'")
+        with pytest.raises(RoadNetworkError):
+            load_osm_xml(path)
+
+    def test_dangling_refs_skipped(self, tmp_path):
+        body = """
+            <node id='1' lat='40.700' lon='-74.000'/>
+            <node id='2' lat='40.701' lon='-74.000'/>
+            <way id='10'>
+              <nd ref='1'/><nd ref='999'/><nd ref='2'/>
+              <tag k='highway' v='residential'/>
+            </way>
+        """
+        network = load_osm_xml(_osm(tmp_path, body))
+        assert network.node_count == 2
+        dist, _ = dijkstra_path(network, 0, 1)
+        assert dist > 0
+
+
+class TestMaxspeedParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("50", 50 / 3.6),
+            ("50 km/h", 50 / 3.6),
+            ("30 mph", 30 * 1609.344 / 3600.0),
+            ("signals", None),
+            ("", None),
+            (None, None),
+            ("0", None),
+        ],
+    )
+    def test_values(self, text, expected):
+        result = _parse_maxspeed(text)
+        if expected is None:
+            assert result is None
+        else:
+            assert result == pytest.approx(expected)
+
+
+class TestLargestComponent:
+    def test_disconnected_fragment_dropped(self, tmp_path):
+        body = SQUARE + """
+            <node id='7' lat='40.800' lon='-74.000'/>
+            <node id='8' lat='40.801' lon='-74.000'/>
+            <way id='12'>
+              <nd ref='7'/><nd ref='8'/>
+              <tag k='highway' v='residential'/>
+            </way>
+        """
+        network = load_osm_xml(_osm(tmp_path, body))
+        assert network.node_count == 6
+        core = largest_component(network)
+        assert core.node_count == 4
+        assert is_strongly_connected(core)
+
+    def test_oneway_dead_end_pruned(self, tmp_path):
+        body = SQUARE + """
+            <node id='9' lat='40.702' lon='-74.000'/>
+            <way id='13'>
+              <nd ref='2'/><nd ref='9'/>
+              <tag k='highway' v='residential'/>
+              <tag k='oneway' v='yes'/>
+            </way>
+        """
+        network = load_osm_xml(_osm(tmp_path, body))
+        core = largest_component(network)
+        assert core.node_count == 4
+        assert is_strongly_connected(core)
+
+    def test_connected_network_unchanged(self, tmp_path):
+        network = load_osm_xml(_osm(tmp_path, SQUARE))
+        core = largest_component(network)
+        assert core.node_count == network.node_count
+        assert core.edge_count == network.edge_count

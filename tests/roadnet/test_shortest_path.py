@@ -1,0 +1,135 @@
+"""Shortest paths: correctness, cross-algorithm agreement, edge cases."""
+
+import random
+
+import pytest
+
+from repro.exceptions import NoPathError, RoadNetworkError
+from repro.geo import GeoPoint
+from repro.roadnet import (
+    RoadNetwork,
+    astar,
+    bidirectional_dijkstra,
+    dijkstra_all,
+    dijkstra_path,
+    multi_source_nearest,
+)
+from repro.roadnet.shortest_path import multi_source_nearest_reverse
+
+
+@pytest.fixture(scope="module")
+def pairs(city):
+    rng = random.Random(7)
+    nodes = list(city.nodes())
+    return [tuple(rng.sample(nodes, 2)) for _n in range(25)]
+
+
+class TestDijkstraPath:
+    def test_path_endpoints_and_length(self, city, pairs):
+        for a, b in pairs:
+            dist, path = dijkstra_path(city, a, b)
+            assert path[0] == a and path[-1] == b
+            assert city.route_length_m(path) == pytest.approx(dist)
+
+    def test_self_path(self, city):
+        assert dijkstra_path(city, 5, 5) == (0.0, [5])
+
+    def test_unknown_nodes_rejected(self, city):
+        with pytest.raises(RoadNetworkError):
+            dijkstra_path(city, -1, 0)
+        with pytest.raises(RoadNetworkError):
+            dijkstra_path(city, 0, 10**9)
+
+    def test_no_path_raises(self):
+        net = RoadNetwork()
+        net.add_node(0, GeoPoint(40.0, -74.0))
+        net.add_node(1, GeoPoint(40.1, -74.0))
+        with pytest.raises(NoPathError):
+            dijkstra_path(net, 0, 1)
+
+    def test_directed_edge_not_traversed_backwards(self):
+        net = RoadNetwork()
+        net.add_node(0, GeoPoint(40.0, -74.0))
+        net.add_node(1, GeoPoint(40.001, -74.0))
+        net.add_edge(0, 1)
+        dist, _ = dijkstra_path(net, 0, 1)
+        assert dist > 0
+        with pytest.raises(NoPathError):
+            dijkstra_path(net, 1, 0)
+
+
+class TestAlgorithmAgreement:
+    def test_astar_equals_dijkstra(self, city, pairs):
+        for a, b in pairs:
+            d1, _p1 = dijkstra_path(city, a, b)
+            d2, _p2 = astar(city, a, b)
+            assert d2 == pytest.approx(d1, abs=1e-6)
+
+    def test_bidirectional_equals_dijkstra(self, city, pairs):
+        for a, b in pairs:
+            d1, _p = dijkstra_path(city, a, b)
+            d2 = bidirectional_dijkstra(city, a, b)
+            assert d2 == pytest.approx(d1, abs=1e-6)
+
+    def test_time_weight_differs_from_length(self, city):
+        d_len = dijkstra_all(city, 0, weight="length")
+        d_time = dijkstra_all(city, 0, weight="time")
+        # Same reachability, different magnitudes.
+        assert set(d_len) == set(d_time)
+        some = next(n for n in d_len if n != 0)
+        assert d_len[some] != d_time[some]
+
+    def test_unknown_weight_rejected(self, city):
+        with pytest.raises(ValueError):
+            dijkstra_all(city, 0, weight="bogus")
+
+
+class TestDijkstraAll:
+    def test_source_distance_zero_and_reaches_all(self, city):
+        dist = dijkstra_all(city, 0)
+        assert dist[0] == 0.0
+        assert len(dist) == city.node_count  # strongly connected
+
+    def test_cutoff_limits_expansion(self, city):
+        full = dijkstra_all(city, 0)
+        limited = dijkstra_all(city, 0, cutoff=500.0)
+        assert len(limited) < len(full)
+        assert all(d <= 500.0 for d in limited.values())
+
+    def test_targets_early_exit(self, city):
+        targets = {10, 20, 30}
+        dist = dijkstra_all(city, 0, targets=set(targets))
+        assert targets <= set(dist)
+        full = dijkstra_all(city, 0)
+        for t in targets:
+            assert dist[t] == pytest.approx(full[t])
+
+
+class TestMultiSource:
+    def test_labels_match_per_source_minimum(self, city):
+        sources = [0, 150, 300]
+        label = multi_source_nearest(city, sources)
+        per_source = {s: dijkstra_all(city, s) for s in sources}
+        rng = random.Random(3)
+        for node in rng.sample(list(city.nodes()), 40):
+            origin, dist = label[node]
+            best = min(per_source[s].get(node, float("inf")) for s in sources)
+            assert dist == pytest.approx(best)
+            assert per_source[origin][node] == pytest.approx(dist)
+
+    def test_reverse_measures_node_to_source(self, city):
+        sources = [0, 200]
+        label = multi_source_nearest_reverse(city, sources)
+        rng = random.Random(4)
+        for node in rng.sample(list(city.nodes()), 20):
+            origin, dist = label[node]
+            direct, _ = dijkstra_path(city, node, origin)
+            assert dist == pytest.approx(direct)
+
+    def test_cutoff(self, city):
+        label = multi_source_nearest(city, [0], cutoff=400.0)
+        assert all(d <= 400.0 for _o, d in label.values())
+
+    def test_source_labels_itself(self, city):
+        label = multi_source_nearest(city, [42])
+        assert label[42] == (42, 0.0)

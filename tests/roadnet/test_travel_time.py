@@ -1,0 +1,51 @@
+"""Travel-time models."""
+
+import pytest
+
+from repro.roadnet import EdgeSpeedModel, UniformSpeedModel
+from repro.roadnet.travel_time import TimeOfDayModel
+
+
+class TestUniformSpeed:
+    def test_basic_conversion(self):
+        model = UniformSpeedModel(speed_mps=10.0)
+        assert model.seconds_for(1000.0) == 100.0
+
+    def test_depart_time_ignored(self):
+        model = UniformSpeedModel(speed_mps=10.0)
+        assert model.seconds_for(500.0, depart_s=3600.0) == model.seconds_for(500.0)
+
+    def test_rejects_nonpositive_speed(self):
+        with pytest.raises(ValueError):
+            UniformSpeedModel(speed_mps=0.0)
+
+
+class TestTimeOfDay:
+    def test_rush_hour_is_slower(self):
+        model = TimeOfDayModel(base_speed_mps=10.0, rush_factor=0.5)
+        free = model.seconds_for(1000.0, depart_s=3.0 * 3600)
+        rush = model.seconds_for(1000.0, depart_s=8.0 * 3600)
+        assert rush > free
+
+    def test_peak_speed_is_rush_factor(self):
+        model = TimeOfDayModel(base_speed_mps=10.0, rush_factor=0.5)
+        assert model.speed_at(8.0 * 3600) == pytest.approx(5.0, rel=0.01)
+
+    def test_wraps_over_midnight(self):
+        model = TimeOfDayModel()
+        assert model.speed_at(0.0) == pytest.approx(model.speed_at(24 * 3600.0))
+
+
+class TestEdgeSpeed:
+    def test_mean_speed_between_street_and_avenue(self, city):
+        model = EdgeSpeedModel(city)
+        assert 8.0 <= model.mean_speed_mps <= 11.2
+
+    def test_route_time_matches_network(self, city):
+        model = EdgeSpeedModel(city)
+        route = [0, 1, 2]
+        assert model.seconds_for_route(route) == pytest.approx(city.route_time_s(route))
+
+    def test_distance_fallback_uses_mean(self, city):
+        model = EdgeSpeedModel(city)
+        assert model.seconds_for(1000.0) == pytest.approx(1000.0 / model.mean_speed_mps)

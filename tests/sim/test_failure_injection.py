@@ -1,0 +1,106 @@
+"""Failure injection: cancellations, stale matches, exhausted seats.
+
+A dynamic ride-share system must stay consistent when the world changes
+between search and book — the scenarios here inject exactly those races.
+"""
+
+import pytest
+
+from repro.baselines import TShareEngine
+from repro.core import XAREngine
+from repro.exceptions import BookingError, UnknownRideError
+from repro.sim import RideShareSimulator, TShareAdapter, XARAdapter
+from repro.sim.simulator import SimulatorConfig
+
+
+class TestCancellationInjection:
+    def test_xar_replay_survives_cancellations(self, region, workload):
+        engine = XAREngine(region)
+        config = SimulatorConfig(cancellation_rate=0.15, cancellation_seed=3)
+        report = RideShareSimulator(XARAdapter(engine), config).run(workload)
+        assert report.n_cancelled > 0
+        engine.cluster_index.check_consistency()
+        # No cancelled ride may linger in any index structure.
+        for ride_id in list(engine.ride_entries):
+            assert ride_id in engine.rides
+
+    def test_tshare_replay_survives_cancellations(self, city, workload):
+        engine = TShareEngine(city, cell_m=500.0)
+        config = SimulatorConfig(cancellation_rate=0.15, cancellation_seed=3)
+        report = RideShareSimulator(TShareAdapter(engine), config).run(workload[:150])
+        assert report.n_requests == 150
+
+    def test_cancelled_ride_never_matches(self, region, city, engine):
+        ride = engine.create_ride(
+            city.position(0), city.position(city.node_count - 1), departure_s=100.0
+        )
+        request = engine.make_request(
+            city.position(13), city.position(300), 0.0, 1e9
+        )
+        before = [m for m in engine.search(request) if m.ride_id == ride.ride_id]
+        if not before:
+            pytest.skip("ride does not match this request")
+        engine.remove_ride(ride.ride_id)
+        after = [m for m in engine.search(request) if m.ride_id == ride.ride_id]
+        assert not after
+
+    def test_zero_rate_cancels_nothing(self, region, workload):
+        engine = XAREngine(region)
+        report = RideShareSimulator(XARAdapter(engine)).run(workload[:80])
+        assert report.n_cancelled == 0
+
+
+class TestSearchBookRaces:
+    def _match(self, engine, city, rng):
+        nodes = list(city.nodes())
+        for _trial in range(80):
+            a, b = rng.sample(nodes, 2)
+            request = engine.make_request(
+                city.position(a), city.position(b), 0.0, 3600.0
+            )
+            matches = engine.search(request)
+            if matches:
+                return request, matches[0]
+        pytest.skip("no match produced")
+
+    @pytest.fixture
+    def populated(self, engine, city, rng):
+        nodes = list(city.nodes())
+        for _i in range(40):
+            a, b = rng.sample(nodes, 2)
+            try:
+                engine.create_ride(
+                    city.position(a), city.position(b), departure_s=rng.uniform(0, 1800)
+                )
+            except Exception:
+                continue
+        return engine
+
+    def test_ride_cancelled_between_search_and_book(self, populated, city, rng):
+        request, match = self._match(populated, city, rng)
+        populated.remove_ride(match.ride_id)
+        with pytest.raises(BookingError):
+            populated.book(request, match)
+
+    def test_seats_exhausted_between_search_and_book(self, populated, city, rng):
+        request, match = self._match(populated, city, rng)
+        populated.rides[match.ride_id].seats_available = 0
+        with pytest.raises(BookingError):
+            populated.book(request, match)
+
+    def test_failed_booking_leaves_ride_intact(self, populated, city, rng):
+        request, match = self._match(populated, city, rng)
+        ride = populated.rides[match.ride_id]
+        route_before = ride.route
+        vias_before = list(ride.via_points)
+        ride.seats_available = 0
+        with pytest.raises(BookingError):
+            populated.book(request, match)
+        assert ride.route == route_before
+        assert ride.via_points == vias_before
+
+    def test_double_cancel_rejected(self, populated, city, rng):
+        request, match = self._match(populated, city, rng)
+        populated.remove_ride(match.ride_id)
+        with pytest.raises(UnknownRideError):
+            populated.remove_ride(match.ride_id)

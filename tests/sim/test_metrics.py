@@ -1,0 +1,81 @@
+"""Simulation metrics: percentiles, CDFs, summaries."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import OperationTimings, SimulationReport, percentile
+from repro.sim.metrics import cdf_points, fraction_below
+
+
+class TestPercentile:
+    @given(
+        st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=100),
+        st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=150)
+    def test_matches_numpy_linear(self, samples, q):
+        ours = percentile(samples, q)
+        theirs = float(np.percentile(samples, q))
+        assert ours == pytest.approx(theirs, rel=1e-9, abs=1e-6)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+
+    def test_single_sample(self):
+        assert percentile([42.0], 0) == 42.0
+        assert percentile([42.0], 100) == 42.0
+
+
+class TestCdfAndFractions:
+    def test_cdf_monotone_ending_at_one(self):
+        points = cdf_points([5.0, 1.0, 3.0, 2.0, 4.0])
+        values = [v for v, _f in points]
+        fractions = [f for _v, f in points]
+        assert values == sorted(values)
+        assert fractions[-1] == 1.0
+        assert all(0 < f <= 1.0 for f in fractions)
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_fraction_below(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert fraction_below(samples, 2.0) == 0.5
+        assert fraction_below(samples, 0.0) == 0.0
+        assert fraction_below(samples, 10.0) == 1.0
+        assert math.isnan(fraction_below([], 1.0))
+
+
+class TestTimingsSummary:
+    def test_summary_fields(self):
+        timings = OperationTimings(search_s=[0.001, 0.002, 0.003], create_s=[0.01])
+        summary = timings.summary()
+        assert summary["search"]["count"] == 3
+        assert summary["search"]["mean_ms"] == pytest.approx(2.0)
+        assert summary["create"]["count"] == 1
+        assert summary["book"] == {"count": 0.0}
+
+
+class TestReport:
+    def test_match_rate_and_describe(self):
+        report = SimulationReport(
+            engine_name="XAR",
+            n_requests=10,
+            n_matched=4,
+            n_booked=4,
+            n_created=6,
+            timings=OperationTimings(search_s=[0.001]),
+            detour_approx_errors_m=[100.0, 300.0],
+        )
+        assert report.match_rate == 0.4
+        text = report.describe()
+        assert "XAR" in text and "40.0%" in text
+        assert "detour approx err" in text

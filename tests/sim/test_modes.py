@@ -1,0 +1,80 @@
+"""Four-transport-mode comparison (the Fig. 6 harness)."""
+
+import pytest
+
+from repro.mmtp import MultiModalPlanner, synthetic_feed
+from repro.sim.modes import (
+    compare_modes,
+    evaluate_public_transport,
+    evaluate_ride_share,
+    evaluate_rs_pt,
+    evaluate_taxi,
+)
+
+
+@pytest.fixture(scope="module")
+def planner(city):
+    feed = synthetic_feed(city, n_subway_lines=6, n_bus_lines=12, seed=23)
+    return MultiModalPlanner(feed)
+
+
+@pytest.fixture(scope="module")
+def small_workload(workload):
+    return workload[:120]
+
+
+@pytest.fixture(scope="module")
+def results(region, planner, small_workload):
+    return compare_modes(region, planner, small_workload)
+
+
+class TestTaxiMode:
+    def test_one_car_per_served_request(self, results):
+        taxi = results["Taxi"]
+        assert taxi.cars == taxi.served
+
+    def test_no_walking(self, results):
+        assert results["Taxi"].mean_walk_s() == 0.0
+
+
+class TestPTMode:
+    def test_zero_cars(self, results):
+        assert results["PT"].cars == 0
+
+    def test_pt_slower_than_taxi(self, results):
+        assert results["PT"].mean_travel_s() > results["Taxi"].mean_travel_s()
+
+    def test_pt_walks_more_than_taxi(self, results):
+        assert results["PT"].mean_walk_s() > results["Taxi"].mean_walk_s()
+
+
+class TestRSMode:
+    def test_fewer_cars_than_taxi(self, results):
+        assert results["RS"].cars < results["Taxi"].cars
+
+    def test_all_requests_accounted(self, results, small_workload):
+        rs = results["RS"]
+        assert rs.served + rs.unserved == len(small_workload)
+
+
+class TestRSPTMode:
+    def test_fewer_cars_than_rs(self, results):
+        """The paper's headline: RS+PT needs ~50% fewer cars than RS."""
+        assert results["RS+PT"].cars < results["RS"].cars
+
+    def test_less_walking_than_pt(self, results):
+        """Ride share patches PT's long first/last-mile walks."""
+        assert results["RS+PT"].mean_walk_s() < results["PT"].mean_walk_s()
+
+    def test_faster_than_pt(self, results):
+        assert results["RS+PT"].mean_travel_s() < results["PT"].mean_travel_s()
+
+
+class TestRowOutput:
+    def test_rows_have_all_metrics(self, results):
+        for metrics in results.values():
+            row = metrics.row()
+            assert set(row) == {
+                "travel_min", "walk_min", "wait_min", "cars", "served",
+                "unserved", "vehicle_km",
+            }

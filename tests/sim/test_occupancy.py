@@ -1,0 +1,68 @@
+"""Occupancy and vehicle-distance accounting."""
+
+import pytest
+
+from repro.core import XAREngine
+from repro.sim import RideShareSimulator, XARAdapter
+from repro.sim.occupancy import (
+    occupancy_stats,
+    passenger_km,
+    ride_occupancy_timeline,
+    vehicle_km,
+)
+
+
+@pytest.fixture
+def replayed(region, workload):
+    engine = XAREngine(region)
+    RideShareSimulator(XARAdapter(engine)).run(workload)
+    return engine
+
+
+class TestTimeline:
+    def test_unbooked_ride_is_driver_only(self, engine, city):
+        ride = engine.create_ride(city.position(0), city.position(200), 0.0)
+        timeline = ride_occupancy_timeline(ride)
+        assert timeline == [(0.0, ride.length_m, 1)]
+
+    def test_booked_ride_has_occupancy_bump(self, replayed):
+        bumped = 0
+        for ride in list(replayed.rides.values()) + list(
+            replayed.completed_rides.values()
+        ):
+            timeline = ride_occupancy_timeline(ride)
+            occupants = [o for _s, _e, o in timeline]
+            assert all(o >= 1 for o in occupants)
+            # Intervals tile the route exactly.
+            assert timeline[0][0] == 0.0
+            assert timeline[-1][1] == pytest.approx(ride.length_m)
+            for (s1, e1, _o1), (s2, _e2, _o2) in zip(timeline, timeline[1:]):
+                assert e1 == pytest.approx(s2)
+            if max(occupants) > 1:
+                bumped += 1
+        assert bumped > 0
+
+    def test_every_pickup_has_a_dropoff(self, replayed):
+        """Conservation: occupancy after the whole route returns to the
+        driver alone (a drop-off may coincide with the route end, so the last
+        *interval* can legitimately carry passengers)."""
+        for ride in replayed.completed_rides.values():
+            labels = [v.label for v in ride.via_points]
+            assert labels.count("pickup") == labels.count("dropoff")
+
+
+class TestTotals:
+    def test_vehicle_km_is_sum_of_lengths(self, replayed):
+        rides = list(replayed.rides.values()) + list(replayed.completed_rides.values())
+        expected = sum(r.length_m for r in rides) / 1000.0
+        assert vehicle_km(replayed) == pytest.approx(expected)
+
+    def test_passenger_km_at_least_vehicle_km(self, replayed):
+        # Every metre has at least the driver aboard.
+        assert passenger_km(replayed) >= vehicle_km(replayed) - 1e-9
+
+    def test_stats_bundle(self, replayed):
+        stats = occupancy_stats(replayed)
+        assert stats["mean_occupancy"] >= 1.0
+        assert stats["peak_occupancy"] >= 2.0  # bookings happened
+        assert stats["rides"] > 0

@@ -1,0 +1,75 @@
+"""The replay loop: policies, look-to-book, adapters."""
+
+import pytest
+
+from repro.baselines import TShareEngine
+from repro.core import XAREngine
+from repro.sim import RideShareSimulator, TShareAdapter, XARAdapter
+from repro.sim.simulator import SimulatorConfig
+
+
+class TestXARReplay:
+    def test_accounting_adds_up(self, region, workload):
+        simulator = RideShareSimulator(XARAdapter(XAREngine(region)))
+        report = simulator.run(workload)
+        assert report.n_requests == len(workload)
+        assert report.n_booked <= report.n_matched
+        # Booked or created (or neither only when the booking fell through
+        # on every match and create_on_miss created one anyway).
+        assert report.n_booked + report.n_created >= report.n_requests - report.n_matched
+        assert len(report.timings.search_s) == report.n_requests
+        assert len(report.matches_per_search) == report.n_requests
+
+    def test_bookings_capture_detour_errors(self, region, workload):
+        simulator = RideShareSimulator(XARAdapter(XAREngine(region)))
+        report = simulator.run(workload)
+        assert len(report.detour_approx_errors_m) == report.n_booked
+        epsilon = region.config.epsilon_m
+        for error in report.detour_approx_errors_m:
+            assert error <= 4.0 * epsilon + 1e-6
+
+    def test_no_create_on_miss(self, region, workload):
+        config = SimulatorConfig(create_on_miss=False)
+        simulator = RideShareSimulator(XARAdapter(XAREngine(region)), config)
+        report = simulator.run(workload)
+        assert report.n_created == 0
+        assert report.n_matched == 0  # nothing to match without supply
+
+    def test_looks_multiply_searches(self, region, workload):
+        config = SimulatorConfig(looks_per_book=4)
+        simulator = RideShareSimulator(XARAdapter(XAREngine(region)), config)
+        report = simulator.run(workload[:50])
+        assert len(report.timings.search_s) == 50 * 5
+
+    def test_k_matches_limits(self, region, workload):
+        config = SimulatorConfig(k_matches=1)
+        simulator = RideShareSimulator(XARAdapter(XAREngine(region)), config)
+        report = simulator.run(workload[:100])
+        assert all(n <= 1 for n in report.matches_per_search)
+
+    def test_deterministic_matching(self, region, workload):
+        a = RideShareSimulator(XARAdapter(XAREngine(region))).run(workload[:100])
+        b = RideShareSimulator(XARAdapter(XAREngine(region))).run(workload[:100])
+        assert a.n_booked == b.n_booked
+        assert a.matches_per_search == b.matches_per_search
+
+
+class TestTShareReplay:
+    def test_runs_end_to_end(self, city, workload):
+        simulator = RideShareSimulator(
+            TShareAdapter(TShareEngine(city, cell_m=500.0))
+        )
+        report = simulator.run(workload[:120])
+        assert report.engine_name == "T-Share"
+        assert report.n_requests == 120
+        assert report.n_created + report.n_booked >= 1
+
+    def test_xar_search_faster_than_tshare(self, region, city, workload):
+        """The paper's headline (Fig. 4a), as a coarse sanity assertion."""
+        xar = RideShareSimulator(XARAdapter(XAREngine(region))).run(workload[:150])
+        tshare = RideShareSimulator(
+            TShareAdapter(TShareEngine(city, cell_m=500.0))
+        ).run(workload[:150])
+        xar_mean = sum(xar.timings.search_s) / len(xar.timings.search_s)
+        tshare_mean = sum(tshare.timings.search_s) / len(tshare.timings.search_s)
+        assert xar_mean < tshare_mean

@@ -1,0 +1,73 @@
+"""XARConfig validation and derived quantities."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, XARConfig, paper_nyc_config
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        DEFAULT_CONFIG.validate()
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "grid_side_m", "landmark_separation_m", "delta_m",
+            "grid_landmark_max_m", "max_walk_m", "default_detour_m",
+            "drive_speed_mps", "walk_speed_mps",
+        ],
+    )
+    def test_nonpositive_fields_rejected(self, field):
+        with pytest.raises(ConfigurationError):
+            XARConfig.validated(**{field: 0.0})
+
+    def test_negative_walk_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XARConfig.validated(default_walk_threshold_m=-1.0)
+
+    def test_zero_seats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XARConfig.validated(default_seats=0)
+
+    def test_circuity_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XARConfig.validated(walk_circuity=0.9)
+
+    def test_walk_threshold_above_system_limit_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XARConfig.validated(default_walk_threshold_m=2000.0, max_walk_m=1000.0)
+
+    def test_grid_larger_than_delta_cap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XARConfig.validated(grid_side_m=2000.0, grid_landmark_max_m=1000.0)
+
+
+class TestDerived:
+    def test_epsilon_is_4_delta(self):
+        config = XARConfig.validated(delta_m=300.0)
+        assert config.epsilon_m == 1200.0
+
+    def test_time_conversions(self):
+        config = XARConfig.validated()
+        assert config.drive_seconds(config.drive_speed_mps * 10.0) == pytest.approx(10.0)
+        assert config.walk_seconds(config.walk_speed_mps * 7.0) == pytest.approx(7.0)
+
+    def test_with_updates_validates(self):
+        config = XARConfig.validated()
+        updated = config.with_updates(delta_m=100.0)
+        assert updated.delta_m == 100.0
+        assert config.delta_m != 100.0  # original untouched
+        with pytest.raises(ConfigurationError):
+            config.with_updates(delta_m=-1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.delta_m = 5.0
+
+    def test_paper_nyc_preset(self):
+        config = paper_nyc_config()
+        assert config.epsilon_m == 1000.0  # the paper's headline epsilon
+        assert config.grid_side_m == 100.0
+        assert config.default_seats == 3
+        config.validate()

@@ -1,0 +1,48 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro.exceptions import (
+    BookingError,
+    ConfigurationError,
+    DiscretizationError,
+    NoPathError,
+    PlannerError,
+    RequestError,
+    RideError,
+    RoadNetworkError,
+    UncoveredLocationError,
+    UnknownRideError,
+    XARError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError, RoadNetworkError, DiscretizationError,
+            RideError, RequestError, PlannerError, BookingError,
+        ],
+    )
+    def test_all_derive_from_xar_error(self, exc):
+        assert issubclass(exc, XARError)
+
+    def test_no_path_is_road_network_error(self):
+        assert issubclass(NoPathError, RoadNetworkError)
+        error = NoPathError(3, 7)
+        assert error.source == 3 and error.target == 7
+        assert "3" in str(error) and "7" in str(error)
+
+    def test_unknown_ride_carries_id(self):
+        error = UnknownRideError(42)
+        assert error.ride_id == 42
+        assert issubclass(UnknownRideError, RideError)
+
+    def test_uncovered_location_is_discretization_error(self):
+        assert issubclass(UncoveredLocationError, DiscretizationError)
+
+    def test_single_except_catches_everything(self):
+        for exc in (BookingError("x"), NoPathError(1, 2), RequestError("y")):
+            with pytest.raises(XARError):
+                raise exc

@@ -1,0 +1,130 @@
+"""Social network substrate and friend-first match ranking."""
+
+import random
+
+import pytest
+
+from repro.core import XAREngine
+from repro.social import SocialNetwork, small_world_network, social_ranking
+
+
+class TestSocialNetwork:
+    def test_friendship_is_symmetric(self):
+        net = SocialNetwork()
+        net.add_friendship(1, 2)
+        assert net.are_friends(1, 2) and net.are_friends(2, 1)
+        assert net.friends(1) == {2}
+
+    def test_self_friendship_rejected(self):
+        net = SocialNetwork()
+        with pytest.raises(ValueError):
+            net.add_friendship(1, 1)
+
+    def test_hop_distances(self):
+        net = SocialNetwork()
+        net.add_friendship(1, 2)
+        net.add_friendship(2, 3)
+        net.add_friendship(3, 4)
+        assert net.hop_distance(1, 1) == 0
+        assert net.hop_distance(1, 2) == 1
+        assert net.hop_distance(1, 3) == 2
+        assert net.hop_distance(1, 4) is None  # beyond max_hops=2
+        assert net.hop_distance(1, 4, max_hops=3) == 3
+
+    def test_unknown_users(self):
+        net = SocialNetwork()
+        net.add_user(1)
+        assert net.hop_distance(1, 99) is None
+
+    def test_counts(self):
+        net = SocialNetwork()
+        net.add_friendship(1, 2)
+        net.add_friendship(2, 3)
+        assert net.n_users == 3
+        assert net.n_friendships == 2
+
+
+class TestSmallWorld:
+    def test_size_and_degree(self):
+        net = small_world_network(50, mean_degree=6, seed=1)
+        assert net.n_users == 50
+        mean_degree = 2 * net.n_friendships / net.n_users
+        assert 4.0 <= mean_degree <= 6.5
+
+    def test_deterministic(self):
+        a = small_world_network(30, seed=2)
+        b = small_world_network(30, seed=2)
+        assert a.n_friendships == b.n_friendships
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            small_world_network(2)
+        with pytest.raises(ValueError):
+            small_world_network(10, mean_degree=3)
+
+
+class TestSocialRanking:
+    @pytest.fixture
+    def setup(self, region, city, rng):
+        engine = XAREngine(region)
+        social = SocialNetwork()
+        social.add_friendship(100, 200)  # requester 100, friend-driver 200
+        nodes = list(city.nodes())
+        for driver in (200, 300, 400, 500):
+            for _i in range(8):
+                a, b = rng.sample(nodes, 2)
+                try:
+                    engine.create_ride(
+                        city.position(a), city.position(b),
+                        departure_s=rng.uniform(0, 900),
+                        driver_id=driver,
+                    )
+                except Exception:
+                    continue
+        return engine, social
+
+    def test_friend_rides_first(self, setup, city, rng):
+        engine, social = setup
+        ranking = social_ranking(social, requester=100, driver_of=engine.driver_of)
+        nodes = list(city.nodes())
+        checked = 0
+        for _trial in range(60):
+            a, b = rng.sample(nodes, 2)
+            request = engine.make_request(city.position(a), city.position(b), 0.0, 3600.0)
+            matches = engine.search(request, ranking=ranking)
+            drivers = [engine.driver_of(m.ride_id) for m in matches]
+            if 200 in drivers and any(d != 200 for d in drivers):
+                # Every friend ride must precede every stranger ride.
+                last_friend = max(i for i, d in enumerate(drivers) if d == 200)
+                first_stranger = min(i for i, d in enumerate(drivers) if d != 200)
+                assert last_friend < first_stranger
+                checked += 1
+        if checked == 0:
+            pytest.skip("no request matched both friend and stranger rides")
+
+    def test_same_matches_different_order(self, setup, city, rng):
+        engine, social = setup
+        ranking = social_ranking(social, requester=100, driver_of=engine.driver_of)
+        nodes = list(city.nodes())
+        for _trial in range(40):
+            a, b = rng.sample(nodes, 2)
+            request = engine.make_request(city.position(a), city.position(b), 0.0, 3600.0)
+            default = engine.search(request)
+            ranked = engine.search(request, ranking=ranking)
+            assert sorted(m.ride_id for m in default) == sorted(
+                m.ride_id for m in ranked
+            )
+
+    def test_k_applied_after_ranking(self, setup, city, rng):
+        engine, social = setup
+        ranking = social_ranking(social, requester=100, driver_of=engine.driver_of)
+        nodes = list(city.nodes())
+        for _trial in range(60):
+            a, b = rng.sample(nodes, 2)
+            request = engine.make_request(city.position(a), city.position(b), 0.0, 3600.0)
+            all_ranked = engine.search(request, ranking=ranking)
+            if len(all_ranked) >= 2:
+                top = engine.search(request, k=1, ranking=ranking)
+                assert top == all_ranked[:1]
+                return
+        pytest.skip("no multi-match request found")

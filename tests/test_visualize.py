@@ -1,0 +1,41 @@
+"""SVG renderers."""
+
+import pytest
+
+from repro.visualize import render_region_svg, render_ride_svg
+
+
+class TestRegionSvg:
+    def test_creates_valid_svg(self, small_region, tmp_path):
+        out = tmp_path / "region.svg"
+        render_region_svg(small_region, out)
+        text = out.read_text()
+        assert text.startswith("<svg")
+        assert text.rstrip().endswith("</svg>")
+
+    def test_one_circle_per_landmark(self, small_region, tmp_path):
+        out = tmp_path / "region.svg"
+        render_region_svg(small_region, out)
+        text = out.read_text()
+        assert text.count("<circle") == small_region.n_landmarks
+        assert text.count("<text") == small_region.n_clusters
+
+
+class TestRideSvg:
+    def test_route_polyline_and_vias(self, small_region, small_city, tmp_path):
+        from repro.core import XAREngine
+
+        engine = XAREngine(small_region)
+        ride = engine.create_ride(
+            small_city.position(0),
+            small_city.position(small_city.node_count - 1),
+            departure_s=0.0,
+        )
+        out = tmp_path / "ride.svg"
+        render_ride_svg(
+            small_region, ride, out, entry=engine.ride_entries[ride.ride_id]
+        )
+        text = out.read_text()
+        assert "<polyline" in text
+        assert text.count('r="5"') == 2  # source + destination markers
+        assert "#2ca02c" in text  # pass-through landmarks drawn

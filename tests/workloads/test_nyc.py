@@ -1,0 +1,111 @@
+"""NYC-like workload generator: determinism, distributions, streams."""
+
+import math
+
+import pytest
+
+from repro.core import RideRequest
+from repro.workloads import NYCWorkloadGenerator, RequestStream, trips_to_requests
+
+
+class TestGenerator:
+    def test_deterministic_for_seed(self, city):
+        a = NYCWorkloadGenerator(city, seed=7).generate(50)
+        b = NYCWorkloadGenerator(city, seed=7).generate(50)
+        assert [(t.pickup_s, t.pickup, t.dropoff) for t in a] == [
+            (t.pickup_s, t.pickup, t.dropoff) for t in b
+        ]
+
+    def test_different_seeds_differ(self, city):
+        a = NYCWorkloadGenerator(city, seed=7).generate(50)
+        b = NYCWorkloadGenerator(city, seed=8).generate(50)
+        assert [t.pickup for t in a] != [t.pickup for t in b]
+
+    def test_sorted_by_pickup_time(self, city):
+        trips = NYCWorkloadGenerator(city, seed=3).generate(100)
+        times = [t.pickup_s for t in trips]
+        assert times == sorted(times)
+
+    def test_times_within_window(self, city):
+        trips = NYCWorkloadGenerator(city, seed=3).generate(100, 6.0, 12.0)
+        for trip in trips:
+            assert 6.0 * 3600 <= trip.pickup_s <= 12.0 * 3600
+
+    def test_morning_peak_denser_than_predawn(self, city):
+        trips = NYCWorkloadGenerator(city, seed=3).generate(2000, 3.0, 10.0)
+        predawn = sum(1 for t in trips if t.pickup_s < 5 * 3600)
+        peak = sum(1 for t in trips if 8 * 3600 <= t.pickup_s < 10 * 3600)
+        assert peak > 2 * predawn
+
+    def test_hotspot_share_concentrates_origins(self, city):
+        clustered = NYCWorkloadGenerator(city, seed=3, hotspot_share=1.0, n_hotspots=1)
+        spread = NYCWorkloadGenerator(city, seed=3, hotspot_share=0.0)
+
+        def mean_pairwise_spread(trips):
+            pts = [t.pickup for t in trips[:60]]
+            total = count = 0
+            for i, a in enumerate(pts):
+                for b in pts[i + 1:]:
+                    total += a.distance_to(b)
+                    count += 1
+            return total / count
+
+        assert mean_pairwise_spread(clustered.generate(60)) < mean_pairwise_spread(
+            spread.generate(60)
+        )
+
+    def test_no_degenerate_trips(self, city):
+        trips = NYCWorkloadGenerator(city, seed=5).generate(150)
+        degenerate = sum(
+            1 for t in trips if city.snap(t.pickup) == city.snap(t.dropoff)
+        )
+        assert degenerate <= len(trips) * 0.02
+
+    def test_invalid_args(self, city):
+        with pytest.raises(ValueError):
+            NYCWorkloadGenerator(city, hotspot_share=2.0)
+        gen = NYCWorkloadGenerator(city)
+        with pytest.raises(ValueError):
+            gen.generate(-1)
+        with pytest.raises(ValueError):
+            gen.generate(5, start_hour=10.0, end_hour=9.0)
+
+
+class TestTripsToRequests:
+    def test_conversion_preserves_fields(self, city):
+        trips = NYCWorkloadGenerator(city, seed=4).generate(20)
+        requests = trips_to_requests(trips, window_s=300.0, walk_threshold_m=600.0)
+        assert len(requests) == 20
+        for trip, request in zip(trips, requests):
+            assert request.source == trip.pickup
+            assert request.destination == trip.dropoff
+            assert request.window_start_s == trip.pickup_s
+            assert request.window_end_s == trip.pickup_s + 300.0
+            assert request.walk_threshold_m == 600.0
+
+    def test_negative_window_rejected(self, city):
+        trips = NYCWorkloadGenerator(city, seed=4).generate(5)
+        with pytest.raises(ValueError):
+            trips_to_requests(trips, window_s=-1.0)
+
+
+class TestRequestStream:
+    def _requests(self, city, n=30):
+        trips = NYCWorkloadGenerator(city, seed=4).generate(n)
+        return trips_to_requests(trips)
+
+    def test_sorted_on_construction(self, city):
+        requests = list(reversed(self._requests(city)))
+        stream = RequestStream(requests)
+        starts = [r.window_start_s for r in stream]
+        assert starts == sorted(starts)
+
+    def test_between(self, city):
+        stream = RequestStream(self._requests(city))
+        lo, hi = 7 * 3600.0, 8 * 3600.0
+        sub = stream.between(lo, hi)
+        assert all(lo <= r.window_start_s < hi for r in sub)
+
+    def test_head(self, city):
+        stream = RequestStream(self._requests(city))
+        assert len(stream.head(5)) == 5

@@ -1,0 +1,106 @@
+"""Real NYC taxi CSV ingestion."""
+
+import datetime
+
+import pytest
+
+from repro.geo import BoundingBox
+from repro.workloads import load_nyc_trips_csv
+
+HEADER = (
+    "medallion,hack_license,vendor_id,rate_code,store_and_fwd_flag,"
+    "pickup_datetime,dropoff_datetime,passenger_count,trip_time_in_secs,"
+    "trip_distance,pickup_longitude,pickup_latitude,"
+    "dropoff_longitude,dropoff_latitude\n"
+)
+
+
+def _csv(tmp_path, rows):
+    path = tmp_path / "trips.csv"
+    path.write_text(HEADER + "".join(rows))
+    return path
+
+
+def _row(pickup_dt, plat, plon, dlat, dlon):
+    return (
+        f"m1,h1,VTS,1,N,{pickup_dt},{pickup_dt},1,600,2.5,"
+        f"{plon},{plat},{dlon},{dlat}\n"
+    )
+
+
+class TestLoadCsv:
+    def test_basic_load_and_timing(self, tmp_path):
+        path = _csv(
+            tmp_path,
+            [
+                _row("2013-03-07 08:30:00", 40.75, -73.99, 40.76, -73.97),
+                _row("2013-03-07 06:00:00", 40.70, -74.00, 40.72, -73.98),
+            ],
+        )
+        trips = load_nyc_trips_csv(path)
+        assert len(trips) == 2
+        # Sorted by pickup; seconds since midnight.
+        assert trips[0].pickup_s == 6 * 3600.0
+        assert trips[1].pickup_s == 8.5 * 3600.0
+        assert trips[0].trip_id == 0 and trips[1].trip_id == 1
+
+    def test_zero_coordinates_dropped(self, tmp_path):
+        path = _csv(
+            tmp_path,
+            [
+                _row("2013-03-07 08:00:00", 0.0, 0.0, 40.76, -73.97),
+                _row("2013-03-07 08:10:00", 40.75, -73.99, 40.76, -73.97),
+            ],
+        )
+        assert len(load_nyc_trips_csv(path)) == 1
+
+    def test_bbox_filter(self, tmp_path):
+        path = _csv(
+            tmp_path,
+            [
+                _row("2013-03-07 08:00:00", 40.75, -73.99, 40.76, -73.97),
+                _row("2013-03-07 08:10:00", 41.99, -73.99, 40.76, -73.97),
+            ],
+        )
+        manhattan = BoundingBox(40.60, -74.10, 40.90, -73.80)
+        trips = load_nyc_trips_csv(path, bbox=manhattan)
+        assert len(trips) == 1
+
+    def test_day_filter(self, tmp_path):
+        path = _csv(
+            tmp_path,
+            [
+                _row("2013-03-06 23:00:00", 40.75, -73.99, 40.76, -73.97),
+                _row("2013-03-07 08:00:00", 40.75, -73.99, 40.76, -73.97),
+            ],
+        )
+        trips = load_nyc_trips_csv(path, day=datetime.date(2013, 3, 7))
+        assert len(trips) == 1
+        assert trips[0].pickup_s == 8 * 3600.0
+
+    def test_max_trips_cap(self, tmp_path):
+        rows = [
+            _row(f"2013-03-07 08:{m:02d}:00", 40.75, -73.99, 40.76, -73.97)
+            for m in range(10)
+        ]
+        path = _csv(tmp_path, rows)
+        assert len(load_nyc_trips_csv(path, max_trips=4)) == 4
+
+    def test_malformed_rows_skipped(self, tmp_path):
+        path = _csv(
+            tmp_path,
+            [
+                "m1,h1,VTS,1,N,not-a-date,x,1,600,2.5,-73.99,40.75,-73.97,40.76\n",
+                _row("2013-03-07 08:00:00", 40.75, -73.99, 40.76, -73.97),
+            ],
+        )
+        assert len(load_nyc_trips_csv(path)) == 1
+
+    def test_alternative_datetime_format(self, tmp_path):
+        path = _csv(
+            tmp_path,
+            [_row("03/07/2013 08:00:00", 40.75, -73.99, 40.76, -73.97)],
+        )
+        trips = load_nyc_trips_csv(path)
+        assert len(trips) == 1
+        assert trips[0].pickup_s == 8 * 3600.0

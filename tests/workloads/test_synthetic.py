@@ -1,0 +1,80 @@
+"""Synthetic workload shapes: uniform, corridor, event pulse."""
+
+import pytest
+
+from repro.core import XAREngine
+from repro.sim import RideShareSimulator, XARAdapter
+from repro.workloads import (
+    corridor_workload,
+    hotspot_pulse_workload,
+    trips_to_requests,
+    uniform_workload,
+)
+
+
+class TestUniform:
+    def test_times_sorted_and_bounded(self, city):
+        trips = uniform_workload(city, 100, 0.0, 600.0, seed=1)
+        times = [t.pickup_s for t in trips]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= 600.0 for t in times)
+
+    def test_deterministic(self, city):
+        a = uniform_workload(city, 30, seed=5)
+        b = uniform_workload(city, 30, seed=5)
+        assert a == b
+
+    def test_validation(self, city):
+        with pytest.raises(ValueError):
+            uniform_workload(city, -1)
+        with pytest.raises(ValueError):
+            uniform_workload(city, 5, start_s=10.0, end_s=5.0)
+
+
+class TestCorridor:
+    def test_origins_cluster_near_anchor(self, city):
+        trips = corridor_workload(city, 60, spread_m=400.0, seed=2)
+        anchor = city.bounding_box().south_west
+        near = sum(1 for t in trips if t.pickup.distance_to(anchor) < 1500.0)
+        assert near >= 50
+
+    def test_band_respected(self, city):
+        trips = corridor_workload(city, 40, start_s=100.0, band_s=50.0, seed=3)
+        assert all(100.0 <= t.pickup_s <= 150.0 for t in trips)
+
+    def test_trips_share_one_direction(self, city):
+        """Every corridor trip heads roughly SW→NE (the shared direction
+        that makes the workload poolable)."""
+        trips = corridor_workload(city, 60, seed=4)
+        for trip in trips:
+            assert trip.dropoff.lat > trip.pickup.lat
+            assert trip.dropoff.lon > trip.pickup.lon
+
+    def test_corridor_demand_is_shareable(self, region, city):
+        """A meaningful fraction of corridor commuters pool under the
+        standard replay policy."""
+        trips = corridor_workload(city, 120, seed=4)
+        requests = trips_to_requests(trips, window_s=900.0)
+        engine = XAREngine(region)
+        report = RideShareSimulator(XARAdapter(engine)).run(requests)
+        assert report.n_booked / report.n_requests >= 0.2
+
+
+class TestPulse:
+    def test_pickups_near_epicentre(self, city):
+        trips = hotspot_pulse_workload(city, 50, spread_m=200.0, seed=5)
+        centre = city.bounding_box().center
+        assert all(t.pickup.distance_to(centre) < 2000.0 for t in trips)
+
+    def test_pulse_window(self, city):
+        trips = hotspot_pulse_workload(
+            city, 50, pulse_start_s=1000.0, pulse_length_s=60.0, seed=6
+        )
+        assert all(1000.0 <= t.pickup_s <= 1060.0 for t in trips)
+
+    def test_no_degenerate_trips(self, city):
+        trips = hotspot_pulse_workload(city, 80, seed=7)
+        degenerate = sum(
+            1 for t in trips if city.snap(t.pickup) == city.snap(t.dropoff)
+        )
+        assert degenerate <= 2
