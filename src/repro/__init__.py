@@ -28,13 +28,17 @@ per-figure reproduction harness.
 from .config import DEFAULT_CONFIG, XARConfig, paper_nyc_config
 from .exceptions import (
     BookingError,
+    CircuitOpenError,
     ConfigurationError,
+    DeadlineExceededError,
     DiscretizationError,
     NoPathError,
     PlannerError,
     RequestError,
+    ResilienceError,
     RideError,
     RoadNetworkError,
+    TransientFaultError,
     UncoveredLocationError,
     UnknownRideError,
     XARError,
@@ -46,6 +50,7 @@ from .clustering import greedy_search, landmark_distance_matrix
 from .discretization import Cluster, DiscretizedRegion, WalkOption, build_region
 from .core import (
     BookingRecord,
+    BookingRollback,
     EngineInvariantError,
     MatchOption,
     Ride,
@@ -53,6 +58,13 @@ from .core import (
     RideStatus,
     XAREngine,
     validate_engine,
+)
+from .resilience import (
+    AuditReport,
+    InvariantAuditor,
+    ResilienceConfig,
+    ResilientEngine,
+    RetryPolicy,
 )
 from .baselines import TShareEngine
 from .workloads import NYCWorkloadGenerator, trips_to_requests
@@ -78,6 +90,16 @@ __all__ = [
     "BookingError",
     "RequestError",
     "PlannerError",
+    "ResilienceError",
+    "TransientFaultError",
+    "DeadlineExceededError",
+    "CircuitOpenError",
+    "BookingRollback",
+    "AuditReport",
+    "InvariantAuditor",
+    "ResilienceConfig",
+    "ResilientEngine",
+    "RetryPolicy",
     "GeoPoint",
     "BoundingBox",
     "GridIndex",

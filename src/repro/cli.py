@@ -29,7 +29,18 @@ from .roadnet import (
     random_planar_city,
     save_network,
 )
-from .sim import RideShareSimulator, TShareAdapter, XARAdapter
+from .resilience import ResilienceConfig, ResilientEngine
+from .sim import (
+    DriverCancellation,
+    FaultInjectingAdapter,
+    IndexCorruption,
+    RideShareSimulator,
+    RouterFault,
+    TrackingDropout,
+    TShareAdapter,
+    XARAdapter,
+)
+from .sim.simulator import SimulatorConfig
 from .sim.modes import compare_modes
 from .workloads import NYCWorkloadGenerator, trips_to_requests
 
@@ -89,6 +100,28 @@ def _workload(region_network, args):
     return trips_to_requests(trips, window_s=args.window, walk_threshold_m=args.walk)
 
 
+def _parse_faults(spec: str) -> List:
+    """``router=0.05,dropout=0.1,cancel=0.02,corrupt=0.01`` → policies."""
+    makers = {
+        "router": lambda rate: RouterFault(rate=rate),
+        "dropout": lambda rate: TrackingDropout(rate=rate),
+        "cancel": lambda rate: DriverCancellation(rate=rate),
+        "corrupt": lambda rate: IndexCorruption(rate=rate),
+    }
+    policies = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _sep, value = part.partition("=")
+        if name not in makers:
+            raise SystemExit(
+                f"unknown fault policy {name!r} (choose from {sorted(makers)})"
+            )
+        policies.append(makers[name](float(value) if value else 0.05))
+    return policies
+
+
 def _simulate(args: argparse.Namespace) -> int:
     region = load_region(args.region)
     requests = _workload(region.network, args)
@@ -96,8 +129,18 @@ def _simulate(args: argparse.Namespace) -> int:
         adapter = XARAdapter(XAREngine(region, optimize_insertion=args.optimize))
     else:
         adapter = TShareAdapter(TShareEngine(region.network))
-    report = RideShareSimulator(adapter).run(requests)
+    if args.faults:
+        adapter = FaultInjectingAdapter(
+            adapter, _parse_faults(args.faults), seed=args.fault_seed
+        )
+    if args.resilient:
+        adapter = ResilientEngine(adapter, ResilienceConfig(seed=args.fault_seed))
+    config = SimulatorConfig(audit_every_s=args.audit_every)
+    report = RideShareSimulator(adapter, config).run(requests)
     print(report.describe())
+    if args.audit_every > 0 and report.audit.get("post_run_violations", 0) > 0:
+        print("post-run invariant audit FAILED", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -178,6 +221,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--engine", choices=["xar", "tshare"], default="xar")
     p.add_argument("--optimize", action="store_true",
                    help="XAR insertion optimization at booking")
+    p.add_argument("--faults", default="",
+                   help="inject faults, e.g. "
+                        "'router=0.05,dropout=0.1,cancel=0.02,corrupt=0.01'")
+    p.add_argument("--fault-seed", type=int, default=0, dest="fault_seed")
+    p.add_argument("--resilient", action="store_true",
+                   help="wrap the engine in the fault-tolerant runtime "
+                        "(retries, circuit breaker, degraded search tiers)")
+    p.add_argument("--audit-every", type=float, default=0.0, dest="audit_every",
+                   help="invariant-audit cadence in simulated seconds "
+                        "(0 disables; audits self-heal and a post-run sweep "
+                        "must come back clean)")
     _add_workload_args(p)
     p.set_defaults(func=_simulate)
 

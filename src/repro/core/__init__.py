@@ -10,7 +10,7 @@ spatio-temporal reasoning happens at cluster level within the ε tolerance.
 from .ride import Ride, RideStatus, ViaPoint
 from .request import RideRequest
 from .search import MatchOption
-from .booking import BookingRecord
+from .booking import BookingRecord, BookingRollback
 from .engine import XAREngine
 from .validation import EngineInvariantError, validate_engine
 
@@ -23,5 +23,6 @@ __all__ = [
     "RideRequest",
     "MatchOption",
     "BookingRecord",
+    "BookingRollback",
     "XAREngine",
 ]

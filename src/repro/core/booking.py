@@ -61,6 +61,23 @@ class BookingRecord:
         return abs(self.detour_actual_m - self.detour_estimate_m)
 
 
+@dataclass(frozen=True)
+class BookingRollback:
+    """The persisted outcome of a booking that failed and was rolled back.
+
+    Transactional booking (``XAREngine.book``) snapshots the ride before the
+    splice and restores it on any :class:`~repro.exceptions.XARError`, so a
+    failed booking is a no-op on engine state; this record is the audit
+    trail of that rollback.
+    """
+
+    request_id: int
+    ride_id: int
+    #: Exception class name that aborted the booking (e.g. ``NoPathError``).
+    error: str
+    reason: str
+
+
 def book_ride(
     engine: "XAREngine",
     request: RideRequest,
@@ -188,6 +205,14 @@ def book_ride(
             f"{ride.detour_limit_m:.0f} m beyond the {slack:.0f} m tolerance"
         )
 
+    if ride.seats_available < 1:
+        # Look-to-book race: seats hit zero between the entry check and the
+        # splice (e.g. the same ride booked via another match of this batch).
+        # Never silently over-book — restore the route and refuse.
+        ride.replace_route(route, vias)
+        raise BookingError(
+            f"ride {ride.ride_id} ran out of seats while booking was in flight"
+        )
     ride.consume_seat()
     ride.consume_detour(actual_detour)
     engine.reindex_ride(ride.ride_id)

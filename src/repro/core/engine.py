@@ -19,11 +19,11 @@ import itertools
 from typing import Dict, List, Optional, Sequence
 
 from ..discretization import DiscretizedRegion
-from ..exceptions import RideError, UnknownRideError
+from ..exceptions import RideError, UnknownRideError, XARError
 from ..geo import GeoPoint
 from ..index import ClusterRideIndex, RideIndexEntry
 from ..roadnet import astar
-from .booking import BookingRecord, book_ride
+from .booking import BookingRecord, BookingRollback, book_ride
 from .reachability import build_ride_entry
 from .request import RideRequest
 from .ride import Ride, RideStatus
@@ -40,8 +40,14 @@ class XAREngine:
         detour_slack_m: Optional[float] = None,
         optimize_insertion: bool = False,
         router=None,
+        strict_coverage: bool = False,
     ):
         self.region = region
+        #: When True, ``create_ride`` and ``search`` raise
+        #: :class:`~repro.exceptions.UncoveredLocationError` for locations
+        #: the discretization cannot serve (Section IV semantics), instead
+        #: of snapping/returning no matches.
+        self.strict_coverage = strict_coverage
         #: When True, booking scores every supported segment pair with the
         #: landmark matrix and splices the cheapest (still <= 4 shortest
         #: paths) — see booking._best_segment_pair.
@@ -55,6 +61,7 @@ class XAREngine:
         self.completed_rides: Dict[int, Ride] = {}
         self.ride_entries: Dict[int, RideIndexEntry] = {}
         self.bookings: List[BookingRecord] = []
+        self.rollbacks: List[BookingRollback] = []
         self.tracked_to: Dict[int, float] = {}
         #: Additive tolerance on the detour budget at booking time; defaults
         #: to the theoretical worst case 4ε (ε = 4δ, Theorem 6 + Section V).
@@ -82,6 +89,9 @@ class XAREngine:
         """Offer a new ride; routes via shortest path unless ``route`` given."""
         config = self.region.config
         network = self.region.network
+        if self.strict_coverage:
+            self.region.require_covered(source)
+            self.region.require_covered(destination)
         source_node = network.snap(source)
         destination_node = network.snap(destination)
         if source_node == destination_node:
@@ -137,10 +147,19 @@ class XAREngine:
             apply_obsolescence(self, ride_id, tracked)
 
     def remove_ride(self, ride_id: int) -> None:
-        """Withdraw a ride entirely (driver cancelled)."""
+        """Withdraw a ride entirely (driver cancelled).
+
+        Removal is atomic with respect to discoverability: the ride's index
+        entry, every cluster potential-ride tuple (including strays a
+        corrupted entry would not have named), and its tracking state all go
+        in one call, so a cancelled ride can never surface in a later search.
+        """
         if ride_id not in self.rides:
             raise UnknownRideError(ride_id)
         self._unindex_ride(ride_id)
+        # Belt and braces: the entry-driven unindex trusts the ride's entry
+        # to name its clusters; sweep the index for strays as well.
+        self.cluster_index.purge_ride(ride_id)
         del self.rides[ride_id]
         self.tracked_to.pop(ride_id, None)
 
@@ -182,6 +201,9 @@ class XAREngine:
         requester's friends first (Section VII's safety motivation).  The
         top-k cut is applied after re-ranking.
         """
+        if self.strict_coverage:
+            self.region.require_covered(request.source)
+            self.region.require_covered(request.destination)
         if ranking is None:
             return search_rides(self, request, k)
         matches = search_rides(self, request, None)
@@ -197,8 +219,32 @@ class XAREngine:
     # Booking + tracking
     # ------------------------------------------------------------------
     def book(self, request: RideRequest, match: MatchOption) -> BookingRecord:
-        """Confirm a previously returned match."""
-        return book_ride(self, request, match)
+        """Confirm a previously returned match — transactionally.
+
+        The ride's full mutable state (route, via-points, seats, detour
+        budget, index entry, cluster-index membership) is snapshotted before
+        the splice; any :class:`~repro.exceptions.XARError` raised mid-way
+        (a routing failure, a stale match, an invariant trip) restores the
+        snapshot verbatim, records a :class:`BookingRollback`, and
+        re-raises.  A failed booking is therefore a no-op on engine state.
+        """
+        from ..resilience.snapshot import restore_ride, snapshot_ride
+
+        snapshot = snapshot_ride(self, match.ride_id)
+        try:
+            return book_ride(self, request, match)
+        except XARError as exc:
+            if snapshot is not None:
+                restore_ride(self, snapshot)
+            self.rollbacks.append(
+                BookingRollback(
+                    request_id=request.request_id,
+                    ride_id=match.ride_id,
+                    error=type(exc).__name__,
+                    reason=str(exc),
+                )
+            )
+            raise
 
     def track(self, ride_id: int, now_s: float) -> None:
         track_ride(self, ride_id, now_s)

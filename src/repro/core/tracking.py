@@ -94,4 +94,7 @@ def _complete(engine: "XAREngine", ride: Ride) -> None:
         for cluster_id in entry.reachable_ids():
             engine.cluster_index.remove(cluster_id, ride.ride_id)
     engine.rides.pop(ride.ride_id, None)
+    # Drop the tracking watermark too — leaking it would grow unboundedly
+    # over a long-running deployment and confuse later id reuse audits.
+    engine.tracked_to.pop(ride.ride_id, None)
     engine.completed_rides[ride.ride_id] = ride

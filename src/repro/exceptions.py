@@ -60,5 +60,34 @@ class RequestError(XARError):
     """A ride request is malformed (bad window, negative thresholds, ...)."""
 
 
+class ResilienceError(XARError):
+    """Base class for the fault-tolerant runtime's own failures."""
+
+
+class TransientFaultError(ResilienceError):
+    """A transient infrastructure fault (injected or real); safe to retry."""
+
+
+class DeadlineExceededError(ResilienceError):
+    """An operation ran past its per-operation deadline."""
+
+    def __init__(self, operation: str, elapsed_s: float, deadline_s: float):
+        super().__init__(
+            f"{operation} took {elapsed_s * 1000:.1f} ms "
+            f"(deadline {deadline_s * 1000:.1f} ms)"
+        )
+        self.operation = operation
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+
+
+class CircuitOpenError(ResilienceError):
+    """The circuit breaker is open; the operation was short-circuited."""
+
+    def __init__(self, operation: str):
+        super().__init__(f"circuit open: {operation} short-circuited")
+        self.operation = operation
+
+
 class PlannerError(XARError):
     """The multi-modal trip planner cannot produce a plan."""

@@ -80,6 +80,21 @@ class ClusterRideIndex:
         lists.by_eta.remove(existing)
         return True
 
+    def purge_ride(self, ride_id: int) -> int:
+        """Remove a ride's entries from *every* cluster list; returns count.
+
+        The entry-driven :meth:`remove` path is O(log n) but trusts the
+        ride's index entry to name the clusters it lives in; ``purge_ride``
+        is the belt-and-braces sweep used by withdrawal and self-healing so
+        that a corrupted or stale entry can never leave a cancelled ride
+        discoverable.
+        """
+        purged = 0
+        for cluster_id in range(len(self._lists)):
+            if self.remove(cluster_id, ride_id):
+                purged += 1
+        return purged
+
     def eta(self, cluster_id: int, ride_id: int) -> Optional[float]:
         """The stored ETA of a ride at a cluster, if potential there."""
         existing = self._lists[cluster_id].by_ride.find_by_key(ride_id)

@@ -8,17 +8,34 @@ these are the raw series behind Figures 3, 4 and 5.
 """
 
 from .adapters import EngineAdapter, TShareAdapter, XARAdapter
+from .faults import (
+    DriverCancellation,
+    FaultInjectingAdapter,
+    FaultPolicy,
+    IndexCorruption,
+    RouterFault,
+    TrackingDropout,
+    default_fault_policies,
+)
 from .metrics import OperationTimings, SimulationReport, percentile
-from .simulator import RideShareSimulator
+from .simulator import RideShareSimulator, SimulatorConfig
 from .events import EventDrivenSimulator
 
 __all__ = [
     "EngineAdapter",
     "XARAdapter",
     "TShareAdapter",
+    "FaultPolicy",
+    "FaultInjectingAdapter",
+    "RouterFault",
+    "TrackingDropout",
+    "DriverCancellation",
+    "IndexCorruption",
+    "default_fault_policies",
     "OperationTimings",
     "SimulationReport",
     "percentile",
     "RideShareSimulator",
+    "SimulatorConfig",
     "EventDrivenSimulator",
 ]

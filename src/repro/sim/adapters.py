@@ -8,6 +8,13 @@ system explicit:
 * XAR books the match with the least total walking (Section X-A2);
 * T-Share books the match with the least detour (it has no walking concept —
   taxis pick up at the door).
+
+Adapters compose: :class:`repro.sim.faults.FaultInjectingAdapter` injects
+fault policies around any adapter, and
+:class:`repro.resilience.ResilientEngine` wraps one with retries, deadlines,
+circuit breaking and tiered degradation.  Decorators expose the wrapped
+adapter as ``.inner`` and the raw engine keeps being reachable through the
+``.engine`` attribute chain (the simulator and auditor rely on this).
 """
 
 from __future__ import annotations
@@ -75,6 +82,10 @@ class XARAdapter:
 
     def active_rides(self):
         return list(self.engine.rides.values())
+
+    def rollback_count(self) -> int:
+        """Bookings that failed mid-splice and were rolled back."""
+        return len(self.engine.rollbacks)
 
 
 class TShareAdapter:

@@ -97,6 +97,19 @@ class SimulationReport:
     walk_distances_m: List[float] = field(default_factory=list)
     #: Rides withdrawn by the cancellation injector.
     n_cancelled: int = 0
+    #: Bookings that failed mid-splice and were rolled back (transactional
+    #: booking audit trail; XAR only).
+    n_rollbacks: int = 0
+    #: Requests served per degradation tier (ResilientEngine only):
+    #: optimized / grid_fallback / create_on_miss.
+    degradation_tiers: Dict[str, int] = field(default_factory=dict)
+    #: Injected faults per policy name (fault-injected runs only).
+    fault_injections: Dict[str, int] = field(default_factory=dict)
+    #: Resilience counters: retries, deadline violations, breaker trips, ...
+    resilience: Dict[str, float] = field(default_factory=dict)
+    #: Invariant-audit counters: sweeps, violations_found, healed,
+    #: post_run_violations.
+    audit: Dict[str, int] = field(default_factory=dict)
 
     @property
     def match_rate(self) -> float:
@@ -123,5 +136,38 @@ class SimulationReport:
             lines.append(
                 f"detour approx err : mean {sum(errors)/len(errors):.0f} m"
                 f"  p98 {percentile(errors, 98):.0f} m  max {max(errors):.0f} m"
+            )
+        if self.n_cancelled:
+            lines.append(f"rides cancelled   : {self.n_cancelled}")
+        if self.n_rollbacks:
+            lines.append(f"booking rollbacks : {self.n_rollbacks}")
+        if self.degradation_tiers:
+            tiers = self.degradation_tiers
+            lines.append(
+                "served by tier    : "
+                f"optimized {tiers.get('optimized', 0)}"
+                f" / grid-fallback {tiers.get('grid_fallback', 0)}"
+                f" / create-on-miss {tiers.get('create_on_miss', 0)}"
+            )
+        if self.fault_injections:
+            injected = ", ".join(
+                f"{name}={count}" for name, count in sorted(self.fault_injections.items())
+            )
+            lines.append(f"faults injected   : {injected}")
+        if self.resilience:
+            lines.append(
+                "resilience        : "
+                f"retries {self.resilience.get('retries', 0)}, "
+                f"deadline blows {self.resilience.get('deadline_violations', 0)}, "
+                f"breaker trips {self.resilience.get('breaker_trips', 0)}, "
+                f"fallback searches {self.resilience.get('fallback_searches', 0)}"
+            )
+        if self.audit:
+            lines.append(
+                "invariant audit   : "
+                f"{self.audit.get('sweeps', 0)} sweeps, "
+                f"{self.audit.get('violations_found', 0)} violations found, "
+                f"{self.audit.get('healed', 0)} healed, "
+                f"{self.audit.get('post_run_violations', 0)} post-run"
             )
         return "\n".join(lines)

@@ -15,10 +15,11 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from ..core.booking import BookingRecord
 from ..core.request import RideRequest
+from ..exceptions import XARError
 from .adapters import EngineAdapter
 from .metrics import OperationTimings, SimulationReport
 
@@ -37,9 +38,28 @@ class SimulatorConfig:
     create_on_miss: bool = True
     #: Probability (per processed request) that one random not-yet-departed
     #: ride is withdrawn — driver cancellations, a dynamic-scenario stressor.
+    #: Legacy knob: prefer a :class:`repro.sim.faults.DriverCancellation`
+    #: policy on a :class:`repro.sim.faults.FaultInjectingAdapter`.
     cancellation_rate: float = 0.0
     #: Seed for the cancellation draws.
     cancellation_seed: int = 0
+    #: Simulated seconds between invariant-audit sweeps (0 disables).  Needs
+    #: the adapter stack to bottom out at an :class:`repro.core.XAREngine`.
+    audit_every_s: float = 0.0
+    #: Self-heal (re-index) when an audit sweep finds violations.
+    audit_heal: bool = True
+
+
+def _raw_engine(adapter: Any) -> Optional[Any]:
+    """Unwrap an adapter stack down to the XAREngine, if there is one."""
+    seen = set()
+    node: Any = adapter
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        if hasattr(node, "cluster_index") and hasattr(node, "rides"):
+            return node
+        node = getattr(node, "engine", None) or getattr(node, "inner", None)
+    return None
 
 
 class RideShareSimulator:
@@ -56,9 +76,31 @@ class RideShareSimulator:
         detour_errors = []
         walks = []
         n_requests = n_matched = n_booked = n_created = 0
-        n_cancelled = 0
+        n_cancelled = n_search_failures = n_create_failures = 0
         last_track = None
+        last_audit = None
         cancel_rng = random.Random(config.cancellation_seed)
+
+        # Optional invariant auditing: only when the adapter stack bottoms
+        # out at an XAREngine (T-Share has its own structures).
+        auditor = None
+        audit_stats = {"sweeps": 0, "violations_found": 0, "healed": 0}
+        if config.audit_every_s > 0:
+            engine = _raw_engine(self.adapter)
+            if engine is not None:
+                from ..resilience.audit import InvariantAuditor
+
+                auditor = InvariantAuditor(engine)
+
+        def sweep_audit() -> None:
+            audit_report = auditor.audit()
+            audit_stats["sweeps"] += 1
+            audit_stats["violations_found"] += len(audit_report.violations)
+            if config.audit_heal and not audit_report.ok:
+                audit_stats["healed"] += auditor.heal(audit_report)
+
+        #: Per-request fault pulse (cancellation / corruption policies).
+        on_request = getattr(self.adapter, "on_request", None)
 
         for request in requests:
             n_requests += 1
@@ -68,6 +110,13 @@ class RideShareSimulator:
             ):
                 self.adapter.track_all(now)
                 last_track = now
+            if on_request is not None:
+                on_request(now)
+            if auditor is not None and (
+                last_audit is None or now - last_audit >= config.audit_every_s
+            ):
+                sweep_audit()
+                last_audit = now
 
             if config.cancellation_rate > 0 and cancel_rng.random() < config.cancellation_rate:
                 # A driver still on the road gives up (the ride vanishes for
@@ -82,14 +131,23 @@ class RideShareSimulator:
                     self.adapter.cancel(cancel_rng.choice(pending))
                     n_cancelled += 1
 
-            # Extra looks first (high look-to-book regimes).
+            # Extra looks first (high look-to-book regimes).  A search that
+            # fails (injected outage) counts as zero matches — the request
+            # degrades to create-on-miss rather than killing the replay.
             for _look in range(config.looks_per_book):
                 t0 = time.perf_counter()
-                self.adapter.search(request, config.k_matches)
+                try:
+                    self.adapter.search(request, config.k_matches)
+                except XARError:
+                    pass
                 timings.search_s.append(time.perf_counter() - t0)
 
             t0 = time.perf_counter()
-            matches = self.adapter.search(request, config.k_matches)
+            try:
+                matches = self.adapter.search(request, config.k_matches)
+            except XARError:
+                matches = []
+                n_search_failures += 1
             timings.search_s.append(time.perf_counter() - t0)
             matches_per_search.append(len(matches))
 
@@ -116,11 +174,23 @@ class RideShareSimulator:
                     continue
             if config.create_on_miss:
                 t0 = time.perf_counter()
-                self.adapter.create(request.source, request.destination, now)
+                try:
+                    self.adapter.create(request.source, request.destination, now)
+                except XARError:
+                    # Routing back-end down even for the fresh ride: the
+                    # request goes unserved but the replay survives.
+                    n_create_failures += 1
+                else:
+                    n_created += 1
                 timings.create_s.append(time.perf_counter() - t0)
-                n_created += 1
 
-        return SimulationReport(
+        # Post-run audit: verify (and optionally heal) before reporting, so
+        # "zero post-run violations" is a meaningful acceptance criterion.
+        if auditor is not None:
+            sweep_audit()  # heals (when enabled) anything since the last sweep
+            audit_stats["post_run_violations"] = len(auditor.audit().violations)
+
+        report = SimulationReport(
             engine_name=self.adapter.name,
             n_requests=n_requests,
             n_matched=n_matched,
@@ -132,3 +202,28 @@ class RideShareSimulator:
             walk_distances_m=walks,
             n_cancelled=n_cancelled,
         )
+        if auditor is not None:
+            report.audit = dict(audit_stats)
+
+        # Fault/resilience accounting contributed by decorated adapters.
+        fault_stats = getattr(self.adapter, "fault_stats", None)
+        if fault_stats is not None:
+            report.fault_injections = dict(fault_stats())
+            report.n_cancelled += getattr(self.adapter, "n_cancelled", 0)
+        resilience_stats = getattr(self.adapter, "resilience_stats", None)
+        if resilience_stats is not None:
+            stats = dict(resilience_stats())
+            report.degradation_tiers = stats.pop("tiers", {})
+            stats.pop("breaker_states", None)
+            stats["search_failures"] = n_search_failures
+            stats["create_failures"] = n_create_failures
+            report.resilience = stats
+        elif n_search_failures or n_create_failures:
+            report.resilience = {
+                "search_failures": n_search_failures,
+                "create_failures": n_create_failures,
+            }
+        engine = _raw_engine(self.adapter)
+        if engine is not None and hasattr(engine, "rollbacks"):
+            report.n_rollbacks = len(engine.rollbacks)
+        return report

@@ -1,0 +1,323 @@
+"""ResilientEngine: retries, deadlines, circuit breaker, degradation tiers."""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core import XAREngine
+from repro.exceptions import (
+    BookingError,
+    CircuitOpenError,
+    TransientFaultError,
+)
+from repro.resilience import ResilienceConfig, ResilientEngine, RetryPolicy
+from repro.resilience.fallback import grid_scan_search
+from repro.resilience.runtime import CircuitBreaker
+from repro.sim import XARAdapter
+
+
+class FakeClock:
+    def __init__(self, step: float = 0.0):
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        now = self.t
+        self.t += self.step
+        return now
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class FakeAdapter:
+    """Minimal EngineAdapter that fails the first ``fail`` calls per op."""
+
+    name = "fake"
+
+    def __init__(self, fail: int = 0, error: Exception = None):
+        self.fail = {"create": fail, "search": fail, "book": fail}
+        self.error = error or TransientFaultError("backend down")
+        self.calls = {"create": 0, "search": 0, "book": 0, "track": 0}
+
+    def _maybe_fail(self, op: str):
+        self.calls[op] += 1
+        if self.fail[op] > 0:
+            self.fail[op] -= 1
+            raise self.error
+
+    def create(self, source, destination, depart_s):
+        self._maybe_fail("create")
+        return SimpleNamespace(ride_id=1)
+
+    def search(self, request, k=None):
+        self._maybe_fail("search")
+        return [SimpleNamespace(ride_id=1)]
+
+    def book(self, request, match):
+        self._maybe_fail("book")
+        return SimpleNamespace(ride_id=match.ride_id)
+
+    def track_all(self, now_s):
+        self.calls["track"] += 1
+        return 0
+
+    def cancel(self, ride):
+        pass
+
+    def active_rides(self):
+        return []
+
+
+def quiet_config(**overrides) -> ResilienceConfig:
+    """No real sleeping, no wall-clock coupling."""
+    defaults = dict(sleep=lambda _s: None, clock=FakeClock())
+    defaults.update(overrides)
+    return ResilienceConfig(**defaults)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, recovery_s=30.0, clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_after_recovery_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=10.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=5, recovery_s=10.0, clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_failure()  # single probe failure is enough
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_s=10.0, clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=0.3, jitter=0.0)
+        rng = random.Random(0)
+        assert policy.delay_s(1, rng) == pytest.approx(0.1)
+        assert policy.delay_s(2, rng) == pytest.approx(0.2)
+        assert policy.delay_s(3, rng) == pytest.approx(0.3)
+        assert policy.delay_s(9, rng) == pytest.approx(0.3)
+
+    def test_jitter_stays_below_full_backoff(self):
+        policy = RetryPolicy(base_delay_s=0.1, max_delay_s=1.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in (1, 2, 3):
+            delay = policy.delay_s(attempt, rng)
+            full = min(1.0, 0.1 * 2 ** (attempt - 1))
+            assert 0.5 * full <= delay <= full
+
+
+class TestRetries:
+    def test_transient_search_failure_is_retried(self):
+        inner = FakeAdapter(fail=2)
+        engine = ResilientEngine(inner, quiet_config())
+        request = SimpleNamespace(request_id=1)
+        matches = engine.search(request)
+        assert matches and inner.calls["search"] == 3
+        assert engine.stats.retries == 2
+        assert engine.stats.failed_operations == 0
+
+    def test_permanent_error_is_not_retried(self):
+        inner = FakeAdapter(fail=5, error=BookingError("no seats"))
+        engine = ResilientEngine(inner, quiet_config())
+        with pytest.raises(BookingError):
+            engine.book(SimpleNamespace(request_id=1), SimpleNamespace(ride_id=1))
+        assert inner.calls["book"] == 1
+        assert engine.stats.retries == 0
+
+    def test_exhausted_retries_count_a_failed_operation(self):
+        inner = FakeAdapter(fail=99)
+        engine = ResilientEngine(inner, quiet_config())
+        with pytest.raises(TransientFaultError):
+            engine.create(None, None, 0.0)
+        assert inner.calls["create"] == 3  # default max_attempts
+        assert engine.stats.failed_operations == 1
+
+
+class TestDeadlines:
+    def test_slow_search_blows_deadline_and_degrades(self):
+        # Every clock() call advances 2 s, so each attempt "takes" >= 2 s
+        # against a 1 s deadline: enforced for the read path.
+        inner = FakeAdapter()
+        config = quiet_config(clock=FakeClock(step=2.0), search_deadline_s=1.0)
+        engine = ResilientEngine(inner, config)
+        matches = engine.search(SimpleNamespace(request_id=1))
+        assert matches == []  # no raw engine below the fake: final tier
+        assert engine.stats.deadline_violations >= 1
+        assert engine._search_tier[1] == "create_on_miss"
+
+    def test_slow_book_keeps_its_result(self):
+        # Mutations log the violation but never discard a happened splice.
+        inner = FakeAdapter()
+        config = quiet_config(clock=FakeClock(step=10.0), book_deadline_s=1.0)
+        engine = ResilientEngine(inner, config)
+        record = engine.book(SimpleNamespace(request_id=1), SimpleNamespace(ride_id=7))
+        assert record.ride_id == 7
+        assert engine.stats.deadline_violations == 1
+
+
+class TestBreakerIntegration:
+    def test_search_breaker_short_circuits_primary(self):
+        inner = FakeAdapter(fail=10**6)
+        config = quiet_config(breaker_failure_threshold=3)
+        engine = ResilientEngine(inner, config)
+        engine.search(SimpleNamespace(request_id=1))  # 3 failures -> breaker opens
+        calls_after_first = inner.calls["search"]
+        engine.search(SimpleNamespace(request_id=2))
+        assert inner.calls["search"] == calls_after_first  # primary skipped
+        assert engine.stats.short_circuits == 1
+        assert engine.stats.breaker_trips >= 1
+
+    def test_open_route_breaker_fails_book_fast(self):
+        inner = FakeAdapter(fail=10**6)
+        config = quiet_config(breaker_failure_threshold=3)
+        engine = ResilientEngine(inner, config)
+        with pytest.raises(TransientFaultError):
+            engine.create(None, None, 0.0)
+        with pytest.raises(CircuitOpenError):
+            engine.book(SimpleNamespace(request_id=1), SimpleNamespace(ride_id=1))
+        assert inner.calls["book"] == 0
+
+
+class BrokenSearchAdapter:
+    """Decorator whose optimized search path is down; everything else works."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.name = "broken-search"
+
+    def search(self, request, k=None):
+        raise TransientFaultError("cluster index service unavailable")
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)
+
+
+@pytest.fixture
+def populated_engine(region, city, rng):
+    engine = XAREngine(region)
+    nodes = list(city.nodes())
+    for _ in range(50):
+        a, b = rng.sample(nodes, 2)
+        try:
+            engine.create_ride(
+                city.position(a), city.position(b), departure_s=rng.uniform(0, 900)
+            )
+        except Exception:
+            continue
+    return engine
+
+
+class TestGridFallback:
+    def _matched_request(self, engine, city, rng):
+        nodes = list(city.nodes())
+        for _ in range(150):
+            a, b = rng.sample(nodes, 2)
+            request = engine.make_request(
+                city.position(a), city.position(b), 0.0, 3600.0
+            )
+            matches = engine.search(request)
+            if matches:
+                return request, matches
+        pytest.skip("no matchable request produced")
+
+    def test_grid_scan_agrees_with_optimized_search(
+        self, populated_engine, city, rng
+    ):
+        engine = populated_engine
+        request, optimized = self._matched_request(engine, city, rng)
+        fallback = grid_scan_search(engine, request)
+        assert {m.ride_id for m in fallback} == {m.ride_id for m in optimized}
+
+    def test_search_degrades_to_grid_fallback_tier(self, populated_engine, city, rng):
+        engine = populated_engine
+        request, optimized = self._matched_request(engine, city, rng)
+        resilient = ResilientEngine(
+            BrokenSearchAdapter(XARAdapter(engine)), quiet_config()
+        )
+        matches = resilient.search(request)
+        assert {m.ride_id for m in matches} == {m.ride_id for m in optimized}
+        assert resilient.stats.fallback_searches == 1
+        assert resilient._search_tier[request.request_id] == "grid_fallback"
+
+    def test_booking_from_fallback_counts_its_tier(self, populated_engine, city, rng):
+        engine = populated_engine
+        request, _optimized = self._matched_request(engine, city, rng)
+        resilient = ResilientEngine(
+            BrokenSearchAdapter(XARAdapter(engine)), quiet_config()
+        )
+        matches = resilient.search(request)
+        record = resilient.book(request, matches[0])
+        assert record.ride_id == matches[0].ride_id
+        assert resilient.stats.tiers["grid_fallback"] == 1
+        assert resilient.stats.tiers["optimized"] == 0
+
+    def test_fallback_survives_corrupted_cluster_index(
+        self, populated_engine, city, rng
+    ):
+        """The fallback's reason to exist: matches the damaged index lost."""
+        engine = populated_engine
+        request, optimized = self._matched_request(engine, city, rng)
+        # Corrupt the index: drop the best match's pickup-cluster entry.
+        best = optimized[0]
+        engine.cluster_index.remove(best.pickup_cluster, best.ride_id)
+        lossy = {m.ride_id for m in engine.search(request)}
+        grid = {m.ride_id for m in grid_scan_search(engine, request)}
+        assert best.ride_id in grid
+        assert grid >= lossy
+
+
+class TestAdapterCompat:
+    def test_delegates_unknown_attributes_to_inner(self):
+        inner = FakeAdapter()
+        inner.custom_marker = "hello"
+        engine = ResilientEngine(inner, quiet_config())
+        assert engine.custom_marker == "hello"
+        assert engine.name == "Resilient(fake)"
+
+    def test_resilience_stats_shape(self):
+        engine = ResilientEngine(FakeAdapter(), quiet_config())
+        stats = engine.resilience_stats()
+        assert set(stats["tiers"]) == {"optimized", "grid_fallback", "create_on_miss"}
+        assert stats["breaker_states"] == {"search": "closed", "route": "closed"}
