@@ -30,6 +30,7 @@ from .roadnet import (
     save_network,
 )
 from .resilience import ResilienceConfig, ResilientEngine
+from .service import LoadGenConfig, LoadGenerator, ServiceSLO, ShardRouter
 from .sim import (
     DriverCancellation,
     FaultInjectingAdapter,
@@ -144,6 +145,57 @@ def _simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _loadtest(args: argparse.Namespace) -> int:
+    region = load_region(args.region)
+    generator = NYCWorkloadGenerator(region.network, seed=args.seed)
+    trips = generator.generate(
+        args.requests + args.prepopulate, args.start_hour, args.end_hour
+    )
+    requests = trips_to_requests(
+        trips, window_s=args.window, walk_threshold_m=args.walk
+    )
+    supply, demand = requests[: args.prepopulate], requests[args.prepopulate:]
+
+    with ShardRouter(
+        region,
+        args.shards,
+        queue_depth=args.queue_depth,
+        fanout=args.fanout,
+        resilient=args.resilient,
+        seed=args.seed,
+    ) as service:
+        for request in supply:
+            service.create(request.source, request.destination,
+                           request.window_start_s)
+        config = LoadGenConfig(
+            workers=args.workers,
+            target_qps=args.qps,
+            looks_per_book=args.looks,
+            seed=args.seed,
+        )
+        report = LoadGenerator(service, demand, config).run()
+
+    print(report.describe())
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"wrote report -> {args.json_path}")
+
+    slo = ServiceSLO(
+        latency_ms=(
+            {"search": {95: args.search_p95_ms}} if args.search_p95_ms else {}
+        ),
+        max_shed_rate=args.max_shed_rate,
+        min_match_rate=args.min_match_rate,
+    )
+    breaches = slo.evaluate(report)
+    for breach in breaches:
+        print(f"SLO breach: {breach}", file=sys.stderr)
+    if breaches:
+        return 1
+    return 0
+
+
 def _compare(args: argparse.Namespace) -> int:
     region = load_region(args.region)
     requests = _workload(region.network, args)
@@ -234,6 +286,42 @@ def build_parser() -> argparse.ArgumentParser:
                         "must come back clean)")
     _add_workload_args(p)
     p.set_defaults(func=_simulate)
+
+    p = sub.add_parser(
+        "loadtest",
+        help="drive the sharded service with the closed-loop load generator",
+    )
+    p.add_argument("region")
+    p.add_argument("--shards", type=int, default=2,
+                   help="spatial shards, each with its own engine + worker")
+    p.add_argument("--workers", type=int, default=4,
+                   help="closed-loop driver threads")
+    p.add_argument("--qps", type=float, default=None,
+                   help="target offered load (requests/s; default: unpaced)")
+    p.add_argument("--looks", type=int, default=0,
+                   help="extra look searches per request (look-to-book - 1)")
+    p.add_argument("--queue-depth", type=int, default=128, dest="queue_depth",
+                   help="per-shard request queue bound (admission control)")
+    p.add_argument("--fanout", choices=["local", "all"], default="local",
+                   help="search fan-out: walkable shards only, or all shards "
+                        "(full recall)")
+    p.add_argument("--resilient", action="store_true",
+                   help="wrap each shard engine in the fault-tolerant runtime")
+    p.add_argument("--prepopulate", type=int, default=0,
+                   help="rides created before the measured run (supply)")
+    p.add_argument("--json", dest="json_path",
+                   help="write the load report as JSON to this path")
+    p.add_argument("--max-shed-rate", type=float, default=None,
+                   dest="max_shed_rate",
+                   help="SLO: fail if shed/requests exceeds this")
+    p.add_argument("--min-match-rate", type=float, default=None,
+                   dest="min_match_rate",
+                   help="SLO: fail if matched/requests is below this")
+    p.add_argument("--search-p95-ms", type=float, default=None,
+                   dest="search_p95_ms",
+                   help="SLO: fail if search p95 latency exceeds this (ms)")
+    _add_workload_args(p)
+    p.set_defaults(func=_loadtest)
 
     p = sub.add_parser("compare", help="XAR vs T-Share on one stream")
     p.add_argument("region")

@@ -16,6 +16,7 @@ Exposes the four runtime operations on top of a
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Dict, List, Optional, Sequence
 
 from ..discretization import DiscretizedRegion
@@ -41,6 +42,8 @@ class XAREngine:
         optimize_insertion: bool = False,
         router=None,
         strict_coverage: bool = False,
+        ride_id_start: int = 1,
+        ride_id_step: int = 1,
     ):
         self.region = region
         #: When True, ``create_ride`` and ``search`` raise
@@ -70,8 +73,18 @@ class XAREngine:
             if detour_slack_m is not None
             else 4.0 * region.config.epsilon_m
         )
-        self._ride_ids = itertools.count(1)
+        #: Ride-id lane: a sharded deployment gives each shard engine a
+        #: disjoint arithmetic progression (start=shard_id+1, step=n_shards)
+        #: so ride ids stay globally unique and encode their home shard.
+        if ride_id_start < 1 or ride_id_step < 1:
+            raise ValueError("ride_id_start and ride_id_step must be >= 1")
+        self._ride_ids = itertools.count(ride_id_start, ride_id_step)
         self._request_ids = itertools.count(1)
+        #: Guards all mutable engine state (rides, index, ledgers).  Public
+        #: operations take it, so a concurrent ``search`` can never observe a
+        #: half-spliced route mid-``book``; reentrant because ``book`` calls
+        #: ``reindex_ride`` internally.
+        self.lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # O2: ride creation
@@ -116,8 +129,9 @@ class XAREngine:
             destination_point=destination,
             driver_id=driver_id,
         )
-        self.rides[ride.ride_id] = ride
-        self._index_ride(ride)
+        with self.lock:
+            self.rides[ride.ride_id] = ride
+            self._index_ride(ride)
         return ride
 
     def _index_ride(self, ride: Ride) -> None:
@@ -135,16 +149,17 @@ class XAREngine:
 
     def reindex_ride(self, ride_id: int) -> None:
         """Rebuild a ride's index entry (after booking changed its route)."""
-        ride = self.rides.get(ride_id)
-        if ride is None:
-            raise UnknownRideError(ride_id)
-        self._unindex_ride(ride_id)
-        self._index_ride(ride)
-        # Re-apply any progress the ride had already made: clusters crossed
-        # before the booking stay obsolete.
-        tracked = self.tracked_to.get(ride_id)
-        if tracked is not None and tracked > ride.departure_s:
-            apply_obsolescence(self, ride_id, tracked)
+        with self.lock:
+            ride = self.rides.get(ride_id)
+            if ride is None:
+                raise UnknownRideError(ride_id)
+            self._unindex_ride(ride_id)
+            self._index_ride(ride)
+            # Re-apply any progress the ride had already made: clusters
+            # crossed before the booking stay obsolete.
+            tracked = self.tracked_to.get(ride_id)
+            if tracked is not None and tracked > ride.departure_s:
+                apply_obsolescence(self, ride_id, tracked)
 
     def remove_ride(self, ride_id: int) -> None:
         """Withdraw a ride entirely (driver cancelled).
@@ -154,14 +169,15 @@ class XAREngine:
         corrupted entry would not have named), and its tracking state all go
         in one call, so a cancelled ride can never surface in a later search.
         """
-        if ride_id not in self.rides:
-            raise UnknownRideError(ride_id)
-        self._unindex_ride(ride_id)
-        # Belt and braces: the entry-driven unindex trusts the ride's entry
-        # to name its clusters; sweep the index for strays as well.
-        self.cluster_index.purge_ride(ride_id)
-        del self.rides[ride_id]
-        self.tracked_to.pop(ride_id, None)
+        with self.lock:
+            if ride_id not in self.rides:
+                raise UnknownRideError(ride_id)
+            self._unindex_ride(ride_id)
+            # Belt and braces: the entry-driven unindex trusts the ride's
+            # entry to name its clusters; sweep the index for strays as well.
+            self.cluster_index.purge_ride(ride_id)
+            del self.rides[ride_id]
+            self.tracked_to.pop(ride_id, None)
 
     # ------------------------------------------------------------------
     # O1: search
@@ -204,9 +220,10 @@ class XAREngine:
         if self.strict_coverage:
             self.region.require_covered(request.source)
             self.region.require_covered(request.destination)
-        if ranking is None:
-            return search_rides(self, request, k)
-        matches = search_rides(self, request, None)
+        with self.lock:
+            if ranking is None:
+                return search_rides(self, request, k)
+            matches = search_rides(self, request, None)
         matches.sort(key=ranking)
         return matches[:k] if k is not None else matches
 
@@ -230,27 +247,30 @@ class XAREngine:
         """
         from ..resilience.snapshot import restore_ride, snapshot_ride
 
-        snapshot = snapshot_ride(self, match.ride_id)
-        try:
-            return book_ride(self, request, match)
-        except XARError as exc:
-            if snapshot is not None:
-                restore_ride(self, snapshot)
-            self.rollbacks.append(
-                BookingRollback(
-                    request_id=request.request_id,
-                    ride_id=match.ride_id,
-                    error=type(exc).__name__,
-                    reason=str(exc),
+        with self.lock:
+            snapshot = snapshot_ride(self, match.ride_id)
+            try:
+                return book_ride(self, request, match)
+            except XARError as exc:
+                if snapshot is not None:
+                    restore_ride(self, snapshot)
+                self.rollbacks.append(
+                    BookingRollback(
+                        request_id=request.request_id,
+                        ride_id=match.ride_id,
+                        error=type(exc).__name__,
+                        reason=str(exc),
+                    )
                 )
-            )
-            raise
+                raise
 
     def track(self, ride_id: int, now_s: float) -> None:
-        track_ride(self, ride_id, now_s)
+        with self.lock:
+            track_ride(self, ride_id, now_s)
 
     def track_all(self, now_s: float) -> int:
-        return track_all(self, now_s)
+        with self.lock:
+            return track_all(self, now_s)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -265,14 +285,15 @@ class XAREngine:
 
     def index_stats(self) -> Dict[str, int]:
         """Cheap counters describing the in-memory index."""
-        return {
-            "rides": len(self.rides),
-            "completed_rides": len(self.completed_rides),
-            "cluster_entries": self.cluster_index.total_entries(),
-            "pass_through_total": sum(
-                len(entry.pass_through) for entry in self.ride_entries.values()
-            ),
-            "reachable_total": sum(
-                len(entry.reachable) for entry in self.ride_entries.values()
-            ),
-        }
+        with self.lock:
+            return {
+                "rides": len(self.rides),
+                "completed_rides": len(self.completed_rides),
+                "cluster_entries": self.cluster_index.total_entries(),
+                "pass_through_total": sum(
+                    len(entry.pass_through) for entry in self.ride_entries.values()
+                ),
+                "reachable_total": sum(
+                    len(entry.reachable) for entry in self.ride_entries.values()
+                ),
+            }

@@ -94,6 +94,7 @@ class DiscretizedRegion:
 
         self._cluster_matrix = self._build_cluster_matrix()
         self._walkable_cache: Dict[GridCell, List[WalkOption]] = {}
+        self._pruned_walkable_cache: Dict[Tuple[GridCell, float], List[WalkOption]] = {}
         self._landmark_buckets = self._bucket_landmarks()
 
     # ------------------------------------------------------------------
@@ -193,8 +194,10 @@ class DiscretizedRegion:
         threshold.
 
         The full list (threshold = system W) is cached per grid cell, exactly
-        as the paper precomputes it; pruning a caller-provided threshold is a
-        linear scan of the sorted list.
+        as the paper precomputes it.  Pruned lists are cached per
+        (cell, threshold) too: request thresholds come from a handful of
+        workload-level settings, and a sharded service prunes the same cell
+        once per consulted shard on its search hot path.
         """
         cell = self.cell_of(point)
         options = self._walkable_cache.get(cell)
@@ -203,12 +206,16 @@ class DiscretizedRegion:
             self._walkable_cache[cell] = options
         if max_walk_m is None or max_walk_m >= self.config.max_walk_m:
             return list(options)
-        pruned: List[WalkOption] = []
-        for option in options:  # sorted ascending: stop at first exceedance
-            if option.walk_m > max_walk_m:
-                break
-            pruned.append(option)
-        return pruned
+        key = (cell, max_walk_m)
+        pruned = self._pruned_walkable_cache.get(key)
+        if pruned is None:
+            pruned = []
+            for option in options:  # sorted ascending: stop at first exceedance
+                if option.walk_m > max_walk_m:
+                    break
+                pruned.append(option)
+            self._pruned_walkable_cache[key] = pruned
+        return list(pruned)
 
     def _compute_walkable(self, centroid: GeoPoint) -> List[WalkOption]:
         best: Dict[int, Tuple[float, int]] = {}

@@ -91,3 +91,26 @@ class CircuitOpenError(ResilienceError):
 
 class PlannerError(XARError):
     """The multi-modal trip planner cannot produce a plan."""
+
+
+class ServiceError(XARError):
+    """Base class for the sharded serving layer's own failures."""
+
+
+class ShardOverloadError(ServiceError):
+    """A shard's bounded request queue is full; the operation was shed.
+
+    Admission control, not a crash: the caller may retry later or count the
+    response against the shed-rate SLO.
+    """
+
+    def __init__(self, shard_id: int, operation: str):
+        super().__init__(
+            f"shard {shard_id} queue full: {operation} shed by admission control"
+        )
+        self.shard_id = shard_id
+        self.operation = operation
+
+
+class ServiceClosedError(ServiceError):
+    """An operation was submitted to a service that has been shut down."""

@@ -28,6 +28,7 @@ and the CLI exposes it through ``xar simulate --audit-every``.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
@@ -89,11 +90,19 @@ class InvariantAuditor:
         self.violations_found = 0
         self.heals = 0
 
+    def _engine_lock(self):
+        """The engine's state lock, so sweeps never race in-flight ops."""
+        return getattr(self.engine, "lock", None) or contextlib.nullcontext()
+
     # ------------------------------------------------------------------
     # Sweep
     # ------------------------------------------------------------------
     def audit(self) -> AuditReport:
         """Full non-raising sweep; every violation is collected."""
+        with self._engine_lock():
+            return self._audit_locked()
+
+    def _audit_locked(self) -> AuditReport:
         engine = self.engine
         report = AuditReport()
         self.sweeps += 1
@@ -226,6 +235,10 @@ class InvariantAuditor:
         engine = self.engine
         if report is None:
             report = self.audit()
+        with self._engine_lock():
+            return self._heal_locked(engine, report)
+
+    def _heal_locked(self, engine: "XAREngine", report: AuditReport) -> int:
         actions = 0
         reindex: set = set()
         for violation in report.violations:

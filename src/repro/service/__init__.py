@@ -1,0 +1,38 @@
+"""Sharded concurrent ride-matching service.
+
+The serving layer in front of the engines: a :class:`ShardRouter` partitions
+the region's cluster space into N shards (in the spirit of *When Hashing Met
+Matching*'s spatio-temporal partitioning), each owning an independent
+:class:`~repro.core.XAREngine` behind a worker thread with a bounded request
+queue.  Cross-shard searches fan out and k-way-merge by the engine's ranking
+key; full queues shed load explicitly; tracking ticks are batched and
+amortized per shard.  :class:`LoadGenerator` drives the whole thing closed-
+loop at a target QPS and reports throughput plus p50/p95/p99 latency per
+operation against :class:`ServiceSLO` objectives.
+
+The router implements the simulator's ``EngineAdapter`` protocol, so every
+existing harness (replay simulator, fault injector, resilient runtime) can
+drive a sharded fleet unchanged.
+"""
+
+from .loadgen import LoadGenConfig, LoadGenerator, LoadReport
+from .merge import merge_matches, rank_key
+from .router import ShardRouter
+from .shard import ShardStats, ShardWorker
+from .sharding import ShardMap, derive_seed, shard_local_requests
+from .slo import ServiceSLO
+
+__all__ = [
+    "LoadGenConfig",
+    "LoadGenerator",
+    "LoadReport",
+    "merge_matches",
+    "rank_key",
+    "ShardRouter",
+    "ShardStats",
+    "ShardWorker",
+    "ShardMap",
+    "derive_seed",
+    "shard_local_requests",
+    "ServiceSLO",
+]

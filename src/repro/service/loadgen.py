@@ -1,0 +1,350 @@
+"""Closed-loop load generator for the sharded service.
+
+Modeled on high-capacity agent-based drivers (HRSim, PAPERS.md): ``workers``
+driver threads replay a synthetic NYC request stream against any
+``EngineAdapter``-shaped target (usually a :class:`~repro.service.router.ShardRouter`),
+each request flowing search → book-best / create-on-miss exactly like the
+replay simulator, while wall-clock latency is sampled per operation.
+
+Closed-loop means each driver issues its next request only after the
+previous one completed — concurrency is bounded by ``workers``.  With
+``target_qps`` set, drivers additionally pace their submissions against a
+global schedule (request *i* is due at ``start + i / qps``), so the offered
+load is controlled and the service's admission control (queue bounds →
+shed responses) is observable rather than implicit.
+
+Reproducibility: request streams are pre-generated and partitioned
+round-robin across drivers, and every stochastic draw comes from RNGs
+derived from one root seed — two runs with the same seed offer the same
+work, regardless of thread scheduling.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..core.request import RideRequest
+from ..exceptions import ShardOverloadError, XARError
+from ..sim.metrics import percentile
+
+
+@dataclass
+class LoadGenConfig:
+    """Knobs of one load run."""
+
+    #: Closed-loop driver threads.
+    workers: int = 4
+    #: Offered load ceiling, requests/second (None = as fast as possible).
+    target_qps: Optional[float] = None
+    #: Extra "look" searches per request before the booking decision
+    #: (look-to-book ratio - 1; searches dominate real traffic).
+    looks_per_book: int = 0
+    #: Return at most k matches per search (None = all).
+    k_matches: Optional[int] = None
+    #: Create a ride from unmatched requests.
+    create_on_miss: bool = True
+    #: Simulated seconds between tracking ticks driven off request
+    #: timestamps (0 disables; the router coalesces duplicate ticks).
+    track_every_s: float = 300.0
+    #: Stale matches to fall through per booking attempt.
+    max_book_attempts: int = 3
+    #: Root seed (drivers and shards derive theirs from it).
+    seed: int = 42
+
+
+@dataclass
+class _WorkerTally:
+    """One driver thread's private counters (merged after the join)."""
+
+    search_s: List[float] = field(default_factory=list)
+    create_s: List[float] = field(default_factory=list)
+    book_s: List[float] = field(default_factory=list)
+    n_requests: int = 0
+    n_matched: int = 0
+    n_booked: int = 0
+    n_created: int = 0
+    n_shed: Dict[str, int] = field(default_factory=dict)
+    n_failed: Dict[str, int] = field(default_factory=dict)
+
+    def shed(self, operation: str) -> None:
+        self.n_shed[operation] = self.n_shed.get(operation, 0) + 1
+
+    def failed(self, operation: str) -> None:
+        self.n_failed[operation] = self.n_failed.get(operation, 0) + 1
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load run: throughput, latency SLO series, shedding."""
+
+    target_name: str
+    config: LoadGenConfig
+    duration_s: float
+    n_requests: int
+    n_matched: int
+    n_booked: int
+    n_created: int
+    shed_by_op: Dict[str, int]
+    failed_by_op: Dict[str, int]
+    latencies_s: Dict[str, List[float]]
+    service_stats: Dict[str, Any] = field(default_factory=dict)
+    audit: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.n_requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def n_shed(self) -> int:
+        return sum(self.shed_by_op.values())
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed responses per processed request."""
+        return self.n_shed / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def match_rate(self) -> float:
+        return self.n_matched / self.n_requests if self.n_requests else float("nan")
+
+    def op_summary(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for op, samples in self.latencies_s.items():
+            if samples:
+                out[op] = {
+                    "count": float(len(samples)),
+                    "mean_ms": 1000.0 * sum(samples) / len(samples),
+                    "p50_ms": 1000.0 * percentile(samples, 50),
+                    "p95_ms": 1000.0 * percentile(samples, 95),
+                    "p99_ms": 1000.0 * percentile(samples, 99),
+                    "max_ms": 1000.0 * max(samples),
+                }
+            else:
+                out[op] = {"count": 0.0}
+        return out
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "target": self.target_name,
+            "workers": self.config.workers,
+            "target_qps": self.config.target_qps,
+            "looks_per_book": self.config.looks_per_book,
+            "seed": self.config.seed,
+            "duration_s": self.duration_s,
+            "qps": self.achieved_qps,
+            "requests": self.n_requests,
+            "matched": self.n_matched,
+            "booked": self.n_booked,
+            "created": self.n_created,
+            "match_rate": self.match_rate,
+            "shed": dict(self.shed_by_op),
+            "shed_rate": self.shed_rate,
+            "failed": dict(self.failed_by_op),
+            "latency": self.op_summary(),
+            "service": self.service_stats,
+            "audit": self.audit,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=True)
+
+    def describe(self) -> str:
+        lines = [
+            f"target            : {self.target_name}",
+            f"requests          : {self.n_requests} in {self.duration_s:.2f}s "
+            f"({self.achieved_qps:.1f} req/s, {self.config.workers} workers)",
+            f"matched / booked  : {self.n_matched} / {self.n_booked}"
+            f"  (match rate {100.0 * self.match_rate:.1f}%)",
+            f"rides created     : {self.n_created}",
+            f"shed              : {self.n_shed} ({100.0 * self.shed_rate:.2f}%)",
+        ]
+        for op, stats in self.op_summary().items():
+            if stats.get("count"):
+                lines.append(
+                    f"{op:<7} ms        : p50 {stats['p50_ms']:.3f}"
+                    f"  p95 {stats['p95_ms']:.3f}  p99 {stats['p99_ms']:.3f}"
+                    f"  (n={int(stats['count'])})"
+                )
+        if self.failed_by_op:
+            failures = ", ".join(
+                f"{op}={count}" for op, count in sorted(self.failed_by_op.items())
+            )
+            lines.append(f"failed ops        : {failures}")
+        if self.audit:
+            lines.append(
+                f"invariant audit   : {self.audit.get('violations', 0)} violations"
+            )
+        return "\n".join(lines)
+
+
+class LoadGenerator:
+    """Drives a request stream against a service and measures it."""
+
+    def __init__(
+        self,
+        target: Any,
+        requests: Sequence[RideRequest],
+        config: Optional[LoadGenConfig] = None,
+    ):
+        self.target = target
+        self.requests = list(requests)
+        self.config = config or LoadGenConfig()
+        if self.config.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    # ------------------------------------------------------------------
+    # One request's serve flow (mirrors RideShareSimulator)
+    # ------------------------------------------------------------------
+    def _serve(self, request: RideRequest, tally: _WorkerTally) -> None:
+        config = self.config
+        target = self.target
+        tally.n_requests += 1
+
+        for _look in range(config.looks_per_book):
+            t0 = time.perf_counter()
+            try:
+                target.search(request, config.k_matches)
+            except ShardOverloadError:
+                tally.shed("search")
+            except XARError:
+                tally.failed("search")
+            tally.search_s.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        try:
+            matches = target.search(request, config.k_matches)
+        except ShardOverloadError:
+            tally.shed("search")
+            return  # the request is refused outright, not served elsewhere
+        except XARError:
+            tally.failed("search")
+            matches = []
+        tally.search_s.append(time.perf_counter() - t0)
+
+        if matches:
+            tally.n_matched += 1
+            for match in matches[: config.max_book_attempts]:
+                t0 = time.perf_counter()
+                try:
+                    target.book(request, match)
+                except ShardOverloadError:
+                    tally.book_s.append(time.perf_counter() - t0)
+                    tally.shed("book")
+                    return
+                except XARError:
+                    tally.book_s.append(time.perf_counter() - t0)
+                    continue  # stale match: fall through to the next
+                tally.book_s.append(time.perf_counter() - t0)
+                tally.n_booked += 1
+                return
+            # Every attempted match went stale: degrade to create-on-miss,
+            # exactly like the replay simulator's policy.
+            tally.failed("book")
+        if config.create_on_miss:
+            t0 = time.perf_counter()
+            try:
+                target.create(request.source, request.destination,
+                              request.window_start_s)
+            except ShardOverloadError:
+                tally.shed("create")
+            except XARError:
+                tally.failed("create")
+            else:
+                tally.n_created += 1
+            tally.create_s.append(time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+    def run(self) -> LoadReport:
+        config = self.config
+        workers = config.workers
+        #: Round-robin partition: driver w serves requests w, w+W, w+2W, ...
+        partitions: List[List[tuple]] = [[] for _w in range(workers)]
+        for index, request in enumerate(self.requests):
+            partitions[index % workers].append((index, request))
+        tallies = [_WorkerTally() for _w in range(workers)]
+        barrier = threading.Barrier(workers + 1)
+        started_at: List[float] = [0.0]
+        track_state = {"last": None}
+        track_lock = threading.Lock()
+
+        def maybe_tick(now_sim_s: float) -> None:
+            """Tracking tick on the simulated-time cadence, deduplicated."""
+            if config.track_every_s <= 0:
+                return
+            with track_lock:
+                last = track_state["last"]
+                if last is not None and now_sim_s - last < config.track_every_s:
+                    return
+                track_state["last"] = now_sim_s
+            try:
+                self.target.track_all(now_sim_s)
+            except XARError:
+                pass  # tracking is best-effort
+
+        def drive(worker_id: int) -> None:
+            tally = tallies[worker_id]
+            barrier.wait()
+            start = started_at[0]
+            for global_index, request in partitions[worker_id]:
+                if config.target_qps:
+                    due = start + global_index / config.target_qps
+                    delay = due - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                maybe_tick(request.window_start_s)
+                self._serve(request, tally)
+
+        threads = [
+            threading.Thread(target=drive, args=(w,), name=f"xar-loadgen-{w}")
+            for w in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        started_at[0] = time.perf_counter()
+        barrier.wait()
+        for thread in threads:
+            thread.join()
+        duration = time.perf_counter() - started_at[0]
+
+        shed: Dict[str, int] = {}
+        failed: Dict[str, int] = {}
+        latencies: Dict[str, List[float]] = {"search": [], "create": [], "book": []}
+        n_requests = n_matched = n_booked = n_created = 0
+        for tally in tallies:
+            n_requests += tally.n_requests
+            n_matched += tally.n_matched
+            n_booked += tally.n_booked
+            n_created += tally.n_created
+            latencies["search"].extend(tally.search_s)
+            latencies["create"].extend(tally.create_s)
+            latencies["book"].extend(tally.book_s)
+            for op, count in tally.n_shed.items():
+                shed[op] = shed.get(op, 0) + count
+            for op, count in tally.n_failed.items():
+                failed[op] = failed.get(op, 0) + count
+
+        report = LoadReport(
+            target_name=getattr(self.target, "name", "engine"),
+            config=config,
+            duration_s=duration,
+            n_requests=n_requests,
+            n_matched=n_matched,
+            n_booked=n_booked,
+            n_created=n_created,
+            shed_by_op=shed,
+            failed_by_op=failed,
+            latencies_s=latencies,
+        )
+        stats = getattr(self.target, "stats", None)
+        if callable(stats):
+            report.service_stats = stats()
+        audit = getattr(self.target, "audit", None)
+        if callable(audit):
+            report.audit = audit(heal=False)
+        return report

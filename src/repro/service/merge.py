@@ -1,0 +1,41 @@
+"""K-way merge of per-shard search results.
+
+Each shard's :func:`~repro.core.search.search_rides` returns its matches
+already sorted by the engine's ranking key — least total walking, then
+pickup ETA, then ride id.  Merging the shard batches with the same key via
+:func:`heapq.merge` therefore reproduces *exactly* the ordering a single
+engine holding every ride would have produced, which is what makes sharded
+search results deterministic regardless of which shard answered first.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.search import MatchOption
+
+
+def rank_key(match: MatchOption) -> Tuple[float, float, int]:
+    """The engine's match ordering (see ``search_rides``)."""
+    return (match.total_walk_m, match.eta_pickup_s, match.ride_id)
+
+
+def merge_matches(
+    batches: Sequence[List[MatchOption]],
+    k: Optional[int] = None,
+) -> List[MatchOption]:
+    """Merge sorted per-shard batches into one globally ranked list."""
+    if len(batches) == 1:
+        # Width-1 fan-out (shard-local traffic): already globally ranked.
+        batch = batches[0]
+        return list(batch) if k is None else batch[:k]
+    merged = heapq.merge(*batches, key=rank_key)
+    if k is None:
+        return list(merged)
+    out: List[MatchOption] = []
+    for match in merged:
+        out.append(match)
+        if len(out) >= k:
+            break
+    return out

@@ -1,0 +1,331 @@
+"""The sharded ride-matching service: N engines behind one façade.
+
+:class:`ShardRouter` partitions the region's cluster space with a
+:class:`~repro.service.sharding.ShardMap` and gives every shard its own
+:class:`~repro.core.XAREngine` behind a :class:`~repro.service.shard.ShardWorker`
+(worker thread + bounded queue).  The router speaks the simulator's
+``EngineAdapter`` protocol, so everything that can drive one engine — the
+replay simulator, the load generator, the fault injector — can drive the
+whole fleet unchanged.
+
+Routing rules (see docs/service.md):
+
+* **create** goes to the shard owning the ride source's cluster; each shard
+  allocates ride ids from a disjoint arithmetic lane
+  (``shard_id + 1 + k * n_shards``) so ids stay globally unique and encode
+  their home shard — ``book``/``cancel`` route by ``ride_id % n_shards``
+  without any lookup table;
+* **search** fans out to the shards owning walkable clusters of the
+  request's source/destination (expanded by ``fanout_radius_m``; or every
+  shard with ``fanout="all"``) and k-way-merges the per-shard batches by the
+  engine's ranking key, reproducing the single-engine ordering exactly;
+* **track** broadcasts to all shards, each sweeping only its own rides —
+  the tick's cost is amortized 1/N per shard;
+* a full queue sheds the operation with
+  :class:`~repro.exceptions.ShardOverloadError` (admission control); a
+  partially shed fan-out search still serves from the shards that accepted.
+
+Reproducibility: per-shard RNGs (retry jitter, any stochastic policy) are
+derived from one root seed via :func:`~repro.service.sharding.derive_seed`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from ..core import XAREngine
+from ..core.booking import BookingRecord
+from ..core.request import RideRequest
+from ..core.search import MatchOption
+from ..discretization import DiscretizedRegion
+from ..exceptions import ShardOverloadError, UnknownRideError, XARError
+from ..geo import GeoPoint
+from ..resilience import InvariantAuditor, ResilienceConfig, ResilientEngine
+from ..sim.adapters import XARAdapter
+from .merge import merge_matches
+from .shard import ShardWorker
+from .sharding import ShardMap, derive_seed
+
+
+class _Shard:
+    """One shard's engine + adapter stack + worker thread."""
+
+    __slots__ = ("shard_id", "engine", "adapter", "worker")
+
+    def __init__(self, shard_id: int, engine: XAREngine, adapter: Any, worker: ShardWorker):
+        self.shard_id = shard_id
+        self.engine = engine
+        self.adapter = adapter
+        self.worker = worker
+
+
+class ShardRouter:
+    """Sharded, concurrent ride-matching service (EngineAdapter-shaped)."""
+
+    def __init__(
+        self,
+        region: DiscretizedRegion,
+        n_shards: int,
+        *,
+        queue_depth: int = 128,
+        fanout: str = "local",
+        fanout_radius_m: Optional[float] = None,
+        resilient: bool = False,
+        optimize_insertion: bool = False,
+        seed: int = 0,
+        engine_factory: Optional[Callable[[int, int], XAREngine]] = None,
+    ):
+        if fanout not in ("local", "all"):
+            raise ValueError(f"fanout must be 'local' or 'all', got {fanout!r}")
+        self.region = region
+        self.shard_map = ShardMap(region, n_shards)
+        self.n_shards = self.shard_map.n_shards
+        self.fanout = fanout
+        #: Neighbor expansion radius for local fan-out; defaults to the
+        #: region's approximation radius ε (clusters within one guarantee
+        #: band of the request are consulted too).
+        self.fanout_radius_m = (
+            fanout_radius_m
+            if fanout_radius_m is not None
+            else region.config.epsilon_m
+        )
+        self.seed = seed
+        self.name = f"Sharded(XAR x{self.n_shards})"
+        self._closed = False
+        #: Fan-out searches that lost at least one shard to shedding but
+        #: were still served from the rest (degraded recall, not failure).
+        self.partial_searches = 0
+        #: Per-shard search calls that raised an XARError and contributed an
+        #: empty batch instead of failing the whole fan-out.
+        self.search_failures = 0
+        self._last_track_s: Optional[float] = None
+        self._track_lock = threading.Lock()
+
+        self.shards: List[_Shard] = []
+        for shard_id in range(self.n_shards):
+            if engine_factory is not None:
+                engine = engine_factory(shard_id, self.n_shards)
+            else:
+                engine = XAREngine(
+                    region,
+                    optimize_insertion=optimize_insertion,
+                    ride_id_start=shard_id + 1,
+                    ride_id_step=self.n_shards,
+                )
+            adapter: Any = XARAdapter(engine)
+            if resilient:
+                adapter = ResilientEngine(
+                    adapter, ResilienceConfig(seed=derive_seed(seed, shard_id))
+                )
+            worker = ShardWorker(
+                shard_id,
+                adapter,
+                queue_depth=queue_depth,
+                seed=derive_seed(seed, shard_id),
+            )
+            self.shards.append(_Shard(shard_id, engine, adapter, worker))
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_of_ride(self, ride_id: int) -> int:
+        """Home shard encoded in the ride id's arithmetic lane."""
+        return (ride_id - 1) % self.n_shards
+
+    def shards_for_request(self, request: RideRequest) -> List[int]:
+        if self.fanout == "all":
+            return list(range(self.n_shards))
+        return self.shard_map.shards_for_request(request, self.fanout_radius_m)
+
+    # ------------------------------------------------------------------
+    # EngineAdapter protocol
+    # ------------------------------------------------------------------
+    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float) -> Any:
+        shard = self.shards[self.shard_map.shard_of_point(source)]
+        return shard.worker.call(
+            "create", lambda: shard.adapter.create(source, destination, depart_s)
+        )
+
+    def search(self, request: RideRequest, k: Optional[int] = None) -> List[MatchOption]:
+        """Fan out to the request's shards and k-way-merge their answers.
+
+        Searches take each shard's inline read path — the engine's own lock
+        provides the synchronisation, so a fan-out of three shards costs
+        three small searches, not six thread hand-offs.  A shard that sheds
+        (concurrency budget exhausted) degrades the search to partial
+        results; only when *every* consulted shard refuses is the search
+        itself shed.
+        """
+        shed = 0
+        batches: List[List[MatchOption]] = []
+        errors: List[XARError] = []
+        for shard_id in self.shards_for_request(request):
+            shard = self.shards[shard_id]
+            try:
+                batches.append(
+                    shard.worker.execute_inline(
+                        "search", lambda a=shard.adapter: a.search(request, k)
+                    )
+                )
+            except ShardOverloadError:
+                shed += 1
+            except XARError as exc:
+                self.search_failures += 1
+                errors.append(exc)
+        if shed and (batches or errors):
+            self.partial_searches += 1
+        if not batches:
+            if shed or not errors:
+                # Every consulted shard refused: the search itself is shed.
+                raise ShardOverloadError(-1, "search")
+            raise errors[0]
+        return merge_matches(batches, k)
+
+    def book(self, request: RideRequest, match: MatchOption) -> BookingRecord:
+        shard = self.shards[self.shard_of_ride(match.ride_id)]
+        return shard.worker.call(
+            "book", lambda: shard.adapter.book(request, match)
+        )
+
+    def track_all(self, now_s: float) -> int:
+        """Broadcast a tracking tick; each shard sweeps only its rides.
+
+        Ticks are batched: a tick at a simulated time no later than the last
+        one already applied is skipped entirely (the obsolescence sweep is
+        monotone in time), so redundant ticks from concurrent drivers cost
+        nothing.  A shard whose queue is full drops its tick — tracking is
+        best-effort by design and the next tick covers the gap.
+        """
+        with self._track_lock:
+            if self._last_track_s is not None and now_s <= self._last_track_s:
+                return 0
+            self._last_track_s = now_s
+        futures = []
+        for shard in self.shards:
+            try:
+                futures.append(
+                    shard.worker.submit(
+                        "track", lambda a=shard.adapter: a.track_all(now_s)
+                    )
+                )
+            except ShardOverloadError:
+                continue
+        return sum(future.result() for future in futures)
+
+    def cancel(self, ride: Any) -> None:
+        shard = self.shards[self.shard_of_ride(ride.ride_id)]
+        shard.worker.call("cancel", lambda: shard.adapter.cancel(ride))
+
+    def active_rides(self) -> List[Any]:
+        rides: List[Any] = []
+        for shard in self.shards:
+            rides.extend(
+                shard.worker.call("admin", shard.adapter.active_rides)
+            )
+        return rides
+
+    # ------------------------------------------------------------------
+    # Adapter parity (protocol introspection surface)
+    # ------------------------------------------------------------------
+    def rollback_count(self) -> int:
+        return sum(len(shard.engine.rollbacks) for shard in self.shards)
+
+    def index_stats(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for shard in self.shards:
+            for key, value in shard.worker.call(
+                "admin", shard.engine.index_stats
+            ).items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # Service introspection
+    # ------------------------------------------------------------------
+    def bookings(self) -> List[BookingRecord]:
+        """All shards' booking ledgers, concatenated shard-by-shard."""
+        records: List[BookingRecord] = []
+        for shard in self.shards:
+            records.extend(
+                shard.worker.call("admin", lambda e=shard.engine: list(e.bookings))
+            )
+        return records
+
+    def find_ride(self, ride_id: int) -> Any:
+        """Resolve a ride (live or completed) on its home shard."""
+        engine = self.shards[self.shard_of_ride(ride_id)].engine
+        ride = engine.rides.get(ride_id) or engine.completed_rides.get(ride_id)
+        if ride is None:
+            raise UnknownRideError(ride_id)
+        return ride
+
+    def audit(self, heal: bool = False) -> Dict[str, Any]:
+        """Run the invariant auditor on every shard, inside its worker.
+
+        Returns total violations plus the per-shard breakdown; with
+        ``heal=True`` index damage is repaired and a second sweep verifies.
+        """
+        per_shard: Dict[int, int] = {}
+        healed = 0
+        for shard in self.shards:
+            def sweep(engine=shard.engine):
+                auditor = InvariantAuditor(engine)
+                report = auditor.audit()
+                actions = 0
+                if heal and not report.ok:
+                    actions = auditor.heal(report)
+                    report = auditor.audit()
+                return len(report.violations), actions
+
+            violations, actions = shard.worker.call("audit", sweep)
+            per_shard[shard.shard_id] = violations
+            healed += actions
+        return {
+            "violations": sum(per_shard.values()),
+            "per_shard": per_shard,
+            "healed": healed,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        """Service-level counters: queue/shed stats, rides, bookings."""
+        shard_stats = []
+        total_shed = 0
+        for shard in self.shards:
+            stats = shard.worker.stats
+            total_shed += stats.total_shed
+            shard_stats.append(
+                {
+                    "shard_id": shard.shard_id,
+                    "clusters": len(self.shard_map.clusters_of_shard(shard.shard_id)),
+                    "rides": shard.engine.n_active_rides,
+                    "bookings": shard.engine.n_bookings,
+                    **stats.as_dict(),
+                }
+            )
+        return {
+            "name": self.name,
+            "n_shards": self.n_shards,
+            "fanout": self.fanout,
+            "fanout_radius_m": self.fanout_radius_m,
+            "total_shed": total_shed,
+            "partial_searches": self.partial_searches,
+            "search_failures": self.search_failures,
+            "shards": shard_stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self.shards:
+            shard.worker.close()
+
+    def __enter__(self) -> "ShardRouter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,194 @@
+"""One shard: an engine adapter behind a worker thread and a bounded queue.
+
+Mutations (create / book / cancel / track) run on the shard's single worker
+thread, so write ordering per shard needs no cross-thread coordination
+beyond the queue itself.  The queue is *bounded*: when it is full,
+:meth:`ShardWorker.submit` refuses the job immediately with
+:class:`~repro.exceptions.ShardOverloadError` instead of buffering
+unbounded backlog.  That refusal is the service's load-shed response;
+callers count it against the shed-rate SLO rather than retrying blindly.
+
+Reads take a different road: :meth:`ShardWorker.execute_inline` runs the
+job in the *calling* thread, synchronised by the engine's own lock rather
+than the queue.  A queue round-trip costs two thread hand-offs — several
+GIL scheduling quanta under load, an order of magnitude more than a small
+cluster search — so pushing every fan-out read through the mailbox would
+drown the win of searching 1/N of the supply.  Inline reads are still
+admission-controlled: a semaphore with the same ``queue_depth`` bound
+refuses (sheds) reads beyond the shard's concurrency budget.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from ..exceptions import ServiceClosedError, ShardOverloadError
+
+
+@dataclass
+class ShardStats:
+    """Counters one shard accumulates over its lifetime."""
+
+    #: Jobs executed per operation name (worker thread + inline readers,
+    #: serialised by the worker's stats lock).
+    completed: Dict[str, int] = field(default_factory=dict)
+    #: Jobs refused at admission per operation name.
+    shed: Dict[str, int] = field(default_factory=dict)
+    #: Jobs that raised (the error still reaches the caller).
+    errors: Dict[str, int] = field(default_factory=dict)
+    queue_peak: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "completed": dict(self.completed),
+            "shed": dict(self.shed),
+            "errors": dict(self.errors),
+            "queue_peak": self.queue_peak,
+        }
+
+    @property
+    def total_shed(self) -> int:
+        return sum(self.shed.values())
+
+
+class _Job:
+    __slots__ = ("operation", "fn", "future")
+
+    def __init__(self, operation: str, fn: Callable[[], Any], future: Future):
+        self.operation = operation
+        self.fn = fn
+        self.future = future
+
+
+_STOP = object()
+
+
+class ShardWorker:
+    """A single-threaded executor owning one shard's engine adapter."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        adapter: Any,
+        queue_depth: int = 128,
+        seed: int = 0,
+    ):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth!r}")
+        self.shard_id = shard_id
+        self.adapter = adapter
+        self.queue_depth = queue_depth
+        #: Shard-scoped RNG (derived from the root seed by the router);
+        #: anything stochastic a shard does draws from here so runs replay.
+        self.rng = random.Random(seed)
+        self.stats = ShardStats()
+        self._queue: "queue.Queue[Any]" = queue.Queue(maxsize=queue_depth)
+        #: Concurrency budget for the inline read path (same bound as the
+        #: write queue, enforced without a worker hand-off).
+        self._read_gate = threading.Semaphore(queue_depth)
+        self._stats_lock = threading.Lock()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"xar-shard-{shard_id}", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Submission (any thread)
+    # ------------------------------------------------------------------
+    def submit(self, operation: str, fn: Callable[[], Any]) -> "Future[Any]":
+        """Enqueue a job; sheds immediately when the queue is full."""
+        if self._closed:
+            raise ServiceClosedError(f"shard {self.shard_id} is shut down")
+        future: "Future[Any]" = Future()
+        job = _Job(operation, fn, future)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._stats_lock:
+                self.stats.shed[operation] = self.stats.shed.get(operation, 0) + 1
+            raise ShardOverloadError(self.shard_id, operation) from None
+        depth = self._queue.qsize()
+        if depth > self.stats.queue_peak:
+            self.stats.queue_peak = depth
+        return future
+
+    def call(self, operation: str, fn: Callable[[], Any]) -> Any:
+        """Submit and wait: the synchronous single-shard path."""
+        return self.submit(operation, fn).result()
+
+    def execute_inline(self, operation: str, fn: Callable[[], Any]) -> Any:
+        """Read fast path: run ``fn`` in the caller's thread, no hand-off.
+
+        Only safe for operations whose thread-safety the underlying engine
+        guarantees itself (search and other lock-protected reads).  Sheds
+        with :class:`ShardOverloadError` when the shard's concurrency
+        budget — ``queue_depth`` simultaneous inline reads — is exhausted.
+        """
+        if self._closed:
+            raise ServiceClosedError(f"shard {self.shard_id} is shut down")
+        if not self._read_gate.acquire(blocking=False):
+            with self._stats_lock:
+                self.stats.shed[operation] = self.stats.shed.get(operation, 0) + 1
+            raise ShardOverloadError(self.shard_id, operation)
+        try:
+            result = fn()
+        except BaseException:
+            with self._stats_lock:
+                self.stats.errors[operation] = (
+                    self.stats.errors.get(operation, 0) + 1
+                )
+            raise
+        else:
+            with self._stats_lock:
+                self.stats.completed[operation] = (
+                    self.stats.completed.get(operation, 0) + 1
+                )
+            return result
+        finally:
+            self._read_gate.release()
+
+    # ------------------------------------------------------------------
+    # Worker loop (the shard thread)
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                break
+            if not job.future.set_running_or_notify_cancel():
+                continue
+            try:
+                result = job.fn()
+            except BaseException as exc:  # noqa: BLE001 - relayed to caller
+                with self._stats_lock:
+                    self.stats.errors[job.operation] = (
+                        self.stats.errors.get(job.operation, 0) + 1
+                    )
+                job.future.set_exception(exc)
+            else:
+                with self._stats_lock:
+                    self.stats.completed[job.operation] = (
+                        self.stats.completed.get(job.operation, 0) + 1
+                    )
+                job.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, timeout_s: float = 5.0) -> None:
+        """Stop accepting work, drain the queue, join the thread."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)  # blocks until there is room: queue drains
+        self._thread.join(timeout=timeout_s)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -1,0 +1,76 @@
+"""Latency / availability SLOs over a load report.
+
+An SLO here is a set of objectives evaluated against one
+:class:`~repro.service.loadgen.LoadReport`:
+
+* **latency** — per-operation p50/p95/p99 ceilings in milliseconds
+  (unset = not an objective);
+* **availability** — a ceiling on the shed rate (admission-control refusals
+  per processed request) and a floor on the match rate;
+* **integrity** — zero invariant-audit violations after the run.
+
+:meth:`ServiceSLO.evaluate` returns human-readable violation strings
+(empty = compliant); the CLI turns them into a non-zero exit code, which is
+what the CI load-smoke job asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .loadgen import LoadReport
+
+#: (operation, percentile) pairs a latency objective may target.
+_PERCENTILES = (50, 95, 99)
+
+
+@dataclass
+class ServiceSLO:
+    """Objectives for one load run."""
+
+    #: op -> percentile -> ceiling in ms, e.g. {"search": {95: 5.0}}.
+    latency_ms: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    max_shed_rate: Optional[float] = None
+    min_match_rate: Optional[float] = None
+    max_audit_violations: Optional[int] = 0
+
+    def evaluate(self, report: LoadReport) -> List[str]:
+        """All objective breaches (empty list = SLO met)."""
+        breaches: List[str] = []
+        summary = report.op_summary()
+        for op, targets in self.latency_ms.items():
+            stats = summary.get(op, {})
+            if not stats.get("count"):
+                continue  # no samples: nothing to hold against the SLO
+            for q, ceiling_ms in targets.items():
+                if q not in _PERCENTILES:
+                    raise ValueError(f"unsupported SLO percentile: {q!r}")
+                observed = stats[f"p{q}_ms"]
+                if observed > ceiling_ms:
+                    breaches.append(
+                        f"{op} p{q} {observed:.3f} ms exceeds "
+                        f"{ceiling_ms:.3f} ms"
+                    )
+        if self.max_shed_rate is not None and report.shed_rate > self.max_shed_rate:
+            breaches.append(
+                f"shed rate {report.shed_rate:.4f} exceeds "
+                f"{self.max_shed_rate:.4f}"
+            )
+        if (
+            self.min_match_rate is not None
+            and report.n_requests > 0
+            and report.match_rate < self.min_match_rate
+        ):
+            breaches.append(
+                f"match rate {report.match_rate:.4f} below "
+                f"{self.min_match_rate:.4f}"
+            )
+        if self.max_audit_violations is not None and report.audit:
+            violations = report.audit.get("violations", 0)
+            if violations > self.max_audit_violations:
+                breaches.append(
+                    f"{violations} invariant violations exceed "
+                    f"{self.max_audit_violations}"
+                )
+        return breaches

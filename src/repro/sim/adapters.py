@@ -19,7 +19,7 @@ adapter as ``.inner`` and the raw engine keeps being reachable through the
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Protocol
+from typing import Any, Dict, List, Optional, Protocol, runtime_checkable
 
 from ..baselines import TShareEngine
 from ..core import XAREngine
@@ -27,8 +27,17 @@ from ..core.request import RideRequest
 from ..geo import GeoPoint
 
 
+@runtime_checkable
 class EngineAdapter(Protocol):
-    """What the simulator needs from a ride-sharing engine."""
+    """What the simulator needs from a ride-sharing engine.
+
+    Runtime-checkable: ``isinstance(adapter, EngineAdapter)`` verifies the
+    whole surface is present, which is what the conformance tests in
+    ``tests/sim/test_adapter_conformance.py`` assert for every adapter and
+    decorator — interface drift (an introspection method added to one
+    adapter but not the others) fails there instead of deep inside a
+    simulator run.
+    """
 
     name: str
 
@@ -54,6 +63,15 @@ class EngineAdapter(Protocol):
 
     def active_rides(self) -> List[Any]:
         """Handles of rides currently in the system (for cancellation)."""
+        ...
+
+    def rollback_count(self) -> int:
+        """Bookings that failed mid-splice and were rolled back (0 for
+        engines without transactional booking)."""
+        ...
+
+    def index_stats(self) -> Dict[str, int]:
+        """Cheap counters describing the engine's in-memory index."""
         ...
 
 
@@ -87,6 +105,9 @@ class XARAdapter:
         """Bookings that failed mid-splice and were rolled back."""
         return len(self.engine.rollbacks)
 
+    def index_stats(self) -> Dict[str, int]:
+        return self.engine.index_stats()
+
 
 class TShareAdapter:
     """Adapter over :class:`~repro.baselines.tshare.engine.TShareEngine`."""
@@ -113,3 +134,14 @@ class TShareAdapter:
 
     def active_rides(self):
         return list(self.engine.taxis.values())
+
+    def rollback_count(self) -> int:
+        """T-Share books non-transactionally; nothing is ever rolled back."""
+        return 0
+
+    def index_stats(self) -> Dict[str, int]:
+        return {
+            "rides": len(self.engine.taxis),
+            "cells": self.engine.cells.cell_count(),
+            "cell_entries": self.engine.cells.total_entries(),
+        }

@@ -1,0 +1,22 @@
+"""Service-layer fixtures: routers are cheap (engines share the region)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ShardRouter
+
+
+@pytest.fixture
+def service(region):
+    """A fresh 2-shard service per test, closed afterwards."""
+    router = ShardRouter(region, 2, seed=11)
+    yield router
+    router.close()
+
+
+@pytest.fixture
+def service4(region):
+    router = ShardRouter(region, 4, seed=11)
+    yield router
+    router.close()

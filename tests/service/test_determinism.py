@@ -1,0 +1,87 @@
+"""Sharding must not change *what* gets booked, only *where* it lives.
+
+With ``fanout="all"`` every search consults every shard and the k-way merge
+reuses the engine's exact rank key, so a sharded replay must reach the same
+booking decisions as a single engine.  Ride ids differ between lane layouts
+(shard ``s`` allocates ``s+1, s+1+n, ...``), so bookings are compared by a
+layout-independent fingerprint: (request id, ride source, ride destination).
+"""
+
+from __future__ import annotations
+
+from repro.core import XAREngine
+from repro.service import ShardRouter
+from repro.sim import RideShareSimulator, SimulatorConfig, XARAdapter
+
+
+def _fingerprints(find_ride, bookings):
+    prints = []
+    for record in bookings:
+        ride = find_ride(record.ride_id)
+        prints.append(
+            (
+                record.request_id,
+                (ride.source_point.lat, ride.source_point.lon),
+                (ride.destination_point.lat, ride.destination_point.lon),
+                record.pickup_landmark,
+                record.dropoff_landmark,
+            )
+        )
+    return sorted(prints)
+
+
+def _engine_fingerprints(engine):
+    def find_ride(ride_id):
+        return engine.rides.get(ride_id) or engine.completed_rides[ride_id]
+
+    return _fingerprints(find_ride, engine.bookings)
+
+
+def _run_sharded(region, requests, n_shards, seed):
+    config = SimulatorConfig(track_every_s=300.0)
+    with ShardRouter(region, n_shards, fanout="all", seed=seed) as service:
+        report = RideShareSimulator(service, config).run(requests)
+        prints = _fingerprints(service.find_ride, service.bookings())
+        audit = service.audit()
+    return report, prints, audit
+
+
+def test_two_shards_book_the_same_set_as_one_engine(region, workload):
+    requests = list(workload)[:250]
+
+    engine = XAREngine(region)
+    direct = RideShareSimulator(
+        XARAdapter(engine), SimulatorConfig(track_every_s=300.0)
+    ).run(requests)
+    baseline = _engine_fingerprints(engine)
+
+    sharded_report, sharded, audit = _run_sharded(region, requests, 2, seed=7)
+
+    assert sharded_report.n_booked == direct.n_booked
+    assert sharded_report.n_created == direct.n_created
+    assert sharded == baseline
+    assert audit["violations"] == 0
+
+
+def test_repeat_runs_are_scheduling_independent(region, workload):
+    """Worker threads dequeue at unpredictable times; bookings must not care."""
+    requests = list(workload)[:250]
+    report_a, prints_a, _ = _run_sharded(region, requests, 2, seed=7)
+    report_b, prints_b, _ = _run_sharded(region, requests, 2, seed=7)
+    assert prints_a == prints_b
+    assert report_a.n_booked == report_b.n_booked
+    assert report_a.n_matched == report_b.n_matched
+
+
+def test_four_shards_match_one_engine_too(region, workload):
+    requests = list(workload)[:150]
+
+    engine = XAREngine(region)
+    RideShareSimulator(XARAdapter(engine), SimulatorConfig(track_every_s=300.0)).run(
+        requests
+    )
+    baseline = _engine_fingerprints(engine)
+
+    _, sharded, audit = _run_sharded(region, requests, 4, seed=21)
+    assert sharded == baseline
+    assert audit["violations"] == 0

@@ -1,0 +1,87 @@
+"""ShardMap: deterministic, balanced, exhaustive cluster partitioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ShardMap, derive_seed, shard_local_requests
+from repro.service.sharding import ShardMap as ShardMapDirect
+
+
+def test_partition_covers_every_cluster_exactly_once(region):
+    shard_map = ShardMap(region, 3)
+    seen = []
+    for shard_id in range(shard_map.n_shards):
+        seen.extend(shard_map.clusters_of_shard(shard_id))
+    assert sorted(seen) == list(range(region.n_clusters))
+
+
+def test_partition_is_balanced(region):
+    shard_map = ShardMap(region, 4)
+    sizes = shard_map.shard_sizes()
+    assert sum(sizes) == region.n_clusters
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_partition_is_deterministic(region):
+    a = ShardMap(region, 3)
+    b = ShardMapDirect(region, 3)
+    assert [a.shard_of_cluster(c) for c in range(region.n_clusters)] == [
+        b.shard_of_cluster(c) for c in range(region.n_clusters)
+    ]
+
+
+def test_single_shard_owns_everything(region):
+    shard_map = ShardMap(region, 1)
+    assert shard_map.shard_sizes() == [region.n_clusters]
+
+
+def test_more_shards_than_clusters_is_clamped(region):
+    shard_map = ShardMap(region, region.n_clusters + 10)
+    assert shard_map.n_shards <= region.n_clusters
+    assert min(shard_map.shard_sizes()) >= 1
+
+
+def test_invalid_shard_count_rejected(region):
+    with pytest.raises(ValueError):
+        ShardMap(region, 0)
+
+
+def test_shard_of_point_matches_cluster_ownership(region):
+    shard_map = ShardMap(region, 2)
+    for cluster in region.clusters[:10]:
+        position = region.landmarks[cluster.center_landmark].position
+        assert shard_map.shard_of_point(position) == shard_map.shard_of_cluster(
+            region.cluster_of_point(position)
+        )
+
+
+def test_shards_for_request_cover_walkable_clusters(region, workload):
+    shard_map = ShardMap(region, 3)
+    for request in list(workload)[:25]:
+        shards = set(shard_map.shards_for_request(request))
+        assert shards, "every covered request must consult at least one shard"
+        for point in (request.source, request.destination):
+            for option in region.walkable_clusters(point, request.walk_threshold_m):
+                assert shard_map.shard_of_cluster(option.cluster_id) in shards
+
+
+def test_fanout_radius_only_adds_shards(region, workload):
+    shard_map = ShardMap(region, 4)
+    for request in list(workload)[:25]:
+        base = set(shard_map.shards_for_request(request, fanout_radius_m=0.0))
+        wide = set(shard_map.shards_for_request(request, fanout_radius_m=5000.0))
+        assert base <= wide
+
+
+def test_shard_local_requests_are_single_shard(region, workload):
+    shard_map = ShardMap(region, 2)
+    local = shard_local_requests(shard_map, list(workload)[:100])
+    assert local, "a city-wide workload should contain shard-local requests"
+    for request in local:
+        assert len(shard_map.shards_for_request(request)) == 1
+
+
+def test_derive_seed_is_injective_for_small_fleet():
+    seeds = {derive_seed(root, shard) for root in range(30) for shard in range(16)}
+    assert len(seeds) == 30 * 16

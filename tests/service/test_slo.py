@@ -1,0 +1,91 @@
+"""ServiceSLO: objective evaluation against synthetic load reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceSLO
+from repro.service.loadgen import LoadGenConfig, LoadReport
+
+
+def _report(
+    *,
+    search_s=(0.001, 0.002, 0.003),
+    shed=None,
+    n_requests=100,
+    n_matched=40,
+    audit_violations=None,
+):
+    report = LoadReport(
+        target_name="test",
+        config=LoadGenConfig(),
+        duration_s=1.0,
+        n_requests=n_requests,
+        n_matched=n_matched,
+        n_booked=n_matched,
+        n_created=n_requests - n_matched,
+        shed_by_op=shed or {},
+        failed_by_op={},
+        latencies_s={"search": list(search_s), "create": [0.001], "book": []},
+    )
+    if audit_violations is not None:
+        report.audit = {"violations": audit_violations}
+    return report
+
+
+def test_compliant_report_has_no_breaches():
+    slo = ServiceSLO(
+        latency_ms={"search": {50: 50.0, 95: 100.0}},
+        max_shed_rate=0.05,
+        min_match_rate=0.1,
+    )
+    assert slo.evaluate(_report()) == []
+
+
+def test_latency_ceiling_breach_is_reported():
+    slo = ServiceSLO(latency_ms={"search": {95: 1.0}})
+    breaches = slo.evaluate(_report(search_s=[0.010] * 20))
+    assert len(breaches) == 1
+    assert "search p95" in breaches[0]
+
+
+def test_ops_without_samples_are_not_held_against_the_slo():
+    slo = ServiceSLO(latency_ms={"book": {99: 0.001}})
+    assert slo.evaluate(_report()) == []  # zero book samples: vacuously met
+
+
+def test_shed_rate_ceiling():
+    slo = ServiceSLO(max_shed_rate=0.01)
+    breaches = slo.evaluate(_report(shed={"search": 5}))
+    assert breaches and "shed rate" in breaches[0]
+
+
+def test_match_rate_floor():
+    slo = ServiceSLO(min_match_rate=0.5)
+    breaches = slo.evaluate(_report(n_matched=10))
+    assert breaches and "match rate" in breaches[0]
+
+
+def test_audit_violations_are_an_integrity_breach():
+    slo = ServiceSLO()
+    assert slo.evaluate(_report(audit_violations=0)) == []
+    breaches = slo.evaluate(_report(audit_violations=3))
+    assert breaches and "invariant violations" in breaches[0]
+    relaxed = ServiceSLO(max_audit_violations=None)
+    assert relaxed.evaluate(_report(audit_violations=3)) == []
+
+
+def test_multiple_breaches_accumulate():
+    slo = ServiceSLO(
+        latency_ms={"search": {50: 0.001}},
+        max_shed_rate=0.0,
+        min_match_rate=0.99,
+    )
+    breaches = slo.evaluate(_report(shed={"book": 1}))
+    assert len(breaches) == 3
+
+
+def test_unsupported_percentile_rejected():
+    slo = ServiceSLO(latency_ms={"search": {90: 1.0}})
+    with pytest.raises(ValueError):
+        slo.evaluate(_report())

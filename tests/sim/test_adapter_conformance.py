@@ -1,0 +1,95 @@
+"""EngineAdapter conformance: every adapter satisfies the full protocol.
+
+The protocol is ``@runtime_checkable``, so ``isinstance`` verifies the whole
+simulator-facing surface — including the introspection methods
+(``rollback_count``/``index_stats``) that had previously drifted between the
+XAR and T-Share adapters.  Decorators (fault injector, resilient runtime)
+must keep conforming through delegation, and the sharded service router
+conforms directly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import TShareEngine
+from repro.core import XAREngine
+from repro.resilience import ResilienceConfig, ResilientEngine
+from repro.service import ShardRouter
+from repro.sim import (
+    EngineAdapter,
+    FaultInjectingAdapter,
+    TShareAdapter,
+    XARAdapter,
+    default_fault_policies,
+)
+
+#: Every protocol member an adapter must expose.
+PROTOCOL_MEMBERS = (
+    "name",
+    "create",
+    "search",
+    "book",
+    "track_all",
+    "cancel",
+    "active_rides",
+    "rollback_count",
+    "index_stats",
+)
+
+
+@pytest.fixture
+def adapters(region):
+    xar = XARAdapter(XAREngine(region))
+    tshare = TShareAdapter(TShareEngine(region.network))
+    faulty = FaultInjectingAdapter(
+        XARAdapter(XAREngine(region)), default_fault_policies(), seed=1
+    )
+    resilient = ResilientEngine(
+        XARAdapter(XAREngine(region)), ResilienceConfig(seed=1)
+    )
+    return {
+        "XARAdapter": xar,
+        "TShareAdapter": tshare,
+        "FaultInjectingAdapter": faulty,
+        "ResilientEngine": resilient,
+    }
+
+
+def test_every_adapter_satisfies_the_protocol(adapters):
+    for name, adapter in adapters.items():
+        assert isinstance(adapter, EngineAdapter), name
+
+
+def test_every_protocol_member_is_present_and_callable(adapters):
+    for name, adapter in adapters.items():
+        for member in PROTOCOL_MEMBERS:
+            value = getattr(adapter, member)
+            if member != "name":
+                assert callable(value), f"{name}.{member} is not callable"
+
+
+def test_introspection_parity_returns_usable_values(adapters):
+    """The drift that motivated the protocol: both introspection methods
+    answer on every adapter, not just XAR's."""
+    for name, adapter in adapters.items():
+        assert adapter.rollback_count() == 0, name
+        stats = adapter.index_stats()
+        assert isinstance(stats, dict) and "rides" in stats, name
+
+
+def test_shard_router_conforms(region):
+    with ShardRouter(region, 2, seed=5) as service:
+        assert isinstance(service, EngineAdapter)
+        assert service.rollback_count() == 0
+        assert service.index_stats()["rides"] == 0
+
+
+def test_non_adapter_rejected():
+    class NotAnAdapter:
+        name = "nope"
+
+        def search(self, request, k=None):
+            return []
+
+    assert not isinstance(NotAnAdapter(), EngineAdapter)

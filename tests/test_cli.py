@@ -68,6 +68,45 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "Taxi" in out and "RS+PT" in out
 
+    def test_loadtest_smoke(self, region_dir, capsys):
+        assert main([
+            "loadtest", str(region_dir), "--shards", "2", "--workers", "2",
+            "--requests", "80", "--prepopulate", "20",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Sharded(XAR x2)" in out
+        assert "invariant audit   : 0 violations" in out
+
+    def test_loadtest_writes_json_report(self, region_dir, tmp_path):
+        import json
+
+        path = tmp_path / "load.json"
+        assert main([
+            "loadtest", str(region_dir), "--shards", "2", "--workers", "2",
+            "--requests", "60", "--json", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["requests"] == 60
+        assert payload["service"]["n_shards"] == 2
+        assert payload["audit"]["violations"] == 0
+        assert {"p50_ms", "p95_ms", "p99_ms"} <= set(payload["latency"]["search"])
+
+    def test_loadtest_slo_breach_exits_nonzero(self, region_dir, capsys):
+        # A match-rate floor of 1.0 is unreachable on a fresh service.
+        assert main([
+            "loadtest", str(region_dir), "--shards", "2", "--workers", "2",
+            "--requests", "40", "--min-match-rate", "1.0",
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "SLO breach" in err
+
+    def test_loadtest_fanout_all_and_qps(self, region_dir):
+        assert main([
+            "loadtest", str(region_dir), "--shards", "2", "--workers", "2",
+            "--requests", "30", "--fanout", "all", "--qps", "500",
+            "--max-shed-rate", "1.0",
+        ]) == 0
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
