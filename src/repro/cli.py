@@ -6,6 +6,9 @@ Commands mirror a deployment's lifecycle:
 * ``build-region``  run the pre-processing pipeline and persist the region,
 * ``info``          inspect a saved region,
 * ``simulate``      replay an NYC-style workload on XAR or T-Share,
+* ``loadtest``      drive the sharded service with the load generator,
+* ``metrics``       replay a workload on an instrumented engine and dump
+  its metrics (Prometheus text or JSON),
 * ``compare``       head-to-head XAR vs T-Share on one stream,
 * ``modes``         the four-transport-mode comparison (Fig. 6).
 """
@@ -22,6 +25,7 @@ from .config import XARConfig
 from .core import XAREngine
 from .discretization import build_region, load_region, save_region
 from .mmtp import MultiModalPlanner, synthetic_feed
+from .obs import MetricsRegistry, to_json, to_prometheus_text
 from .roadnet import (
     load_network,
     manhattan_city,
@@ -180,6 +184,14 @@ def _loadtest(args: argparse.Namespace) -> int:
         with open(args.json_path, "w", encoding="utf-8") as handle:
             handle.write(report.to_json())
         print(f"wrote report -> {args.json_path}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus_text(service.metrics))
+        print(f"wrote metrics (Prometheus text) -> {args.metrics_out}")
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as handle:
+            handle.write(to_json(service.metrics))
+        print(f"wrote metrics (JSON) -> {args.metrics_json}")
 
     slo = ServiceSLO(
         latency_ms=(
@@ -193,6 +205,29 @@ def _loadtest(args: argparse.Namespace) -> int:
         print(f"SLO breach: {breach}", file=sys.stderr)
     if breaches:
         return 1
+    return 0
+
+
+def _metrics(args: argparse.Namespace) -> int:
+    """Replay a workload on an instrumented engine, dump the registry."""
+    region = load_region(args.region)
+    requests = _workload(region.network, args)
+    registry = MetricsRegistry()
+    engine = XAREngine(region, optimize_insertion=args.optimize,
+                       metrics=registry)
+    report = RideShareSimulator(XARAdapter(engine)).run(requests)
+    if args.format == "prom":
+        rendered = to_prometheus_text(registry)
+    else:
+        rendered = to_json(registry, tracers=[engine.tracer])
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(report.describe(), file=sys.stderr)
+        print(f"wrote metrics -> {args.out}", file=sys.stderr)
+    else:
+        print(report.describe(), file=sys.stderr)
+        print(rendered)
     return 0
 
 
@@ -320,8 +355,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--search-p95-ms", type=float, default=None,
                    dest="search_p95_ms",
                    help="SLO: fail if search p95 latency exceeds this (ms)")
+    p.add_argument("--metrics-out", dest="metrics_out",
+                   help="write the service's metric registry in Prometheus "
+                        "text exposition format to this path")
+    p.add_argument("--metrics-json", dest="metrics_json",
+                   help="write the service's metric registry as JSON to "
+                        "this path")
     _add_workload_args(p)
     p.set_defaults(func=_loadtest)
+
+    p = sub.add_parser(
+        "metrics",
+        help="replay a workload on an instrumented single engine and dump "
+             "its metrics (per-stage latency histograms included)",
+    )
+    p.add_argument("region")
+    p.add_argument("--format", choices=["prom", "json"], default="prom",
+                   help="exposition format (Prometheus text or JSON)")
+    p.add_argument("--out", help="write to this path instead of stdout")
+    p.add_argument("--optimize", action="store_true",
+                   help="XAR insertion optimization at booking")
+    _add_workload_args(p)
+    p.set_defaults(func=_metrics)
 
     p = sub.add_parser("compare", help="XAR vs T-Share on one stream")
     p.add_argument("region")

@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..exceptions import BookingError
 from ..index import PassThrough
+from ..obs.trace import NULL_SPAN
 from ..roadnet import dijkstra_path
 from .request import RideRequest
 from .ride import Ride, ViaPoint
@@ -82,8 +83,15 @@ def book_ride(
     engine: "XAREngine",
     request: RideRequest,
     match: MatchOption,
+    span=NULL_SPAN,
 ) -> BookingRecord:
-    """Confirm a match: splice the route, charge budgets, re-index."""
+    """Confirm a match: splice the route, charge budgets, re-index.
+
+    ``span`` times the booking's two expensive stages: **splice** (segment
+    resolution, the ≤ 4 shortest paths and the route rebuild with budget
+    checks) and **reindex** (rebuilding the ride's cluster-index entry);
+    the **snapshot** stage is timed by the caller, ``XAREngine.book``.
+    """
     ride = engine.rides.get(match.ride_id)
     entry = engine.ride_entries.get(match.ride_id)
     if ride is None or entry is None:
@@ -97,125 +105,127 @@ def book_ride(
     if pickup_node == dropoff_node:
         raise BookingError("pickup and drop-off collapse to the same road node")
 
-    if engine.optimize_insertion:
-        pair = _best_segment_pair(engine.region, entry, match)
-        if pair is None:
-            raise BookingError(
-                "match is stale: its clusters are no longer served by the ride"
-            )
-        segment_pickup, segment_dropoff = pair
-    else:
-        segment_pickup = entry.segment_for(match.pickup_cluster, earliest=True)
-        segment_dropoff = entry.segment_for(match.dropoff_cluster, earliest=False)
-        if segment_pickup is None or segment_dropoff is None:
-            raise BookingError(
-                "match is stale: its clusters are no longer served by the ride"
-            )
-        if segment_dropoff < segment_pickup:
-            # Keep the pickup-before-drop-off order; try the drop-off's
-            # segment range again constrained to >= pickup's segment.
-            segment_dropoff = entry.segment_for(
-                match.dropoff_cluster, earliest=False, at_least=segment_pickup
-            )
-            if segment_dropoff is None:
+    with span.stage("splice"):
+        if engine.optimize_insertion:
+            pair = _best_segment_pair(engine.region, entry, match)
+            if pair is None:
                 raise BookingError(
-                    "ride cannot drop off after picking up within its route"
+                    "match is stale: its clusters are no longer served by the ride"
                 )
-
-    network = engine.region.network
-    old_length = ride.length_m
-    sp_count = 0
-
-    def shortest(a: int, b: int) -> List[int]:
-        nonlocal sp_count
-        if a == b:
-            return [a]
-        sp_count += 1
-        if engine.router is not None:
-            _dist, path = engine.router.shortest_path(a, b)
+            segment_pickup, segment_dropoff = pair
         else:
-            _dist, path = dijkstra_path(network, a, b)
-        return path
+            segment_pickup = entry.segment_for(match.pickup_cluster, earliest=True)
+            segment_dropoff = entry.segment_for(match.dropoff_cluster, earliest=False)
+            if segment_pickup is None or segment_dropoff is None:
+                raise BookingError(
+                    "match is stale: its clusters are no longer served by the ride"
+                )
+            if segment_dropoff < segment_pickup:
+                # Keep the pickup-before-drop-off order; try the drop-off's
+                # segment range again constrained to >= pickup's segment.
+                segment_dropoff = entry.segment_for(
+                    match.dropoff_cluster, earliest=False, at_least=segment_pickup
+                )
+                if segment_dropoff is None:
+                    raise BookingError(
+                        "ride cannot drop off after picking up within its route"
+                    )
 
-    route = ride.route
-    vias = list(ride.via_points)
+        network = engine.region.network
+        old_length = ride.length_m
+        sp_count = 0
 
-    # Rebuild the route segment by segment: unaffected segments are copied
-    # verbatim (shortest-path free); the pickup/drop-off segments are spliced
-    # through the new via nodes.  Same-segment bookings cost 3 shortest paths,
-    # distinct segments cost 4 — the paper's Section VIII-B bound.
-    new_route: List[int] = [route[0]]
-    new_vias: List[ViaPoint] = [ViaPoint(node=route[0], route_index=0, label=vias[0].label, request_id=vias[0].request_id)]
-    for seg in range(ride.n_segments):
-        start, end = ride.segment_bounds(seg)
-        inserts: List[Tuple[int, str]] = []
-        if seg == segment_pickup:
-            inserts.append((pickup_node, "pickup"))
-        if seg == segment_dropoff:
-            inserts.append((dropoff_node, "dropoff"))
-        if inserts:
-            waypoints = [route[start]] + [node for node, _label in inserts] + [route[end]]
-            pieces: List[List[int]] = []
-            for a, b in zip(waypoints, waypoints[1:]):
-                pieces.append(shortest(a, b))
-            sub_route = pieces[0]
-            insert_positions: List[Tuple[int, str]] = []
-            for piece, (node, label) in zip(pieces[1:], inserts):
-                insert_positions.append((len(new_route) - 1 + len(sub_route) - 1, label))
-                sub_route = _join(sub_route, piece)
-        else:
-            sub_route = route[start:end + 1]
-            insert_positions = []
-        new_route.extend(sub_route[1:])
-        for position, label in insert_positions:
+        def shortest(a: int, b: int) -> List[int]:
+            nonlocal sp_count
+            if a == b:
+                return [a]
+            sp_count += 1
+            if engine.router is not None:
+                _dist, path = engine.router.shortest_path(a, b)
+            else:
+                _dist, path = dijkstra_path(network, a, b)
+            return path
+
+        route = ride.route
+        vias = list(ride.via_points)
+
+        # Rebuild the route segment by segment: unaffected segments are copied
+        # verbatim (shortest-path free); the pickup/drop-off segments are spliced
+        # through the new via nodes.  Same-segment bookings cost 3 shortest paths,
+        # distinct segments cost 4 — the paper's Section VIII-B bound.
+        new_route: List[int] = [route[0]]
+        new_vias: List[ViaPoint] = [ViaPoint(node=route[0], route_index=0, label=vias[0].label, request_id=vias[0].request_id)]
+        for seg in range(ride.n_segments):
+            start, end = ride.segment_bounds(seg)
+            inserts: List[Tuple[int, str]] = []
+            if seg == segment_pickup:
+                inserts.append((pickup_node, "pickup"))
+            if seg == segment_dropoff:
+                inserts.append((dropoff_node, "dropoff"))
+            if inserts:
+                waypoints = [route[start]] + [node for node, _label in inserts] + [route[end]]
+                pieces: List[List[int]] = []
+                for a, b in zip(waypoints, waypoints[1:]):
+                    pieces.append(shortest(a, b))
+                sub_route = pieces[0]
+                insert_positions: List[Tuple[int, str]] = []
+                for piece, (node, label) in zip(pieces[1:], inserts):
+                    insert_positions.append((len(new_route) - 1 + len(sub_route) - 1, label))
+                    sub_route = _join(sub_route, piece)
+            else:
+                sub_route = route[start:end + 1]
+                insert_positions = []
+            new_route.extend(sub_route[1:])
+            for position, label in insert_positions:
+                new_vias.append(
+                    ViaPoint(
+                        node=new_route[position],
+                        route_index=position,
+                        label=label,
+                        request_id=request.request_id,
+                    )
+                )
+            end_via = vias[seg + 1]
             new_vias.append(
                 ViaPoint(
-                    node=new_route[position],
-                    route_index=position,
-                    label=label,
-                    request_id=request.request_id,
+                    node=new_route[-1],
+                    route_index=len(new_route) - 1,
+                    label=end_via.label,
+                    request_id=end_via.request_id,
                 )
             )
-        end_via = vias[seg + 1]
-        new_vias.append(
-            ViaPoint(
-                node=new_route[-1],
-                route_index=len(new_route) - 1,
-                label=end_via.label,
-                request_id=end_via.request_id,
+
+        if sp_count > 4:
+            raise BookingError(
+                f"internal invariant broken: {sp_count} shortest paths "
+                "(paper bounds booking at 4)"
             )
-        )
 
-    if sp_count > 4:
-        raise BookingError(
-            f"internal invariant broken: {sp_count} shortest paths "
-            "(paper bounds booking at 4)"
-        )
+        ride.replace_route(new_route, new_vias)
+        actual_detour = max(0.0, ride.length_m - old_length)
 
-    ride.replace_route(new_route, new_vias)
-    actual_detour = max(0.0, ride.length_m - old_length)
+        slack = engine.detour_slack_m
+        if actual_detour > ride.detour_limit_m + slack:
+            # The additive 4ε guarantee allows exceeding the limit by at most the
+            # slack; beyond that the match was invalid — roll back.
+            ride.replace_route(route, vias)
+            raise BookingError(
+                f"actual detour {actual_detour:.0f} m exceeds remaining budget "
+                f"{ride.detour_limit_m:.0f} m beyond the {slack:.0f} m tolerance"
+            )
 
-    slack = engine.detour_slack_m
-    if actual_detour > ride.detour_limit_m + slack:
-        # The additive 4ε guarantee allows exceeding the limit by at most the
-        # slack; beyond that the match was invalid — roll back.
-        ride.replace_route(route, vias)
-        raise BookingError(
-            f"actual detour {actual_detour:.0f} m exceeds remaining budget "
-            f"{ride.detour_limit_m:.0f} m beyond the {slack:.0f} m tolerance"
-        )
-
-    if ride.seats_available < 1:
-        # Look-to-book race: seats hit zero between the entry check and the
-        # splice (e.g. the same ride booked via another match of this batch).
-        # Never silently over-book — restore the route and refuse.
-        ride.replace_route(route, vias)
-        raise BookingError(
-            f"ride {ride.ride_id} ran out of seats while booking was in flight"
-        )
-    ride.consume_seat()
-    ride.consume_detour(actual_detour)
-    engine.reindex_ride(ride.ride_id)
+        if ride.seats_available < 1:
+            # Look-to-book race: seats hit zero between the entry check and the
+            # splice (e.g. the same ride booked via another match of this batch).
+            # Never silently over-book — restore the route and refuse.
+            ride.replace_route(route, vias)
+            raise BookingError(
+                f"ride {ride.ride_id} ran out of seats while booking was in flight"
+            )
+        ride.consume_seat()
+        ride.consume_detour(actual_detour)
+    with span.stage("reindex"):
+        engine.reindex_ride(ride.ride_id)
 
     record = BookingRecord(
         request_id=request.request_id,

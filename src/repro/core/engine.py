@@ -23,6 +23,7 @@ from ..discretization import DiscretizedRegion
 from ..exceptions import RideError, UnknownRideError, XARError
 from ..geo import GeoPoint
 from ..index import ClusterRideIndex, RideIndexEntry
+from ..obs import MetricsRegistry, Tracer
 from ..roadnet import astar
 from .booking import BookingRecord, BookingRollback, book_ride
 from .reachability import build_ride_entry
@@ -44,6 +45,8 @@ class XAREngine:
         strict_coverage: bool = False,
         ride_id_start: int = 1,
         ride_id_step: int = 1,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_labels: Optional[Dict[str, str]] = None,
     ):
         self.region = region
         #: When True, ``create_ride`` and ``search`` raise
@@ -80,6 +83,12 @@ class XAREngine:
             raise ValueError("ride_id_start and ride_id_step must be >= 1")
         self._ride_ids = itertools.count(ride_id_start, ride_id_step)
         self._request_ids = itertools.count(1)
+        #: Per-stage operation timing (search: snap → cluster_lookup →
+        #: candidate_scan → feasibility_filter → rank_merge; book:
+        #: snapshot → splice → reindex; track: sweep; create: snap →
+        #: route → index) into ``metrics``; a ``None`` registry hands out
+        #: null spans, so an uninstrumented engine pays nothing.
+        self.tracer = Tracer(metrics, labels=metrics_labels)
         #: Guards all mutable engine state (rides, index, ledgers).  Public
         #: operations take it, so a concurrent ``search`` can never observe a
         #: half-spliced route mid-``book``; reentrant because ``book`` calls
@@ -102,37 +111,44 @@ class XAREngine:
         """Offer a new ride; routes via shortest path unless ``route`` given."""
         config = self.region.config
         network = self.region.network
-        if self.strict_coverage:
-            self.region.require_covered(source)
-            self.region.require_covered(destination)
-        source_node = network.snap(source)
-        destination_node = network.snap(destination)
-        if source_node == destination_node:
-            raise RideError("ride source and destination snap to the same node")
-        if route is None:
-            if self.router is not None:
-                _length, route = self.router.shortest_path(
-                    source_node, destination_node
-                )
-            else:
-                _length, route = astar(network, source_node, destination_node)
-        ride = Ride(
-            ride_id=next(self._ride_ids),
-            network=network,
-            route=route,
-            departure_s=departure_s,
-            detour_limit_m=(
-                detour_limit_m if detour_limit_m is not None else config.default_detour_m
-            ),
-            seats=seats if seats is not None else config.default_seats,
-            source_point=source,
-            destination_point=destination,
-            driver_id=driver_id,
-        )
-        with self.lock:
-            self.rides[ride.ride_id] = ride
-            self._index_ride(ride)
-        return ride
+        span = self.tracer.span("create")
+        try:
+            with span.stage("snap"):
+                if self.strict_coverage:
+                    self.region.require_covered(source)
+                    self.region.require_covered(destination)
+                source_node = network.snap(source)
+                destination_node = network.snap(destination)
+            if source_node == destination_node:
+                raise RideError("ride source and destination snap to the same node")
+            if route is None:
+                with span.stage("route"):
+                    if self.router is not None:
+                        _length, route = self.router.shortest_path(
+                            source_node, destination_node
+                        )
+                    else:
+                        _length, route = astar(network, source_node, destination_node)
+            ride = Ride(
+                ride_id=next(self._ride_ids),
+                network=network,
+                route=route,
+                departure_s=departure_s,
+                detour_limit_m=(
+                    detour_limit_m if detour_limit_m is not None else config.default_detour_m
+                ),
+                seats=seats if seats is not None else config.default_seats,
+                source_point=source,
+                destination_point=destination,
+                driver_id=driver_id,
+            )
+            with self.lock:
+                with span.stage("index"):
+                    self.rides[ride.ride_id] = ride
+                    self._index_ride(ride)
+            return ride
+        finally:
+            span.finish()
 
     def _index_ride(self, ride: Ride) -> None:
         entry = build_ride_entry(self.region, ride)
@@ -220,12 +236,17 @@ class XAREngine:
         if self.strict_coverage:
             self.region.require_covered(request.source)
             self.region.require_covered(request.destination)
-        with self.lock:
-            if ranking is None:
-                return search_rides(self, request, k)
-            matches = search_rides(self, request, None)
-        matches.sort(key=ranking)
-        return matches[:k] if k is not None else matches
+        span = self.tracer.span("search")
+        try:
+            with self.lock:
+                if ranking is None:
+                    return search_rides(self, request, k, span=span)
+                matches = search_rides(self, request, None, span=span)
+            with span.stage("rank_merge"):
+                matches.sort(key=ranking)
+                return matches[:k] if k is not None else matches
+        finally:
+            span.finish()
 
     def driver_of(self, ride_id: int) -> Optional[int]:
         """Driver user id of a ride, if it is live and has one."""
@@ -247,30 +268,40 @@ class XAREngine:
         """
         from ..resilience.snapshot import restore_ride, snapshot_ride
 
-        with self.lock:
-            snapshot = snapshot_ride(self, match.ride_id)
-            try:
-                return book_ride(self, request, match)
-            except XARError as exc:
-                if snapshot is not None:
-                    restore_ride(self, snapshot)
-                self.rollbacks.append(
-                    BookingRollback(
-                        request_id=request.request_id,
-                        ride_id=match.ride_id,
-                        error=type(exc).__name__,
-                        reason=str(exc),
+        span = self.tracer.span("book")
+        try:
+            with self.lock:
+                with span.stage("snapshot"):
+                    snapshot = snapshot_ride(self, match.ride_id)
+                try:
+                    return book_ride(self, request, match, span=span)
+                except XARError as exc:
+                    if snapshot is not None:
+                        restore_ride(self, snapshot)
+                    self.rollbacks.append(
+                        BookingRollback(
+                            request_id=request.request_id,
+                            ride_id=match.ride_id,
+                            error=type(exc).__name__,
+                            reason=str(exc),
+                        )
                     )
-                )
-                raise
+                    raise
+        finally:
+            span.finish()
 
     def track(self, ride_id: int, now_s: float) -> None:
         with self.lock:
             track_ride(self, ride_id, now_s)
 
     def track_all(self, now_s: float) -> int:
-        with self.lock:
-            return track_all(self, now_s)
+        span = self.tracer.span("track")
+        try:
+            with self.lock:
+                with span.stage("sweep"):
+                    return track_all(self, now_s)
+        finally:
+            span.finish()
 
     # ------------------------------------------------------------------
     # Introspection

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..discretization import WalkOption
+from ..obs.trace import NULL_SPAN
 from .request import RideRequest
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -56,40 +57,63 @@ def search_rides(
     engine: "XAREngine",
     request: RideRequest,
     k: Optional[int] = None,
+    span=NULL_SPAN,
 ) -> List[MatchOption]:
     """Find up to ``k`` feasible matches (all of them when ``k`` is None).
 
     Results are sorted by total walking distance (the simulation's booking
     policy picks the least-walk option, Section X-A2), ties broken by ETA.
+
+    ``span`` (a tracing span or the null span) times the five stages of the
+    search: **snap** (grid-cell resolution + walkable-cluster pruning for
+    both endpoints), **cluster_lookup** (ETA-window binary search on the
+    potential-ride lists; entered once per endpoint), **candidate_scan**
+    (best-walk reduction into the R1/R2 candidate maps), **feasibility_filter**
+    (R1 ∩ R2 plus seat/walk/order/detour validation) and **rank_merge**
+    (final ordering and top-k cut).
     """
     region = engine.region
     index = engine.cluster_index
 
-    source_options = region.walkable_clusters(
-        request.source, request.walk_threshold_m
-    )
-    if not source_options:
-        return []
-    destination_options = region.walkable_clusters(
-        request.destination, request.walk_threshold_m
-    )
-    if not destination_options:
+    with span.stage("snap"):
+        source_options = region.walkable_clusters(
+            request.source, request.walk_threshold_m
+        )
+        destination_options = (
+            region.walkable_clusters(request.destination, request.walk_threshold_m)
+            if source_options
+            else []
+        )
+    if not source_options or not destination_options:
         return []
 
     # Step 1: candidate rides near the source, keyed for the intersection.
+    with span.stage("cluster_lookup"):
+        source_lists = [
+            (
+                option,
+                list(
+                    index.rides_in_window(
+                        option.cluster_id,
+                        request.window_start_s,
+                        request.window_end_s,
+                    )
+                ),
+            )
+            for option in source_options
+        ]
     # ride id -> best (walk, WalkOption, eta) among the source clusters.
     candidates_src: Dict[int, Tuple[float, WalkOption, float]] = {}
-    for option in source_options:
-        for potential in index.rides_in_window(
-            option.cluster_id, request.window_start_s, request.window_end_s
-        ):
-            best = candidates_src.get(potential.ride_id)
-            if best is None or option.walk_m < best[0]:
-                candidates_src[potential.ride_id] = (
-                    option.walk_m,
-                    option,
-                    potential.eta_s,
-                )
+    with span.stage("candidate_scan"):
+        for option, potentials in source_lists:
+            for potential in potentials:
+                best = candidates_src.get(potential.ride_id)
+                if best is None or option.walk_m < best[0]:
+                    candidates_src[potential.ride_id] = (
+                        option.walk_m,
+                        option,
+                        potential.eta_s,
+                    )
 
     if not candidates_src:
         return []
@@ -97,22 +121,53 @@ def search_rides(
     # Step 2: candidates near the destination.  The destination arrival is
     # later than the departure window by the trip duration; we accept any ETA
     # from window start onwards (drop-off has no hard deadline in the paper).
+    with span.stage("cluster_lookup"):
+        destination_lists = [
+            (
+                option,
+                list(
+                    index.rides_in_window(
+                        option.cluster_id, request.window_start_s, float("inf")
+                    )
+                ),
+            )
+            for option in destination_options
+        ]
     candidates_dst: Dict[int, Tuple[float, WalkOption, float]] = {}
-    for option in destination_options:
-        for potential in index.rides_in_window(
-            option.cluster_id, request.window_start_s, float("inf")
-        ):
-            if potential.ride_id not in candidates_src:
-                continue
-            best = candidates_dst.get(potential.ride_id)
-            if best is None or option.walk_m < best[0]:
-                candidates_dst[potential.ride_id] = (
-                    option.walk_m,
-                    option,
-                    potential.eta_s,
-                )
+    with span.stage("candidate_scan"):
+        for option, potentials in destination_lists:
+            for potential in potentials:
+                if potential.ride_id not in candidates_src:
+                    continue
+                best = candidates_dst.get(potential.ride_id)
+                if best is None or option.walk_m < best[0]:
+                    candidates_dst[potential.ride_id] = (
+                        option.walk_m,
+                        option,
+                        potential.eta_s,
+                    )
 
     # Intersection + final validity checks.
+    with span.stage("feasibility_filter"):
+        matches = _filter_candidates(
+            engine, request, candidates_src, candidates_dst
+        )
+
+    with span.stage("rank_merge"):
+        matches.sort(key=lambda m: (m.total_walk_m, m.eta_pickup_s, m.ride_id))
+        if k is not None:
+            return matches[:k]
+        return matches
+
+
+def _filter_candidates(
+    engine: "XAREngine",
+    request: RideRequest,
+    candidates_src: Dict[int, Tuple[float, WalkOption, float]],
+    candidates_dst: Dict[int, Tuple[float, WalkOption, float]],
+) -> List[MatchOption]:
+    """The search's feasibility stage: R1 ∩ R2 plus the final checks."""
+    region = engine.region
     matches: List[MatchOption] = []
     for ride_id, (walk_dst, option_dst, eta_dst) in candidates_dst.items():
         walk_src, option_src, eta_src = candidates_src[ride_id]
@@ -185,10 +240,6 @@ def search_rides(
                 detour_estimate_m=detour,
             )
         )
-
-    matches.sort(key=lambda m: (m.total_walk_m, m.eta_pickup_s, m.ride_id))
-    if k is not None:
-        return matches[:k]
     return matches
 
 

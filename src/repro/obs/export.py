@@ -1,0 +1,166 @@
+"""Exporters: Prometheus text exposition format 0.0.4 and JSON dumps.
+
+``to_prometheus_text`` renders a :class:`~repro.obs.registry.MetricsRegistry`
+in the exact shape a Prometheus scrape endpoint serves (``# HELP`` /
+``# TYPE`` headers, ``_bucket{le=...}`` cumulative histogram series with
+``_sum`` / ``_count``), so a real Prometheus can ingest a dumped file via
+textfile collection and our CI can assert the exposition parses.
+
+``parse_prometheus_text`` is the matching minimal parser — not a full
+client, just enough to round-trip what we emit: sample name, label dict,
+float value.  ``to_json`` wraps the registry snapshot (plus optional recent
+trace spans) for jq-style consumption.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from .registry import MetricsRegistry
+from .trace import Tracer
+
+__all__ = ["to_prometheus_text", "to_json", "parse_prometheus_text"]
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(str(value))}"'
+        for name, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every family in the text exposition format (0.0.4)."""
+    lines: List[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.collect():
+            if family.kind == "histogram":
+                for le, cumulative in child.cumulative_buckets():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _fmt_value(le)
+                    lines.append(
+                        f"{family.name}_bucket{_fmt_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_fmt_labels(labels)} "
+                    f"{_fmt_value(child.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_fmt_labels(labels)} {child.count}"
+                )
+            else:
+                lines.append(
+                    f"{family.name}{_fmt_labels(labels)} "
+                    f"{_fmt_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def to_json(
+    registry: MetricsRegistry,
+    tracers: Optional[List[Tracer]] = None,
+    indent: int = 2,
+) -> str:
+    """Registry snapshot (and optional recent spans) as a JSON document."""
+    payload: Dict[str, Any] = {"metrics": registry.snapshot()}
+    if tracers:
+        spans: List[Dict[str, Any]] = []
+        for tracer in tracers:
+            spans.extend(tracer.recent_spans())
+        payload["recent_spans"] = spans
+    return json.dumps(payload, indent=indent, sort_keys=True)
+
+
+def _parse_labels(block: str) -> Dict[str, str]:
+    """Parse the inside of a ``{...}`` label block."""
+    labels: Dict[str, str] = {}
+    i = 0
+    while i < len(block):
+        eq = block.index("=", i)
+        name = block[i:eq].strip().lstrip(",").strip()
+        if block[eq + 1] != '"':
+            raise ValueError(f"unquoted label value near {block[eq:]!r}")
+        j = eq + 2
+        value_chars: List[str] = []
+        while j < len(block):
+            ch = block[j]
+            if ch == "\\":
+                nxt = block[j + 1]
+                value_chars.append(
+                    {"\\": "\\", '"': '"', "n": "\n"}.get(nxt, "\\" + nxt)
+                )
+                j += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            j += 1
+        else:
+            raise ValueError(f"unterminated label value in {block!r}")
+        labels[name] = "".join(value_chars)
+        i = j + 1
+    return labels
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Parse an exposition into ``sample_name -> [(labels, value), ...]``.
+
+    Sample names include histogram suffixes (``_bucket``, ``_sum``,
+    ``_count``) exactly as emitted.  Raises ``ValueError`` on any line that
+    is neither a comment nor a well-formed sample — CI uses this as a
+    validity assertion, so be strict.
+    """
+    samples: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            block, _brace, tail = rest.rpartition("}")
+            if not _brace:
+                raise ValueError(f"unbalanced label braces: {raw!r}")
+            labels = _parse_labels(block)
+            value_text = tail.strip()
+        else:
+            parts = line.split()
+            if len(parts) != 2:
+                raise ValueError(f"malformed sample line: {raw!r}")
+            name, value_text = parts
+            labels = {}
+        name = name.strip()
+        if not name or not name[0].isalpha() and name[0] != "_":
+            raise ValueError(f"invalid metric name in line: {raw!r}")
+        samples.setdefault(name, []).append((labels, float(value_text)))
+    return samples

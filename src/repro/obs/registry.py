@@ -1,0 +1,359 @@
+"""Thread-safe metrics primitives: counters, gauges, fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is the service's single source of truth for
+operational numbers.  Every instrument lives in a *family* (one metric name
++ help text + label names); a family hands out *children* keyed by label
+values, and each child is updated under a lock, so concurrent writers from
+the shard workers, inline readers and load-generator drivers never lose
+updates (the unlocked ``+=`` counters this package replaces did).
+
+Histograms use **fixed, deterministic bucket bounds** — the bounds are part
+of the family's identity, never derived from the data — so two replays of
+the same seeded workload produce byte-identical snapshots (modulo wall-clock
+durations), and snapshots taken mid-run and post-run line up bucket for
+bucket.  A histogram can additionally retain raw samples
+(``keep_samples=True``) for exact percentiles; the load generator uses this
+so latency SLOs are evaluated on the same observations the exporters
+publish.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "FANOUT_BUCKETS",
+    "QUEUE_DEPTH_BUCKETS",
+]
+
+#: Latency bucket upper bounds in seconds, 250 µs to 10 s (+Inf implicit).
+#: Deterministic and shared by every duration histogram in the system so
+#: per-stage, per-op and client-side series are directly comparable.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: Search fan-out width buckets (shards consulted per search).
+FANOUT_BUCKETS: Tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 32, 64)
+
+#: Queue occupancy buckets for wait-depth style histograms.
+QUEUE_DEPTH_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+class Counter:
+    """Monotonically increasing counter (one labelled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """Point-in-time value that can move both ways (one labelled child)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    def set_max(self, value: float) -> None:
+        """Ratchet: keep the largest value ever seen (peak tracking)."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram (one labelled child).
+
+    ``bounds`` are the *upper* bucket edges; an implicit +Inf bucket catches
+    overflow.  ``observe`` is a bisect + three increments under the child's
+    lock.  With ``keep_samples`` the raw observations are retained in
+    arrival order for exact percentiles (memory grows with the run — meant
+    for bounded load-test runs, not unbounded serving).
+    """
+
+    __slots__ = ("_lock", "bounds", "bucket_counts", "count", "sum",
+                 "_min", "_max", "_samples")
+
+    def __init__(self, bounds: Sequence[float], keep_samples: bool = False):
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        ordered = tuple(float(b) for b in bounds)
+        if list(ordered) != sorted(set(ordered)):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds!r}")
+        self._lock = threading.Lock()
+        self.bounds = ordered
+        #: Per-bucket (non-cumulative) counts; index len(bounds) is +Inf.
+        self.bucket_counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+        self._samples: Optional[List[float]] = [] if keep_samples else None
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.bucket_counts[index] += 1
+            self.count += 1
+            self.sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+            if self._samples is not None:
+                self._samples.append(value)
+
+    # -- reads ----------------------------------------------------------
+    @property
+    def samples(self) -> List[float]:
+        """Copy of the raw observations (empty unless ``keep_samples``)."""
+        with self._lock:
+            return list(self._samples) if self._samples is not None else []
+
+    @property
+    def min(self) -> Optional[float]:
+        with self._lock:
+            return self._min
+
+    @property
+    def max(self) -> Optional[float]:
+        with self._lock:
+            return self._max
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Prometheus-shaped ``(le, cumulative_count)`` pairs, +Inf last."""
+        with self._lock:
+            out: List[Tuple[float, int]] = []
+            running = 0
+            for bound, n in zip(self.bounds, self.bucket_counts):
+                running += n
+                out.append((bound, running))
+            out.append((float("inf"), running + self.bucket_counts[-1]))
+            return out
+
+    def quantile(self, q: float) -> float:
+        """q in [0, 1].  Exact when samples are kept, else interpolated
+        within the owning bucket (lower edge 0 for the first, previous
+        bound otherwise; +Inf bucket answers its lower edge).  NaN when
+        empty."""
+        if not (0.0 <= q <= 1.0):
+            raise ValueError(f"quantile out of range: {q!r}")
+        with self._lock:
+            if self.count == 0:
+                return float("nan")
+            if self._samples is not None:
+                ordered = sorted(self._samples)
+                if len(ordered) == 1:
+                    return ordered[0]
+                rank = q * (len(ordered) - 1)
+                lo = int(rank)
+                frac = rank - lo
+                if frac == 0.0 or lo + 1 >= len(ordered):
+                    return ordered[lo]
+                return ordered[lo] * (1.0 - frac) + ordered[lo + 1] * frac
+            target = q * self.count
+            running = 0
+            previous_bound = 0.0
+            for bound, n in zip(self.bounds, self.bucket_counts):
+                if running + n >= target and n > 0:
+                    inside = (target - running) / n
+                    return previous_bound + (bound - previous_bound) * inside
+                running += n
+                previous_bound = bound
+            return previous_bound  # +Inf bucket: best we can say
+
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else float("nan")
+
+
+class _Family:
+    """One metric name: help text, label names, children by label values."""
+
+    def __init__(self, name: str, help_text: str, kind: str,
+                 labelnames: Tuple[str, ...], **child_kwargs: Any):
+        self.name = name
+        self.help = help_text
+        self.kind = kind
+        self.labelnames = labelnames
+        self._child_kwargs = child_kwargs
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], Any] = {}
+
+    def _make_child(self) -> Any:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(**self._child_kwargs)
+
+    def labels(self, **labelvalues: str) -> Any:
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name}: expected labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.get(key)
+                if child is None:
+                    child = self._make_child()
+                    self._children[key] = child
+        return child
+
+    # Unlabelled families act as their single child.
+    def _solo(self) -> Any:
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._solo().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._solo().dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    @property
+    def value(self) -> float:
+        return self._solo().value
+
+    def collect(self) -> List[Tuple[Dict[str, str], Any]]:
+        """``(labels, child)`` pairs in deterministic (sorted-key) order."""
+        with self._lock:
+            items = sorted(self._children.items())
+        return [
+            (dict(zip(self.labelnames, key)), child) for key, child in items
+        ]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of metric families, safe for concurrent use.
+
+    Re-registering an existing name returns the existing family after
+    checking that kind/labels/buckets agree — two subsystems naming the same
+    series must mean the same thing.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: "Dict[str, _Family]" = {}
+
+    def _register(self, name: str, help_text: str, kind: str,
+                  labelnames: Iterable[str], **child_kwargs: Any) -> _Family:
+        labels = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labels:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind}{family.labelnames}, cannot re-register "
+                        f"as {kind}{labels}"
+                    )
+                if kind == "histogram" and family._child_kwargs != child_kwargs:
+                    raise ValueError(
+                        f"metric {name!r} re-registered with different buckets"
+                    )
+                return family
+            family = _Family(name, help_text, kind, labels, **child_kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str = "",
+                labels: Iterable[str] = ()) -> _Family:
+        return self._register(name, help_text, "counter", labels)
+
+    def gauge(self, name: str, help_text: str = "",
+              labels: Iterable[str] = ()) -> _Family:
+        return self._register(name, help_text, "gauge", labels)
+
+    def histogram(self, name: str, help_text: str = "",
+                  labels: Iterable[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S,
+                  keep_samples: bool = False) -> _Family:
+        return self._register(
+            name, help_text, "histogram", labels,
+            bounds=tuple(buckets), keep_samples=keep_samples,
+        )
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> Optional[_Family]:
+        with self._lock:
+            return self._families.get(name)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready dump of every family (replay-stable ordering)."""
+        out: Dict[str, Any] = {}
+        for family in self.families():
+            series = []
+            for labels, child in family.collect():
+                if family.kind == "histogram":
+                    series.append({
+                        "labels": labels,
+                        "count": child.count,
+                        "sum": child.sum,
+                        "min": child.min,
+                        "max": child.max,
+                        "buckets": [
+                            {"le": le, "count": n}
+                            for le, n in child.cumulative_buckets()
+                        ],
+                    })
+                else:
+                    series.append({"labels": labels, "value": child.value})
+            out[family.name] = {
+                "kind": family.kind,
+                "help": family.help,
+                "series": series,
+            }
+        return out

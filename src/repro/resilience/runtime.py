@@ -43,7 +43,11 @@ from ..exceptions import (
     XARError,
 )
 from ..geo import GeoPoint
+from ..obs import MetricsRegistry
 from .fallback import grid_scan_search
+
+#: Numeric encoding of breaker states for the ``xar_breaker_state`` gauge.
+BREAKER_STATE_CODES = {"closed": 0, "half_open": 1, "open": 2}
 
 #: Exception types safe to retry: the fault is in the infrastructure, not
 #: the request.
@@ -172,7 +176,13 @@ class ResilienceStats:
 class ResilientEngine:
     """Fault-tolerant façade over an engine adapter (EngineAdapter-shaped)."""
 
-    def __init__(self, inner: Any, config: Optional[ResilienceConfig] = None):
+    def __init__(
+        self,
+        inner: Any,
+        config: Optional[ResilienceConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        metrics_labels: Optional[Dict[str, str]] = None,
+    ):
         self.inner = inner
         self.config = config or ResilienceConfig()
         self.name = f"Resilient({getattr(inner, 'name', 'engine')})"
@@ -189,6 +199,77 @@ class ResilientEngine:
         }
         #: request id -> tier of the search that produced its matches.
         self._search_tier: Dict[int, str] = {}
+        #: Registry instruments (None when uninstrumented).  Label children
+        #: carry the extra labels (e.g. ``shard``) so N resilient wrappers
+        #: can share one registry without series collisions.
+        self._extra = dict(metrics_labels or {})
+        extra_keys = tuple(sorted(self._extra))
+        self._m_retries = self._m_deadline = self._m_short = None
+        self._m_fallback = self._m_failed = self._m_tiers = None
+        self._m_trips = self._m_state = None
+        if metrics is not None:
+            self._m_retries = metrics.counter(
+                "xar_resilience_retries_total",
+                "Retries of transient faults / deadline blows",
+                labels=("op",) + extra_keys,
+            )
+            self._m_deadline = metrics.counter(
+                "xar_resilience_deadline_violations_total",
+                "Operations that exceeded their per-op deadline",
+                labels=("op",) + extra_keys,
+            )
+            self._m_short = metrics.counter(
+                "xar_resilience_short_circuits_total",
+                "Calls refused up front because a breaker was open",
+                labels=("op",) + extra_keys,
+            )
+            self._m_fallback = metrics.counter(
+                "xar_resilience_fallback_searches_total",
+                "Searches served by the T-Share-style grid scan",
+                labels=extra_keys,
+            )
+            self._m_failed = metrics.counter(
+                "xar_resilience_failed_operations_total",
+                "Operations that exhausted their retry budget",
+                labels=("op",) + extra_keys,
+            )
+            self._m_tiers = metrics.counter(
+                "xar_resilience_tier_total",
+                "Requests served per degradation tier",
+                labels=("tier",) + extra_keys,
+            )
+            self._m_trips = metrics.counter(
+                "xar_breaker_trips_total",
+                "Circuit-breaker trips (closed/half-open -> open)",
+                labels=("breaker",) + extra_keys,
+            )
+            self._m_state = metrics.gauge(
+                "xar_breaker_state",
+                "Breaker state: 0=closed, 1=half_open, 2=open "
+                "(synced on every accounted call)",
+                labels=("breaker",) + extra_keys,
+            )
+        #: Last trips total exported per breaker (the registry counter gets
+        #: the delta, keeping it monotone while the breaker owns the count).
+        self._exported_trips: Dict[str, int] = {name: 0 for name in self.breakers}
+        self._sync_breaker_metrics()
+
+    def _inc(self, family, **labels) -> None:
+        if family is not None:
+            family.labels(**self._extra, **labels).inc()
+
+    def _sync_breaker_metrics(self) -> None:
+        """Mirror breaker trips/states onto the registry (no-op when bare)."""
+        if self._m_state is None:
+            return
+        for name, breaker in self.breakers.items():
+            self._m_state.labels(breaker=name, **self._extra).set(
+                BREAKER_STATE_CODES[breaker.state]
+            )
+            delta = breaker.trips - self._exported_trips[name]
+            if delta > 0:
+                self._m_trips.labels(breaker=name, **self._extra).inc(delta)
+                self._exported_trips[name] = breaker.trips
 
     # ------------------------------------------------------------------
     # Core retry/deadline machinery
@@ -213,32 +294,40 @@ class ResilientEngine:
                 last_error = exc
                 if breaker is not None:
                     breaker.record_failure()
+                    self._sync_breaker_metrics()
                 if attempt < retry.max_attempts:
                     self.stats.retries += 1
+                    self._inc(self._m_retries, op=operation)
                     self.config.sleep(retry.delay_s(attempt, self._rng))
                     continue
                 self.stats.failed_operations += 1
+                self._inc(self._m_failed, op=operation)
                 raise
             elapsed = clock() - started
             if deadline_s is not None and elapsed > deadline_s:
                 self.stats.deadline_violations += 1
+                self._inc(self._m_deadline, op=operation)
                 if breaker is not None:
                     breaker.record_failure()
                     self.stats.breaker_trips = sum(
                         b.trips for b in self.breakers.values()
                     )
+                    self._sync_breaker_metrics()
                 if enforce_deadline:
                     last_error = DeadlineExceededError(operation, elapsed, deadline_s)
                     if attempt < retry.max_attempts:
                         self.stats.retries += 1
+                        self._inc(self._m_retries, op=operation)
                         self.config.sleep(retry.delay_s(attempt, self._rng))
                         continue
                     self.stats.failed_operations += 1
+                    self._inc(self._m_failed, op=operation)
                     raise last_error
                 # Mutation already applied: keep the result, log the blow.
                 return result
             if breaker is not None:
                 breaker.record_success()
+                self._sync_breaker_metrics()
             return result
         raise last_error  # pragma: no cover - loop always returns or raises
 
@@ -254,6 +343,7 @@ class ResilientEngine:
             enforce_deadline=False,
         )
         self.stats.tiers["create_on_miss"] += 1
+        self._inc(self._m_tiers, tier="create_on_miss")
         self.stats.breaker_trips = sum(b.trips for b in self.breakers.values())
         return result
 
@@ -277,13 +367,16 @@ class ResilientEngine:
                 pass  # degrade below
         else:
             self.stats.short_circuits += 1
+            self._inc(self._m_short, op="search")
         self.stats.breaker_trips = sum(b.trips for b in self.breakers.values())
+        self._sync_breaker_metrics()
 
         engine = self.raw_engine()
         if engine is not None:
             try:
                 matches = grid_scan_search(engine, request, k)
                 self.stats.fallback_searches += 1
+                self._inc(self._m_fallback)
                 self._search_tier[request.request_id] = "grid_fallback"
                 return matches
             except XARError:
@@ -299,6 +392,7 @@ class ResilientEngine:
             # retry budget per match — the caller degrades to create-on-miss
             # (create still attempts, acting as the half-open probe).
             self.stats.short_circuits += 1
+            self._inc(self._m_short, op="book")
             raise CircuitOpenError("book")
         record = self._call(
             "book",
@@ -309,7 +403,9 @@ class ResilientEngine:
         )
         tier = self._search_tier.pop(request.request_id, "optimized")
         self.stats.tiers[tier] = self.stats.tiers.get(tier, 0) + 1
+        self._inc(self._m_tiers, tier=tier)
         self.stats.breaker_trips = sum(b.trips for b in self.breakers.values())
+        self._sync_breaker_metrics()
         return record
 
     def track_all(self, now_s: float) -> int:
@@ -344,6 +440,7 @@ class ResilientEngine:
     def resilience_stats(self) -> Dict[str, Any]:
         """Counters for the simulation report."""
         self.stats.breaker_trips = sum(b.trips for b in self.breakers.values())
+        self._sync_breaker_metrics()
         out: Dict[str, Any] = self.stats.as_dict()
         out["tiers"] = dict(self.stats.tiers)
         out["breaker_states"] = {

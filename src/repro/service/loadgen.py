@@ -17,6 +17,15 @@ Reproducibility: request streams are pre-generated and partitioned
 round-robin across drivers, and every stochastic draw comes from RNGs
 derived from one root seed — two runs with the same seed offer the same
 work, regardless of thread scheduling.
+
+Accounting runs on a :class:`~repro.obs.MetricsRegistry` — by default the
+*target's own* registry (``target.metrics``), so client-observed latency
+series (``xar_loadgen_op_seconds``) land in the same exposition as the
+service-side stage timers and queue gauges.  The :class:`LoadReport` is
+derived from registry deltas captured around the run, which keeps repeated
+runs against a shared registry (benchmark sweeps, best-of-N) correct, and
+means the latency SLOs are evaluated on exactly the observations the
+exporters publish.
 """
 
 from __future__ import annotations
@@ -29,7 +38,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.request import RideRequest
 from ..exceptions import ShardOverloadError, XARError
+from ..obs import MetricsRegistry
 from ..sim.metrics import percentile
+
+#: The operations a driver times (client-observed, queue wait included).
+_OPS = ("search", "create", "book")
+#: Request outcomes counted per run.
+_OUTCOMES = ("matched", "booked", "created")
 
 
 @dataclass
@@ -54,27 +69,6 @@ class LoadGenConfig:
     max_book_attempts: int = 3
     #: Root seed (drivers and shards derive theirs from it).
     seed: int = 42
-
-
-@dataclass
-class _WorkerTally:
-    """One driver thread's private counters (merged after the join)."""
-
-    search_s: List[float] = field(default_factory=list)
-    create_s: List[float] = field(default_factory=list)
-    book_s: List[float] = field(default_factory=list)
-    n_requests: int = 0
-    n_matched: int = 0
-    n_booked: int = 0
-    n_created: int = 0
-    n_shed: Dict[str, int] = field(default_factory=dict)
-    n_failed: Dict[str, int] = field(default_factory=dict)
-
-    def shed(self, operation: str) -> None:
-        self.n_shed[operation] = self.n_shed.get(operation, 0) + 1
-
-    def failed(self, operation: str) -> None:
-        self.n_failed[operation] = self.n_failed.get(operation, 0) + 1
 
 
 @dataclass
@@ -189,73 +183,111 @@ class LoadGenerator:
         target: Any,
         requests: Sequence[RideRequest],
         config: Optional[LoadGenConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.target = target
         self.requests = list(requests)
         self.config = config or LoadGenConfig()
         if self.config.workers < 1:
             raise ValueError("workers must be >= 1")
+        #: Share the target's registry when it has one, so client-side and
+        #: service-side series land in a single exposition.
+        if metrics is None:
+            metrics = getattr(target, "metrics", None)
+            if not isinstance(metrics, MetricsRegistry):
+                metrics = MetricsRegistry()
+        self.metrics = metrics
+        self._h_op = metrics.histogram(
+            "xar_loadgen_op_seconds",
+            "Client-observed operation latency (queue wait included)",
+            labels=("op",),
+            keep_samples=True,
+        )
+        self._c_requests = metrics.counter(
+            "xar_loadgen_requests_total", "Requests the drivers processed"
+        )
+        self._c_outcomes = metrics.counter(
+            "xar_loadgen_outcomes_total",
+            "Requests by outcome (matched / booked / created)",
+            labels=("outcome",),
+        )
+        self._c_shed = metrics.counter(
+            "xar_loadgen_shed_total",
+            "Client-visible shed responses per operation",
+            labels=("op",),
+        )
+        self._c_failed = metrics.counter(
+            "xar_loadgen_failed_total",
+            "Client-visible failures per operation (non-shed XARError)",
+            labels=("op",),
+        )
+        # Pre-create every child so baselines, deltas and the exposition all
+        # see the full series set even when a count stays zero.
+        self._lat = {op: self._h_op.labels(op=op) for op in _OPS}
+        self._out = {o: self._c_outcomes.labels(outcome=o) for o in _OUTCOMES}
+        self._shed = {op: self._c_shed.labels(op=op) for op in _OPS}
+        self._failed = {op: self._c_failed.labels(op=op) for op in _OPS}
 
     # ------------------------------------------------------------------
     # One request's serve flow (mirrors RideShareSimulator)
     # ------------------------------------------------------------------
-    def _serve(self, request: RideRequest, tally: _WorkerTally) -> None:
+    def _serve(self, request: RideRequest) -> None:
         config = self.config
         target = self.target
-        tally.n_requests += 1
+        self._c_requests.inc()
 
         for _look in range(config.looks_per_book):
             t0 = time.perf_counter()
             try:
                 target.search(request, config.k_matches)
             except ShardOverloadError:
-                tally.shed("search")
+                self._shed["search"].inc()
             except XARError:
-                tally.failed("search")
-            tally.search_s.append(time.perf_counter() - t0)
+                self._failed["search"].inc()
+            self._lat["search"].observe(time.perf_counter() - t0)
 
         t0 = time.perf_counter()
         try:
             matches = target.search(request, config.k_matches)
         except ShardOverloadError:
-            tally.shed("search")
+            self._shed["search"].inc()
             return  # the request is refused outright, not served elsewhere
         except XARError:
-            tally.failed("search")
+            self._failed["search"].inc()
             matches = []
-        tally.search_s.append(time.perf_counter() - t0)
+        self._lat["search"].observe(time.perf_counter() - t0)
 
         if matches:
-            tally.n_matched += 1
+            self._out["matched"].inc()
             for match in matches[: config.max_book_attempts]:
                 t0 = time.perf_counter()
                 try:
                     target.book(request, match)
                 except ShardOverloadError:
-                    tally.book_s.append(time.perf_counter() - t0)
-                    tally.shed("book")
+                    self._lat["book"].observe(time.perf_counter() - t0)
+                    self._shed["book"].inc()
                     return
                 except XARError:
-                    tally.book_s.append(time.perf_counter() - t0)
+                    self._lat["book"].observe(time.perf_counter() - t0)
                     continue  # stale match: fall through to the next
-                tally.book_s.append(time.perf_counter() - t0)
-                tally.n_booked += 1
+                self._lat["book"].observe(time.perf_counter() - t0)
+                self._out["booked"].inc()
                 return
             # Every attempted match went stale: degrade to create-on-miss,
             # exactly like the replay simulator's policy.
-            tally.failed("book")
+            self._failed["book"].inc()
         if config.create_on_miss:
             t0 = time.perf_counter()
             try:
                 target.create(request.source, request.destination,
                               request.window_start_s)
             except ShardOverloadError:
-                tally.shed("create")
+                self._shed["create"].inc()
             except XARError:
-                tally.failed("create")
+                self._failed["create"].inc()
             else:
-                tally.n_created += 1
-            tally.create_s.append(time.perf_counter() - t0)
+                self._out["created"].inc()
+            self._lat["create"].observe(time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     # The run
@@ -267,7 +299,13 @@ class LoadGenerator:
         partitions: List[List[tuple]] = [[] for _w in range(workers)]
         for index, request in enumerate(self.requests):
             partitions[index % workers].append((index, request))
-        tallies = [_WorkerTally() for _w in range(workers)]
+        # Registry baselines: the report is the *delta* over this run, so a
+        # shared registry (several runs, a benchmark sweep) stays correct.
+        base_requests = self._c_requests.value
+        base_out = {o: child.value for o, child in self._out.items()}
+        base_shed = {op: child.value for op, child in self._shed.items()}
+        base_failed = {op: child.value for op, child in self._failed.items()}
+        base_samples = {op: child.count for op, child in self._lat.items()}
         barrier = threading.Barrier(workers + 1)
         started_at: List[float] = [0.0]
         track_state = {"last": None}
@@ -288,7 +326,6 @@ class LoadGenerator:
                 pass  # tracking is best-effort
 
         def drive(worker_id: int) -> None:
-            tally = tallies[worker_id]
             barrier.wait()
             start = started_at[0]
             for global_index, request in partitions[worker_id]:
@@ -298,7 +335,7 @@ class LoadGenerator:
                     if delay > 0:
                         time.sleep(delay)
                 maybe_tick(request.window_start_s)
-                self._serve(request, tally)
+                self._serve(request)
 
         threads = [
             threading.Thread(target=drive, args=(w,), name=f"xar-loadgen-{w}")
@@ -312,22 +349,25 @@ class LoadGenerator:
             thread.join()
         duration = time.perf_counter() - started_at[0]
 
-        shed: Dict[str, int] = {}
-        failed: Dict[str, int] = {}
-        latencies: Dict[str, List[float]] = {"search": [], "create": [], "book": []}
-        n_requests = n_matched = n_booked = n_created = 0
-        for tally in tallies:
-            n_requests += tally.n_requests
-            n_matched += tally.n_matched
-            n_booked += tally.n_booked
-            n_created += tally.n_created
-            latencies["search"].extend(tally.search_s)
-            latencies["create"].extend(tally.create_s)
-            latencies["book"].extend(tally.book_s)
-            for op, count in tally.n_shed.items():
-                shed[op] = shed.get(op, 0) + count
-            for op, count in tally.n_failed.items():
-                failed[op] = failed.get(op, 0) + count
+        # Everything below is a registry delta against the run's baselines.
+        shed = {
+            op: int(child.value - base_shed[op])
+            for op, child in self._shed.items()
+            if child.value > base_shed[op]
+        }
+        failed = {
+            op: int(child.value - base_failed[op])
+            for op, child in self._failed.items()
+            if child.value > base_failed[op]
+        }
+        latencies = {
+            op: child.samples[base_samples[op]:]
+            for op, child in self._lat.items()
+        }
+        n_requests = int(self._c_requests.value - base_requests)
+        n_matched = int(self._out["matched"].value - base_out["matched"])
+        n_booked = int(self._out["booked"].value - base_out["booked"])
+        n_created = int(self._out["created"].value - base_out["created"])
 
         report = LoadReport(
             target_name=getattr(self.target, "name", "engine"),

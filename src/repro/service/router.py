@@ -41,6 +41,7 @@ from ..core.search import MatchOption
 from ..discretization import DiscretizedRegion
 from ..exceptions import ShardOverloadError, UnknownRideError, XARError
 from ..geo import GeoPoint
+from ..obs import FANOUT_BUCKETS, MetricsRegistry
 from ..resilience import InvariantAuditor, ResilienceConfig, ResilientEngine
 from ..sim.adapters import XARAdapter
 from .merge import merge_matches
@@ -75,6 +76,7 @@ class ShardRouter:
         optimize_insertion: bool = False,
         seed: int = 0,
         engine_factory: Optional[Callable[[int, int], XAREngine]] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if fanout not in ("local", "all"):
             raise ValueError(f"fanout must be 'local' or 'all', got {fanout!r}")
@@ -93,12 +95,48 @@ class ShardRouter:
         self.seed = seed
         self.name = f"Sharded(XAR x{self.n_shards})"
         self._closed = False
-        #: Fan-out searches that lost at least one shard to shedding but
-        #: were still served from the rest (degraded recall, not failure).
-        self.partial_searches = 0
-        #: Per-shard search calls that raised an XARError and contributed an
-        #: empty batch instead of failing the whole fan-out.
-        self.search_failures = 0
+        #: The service's metric registry: every shard engine, worker and
+        #: router-level counter reports here (pass a shared registry to
+        #: co-locate load-generator series in the same exposition).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Registry counters replacing the racy unlocked ints the router
+        #: used to keep — see the ``partial_searches`` / ``search_failures``
+        #: read-through properties.
+        self._c_partial = self.metrics.counter(
+            "xar_router_partial_searches_total",
+            "Fan-out searches that lost >= 1 shard to shedding but were "
+            "still served from the rest (degraded recall, not failure)",
+        )
+        self._c_search_failures = self.metrics.counter(
+            "xar_router_search_failures_total",
+            "Per-shard search calls that raised and contributed an empty "
+            "batch instead of failing the whole fan-out",
+        )
+        self._c_shed_searches = self.metrics.counter(
+            "xar_router_shed_searches_total",
+            "Searches refused outright: every consulted shard shed",
+        )
+        self._c_ticks = self.metrics.counter(
+            "xar_router_track_ticks_total",
+            "Tracking ticks by outcome: applied (>= 1 shard swept), "
+            "coalesced (not later than the committed watermark), dropped "
+            "(every shard shed; the watermark did NOT advance, so a retry "
+            "at the same timestamp will sweep)",
+            labels=("outcome",),
+        )
+        self._h_fanout = self.metrics.histogram(
+            "xar_router_fanout_width",
+            "Shards consulted per fan-out search",
+            buckets=FANOUT_BUCKETS,
+        )
+        # Pre-create every child so the exposition always carries the full
+        # router series set, zeros included (scrape-friendly and lets CI
+        # assert on names without first forcing traffic through each path).
+        for family in (self._c_partial, self._c_search_failures,
+                       self._c_shed_searches, self._h_fanout):
+            family.labels()
+        for outcome in ("applied", "coalesced", "dropped"):
+            self._c_ticks.labels(outcome=outcome)
         self._last_track_s: Optional[float] = None
         self._track_lock = threading.Lock()
 
@@ -112,19 +150,45 @@ class ShardRouter:
                     optimize_insertion=optimize_insertion,
                     ride_id_start=shard_id + 1,
                     ride_id_step=self.n_shards,
+                    metrics=self.metrics,
+                    metrics_labels={"shard": str(shard_id)},
                 )
             adapter: Any = XARAdapter(engine)
             if resilient:
                 adapter = ResilientEngine(
-                    adapter, ResilienceConfig(seed=derive_seed(seed, shard_id))
+                    adapter,
+                    ResilienceConfig(seed=derive_seed(seed, shard_id)),
+                    metrics=self.metrics,
+                    metrics_labels={"shard": str(shard_id)},
                 )
             worker = ShardWorker(
                 shard_id,
                 adapter,
                 queue_depth=queue_depth,
                 seed=derive_seed(seed, shard_id),
+                metrics=self.metrics,
             )
             self.shards.append(_Shard(shard_id, engine, adapter, worker))
+
+    # ------------------------------------------------------------------
+    # Legacy counter surface (now registry-backed, hence race-free)
+    # ------------------------------------------------------------------
+    @property
+    def partial_searches(self) -> int:
+        """Fan-out searches that lost at least one shard to shedding but
+        were still served from the rest (degraded recall, not failure)."""
+        return int(self._c_partial.value)
+
+    @property
+    def search_failures(self) -> int:
+        """Per-shard search calls that raised an XARError and contributed
+        an empty batch instead of failing the whole fan-out."""
+        return int(self._c_search_failures.value)
+
+    @property
+    def dropped_ticks(self) -> int:
+        """Tracking ticks every shard shed (watermark rolled back)."""
+        return int(self._c_ticks.labels(outcome="dropped").value)
 
     # ------------------------------------------------------------------
     # Routing
@@ -160,7 +224,9 @@ class ShardRouter:
         shed = 0
         batches: List[List[MatchOption]] = []
         errors: List[XARError] = []
-        for shard_id in self.shards_for_request(request):
+        shard_ids = self.shards_for_request(request)
+        self._h_fanout.observe(len(shard_ids))
+        for shard_id in shard_ids:
             shard = self.shards[shard_id]
             try:
                 batches.append(
@@ -171,13 +237,14 @@ class ShardRouter:
             except ShardOverloadError:
                 shed += 1
             except XARError as exc:
-                self.search_failures += 1
+                self._c_search_failures.inc()
                 errors.append(exc)
         if shed and (batches or errors):
-            self.partial_searches += 1
+            self._c_partial.inc()
         if not batches:
             if shed or not errors:
                 # Every consulted shard refused: the search itself is shed.
+                self._c_shed_searches.inc()
                 raise ShardOverloadError(-1, "search")
             raise errors[0]
         return merge_matches(batches, k)
@@ -192,25 +259,42 @@ class ShardRouter:
         """Broadcast a tracking tick; each shard sweeps only its rides.
 
         Ticks are batched: a tick at a simulated time no later than the last
-        one already applied is skipped entirely (the obsolescence sweep is
-        monotone in time), so redundant ticks from concurrent drivers cost
-        nothing.  A shard whose queue is full drops its tick — tracking is
-        best-effort by design and the next tick covers the gap.
+        one already *accepted somewhere* is skipped entirely (the
+        obsolescence sweep is monotone in time), so redundant ticks from
+        concurrent drivers cost nothing.  A shard whose queue is full drops
+        its tick — tracking is best-effort per shard.
+
+        The watermark commits **only after at least one shard accepts the
+        tick**.  Committing it up front (the old behaviour) permanently lost
+        any tick every shard shed: a retry at the same simulated time
+        compared equal to the watermark and was coalesced away, so the sweep
+        never ran even once the queues drained.  Outcomes are counted in
+        ``xar_router_track_ticks_total{outcome=applied|coalesced|dropped}``.
         """
+        futures = []
         with self._track_lock:
             if self._last_track_s is not None and now_s <= self._last_track_s:
+                self._c_ticks.labels(outcome="coalesced").inc()
                 return 0
-            self._last_track_s = now_s
-        futures = []
-        for shard in self.shards:
-            try:
-                futures.append(
-                    shard.worker.submit(
-                        "track", lambda a=shard.adapter: a.track_all(now_s)
+            for shard in self.shards:
+                try:
+                    futures.append(
+                        shard.worker.submit(
+                            "track", lambda a=shard.adapter: a.track_all(now_s)
+                        )
                     )
-                )
-            except ShardOverloadError:
-                continue
+                except ShardOverloadError:
+                    continue
+            if futures:
+                # >= 1 shard holds the tick: the sweep up to now_s will
+                # happen, so the watermark may advance.
+                self._last_track_s = now_s
+                self._c_ticks.labels(outcome="applied").inc()
+            else:
+                # Every shard shed.  Leave the watermark where it was so a
+                # retry at the same timestamp is NOT coalesced away.
+                self._c_ticks.labels(outcome="dropped").inc()
+                return 0
         return sum(future.result() for future in futures)
 
     def cancel(self, ride: Any) -> None:
@@ -253,9 +337,20 @@ class ShardRouter:
         return records
 
     def find_ride(self, ride_id: int) -> Any:
-        """Resolve a ride (live or completed) on its home shard."""
+        """Resolve a ride (live or completed) on its home shard.
+
+        The lookup takes the engine's lock: without it a concurrent cancel
+        or completion sweep on the shard's worker thread could be observed
+        mid-removal (popped from ``rides`` but not yet in
+        ``completed_rides``), spuriously raising ``UnknownRideError`` for a
+        ride that exists.
+        """
         engine = self.shards[self.shard_of_ride(ride_id)].engine
-        ride = engine.rides.get(ride_id) or engine.completed_rides.get(ride_id)
+        with engine.lock:
+            ride = (
+                engine.rides.get(ride_id)
+                or engine.completed_rides.get(ride_id)
+            )
         if ride is None:
             raise UnknownRideError(ride_id)
         return ride
@@ -288,19 +383,28 @@ class ShardRouter:
         }
 
     def stats(self) -> Dict[str, Any]:
-        """Service-level counters: queue/shed stats, rides, bookings."""
+        """Service-level counters: queue/shed stats, rides, bookings.
+
+        All reads are race-free: worker counters are copied under the
+        worker's stats lock (``stats_snapshot``) and engine state is read
+        under the engine's lock, so a concurrent booking can never be seen
+        mid-increment.
+        """
         shard_stats = []
         total_shed = 0
         for shard in self.shards:
-            stats = shard.worker.stats
-            total_shed += stats.total_shed
+            snapshot = shard.worker.stats_snapshot()
+            total_shed += sum(snapshot["shed"].values())
+            with shard.engine.lock:
+                rides = shard.engine.n_active_rides
+                bookings = shard.engine.n_bookings
             shard_stats.append(
                 {
                     "shard_id": shard.shard_id,
                     "clusters": len(self.shard_map.clusters_of_shard(shard.shard_id)),
-                    "rides": shard.engine.n_active_rides,
-                    "bookings": shard.engine.n_bookings,
-                    **stats.as_dict(),
+                    "rides": rides,
+                    "bookings": bookings,
+                    **snapshot,
                 }
             )
         return {
@@ -311,6 +415,7 @@ class ShardRouter:
             "total_shed": total_shed,
             "partial_searches": self.partial_searches,
             "search_failures": self.search_failures,
+            "dropped_ticks": self.dropped_ticks,
             "shards": shard_stats,
         }
 

@@ -16,6 +16,13 @@ cluster search — so pushing every fan-out read through the mailbox would
 drown the win of searching 1/N of the supply.  Inline reads are still
 admission-controlled: a semaphore with the same ``queue_depth`` bound
 refuses (sheds) reads beyond the shard's concurrency budget.
+
+Observability: given a :class:`~repro.obs.MetricsRegistry` the worker
+reports queue depth (gauge), queue **wait** time vs **service** time
+(histograms — the classic "is latency the queue or the work?" split) and
+completed/shed/errored jobs per operation (counters), all labelled with
+the shard id.  The legacy :class:`ShardStats` counters remain and are
+always maintained; read them race-free via :meth:`ShardWorker.stats_snapshot`.
 """
 
 from __future__ import annotations
@@ -23,11 +30,13 @@ from __future__ import annotations
 import queue
 import random
 import threading
+import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 from ..exceptions import ServiceClosedError, ShardOverloadError
+from ..obs import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
 
 
 @dataclass
@@ -57,12 +66,14 @@ class ShardStats:
 
 
 class _Job:
-    __slots__ = ("operation", "fn", "future")
+    __slots__ = ("operation", "fn", "future", "enqueued_at")
 
-    def __init__(self, operation: str, fn: Callable[[], Any], future: Future):
+    def __init__(self, operation: str, fn: Callable[[], Any], future: Future,
+                 enqueued_at: float):
         self.operation = operation
         self.fn = fn
         self.future = future
+        self.enqueued_at = enqueued_at
 
 
 _STOP = object()
@@ -77,6 +88,7 @@ class ShardWorker:
         adapter: Any,
         queue_depth: int = 128,
         seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth!r}")
@@ -93,10 +105,56 @@ class ShardWorker:
         self._read_gate = threading.Semaphore(queue_depth)
         self._stats_lock = threading.Lock()
         self._closed = False
+        #: Registry instruments (None when the worker is uninstrumented).
+        self._m_ops = self._m_depth = self._m_wait = self._m_service = None
+        if metrics is not None:
+            shard_label = str(shard_id)
+            self._m_ops = metrics.counter(
+                "xar_shard_ops_total",
+                "Shard jobs by operation and outcome (completed/shed/error)",
+                labels=("shard", "op", "outcome"),
+            )
+            self._m_depth = metrics.gauge(
+                "xar_shard_queue_depth",
+                "Jobs currently waiting in the shard's bounded queue",
+                labels=("shard",),
+            ).labels(shard=shard_label)
+            self._m_wait = metrics.histogram(
+                "xar_shard_queue_wait_seconds",
+                "Time a job waited in the shard queue before running",
+                labels=("shard",),
+                buckets=DEFAULT_LATENCY_BUCKETS_S,
+            ).labels(shard=shard_label)
+            self._m_service = metrics.histogram(
+                "xar_shard_service_seconds",
+                "Time a job spent executing on the shard (queue wait excluded)",
+                labels=("shard", "op"),
+                buckets=DEFAULT_LATENCY_BUCKETS_S,
+            )
+        self._shard_label = str(shard_id)
         self._thread = threading.Thread(
             target=self._run, name=f"xar-shard-{shard_id}", daemon=True
         )
         self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Stats plumbing (legacy counters + registry, one call site each)
+    # ------------------------------------------------------------------
+    def _count(self, bucket: Dict[str, int], operation: str,
+               outcome: str) -> None:
+        with self._stats_lock:
+            bucket[operation] = bucket.get(operation, 0) + 1
+        if self._m_ops is not None:
+            self._m_ops.labels(
+                shard=self._shard_label, op=operation, outcome=outcome
+            ).inc()
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Race-free copy of the legacy counters (dicts copied under the
+        stats lock, so a concurrent increment can never be observed
+        mid-resize)."""
+        with self._stats_lock:
+            return self.stats.as_dict()
 
     # ------------------------------------------------------------------
     # Submission (any thread)
@@ -106,16 +164,17 @@ class ShardWorker:
         if self._closed:
             raise ServiceClosedError(f"shard {self.shard_id} is shut down")
         future: "Future[Any]" = Future()
-        job = _Job(operation, fn, future)
+        job = _Job(operation, fn, future, time.perf_counter())
         try:
             self._queue.put_nowait(job)
         except queue.Full:
-            with self._stats_lock:
-                self.stats.shed[operation] = self.stats.shed.get(operation, 0) + 1
+            self._count(self.stats.shed, operation, "shed")
             raise ShardOverloadError(self.shard_id, operation) from None
         depth = self._queue.qsize()
         if depth > self.stats.queue_peak:
             self.stats.queue_peak = depth
+        if self._m_depth is not None:
+            self._m_depth.set(depth)
         return future
 
     def call(self, operation: str, fn: Callable[[], Any]) -> Any:
@@ -133,22 +192,20 @@ class ShardWorker:
         if self._closed:
             raise ServiceClosedError(f"shard {self.shard_id} is shut down")
         if not self._read_gate.acquire(blocking=False):
-            with self._stats_lock:
-                self.stats.shed[operation] = self.stats.shed.get(operation, 0) + 1
+            self._count(self.stats.shed, operation, "shed")
             raise ShardOverloadError(self.shard_id, operation)
+        started = time.perf_counter()
         try:
             result = fn()
         except BaseException:
-            with self._stats_lock:
-                self.stats.errors[operation] = (
-                    self.stats.errors.get(operation, 0) + 1
-                )
+            self._count(self.stats.errors, operation, "error")
             raise
         else:
-            with self._stats_lock:
-                self.stats.completed[operation] = (
-                    self.stats.completed.get(operation, 0) + 1
-                )
+            self._count(self.stats.completed, operation, "completed")
+            if self._m_service is not None:
+                self._m_service.labels(
+                    shard=self._shard_label, op=operation
+                ).observe(time.perf_counter() - started)
             return result
         finally:
             self._read_gate.release()
@@ -161,21 +218,24 @@ class ShardWorker:
             job = self._queue.get()
             if job is _STOP:
                 break
+            if self._m_depth is not None:
+                self._m_depth.set(self._queue.qsize())
             if not job.future.set_running_or_notify_cancel():
                 continue
+            started = time.perf_counter()
+            if self._m_wait is not None:
+                self._m_wait.observe(started - job.enqueued_at)
             try:
                 result = job.fn()
             except BaseException as exc:  # noqa: BLE001 - relayed to caller
-                with self._stats_lock:
-                    self.stats.errors[job.operation] = (
-                        self.stats.errors.get(job.operation, 0) + 1
-                    )
+                self._count(self.stats.errors, job.operation, "error")
                 job.future.set_exception(exc)
             else:
-                with self._stats_lock:
-                    self.stats.completed[job.operation] = (
-                        self.stats.completed.get(job.operation, 0) + 1
-                    )
+                self._count(self.stats.completed, job.operation, "completed")
+                if self._m_service is not None:
+                    self._m_service.labels(
+                        shard=self._shard_label, op=job.operation
+                    ).observe(time.perf_counter() - started)
                 job.future.set_result(result)
 
     # ------------------------------------------------------------------

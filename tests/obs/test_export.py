@@ -1,0 +1,100 @@
+"""Exporters: Prometheus text exposition, JSON dumps, strict parsing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    parse_prometheus_text,
+    to_json,
+    to_prometheus_text,
+)
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    ops = registry.counter("xar_ops_total", "Ops by op", labels=("op",))
+    ops.labels(op="search").inc(3)
+    ops.labels(op="book").inc()
+    registry.gauge("xar_depth", "Queue depth").set(7)
+    hist = registry.histogram("xar_lat_seconds", "Latency", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+def test_prometheus_text_shape():
+    text = to_prometheus_text(_populated_registry())
+    assert "# HELP xar_ops_total Ops by op\n" in text
+    assert "# TYPE xar_ops_total counter\n" in text
+    assert '\nxar_ops_total{op="search"} 3\n' in text
+    assert "# TYPE xar_lat_seconds histogram\n" in text
+    assert '\nxar_lat_seconds_bucket{le="0.1"} 1\n' in text
+    assert '\nxar_lat_seconds_bucket{le="1"} 2\n' in text
+    assert '\nxar_lat_seconds_bucket{le="+Inf"} 3\n' in text
+    assert "\nxar_lat_seconds_count 3\n" in text
+    assert "\nxar_depth 7\n" in text
+
+
+def test_exposition_round_trips_through_the_parser():
+    registry = _populated_registry()
+    samples = parse_prometheus_text(to_prometheus_text(registry))
+    assert samples["xar_ops_total"] == [
+        ({"op": "book"}, 1.0),
+        ({"op": "search"}, 3.0),
+    ]
+    buckets = dict(
+        (labels["le"], value)
+        for labels, value in samples["xar_lat_seconds_bucket"]
+    )
+    assert buckets == {"0.1": 1.0, "1": 2.0, "+Inf": 3.0}
+    assert samples["xar_lat_seconds_count"] == [({}, 3.0)]
+    assert samples["xar_depth"] == [({}, 7.0)]
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    registry.counter("c_total", "help", labels=("path",)).labels(
+        path='a"b\\c\nd'
+    ).inc()
+    text = to_prometheus_text(registry)
+    samples = parse_prometheus_text(text)
+    (labels, value), = samples["c_total"]
+    assert labels == {"path": 'a"b\\c\nd'}
+    assert value == 1.0
+
+
+def test_parser_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_prometheus_text("not a sample line at all\n")
+    with pytest.raises(ValueError):
+        parse_prometheus_text("name{unclosed 1\n")
+
+
+def test_json_dump_includes_spans():
+    registry = MetricsRegistry()
+    tracer = Tracer(registry)
+    span = tracer.span("search")
+    with span.stage("snap"):
+        pass
+    span.finish()
+    payload = json.loads(to_json(registry, tracers=[tracer]))
+    assert "xar_op_duration_seconds" in payload["metrics"]
+    (recorded,) = payload["recent_spans"]
+    assert recorded["op"] == "search"
+    assert recorded["stages"][0]["stage"] == "snap"
+
+
+def test_null_tracer_costs_nothing_and_emits_nothing():
+    tracer = Tracer(None)
+    span = tracer.span("search")
+    with span.stage("snap"):
+        pass
+    span.finish()
+    assert tracer.recent_spans() == []
+    assert not tracer.enabled

@@ -1,0 +1,136 @@
+"""MetricsRegistry primitives: counters, gauges, histogram bucketing."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+
+
+def test_counter_inc_and_monotonicity():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways_and_ratchets():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g", "help")
+    gauge.set(5)
+    gauge.dec(2)
+    gauge.inc(1)
+    assert gauge.value == 4
+    solo = gauge.labels()
+    solo.set_max(10)
+    solo.set_max(3)  # lower value never wins
+    assert gauge.value == 10
+
+
+def test_histogram_bucketing_is_upper_edge_inclusive():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", "help", buckets=(1.0, 2.0, 4.0)).labels()
+    for value in (0.5, 1.0, 1.5, 2.0, 3.0, 100.0):
+        hist.observe(value)
+    # Non-cumulative per-bucket counts: (<=1, <=2, <=4, +Inf).
+    assert hist.bucket_counts == [2, 2, 1, 1]
+    assert hist.cumulative_buckets() == [
+        (1.0, 2), (2.0, 4), (4.0, 5), (float("inf"), 6),
+    ]
+    assert hist.count == 6
+    assert hist.sum == pytest.approx(108.0)
+    assert hist.min == 0.5
+    assert hist.max == 100.0
+
+
+def test_histogram_quantiles_exact_with_samples():
+    registry = MetricsRegistry()
+    hist = registry.histogram(
+        "h", "help", buckets=(10.0, 20.0), keep_samples=True
+    ).labels()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        hist.observe(value)
+    assert hist.quantile(0.0) == 1.0
+    assert hist.quantile(1.0) == 4.0
+    assert hist.quantile(0.5) == pytest.approx(2.5)
+    assert hist.samples == [1.0, 2.0, 3.0, 4.0]
+    assert hist.mean() == pytest.approx(2.5)
+
+
+def test_histogram_quantile_interpolates_without_samples():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h", "help", buckets=(1.0, 2.0)).labels()
+    for _ in range(4):
+        hist.observe(1.5)  # all in the (1, 2] bucket
+    q = hist.quantile(0.5)
+    assert 1.0 <= q <= 2.0
+
+
+def test_histogram_rejects_unsorted_bounds():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("bad", "help", buckets=(2.0, 1.0)).labels()
+
+
+def test_family_get_or_create_is_idempotent_but_conflicts_raise():
+    registry = MetricsRegistry()
+    a = registry.counter("ops_total", "help", labels=("op",))
+    b = registry.counter("ops_total", "other help", labels=("op",))
+    assert a is b
+    with pytest.raises(ValueError):
+        registry.counter("ops_total", "help", labels=("shard",))
+    with pytest.raises(ValueError):
+        registry.gauge("ops_total", "help", labels=("op",))
+    registry.histogram("lat", "help", buckets=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        registry.histogram("lat", "help", buckets=(1.0, 3.0))
+
+
+def test_labelled_children_are_distinct_and_validated():
+    registry = MetricsRegistry()
+    family = registry.counter("ops_total", "help", labels=("op",))
+    family.labels(op="search").inc()
+    family.labels(op="book").inc(2)
+    assert family.labels(op="search").value == 1
+    assert family.labels(op="book").value == 2
+    with pytest.raises(ValueError):
+        family.labels(shard="0")
+
+
+def test_concurrent_increments_never_lose_updates():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help")
+    hist = registry.histogram("h", "help", buckets=DEFAULT_LATENCY_BUCKETS_S)
+    n_threads, per_thread = 8, 500
+
+    def hammer():
+        for _ in range(per_thread):
+            counter.inc()
+            hist.observe(0.001)
+
+    threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert counter.value == n_threads * per_thread
+    assert hist.labels().count == n_threads * per_thread
+
+
+def test_snapshot_is_json_shaped_and_sorted():
+    registry = MetricsRegistry()
+    registry.counter("b_total", "B").inc()
+    registry.histogram("a_seconds", "A", buckets=(1.0,)).observe(0.5)
+    snap = registry.snapshot()
+    assert list(snap) == ["a_seconds", "b_total"]
+    hist = snap["a_seconds"]["series"][0]
+    assert hist["count"] == 1
+    assert hist["buckets"][-1]["le"] == float("inf")
