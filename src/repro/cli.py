@@ -10,7 +10,9 @@ Commands mirror a deployment's lifecycle:
 * ``metrics``       replay a workload on an instrumented engine and dump
   its metrics (Prometheus text or JSON),
 * ``compare``       head-to-head XAR vs T-Share on one stream,
-* ``modes``         the four-transport-mode comparison (Fig. 6).
+* ``modes``         the four-transport-mode comparison (Fig. 6),
+* ``fuzz``          differential-fuzz a seeded op sequence across engine
+  façades against the brute-force oracle (non-zero exit on divergence).
 """
 
 from __future__ import annotations
@@ -260,6 +262,74 @@ def _modes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fuzz(args: argparse.Namespace) -> int:
+    """Differential fuzzing: one seeded op sequence, N façades, oracle diff."""
+    from .verify import (
+        DifferentialHarness,
+        FuzzConfig,
+        generate_ops,
+        save_repro,
+        shrink_ops,
+    )
+
+    if args.region:
+        region = load_region(args.region)
+        region_spec = {"region_path": args.region}
+    else:
+        network = manhattan_city(n_avenues=args.avenues, n_streets=args.streets)
+        config = XARConfig.validated(delta_m=args.delta)
+        region = build_region(network, config, poi_seed=args.poi_seed)
+        region_spec = {
+            "avenues": args.avenues,
+            "streets": args.streets,
+            "delta": args.delta,
+            "poi_seed": args.poi_seed,
+        }
+
+    engines = [name.strip() for name in args.engines.split(",") if name.strip()]
+    fuzz_config = FuzzConfig(seed=args.seed, n_ops=args.ops)
+    ops = generate_ops(region, fuzz_config)
+    registry = MetricsRegistry()
+
+    def run(sequence):
+        harness = DifferentialHarness(
+            region,
+            engines=engines,
+            seed=args.seed,
+            audit_every=args.audit_every,
+            metrics=registry,
+        )
+        return harness.run(sequence)
+
+    report = run(ops)
+    print(report.describe())
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus_text(registry))
+        print(f"wrote metrics (Prometheus text) -> {args.metrics_out}")
+    if report.ok:
+        return 0
+
+    repro = list(ops)
+    if args.shrink:
+        print("shrinking the failing sequence (delta debugging) ...",
+              file=sys.stderr)
+        repro = shrink_ops(ops, lambda candidate: not run(candidate).ok)
+        print(f"shrunk {len(ops)} ops -> {len(repro)} ops", file=sys.stderr)
+    if args.corpus_out:
+        path = save_repro(
+            args.corpus_out,
+            f"fuzz_seed{args.seed}",
+            seed=args.seed,
+            engines=engines,
+            ops=repro,
+            region_spec=region_spec,
+            note=report.divergences[0].describe(),
+        )
+        print(f"wrote repro -> {path}", file=sys.stderr)
+    return 1
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--requests", type=int, default=500)
     parser.add_argument("--start-hour", type=float, default=6.0, dest="start_hour")
@@ -387,6 +457,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("region")
     _add_workload_args(p)
     p.set_defaults(func=_modes)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential-fuzz engine façades against the brute-force oracle",
+    )
+    p.add_argument("--region", help="saved region (defaults to a synthetic "
+                                    "Manhattan grid built in-process)")
+    p.add_argument("--seed", type=int, default=0, help="op-sequence seed")
+    p.add_argument("--ops", type=int, default=200,
+                   help="number of operations to generate")
+    p.add_argument("--engines", default="xar,shard2",
+                   help="comma-separated façades to diff against the oracle "
+                        "(xar, shard1, shard2, shard4, resilient)")
+    p.add_argument("--shrink", action="store_true",
+                   help="delta-debug a failing sequence to a minimal repro")
+    p.add_argument("--corpus-out",
+                   help="directory to write the (shrunken) failing repro JSON")
+    p.add_argument("--audit-every", type=int, default=50,
+                   help="run the invariant auditor every N ops")
+    p.add_argument("--metrics-out",
+                   help="write fuzz counters (Prometheus text) to this path")
+    p.add_argument("--avenues", type=int, default=6,
+                   help="synthetic grid avenues (when --region is omitted)")
+    p.add_argument("--streets", type=int, default=12,
+                   help="synthetic grid streets (when --region is omitted)")
+    p.add_argument("--delta", type=float, default=400.0,
+                   help="cell size for the synthetic region")
+    p.add_argument("--poi-seed", type=int, default=0,
+                   help="POI seed for the synthetic region")
+    p.set_defaults(func=_fuzz)
 
     return parser
 

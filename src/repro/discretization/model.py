@@ -228,7 +228,11 @@ class DiscretizedRegion:
                         continue
                     cluster_id = self._landmark_cluster[landmark_id]
                     current = best.get(cluster_id)
-                    if current is None or walk < current[0]:
+                    # Tie-break equal walk distances by landmark id so the
+                    # chosen representative is independent of bucket
+                    # iteration order — any exhaustive rescan (the
+                    # verification oracle) lands on the same landmark.
+                    if current is None or (walk, landmark_id) < current:
                         best[cluster_id] = (walk, landmark_id)
         options = [
             WalkOption(cluster_id=cid, walk_m=walk, landmark_id=lid)

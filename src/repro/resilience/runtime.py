@@ -334,10 +334,20 @@ class ResilientEngine:
     # ------------------------------------------------------------------
     # EngineAdapter protocol
     # ------------------------------------------------------------------
-    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float) -> Any:
+    def create(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+        seats: Optional[int] = None,
+        detour_limit_m: Optional[float] = None,
+    ) -> Any:
         result = self._call(
             "create",
-            lambda: self.inner.create(source, destination, depart_s),
+            lambda: self.inner.create(
+                source, destination, depart_s,
+                seats=seats, detour_limit_m=detour_limit_m,
+            ),
             self.config.create_deadline_s,
             self.breakers["route"],
             enforce_deadline=False,

@@ -34,7 +34,7 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.request import RideRequest
 from ..exceptions import ShardOverloadError, XARError
@@ -69,6 +69,12 @@ class LoadGenConfig:
     max_book_attempts: int = 3
     #: Root seed (drivers and shards derive theirs from it).
     seed: int = 42
+    #: Time source for pacing and run duration.  Injectable so tests can
+    #: verify the QPS schedule against a fake clock instead of asserting on
+    #: wall-clock sleeps (which flake under CI scheduling jitter).
+    clock: Callable[[], float] = time.perf_counter
+    #: Sleep used by the pacing loop (same injection rationale).
+    sleep: Callable[[float], None] = time.sleep
 
 
 @dataclass
@@ -331,9 +337,9 @@ class LoadGenerator:
             for global_index, request in partitions[worker_id]:
                 if config.target_qps:
                     due = start + global_index / config.target_qps
-                    delay = due - time.perf_counter()
+                    delay = due - config.clock()
                     if delay > 0:
-                        time.sleep(delay)
+                        config.sleep(delay)
                 maybe_tick(request.window_start_s)
                 self._serve(request)
 
@@ -343,11 +349,11 @@ class LoadGenerator:
         ]
         for thread in threads:
             thread.start()
-        started_at[0] = time.perf_counter()
+        started_at[0] = config.clock()
         barrier.wait()
         for thread in threads:
             thread.join()
-        duration = time.perf_counter() - started_at[0]
+        duration = config.clock() - started_at[0]
 
         # Everything below is a registry delta against the run's baselines.
         shed = {

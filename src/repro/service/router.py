@@ -205,10 +205,21 @@ class ShardRouter:
     # ------------------------------------------------------------------
     # EngineAdapter protocol
     # ------------------------------------------------------------------
-    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float) -> Any:
+    def create(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+        seats: Optional[int] = None,
+        detour_limit_m: Optional[float] = None,
+    ) -> Any:
         shard = self.shards[self.shard_map.shard_of_point(source)]
         return shard.worker.call(
-            "create", lambda: shard.adapter.create(source, destination, depart_s)
+            "create",
+            lambda: shard.adapter.create(
+                source, destination, depart_s,
+                seats=seats, detour_limit_m=detour_limit_m,
+            ),
         )
 
     def search(self, request: RideRequest, k: Optional[int] = None) -> List[MatchOption]:

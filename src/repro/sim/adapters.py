@@ -41,8 +41,20 @@ class EngineAdapter(Protocol):
 
     name: str
 
-    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float) -> Any:
-        """Offer a new ride/taxi starting at ``depart_s``."""
+    def create(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+        seats: Optional[int] = None,
+        detour_limit_m: Optional[float] = None,
+    ) -> Any:
+        """Offer a new ride/taxi starting at ``depart_s``.
+
+        ``seats`` and ``detour_limit_m`` default to the engine's configured
+        values when None; engines without a per-ride detour budget (T-Share)
+        accept and ignore ``detour_limit_m``.
+        """
         ...
 
     def search(self, request: RideRequest, k: Optional[int] = None) -> List[Any]:
@@ -83,8 +95,21 @@ class XARAdapter:
     def __init__(self, engine: XAREngine):
         self.engine = engine
 
-    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float):
-        return self.engine.create_ride(source, destination, departure_s=depart_s)
+    def create(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+        seats: Optional[int] = None,
+        detour_limit_m: Optional[float] = None,
+    ):
+        return self.engine.create_ride(
+            source,
+            destination,
+            departure_s=depart_s,
+            seats=seats,
+            detour_limit_m=detour_limit_m,
+        )
 
     def search(self, request: RideRequest, k: Optional[int] = None):
         return self.engine.search(request, k)
@@ -117,8 +142,19 @@ class TShareAdapter:
     def __init__(self, engine: TShareEngine):
         self.engine = engine
 
-    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float):
-        return self.engine.create_taxi(source, destination, departure_s=depart_s)
+    def create(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+        seats: Optional[int] = None,
+        detour_limit_m: Optional[float] = None,
+    ):
+        # T-Share has a global detour policy, not a per-taxi budget; the
+        # per-ride limit is accepted for protocol parity and ignored.
+        return self.engine.create_taxi(
+            source, destination, departure_s=depart_s, seats=seats
+        )
 
     def search(self, request: RideRequest, k: Optional[int] = None):
         return self.engine.search(request, k)

@@ -273,10 +273,20 @@ class FaultInjectingAdapter:
     # ------------------------------------------------------------------
     # EngineAdapter protocol
     # ------------------------------------------------------------------
-    def create(self, source: GeoPoint, destination: GeoPoint, depart_s: float) -> Any:
+    def create(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+        seats: Optional[int] = None,
+        detour_limit_m: Optional[float] = None,
+    ) -> Any:
         for policy, ctx in zip(self.policies, self._contexts):
             policy.before_create(ctx)
-        return self.inner.create(source, destination, depart_s)
+        return self.inner.create(
+            source, destination, depart_s,
+            seats=seats, detour_limit_m=detour_limit_m,
+        )
 
     def search(self, request: RideRequest, k: Optional[int] = None) -> List[Any]:
         for policy, ctx in zip(self.policies, self._contexts):

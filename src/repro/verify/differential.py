@@ -1,0 +1,639 @@
+"""Differential replay: one op sequence, N engine façades, op-by-op diff.
+
+The harness drives the same seeded operation sequence through every façade
+(:class:`~repro.core.engine.XAREngine`, :class:`~repro.service.ShardRouter`
+at 1/2/4 shards, :class:`~repro.resilience.ResilientEngine`, and the
+brute-force :class:`~repro.verify.oracle.OracleEngine`) and checks after
+every operation that:
+
+* **create** — the new ride's schedule fingerprint (route, length,
+  departure, seats, detour budget, via-point labels) matches the oracle's
+  verbatim;
+* **search** — each façade's raw result list obeys the engine's total rank
+  order ``(total walk, pickup ETA, ride id)``, the handle-normalized lists
+  are *identical* across façades, and every returned match's detour
+  estimate is within the ε-bound of the oracle's exhaustive optimum;
+* **book** — every façade books the same-ranked match, the resulting
+  :class:`~repro.core.booking.BookingRecord` fields and the post-booking
+  ride fingerprints (spliced schedule, seat counts, detour budget) match
+  exactly, and failures fail uniformly with the same error type;
+* **cancel / track** — outcomes agree and the live/completed ride sets and
+  their fingerprints stay equal;
+* periodically, every underlying :class:`XAREngine` passes the
+  :class:`~repro.resilience.audit.InvariantAuditor` sweep (shared with the
+  resilience subsystem), so a divergence-free run is also structurally
+  sound.
+
+Ride ids are façade-local (sharded deployments allocate ids from per-shard
+arithmetic lanes), so cross-façade identity uses *handles*: the creation
+order of rides within the op sequence.  Normalization maps each façade's
+ride ids back to handles and canonically re-sorts exact rank ties, making
+list equality well-defined even when id lanes differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core import XAREngine
+from ..core.request import RideRequest
+from ..discretization import DiscretizedRegion
+from ..exceptions import XARError
+from ..geo import GeoPoint
+from ..obs import MetricsRegistry
+from ..resilience import ResilienceConfig, ResilientEngine
+from ..resilience.audit import InvariantAuditor
+from ..service import ShardRouter
+from ..sim.adapters import XARAdapter
+from .oracle import OracleAdapter, OracleEngine
+
+#: Façade names the harness understands (``shardN`` for any N >= 1).
+FACADE_NAMES = ("oracle", "xar", "shard1", "shard2", "shard4", "resilient")
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """One observed disagreement between a façade and the reference."""
+
+    op_index: int
+    op: Dict[str, Any]
+    kind: str
+    facade: str
+    detail: str
+
+    def describe(self) -> str:
+        return (
+            f"op[{self.op_index}] {self.op.get('op', '?')}: "
+            f"[{self.kind}] {self.facade}: {self.detail}"
+        )
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one differential replay."""
+
+    engines: List[str]
+    n_ops: int = 0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    searches_checked: int = 0
+    bound_checks: int = 0
+    max_bound_gap_m: float = 0.0
+    bookings_checked: int = 0
+    audits_run: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def describe(self) -> str:
+        lines = [
+            f"differential replay: {self.n_ops} ops on {', '.join(self.engines)}",
+            f"  ops          : "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.op_counts.items())),
+            f"  searches     : {self.searches_checked} "
+            f"({self.bound_checks} ε-bound checks, "
+            f"max gap {self.max_bound_gap_m:.1f} m)",
+            f"  bookings     : {self.bookings_checked}",
+            f"  audits       : {self.audits_run}",
+        ]
+        if self.ok:
+            lines.append("  verdict      : OK — no divergence")
+        else:
+            lines.append(f"  verdict      : {len(self.divergences)} DIVERGENCE(S)")
+            for divergence in self.divergences[:10]:
+                lines.append(f"    {divergence.describe()}")
+        return "\n".join(lines)
+
+
+class Facade:
+    """One engine façade under test: adapter + handle bookkeeping."""
+
+    def __init__(
+        self,
+        name: str,
+        target: Any,
+        engines: Sequence[XAREngine] = (),
+        closer: Optional[Callable[[], None]] = None,
+    ):
+        self.name = name
+        self.target = target
+        #: Underlying XAR engines for the shared invariant audit (empty for
+        #: the oracle, which has no cluster index to damage).
+        self.xar_engines = list(engines)
+        self._closer = closer
+        #: handle (creation ordinal) -> this façade's ride object.
+        self.rides_by_handle: Dict[int, Any] = {}
+        #: this façade's ride id -> handle.
+        self.handle_of_ride: Dict[int, int] = {}
+
+    def register(self, handle: int, ride: Any) -> None:
+        self.rides_by_handle[handle] = ride
+        self.handle_of_ride[ride.ride_id] = handle
+
+    def close(self) -> None:
+        if self._closer is not None:
+            self._closer()
+
+
+def make_facade(
+    name: str, region: DiscretizedRegion, seed: int = 0
+) -> Facade:
+    """Build one façade by name: ``oracle | xar | shardN | resilient``."""
+    if name == "oracle":
+        engine = OracleEngine(region)
+        return Facade(name, OracleAdapter(engine))
+    if name == "xar":
+        engine = XAREngine(region)
+        return Facade(name, XARAdapter(engine), engines=[engine])
+    if name.startswith("shard"):
+        n_shards = int(name[len("shard"):])
+        # fanout="all" reproduces the single-engine ordering exactly; a
+        # deep queue keeps the single-threaded replay from ever shedding.
+        router = ShardRouter(
+            region,
+            n_shards,
+            fanout="all",
+            queue_depth=4096,
+            seed=seed,
+        )
+        return Facade(
+            name,
+            router,
+            engines=[shard.engine for shard in router.shards],
+            closer=router.close,
+        )
+    if name == "resilient":
+        engine = XAREngine(region)
+        config = ResilienceConfig(seed=seed, sleep=lambda _s: None)
+        return Facade(
+            name,
+            ResilientEngine(XARAdapter(engine), config),
+            engines=[engine],
+        )
+    raise ValueError(
+        f"unknown façade {name!r} (choose from {FACADE_NAMES} or shardN)"
+    )
+
+
+def _ride_fingerprint(ride: Any) -> Tuple:
+    """Everything schedule-shaped about a ride, minus its façade-local id."""
+    return (
+        tuple(ride.route),
+        ride.departure_s,
+        ride.length_m,
+        ride.seats_available,
+        ride.seats_total,
+        ride.detour_limit_m,
+        ride.status.value,
+        ride.progressed_m,
+        tuple((via.node, via.route_index, via.label) for via in ride.via_points),
+    )
+
+
+def _booking_fingerprint(record: Any) -> Tuple:
+    return (
+        record.request_id,
+        record.pickup_landmark,
+        record.dropoff_landmark,
+        record.walk_source_m,
+        record.walk_destination_m,
+        record.eta_pickup_s,
+        record.eta_dropoff_s,
+        record.detour_estimate_m,
+        record.detour_actual_m,
+        record.shortest_paths_computed,
+    )
+
+
+class DifferentialHarness:
+    """Replays an op sequence against every façade and diffs op-by-op."""
+
+    def __init__(
+        self,
+        region: DiscretizedRegion,
+        engines: Sequence[str] = ("xar", "shard2"),
+        seed: int = 0,
+        audit_every: int = 50,
+        epsilon_bound_m: Optional[float] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        facade_factory: Optional[
+            Callable[[str, DiscretizedRegion, int], Facade]
+        ] = None,
+        stop_on_divergence: bool = True,
+    ):
+        self.region = region
+        #: The oracle is always present and always the reference.
+        names = list(engines)
+        if "oracle" not in names:
+            names.insert(0, "oracle")
+        self.engine_names = names
+        self.seed = seed
+        self.audit_every = audit_every
+        #: Additive tolerance for the search-vs-optimum detour comparison;
+        #: defaults to the engine's own booking slack, 4ε (ε = 4δ).
+        self.epsilon_bound_m = (
+            epsilon_bound_m
+            if epsilon_bound_m is not None
+            else 4.0 * region.config.epsilon_m
+        )
+        self._facade_factory = facade_factory or make_facade
+        self.stop_on_divergence = stop_on_divergence
+        self._m_ops = self._m_divergences = self._m_bound = None
+        if metrics is not None:
+            self._m_ops = metrics.counter(
+                "xar_fuzz_ops_total",
+                "Differential-harness operations replayed, by op type",
+                labels=("op",),
+            )
+            self._m_divergences = metrics.counter(
+                "xar_fuzz_divergences_total",
+                "Differential divergences observed, by kind",
+                labels=("kind",),
+            )
+            self._m_bound = metrics.counter(
+                "xar_fuzz_bound_checks_total",
+                "Search results checked against the oracle's ε detour bound",
+            )
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self, ops: Sequence[Dict[str, Any]]) -> DifferentialReport:
+        report = DifferentialReport(engines=list(self.engine_names))
+        facades = [
+            self._facade_factory(name, self.region, self.seed)
+            for name in self.engine_names
+        ]
+        reference = facades[0]
+        others = facades[1:]
+        self._request_id = 0
+        try:
+            for op_index, op in enumerate(ops):
+                kind = op.get("op")
+                report.n_ops += 1
+                report.op_counts[kind] = report.op_counts.get(kind, 0) + 1
+                if self._m_ops is not None:
+                    self._m_ops.labels(op=str(kind)).inc()
+                handler = getattr(self, f"_op_{kind}", None)
+                if handler is None:
+                    self._diverge(
+                        report, op_index, op, "bad-op", "harness",
+                        f"unknown op kind {kind!r}",
+                    )
+                else:
+                    handler(report, op_index, op, reference, others)
+                if self.audit_every and (op_index + 1) % self.audit_every == 0:
+                    self._audit(report, op_index, op, facades)
+                if report.divergences and self.stop_on_divergence:
+                    break
+            if not (report.divergences and self.stop_on_divergence):
+                self._audit(report, len(ops) - 1, {"op": "final-audit"}, facades)
+        finally:
+            for facade in facades:
+                facade.close()
+        return report
+
+    def _diverge(
+        self,
+        report: DifferentialReport,
+        op_index: int,
+        op: Dict[str, Any],
+        kind: str,
+        facade: str,
+        detail: str,
+    ) -> None:
+        report.divergences.append(
+            Divergence(op_index=op_index, op=dict(op), kind=kind,
+                       facade=facade, detail=detail)
+        )
+        if self._m_divergences is not None:
+            self._m_divergences.labels(kind=kind).inc()
+
+    # ------------------------------------------------------------------
+    # Op handlers
+    # ------------------------------------------------------------------
+    def _op_create(self, report, op_index, op, reference, others) -> None:
+        handle = op["handle"]
+        source = GeoPoint(*op["src"])
+        destination = GeoPoint(*op["dst"])
+        outcomes: List[Tuple[Facade, Any, Optional[str]]] = []
+        for facade in [reference] + others:
+            try:
+                ride = facade.target.create(
+                    source,
+                    destination,
+                    op["depart_s"],
+                    seats=op.get("seats"),
+                    detour_limit_m=op.get("detour_limit_m"),
+                )
+                outcomes.append((facade, ride, None))
+            except XARError as exc:
+                outcomes.append((facade, None, type(exc).__name__))
+        _facade, ref_ride, ref_error = outcomes[0]
+        ref_print = _ride_fingerprint(ref_ride) if ref_ride is not None else None
+        for facade, ride, error in outcomes:
+            if error != ref_error:
+                self._diverge(
+                    report, op_index, op, "create-outcome", facade.name,
+                    f"{error or 'ok'} vs reference {ref_error or 'ok'}",
+                )
+                continue
+            if ride is None:
+                continue
+            facade.register(handle, ride)
+            if _ride_fingerprint(ride) != ref_print:
+                self._diverge(
+                    report, op_index, op, "ride-state", facade.name,
+                    f"created ride fingerprint differs for handle {handle}",
+                )
+
+    def _make_request(self, op: Dict[str, Any]) -> RideRequest:
+        self._request_id += 1
+        return RideRequest(
+            request_id=self._request_id,
+            source=GeoPoint(*op["src"]),
+            destination=GeoPoint(*op["dst"]),
+            window_start_s=op["window"][0],
+            window_end_s=op["window"][1],
+            walk_threshold_m=op["walk_m"],
+        )
+
+    def _normalize(
+        self,
+        report,
+        op_index,
+        op,
+        facade: Facade,
+        matches: Sequence[Any],
+    ) -> Optional[List[Tuple]]:
+        """Map a façade's raw match list to a canonical handle-keyed form.
+
+        Verifies the raw list obeys the engine's strict total rank order
+        first; then replaces façade-local ride ids with handles and re-sorts
+        so exact (walk, ETA) ties land in one canonical cross-façade order.
+        """
+        previous = None
+        normalized: List[Tuple] = []
+        for match in matches:
+            key = (match.total_walk_m, match.eta_pickup_s, match.ride_id)
+            if previous is not None and key <= previous:
+                self._diverge(
+                    report, op_index, op, "rank-order", facade.name,
+                    f"raw results not strictly rank-ordered at {key}",
+                )
+                return None
+            previous = key
+            handle = facade.handle_of_ride.get(match.ride_id)
+            if handle is None:
+                self._diverge(
+                    report, op_index, op, "unknown-ride", facade.name,
+                    f"search returned untracked ride id {match.ride_id}",
+                )
+                return None
+            normalized.append(
+                (
+                    match.walk_source_m,
+                    match.walk_destination_m,
+                    match.eta_pickup_s,
+                    match.eta_dropoff_s,
+                    match.pickup_cluster,
+                    match.pickup_landmark,
+                    match.dropoff_cluster,
+                    match.dropoff_landmark,
+                    match.detour_estimate_m,
+                    handle,
+                )
+            )
+        normalized.sort()
+        return normalized
+
+    def _run_search(
+        self, report, op_index, op, reference, others
+    ) -> Optional[Tuple[RideRequest, List[Tuple[Facade, List[Any]]], List[Tuple]]]:
+        """Shared search flow for the search and book ops.
+
+        Returns (request, per-façade raw matches, reference normalized list)
+        or None when a divergence was recorded.
+        """
+        request = self._make_request(op)
+        k = op.get("k")
+        raw: List[Tuple[Facade, List[Any]]] = []
+        errors: List[Tuple[Facade, Optional[str]]] = []
+        for facade in [reference] + others:
+            try:
+                raw.append((facade, facade.target.search(request, k)))
+                errors.append((facade, None))
+            except XARError as exc:
+                raw.append((facade, []))
+                errors.append((facade, type(exc).__name__))
+        ref_search_error = errors[0][1]
+        for facade, error in errors:
+            if error != ref_search_error:
+                self._diverge(
+                    report, op_index, op, "search-outcome", facade.name,
+                    f"{error or 'ok'} vs reference {ref_search_error or 'ok'}",
+                )
+                return None
+        ref_normalized = self._normalize(report, op_index, op, reference, raw[0][1])
+        if ref_normalized is None:
+            return None
+        for facade, matches in raw[1:]:
+            normalized = self._normalize(report, op_index, op, facade, matches)
+            if normalized is None:
+                return None
+            if normalized != ref_normalized:
+                self._diverge(
+                    report, op_index, op, "search-mismatch", facade.name,
+                    f"{len(normalized)} matches vs oracle's "
+                    f"{len(ref_normalized)}; first diff at rank "
+                    f"{_first_diff(normalized, ref_normalized)}",
+                )
+                return None
+        self._check_bound(report, op_index, op, reference, request, ref_normalized)
+        report.searches_checked += 1
+        return request, raw, ref_normalized
+
+    def _check_bound(
+        self, report, op_index, op, reference: Facade, request, normalized
+    ) -> None:
+        """ε-bound: every returned detour estimate is within ``epsilon_bound_m``
+        of the oracle's exhaustive insertion-point optimum for that ride."""
+        if not normalized:
+            return
+        oracle: OracleEngine = reference.target.engine
+        optimum = oracle.optimum(request)
+        for row in normalized:
+            detour, handle = row[8], row[9]
+            ride = reference.rides_by_handle.get(handle)
+            best = optimum.get(ride.ride_id) if ride is not None else None
+            if best is None:
+                self._diverge(
+                    report, op_index, op, "epsilon-bound", reference.name,
+                    f"handle {handle} matched but the exhaustive scan finds "
+                    f"no feasible insertion at all",
+                )
+                continue
+            report.bound_checks += 1
+            if self._m_bound is not None:
+                self._m_bound.labels().inc()
+            gap = detour - best.min_detour_m
+            if gap > report.max_bound_gap_m:
+                report.max_bound_gap_m = gap
+            if detour > best.min_detour_m + self.epsilon_bound_m:
+                self._diverge(
+                    report, op_index, op, "epsilon-bound", reference.name,
+                    f"handle {handle}: detour estimate {detour:.1f} m exceeds "
+                    f"exhaustive optimum {best.min_detour_m:.1f} m by more "
+                    f"than the ε-bound {self.epsilon_bound_m:.1f} m",
+                )
+
+    def _op_search(self, report, op_index, op, reference, others) -> None:
+        self._run_search(report, op_index, op, reference, others)
+
+    def _op_book(self, report, op_index, op, reference, others) -> None:
+        result = self._run_search(report, op_index, op, reference, others)
+        if result is None:
+            return
+        request, raw, ref_normalized = result
+        rank = op.get("rank", 0)
+        if rank >= len(ref_normalized):
+            return  # uniform no-match / rank out of range: nothing to book
+        target_handle = ref_normalized[rank][9]
+        outcomes: List[Tuple[Facade, Any, Optional[str]]] = []
+        for facade, matches in raw:
+            chosen = None
+            for match in matches:
+                if facade.handle_of_ride.get(match.ride_id) == target_handle:
+                    chosen = match
+                    break
+            if chosen is None:
+                self._diverge(
+                    report, op_index, op, "book-target", facade.name,
+                    f"handle {target_handle} absent from this façade's matches",
+                )
+                return
+            try:
+                outcomes.append((facade, facade.target.book(request, chosen), None))
+            except XARError as exc:
+                outcomes.append((facade, None, type(exc).__name__))
+        _f, ref_record, ref_error = outcomes[0]
+        ref_booking = (
+            _booking_fingerprint(ref_record) if ref_record is not None else None
+        )
+        ref_ride_print = _ride_fingerprint(
+            outcomes[0][0].rides_by_handle[target_handle]
+        )
+        for facade, record, error in outcomes:
+            if error != ref_error:
+                self._diverge(
+                    report, op_index, op, "book-outcome", facade.name,
+                    f"{error or 'ok'} vs reference {ref_error or 'ok'}",
+                )
+                continue
+            if record is not None and _booking_fingerprint(record) != ref_booking:
+                self._diverge(
+                    report, op_index, op, "booking-record", facade.name,
+                    f"booking record differs for handle {target_handle}",
+                )
+            post = _ride_fingerprint(facade.rides_by_handle[target_handle])
+            if post != ref_ride_print:
+                self._diverge(
+                    report, op_index, op, "ride-state", facade.name,
+                    f"post-booking schedule/seats differ for handle "
+                    f"{target_handle}",
+                )
+        report.bookings_checked += 1
+
+    def _op_cancel(self, report, op_index, op, reference, others) -> None:
+        handle = op["handle"]
+        if handle not in reference.rides_by_handle:
+            return  # handle never created (e.g. its create was shrunk away)
+        outcomes: List[Tuple[Facade, Optional[str]]] = []
+        for facade in [reference] + others:
+            ride = facade.rides_by_handle.get(handle)
+            if ride is None:
+                outcomes.append((facade, "missing-handle"))
+                continue
+            try:
+                facade.target.cancel(ride)
+                outcomes.append((facade, None))
+            except XARError as exc:
+                outcomes.append((facade, type(exc).__name__))
+        ref_error = outcomes[0][1]
+        for facade, error in outcomes:
+            if error != ref_error:
+                self._diverge(
+                    report, op_index, op, "cancel-outcome", facade.name,
+                    f"{error or 'ok'} vs reference {ref_error or 'ok'}",
+                )
+
+    def _op_track(self, report, op_index, op, reference, others) -> None:
+        now_s = op["now_s"]
+        counts: List[Tuple[Facade, int]] = []
+        for facade in [reference] + others:
+            counts.append((facade, facade.target.track_all(now_s)))
+        ref_count = counts[0][1]
+        for facade, count in counts[1:]:
+            if count != ref_count:
+                self._diverge(
+                    report, op_index, op, "track-count", facade.name,
+                    f"completed {count} rides vs reference {ref_count}",
+                )
+        self._compare_live_state(report, op_index, op, reference, others)
+
+    # ------------------------------------------------------------------
+    # Cross-façade state comparison + shared invariant audit
+    # ------------------------------------------------------------------
+    def _live_state(self, facade: Facade) -> Dict[int, Tuple]:
+        live = {}
+        for ride in facade.target.active_rides():
+            handle = facade.handle_of_ride.get(ride.ride_id)
+            key = handle if handle is not None else ("raw", ride.ride_id)
+            live[key] = _ride_fingerprint(ride)
+        return live
+
+    def _compare_live_state(
+        self, report, op_index, op, reference, others
+    ) -> None:
+        ref_live = self._live_state(reference)
+        for facade in others:
+            live = self._live_state(facade)
+            if set(live) != set(ref_live):
+                only_here = sorted(
+                    str(h) for h in set(live) - set(ref_live)
+                )
+                only_ref = sorted(
+                    str(h) for h in set(ref_live) - set(live)
+                )
+                self._diverge(
+                    report, op_index, op, "live-set", facade.name,
+                    f"extra handles {only_here} / missing handles {only_ref}",
+                )
+                continue
+            for handle, fingerprint in live.items():
+                if fingerprint != ref_live[handle]:
+                    self._diverge(
+                        report, op_index, op, "ride-state", facade.name,
+                        f"live ride state differs for handle {handle}",
+                    )
+
+    def _audit(self, report, op_index, op, facades: Sequence[Facade]) -> None:
+        report.audits_run += 1
+        for facade in facades:
+            for engine in facade.xar_engines:
+                audit = InvariantAuditor(engine).audit()
+                if not audit.ok:
+                    kinds = audit.by_kind()
+                    self._diverge(
+                        report, op_index, op, "invariant", facade.name,
+                        f"invariant audit failed: {kinds}",
+                    )
+
+
+def _first_diff(a: List[Tuple], b: List[Tuple]) -> int:
+    for index, (row_a, row_b) in enumerate(zip(a, b)):
+        if row_a != row_b:
+            return index
+    return min(len(a), len(b))

@@ -1,0 +1,264 @@
+"""Seeded op-sequence fuzzing with delta-debugging shrinking.
+
+The generator draws request geometry from :mod:`repro.workloads`
+(:func:`~repro.workloads.synthetic.uniform_workload` trips turned into a
+:func:`~repro.workloads.stream.trips_to_requests` stream) and emits a
+weighted create / search / book / cancel / track mix as plain,
+JSON-serializable op dicts — the wire format shared by the differential
+harness, the shrinker, and the regression corpus in
+``tests/verify/corpus/``:
+
+* ``{"op": "create", "handle": H, "src": [lat, lon], "dst": [lat, lon],
+  "depart_s": T, "seats": S|null, "detour_limit_m": D|null}``
+* ``{"op": "search" | "book", "src": ..., "dst": ..., "window": [a, b],
+  "walk_m": W, "k": K|null}`` (book adds ``"rank": R``)
+* ``{"op": "cancel", "handle": H}``
+* ``{"op": "track", "now_s": T}`` (strictly increasing within a sequence)
+
+Handles are creation ordinals — the cross-façade ride identity the harness
+keys its diffs on — so any *subsequence* of a generated sequence is still a
+valid sequence (cancels of never-created handles are skipped), which is
+exactly the property delta debugging needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..discretization import DiscretizedRegion
+from ..workloads import trips_to_requests
+from ..workloads.synthetic import uniform_workload
+
+
+@dataclass
+class FuzzConfig:
+    """Knobs of the op-sequence generator."""
+
+    seed: int = 0
+    n_ops: int = 200
+    #: Departure-window length per request (seconds).
+    window_s: float = 600.0
+    #: Walk threshold per request (metres); None → the region's default.
+    walk_threshold_m: Optional[float] = None
+    #: Simulated span the trip times are drawn from (seconds per op).
+    pace_s: float = 30.0
+    #: Op mix (normalized internally).
+    weights: Dict[str, float] = field(
+        default_factory=lambda: {
+            "create": 0.30,
+            "search": 0.25,
+            "book": 0.25,
+            "track": 0.10,
+            "cancel": 0.10,
+        }
+    )
+    #: Seat counts offered rides draw from (None → engine default).
+    seat_choices: Sequence[Optional[int]] = (None, 1, 2, 3)
+    #: Detour budgets as fractions of the config default (None → default).
+    detour_scales: Sequence[Optional[float]] = (None, None, 0.5, 1.0)
+    #: Top-k cut applied to searches (None → all matches).
+    k_choices: Sequence[Optional[int]] = (None, 3, 5)
+    #: Probability a search/book rides the corridor of an earlier create
+    #: (same endpoints, window anchored at its departure).  Uniform draws
+    #: alone rarely match on small grids, leaving the booking and ε-bound
+    #: diff paths untested.
+    corridor_reuse_p: float = 0.5
+
+
+def generate_ops(
+    region: DiscretizedRegion, config: Optional[FuzzConfig] = None
+) -> List[Dict[str, Any]]:
+    """One seeded, self-contained op sequence over ``region``."""
+    config = config or FuzzConfig()
+    rng = random.Random(config.seed)
+    walk = (
+        config.walk_threshold_m
+        if config.walk_threshold_m is not None
+        else region.config.default_walk_threshold_m
+    )
+    # Twice the ops as trips: creates and searches each consume one request.
+    trips = uniform_workload(
+        region.network,
+        n_trips=2 * config.n_ops + 4,
+        start_s=0.0,
+        end_s=config.n_ops * config.pace_s,
+        seed=config.seed,
+    )
+    requests = trips_to_requests(trips, window_s=config.window_s,
+                                 walk_threshold_m=walk)
+    request_iter = iter(requests)
+
+    ops: List[Dict[str, Any]] = []
+    kinds = sorted(config.weights)
+    weights = [config.weights[kind] for kind in kinds]
+    next_handle = 0
+    created: List[int] = []
+    corridors: List[tuple] = []
+    last_track = 0.0
+    clock = 0.0
+
+    def next_request():
+        nonlocal clock
+        request = next(request_iter)
+        clock = max(clock, request.window_start_s)
+        return request
+
+    while len(ops) < config.n_ops:
+        kind = rng.choices(kinds, weights)[0]
+        if kind == "cancel" and not created:
+            kind = "create"
+        if kind == "book" and not created:
+            kind = "create"
+        if kind == "create":
+            request = next_request()
+            scale = rng.choice(list(config.detour_scales))
+            ops.append(
+                {
+                    "op": "create",
+                    "handle": next_handle,
+                    "src": [request.source.lat, request.source.lon],
+                    "dst": [request.destination.lat, request.destination.lon],
+                    "depart_s": request.window_start_s,
+                    "seats": rng.choice(list(config.seat_choices)),
+                    "detour_limit_m": (
+                        None
+                        if scale is None
+                        else region.config.default_detour_m * scale
+                    ),
+                }
+            )
+            created.append(next_handle)
+            corridors.append(
+                (ops[-1]["src"], ops[-1]["dst"], request.window_start_s)
+            )
+            next_handle += 1
+        elif kind in ("search", "book"):
+            reuse = corridors and rng.random() < config.corridor_reuse_p
+            if reuse:
+                src, dst, depart = rng.choice(corridors)
+                window = [depart, depart + config.window_s]
+                walk_m = walk
+            else:
+                request = next_request()
+                src = [request.source.lat, request.source.lon]
+                dst = [request.destination.lat, request.destination.lon]
+                window = [request.window_start_s, request.window_end_s]
+                walk_m = request.walk_threshold_m
+            op = {
+                "op": kind,
+                "src": src,
+                "dst": dst,
+                "window": window,
+                "walk_m": walk_m,
+                "k": rng.choice(list(config.k_choices)),
+            }
+            if kind == "book":
+                op["rank"] = rng.randrange(0, 3)
+            ops.append(op)
+        elif kind == "cancel":
+            ops.append({"op": "cancel", "handle": rng.choice(created)})
+        elif kind == "track":
+            # Strictly increasing so no façade's watermark coalesces a tick.
+            last_track = max(last_track + 1.0, clock + rng.uniform(0.0, 600.0))
+            ops.append({"op": "track", "now_s": last_track})
+    return ops
+
+
+# ----------------------------------------------------------------------
+# Delta-debugging shrinker (classic ddmin over the op list)
+# ----------------------------------------------------------------------
+def shrink_ops(
+    ops: Sequence[Dict[str, Any]],
+    fails: Callable[[List[Dict[str, Any]]], bool],
+    max_evaluations: int = 400,
+) -> List[Dict[str, Any]]:
+    """Minimize a failing op sequence with ddmin (Zeller's delta debugging).
+
+    ``fails(candidate)`` must return True when the candidate sequence still
+    reproduces the divergence (each call replays on fresh façades).  The
+    returned sequence is 1-minimal up to the evaluation budget: removing
+    any single remaining chunk of the final granularity no longer fails.
+    """
+    current = list(ops)
+    if not fails(current):
+        raise ValueError("shrink_ops needs a failing sequence to start from")
+    evaluations = 0
+    granularity = 2
+    while len(current) >= 2 and evaluations < max_evaluations:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current) and evaluations < max_evaluations:
+            candidate = current[:start] + current[start + chunk:]
+            if not candidate:
+                start += chunk
+                continue
+            evaluations += 1
+            if fails(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Restart the scan on the shrunk sequence.
+                start = 0
+                chunk = max(1, len(current) // granularity)
+                continue
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+# ----------------------------------------------------------------------
+# Regression corpus
+# ----------------------------------------------------------------------
+def save_repro(
+    directory: str,
+    name: str,
+    *,
+    seed: int,
+    engines: Sequence[str],
+    ops: Sequence[Dict[str, Any]],
+    region_spec: Dict[str, Any],
+    note: str = "",
+) -> str:
+    """Serialize a (shrunken) repro as a corpus JSON file; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    entry = {
+        "name": name,
+        "seed": seed,
+        "engines": list(engines),
+        "region": dict(region_spec),
+        "note": note,
+        "ops": list(ops),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_corpus_entry(path: str) -> Dict[str, Any]:
+    """Read one corpus JSON entry (validating the required keys)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        entry = json.load(handle)
+    for key in ("name", "seed", "engines", "region", "ops"):
+        if key not in entry:
+            raise ValueError(f"corpus entry {path} is missing key {key!r}")
+    return entry
+
+
+def replay_entry(region: DiscretizedRegion, entry: Dict[str, Any]):
+    """Replay one corpus entry on fresh façades; returns the report."""
+    from .differential import DifferentialHarness
+
+    harness = DifferentialHarness(
+        region, engines=entry["engines"], seed=int(entry["seed"])
+    )
+    return harness.run(entry["ops"])

@@ -47,7 +47,8 @@ class FakeAdapter:
             self.fail[op] -= 1
             raise self.error
 
-    def create(self, source, destination, depart_s):
+    def create(self, source, destination, depart_s, seats=None,
+               detour_limit_m=None):
         self._maybe_fail("create")
         return SimpleNamespace(ride_id=1)
 

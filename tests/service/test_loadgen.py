@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import threading
 
 import pytest
 
@@ -32,7 +33,8 @@ class _ScriptedTarget:
             raise outcome
         return outcome
 
-    def create(self, source, destination, depart_s):
+    def create(self, source, destination, depart_s, seats=None,
+               detour_limit_m=None):
         self.created.append(depart_s)
         return object()
 
@@ -110,7 +112,47 @@ def test_track_ticks_are_deduplicated(workload):
     assert all(b - a >= 300.0 for a, b in zip(ticks, ticks[1:]))
 
 
+class _FakeClock:
+    """Injectable clock: ``sleep`` advances simulated time atomically."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._lock = threading.Lock()
+
+    def clock(self):
+        with self._lock:
+            return self.now
+
+    def sleep(self, seconds):
+        with self._lock:
+            self.now += seconds
+
+
 def test_target_qps_paces_the_run(workload):
+    """Pacing honours the QPS schedule — verified on a fake clock, so the
+    assertion is about the schedule itself, not CI wall-clock jitter."""
+    requests = list(workload)[:30]
+    fake = _FakeClock()
+    report = LoadGenerator(
+        _ScriptedTarget(),
+        requests,
+        LoadGenConfig(
+            workers=4,
+            target_qps=200.0,
+            track_every_s=0.0,
+            clock=fake.clock,
+            sleep=fake.sleep,
+        ),
+    ).run()
+    # The last request (index 29) is due at 29/200 = 0.145 simulated seconds;
+    # every worker sleeps up to its due time, so the run cannot finish early.
+    assert report.duration_s >= 0.145
+    assert report.achieved_qps <= 220.0  # pacing caps throughput near target
+
+
+@pytest.mark.slow
+def test_target_qps_paces_the_run_wall_clock(workload):
+    """Same property against the real clock (timing-sensitive; slow lane)."""
     requests = list(workload)[:30]
     report = LoadGenerator(
         _ScriptedTarget(),
@@ -119,7 +161,7 @@ def test_target_qps_paces_the_run(workload):
     ).run()
     # 30 requests at 200 QPS need >= ~0.145s; an unpaced stub run takes ~0.
     assert report.duration_s >= 0.10
-    assert report.achieved_qps <= 220.0  # pacing caps throughput near target
+    assert report.achieved_qps <= 220.0
 
 
 def test_json_report_shape(service, workload):

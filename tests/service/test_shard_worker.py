@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import threading
-import time
 
 import pytest
 
@@ -184,9 +183,24 @@ def test_jobs_execute_in_submission_order():
 
 
 def test_slow_job_does_not_lose_queued_work():
+    """A long-running job must not drop work queued behind it.
+
+    Gated on events rather than ``time.sleep`` so the "slow" job is slow by
+    construction — deterministic regardless of scheduler timing.
+    """
     worker = ShardWorker(3, None, queue_depth=4, seed=0)
-    slow = worker.submit("slow", lambda: time.sleep(0.05) or "done")
-    fast = worker.submit("fast", lambda: "fast")
+    started = threading.Event()
+    release = threading.Event()
+
+    def slow_job():
+        started.set()
+        assert release.wait(timeout=5)
+        return "done"
+
+    slow = worker.submit("slow", slow_job)
+    assert started.wait(timeout=5)  # the worker is mid-job ...
+    fast = worker.submit("fast", lambda: "fast")  # ... with work queued behind
+    release.set()
     assert slow.result(timeout=5) == "done"
     assert fast.result(timeout=5) == "fast"
     worker.close()

@@ -23,6 +23,7 @@ from repro.sim import (
     XARAdapter,
     default_fault_policies,
 )
+from repro.verify import OracleAdapter, OracleEngine
 
 #: Every protocol member an adapter must expose.
 PROTOCOL_MEMBERS = (
@@ -48,11 +49,13 @@ def adapters(region):
     resilient = ResilientEngine(
         XARAdapter(XAREngine(region)), ResilienceConfig(seed=1)
     )
+    oracle = OracleAdapter(OracleEngine(region))
     return {
         "XARAdapter": xar,
         "TShareAdapter": tshare,
         "FaultInjectingAdapter": faulty,
         "ResilientEngine": resilient,
+        "OracleAdapter": oracle,
     }
 
 
@@ -83,6 +86,20 @@ def test_shard_router_conforms(region):
         assert isinstance(service, EngineAdapter)
         assert service.rollback_count() == 0
         assert service.index_stats()["rides"] == 0
+
+
+def test_create_accepts_seats_and_detour_kwargs(adapters, region):
+    """The extended ``create`` signature is uniform across every adapter:
+    XAR-family adapters honour both knobs; T-Share accepts and ignores the
+    detour budget (its scheduling model has no such constraint)."""
+    src = region.network.position(0)
+    dst = region.network.position(region.network.node_count - 1)
+    for name, adapter in adapters.items():
+        ride = adapter.create(src, dst, 0.0, seats=2, detour_limit_m=1500.0)
+        assert ride is not None, name
+        if name != "TShareAdapter":
+            assert ride.seats_available == 2, name
+            assert ride.detour_limit_m == 1500.0, name
 
 
 def test_non_adapter_rejected():

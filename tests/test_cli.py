@@ -107,6 +107,57 @@ class TestCLI:
             "--max-shed-rate", "1.0",
         ]) == 0
 
+    def test_fuzz_clean_run_exits_zero(self, region_dir, tmp_path, capsys):
+        metrics = tmp_path / "fuzz.prom"
+        assert main([
+            "fuzz", "--region", str(region_dir), "--seed", "1",
+            "--ops", "60", "--engines", "xar,shard2",
+            "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "no divergence" in out
+        assert "xar_fuzz_ops_total" in metrics.read_text()
+
+    def test_fuzz_divergence_shrinks_and_saves_a_repro(
+        self, region_dir, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        from repro.verify import differential
+
+        real_factory = differential.make_facade
+
+        class _Lossy:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def search(self, request, k=None):
+                return self.inner.search(request, k)[1:]
+
+            def __getattr__(self, name):
+                return getattr(self.inner, name)
+
+        def bugged_factory(name, region, seed):
+            facade = real_factory(name, region, seed)
+            if name == "xar":
+                facade.target = _Lossy(facade.target)
+            return facade
+
+        monkeypatch.setattr(differential, "make_facade", bugged_factory)
+        corpus = tmp_path / "corpus"
+        assert main([
+            "fuzz", "--region", str(region_dir), "--seed", "1",
+            "--ops", "60", "--engines", "xar",
+            "--shrink", "--corpus-out", str(corpus),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        files = list(corpus.glob("*.json"))
+        assert len(files) == 1
+        entry = json.loads(files[0].read_text())
+        assert entry["region"] == {"region_path": str(region_dir)}
+        assert 0 < len(entry["ops"]) <= 10, "repro was not shrunk"
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])

@@ -1,0 +1,20 @@
+"""Verification-suite fixtures: corridor endpoints and bugged façades."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import FuzzConfig, generate_ops
+
+
+@pytest.fixture(scope="session")
+def corners(small_region):
+    """Two far-apart node positions on the small grid (a long corridor)."""
+    network = small_region.network
+    return network.position(0), network.position(network.node_count - 1)
+
+
+@pytest.fixture(scope="session")
+def smoke_ops(small_region):
+    """One deterministic 80-op sequence shared by the smoke tests."""
+    return generate_ops(small_region, FuzzConfig(seed=5, n_ops=80))

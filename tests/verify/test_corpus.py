@@ -1,0 +1,64 @@
+"""Regression corpus: every pinned repro replays clean on today's code.
+
+Each JSON under ``tests/verify/corpus/`` is a self-contained differential
+replay — op sequence, façade list, seed, and the synthetic-region spec it
+was recorded against.  A corpus entry that starts diverging means a change
+reintroduced a bug (or intentionally changed semantics, in which case the
+entry is re-recorded with the fuzzer).  The whole directory must replay in
+seconds: it runs in tier-1 on every push.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from functools import lru_cache
+
+import pytest
+
+from repro.config import XARConfig
+from repro.discretization import build_region
+from repro.roadnet import manhattan_city
+from repro.verify import load_corpus_entry, replay_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_FILES = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.json")))
+
+
+@lru_cache(maxsize=4)
+def _region_for(avenues: int, streets: int, delta: float, poi_seed: int):
+    """One region per distinct spec, shared across entries (build is the
+    expensive part; replay itself is fast)."""
+    network = manhattan_city(n_avenues=avenues, n_streets=streets)
+    return build_region(
+        network, XARConfig.validated(delta_m=delta), poi_seed=poi_seed
+    )
+
+
+def _build_from_spec(spec):
+    return _region_for(
+        int(spec.get("avenues", 6)),
+        int(spec.get("streets", 12)),
+        float(spec.get("delta", 400.0)),
+        int(spec.get("poi_seed", 0)),
+    )
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS_FILES, "the regression corpus must ship at least one entry"
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+)
+def test_corpus_entry_replays_without_divergence(path):
+    entry = load_corpus_entry(path)
+    region = _build_from_spec(entry["region"])
+    started = time.perf_counter()
+    report = replay_entry(region, entry)
+    elapsed = time.perf_counter() - started
+    assert report.ok, f"{entry['name']}: {report.describe()}"
+    assert report.n_ops == len(entry["ops"])
+    # Tier-1 budget: replay (region build excluded) must stay snappy.
+    assert elapsed < 10.0, f"{entry['name']} took {elapsed:.1f}s to replay"

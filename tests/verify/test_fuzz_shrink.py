@@ -1,0 +1,119 @@
+"""Op generator and ddmin shrinker: determinism, minimality, round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.verify import (
+    DifferentialHarness,
+    FuzzConfig,
+    generate_ops,
+    load_corpus_entry,
+    replay_entry,
+    save_repro,
+    shrink_ops,
+)
+
+from .test_differential import lossy_factory
+
+
+# ----------------------------------------------------------------------
+# Generator
+# ----------------------------------------------------------------------
+def test_generator_is_deterministic_per_seed(small_region):
+    config = FuzzConfig(seed=9, n_ops=50)
+    assert generate_ops(small_region, config) == generate_ops(small_region, config)
+    other = generate_ops(small_region, FuzzConfig(seed=10, n_ops=50))
+    assert other != generate_ops(small_region, config)
+
+
+def test_generated_ops_are_json_serializable_and_well_formed(small_region):
+    ops = generate_ops(small_region, FuzzConfig(seed=2, n_ops=60))
+    assert len(ops) == 60
+    assert json.loads(json.dumps(ops)) == ops
+    track_times = [op["now_s"] for op in ops if op["op"] == "track"]
+    assert track_times == sorted(track_times)
+    assert len(set(track_times)) == len(track_times), "track ticks must not coalesce"
+    handles = [op["handle"] for op in ops if op["op"] == "create"]
+    assert handles == list(range(len(handles))), "handles are creation ordinals"
+
+
+# ----------------------------------------------------------------------
+# ddmin on a synthetic predicate (no engines: pure algorithm check)
+# ----------------------------------------------------------------------
+def test_ddmin_isolates_a_two_op_interaction():
+    ops = [{"op": "noop", "i": i} for i in range(64)]
+
+    calls = []
+
+    def fails(candidate):
+        calls.append(len(candidate))
+        present = {op["i"] for op in candidate}
+        return {13, 47} <= present
+
+    shrunk = shrink_ops(ops, fails)
+    assert sorted(op["i"] for op in shrunk) == [13, 47]
+    assert calls, "the predicate must actually be exercised"
+
+
+def test_ddmin_requires_a_failing_start():
+    with pytest.raises(ValueError):
+        shrink_ops([{"op": "noop"}], lambda candidate: False)
+
+
+def test_ddmin_respects_the_evaluation_budget():
+    ops = [{"op": "noop", "i": i} for i in range(32)]
+    calls = []
+
+    def fails(candidate):
+        calls.append(1)
+        return True  # everything "fails": worst case for the budget
+
+    shrink_ops(ops, fails, max_evaluations=20)
+    assert len(calls) <= 21  # initial sanity call + the budget
+
+
+# ----------------------------------------------------------------------
+# End to end: planted bug -> shrunken repro -> corpus round-trip
+# ----------------------------------------------------------------------
+def test_planted_bug_shrinks_to_a_tiny_repro(small_region, smoke_ops, tmp_path):
+    def fails(candidate):
+        report = DifferentialHarness(
+            small_region,
+            engines=("xar",),
+            seed=5,
+            facade_factory=lossy_factory,
+        ).run(candidate)
+        return not report.ok
+
+    assert fails(smoke_ops), "the planted bug must fire on the full sequence"
+    shrunk = shrink_ops(smoke_ops, fails)
+    # A dropped-match bug needs one matchable ride and one search: the
+    # minimized repro must be a handful of ops, not the whole sequence.
+    assert len(shrunk) <= 10, f"shrink stalled at {len(shrunk)} ops"
+    assert fails(shrunk)
+
+    path = save_repro(
+        str(tmp_path),
+        "lossy-search",
+        seed=5,
+        engines=["xar"],
+        ops=shrunk,
+        region_spec={"avenues": 6, "streets": 12},
+        note="search drops its best-ranked match",
+    )
+    entry = load_corpus_entry(path)
+    assert entry["ops"] == shrunk
+    assert entry["engines"] == ["xar"]
+    # Replayed on *healthy* façades the shrunken sequence is clean — the
+    # corpus asserts the bug stays fixed, not that it still exists.
+    assert replay_entry(small_region, entry).ok
+
+
+def test_load_corpus_entry_rejects_incomplete_files(tmp_path):
+    path = tmp_path / "broken.json"
+    path.write_text(json.dumps({"name": "x", "ops": []}))
+    with pytest.raises(ValueError, match="missing key"):
+        load_corpus_entry(str(path))

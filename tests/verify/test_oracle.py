@@ -1,0 +1,185 @@
+"""OracleEngine: hand-checkable behaviour on small networks.
+
+The oracle is only useful as ground truth if its own semantics are obviously
+right, so these tests pin its pieces against independently computable
+answers: the exhaustive walk scan against the region's precomputed tables, a
+pass-through corridor rider against the trivially feasible match, and the
+exhaustive optimum against the greedy search result it must lower-bound.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XAREngine
+from repro.exceptions import RideError, UnknownRideError
+from repro.verify import OracleEngine
+
+
+@pytest.fixture
+def oracle(small_region):
+    return OracleEngine(small_region)
+
+
+# ----------------------------------------------------------------------
+# Walk options: exhaustive scan == precomputed region tables
+# ----------------------------------------------------------------------
+def test_walk_options_match_the_precomputed_tables(small_region, oracle):
+    network = small_region.network
+    for node in range(0, network.node_count, 7):
+        point = network.position(node)
+        for threshold in (300.0, 800.0, None):
+            expected = small_region.walkable_clusters(point, threshold)
+            assert oracle.walk_options(point, threshold) == expected, (
+                f"node {node}, threshold {threshold}"
+            )
+
+
+def test_walk_options_respect_the_threshold(small_region, oracle, corners):
+    source, _ = corners
+    tight = oracle.walk_options(source, 100.0)
+    loose = oracle.walk_options(source, 800.0)
+    assert len(tight) <= len(loose)
+    assert all(option.walk_m <= 100.0 for option in tight)
+    covered = {option.cluster_id for option in loose}
+    assert {option.cluster_id for option in tight} <= covered
+
+
+# ----------------------------------------------------------------------
+# Create / cancel
+# ----------------------------------------------------------------------
+def test_create_routes_exactly_like_the_real_engine(small_region, oracle, corners):
+    source, destination = corners
+    engine = XAREngine(small_region)
+    oracle_ride = oracle.create_ride(source, destination, departure_s=0.0)
+    engine_ride = engine.create_ride(source, destination, departure_s=0.0)
+    assert list(oracle_ride.route) == list(engine_ride.route)
+    assert oracle_ride.length_m == engine_ride.length_m
+    assert oracle_ride.seats_available == engine_ride.seats_available
+    assert oracle_ride.detour_limit_m == engine_ride.detour_limit_m
+
+
+def test_create_rejects_degenerate_rides(oracle, corners):
+    source, _ = corners
+    with pytest.raises(RideError):
+        oracle.create_ride(source, source, departure_s=0.0)
+
+
+def test_cancel_removes_the_ride_and_unknown_ids_raise(oracle, corners):
+    source, destination = corners
+    ride = oracle.create_ride(source, destination, departure_s=0.0)
+    assert oracle.n_active_rides == 1
+    oracle.remove_ride(ride.ride_id)
+    assert oracle.n_active_rides == 0
+    with pytest.raises(UnknownRideError):
+        oracle.remove_ride(ride.ride_id)
+
+
+# ----------------------------------------------------------------------
+# Search: a corridor rider on a hand-checkable setup
+# ----------------------------------------------------------------------
+def test_corridor_rider_matches_with_near_zero_detour(oracle, corners):
+    """A rider travelling the ride's own corridor is trivially feasible:
+    both endpoints are pass-through clusters, so the splice detour must be
+    far below the budget (exactly zero up to discretization slack)."""
+    source, destination = corners
+    ride = oracle.create_ride(source, destination, departure_s=0.0)
+    request = oracle.make_request(
+        source, destination, window_start_s=0.0, window_end_s=600.0
+    )
+    matches = oracle.search(request)
+    assert [match.ride_id for match in matches] == [ride.ride_id]
+    match = matches[0]
+    assert match.eta_pickup_s < match.eta_dropoff_s
+    assert match.detour_estimate_m <= oracle.detour_slack_m
+
+
+def test_window_after_the_ride_finds_nothing(oracle, corners):
+    source, destination = corners
+    ride = oracle.create_ride(source, destination, departure_s=0.0)
+    late_start = ride.arrival_s + 3600.0
+    request = oracle.make_request(
+        source, destination, late_start, late_start + 600.0
+    )
+    assert oracle.search(request) == []
+
+
+def test_full_ride_is_not_offered(oracle, corners):
+    source, destination = corners
+    ride = oracle.create_ride(source, destination, departure_s=0.0, seats=1)
+    request = oracle.make_request(source, destination, 0.0, 600.0)
+    matches = oracle.search(request)
+    assert matches, "one seat is still bookable"
+    oracle.book(request, matches[0])
+    assert ride.seats_available == 0
+    rerun = oracle.make_request(source, destination, 0.0, 600.0)
+    assert oracle.search(rerun) == []
+
+
+def test_search_results_are_rank_ordered(oracle, small_region, corners):
+    source, destination = corners
+    for departure in (0.0, 30.0, 60.0):
+        oracle.create_ride(source, destination, departure_s=departure)
+    request = oracle.make_request(source, destination, 0.0, 900.0)
+    matches = oracle.search(request)
+    assert len(matches) >= 2
+    keys = [(m.total_walk_m, m.eta_pickup_s, m.ride_id) for m in matches]
+    assert keys == sorted(keys)
+    assert oracle.search(request, k=1) == matches[:1]
+
+
+# ----------------------------------------------------------------------
+# Exhaustive optimum
+# ----------------------------------------------------------------------
+def test_optimum_lower_bounds_the_greedy_search(oracle, small_region):
+    """The exhaustive insertion scan can only do better (or equal) than the
+    greedy least-walk option policy the search path uses."""
+    network = small_region.network
+    source = network.position(0)
+    destination = network.position(network.node_count - 1)
+    oracle.create_ride(source, destination, departure_s=0.0)
+    oracle.create_ride(destination, source, departure_s=60.0)
+    for probe in range(0, network.node_count, 11):
+        request = oracle.make_request(
+            network.position(probe), destination, 0.0, 1200.0
+        )
+        optimum = oracle.optimum(request)
+        for match in oracle.search(request):
+            best = optimum[match.ride_id]
+            assert best.min_detour_m <= match.detour_estimate_m
+            assert best.min_walk_m <= match.total_walk_m
+            assert best.n_feasible >= 1
+
+
+def test_optimum_only_reports_feasible_rides(oracle, corners):
+    source, destination = corners
+    ride = oracle.create_ride(source, destination, departure_s=0.0)
+    request = oracle.make_request(source, destination, 0.0, 600.0)
+    assert ride.ride_id in oracle.optimum(request)
+    late = oracle.make_request(
+        source, destination, ride.arrival_s + 3600.0, ride.arrival_s + 4200.0
+    )
+    assert oracle.optimum(late) == {}
+
+
+# ----------------------------------------------------------------------
+# Book / track via the shared exact write path
+# ----------------------------------------------------------------------
+def test_booking_consumes_a_seat_and_updates_the_schedule(oracle, corners):
+    source, destination = corners
+    ride = oracle.create_ride(source, destination, departure_s=0.0)
+    before = ride.seats_available
+    request = oracle.make_request(source, destination, 0.0, 600.0)
+    record = oracle.book(request, oracle.search(request)[0])
+    assert ride.seats_available == before - 1
+    assert record.ride_id == ride.ride_id
+    assert oracle.bookings and oracle.bookings[-1] is record
+    assert len(ride.via_points) >= 2  # pickup + drop-off were spliced in
+
+
+def test_tracking_completes_finished_rides(oracle, corners):
+    source, destination = corners
+    ride = oracle.create_ride(source, destination, departure_s=0.0)
+    assert oracle.track_all(ride.arrival_s + 1.0) == 1
+    assert oracle.n_active_rides == 0
+    assert ride.ride_id in oracle.completed_rides
