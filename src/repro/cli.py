@@ -12,13 +12,25 @@ Commands mirror a deployment's lifecycle:
 * ``compare``       head-to-head XAR vs T-Share on one stream,
 * ``modes``         the four-transport-mode comparison (Fig. 6),
 * ``fuzz``          differential-fuzz a seeded op sequence across engine
-  façades against the brute-force oracle (non-zero exit on divergence).
+  façades against the brute-force oracle (non-zero exit on divergence),
+* ``recover``       rebuild an engine from a write-ahead log (+ optional
+  checkpoint) and report what replay did,
+* ``wal-dump``      human-readable dump of a write-ahead log, torn-tail
+  detection included.
+
+The ``loadtest`` command grows durability knobs: ``--durable DIR`` gives
+every shard a WAL + checkpoints under ``DIR`` and ``--crash-every N`` kills
+a rotating shard every N requests mid-run — the failover supervisor must
+recover each one with zero lost acknowledged state.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+import threading
 import time
 from typing import List, Optional
 
@@ -26,6 +38,7 @@ from .baselines import TShareEngine
 from .config import XARConfig
 from .core import XAREngine
 from .discretization import build_region, load_region, save_region
+from .durability import DurabilityConfig, iter_frames, recover_engine
 from .mmtp import MultiModalPlanner, synthetic_feed
 from .obs import MetricsRegistry, to_json, to_prometheus_text
 from .roadnet import (
@@ -162,6 +175,17 @@ def _loadtest(args: argparse.Namespace) -> int:
     )
     supply, demand = requests[: args.prepopulate], requests[args.prepopulate:]
 
+    durability = None
+    if args.durable:
+        os.makedirs(args.durable, exist_ok=True)
+        durability = DurabilityConfig(
+            directory=args.durable,
+            fsync_every=args.fsync_every,
+            checkpoint_every=args.checkpoint_every,
+        )
+    if args.crash_every and durability is None:
+        raise SystemExit("--crash-every requires --durable DIR")
+
     with ShardRouter(
         region,
         args.shards,
@@ -169,17 +193,51 @@ def _loadtest(args: argparse.Namespace) -> int:
         fanout=args.fanout,
         resilient=args.resilient,
         seed=args.seed,
+        durability=durability,
     ) as service:
         for request in supply:
             service.create(request.source, request.destination,
                            request.window_start_s)
+
+        chaos = None
+        if args.crash_every:
+            # Kill a rotating shard every N served requests; the failover
+            # supervisor replays its WAL and the run keeps going.
+            crash_lock = threading.Lock()
+            crash_state = {"due": args.crash_every, "victim": 0}
+
+            def chaos(global_index: int) -> None:
+                with crash_lock:
+                    if global_index < crash_state["due"]:
+                        return
+                    crash_state["due"] += args.crash_every
+                    victim = crash_state["victim"] % service.n_shards
+                    crash_state["victim"] += 1
+                service.crash_shard(victim)
+
         config = LoadGenConfig(
             workers=args.workers,
             target_qps=args.qps,
             looks_per_book=args.looks,
             seed=args.seed,
+            chaos=chaos,
         )
         report = LoadGenerator(service, demand, config).run()
+        if durability is not None:
+            failovers = {
+                labels["shard"]: int(child.value)
+                for labels, child in service.metrics.counter(
+                    "xar_failovers_total",
+                    labels=("shard",),
+                ).collect()
+                if child.value
+            }
+            replayed = {
+                shard_id: result.replayed_ops
+                for shard_id, result in sorted(service.last_recoveries.items())
+            }
+            print(f"failovers         : {failovers or 'none'}")
+            print(f"replayed ops      : {replayed or 'none'}")
 
     print(report.describe())
     if args.json_path:
@@ -330,6 +388,95 @@ def _fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _recover(args: argparse.Namespace) -> int:
+    """Rebuild an engine from a WAL (+ optional checkpoint) and report."""
+    from .resilience.audit import InvariantAuditor
+
+    region = load_region(args.region)
+    result = recover_engine(region, args.wal, args.checkpoint)
+    engine = result.engine
+    print(f"wal               : {args.wal}")
+    if args.checkpoint:
+        print(f"checkpoint        : {args.checkpoint} "
+              f"(covers seq <= {result.checkpoint_seq})")
+    print(f"shard             : {result.shard_id}")
+    print(f"replayed ops      : {result.replayed_ops} "
+          f"(skipped {result.skipped_ops} aborted, "
+          f"{result.failed_ops} failed)")
+    print(f"torn tail         : {result.torn_tail_bytes} bytes truncated")
+    print(f"last seq          : {result.last_seq}")
+    print(f"recovered in      : {result.duration_s * 1000.0:.1f} ms")
+    with engine.lock:
+        print(f"state             : {len(engine.rides)} live rides, "
+              f"{len(engine.completed_rides)} completed, "
+              f"{len(engine.bookings)} bookings, "
+              f"{len(engine.rollbacks)} rollbacks")
+    if args.audit:
+        audit = InvariantAuditor(engine).audit()
+        if audit.ok:
+            print("invariant audit   : clean")
+        else:
+            print(f"invariant audit   : FAILED {audit.by_kind()}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+def _wal_dump(args: argparse.Namespace) -> int:
+    """Dump a WAL frame by frame; flags the torn tail when there is one."""
+    try:
+        return _wal_dump_frames(args)
+    except BrokenPipeError:
+        # Output piped into head/less and closed early: not an error.
+        # Re-point stdout at devnull so interpreter teardown doesn't
+        # trip over the closed pipe again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _wal_dump_frames(args: argparse.Namespace) -> int:
+    torn = False
+    for frame in iter_frames(args.wal):
+        if not frame.crc_ok:
+            torn = True
+            print(f"@{frame.offset:<10} TORN TAIL: {frame.error}",
+                  file=sys.stderr)
+            break
+        record = frame.record
+        if args.json_lines:
+            print(json.dumps(record, sort_keys=True))
+            continue
+        kind = record.get("kind", "?")
+        if kind == "header":
+            detail = (f"v{record.get('version')} shard={record.get('shard_id')} "
+                      f"lane=({record.get('ride_id_start')},"
+                      f"+{record.get('ride_id_step')}) "
+                      f"digest={str(record.get('region_digest'))[:12]}")
+        elif kind == "abort":
+            detail = (f"aborts seq {record.get('aborts')} "
+                      f"({record.get('error')}: {record.get('reason')})")
+        else:
+            op = record.get("op", "?")
+            if op == "create":
+                detail = f"create ride {record.get('ride_id')}"
+            elif op == "book":
+                request = record.get("request", {})
+                match = record.get("match", {})
+                detail = (f"book request {request.get('request_id')} "
+                          f"on ride {match.get('ride_id')}")
+            elif op == "cancel":
+                detail = f"cancel ride {record.get('ride_id')}"
+            elif op == "track":
+                detail = f"track to t={record.get('now_s')}"
+            else:
+                detail = json.dumps(record, sort_keys=True)
+        seq = record.get("seq", "-")
+        print(f"@{frame.offset:<10} seq={seq:<6} {kind:<7} {detail}")
+    if torn and args.strict:
+        return 1
+    return 0
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--requests", type=int, default=500)
     parser.add_argument("--start-hour", type=float, default=6.0, dest="start_hour")
@@ -431,6 +578,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-json", dest="metrics_json",
                    help="write the service's metric registry as JSON to "
                         "this path")
+    p.add_argument("--durable", metavar="DIR",
+                   help="per-shard write-ahead logs + checkpoints under DIR "
+                        "(created if missing); enables crash injection and "
+                        "restart recovery")
+    p.add_argument("--fsync-every", type=int, default=64, dest="fsync_every",
+                   help="WAL appends between fsync barriers (1 = every op; "
+                        "batching keeps durable throughput near baseline)")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   dest="checkpoint_every",
+                   help="mutations between automatic checkpoints per shard "
+                        "(0 = recover from the log alone)")
+    p.add_argument("--crash-every", type=int, default=0, dest="crash_every",
+                   help="kill a rotating shard worker every N requests "
+                        "(requires --durable); failover must recover each")
     _add_workload_args(p)
     p.set_defaults(func=_loadtest)
 
@@ -487,6 +648,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--poi-seed", type=int, default=0,
                    help="POI seed for the synthetic region")
     p.set_defaults(func=_fuzz)
+
+    p = sub.add_parser(
+        "recover",
+        help="rebuild an engine from a write-ahead log (+ checkpoint) and "
+             "report what replay did",
+    )
+    p.add_argument("region", help="the saved region the WAL was written "
+                                  "against (digests must match)")
+    p.add_argument("--wal", required=True, help="write-ahead log path")
+    p.add_argument("--checkpoint", help="checkpoint path (optional; replay "
+                                        "then covers only the log suffix)")
+    p.add_argument("--audit", action="store_true",
+                   help="run the invariant auditor on the recovered engine "
+                        "(non-zero exit on violations)")
+    p.set_defaults(func=_recover)
+
+    p = sub.add_parser(
+        "wal-dump",
+        help="dump a write-ahead log frame by frame (torn tails flagged)",
+    )
+    p.add_argument("wal", help="write-ahead log path")
+    p.add_argument("--json-lines", action="store_true", dest="json_lines",
+                   help="one raw JSON record per line instead of summaries")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero when the log has a torn tail")
+    p.set_defaults(func=_wal_dump)
 
     return parser
 

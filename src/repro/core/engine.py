@@ -15,9 +15,8 @@ Exposes the four runtime operations on top of a
 
 from __future__ import annotations
 
-import itertools
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..discretization import DiscretizedRegion
 from ..exceptions import RideError, UnknownRideError, XARError
@@ -31,6 +30,32 @@ from .request import RideRequest
 from .ride import Ride, RideStatus
 from .search import MatchOption, search_rides
 from .tracking import apply_obsolescence, track_all, track_ride
+
+
+class _IdSequence:
+    """``itertools.count`` semantics plus peek/save/restore.
+
+    Durability needs two things a plain ``count`` cannot do: the WAL predicts
+    the ride id a create *will* allocate (``peek``), and a checkpoint restores
+    the allocator so replayed and live allocations line up exactly.
+    """
+
+    __slots__ = ("next_value", "step")
+
+    def __init__(self, start: int, step: int = 1):
+        self.next_value = start
+        self.step = step
+
+    def __iter__(self) -> "_IdSequence":
+        return self
+
+    def __next__(self) -> int:
+        value = self.next_value
+        self.next_value += self.step
+        return value
+
+    def peek(self) -> int:
+        return self.next_value
 
 
 class XAREngine:
@@ -81,8 +106,17 @@ class XAREngine:
         #: so ride ids stay globally unique and encode their home shard.
         if ride_id_start < 1 or ride_id_step < 1:
             raise ValueError("ride_id_start and ride_id_step must be >= 1")
-        self._ride_ids = itertools.count(ride_id_start, ride_id_step)
-        self._request_ids = itertools.count(1)
+        self._ride_ids = _IdSequence(ride_id_start, ride_id_step)
+        self._request_ids = _IdSequence(1)
+        #: Optional crash-injection seam: when set, called at named points
+        #: inside mutating operations (currently ``"book:post-snapshot"``,
+        #: between the transactional snapshot and the route splice).  A hook
+        #: that raises a non-XARError (e.g.
+        #: :class:`~repro.exceptions.WorkerCrashError`) aborts the operation
+        #: *without* triggering the rollback bookkeeping — modelling a
+        #: process that died mid-operation rather than an operation that
+        #: failed cleanly.
+        self.fault_hook: Optional[Callable[[str], None]] = None
         #: Per-stage operation timing (search: snap → cluster_lookup →
         #: candidate_scan → feasibility_filter → rank_merge; book:
         #: snapshot → splice → reindex; track: sweep; create: snap →
@@ -273,6 +307,11 @@ class XAREngine:
             with self.lock:
                 with span.stage("snapshot"):
                     snapshot = snapshot_ride(self, match.ride_id)
+                if self.fault_hook is not None:
+                    # Crash seam between snapshot and splice: nothing has
+                    # been mutated yet, so a hook that kills the worker here
+                    # leaves the engine exactly as before the call.
+                    self.fault_hook("book:post-snapshot")
                 try:
                     return book_ride(self, request, match, span=span)
                 except XARError as exc:
@@ -302,6 +341,32 @@ class XAREngine:
                     return track_all(self, now_s)
         finally:
             span.finish()
+
+    # ------------------------------------------------------------------
+    # Durability support (WAL prediction + checkpoint restore)
+    # ------------------------------------------------------------------
+    def peek_next_ride_id(self) -> int:
+        """Ride id the next successful ``create_ride`` will allocate.
+
+        The write-ahead log records it *before* the create runs, so replay
+        reconstructs the exact same id lane without the engine having to
+        accept externally assigned ids.
+        """
+        return self._ride_ids.peek()
+
+    def counter_state(self) -> Dict[str, int]:
+        """Snapshot of the id allocators (checkpoint payload)."""
+        return {
+            "ride_next": self._ride_ids.next_value,
+            "ride_step": self._ride_ids.step,
+            "request_next": self._request_ids.next_value,
+        }
+
+    def restore_counter_state(self, state: Dict[str, int]) -> None:
+        """Restore the id allocators from :meth:`counter_state`."""
+        self._ride_ids.next_value = int(state["ride_next"])
+        self._ride_ids.step = int(state["ride_step"])
+        self._request_ids.next_value = int(state["request_next"])
 
     # ------------------------------------------------------------------
     # Introspection

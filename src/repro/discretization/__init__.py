@@ -12,7 +12,7 @@ with the cross relation that every grid is directly associated with a cluster
 
 from .model import Cluster, DiscretizedRegion, WalkOption
 from .builder import build_region
-from .io import load_region, save_region
+from .io import load_region, region_digest, save_region
 
 __all__ = [
     "Cluster",
@@ -21,4 +21,5 @@ __all__ = [
     "build_region",
     "save_region",
     "load_region",
+    "region_digest",
 ]

@@ -11,14 +11,23 @@ directory and reloading skips all of it.  Layout::
 Rationale for the split: the matrix dominates the bytes and numpy's own
 format is the efficient, safe container for it; everything else is
 diff-able JSON.
+
+Format version 2 adds a **content digest**: a SHA-256 over the canonical
+JSON payload plus the raw matrix bytes, stored in ``region.json`` and
+re-verified on load.  The digest doubles as the discretization build's
+identity for the durability layer — checkpoints and write-ahead logs are
+stamped with it, so state persisted against one discretization can never be
+silently replayed onto another (:func:`region_digest` is the shared
+primitive).
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import pathlib
-from typing import Dict, Union
+from typing import Any, Dict, Union
 
 import numpy as np
 
@@ -30,20 +39,14 @@ from ..landmarks import Landmark
 from ..roadnet.io import load_network, save_network
 from .model import Cluster, DiscretizedRegion
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 PathLike = Union[str, pathlib.Path]
 
 
-def save_region(region: DiscretizedRegion, directory: PathLike) -> None:
-    """Persist a region (and its network) to ``directory``."""
-    directory = pathlib.Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    save_network(region.network, directory / "network.json")
-    np.save(directory / "landmark_matrix.npy", region.landmark_matrix.values)
-    payload = {
-        "format": "repro.region",
-        "version": FORMAT_VERSION,
+def _region_payload(region: DiscretizedRegion) -> Dict[str, Any]:
+    """The JSON-serializable body of a region (everything but the matrix)."""
+    return {
         "config": dataclasses.asdict(region.config),
         "epsilon_realised": region.epsilon_realised,
         "landmarks": [
@@ -72,19 +75,60 @@ def save_region(region: DiscretizedRegion, directory: PathLike) -> None:
             )
         ],
     }
+
+
+def region_digest(region: DiscretizedRegion) -> str:
+    """Content digest of a discretization build (SHA-256 hex).
+
+    Computed from the canonical JSON payload (config, landmarks, clusters,
+    node→landmark map, realised ε) plus the raw landmark-matrix bytes — the
+    complete inputs the runtime's search/booking answers depend on.  Two
+    regions with equal digests are interchangeable for replay; the loader,
+    the checkpoint reader and the WAL header all compare against it.
+    """
+    hasher = hashlib.sha256()
+    payload = json.dumps(_region_payload(region), sort_keys=True)
+    hasher.update(payload.encode("utf-8"))
+    hasher.update(np.ascontiguousarray(region.landmark_matrix.values).tobytes())
+    return hasher.hexdigest()
+
+
+def save_region(region: DiscretizedRegion, directory: PathLike) -> None:
+    """Persist a region (and its network) to ``directory``."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_network(region.network, directory / "network.json")
+    np.save(directory / "landmark_matrix.npy", region.landmark_matrix.values)
+    payload = {
+        "format": "repro.region",
+        "version": FORMAT_VERSION,
+        "digest": region_digest(region),
+        **_region_payload(region),
+    }
     (directory / "region.json").write_text(json.dumps(payload))
 
 
 def load_region(directory: PathLike) -> DiscretizedRegion:
-    """Load a region persisted by :func:`save_region`."""
+    """Load a region persisted by :func:`save_region`.
+
+    Raises :class:`~repro.exceptions.DiscretizationError` when the directory
+    is not a serialized region, was written by an unsupported format
+    version, or when the stored content digest does not match the bytes
+    actually loaded (a truncated matrix, a hand-edited ``region.json``, or
+    mixed-up files from two different builds).
+    """
     directory = pathlib.Path(directory)
     payload = json.loads((directory / "region.json").read_text())
     if payload.get("format") != "repro.region":
         raise DiscretizationError("not a serialized region directory")
     if payload.get("version") != FORMAT_VERSION:
         raise DiscretizationError(
-            f"unsupported region format version {payload.get('version')!r}"
+            f"unsupported region format version {payload.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION}; re-run build-region)"
         )
+    stored_digest = payload.get("digest")
+    if not stored_digest:
+        raise DiscretizationError("region.json is missing its content digest")
     network = load_network(directory / "network.json")
     matrix = DistanceMatrix(np.load(directory / "landmark_matrix.npy"))
     config = XARConfig(**payload["config"])
@@ -111,7 +155,7 @@ def load_region(directory: PathLike) -> DiscretizedRegion:
         int(node): (int(landmark_id), float(distance))
         for node, landmark_id, distance in payload["node_landmark"]
     }
-    return DiscretizedRegion(
+    region = DiscretizedRegion(
         config=config,
         network=network,
         grid=GridIndex(network.bounding_box(), config.grid_side_m),
@@ -121,3 +165,11 @@ def load_region(directory: PathLike) -> DiscretizedRegion:
         node_landmark=node_landmark,
         epsilon_realised=float(payload["epsilon_realised"]),
     )
+    actual_digest = region_digest(region)
+    if actual_digest != stored_digest:
+        raise DiscretizationError(
+            f"region content digest mismatch: region.json claims "
+            f"{stored_digest[:12]}… but the loaded bytes hash to "
+            f"{actual_digest[:12]}… (corrupted or mixed-up region files)"
+        )
+    return region

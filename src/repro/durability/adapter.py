@@ -1,0 +1,262 @@
+"""DurableAdapter: log-before-apply WAL wrapper around an engine adapter.
+
+Sits *innermost* in the service stack — directly around
+:class:`~repro.sim.adapters.XARAdapter`, underneath the resilient runtime
+and the shard worker — so that every mutation that actually reaches the
+engine is logged, including the retries and create-on-miss calls the
+resilient layer issues on its own.
+
+Protocol per mutating op (create / book / cancel / track):
+
+1. append an ``op`` record resolving all nondeterminism up front (the ride
+   id the allocator will hand out, the full request + match for a book);
+2. apply the op on the inner adapter;
+3. on a clean engine failure (:class:`~repro.exceptions.XARError`) append
+   an ``abort`` record naming the op's seq, then re-raise — replay skips
+   aborted ops and re-records their rollbacks;
+4. on a crash (anything else, e.g.
+   :class:`~repro.exceptions.WorkerCrashError`) append nothing — the op
+   record without an abort is exactly the signal recovery needs to
+   *complete* the interrupted op.
+
+Checkpoints are cut every ``checkpoint_every`` mutations (0 = only on
+demand) under the engine lock, stamped with the WAL watermark they cover.
+Reads (search, introspection) bypass the log entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..core.request import RideRequest
+from ..exceptions import XARError
+from ..geo import GeoPoint
+from ..obs import MetricsRegistry
+from ..sim.adapters import XARAdapter
+from .checkpoint import write_checkpoint
+from .wal import WriteAheadLog
+
+
+@dataclass
+class DurabilityConfig:
+    """Where and how aggressively a service persists its state."""
+
+    #: Directory holding one ``shard<k>.wal`` + ``shard<k>.ckpt`` per shard.
+    directory: str
+    #: Appends between fsync barriers (1 = fsync every op; the default
+    #: batches, which is what keeps durable throughput near the in-memory
+    #: baseline).
+    fsync_every: int = 64
+    #: Mutations between automatic checkpoints (0 = never automatically).
+    checkpoint_every: int = 0
+
+    def wal_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard{shard_id}.wal")
+
+    def checkpoint_path(self, shard_id: int) -> str:
+        return os.path.join(self.directory, f"shard{shard_id}.ckpt")
+
+
+def _point(point: GeoPoint) -> List[float]:
+    return [point.lat, point.lon]
+
+
+def _request_record(request: RideRequest) -> Dict[str, Any]:
+    return {
+        "request_id": request.request_id,
+        "source": _point(request.source),
+        "destination": _point(request.destination),
+        "window_start_s": request.window_start_s,
+        "window_end_s": request.window_end_s,
+        "walk_threshold_m": request.walk_threshold_m,
+    }
+
+
+def _match_record(match) -> Dict[str, Any]:
+    return {
+        "ride_id": match.ride_id,
+        "request_id": match.request_id,
+        "pickup_cluster": match.pickup_cluster,
+        "pickup_landmark": match.pickup_landmark,
+        "walk_source_m": match.walk_source_m,
+        "dropoff_cluster": match.dropoff_cluster,
+        "dropoff_landmark": match.dropoff_landmark,
+        "walk_destination_m": match.walk_destination_m,
+        "eta_pickup_s": match.eta_pickup_s,
+        "eta_dropoff_s": match.eta_dropoff_s,
+        "detour_estimate_m": match.detour_estimate_m,
+    }
+
+
+class DurableAdapter:
+    """WAL + checkpoint decorator over :class:`XARAdapter`.
+
+    Implements the full :class:`~repro.sim.adapters.EngineAdapter` surface;
+    the wrapped adapter stays reachable as ``.inner`` and the raw engine as
+    ``.engine`` (auditor/simulator convention).
+    """
+
+    def __init__(
+        self,
+        inner: XARAdapter,
+        wal: WriteAheadLog,
+        *,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every: int = 0,
+        shard_id: int = 0,
+        digest: str = "",
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.inner = inner
+        self.wal = wal
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+        self.shard_id = shard_id
+        self.digest = digest
+        self.name = f"{inner.name}+wal"
+        #: Highest WAL seq whose effect (apply or abort) is in the engine.
+        self._last_seq = wal.next_seq - 1
+        self._mutations_since_checkpoint = 0
+        self._m_checkpoints = None
+        if metrics is not None:
+            self._m_checkpoints = metrics.counter(
+                "xar_checkpoints_total",
+                "Engine checkpoints written",
+                labels=("shard",),
+            ).labels(shard=str(shard_id))
+
+    @property
+    def engine(self):
+        return self.inner.engine
+
+    # ------------------------------------------------------------------
+    # Logged mutations
+    # ------------------------------------------------------------------
+    def _logged(self, record: Dict[str, Any], fn, *, request_id=None,
+                ride_id=None):
+        seq = self.wal.append(record)
+        self._last_seq = seq
+        try:
+            result = fn()
+        except XARError as exc:
+            self._last_seq = self.wal.append(
+                {
+                    "kind": "abort",
+                    "aborts": seq,
+                    "request_id": request_id,
+                    "ride_id": ride_id,
+                    "error": type(exc).__name__,
+                    "reason": str(exc),
+                }
+            )
+            self._after_mutation()
+            raise
+        self._after_mutation()
+        return result
+
+    def _after_mutation(self) -> None:
+        self._mutations_since_checkpoint += 1
+        if (
+            self.checkpoint_every > 0
+            and self._mutations_since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+
+    def create(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+        seats: Optional[int] = None,
+        detour_limit_m: Optional[float] = None,
+    ):
+        engine = self.engine
+        record = {
+            "kind": "op",
+            "op": "create",
+            "ride_id": engine.peek_next_ride_id(),
+            "src": _point(source),
+            "dst": _point(destination),
+            "departure_s": depart_s,
+            "seats": seats,
+            "detour_limit_m": detour_limit_m,
+            "driver_id": None,
+        }
+        return self._logged(
+            record,
+            lambda: self.inner.create(
+                source, destination, depart_s, seats, detour_limit_m
+            ),
+            ride_id=record["ride_id"],
+        )
+
+    def book(self, request: RideRequest, match):
+        record = {
+            "kind": "op",
+            "op": "book",
+            "request": _request_record(request),
+            "match": _match_record(match),
+        }
+        return self._logged(
+            record,
+            lambda: self.inner.book(request, match),
+            request_id=request.request_id,
+            ride_id=match.ride_id,
+        )
+
+    def cancel(self, ride) -> None:
+        record = {"kind": "op", "op": "cancel", "ride_id": ride.ride_id}
+        return self._logged(
+            record, lambda: self.inner.cancel(ride), ride_id=ride.ride_id
+        )
+
+    def track_all(self, now_s: float) -> int:
+        record = {"kind": "op", "op": "track", "now_s": now_s}
+        return self._logged(record, lambda: self.inner.track_all(now_s))
+
+    # ------------------------------------------------------------------
+    # Unlogged reads
+    # ------------------------------------------------------------------
+    def search(self, request: RideRequest, k: Optional[int] = None):
+        return self.inner.search(request, k)
+
+    def active_rides(self):
+        return self.inner.active_rides()
+
+    def rollback_count(self) -> int:
+        return self.inner.rollback_count()
+
+    def index_stats(self) -> Dict[str, int]:
+        return self.inner.index_stats()
+
+    # ------------------------------------------------------------------
+    # Checkpointing / lifecycle
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Cut a checkpoint covering everything logged so far."""
+        if self.checkpoint_path is None:
+            return
+        engine = self.engine
+        with engine.lock:
+            # Barrier first: a checkpoint must never cover records the disk
+            # does not hold yet.
+            self.wal.sync()
+            write_checkpoint(
+                self.checkpoint_path,
+                engine,
+                shard_id=self.shard_id,
+                wal_seq=self._last_seq,
+                digest=self.digest or None,
+            )
+        self._mutations_since_checkpoint = 0
+        if self._m_checkpoints is not None:
+            self._m_checkpoints.inc()
+
+    def close(self) -> None:
+        self.wal.close()
+
+    def abandon(self) -> None:
+        """Drop the WAL handle without the final sync (crash simulation)."""
+        self.wal.abandon()

@@ -1,0 +1,233 @@
+"""Engine checkpoints: versioned, digest-stamped snapshots of an XAREngine.
+
+A checkpoint bounds recovery time: instead of replaying a shard's entire
+write-ahead log from empty, recovery restores the latest checkpoint and
+replays only the WAL suffix past the checkpoint's ``wal_seq``.
+
+The file is JSON (atomic tmp-file + ``os.replace`` write) holding the full
+mutable engine state — rides with their live routes / via-points / seat and
+detour budgets / tracking progress, the completed-ride archive, the booking
+and rollback ledgers, and the id allocators.  The cluster index is **not**
+serialized: it is a pure function of the rides plus their tracked progress,
+so restore rebuilds it deterministically (:func:`restore_engine_state`),
+which both shrinks the file and means a checkpoint can never carry a
+corrupted index forward.
+
+Every checkpoint is stamped with the discretization build's content digest
+(:func:`~repro.discretization.region_digest`).  Search and booking answers
+depend on the cluster geometry, so restoring a checkpoint against a
+different build would silently diverge — the reader rejects it with
+:class:`~repro.exceptions.CheckpointError` instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from ..core.booking import BookingRecord, BookingRollback
+from ..core.engine import XAREngine
+from ..core.ride import Ride, RideStatus, ViaPoint
+from ..core.tracking import apply_obsolescence
+from ..discretization import DiscretizedRegion, region_digest
+from ..exceptions import CheckpointError
+from ..geo import GeoPoint
+
+CHECKPOINT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Serialization
+# ----------------------------------------------------------------------
+def _ride_state(ride: Ride) -> Dict[str, Any]:
+    return {
+        "ride_id": ride.ride_id,
+        "route": ride.route,
+        "departure_s": ride.departure_s,
+        "detour_limit_m": ride.detour_limit_m,
+        "seats_total": ride.seats_total,
+        "seats_available": ride.seats_available,
+        "status": ride.status.value,
+        "progressed_m": ride.progressed_m,
+        "base_length_m": ride.base_length_m,
+        "driver_id": ride.driver_id,
+        "source": [ride.source_point.lat, ride.source_point.lon],
+        "destination": [ride.destination_point.lat, ride.destination_point.lon],
+        "via_points": [
+            [via.node, via.route_index, via.label, via.request_id]
+            for via in ride.via_points
+        ],
+    }
+
+
+def engine_state(engine: XAREngine) -> Dict[str, Any]:
+    """The full mutable state of an engine, as a JSON-serializable dict.
+
+    Call under ``engine.lock`` (the durable adapter does) so the snapshot is
+    a consistent point-in-time cut.
+    """
+    return {
+        "rides": [_ride_state(r) for r in engine.rides.values()],
+        "completed_rides": [
+            _ride_state(r) for r in engine.completed_rides.values()
+        ],
+        "tracked_to": sorted(
+            [ride_id, t] for ride_id, t in engine.tracked_to.items()
+        ),
+        "bookings": [_booking_state(b) for b in engine.bookings],
+        "rollbacks": [
+            {
+                "request_id": r.request_id,
+                "ride_id": r.ride_id,
+                "error": r.error,
+                "reason": r.reason,
+            }
+            for r in engine.rollbacks
+        ],
+        "counters": engine.counter_state(),
+    }
+
+
+def _booking_state(record: BookingRecord) -> Dict[str, Any]:
+    return {
+        "request_id": record.request_id,
+        "ride_id": record.ride_id,
+        "pickup_landmark": record.pickup_landmark,
+        "dropoff_landmark": record.dropoff_landmark,
+        "walk_source_m": record.walk_source_m,
+        "walk_destination_m": record.walk_destination_m,
+        "eta_pickup_s": record.eta_pickup_s,
+        "eta_dropoff_s": record.eta_dropoff_s,
+        "detour_estimate_m": record.detour_estimate_m,
+        "detour_actual_m": record.detour_actual_m,
+        "shortest_paths_computed": record.shortest_paths_computed,
+    }
+
+
+def write_checkpoint(
+    path: str,
+    engine: XAREngine,
+    *,
+    shard_id: int = 0,
+    wal_seq: int = -1,
+    digest: Optional[str] = None,
+) -> None:
+    """Atomically persist the engine's state.
+
+    ``wal_seq`` is the highest WAL sequence number already reflected in this
+    state; recovery replays only records past it.  The tmp-file +
+    ``os.replace`` dance means a crash mid-checkpoint leaves the previous
+    checkpoint intact rather than a half-written file.
+    """
+    payload = {
+        "format": "xar.checkpoint",
+        "version": CHECKPOINT_VERSION,
+        "region_digest": digest if digest is not None else region_digest(engine.region),
+        "shard_id": shard_id,
+        "wal_seq": wal_seq,
+        "engine": engine_state(engine),
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+# ----------------------------------------------------------------------
+# Restore
+# ----------------------------------------------------------------------
+def read_checkpoint(path: str, *, expected_digest: str = "") -> Dict[str, Any]:
+    """Load and validate a checkpoint file (format, version, digest)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path}: unreadable checkpoint ({exc})") from exc
+    if payload.get("format") != "xar.checkpoint":
+        raise CheckpointError(f"{path}: not a checkpoint file")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: unsupported checkpoint version "
+            f"{payload.get('version')!r} (this build reads "
+            f"{CHECKPOINT_VERSION})"
+        )
+    if expected_digest and payload.get("region_digest") != expected_digest:
+        raise CheckpointError(
+            f"{path}: checkpoint was taken against a different discretization "
+            f"build (digest {str(payload.get('region_digest'))[:12]}…, "
+            f"expected {expected_digest[:12]}…) — stale checkpoints cannot be "
+            "replayed onto new geometry"
+        )
+    return payload
+
+
+def _restore_ride(region: DiscretizedRegion, state: Dict[str, Any]) -> Ride:
+    route = [int(n) for n in state["route"]]
+    ride = Ride(
+        ride_id=int(state["ride_id"]),
+        network=region.network,
+        route=route,
+        departure_s=float(state["departure_s"]),
+        detour_limit_m=float(state["detour_limit_m"]),
+        seats=int(state["seats_total"]),
+        source_point=GeoPoint(*[float(c) for c in state["source"]]),
+        destination_point=GeoPoint(*[float(c) for c in state["destination"]]),
+        driver_id=state["driver_id"],
+    )
+    ride.replace_route(
+        route,
+        [
+            ViaPoint(
+                node=int(node),
+                route_index=int(index),
+                label=str(label),
+                request_id=None if request_id is None else int(request_id),
+            )
+            for node, index, label, request_id in state["via_points"]
+        ],
+    )
+    ride.seats_available = int(state["seats_available"])
+    ride.status = RideStatus(state["status"])
+    ride.progressed_m = float(state["progressed_m"])
+    # The ctor recomputed base_length_m from the stored (possibly already
+    # spliced) route; put back the original offer's length.
+    ride.base_length_m = float(state["base_length_m"])
+    return ride
+
+
+def restore_engine_state(engine: XAREngine, state: Dict[str, Any]) -> None:
+    """Populate a freshly constructed engine from :func:`engine_state`.
+
+    The cluster index is rebuilt from scratch: every live ride is re-indexed
+    against the current region, then each ride's obsolescence is re-applied
+    at its checkpointed tracking watermark (obsolescence is monotone in
+    time, so the one-shot application at the final watermark reproduces the
+    incremental sweeps exactly).
+    """
+    region = engine.region
+    with engine.lock:
+        tracked_to = {int(rid): float(t) for rid, t in state["tracked_to"]}
+        for ride_state in state["rides"]:
+            ride = _restore_ride(region, ride_state)
+            engine.rides[ride.ride_id] = ride
+            engine._index_ride(ride)
+        for ride_state in state["completed_rides"]:
+            ride = _restore_ride(region, ride_state)
+            engine.completed_rides[ride.ride_id] = ride
+        engine.tracked_to.update(tracked_to)
+        for ride_id, tracked in tracked_to.items():
+            ride = engine.rides.get(ride_id)
+            if ride is not None and tracked > ride.departure_s:
+                apply_obsolescence(engine, ride_id, tracked)
+        engine.bookings.extend(
+            BookingRecord(**booking) for booking in state["bookings"]
+        )
+        engine.rollbacks.extend(
+            BookingRollback(**rollback) for rollback in state["rollbacks"]
+        )
+        engine.restore_counter_state(state["counters"])

@@ -114,3 +114,50 @@ class ShardOverloadError(ServiceError):
 
 class ServiceClosedError(ServiceError):
     """An operation was submitted to a service that has been shut down."""
+
+
+class DurabilityError(XARError):
+    """Base class for write-ahead-log / checkpoint / recovery failures."""
+
+
+class WALCorruptionError(DurabilityError):
+    """A WAL frame is structurally invalid *before* the torn tail.
+
+    Torn tails (an incomplete or CRC-failing final frame) are expected after
+    a crash and are truncated silently; corruption in the middle of the log
+    means the file was damaged and recovery cannot trust anything after it.
+    """
+
+
+class CheckpointError(DurabilityError):
+    """A checkpoint file cannot be used (bad format, version, or digest).
+
+    Raised in particular when the checkpoint's region digest does not match
+    the discretization build it is being restored against: replaying ops
+    over a different cluster geometry would silently diverge, so a stale
+    checkpoint is rejected outright.
+    """
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery cannot proceed (e.g. WAL written for another region)."""
+
+
+class WorkerCrashError(Exception):
+    """An injected (or real) worker-process death.
+
+    Deliberately **not** an :class:`XARError`: a crash must rip through every
+    layer that swallows or retries library errors — the engine's transactional
+    ``book`` rollback, the resilient runtime's retry loop, the load
+    generator's per-op handlers — exactly like a process death would.  Only
+    the service's failover supervisor is allowed to handle it.
+
+    ``mid_op`` distinguishes a crash that interrupted an executing operation
+    (which may already be in the WAL and must NOT be retried — recovery
+    replays it) from a crash detected at submission time (the operation never
+    started and is safe to re-route to the recovered worker).
+    """
+
+    def __init__(self, message: str, mid_op: bool = False):
+        super().__init__(message)
+        self.mid_op = mid_op

@@ -37,7 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.request import RideRequest
-from ..exceptions import ShardOverloadError, XARError
+from ..exceptions import ShardOverloadError, WorkerCrashError, XARError
 from ..obs import MetricsRegistry
 from ..sim.metrics import percentile
 
@@ -75,6 +75,11 @@ class LoadGenConfig:
     clock: Callable[[], float] = time.perf_counter
     #: Sleep used by the pacing loop (same injection rationale).
     sleep: Callable[[float], None] = time.sleep
+    #: Chaos seam: called with each request's global index before it is
+    #: served (e.g. the CLI's ``--crash-every`` shard-killer for durability
+    #: drills).  Exceptions it raises are swallowed — chaos must never take
+    #: a driver thread down with it.
+    chaos: Optional[Callable[[int], None]] = None
 
 
 @dataclass
@@ -248,7 +253,7 @@ class LoadGenerator:
                 target.search(request, config.k_matches)
             except ShardOverloadError:
                 self._shed["search"].inc()
-            except XARError:
+            except (XARError, WorkerCrashError):
                 self._failed["search"].inc()
             self._lat["search"].observe(time.perf_counter() - t0)
 
@@ -258,7 +263,7 @@ class LoadGenerator:
         except ShardOverloadError:
             self._shed["search"].inc()
             return  # the request is refused outright, not served elsewhere
-        except XARError:
+        except (XARError, WorkerCrashError):
             self._failed["search"].inc()
             matches = []
         self._lat["search"].observe(time.perf_counter() - t0)
@@ -272,6 +277,14 @@ class LoadGenerator:
                 except ShardOverloadError:
                     self._lat["book"].observe(time.perf_counter() - t0)
                     self._shed["book"].inc()
+                    return
+                except WorkerCrashError:
+                    # The shard died mid-booking.  The op's WAL record may
+                    # already be durable, in which case recovery *completes*
+                    # it — retrying (or creating) could double-serve the
+                    # request, so the client counts a failure and stops.
+                    self._lat["book"].observe(time.perf_counter() - t0)
+                    self._failed["book"].inc()
                     return
                 except XARError:
                     self._lat["book"].observe(time.perf_counter() - t0)
@@ -289,7 +302,7 @@ class LoadGenerator:
                               request.window_start_s)
             except ShardOverloadError:
                 self._shed["create"].inc()
-            except XARError:
+            except (XARError, WorkerCrashError):
                 self._failed["create"].inc()
             else:
                 self._out["created"].inc()
@@ -328,7 +341,7 @@ class LoadGenerator:
                 track_state["last"] = now_sim_s
             try:
                 self.target.track_all(now_sim_s)
-            except XARError:
+            except (XARError, WorkerCrashError):
                 pass  # tracking is best-effort
 
         def drive(worker_id: int) -> None:
@@ -340,6 +353,11 @@ class LoadGenerator:
                     delay = due - config.clock()
                     if delay > 0:
                         config.sleep(delay)
+                if config.chaos is not None:
+                    try:
+                        config.chaos(global_index)
+                    except Exception:  # noqa: BLE001 - chaos is best-effort
+                        pass
                 maybe_tick(request.window_start_s)
                 self._serve(request)
 

@@ -31,6 +31,7 @@ derived from one root seed via :func:`~repro.service.sharding.derive_seed`.
 
 from __future__ import annotations
 
+import os
 import threading
 from typing import Any, Callable, Dict, List, Optional
 
@@ -38,8 +39,23 @@ from ..core import XAREngine
 from ..core.booking import BookingRecord
 from ..core.request import RideRequest
 from ..core.search import MatchOption
-from ..discretization import DiscretizedRegion
-from ..exceptions import ShardOverloadError, UnknownRideError, XARError
+from ..discretization import DiscretizedRegion, region_digest
+from ..durability import (
+    DurabilityConfig,
+    DurableAdapter,
+    RecoveryResult,
+    WriteAheadLog,
+    recover_engine,
+)
+from ..exceptions import (
+    ConfigurationError,
+    RecoveryError,
+    ServiceClosedError,
+    ShardOverloadError,
+    UnknownRideError,
+    WorkerCrashError,
+    XARError,
+)
 from ..geo import GeoPoint
 from ..obs import FANOUT_BUCKETS, MetricsRegistry
 from ..resilience import InvariantAuditor, ResilienceConfig, ResilientEngine
@@ -47,6 +63,16 @@ from ..sim.adapters import XARAdapter
 from .merge import merge_matches
 from .shard import ShardWorker
 from .sharding import ShardMap, derive_seed
+
+
+def _durable_of(adapter: Any) -> Optional[DurableAdapter]:
+    """The DurableAdapter in an adapter stack, if any (walks ``.inner``)."""
+    node = adapter
+    while node is not None:
+        if isinstance(node, DurableAdapter):
+            return node
+        node = getattr(node, "inner", None)
+    return None
 
 
 class _Shard:
@@ -77,6 +103,7 @@ class ShardRouter:
         seed: int = 0,
         engine_factory: Optional[Callable[[int, int], XAREngine]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        durability: Optional[DurabilityConfig] = None,
     ):
         if fanout not in ("local", "all"):
             raise ValueError(f"fanout must be 'local' or 'all', got {fanout!r}")
@@ -140,35 +167,104 @@ class ShardRouter:
         self._last_track_s: Optional[float] = None
         self._track_lock = threading.Lock()
 
+        #: Failover bookkeeping: one lock serialises all recoveries, and the
+        #: config + digest let a dead shard's stack be rebuilt from its WAL.
+        self.durability = durability
+        self._queue_depth = queue_depth
+        self._resilient = resilient
+        self._optimize_insertion = optimize_insertion
+        self._engine_factory = engine_factory
+        self._digest = region_digest(region) if durability is not None else ""
+        self._failover_lock = threading.Lock()
+        self.last_recoveries: Dict[int, RecoveryResult] = {}
+        self._c_failovers = self.metrics.counter(
+            "xar_failovers_total",
+            "Shard worker crashes recovered by the failover supervisor",
+            labels=("shard",),
+        )
+        if durability is not None:
+            for shard_id in range(self.n_shards):
+                self._c_failovers.labels(shard=str(shard_id))
+
         self.shards: List[_Shard] = []
         for shard_id in range(self.n_shards):
-            if engine_factory is not None:
-                engine = engine_factory(shard_id, self.n_shards)
-            else:
-                engine = XAREngine(
-                    region,
-                    optimize_insertion=optimize_insertion,
-                    ride_id_start=shard_id + 1,
-                    ride_id_step=self.n_shards,
-                    metrics=self.metrics,
-                    metrics_labels={"shard": str(shard_id)},
-                )
-            adapter: Any = XARAdapter(engine)
-            if resilient:
-                adapter = ResilientEngine(
-                    adapter,
-                    ResilienceConfig(seed=derive_seed(seed, shard_id)),
-                    metrics=self.metrics,
-                    metrics_labels={"shard": str(shard_id)},
-                )
-            worker = ShardWorker(
-                shard_id,
-                adapter,
-                queue_depth=queue_depth,
-                seed=derive_seed(seed, shard_id),
+            engine = self._recover_or_make_engine(shard_id)
+            adapter, worker = self._wrap_stack(shard_id, engine)
+            self.shards.append(_Shard(shard_id, engine, adapter, worker))
+
+    # ------------------------------------------------------------------
+    # Shard stack construction (initial build + failover rebuild)
+    # ------------------------------------------------------------------
+    def _recover_or_make_engine(self, shard_id: int) -> XAREngine:
+        """Fresh engine, or — when the shard's WAL already exists — the
+        engine recovered from checkpoint + WAL replay (service restart)."""
+        if self.durability is not None and os.path.exists(
+            self.durability.wal_path(shard_id)
+        ):
+            result = recover_engine(
+                self.region,
+                self.durability.wal_path(shard_id),
+                self.durability.checkpoint_path(shard_id),
+                engine_factory=lambda: self._make_engine(shard_id),
                 metrics=self.metrics,
             )
-            self.shards.append(_Shard(shard_id, engine, adapter, worker))
+            self.last_recoveries[shard_id] = result
+            return result.engine
+        return self._make_engine(shard_id)
+
+    def _make_engine(self, shard_id: int) -> XAREngine:
+        if self._engine_factory is not None:
+            return self._engine_factory(shard_id, self.n_shards)
+        return XAREngine(
+            self.region,
+            optimize_insertion=self._optimize_insertion,
+            ride_id_start=shard_id + 1,
+            ride_id_step=self.n_shards,
+            metrics=self.metrics,
+            metrics_labels={"shard": str(shard_id)},
+        )
+
+    def _wrap_stack(self, shard_id: int, engine: XAREngine):
+        """Adapter stack + worker around an engine: XARAdapter, then the
+        WAL decorator (innermost, so resilient retries are logged too),
+        then the resilient runtime, then the worker thread."""
+        adapter: Any = XARAdapter(engine)
+        if self.durability is not None:
+            config = self.durability
+            wal = WriteAheadLog.open(
+                config.wal_path(shard_id),
+                shard_id=shard_id,
+                ride_id_start=shard_id + 1,
+                ride_id_step=self.n_shards,
+                region_digest=self._digest,
+                fsync_every=config.fsync_every,
+                metrics=self.metrics,
+                metrics_labels={"shard": str(shard_id)},
+            )
+            adapter = DurableAdapter(
+                adapter,
+                wal,
+                checkpoint_path=config.checkpoint_path(shard_id),
+                checkpoint_every=config.checkpoint_every,
+                shard_id=shard_id,
+                digest=self._digest,
+                metrics=self.metrics,
+            )
+        if self._resilient:
+            adapter = ResilientEngine(
+                adapter,
+                ResilienceConfig(seed=derive_seed(self.seed, shard_id)),
+                metrics=self.metrics,
+                metrics_labels={"shard": str(shard_id)},
+            )
+        worker = ShardWorker(
+            shard_id,
+            adapter,
+            queue_depth=self._queue_depth,
+            seed=derive_seed(self.seed, shard_id),
+            metrics=self.metrics,
+        )
+        return adapter, worker
 
     # ------------------------------------------------------------------
     # Legacy counter surface (now registry-backed, hence race-free)
@@ -203,6 +299,133 @@ class ShardRouter:
         return self.shard_map.shards_for_request(request, self.fanout_radius_m)
 
     # ------------------------------------------------------------------
+    # Failover supervision
+    # ------------------------------------------------------------------
+    def _ensure_live(self, shard: _Shard) -> None:
+        if shard.worker.crashed:
+            self._failover(shard)
+
+    def _with_failover(self, shard: _Shard, attempt: Callable[[], Any]) -> Any:
+        """Run ``attempt`` on a live shard, recovering it first if needed.
+
+        ``attempt`` must late-bind through the ``shard`` object
+        (``shard.worker`` / ``shard.adapter``), because failover swaps the
+        stack in place.  A crash *detected at submission* (``mid_op=False``:
+        the op never started) is retried once on the recovered shard; a
+        crash *mid-operation* re-raises after failover — the op may already
+        be in the WAL, and recovery has replayed it, so a blind retry would
+        double-apply.
+        """
+        self._ensure_live(shard)
+        try:
+            return attempt()
+        except WorkerCrashError as exc:
+            self._failover(shard)
+            if exc.mid_op:
+                raise
+            return attempt()
+
+    def _failover(self, shard: _Shard) -> None:
+        """Recover a crashed shard in place: drain its queue, replay its
+        WAL (checkpoint + suffix), swap in a fresh stack, requeue the
+        drained jobs (original futures intact).  Jobs the rebuilt queue
+        cannot hold are shed with ``outcome="dropped"``."""
+        with self._failover_lock:
+            if self._closed:
+                raise ServiceClosedError("service is shut down")
+            if not shard.worker.crashed:
+                return  # another caller already recovered it
+            if self.durability is None:
+                raise RecoveryError(
+                    f"shard {shard.shard_id} crashed but the service has no "
+                    "durability configured: its state is unrecoverable"
+                )
+            old_worker = shard.worker
+            pending = old_worker.drain_pending()
+            old_worker.join(timeout_s=5.0)
+            # Disarm any one-shot crash hook and release the dead stack's
+            # WAL handle so the rebuilt stack can reopen the file.
+            shard.engine.fault_hook = None
+            durable = _durable_of(shard.adapter)
+            if durable is not None and not durable.wal.closed:
+                durable.abandon()
+            result = recover_engine(
+                self.region,
+                self.durability.wal_path(shard.shard_id),
+                self.durability.checkpoint_path(shard.shard_id),
+                engine_factory=lambda: self._make_engine(shard.shard_id),
+                metrics=self.metrics,
+            )
+            self.last_recoveries[shard.shard_id] = result
+            engine = result.engine
+            adapter, worker = self._wrap_stack(shard.shard_id, engine)
+            shard.engine, shard.adapter, shard.worker = engine, adapter, worker
+            self._c_failovers.labels(shard=str(shard.shard_id)).inc()
+            for job in pending:
+                if not worker.resubmit(job):
+                    self.metrics.counter(
+                        "xar_shard_ops_total",
+                        labels=("shard", "op", "outcome"),
+                    ).labels(
+                        shard=str(shard.shard_id),
+                        op=job.operation,
+                        outcome="dropped",
+                    ).inc()
+                    job.future.set_exception(
+                        ShardOverloadError(shard.shard_id, job.operation)
+                    )
+
+    def supervise(self) -> int:
+        """Sweep every shard and recover any whose worker died; returns the
+        number of failovers performed."""
+        recovered = 0
+        for shard in self.shards:
+            if shard.worker.crashed:
+                self._failover(shard)
+                recovered += 1
+        return recovered
+
+    def crash_shard(self, shard_id: int, *, mid_book: bool = False) -> None:
+        """Chaos hook: kill one shard's worker as a process death would.
+
+        Plain crashes enqueue a job that dies on the worker thread;
+        ``mid_book=True`` instead arms a one-shot engine hook that kills
+        the *next booking* between its transactional snapshot and the route
+        splice — the op is in the WAL but never applied, the exact window
+        recovery must close.
+        """
+        if self.durability is None:
+            raise ConfigurationError(
+                "crash injection requires a durable service "
+                "(pass durability=DurabilityConfig(...))"
+            )
+        shard = self.shards[shard_id]
+        if mid_book:
+            engine = shard.engine
+
+            def hook(point: str) -> None:
+                if point == "book:post-snapshot":
+                    engine.fault_hook = None
+                    raise WorkerCrashError(
+                        f"injected crash in shard {shard_id} at {point}"
+                    )
+
+            engine.fault_hook = hook
+            return
+
+        def die() -> None:
+            raise WorkerCrashError(f"injected crash in shard {shard_id}")
+
+        try:
+            future = shard.worker.submit("crash", die)
+        except (WorkerCrashError, ShardOverloadError, ServiceClosedError):
+            return  # already dead, saturated, or shutting down: nothing to kill
+        try:
+            future.result(timeout=5.0)
+        except WorkerCrashError:
+            pass
+
+    # ------------------------------------------------------------------
     # EngineAdapter protocol
     # ------------------------------------------------------------------
     def create(
@@ -214,11 +437,14 @@ class ShardRouter:
         detour_limit_m: Optional[float] = None,
     ) -> Any:
         shard = self.shards[self.shard_map.shard_of_point(source)]
-        return shard.worker.call(
-            "create",
-            lambda: shard.adapter.create(
-                source, destination, depart_s,
-                seats=seats, detour_limit_m=detour_limit_m,
+        return self._with_failover(
+            shard,
+            lambda: shard.worker.call(
+                "create",
+                lambda: shard.adapter.create(
+                    source, destination, depart_s,
+                    seats=seats, detour_limit_m=detour_limit_m,
+                ),
             ),
         )
 
@@ -241,8 +467,12 @@ class ShardRouter:
             shard = self.shards[shard_id]
             try:
                 batches.append(
-                    shard.worker.execute_inline(
-                        "search", lambda a=shard.adapter: a.search(request, k)
+                    self._with_failover(
+                        shard,
+                        lambda shard=shard: shard.worker.execute_inline(
+                            "search",
+                            lambda: shard.adapter.search(request, k),
+                        ),
                     )
                 )
             except ShardOverloadError:
@@ -262,8 +492,11 @@ class ShardRouter:
 
     def book(self, request: RideRequest, match: MatchOption) -> BookingRecord:
         shard = self.shards[self.shard_of_ride(match.ride_id)]
-        return shard.worker.call(
-            "book", lambda: shard.adapter.book(request, match)
+        return self._with_failover(
+            shard,
+            lambda: shard.worker.call(
+                "book", lambda: shard.adapter.book(request, match)
+            ),
         )
 
     def track_all(self, now_s: float) -> int:
@@ -289,12 +522,22 @@ class ShardRouter:
                 return 0
             for shard in self.shards:
                 try:
+                    self._ensure_live(shard)
                     futures.append(
-                        shard.worker.submit(
-                            "track", lambda a=shard.adapter: a.track_all(now_s)
+                        (
+                            shard,
+                            shard.worker.submit(
+                                "track",
+                                # Late-bound through the shard object: a job
+                                # requeued after failover must sweep the
+                                # *recovered* engine, not the dead one.
+                                lambda shard=shard: shard.adapter.track_all(
+                                    now_s
+                                ),
+                            ),
                         )
                     )
-                except ShardOverloadError:
+                except (ShardOverloadError, WorkerCrashError):
                     continue
             if futures:
                 # >= 1 shard holds the tick: the sweep up to now_s will
@@ -306,17 +549,36 @@ class ShardRouter:
                 # retry at the same timestamp is NOT coalesced away.
                 self._c_ticks.labels(outcome="dropped").inc()
                 return 0
-        return sum(future.result() for future in futures)
+        total = 0
+        for shard, future in futures:
+            try:
+                total += future.result()
+            except WorkerCrashError:
+                # The tick crashed this shard mid-sweep.  Its WAL holds the
+                # track record, so recovery replays the sweep; the tick is
+                # not lost, just accounted to the recovered engine.
+                self._failover(shard)
+        return total
 
     def cancel(self, ride: Any) -> None:
         shard = self.shards[self.shard_of_ride(ride.ride_id)]
-        shard.worker.call("cancel", lambda: shard.adapter.cancel(ride))
+        self._with_failover(
+            shard,
+            lambda: shard.worker.call(
+                "cancel", lambda: shard.adapter.cancel(ride)
+            ),
+        )
 
     def active_rides(self) -> List[Any]:
         rides: List[Any] = []
         for shard in self.shards:
             rides.extend(
-                shard.worker.call("admin", shard.adapter.active_rides)
+                self._with_failover(
+                    shard,
+                    lambda shard=shard: shard.worker.call(
+                        "admin", lambda: shard.adapter.active_rides()
+                    ),
+                )
             )
         return rides
 
@@ -329,9 +591,13 @@ class ShardRouter:
     def index_stats(self) -> Dict[str, int]:
         totals: Dict[str, int] = {}
         for shard in self.shards:
-            for key, value in shard.worker.call(
-                "admin", shard.engine.index_stats
-            ).items():
+            stats = self._with_failover(
+                shard,
+                lambda shard=shard: shard.worker.call(
+                    "admin", lambda: shard.engine.index_stats()
+                ),
+            )
+            for key, value in stats.items():
                 totals[key] = totals.get(key, 0) + value
         return totals
 
@@ -343,7 +609,12 @@ class ShardRouter:
         records: List[BookingRecord] = []
         for shard in self.shards:
             records.extend(
-                shard.worker.call("admin", lambda e=shard.engine: list(e.bookings))
+                self._with_failover(
+                    shard,
+                    lambda shard=shard: shard.worker.call(
+                        "admin", lambda: list(shard.engine.bookings)
+                    ),
+                )
             )
         return records
 
@@ -356,7 +627,9 @@ class ShardRouter:
         ``completed_rides``), spuriously raising ``UnknownRideError`` for a
         ride that exists.
         """
-        engine = self.shards[self.shard_of_ride(ride_id)].engine
+        shard = self.shards[self.shard_of_ride(ride_id)]
+        self._ensure_live(shard)
+        engine = shard.engine
         with engine.lock:
             ride = (
                 engine.rides.get(ride_id)
@@ -375,8 +648,10 @@ class ShardRouter:
         per_shard: Dict[int, int] = {}
         healed = 0
         for shard in self.shards:
-            def sweep(engine=shard.engine):
-                auditor = InvariantAuditor(engine)
+            def sweep(shard=shard):
+                # Late-bound: after a failover this must audit the shard's
+                # *recovered* engine, not the stack that died.
+                auditor = InvariantAuditor(shard.engine)
                 report = auditor.audit()
                 actions = 0
                 if heal and not report.ok:
@@ -384,7 +659,12 @@ class ShardRouter:
                     report = auditor.audit()
                 return len(report.violations), actions
 
-            violations, actions = shard.worker.call("audit", sweep)
+            violations, actions = self._with_failover(
+                shard,
+                lambda shard=shard, sweep=sweep: shard.worker.call(
+                    "audit", sweep
+                ),
+            )
             per_shard[shard.shard_id] = violations
             healed += actions
         return {
@@ -439,6 +719,11 @@ class ShardRouter:
         self._closed = True
         for shard in self.shards:
             shard.worker.close()
+            durable = _durable_of(shard.adapter)
+            if durable is not None and not durable.wal.closed:
+                # Final fsync barrier: everything the service acknowledged
+                # is on disk before the handles go away.
+                durable.close()
 
     def __enter__(self) -> "ShardRouter":
         return self

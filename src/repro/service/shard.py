@@ -35,7 +35,11 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
-from ..exceptions import ServiceClosedError, ShardOverloadError
+from ..exceptions import (
+    ServiceClosedError,
+    ShardOverloadError,
+    WorkerCrashError,
+)
 from ..obs import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
 
 
@@ -105,6 +109,11 @@ class ShardWorker:
         self._read_gate = threading.Semaphore(queue_depth)
         self._stats_lock = threading.Lock()
         self._closed = False
+        #: Set when the worker thread died on a :class:`WorkerCrashError`.
+        #: Guarded by ``_submit_lock`` on the mutation path so a submitter
+        #: can never slip a job past a concurrent failover's queue drain.
+        self.crashed = False
+        self._submit_lock = threading.Lock()
         #: Registry instruments (None when the worker is uninstrumented).
         self._m_ops = self._m_depth = self._m_wait = self._m_service = None
         if metrics is not None:
@@ -160,16 +169,27 @@ class ShardWorker:
     # Submission (any thread)
     # ------------------------------------------------------------------
     def submit(self, operation: str, fn: Callable[[], Any]) -> "Future[Any]":
-        """Enqueue a job; sheds immediately when the queue is full."""
-        if self._closed:
-            raise ServiceClosedError(f"shard {self.shard_id} is shut down")
+        """Enqueue a job; sheds immediately when the queue is full.
+
+        Raises :class:`~repro.exceptions.WorkerCrashError` (``mid_op=False``
+        — the job never started, safe to retry elsewhere) when the worker
+        thread has died; the router's failover supervisor turns that into a
+        recover-and-retry.
+        """
         future: "Future[Any]" = Future()
         job = _Job(operation, fn, future, time.perf_counter())
-        try:
-            self._queue.put_nowait(job)
-        except queue.Full:
-            self._count(self.stats.shed, operation, "shed")
-            raise ShardOverloadError(self.shard_id, operation) from None
+        with self._submit_lock:
+            if self._closed:
+                raise ServiceClosedError(f"shard {self.shard_id} is shut down")
+            if self.crashed:
+                raise WorkerCrashError(
+                    f"shard {self.shard_id} worker is dead", mid_op=False
+                )
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._count(self.stats.shed, operation, "shed")
+                raise ShardOverloadError(self.shard_id, operation) from None
         depth = self._queue.qsize()
         if depth > self.stats.queue_peak:
             self.stats.queue_peak = depth
@@ -191,6 +211,13 @@ class ShardWorker:
         """
         if self._closed:
             raise ServiceClosedError(f"shard {self.shard_id} is shut down")
+        if self.crashed:
+            # The in-memory engine may be behind its own write-ahead log
+            # (e.g. a booking logged but never spliced); answers from it
+            # would diverge from the recovered state, so reads fail over too.
+            raise WorkerCrashError(
+                f"shard {self.shard_id} worker is dead", mid_op=False
+            )
         if not self._read_gate.acquire(blocking=False):
             self._count(self.stats.shed, operation, "shed")
             raise ShardOverloadError(self.shard_id, operation)
@@ -227,6 +254,17 @@ class ShardWorker:
                 self._m_wait.observe(started - job.enqueued_at)
             try:
                 result = job.fn()
+            except WorkerCrashError as exc:
+                # The worker "process" died mid-operation.  Flag the crash
+                # (mid_op: the op may already be in the WAL and must not be
+                # retried), relay it, and stop the loop WITHOUT draining the
+                # queue — pending jobs stay put for the failover supervisor
+                # to re-route or shed.
+                exc.mid_op = True
+                self.crashed = True
+                self._count(self.stats.errors, job.operation, "error")
+                job.future.set_exception(exc)
+                break
             except BaseException as exc:  # noqa: BLE001 - relayed to caller
                 self._count(self.stats.errors, job.operation, "error")
                 job.future.set_exception(exc)
@@ -239,14 +277,58 @@ class ShardWorker:
                 job.future.set_result(result)
 
     # ------------------------------------------------------------------
+    # Failover support (called by the router's supervisor)
+    # ------------------------------------------------------------------
+    def drain_pending(self) -> "list[_Job]":
+        """Atomically mark the worker crashed and take its queued jobs.
+
+        Holding the submit lock while draining closes the race with
+        concurrent submitters: after this returns, no job can ever reach
+        this worker's queue again.
+        """
+        with self._submit_lock:
+            self.crashed = True
+            pending = []
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is not _STOP:
+                    pending.append(job)
+            if self._m_depth is not None:
+                self._m_depth.set(0)
+            return pending
+
+    def resubmit(self, job: _Job) -> bool:
+        """Requeue a drained job (its original future included) on this
+        worker; False when the queue is full (caller sheds the job)."""
+        with self._submit_lock:
+            if self._closed or self.crashed:
+                return False
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                return False
+        if self._m_depth is not None:
+            self._m_depth.set(self._queue.qsize())
+        return True
+
+    def join(self, timeout_s: float = 5.0) -> None:
+        """Wait for the worker thread to exit (crashed workers: no-op soon)."""
+        self._thread.join(timeout=timeout_s)
+
+    # ------------------------------------------------------------------
     # Shutdown
     # ------------------------------------------------------------------
     def close(self, timeout_s: float = 5.0) -> None:
         """Stop accepting work, drain the queue, join the thread."""
         if self._closed:
             return
-        self._closed = True
-        self._queue.put(_STOP)  # blocks until there is room: queue drains
+        with self._submit_lock:
+            self._closed = True
+        if not self.crashed:
+            self._queue.put(_STOP)  # blocks until there is room: queue drains
         self._thread.join(timeout=timeout_s)
 
     @property

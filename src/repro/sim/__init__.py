@@ -14,7 +14,9 @@ from .faults import (
     FaultPolicy,
     IndexCorruption,
     RouterFault,
+    TornWrite,
     TrackingDropout,
+    WorkerCrash,
     default_fault_policies,
 )
 from .metrics import OperationTimings, SimulationReport, percentile
@@ -31,6 +33,8 @@ __all__ = [
     "TrackingDropout",
     "DriverCancellation",
     "IndexCorruption",
+    "TornWrite",
+    "WorkerCrash",
     "default_fault_policies",
     "OperationTimings",
     "SimulationReport",

@@ -20,6 +20,7 @@ from .differential import (
     DifferentialHarness,
     DifferentialReport,
     Divergence,
+    DurableFacade,
     FACADE_NAMES,
     make_facade,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "DifferentialHarness",
     "DifferentialReport",
     "Divergence",
+    "DurableFacade",
     "FACADE_NAMES",
     "FuzzConfig",
     "OracleAdapter",

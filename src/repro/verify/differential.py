@@ -36,10 +36,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+import os
+import shutil
+import tempfile
+
 from ..core import XAREngine
 from ..core.request import RideRequest
-from ..discretization import DiscretizedRegion
-from ..exceptions import XARError
+from ..discretization import DiscretizedRegion, region_digest
+from ..durability import DurableAdapter, WriteAheadLog, recover_engine
+from ..exceptions import BookingError, WorkerCrashError, XARError
 from ..geo import GeoPoint
 from ..obs import MetricsRegistry
 from ..resilience import ResilienceConfig, ResilientEngine
@@ -49,7 +54,9 @@ from ..sim.adapters import XARAdapter
 from .oracle import OracleAdapter, OracleEngine
 
 #: Façade names the harness understands (``shardN`` for any N >= 1).
-FACADE_NAMES = ("oracle", "xar", "shard1", "shard2", "shard4", "resilient")
+FACADE_NAMES = (
+    "oracle", "xar", "shard1", "shard2", "shard4", "resilient", "durable",
+)
 
 
 @dataclass(frozen=True)
@@ -137,10 +144,198 @@ class Facade:
             self._closer()
 
 
+class _DurableTarget:
+    """A WAL-backed single engine that the harness can crash and recover.
+
+    Implements the :class:`~repro.sim.adapters.EngineAdapter` surface over
+    an :class:`XARAdapter` + :class:`DurableAdapter` stack rooted in a
+    private directory.  Two crash shapes are supported:
+
+    * :meth:`crash` — a clean between-ops crash: drop the WAL handle
+      without the final fsync (as a dying process would) and rebuild the
+      engine by replaying the log;
+    * :meth:`arm_mid_book` — the next booking dies at the engine's
+      ``book:post-snapshot`` seam, *after* its WAL record is written but
+      *before* the splice mutates the ride.  :meth:`book` catches the
+      resulting :class:`~repro.exceptions.WorkerCrashError`, recovers, and
+      resolves the interrupted booking from the recovered engine — exactly
+      the contract the service's shard failover provides.
+    """
+
+    def __init__(
+        self,
+        region: DiscretizedRegion,
+        directory: str,
+        *,
+        fsync_every: int = 16,
+        checkpoint_every: int = 20,
+    ):
+        self.region = region
+        self.directory = directory
+        self.fsync_every = fsync_every
+        self.checkpoint_every = checkpoint_every
+        self._digest = region_digest(region)
+        self._wal_path = os.path.join(directory, "shard0.wal")
+        self._checkpoint_path = os.path.join(directory, "shard0.ckpt")
+        #: Called with the recovered engine after every recovery, before
+        #: the interrupted op resolves (the façade re-points its handles).
+        self.on_recovered: Optional[Callable[[XAREngine], None]] = None
+        self.last_recovery = None
+        self.recoveries = 0
+        self._attach(XAREngine(region))
+
+    def _attach(self, engine: XAREngine) -> None:
+        wal = WriteAheadLog.open(
+            self._wal_path,
+            shard_id=0,
+            ride_id_start=1,
+            ride_id_step=1,
+            region_digest=self._digest,
+            fsync_every=self.fsync_every,
+        )
+        self.adapter = DurableAdapter(
+            XARAdapter(engine),
+            wal,
+            checkpoint_path=self._checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            digest=self._digest,
+        )
+        self.name = f"{self.adapter.name}+crashy"
+
+    @property
+    def engine(self) -> XAREngine:
+        return self.adapter.engine
+
+    # -- crash / recovery ------------------------------------------------
+    def crash(self) -> None:
+        """Kill the process between ops, then recover from disk."""
+        self.engine.fault_hook = None
+        self.adapter.abandon()
+        self.recover()
+
+    def arm_mid_book(self) -> None:
+        """Make the next booking crash after its WAL record is durable."""
+        engine = self.engine
+
+        def hook(point: str) -> None:
+            if point == "book:post-snapshot":
+                engine.fault_hook = None
+                raise WorkerCrashError(
+                    "injected crash between snapshot and splice", mid_op=True
+                )
+
+        engine.fault_hook = hook
+
+    def disarm(self) -> None:
+        self.engine.fault_hook = None
+
+    def recover(self):
+        result = recover_engine(
+            self.region, self._wal_path, self._checkpoint_path
+        )
+        self.last_recovery = result
+        self.recoveries += 1
+        self._attach(result.engine)
+        if self.on_recovered is not None:
+            self.on_recovered(result.engine)
+        return result
+
+    # -- EngineAdapter surface -------------------------------------------
+    def create(self, source, destination, depart_s, seats=None,
+               detour_limit_m=None):
+        return self.adapter.create(
+            source, destination, depart_s, seats, detour_limit_m
+        )
+
+    def search(self, request, k=None):
+        return self.adapter.search(request, k)
+
+    def book(self, request, match):
+        try:
+            return self.adapter.book(request, match)
+        except WorkerCrashError:
+            # The op record is on disk but the abort (if any) is not;
+            # recovery replays the booking and lands on whichever outcome
+            # the live engine would have reached.
+            self.adapter.abandon()
+            self.recover()
+            engine = self.engine
+            for record in reversed(engine.bookings):
+                if record.request_id == request.request_id:
+                    return record
+            for rollback in reversed(engine.rollbacks):
+                if rollback.request_id == request.request_id:
+                    raise _exception_by_name(rollback.error)(rollback.reason)
+            raise BookingError(
+                f"request {request.request_id} vanished during recovery"
+            )
+
+    def cancel(self, ride) -> None:
+        self.adapter.cancel(ride)
+
+    def track_all(self, now_s: float) -> int:
+        return self.adapter.track_all(now_s)
+
+    def active_rides(self):
+        return self.adapter.active_rides()
+
+    def rollback_count(self) -> int:
+        return self.adapter.rollback_count()
+
+    def index_stats(self):
+        return self.adapter.index_stats()
+
+    def close(self) -> None:
+        try:
+            self.engine.fault_hook = None
+            self.adapter.close()
+        except Exception:  # noqa: BLE001 - best effort on teardown
+            pass
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+def _exception_by_name(name: str):
+    """Resolve a rollback's recorded error class back to an exception type."""
+    from .. import exceptions as _exceptions
+
+    candidate = getattr(_exceptions, name, BookingError)
+    if isinstance(candidate, type) and issubclass(candidate, XARError):
+        return candidate
+    return BookingError
+
+
+class DurableFacade(Facade):
+    """Facade whose handle maps survive crash-recovery engine swaps.
+
+    Recovery replays the WAL into a *new* engine with new ride objects;
+    ride ids are stable across replay (create records pin the allocator),
+    so every handle is re-pointed at the recovered object with the same
+    id.  Handles whose rides no longer exist (cancelled or completed away
+    before the crash) keep their stale object — later ops on them then
+    fail with the same errors the reference sees.
+    """
+
+    def __init__(self, name: str, target: _DurableTarget):
+        super().__init__(
+            name, target, engines=[target.engine], closer=target.close
+        )
+        target.on_recovered = self._on_recovered
+
+    def _on_recovered(self, engine: XAREngine) -> None:
+        self.xar_engines = [engine]
+        for handle, ride in list(self.rides_by_handle.items()):
+            recovered = engine.rides.get(ride.ride_id)
+            if recovered is None:
+                recovered = engine.completed_rides.get(ride.ride_id)
+            if recovered is not None:
+                self.rides_by_handle[handle] = recovered
+
+
 def make_facade(
     name: str, region: DiscretizedRegion, seed: int = 0
 ) -> Facade:
-    """Build one façade by name: ``oracle | xar | shardN | resilient``."""
+    """Build one façade by name: ``oracle | xar | shardN | resilient |
+    durable``."""
     if name == "oracle":
         engine = OracleEngine(region)
         return Facade(name, OracleAdapter(engine))
@@ -172,6 +367,9 @@ def make_facade(
             ResilientEngine(XARAdapter(engine), config),
             engines=[engine],
         )
+    if name == "durable":
+        directory = tempfile.mkdtemp(prefix="xar-differential-durable-")
+        return DurableFacade(name, _DurableTarget(region, directory))
     raise ValueError(
         f"unknown façade {name!r} (choose from {FACADE_NAMES} or shardN)"
     )
@@ -568,6 +766,39 @@ class DifferentialHarness:
                     report, op_index, op, "cancel-outcome", facade.name,
                     f"{error or 'ok'} vs reference {ref_error or 'ok'}",
                 )
+
+    def _op_crash(self, report, op_index, op, reference, others) -> None:
+        """Crash-recover every durable façade, then diff recovered state.
+
+        ``mode="clean"`` kills the process between ops: the WAL handle is
+        dropped without a final fsync and the engine is rebuilt by replay;
+        the recovered live state must equal the reference's exactly.
+        ``mode="mid-book"`` kills it *inside* the next booking (the op dict
+        carries the same fields as a book op), after the WAL record lands
+        but before the splice — recovery must complete the booking so the
+        op's outcome still matches the reference's uninterrupted one.
+        """
+        durables = [
+            facade
+            for facade in [reference] + others
+            if isinstance(facade.target, _DurableTarget)
+        ]
+        if not durables:
+            return  # no durable façade in this run: crash ops are no-ops
+        if op.get("mode", "clean") == "mid-book":
+            for facade in durables:
+                facade.target.arm_mid_book()
+            try:
+                self._op_book(report, op_index, op, reference, others)
+            finally:
+                # A book that never reached the engine (no match / rank out
+                # of range) leaves the hook armed; a later op must not trip it.
+                for facade in durables:
+                    facade.target.disarm()
+        else:
+            for facade in durables:
+                facade.target.crash()
+        self._compare_live_state(report, op_index, op, reference, others)
 
     def _op_track(self, report, op_index, op, reference, others) -> None:
         now_s = op["now_s"]

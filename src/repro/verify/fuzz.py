@@ -14,6 +14,10 @@ harness, the shrinker, and the regression corpus in
   "walk_m": W, "k": K|null}`` (book adds ``"rank": R``)
 * ``{"op": "cancel", "handle": H}``
 * ``{"op": "track", "now_s": T}`` (strictly increasing within a sequence)
+* ``{"op": "crash", "mode": "clean"}`` or ``{"op": "crash", "mode":
+  "mid-book", ...book fields...}`` — crash-recover every durable façade
+  (between ops, or inside the next booking); a no-op for runs without one.
+  Weighted 0 by default so existing corpus seeds replay byte-identically.
 
 Handles are creation ordinals — the cross-façade ride identity the harness
 keys its diffs on — so any *subsequence* of a generated sequence is still a
@@ -54,8 +58,15 @@ class FuzzConfig:
             "book": 0.25,
             "track": 0.10,
             "cancel": 0.10,
+            # Weight 0 keeps old seeds draw-compatible (a zero-width slot
+            # never wins a draw and never shifts the others' cut points);
+            # crash-mode fuzzing opts in by raising it.
+            "crash": 0.0,
         }
     )
+    #: When a crash op fires, probability it strikes mid-book (inside the
+    #: next booking, after the WAL record) rather than cleanly between ops.
+    crash_mid_book_p: float = 0.5
     #: Seat counts offered rides draw from (None → engine default).
     seat_choices: Sequence[Optional[int]] = (None, 1, 2, 3)
     #: Detour budgets as fractions of the config default (None → default).
@@ -159,6 +170,26 @@ def generate_ops(
             if kind == "book":
                 op["rank"] = rng.randrange(0, 3)
             ops.append(op)
+        elif kind == "crash":
+            if corridors and rng.random() < config.crash_mid_book_p:
+                # Book-shaped: the harness delegates to its book handler
+                # with the crash hook armed, so the interrupted booking is
+                # diffed like any other.
+                src, dst, depart = rng.choice(corridors)
+                ops.append(
+                    {
+                        "op": "crash",
+                        "mode": "mid-book",
+                        "src": src,
+                        "dst": dst,
+                        "window": [depart, depart + config.window_s],
+                        "walk_m": walk,
+                        "k": rng.choice(list(config.k_choices)),
+                        "rank": rng.randrange(0, 3),
+                    }
+                )
+            else:
+                ops.append({"op": "crash", "mode": "clean"})
         elif kind == "cancel":
             ops.append({"op": "cancel", "handle": rng.choice(created)})
         elif kind == "track":

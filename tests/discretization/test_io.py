@@ -1,9 +1,11 @@
-"""Region persistence round-trips."""
+"""Region persistence round-trips + the format-v2 content digest."""
+
+import json
 
 import pytest
 
 from repro.core import XAREngine
-from repro.discretization import load_region, save_region
+from repro.discretization import load_region, region_digest, save_region
 from repro.exceptions import DiscretizationError
 
 
@@ -71,4 +73,57 @@ class TestValidation:
         payload_path = tmp_path / "region.json"
         payload_path.write_text(payload_path.read_text().replace("repro.region", "bogus"))
         with pytest.raises(DiscretizationError):
+            load_region(tmp_path)
+
+
+class TestContentDigest:
+    """Format v2: digest round-trips, and every tamper shape is caught."""
+
+    def test_digest_is_deterministic_and_round_trips(self, small_region, tmp_path):
+        digest = region_digest(small_region)
+        assert digest == region_digest(small_region)
+        save_region(small_region, tmp_path)
+        reloaded = load_region(tmp_path)
+        assert region_digest(reloaded) == digest
+        assert json.loads((tmp_path / "region.json").read_text())["digest"] == digest
+
+    def test_tampered_payload_is_rejected(self, small_region, tmp_path):
+        save_region(small_region, tmp_path)
+        path = tmp_path / "region.json"
+        payload = json.loads(path.read_text())
+        payload["epsilon_realised"] += 1.0
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DiscretizationError, match="digest mismatch"):
+            load_region(tmp_path)
+
+    def test_tampered_matrix_is_rejected(self, small_region, tmp_path):
+        """Symmetric corruption passes the matrix's structural validation —
+        only the content digest catches it."""
+        import numpy as np
+
+        save_region(small_region, tmp_path)
+        path = tmp_path / "landmark_matrix.npy"
+        matrix = np.load(path)
+        matrix[0, 1] += 1.0
+        matrix[1, 0] += 1.0
+        np.save(path, matrix)
+        with pytest.raises(DiscretizationError, match="digest mismatch"):
+            load_region(tmp_path)
+
+    def test_missing_digest_is_rejected(self, small_region, tmp_path):
+        save_region(small_region, tmp_path)
+        path = tmp_path / "region.json"
+        payload = json.loads(path.read_text())
+        del payload["digest"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DiscretizationError, match="missing its content digest"):
+            load_region(tmp_path)
+
+    def test_old_format_version_is_rejected(self, small_region, tmp_path):
+        save_region(small_region, tmp_path)
+        path = tmp_path / "region.json"
+        payload = json.loads(path.read_text())
+        payload["version"] = 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(DiscretizationError, match="format version"):
             load_region(tmp_path)

@@ -1,0 +1,52 @@
+"""Durability fixtures: WAL + adapter stacks over the shared small region."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XAREngine
+from repro.discretization import region_digest
+from repro.durability import DurableAdapter, WriteAheadLog
+from repro.sim.adapters import XARAdapter
+
+
+@pytest.fixture
+def digest(small_region):
+    return region_digest(small_region)
+
+
+@pytest.fixture
+def make_stack(small_region, digest, tmp_path):
+    """Builds XARAdapter + DurableAdapter stacks; closes leftover WALs."""
+    stacks = []
+
+    def build(name="shard0", *, fsync_every=8, checkpoint_every=0,
+              metrics=None, engine=None):
+        wal = WriteAheadLog.open(
+            str(tmp_path / f"{name}.wal"),
+            shard_id=0,
+            ride_id_start=1,
+            ride_id_step=1,
+            region_digest=digest,
+            fsync_every=fsync_every,
+            metrics=metrics,
+            metrics_labels={"shard": "0"} if metrics is not None else None,
+        )
+        if engine is None:
+            engine = XAREngine(small_region)
+        adapter = DurableAdapter(
+            XARAdapter(engine),
+            wal,
+            checkpoint_path=str(tmp_path / f"{name}.ckpt"),
+            checkpoint_every=checkpoint_every,
+            shard_id=0,
+            digest=digest,
+            metrics=metrics,
+        )
+        stacks.append(adapter)
+        return adapter
+
+    yield build
+    for adapter in stacks:
+        if not adapter.wal.closed:
+            adapter.close()

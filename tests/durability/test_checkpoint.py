@@ -1,0 +1,147 @@
+"""Checkpoint round-trips: full engine state out, identical engine back."""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core import XAREngine
+from repro.durability.checkpoint import (
+    engine_state,
+    read_checkpoint,
+    restore_engine_state,
+    write_checkpoint,
+)
+from repro.exceptions import CheckpointError, XARError
+
+
+def _canonical_state(engine):
+    state = engine_state(engine)
+    state["rides"].sort(key=lambda r: r["ride_id"])
+    state["completed_rides"].sort(key=lambda r: r["ride_id"])
+    return state
+
+
+@pytest.fixture
+def populated(small_region, small_city):
+    """An engine with rides, bookings, a rollback and mid-flight tracking."""
+    engine = XAREngine(small_region)
+    rng = random.Random(7)
+    nodes = list(small_city.nodes())
+    for _ in range(12):
+        a, b = rng.sample(nodes, 2)
+        try:
+            engine.create_ride(
+                small_city.position(a),
+                small_city.position(b),
+                departure_s=rng.uniform(0.0, 300.0),
+                seats=3,
+            )
+        except XARError:
+            continue
+    booked = 0
+    for _ in range(80):
+        a, b = rng.sample(nodes, 2)
+        request = engine.make_request(
+            small_city.position(a), small_city.position(b), 0.0, 3600.0
+        )
+        matches = engine.search(request)
+        if not matches:
+            continue
+        try:
+            engine.book(request, matches[0])
+        except XARError:
+            continue
+        booked += 1
+        if booked >= 4:
+            break
+    assert engine.bookings, "fixture produced no bookings; tests would be inert"
+    engine.track_all(150.0)
+    return engine
+
+
+class TestRoundTrip:
+    def test_restore_reproduces_the_full_engine_state(
+        self, populated, small_region, digest, tmp_path
+    ):
+        path = str(tmp_path / "shard0.ckpt")
+        write_checkpoint(
+            path, populated, shard_id=0, wal_seq=17, digest=digest
+        )
+        payload = read_checkpoint(path, expected_digest=digest)
+        assert payload["shard_id"] == 0
+        assert payload["wal_seq"] == 17
+        assert payload["region_digest"] == digest
+
+        fresh = XAREngine(small_region)
+        restore_engine_state(fresh, payload["engine"])
+        assert _canonical_state(fresh) == _canonical_state(populated)
+
+    def test_restored_engine_answers_searches_identically(
+        self, populated, small_region, small_city, digest, tmp_path
+    ):
+        path = str(tmp_path / "shard0.ckpt")
+        write_checkpoint(path, populated, digest=digest)
+        fresh = XAREngine(small_region)
+        restore_engine_state(fresh, read_checkpoint(path)["engine"])
+        request = populated.make_request(
+            small_city.position(3),
+            small_city.position(small_city.node_count - 3),
+            0.0,
+            3600.0,
+        )
+        def rows(engine):
+            return [
+                (m.ride_id, m.pickup_cluster, m.dropoff_cluster,
+                 m.detour_estimate_m)
+                for m in engine.search(request)
+            ]
+        assert rows(fresh) == rows(populated)
+
+    def test_write_is_atomic(self, populated, digest, tmp_path):
+        path = str(tmp_path / "shard0.ckpt")
+        # A stale tmp file from a crashed previous attempt must not survive.
+        with open(path + ".tmp", "w", encoding="utf-8") as handle:
+            handle.write("half-written garbage")
+        write_checkpoint(path, populated, digest=digest)
+        assert not os.path.exists(path + ".tmp")
+        write_checkpoint(path, populated, wal_seq=42, digest=digest)
+        assert read_checkpoint(path)["wal_seq"] == 42
+
+
+class TestValidation:
+    def _write(self, populated, digest, tmp_path):
+        path = str(tmp_path / "shard0.ckpt")
+        write_checkpoint(path, populated, digest=digest)
+        return path
+
+    def test_digest_mismatch_is_rejected(self, populated, digest, tmp_path):
+        path = self._write(populated, digest, tmp_path)
+        with pytest.raises(CheckpointError, match="different discretization"):
+            read_checkpoint(path, expected_digest="0" * 64)
+
+    def test_unsupported_version_is_rejected(self, populated, digest, tmp_path):
+        path = self._write(populated, digest, tmp_path)
+        payload = json.loads(open(path, encoding="utf-8").read())
+        payload["version"] = 99
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(CheckpointError, match="unsupported checkpoint"):
+            read_checkpoint(path)
+
+    def test_non_checkpoint_json_is_rejected(self, tmp_path):
+        path = str(tmp_path / "bogus.ckpt")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"format": "something.else"}, handle)
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            read_checkpoint(path)
+
+    def test_unreadable_file_is_rejected(self, tmp_path):
+        path = str(tmp_path / "broken.ckpt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{truncated")
+        with pytest.raises(CheckpointError, match="unreadable"):
+            read_checkpoint(path)

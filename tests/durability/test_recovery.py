@@ -1,0 +1,292 @@
+"""Crash recovery: replay equality, abort skipping, checkpoints, torn tails.
+
+Every test drives a DurableAdapter stack, kills it with ``abandon()`` (process
+death: appends reached the OS, the final fsync did not), recovers from the
+on-disk WAL (+ checkpoint), and compares the recovered engine against the
+live pre-crash engine still held in memory.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import XARConfig
+from repro.core import XAREngine
+from repro.discretization import build_region
+from repro.durability import recover_engine
+from repro.durability.checkpoint import engine_state, write_checkpoint
+from repro.durability.wal import scan_wal
+from repro.exceptions import RecoveryError, WorkerCrashError, XARError
+from repro.obs import MetricsRegistry
+
+
+def _fingerprint(engine):
+    """engine_state, order-normalized, allocators excluded (the live run
+    burns request ids on unbooked searches that never reach the WAL)."""
+    state = engine_state(engine)
+    state["rides"].sort(key=lambda r: r["ride_id"])
+    state["completed_rides"].sort(key=lambda r: r["ride_id"])
+    state.pop("counters")
+    return state
+
+
+def _drive(adapter, city, rng, *, n_creates=10, n_books=30, track_to=200.0):
+    """A deterministic mixed workload on the durable stack."""
+    engine = adapter.engine
+    nodes = list(city.nodes())
+    for _ in range(n_creates):
+        a, b = rng.sample(nodes, 2)
+        try:
+            adapter.create(
+                city.position(a), city.position(b),
+                rng.uniform(0.0, 300.0), 2, None,
+            )
+        except XARError:
+            continue
+    for _ in range(n_books):
+        a, b = rng.sample(nodes, 2)
+        request = engine.make_request(
+            city.position(a), city.position(b), 0.0, 3600.0
+        )
+        matches = adapter.search(request)
+        if not matches:
+            continue
+        try:
+            adapter.book(request, matches[0])
+        except XARError:
+            continue
+    if track_to is not None:
+        adapter.track_all(track_to)
+
+
+def _force_abort(adapter, city):
+    """A guaranteed abort record: book a match whose ride was cancelled."""
+    engine = adapter.engine
+    src = city.position(0)
+    dst = city.position(city.node_count - 1)
+    ride = adapter.create(src, dst, 0.0, 2, None)
+    request = engine.make_request(src, dst, 0.0, 3600.0)
+    match = next(
+        m for m in adapter.search(request) if m.ride_id == ride.ride_id
+    )
+    adapter.cancel(ride)
+    with pytest.raises(XARError):
+        adapter.book(request, match)
+
+
+class TestReplayEquality:
+    def test_replay_reproduces_the_live_engine(
+        self, make_stack, small_region, small_city
+    ):
+        adapter = make_stack(fsync_every=4)
+        live = adapter.engine
+        _drive(adapter, small_city, random.Random(3))
+        _force_abort(adapter, small_city)
+        wal_path = adapter.wal.path
+        adapter.abandon()
+
+        scan = scan_wal(wal_path)
+        n_ops = sum(1 for r in scan.records if r["kind"] == "op")
+        n_aborts = sum(1 for r in scan.records if r["kind"] == "abort")
+        assert n_aborts >= 1
+
+        result = recover_engine(small_region, wal_path)
+        assert result.shard_id == 0
+        assert result.replayed_ops == n_ops - n_aborts
+        assert result.skipped_ops == n_aborts
+        assert result.failed_ops == 0
+        assert result.torn_tail_bytes == 0
+        assert result.checkpoint_seq == -1
+        assert result.last_seq == scan.last_seq
+        assert _fingerprint(result.engine) == _fingerprint(live)
+
+    def test_aborted_book_synthesizes_the_rollback(
+        self, make_stack, small_region, small_city
+    ):
+        adapter = make_stack()
+        live = adapter.engine
+        _force_abort(adapter, small_city)
+        wal_path = adapter.wal.path
+        adapter.abandon()
+        result = recover_engine(small_region, wal_path)
+        recovered = result.engine
+        assert len(live.rollbacks) == 1
+        assert [
+            (r.request_id, r.ride_id, r.error) for r in recovered.rollbacks
+        ] == [
+            (r.request_id, r.ride_id, r.error) for r in live.rollbacks
+        ]
+        assert recovered.rollbacks[0].reason
+        assert not recovered.bookings
+
+    def test_interrupted_book_is_completed_not_lost(
+        self, make_stack, small_region, small_city
+    ):
+        """An op record without an abort is recovery's signal to *finish*
+        the op: crash between the engine's transactional snapshot and the
+        route splice, then confirm replay lands the booking."""
+        adapter = make_stack()
+        engine = adapter.engine
+        src = small_city.position(0)
+        dst = small_city.position(small_city.node_count - 1)
+        ride = adapter.create(src, dst, 0.0, 3, None)
+        request = engine.make_request(src, dst, 0.0, 3600.0)
+        match = next(
+            m for m in adapter.search(request) if m.ride_id == ride.ride_id
+        )
+
+        def hook(point):
+            if point == "book:post-snapshot":
+                engine.fault_hook = None
+                raise WorkerCrashError("injected mid-book crash", mid_op=True)
+
+        engine.fault_hook = hook
+        with pytest.raises(WorkerCrashError):
+            adapter.book(request, match)
+        assert not engine.bookings, "the live engine must not have applied it"
+        wal_path = adapter.wal.path
+        adapter.abandon()
+
+        result = recover_engine(small_region, wal_path)
+        recovered = result.engine
+        assert result.failed_ops == 0
+        assert result.skipped_ops == 0
+        assert [b.request_id for b in recovered.bookings] == [
+            request.request_id
+        ]
+        assert recovered.rides[ride.ride_id].seats_available == 2
+
+
+class TestCheckpointSuffix:
+    def test_checkpoint_plus_wal_suffix_replay(
+        self, make_stack, small_region, small_city
+    ):
+        adapter = make_stack(fsync_every=4)
+        live = adapter.engine
+        _drive(adapter, small_city, random.Random(5), n_books=15,
+               track_to=None)
+        adapter.checkpoint()
+        watermark = adapter._last_seq
+        assert watermark >= 0
+        _drive(adapter, small_city, random.Random(6), n_creates=3,
+               n_books=10, track_to=120.0)
+        wal_path, ckpt_path = adapter.wal.path, adapter.checkpoint_path
+        adapter.abandon()
+
+        scan = scan_wal(wal_path)
+        aborted = {
+            int(r["aborts"]) for r in scan.records if r["kind"] == "abort"
+        }
+        suffix = [
+            r for r in scan.records
+            if r["kind"] == "op" and int(r["seq"]) > watermark
+        ]
+        result = recover_engine(small_region, wal_path, ckpt_path)
+        assert result.checkpoint_seq == watermark
+        assert result.replayed_ops == len(
+            [r for r in suffix if int(r["seq"]) not in aborted]
+        )
+        assert _fingerprint(result.engine) == _fingerprint(live)
+
+    def test_automatic_checkpoints_cut_by_mutation_count(
+        self, make_stack, small_region, small_city
+    ):
+        metrics = MetricsRegistry()
+        adapter = make_stack(checkpoint_every=5, metrics=metrics)
+        live = adapter.engine
+        _drive(adapter, small_city, random.Random(8), n_creates=8, n_books=10)
+        checkpoints = metrics.counter(
+            "xar_checkpoints_total", labels=("shard",)
+        ).labels(shard="0").value
+        assert checkpoints >= 1
+        wal_path, ckpt_path = adapter.wal.path, adapter.checkpoint_path
+        adapter.abandon()
+        result = recover_engine(small_region, wal_path, ckpt_path)
+        assert result.checkpoint_seq >= 0
+        assert _fingerprint(result.engine) == _fingerprint(live)
+
+
+class TestTornTail:
+    def test_garbage_tail_is_ignored_and_counted(
+        self, make_stack, small_region, small_city
+    ):
+        adapter = make_stack(fsync_every=4)
+        live = adapter.engine
+        _drive(adapter, small_city, random.Random(11))
+        wal_path = adapter.wal.path
+        adapter.abandon()
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\x00power cut mid-frame")
+
+        metrics = MetricsRegistry()
+        result = recover_engine(small_region, wal_path, metrics=metrics)
+        assert result.torn_tail_bytes == len(b"\x00power cut mid-frame")
+        assert _fingerprint(result.engine) == _fingerprint(live)
+
+        def value(name):
+            return metrics.counter(name, labels=("shard",)).labels(
+                shard="0"
+            ).value
+
+        assert value("xar_wal_torn_tail_total") == 1
+        assert value("xar_recovery_replayed_ops_total") == result.replayed_ops
+
+    def test_record_torn_mid_frame_loses_exactly_that_record(
+        self, make_stack, small_region
+    ):
+        adapter = make_stack()
+        for i in range(6):
+            adapter.track_all(float(i + 1))
+        wal_path = adapter.wal.path
+        adapter.abandon()
+        with open(wal_path, "r+b") as handle:
+            handle.seek(0, 2)
+            handle.truncate(handle.tell() - 3)
+        result = recover_engine(small_region, wal_path)
+        assert result.torn_tail_bytes > 0
+        assert result.last_seq == 4  # seq 5's frame lost its last 3 bytes
+        assert result.replayed_ops == 5
+
+
+class TestIdentityGuards:
+    def test_wal_from_another_region_is_rejected(
+        self, make_stack, small_city, config
+    ):
+        adapter = make_stack()
+        adapter.track_all(1.0)
+        wal_path = adapter.wal.path
+        adapter.close()
+        other = build_region(
+            small_city, XARConfig.validated(delta_m=config.delta_m * 2)
+        )
+        with pytest.raises(RecoveryError, match="different discretization"):
+            recover_engine(other, wal_path)
+
+    def test_checkpoint_from_another_shard_is_rejected(
+        self, make_stack, small_region, digest, tmp_path
+    ):
+        adapter = make_stack()
+        adapter.track_all(1.0)
+        wal_path = adapter.wal.path
+        adapter.close()
+        foreign = str(tmp_path / "foreign.ckpt")
+        write_checkpoint(
+            foreign, XAREngine(small_region), shard_id=3, digest=digest
+        )
+        with pytest.raises(RecoveryError, match="belongs to shard"):
+            recover_engine(small_region, wal_path, foreign)
+
+    def test_missing_checkpoint_means_replay_from_empty(
+        self, make_stack, small_region, tmp_path
+    ):
+        adapter = make_stack()
+        adapter.track_all(1.0)
+        wal_path = adapter.wal.path
+        adapter.close()
+        result = recover_engine(
+            small_region, wal_path, str(tmp_path / "never-written.ckpt")
+        )
+        assert result.checkpoint_seq == -1
+        assert result.replayed_ops == 1

@@ -1,0 +1,167 @@
+"""Snapshot/restore equality with multiple bookings and in-flight tracking.
+
+``snapshot_ride`` / ``restore_ride`` back both transactional booking and the
+durability layer's torn-operation semantics, so their contract is strict:
+whatever mix of bookings and tracking progress a ride has accumulated,
+``restore_ride(snapshot)`` must make ``diff_ride`` come back empty — no field
+dropped, no index footprint forgotten, and the snapshot itself must stay
+immune to later live mutation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XAREngine
+from repro.exceptions import XARError
+from repro.resilience import diff_ride, restore_ride, snapshot_ride
+
+
+def _state_fingerprint(engine: XAREngine, ride_id: int):
+    """Everything diff_ride compares, captured by value."""
+    ride = engine.rides[ride_id]
+    entry = engine.ride_entries.get(ride_id)
+    etas = {}
+    if entry is not None:
+        for cluster_id in entry.reachable_ids():
+            eta = engine.cluster_index.eta(cluster_id, ride_id)
+            if eta is not None:
+                etas[cluster_id] = eta
+    return (
+        tuple(ride.route),
+        tuple(ride.via_points),
+        ride.seats_available,
+        ride.seats_total,
+        ride.detour_limit_m,
+        ride.status,
+        ride.progressed_m,
+        engine.tracked_to.get(ride_id),
+        tuple(sorted(etas.items())),
+    )
+
+
+@pytest.fixture
+def multibooked(region, city, rng):
+    """An engine with one ride carrying >= 2 bookings, tracked in-flight."""
+    engine = XAREngine(region)
+    nodes = list(city.nodes())
+    for _i in range(80):
+        a, b = rng.sample(nodes, 2)
+        try:
+            engine.create_ride(
+                city.position(a),
+                city.position(b),
+                departure_s=rng.uniform(0.0, 600.0),
+                seats=4,
+            )
+        except XARError:
+            continue
+    booked = {}
+    target = None
+    for _trial in range(500):
+        a, b = rng.sample(nodes, 2)
+        request = engine.make_request(
+            city.position(a), city.position(b), 0.0, 3600.0
+        )
+        matches = engine.search(request)
+        if not matches:
+            continue
+        match = matches[0]
+        try:
+            engine.book(request, match)
+        except XARError:
+            continue
+        booked[match.ride_id] = booked.get(match.ride_id, 0) + 1
+        if booked[match.ride_id] >= 2:
+            target = match.ride_id
+            break
+    if target is None:
+        pytest.skip("workload produced no multiply-booked ride")
+    # Track the whole fleet to the target ride's mid-flight point so the
+    # snapshot captures an *active* ride with non-zero progress.
+    ride = engine.rides[target]
+    engine.track_all(ride.departure_s + ride.duration_s / 2.0)
+    assert engine.rides[target].progressed_m > 0.0
+    return engine, target
+
+
+def _mutate_after(engine: XAREngine, ride_id: int, city, rng) -> bool:
+    """Mutate the target ride post-snapshot: try another booking on it,
+    then advance tracking.  Returns whether an extra booking landed."""
+    ride = engine.rides[ride_id]
+    route = ride.route
+    extra_booked = False
+    for _trial in range(200):
+        a, b = rng.sample(list(city.nodes()), 2)
+        request = engine.make_request(
+            city.position(a), city.position(b), 0.0, 7200.0
+        )
+        match = next(
+            (m for m in engine.search(request) if m.ride_id == ride_id), None
+        )
+        if match is None:
+            continue
+        try:
+            engine.book(request, match)
+        except XARError:
+            continue
+        extra_booked = True
+        break
+    remaining = ride.departure_s + ride.duration_s - 1.0
+    engine.track_all(max(engine.rides[ride_id].departure_s + 1.0, remaining))
+    return extra_booked
+
+
+class TestSnapshotRoundTrip:
+    def test_restore_after_further_bookings_and_tracking(
+        self, multibooked, city, rng
+    ):
+        engine, ride_id = multibooked
+        before = _state_fingerprint(engine, ride_id)
+        snapshot = snapshot_ride(engine, ride_id)
+        assert snapshot is not None
+        assert diff_ride(engine, snapshot) == []
+
+        _mutate_after(engine, ride_id, city, rng)
+        if ride_id not in engine.rides:
+            pytest.skip("tracking completed the ride before restore")
+        assert _state_fingerprint(engine, ride_id) != before, (
+            "post-snapshot mutation was a no-op; the round trip is inert"
+        )
+
+        restore_ride(engine, snapshot)
+        assert diff_ride(engine, snapshot) == []
+        assert _state_fingerprint(engine, ride_id) == before
+
+    def test_restore_is_idempotent(self, multibooked):
+        engine, ride_id = multibooked
+        snapshot = snapshot_ride(engine, ride_id)
+        restore_ride(engine, snapshot)
+        first = _state_fingerprint(engine, ride_id)
+        restore_ride(engine, snapshot)
+        assert _state_fingerprint(engine, ride_id) == first
+        assert diff_ride(engine, snapshot) == []
+
+    def test_snapshot_is_immune_to_live_mutation(
+        self, multibooked, city, rng
+    ):
+        """The snapshot must hold copies, not aliases: mutating the live
+        ride must not bend the snapshot's view of the past."""
+        engine, ride_id = multibooked
+        snapshot = snapshot_ride(engine, ride_id)
+        route_before = list(snapshot.route)
+        vias_before = list(snapshot.via_points)
+        etas_before = dict(snapshot.index_etas)
+        entry_reach_before = (
+            dict(snapshot.entry.reachable) if snapshot.entry else None
+        )
+        _mutate_after(engine, ride_id, city, rng)
+        assert snapshot.route == route_before
+        assert snapshot.via_points == vias_before
+        assert snapshot.index_etas == etas_before
+        if entry_reach_before is not None:
+            assert snapshot.entry.reachable == entry_reach_before
+
+    def test_unknown_ride_snapshots_to_none(self, region):
+        engine = XAREngine(region)
+        assert snapshot_ride(engine, 12345) is None

@@ -1,0 +1,152 @@
+"""Crash-mode differential replay: recovery reproduces the oracle exactly.
+
+The durable façade runs a WAL + checkpoint stack that the harness can kill
+between ops (clean crash) or inside a booking at the engine's
+``book:post-snapshot`` seam (the op record is durable, the splice never
+ran).  Every crash is followed by replay-based recovery, and the recovered
+state is diffed against the uninterrupted oracle — so these tests assert
+the ISSUE's headline property: a crash at any point loses nothing and
+invents nothing.
+
+The fast smoke runs in tier-1; the 500-op sweep with crashes planted in
+early/mid/late buckets (mid-book included) carries the ``fuzz`` mark and
+runs in the CI fuzz job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import DifferentialHarness, FuzzConfig, generate_ops
+from repro.verify.differential import _DurableTarget, make_facade
+
+
+def _tracking_factory(targets):
+    """A façade factory that also collects the durable targets it builds."""
+
+    def factory(name, region, seed):
+        facade = make_facade(name, region, seed)
+        if isinstance(facade.target, _DurableTarget):
+            targets.append(facade.target)
+        return facade
+
+    return factory
+
+
+def _crash_ops(region, seed, n_ops, crash_weight=0.10):
+    config = FuzzConfig(seed=seed, n_ops=n_ops, corridor_reuse_p=0.8)
+    config.weights["crash"] = crash_weight
+    ops = generate_ops(region, config)
+    # Aim mid-book crashes at the top-ranked match so the hook actually
+    # fires inside a booking instead of fizzling on a no-match search.
+    for op in ops:
+        if op["op"] == "crash" and op.get("mode") == "mid-book":
+            op["rank"] = 0
+            op["k"] = None
+    return ops
+
+
+def test_smoke_crash_recovery_has_zero_divergence(small_region):
+    targets = []
+    ops = _crash_ops(small_region, seed=10, n_ops=120)
+    report = DifferentialHarness(
+        small_region,
+        engines=("xar", "durable"),
+        seed=10,
+        facade_factory=_tracking_factory(targets),
+    ).run(ops)
+    assert report.ok, report.describe()
+    assert report.op_counts.get("crash", 0) > 0, "no crash op was generated"
+    (target,) = targets
+    clean = sum(
+        1 for op in ops if op["op"] == "crash" and op["mode"] == "clean"
+    )
+    assert clean > 0
+    assert target.recoveries > clean, (
+        "every recovery was a clean crash: no mid-book crash ever fired"
+    )
+    assert report.bookings_checked > 0
+
+
+def test_crash_ops_are_noops_without_a_durable_facade(small_region):
+    """Sequences with crash ops still replay on crash-unaware façades."""
+    ops = _crash_ops(small_region, seed=10, n_ops=60)
+    report = DifferentialHarness(
+        small_region, engines=("xar", "shard2"), seed=10
+    ).run(ops)
+    assert report.ok, report.describe()
+    assert report.op_counts.get("crash", 0) > 0
+
+
+def test_mid_book_crash_completes_the_interrupted_booking(small_region):
+    """Hand-built sequence: create a corridor ride, then crash mid-book on
+    it; the durable façade's booking must match the oracle's verbatim."""
+    network = small_region.network
+    src = network.position(0)
+    dst = network.position(network.node_count - 1)
+    ops = [
+        {
+            "op": "create",
+            "handle": 0,
+            "src": [src.lat, src.lon],
+            "dst": [dst.lat, dst.lon],
+            "depart_s": 0.0,
+            "seats": 3,
+            "detour_limit_m": None,
+        },
+        {
+            "op": "crash",
+            "mode": "mid-book",
+            "src": [src.lat, src.lon],
+            "dst": [dst.lat, dst.lon],
+            "window": [0.0, 600.0],
+            "walk_m": small_region.config.default_walk_threshold_m,
+            "k": None,
+            "rank": 0,
+        },
+    ]
+    targets = []
+    report = DifferentialHarness(
+        small_region,
+        engines=("xar", "durable"),
+        seed=0,
+        facade_factory=_tracking_factory(targets),
+    ).run(ops)
+    assert report.ok, report.describe()
+    assert report.bookings_checked == 1
+    (target,) = targets
+    assert target.recoveries == 1, "the mid-book hook never fired"
+    assert len(target.engine.bookings) == 1
+    assert target.last_recovery.replayed_ops >= 1
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", [4, 10, 21])
+def test_500_op_sweep_with_early_mid_late_crashes(small_region, seed):
+    """500 ops with crashes spread across the sequence (the generator's
+    weighted draws land them in every third; asserted below), including
+    mid-book, on the full façade matrix — zero divergence end to end."""
+    ops = _crash_ops(small_region, seed=seed, n_ops=500, crash_weight=0.06)
+    crash_indices = [
+        index for index, op in enumerate(ops) if op["op"] == "crash"
+    ]
+    buckets = {index * 3 // len(ops) for index in crash_indices}
+    assert buckets == {0, 1, 2}, (
+        f"crashes must land early/mid/late, got indices {crash_indices}"
+    )
+    assert any(
+        op["op"] == "crash" and op["mode"] == "mid-book" for op in ops
+    )
+    targets = []
+    report = DifferentialHarness(
+        small_region,
+        engines=("xar", "shard2", "durable"),
+        seed=seed,
+        facade_factory=_tracking_factory(targets),
+    ).run(ops)
+    assert report.ok, report.describe()
+    assert report.bookings_checked > 0
+    (target,) = targets
+    assert target.recoveries >= len(
+        [op for op in ops if op["op"] == "crash" and op["mode"] == "clean"]
+    )
