@@ -6,7 +6,11 @@ Commands mirror a deployment's lifecycle:
 * ``build-region``  run the pre-processing pipeline and persist the region,
 * ``info``          inspect a saved region,
 * ``simulate``      replay an NYC-style workload on XAR or T-Share,
-* ``loadtest``      drive the sharded service with the load generator,
+* ``loadtest``      drive the sharded service with the load generator
+  (``--procs`` promotes shards to supervised subprocesses, ``--remote URL``
+  drives a running gateway over HTTP),
+* ``serve``         run the process-shard fleet behind the async HTTP
+  gateway until SIGTERM,
 * ``metrics``       replay a workload on an instrumented engine and dump
   its metrics (Prometheus text or JSON),
 * ``compare``       head-to-head XAR vs T-Share on one stream,
@@ -30,6 +34,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import threading
 import time
 from typing import List, Optional
@@ -49,7 +54,17 @@ from .roadnet import (
     save_network,
 )
 from .resilience import ResilienceConfig, ResilientEngine
-from .service import LoadGenConfig, LoadGenerator, ServiceSLO, ShardRouter
+from .service import (
+    Gateway,
+    GatewayConfig,
+    HttpServiceClient,
+    LoadGenConfig,
+    LoadGenerator,
+    ProcRouter,
+    ServiceSLO,
+    ShardRouter,
+    SupervisorConfig,
+)
 from .sim import (
     DriverCancellation,
     FaultInjectingAdapter,
@@ -175,26 +190,51 @@ def _loadtest(args: argparse.Namespace) -> int:
     )
     supply, demand = requests[: args.prepopulate], requests[args.prepopulate:]
 
+    if args.remote:
+        return _loadtest_remote(args, region, supply, demand)
+
     durability = None
-    if args.durable:
+    if args.durable and not args.procs:
         os.makedirs(args.durable, exist_ok=True)
         durability = DurabilityConfig(
             directory=args.durable,
             fsync_every=args.fsync_every,
             checkpoint_every=args.checkpoint_every,
         )
-    if args.crash_every and durability is None:
-        raise SystemExit("--crash-every requires --durable DIR")
+    if args.crash_every and durability is None and not args.procs:
+        raise SystemExit("--crash-every requires --durable DIR "
+                         "(process shards are always durable: use --procs)")
 
-    with ShardRouter(
-        region,
-        args.shards,
-        queue_depth=args.queue_depth,
-        fanout=args.fanout,
-        resilient=args.resilient,
-        seed=args.seed,
-        durability=durability,
-    ) as service:
+    if args.procs:
+        # Process mode: every shard is a supervised subprocess with its own
+        # WAL directory under run_dir, so crash injection needs no opt-in.
+        run_dir = args.durable or tempfile.mkdtemp(prefix="xar-proc-")
+        os.makedirs(run_dir, exist_ok=True)
+        service_cm = ProcRouter(
+            region,
+            SupervisorConfig(
+                n_shards=args.shards,
+                run_dir=run_dir,
+                queue_depth=args.queue_depth,
+                fsync_every=args.fsync_every,
+                checkpoint_every=args.checkpoint_every,
+                resilient=args.resilient,
+                seed=args.seed,
+            ),
+            fanout=args.fanout,
+        )
+    else:
+        service_cm = ShardRouter(
+            region,
+            args.shards,
+            queue_depth=args.queue_depth,
+            fanout=args.fanout,
+            resilient=args.resilient,
+            seed=args.seed,
+            durability=durability,
+        )
+
+    with service_cm as service:
         for request in supply:
             service.create(request.source, request.destination,
                            request.window_start_s)
@@ -223,22 +263,31 @@ def _loadtest(args: argparse.Namespace) -> int:
             chaos=chaos,
         )
         report = LoadGenerator(service, demand, config).run()
-        if durability is not None:
+        if durability is not None or args.procs:
+            counter = ("xar_proc_restarts_total" if args.procs
+                       else "xar_failovers_total")
             failovers = {
                 labels["shard"]: int(child.value)
                 for labels, child in service.metrics.counter(
-                    "xar_failovers_total",
+                    counter,
                     labels=("shard",),
                 ).collect()
                 if child.value
             }
             replayed = {
-                shard_id: result.replayed_ops
+                shard_id: (result["replayed_ops"] if isinstance(result, dict)
+                           else result.replayed_ops)
                 for shard_id, result in sorted(service.last_recoveries.items())
             }
-            print(f"failovers         : {failovers or 'none'}")
+            label = "restarts" if args.procs else "failovers"
+            print(f"{label:<18}: {failovers or 'none'}")
             print(f"replayed ops      : {replayed or 'none'}")
 
+    return _finish_loadtest(args, report, service.metrics)
+
+
+def _finish_loadtest(args: argparse.Namespace, report, metrics) -> int:
+    """Shared loadtest epilogue: report, metric dumps, SLO evaluation."""
     print(report.describe())
     if args.json_path:
         with open(args.json_path, "w", encoding="utf-8") as handle:
@@ -246,11 +295,11 @@ def _loadtest(args: argparse.Namespace) -> int:
         print(f"wrote report -> {args.json_path}")
     if args.metrics_out:
         with open(args.metrics_out, "w", encoding="utf-8") as handle:
-            handle.write(to_prometheus_text(service.metrics))
+            handle.write(to_prometheus_text(metrics))
         print(f"wrote metrics (Prometheus text) -> {args.metrics_out}")
     if args.metrics_json:
         with open(args.metrics_json, "w", encoding="utf-8") as handle:
-            handle.write(to_json(service.metrics))
+            handle.write(to_json(metrics))
         print(f"wrote metrics (JSON) -> {args.metrics_json}")
 
     slo = ServiceSLO(
@@ -265,6 +314,68 @@ def _loadtest(args: argparse.Namespace) -> int:
         print(f"SLO breach: {breach}", file=sys.stderr)
     if breaches:
         return 1
+    return 0
+
+
+def _loadtest_remote(args: argparse.Namespace, region, supply, demand) -> int:
+    """Drive a running ``xar serve`` gateway over HTTP."""
+    if args.crash_every:
+        raise SystemExit("--crash-every cannot target a remote gateway "
+                         "(the server owns its own fault injection)")
+    client = HttpServiceClient(args.remote, region,
+                               deadline_ms=args.deadline_ms)
+    try:
+        health = client.healthz()
+        print(f"gateway {args.remote}: {health}")
+        for request in supply:
+            client.create(request.source, request.destination,
+                          request.window_start_s)
+        config = LoadGenConfig(
+            workers=args.workers,
+            target_qps=args.qps,
+            looks_per_book=args.looks,
+            seed=args.seed,
+        )
+        generator = LoadGenerator(client, demand, config)
+        report = generator.run()
+    finally:
+        client.close()
+    return _finish_loadtest(args, report, generator.metrics)
+
+
+def _serve(args: argparse.Namespace) -> int:
+    """Run the process-shard fleet behind the HTTP gateway until SIGTERM."""
+    region = load_region(args.region)
+    run_dir = args.run_dir or tempfile.mkdtemp(prefix="xar-serve-")
+    os.makedirs(run_dir, exist_ok=True)
+    service = ProcRouter(
+        region,
+        SupervisorConfig(
+            n_shards=args.shards,
+            run_dir=run_dir,
+            queue_depth=args.queue_depth,
+            fsync_every=args.fsync_every,
+            checkpoint_every=args.checkpoint_every,
+            resilient=args.resilient,
+            seed=args.seed,
+        ),
+        fanout=args.fanout,
+    )
+    gateway = Gateway(service, GatewayConfig(
+        host=args.host,
+        port=args.port,
+        max_inflight=args.max_inflight,
+        default_deadline_ms=args.deadline_ms,
+    ))
+    print(f"spawned {service.n_shards} process shards "
+          f"(run dir {run_dir})", file=sys.stderr)
+    try:
+        gateway.serve_forever(
+            on_start=lambda url: print(f"gateway listening on {url}",
+                                       file=sys.stderr, flush=True)
+        )
+    finally:
+        service.close()
     return 0
 
 
@@ -436,7 +547,10 @@ def _wal_dump(args: argparse.Namespace) -> int:
 
 def _wal_dump_frames(args: argparse.Namespace) -> int:
     torn = False
+    frames_seen = 0
+    ops_seen = 0
     for frame in iter_frames(args.wal):
+        frames_seen += 1
         if not frame.crc_ok:
             torn = True
             print(f"@{frame.offset:<10} TORN TAIL: {frame.error}",
@@ -470,8 +584,19 @@ def _wal_dump_frames(args: argparse.Namespace) -> int:
                 detail = f"track to t={record.get('now_s')}"
             else:
                 detail = json.dumps(record, sort_keys=True)
+        if kind != "header":
+            ops_seen += 1
         seq = record.get("seq", "-")
         print(f"@{frame.offset:<10} seq={seq:<6} {kind:<7} {detail}")
+    # Empty and header-only logs are *valid* states, not damage: a shard
+    # killed before its first write leaves a 0-byte WAL, one killed right
+    # after spawn leaves just the header.  Say so explicitly (recovery
+    # treats both as "young", and --strict must not fail a healthy fleet).
+    if frames_seen == 0:
+        print("(empty WAL: no frames yet — shard died before its "
+              "first write)")
+    elif ops_seen == 0 and not torn and not args.json_lines:
+        print("(header only: no operations logged yet)")
     if torn and args.strict:
         return 1
     return 0
@@ -591,9 +716,57 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = recover from the log alone)")
     p.add_argument("--crash-every", type=int, default=0, dest="crash_every",
                    help="kill a rotating shard worker every N requests "
-                        "(requires --durable); failover must recover each")
+                        "(requires --durable in thread mode); the supervisor "
+                        "must recover each")
+    p.add_argument("--procs", action="store_true",
+                   help="process mode: each shard is a supervised subprocess "
+                        "behind length-prefixed RPC (--durable names its run "
+                        "dir; crash injection sends real SIGKILL)")
+    p.add_argument("--remote", metavar="URL",
+                   help="drive a running 'xar serve' gateway at URL over "
+                        "HTTP instead of an in-process fleet")
+    p.add_argument("--deadline-ms", type=int, default=30_000,
+                   dest="deadline_ms",
+                   help="per-request deadline the HTTP client attaches "
+                        "(X-Deadline-Ms; --remote only)")
     _add_workload_args(p)
     p.set_defaults(func=_loadtest)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the process-shard fleet behind the async HTTP gateway "
+             "until SIGTERM (drains in-flight requests on shutdown)",
+    )
+    p.add_argument("region")
+    p.add_argument("--shards", type=int, default=4,
+                   help="supervised shard subprocesses")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8314,
+                   help="listen port (0 picks a free one)")
+    p.add_argument("--run-dir", dest="run_dir",
+                   help="sockets, per-shard WALs and logs live here "
+                        "(default: a fresh temp dir)")
+    p.add_argument("--queue-depth", type=int, default=128, dest="queue_depth",
+                   help="per-shard request queue bound (admission control)")
+    p.add_argument("--fanout", choices=["local", "all"], default="local",
+                   help="search fan-out policy")
+    p.add_argument("--resilient", action="store_true",
+                   help="wrap each shard engine in the fault-tolerant runtime")
+    p.add_argument("--fsync-every", type=int, default=64, dest="fsync_every",
+                   help="WAL appends between fsync barriers per shard")
+    p.add_argument("--checkpoint-every", type=int, default=0,
+                   dest="checkpoint_every",
+                   help="mutations between automatic checkpoints per shard")
+    p.add_argument("--max-inflight", type=int, default=64,
+                   dest="max_inflight",
+                   help="gateway admission bound: concurrent requests "
+                        "executing before 'capacity' shedding starts")
+    p.add_argument("--deadline-ms", type=int, default=30_000,
+                   dest="deadline_ms",
+                   help="default request deadline when the caller sends no "
+                        "X-Deadline-Ms header")
+    p.add_argument("--seed", type=int, default=42)
+    p.set_defaults(func=_serve)
 
     p = sub.add_parser(
         "metrics",

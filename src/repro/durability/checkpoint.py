@@ -119,6 +119,14 @@ def write_checkpoint(
     state; recovery replays only records past it.  The tmp-file +
     ``os.replace`` dance means a crash mid-checkpoint leaves the previous
     checkpoint intact rather than a half-written file.
+
+    The parent *directory* is fsynced after the rename: ``os.replace``
+    updates a directory entry, and that entry lives in the directory's own
+    data blocks — without the directory fsync a power cut can forget the
+    rename entirely and resurface the pre-checkpoint file (or nothing),
+    even though the new file's *contents* were fsynced.  Recovery would
+    then replay from a WAL position the lost checkpoint was supposed to
+    cover.
     """
     payload = {
         "format": "xar.checkpoint",
@@ -136,6 +144,26 @@ def write_checkpoint(
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    _fsync_directory(directory)
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory's entries to disk (durability of renames).
+
+    Best-effort on platforms whose directories cannot be opened/fsynced
+    (e.g. Windows): the rename is still atomic there, just not guaranteed
+    durable across power loss.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 # ----------------------------------------------------------------------

@@ -144,7 +144,13 @@ def recover_engine(
     digest = region_digest(region)
     scan: WalScan = scan_wal(wal_path)
     header = scan.header
-    if header.get("region_digest") not in ("", digest):
+    if header is None:
+        # Empty (or header-less) WAL: the shard died before its very first
+        # write — even the header frame — which SIGKILL at spawn time can
+        # produce.  Valid, just young: recover to the checkpoint if one
+        # exists, else an empty engine; nothing to replay.
+        header = {}
+    if header.get("region_digest", "") not in ("", digest):
         raise RecoveryError(
             f"{wal_path}: WAL was written for a different discretization "
             f"build (digest {str(header.get('region_digest'))[:12]}…, "

@@ -116,6 +116,50 @@ class ServiceClosedError(ServiceError):
     """An operation was submitted to a service that has been shut down."""
 
 
+class ShardQuarantinedError(ShardOverloadError):
+    """A shard blew through its restart budget and is circuit-broken.
+
+    Deliberately a subclass of :class:`ShardOverloadError`: every caller
+    that already knows how to serve around a shedding shard — the router's
+    partial-search degradation, the load generator's shed accounting, the
+    gateway's 503 mapping — handles a quarantined shard the same way,
+    without new code.  The supervisor lifts the quarantine after a cooldown
+    by allowing a single probe restart.
+    """
+
+    def __init__(self, shard_id: int, operation: str):
+        ServiceError.__init__(
+            self,
+            f"shard {shard_id} is quarantined (repeated crashes): "
+            f"{operation} refused until the cooldown expires",
+        )
+        self.shard_id = shard_id
+        self.operation = operation
+
+
+class RpcError(ServiceError):
+    """Base class for the process-shard RPC layer's own failures."""
+
+
+class RpcProtocolError(RpcError):
+    """A peer sent a structurally invalid frame (bad CRC, bad JSON, wrong
+    id).  The connection cannot be trusted afterwards and is torn down."""
+
+
+class RpcTransportError(RpcError):
+    """The RPC connection died mid-call (EOF, reset, timeout).
+
+    ``request_sent`` distinguishes a call that may have reached the shard
+    (the request hit the socket before the failure — the op may be in the
+    shard's WAL, so only idempotent calls may retry) from one that never
+    left this process (always safe to retry).
+    """
+
+    def __init__(self, message: str, request_sent: bool = False):
+        super().__init__(message)
+        self.request_sent = request_sent
+
+
 class DurabilityError(XARError):
     """Base class for write-ahead-log / checkpoint / recovery failures."""
 

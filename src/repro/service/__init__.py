@@ -13,25 +13,44 @@ operation against :class:`ServiceSLO` objectives.
 The router implements the simulator's ``EngineAdapter`` protocol, so every
 existing harness (replay simulator, fault injector, resilient runtime) can
 drive a sharded fleet unchanged.
+
+Process mode (:mod:`~repro.service.proc`) promotes each shard worker to a
+supervised *subprocess* — real fault domains, no shared GIL — behind the
+same adapter surface (:class:`ProcRouter`), with an async HTTP gateway
+(:class:`Gateway`) and client (:class:`HttpServiceClient`) on top.
 """
 
 from .loadgen import LoadGenConfig, LoadGenerator, LoadReport
 from .merge import merge_matches, rank_key
+from .proc import (
+    Gateway,
+    GatewayConfig,
+    HttpServiceClient,
+    ProcRouter,
+    ShardSupervisor,
+    SupervisorConfig,
+)
 from .router import ShardRouter
 from .shard import ShardStats, ShardWorker
 from .sharding import ShardMap, derive_seed, shard_local_requests
 from .slo import ServiceSLO
 
 __all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "HttpServiceClient",
     "LoadGenConfig",
     "LoadGenerator",
     "LoadReport",
     "merge_matches",
     "rank_key",
+    "ProcRouter",
     "ShardRouter",
     "ShardStats",
     "ShardWorker",
     "ShardMap",
+    "ShardSupervisor",
+    "SupervisorConfig",
     "derive_seed",
     "shard_local_requests",
     "ServiceSLO",

@@ -1,0 +1,45 @@
+"""Process-isolated shards: supervision tree, RPC, async gateway.
+
+This package promotes :class:`~repro.service.shard.ShardWorker` from a
+thread to a *subprocess*, giving every shard a real fault domain (a wedged
+or corrupted worker can no longer take the service down) and an escape from
+the GIL (shard searches run on separate interpreters, so the fleet scales
+with cores instead of capping out near the 4-thread ceiling):
+
+* :mod:`~repro.service.proc.rpc` — length-prefixed, CRC-checked binary
+  RPC frames over UNIX sockets: request ids, per-op deadlines, retry
+  policy with jittered backoff, idempotency keys;
+* :mod:`~repro.service.proc.worker` — the child entry point: recovers the
+  shard engine from its WAL directory, then serves ops + heartbeats;
+* :mod:`~repro.service.proc.supervisor` — :class:`ShardSupervisor` spawns
+  each shard with its own WAL dir, watches liveness (heartbeats + exit
+  codes), classifies failures (crash / hang / repeated-crash) and restarts
+  through crash recovery with exponential backoff, quarantining shards
+  that flap;
+* :mod:`~repro.service.proc.router` — :class:`ProcRouter`, the
+  ``EngineAdapter``-shaped façade over the process fleet (same routing,
+  merge and partial-degradation semantics as the thread router);
+* :mod:`~repro.service.proc.gateway` — an ``asyncio`` HTTP/JSON gateway
+  with admission control and deadline-based load shedding;
+* :mod:`~repro.service.proc.client` — the HTTP client adapter that lets
+  the load generator drive a remote gateway like a real client fleet.
+"""
+
+from .client import HttpServiceClient
+from .gateway import Gateway, GatewayConfig
+from .router import ProcRouter
+from .rpc import RetryPolicy, read_frame, write_frame
+from .supervisor import ProcShard, ShardSupervisor, SupervisorConfig
+
+__all__ = [
+    "Gateway",
+    "GatewayConfig",
+    "HttpServiceClient",
+    "ProcRouter",
+    "ProcShard",
+    "RetryPolicy",
+    "ShardSupervisor",
+    "SupervisorConfig",
+    "read_frame",
+    "write_frame",
+]

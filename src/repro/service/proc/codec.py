@@ -1,0 +1,70 @@
+"""Wire codecs for the domain objects the process-shard RPC carries.
+
+The durability layer already defines a canonical JSON shape for every
+domain object — WAL records serialize requests and matches, checkpoints
+serialize rides and bookings — and recovery proves those shapes round-trip
+exactly (the differential harness diffs replayed state by fingerprint).
+The RPC layer reuses them verbatim instead of inventing a second wire
+format: anything that can be replayed can be shipped.
+
+Rides deserialize against a region (routes are node ids into its network),
+so the parent-side decoder needs the same region the child serves — which
+the router has by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ...core.booking import BookingRecord
+from ...core.request import RideRequest
+from ...core.ride import Ride
+from ...core.search import MatchOption
+from ...discretization import DiscretizedRegion
+from ...durability.adapter import _match_record, _request_record
+from ...durability.checkpoint import _booking_state, _restore_ride, _ride_state
+from ...durability.recovery import _match_from, _request_from
+
+
+def request_record(request: RideRequest) -> Dict[str, Any]:
+    return _request_record(request)
+
+
+def request_from(state: Dict[str, Any]) -> RideRequest:
+    return _request_from(state)
+
+
+def match_record(match: MatchOption) -> Dict[str, Any]:
+    return _match_record(match)
+
+
+def match_from(state: Dict[str, Any]) -> MatchOption:
+    return _match_from(state)
+
+
+def ride_record(ride: Ride) -> Dict[str, Any]:
+    return _ride_state(ride)
+
+
+def ride_from(region: DiscretizedRegion, state: Dict[str, Any]) -> Ride:
+    return _restore_ride(region, state)
+
+
+def booking_record(record: BookingRecord) -> Dict[str, Any]:
+    return _booking_state(record)
+
+
+def booking_from(state: Dict[str, Any]) -> BookingRecord:
+    return BookingRecord(**state)
+
+
+def matches_record(matches: List[MatchOption]) -> List[Dict[str, Any]]:
+    return [match_record(m) for m in matches]
+
+
+def matches_from(states: List[Dict[str, Any]]) -> List[MatchOption]:
+    return [match_from(s) for s in states]
+
+
+def optional_float(value: Any) -> Optional[float]:
+    return None if value is None else float(value)

@@ -1,0 +1,499 @@
+"""An ``asyncio`` HTTP/JSON gateway with admission control and load shedding.
+
+The gateway fronts any EngineAdapter-shaped service (:class:`ProcRouter`,
+the thread-mode :class:`~repro.service.router.ShardRouter`, a bare engine
+adapter) with a small HTTP/1.1 surface::
+
+    POST /v1/search   {"request": {...}, "k": 5}       -> {"matches": [...]}
+    POST /v1/book     {"request": {...}, "match": {..}} -> {"booking": {...}}
+    POST /v1/create   {"source": [lat,lon], ...}        -> {"ride": {...}}
+    POST /v1/track    {"now_s": 120.0}                  -> {"affected": 3}
+    GET  /healthz                                       -> {"ok": true, ...}
+    GET  /v1/stats                                      -> service.stats()
+    GET  /metrics                                       -> Prometheus text
+
+Bodies reuse the WAL/RPC record shapes from :mod:`.codec` — one wire format
+end to end.
+
+Admission control sheds *before* any work is queued, cheapest check first,
+and counts every refusal in ``xar_gateway_shed_total{reason}``:
+
+* ``draining``  — SIGTERM received; in-flight requests finish, new ones go
+  away (a deploy must not strand accepted work);
+* ``capacity``  — more than ``max_inflight`` requests already executing;
+* ``deadline``  — the caller's remaining deadline (``X-Deadline-Ms``
+  header) cannot cover the observed p95 service RTT, so serving it would
+  burn a worker slot producing an answer the caller already abandoned.
+  The p95 comes from a sliding window of measured RTTs and only engages
+  once ``min_rtt_samples`` responses have been observed.
+
+Service calls are synchronous (the routers block on shard RPC), so the
+event loop hands them to a thread pool and keeps accepting; ``max_inflight``
+bounds that pool's backlog.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Any, Callable, Deque, Dict, Optional, Tuple
+
+from ...exceptions import (
+    DeadlineExceededError,
+    ShardOverloadError,
+    WorkerCrashError,
+    XARError,
+)
+from ...geo import GeoPoint
+from ...obs import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry, to_prometheus_text
+from . import codec
+
+SHED_REASONS = ("draining", "capacity", "deadline")
+
+
+@dataclass
+class GatewayConfig:
+    """Knobs of the HTTP gateway."""
+
+    host: str = "127.0.0.1"
+    #: 0 lets the OS pick (the bound port is published as ``Gateway.port``).
+    port: int = 0
+    #: Concurrent requests allowed into the service; beyond this the
+    #: gateway sheds with reason="capacity".
+    max_inflight: int = 64
+    #: Worker threads executing the (blocking) service calls.
+    workers: int = 16
+    #: Deadline assumed for requests without an ``X-Deadline-Ms`` header.
+    default_deadline_ms: float = 30_000.0
+    #: Sliding window of measured RTTs feeding the p95 estimate.
+    rtt_window: int = 256
+    #: Responses observed before deadline-based shedding engages.
+    min_rtt_samples: int = 20
+    #: Shed when remaining_deadline < p95 * this factor.
+    deadline_safety: float = 1.0
+    #: Grace period for the SIGTERM drain.
+    drain_timeout_s: float = 10.0
+
+
+class _RttEstimator:
+    """Sliding-window p95 of observed service RTTs (seconds)."""
+
+    def __init__(self, window: int):
+        self._samples: Deque[float] = deque(maxlen=window)
+        self._lock = threading.Lock()
+
+    def observe(self, rtt_s: float) -> None:
+        with self._lock:
+            self._samples.append(rtt_s)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def p95_s(self) -> Optional[float]:
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        return ordered[int(0.95 * (len(ordered) - 1))]
+
+
+class Gateway:
+    """Async HTTP façade over an EngineAdapter-shaped service."""
+
+    def __init__(
+        self,
+        service: Any,
+        config: Optional[GatewayConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.service = service
+        self.config = config or GatewayConfig()
+        #: Defaults to the service's registry so one /metrics exposition
+        #: carries gateway, router and shard series together.
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else getattr(service, "metrics", None) or MetricsRegistry()
+        )
+        self.port: Optional[int] = None
+        self.draining = False
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._rtt = _RttEstimator(self.config.rtt_window)
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="xar-gateway",
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: set = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stopped = threading.Event()
+        self._c_requests = self.metrics.counter(
+            "xar_gateway_requests_total",
+            "Gateway requests by route and status code",
+            labels=("route", "status"),
+        )
+        self._c_shed = self.metrics.counter(
+            "xar_gateway_shed_total",
+            "Requests refused by gateway admission control, by reason "
+            "(draining / capacity / deadline)",
+            labels=("reason",),
+        )
+        for reason in SHED_REASONS:
+            self._c_shed.labels(reason=reason)
+        self._h_latency = self.metrics.histogram(
+            "xar_gateway_request_seconds",
+            "Wall time from parsed request to response written",
+            labels=("route",),
+            buckets=DEFAULT_LATENCY_BUCKETS_S,
+        )
+        self._g_inflight = self.metrics.gauge(
+            "xar_gateway_inflight_requests",
+            "Requests currently executing against the service",
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and the shed check
+    # ------------------------------------------------------------------
+    def p95_rtt_ms(self) -> Optional[float]:
+        p95 = self._rtt.p95_s()
+        return None if p95 is None else p95 * 1000.0
+
+    def shed_count(self, reason: str) -> int:
+        return int(self._c_shed.labels(reason=reason).value)
+
+    # ------------------------------------------------------------------
+    # Admission control
+    # ------------------------------------------------------------------
+    def _admit(self, deadline_ms: float) -> Optional[str]:
+        """None to admit, else the shed reason."""
+        if self.draining:
+            return "draining"
+        with self._inflight_lock:
+            if self._inflight >= self.config.max_inflight:
+                return "capacity"
+        if len(self._rtt) >= self.config.min_rtt_samples:
+            p95 = self._rtt.p95_s()
+            if (p95 is not None
+                    and deadline_ms < p95 * 1000.0 * self.config.deadline_safety):
+                return "deadline"
+        return None
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    return
+                method, path, headers, body = request
+                status, payload = await self._route(method, path, headers,
+                                                    body)
+                keep_alive = headers.get("connection", "").lower() != "close"
+                await self._write_response(writer, status, payload,
+                                           keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, RuntimeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        try:
+            method, path, _version = line.decode("latin-1").split(" ", 2)
+        except ValueError:
+            return None
+        headers: Dict[str, str] = {}
+        while True:
+            raw = await reader.readline()
+            if raw in (b"\r\n", b"\n", b""):
+                break
+            name, _sep, value = raw.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), path, headers, body
+
+    async def _write_response(self, writer: asyncio.StreamWriter, status: int,
+                              payload: Any, keep_alive: bool) -> None:
+        if isinstance(payload, str):  # /metrics exposition
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+            content_type = "application/json"
+        reason = {200: "OK", 400: "Bad Request", 404: "Not Found",
+                  422: "Unprocessable Entity", 500: "Internal Server Error",
+                  503: "Service Unavailable",
+                  504: "Gateway Timeout"}.get(status, "Status")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method: str, path: str, headers: Dict[str, str],
+                     body: bytes) -> Tuple[int, Any]:
+        route = f"{method} {path}"
+        started = time.perf_counter()
+        try:
+            status, payload = await self._dispatch(method, path, headers,
+                                                   body)
+        except XARError as exc:
+            status, payload = _domain_status(exc), _error_body(exc)
+        except WorkerCrashError as exc:
+            status, payload = 503, _error_body(exc)
+        except Exception as exc:  # noqa: BLE001 - one request, not the loop
+            status, payload = 500, {"error": type(exc).__name__,
+                                    "message": str(exc)}
+        self._c_requests.labels(route=route, status=str(status)).inc()
+        self._h_latency.labels(route=route).observe(
+            time.perf_counter() - started)
+        return status, payload
+
+    async def _dispatch(self, method: str, path: str,
+                        headers: Dict[str, str],
+                        body: bytes) -> Tuple[int, Any]:
+        if method == "GET":
+            if path == "/healthz":
+                return 200, {
+                    "ok": not self.draining,
+                    "draining": self.draining,
+                    "inflight": self._inflight,
+                    "p95_rtt_ms": self.p95_rtt_ms(),
+                }
+            if path == "/metrics":
+                return 200, to_prometheus_text(self.metrics)
+            if path == "/v1/stats":
+                return 200, await self._call(lambda: self.service.stats(),
+                                             measure=False)
+            if path == "/v1/rides":
+                rides = await self._call(
+                    lambda: self.service.active_rides(), measure=False)
+                return 200, {"rides": [codec.ride_record(r) for r in rides]}
+            if path == "/v1/rollbacks":
+                count = await self._call(
+                    lambda: self.service.rollback_count(), measure=False)
+                return 200, {"count": count}
+            if path == "/v1/index-stats":
+                stats = await self._call(
+                    lambda: self.service.index_stats(), measure=False)
+                return 200, {"stats": stats}
+            return 404, {"error": "NotFound", "message": path}
+        if method != "POST":
+            return 404, {"error": "NotFound", "message": f"{method} {path}"}
+
+        try:
+            args = json.loads(body.decode("utf-8")) if body else {}
+            if not isinstance(args, dict):
+                raise ValueError("body must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return 400, {"error": "BadRequest", "message": str(exc)}
+
+        try:
+            deadline_ms = float(
+                headers.get("x-deadline-ms", self.config.default_deadline_ms))
+        except ValueError:
+            return 400, {"error": "BadRequest",
+                         "message": "X-Deadline-Ms must be a number"}
+
+        reason = self._admit(deadline_ms)
+        if reason is not None:
+            self._c_shed.labels(reason=reason).inc()
+            return 503, {"error": "GatewayShed", "shed": reason,
+                         "message": f"request shed by gateway ({reason})"}
+
+        if path == "/v1/search":
+            request = codec.request_from(args["request"])
+            k = args.get("k")
+            matches = await self._call(
+                lambda: self.service.search(
+                    request, None if k is None else int(k)))
+            return 200, {"matches": codec.matches_record(matches)}
+        if path == "/v1/book":
+            request = codec.request_from(args["request"])
+            match = codec.match_from(args["match"])
+            booking = await self._call(
+                lambda: self.service.book(request, match))
+            return 200, {"booking": codec.booking_record(booking)}
+        if path == "/v1/create":
+            ride = await self._call(lambda: self.service.create(
+                GeoPoint(*[float(c) for c in args["source"]]),
+                GeoPoint(*[float(c) for c in args["destination"]]),
+                float(args["depart_s"]),
+                seats=None if args.get("seats") is None
+                else int(args["seats"]),
+                detour_limit_m=codec.optional_float(
+                    args.get("detour_limit_m")),
+            ))
+            return 200, {"ride": codec.ride_record(ride)}
+        if path == "/v1/track":
+            affected = await self._call(
+                lambda: self.service.track_all(float(args["now_s"])))
+            return 200, {"affected": affected}
+        if path == "/v1/cancel":
+            handle = SimpleNamespace(ride_id=int(args["ride_id"]))
+            await self._call(lambda: self.service.cancel(handle))
+            return 200, {}
+        return 404, {"error": "NotFound", "message": path}
+
+    async def _call(self, fn, measure: bool = True) -> Any:
+        """Run a blocking service call on the pool, tracking in-flight count
+        and feeding the RTT estimator."""
+        loop = asyncio.get_running_loop()
+        with self._inflight_lock:
+            self._inflight += 1
+            self._g_inflight.set(self._inflight)
+        started = time.perf_counter()
+        try:
+            return await loop.run_in_executor(self._executor, fn)
+        finally:
+            if measure:
+                self._rtt.observe(time.perf_counter() - started)
+            with self._inflight_lock:
+                self._inflight -= 1
+                self._g_inflight.set(self._inflight)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _shutdown(self, drain_timeout_s: Optional[float] = None) -> None:
+        """Drain: refuse new work, wait for in-flight requests, stop."""
+        self.draining = True
+        timeout = (self.config.drain_timeout_s
+                   if drain_timeout_s is None else drain_timeout_s)
+        deadline = time.monotonic() + timeout
+        while self._inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Kill idle keep-alive connections so no task outlives the loop.
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+        self._stopped.set()
+
+    def serve_forever(
+        self, on_start: Optional[Callable[[str], None]] = None
+    ) -> None:
+        """Blocking entry point (the CLI's ``xar serve``): run until
+        SIGTERM/SIGINT, then drain and exit.  ``on_start`` receives the
+        bound base URL once the listener is up (port 0 resolves at bind)."""
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+
+        def request_shutdown() -> None:
+            asyncio.ensure_future(self._stop_and_halt(), loop=loop)
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass
+        loop.run_until_complete(self.start())
+        if on_start is not None:
+            on_start(f"http://{self.config.host}:{self.port}")
+        try:
+            loop.run_forever()
+        finally:
+            loop.close()
+
+    async def _stop_and_halt(self) -> None:
+        await self._shutdown()
+        asyncio.get_running_loop().stop()
+
+    def start_background(self) -> str:
+        """Run the gateway on a daemon thread; returns the base URL."""
+        ready = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self.start())
+            ready.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=run, name="xar-gateway-loop",
+                                        daemon=True)
+        self._thread.start()
+        if not ready.wait(timeout=10.0):
+            raise RuntimeError("gateway failed to start within 10s")
+        return f"http://{self.config.host}:{self.port}"
+
+    def shutdown(self, drain_timeout_s: Optional[float] = None) -> None:
+        """Stop a background gateway from any thread (drains first)."""
+        loop = self._loop
+        if loop is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self._shutdown(drain_timeout_s), loop)
+        future.result(timeout=(drain_timeout_s or
+                               self.config.drain_timeout_s) + 5.0)
+        loop.call_soon_threadsafe(loop.stop)
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+
+def _domain_status(exc: XARError) -> int:
+    if isinstance(exc, ShardOverloadError):
+        return 503
+    if isinstance(exc, DeadlineExceededError):
+        return 504
+    return 422
+
+
+def _error_body(exc: BaseException) -> Dict[str, Any]:
+    return {
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "shard_id": getattr(exc, "shard_id", None),
+        "operation": getattr(exc, "operation", None),
+    }

@@ -1,0 +1,349 @@
+"""ProcRouter: the EngineAdapter-shaped façade over a process-shard fleet.
+
+Same routing rules as the thread-mode :class:`~repro.service.router.ShardRouter`
+— creates go to the shard owning the source cluster, ride ids encode their
+home shard in an arithmetic lane, searches fan out to the walkable shards
+and k-way-merge, tracking broadcasts behind a monotone watermark — but
+every shard call crosses a process boundary through
+:meth:`~repro.service.proc.supervisor.ProcShard.rpc`.
+
+Degradation semantics carry over exactly:
+
+* a shard that sheds (queue full) degrades a fan-out search to partial
+  results; a *quarantined* shard does the same (``ShardQuarantinedError``
+  is a ``ShardOverloadError``), so the router serves around a flapping
+  shard without new code;
+* a shard that is mid-restart fails searches fast (``wait_live_s=0``) and
+  makes mutations wait, bounded by their deadline;
+* ``book`` carries an idempotency key, so a booking whose connection died
+  mid-call is retried safely: the recovered shard's ledger (rebuilt by WAL
+  replay) answers the duplicate with the original record.
+
+Anything that can drive one engine — the load generator, the differential
+harness's workloads, the CLI — can drive the process fleet unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from ...core.booking import BookingRecord
+from ...core.request import RideRequest
+from ...core.search import MatchOption
+from ...discretization import DiscretizedRegion
+from ...exceptions import (
+    DeadlineExceededError,
+    RpcError,
+    ShardOverloadError,
+    WorkerCrashError,
+    XARError,
+)
+from ...geo import GeoPoint
+from ...obs import FANOUT_BUCKETS, MetricsRegistry
+from ..merge import merge_matches
+from ..sharding import ShardMap
+from . import codec
+from .rpc import book_idempotency_key
+from .supervisor import ShardSupervisor, SupervisorConfig
+
+
+class ProcRouter:
+    """Sharded ride-matching service over subprocess shards."""
+
+    def __init__(
+        self,
+        region: DiscretizedRegion,
+        config: Optional[SupervisorConfig] = None,
+        *,
+        supervisor: Optional[ShardSupervisor] = None,
+        fanout: str = "local",
+        fanout_radius_m: Optional[float] = None,
+        search_deadline_s: float = 5.0,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        if fanout not in ("local", "all"):
+            raise ValueError(f"fanout must be 'local' or 'all', got {fanout!r}")
+        self.region = region
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if supervisor is None:
+            supervisor = ShardSupervisor(region, config, metrics=self.metrics)
+        self.supervisor = supervisor
+        self.n_shards = supervisor.config.n_shards
+        self.shard_map = ShardMap(region, self.n_shards)
+        self.fanout = fanout
+        self.fanout_radius_m = (
+            fanout_radius_m
+            if fanout_radius_m is not None
+            else region.config.epsilon_m
+        )
+        self.search_deadline_s = search_deadline_s
+        self.name = f"Proc(XAR x{self.n_shards})"
+        # Same router-level series as thread mode, so dashboards and CI
+        # assertions are mode-agnostic.
+        self._c_partial = self.metrics.counter(
+            "xar_router_partial_searches_total",
+            "Fan-out searches that lost >= 1 shard to shedding but were "
+            "still served from the rest (degraded recall, not failure)",
+        )
+        self._c_search_failures = self.metrics.counter(
+            "xar_router_search_failures_total",
+            "Per-shard search calls that raised and contributed an empty "
+            "batch instead of failing the whole fan-out",
+        )
+        self._c_shed_searches = self.metrics.counter(
+            "xar_router_shed_searches_total",
+            "Searches refused outright: every consulted shard shed",
+        )
+        self._c_ticks = self.metrics.counter(
+            "xar_router_track_ticks_total",
+            "Tracking ticks by outcome (applied / coalesced / dropped)",
+            labels=("outcome",),
+        )
+        self._h_fanout = self.metrics.histogram(
+            "xar_router_fanout_width",
+            "Shards consulted per fan-out search",
+            buckets=FANOUT_BUCKETS,
+        )
+        for family in (self._c_partial, self._c_search_failures,
+                       self._c_shed_searches, self._h_fanout):
+            family.labels()
+        for outcome in ("applied", "coalesced", "dropped"):
+            self._c_ticks.labels(outcome=outcome)
+        self._last_track_s: Optional[float] = None
+        self._track_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_of_ride(self, ride_id: int) -> int:
+        return (ride_id - 1) % self.n_shards
+
+    def shards_for_request(self, request: RideRequest) -> List[int]:
+        if self.fanout == "all":
+            return list(range(self.n_shards))
+        return self.shard_map.shards_for_request(request, self.fanout_radius_m)
+
+    @property
+    def partial_searches(self) -> int:
+        return int(self._c_partial.value)
+
+    @property
+    def search_failures(self) -> int:
+        return int(self._c_search_failures.value)
+
+    @property
+    def last_recoveries(self) -> Dict[int, Dict[str, Any]]:
+        """Latest per-shard recovery summaries (from respawn handshakes)."""
+        return {
+            shard.shard_id: shard.last_recovery
+            for shard in self.supervisor.shards
+            if shard.last_recovery is not None
+        }
+
+    # ------------------------------------------------------------------
+    # EngineAdapter protocol
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        source: GeoPoint,
+        destination: GeoPoint,
+        depart_s: float,
+        seats: Optional[int] = None,
+        detour_limit_m: Optional[float] = None,
+    ) -> Any:
+        shard_id = self.shard_map.shard_of_point(source)
+        result = self.supervisor.rpc(shard_id, "create", {
+            "source": [source.lat, source.lon],
+            "destination": [destination.lat, destination.lon],
+            "depart_s": depart_s,
+            "seats": seats,
+            "detour_limit_m": detour_limit_m,
+        })
+        return codec.ride_from(self.region, result["ride"])
+
+    def search(self, request: RideRequest,
+               k: Optional[int] = None) -> List[MatchOption]:
+        """Fan out and k-way-merge; shed/quarantined/restarting shards
+        degrade the search to partial results rather than failing it."""
+        shed = 0
+        batches: List[List[MatchOption]] = []
+        errors: List[BaseException] = []
+        shard_ids = self.shards_for_request(request)
+        self._h_fanout.observe(len(shard_ids))
+        record = codec.request_record(request)
+        for shard_id in shard_ids:
+            try:
+                result = self.supervisor.rpc(
+                    shard_id,
+                    "search",
+                    {"request": record, "k": k},
+                    deadline_s=self.search_deadline_s,
+                    readonly=True,
+                    wait_live_s=0.0,
+                )
+                batches.append(codec.matches_from(result["matches"]))
+            except ShardOverloadError:
+                shed += 1
+            except (WorkerCrashError, DeadlineExceededError, RpcError,
+                    XARError) as exc:
+                self._c_search_failures.inc()
+                errors.append(exc)
+        if shed and (batches or errors):
+            self._c_partial.inc()
+        if not batches:
+            if shed or not errors:
+                self._c_shed_searches.inc()
+                raise ShardOverloadError(-1, "search")
+            raise errors[0]
+        return merge_matches(batches, k)
+
+    def book(self, request: RideRequest, match: MatchOption) -> BookingRecord:
+        shard_id = self.shard_of_ride(match.ride_id)
+        result = self.supervisor.rpc(
+            shard_id,
+            "book",
+            {"request": codec.request_record(request),
+             "match": codec.match_record(match)},
+            idem=book_idempotency_key(request.request_id, match.ride_id),
+        )
+        return codec.booking_from(result["booking"])
+
+    def track_all(self, now_s: float) -> int:
+        """Broadcast a tracking tick behind the monotone watermark.
+
+        Same commit rule as thread mode: the watermark advances only once
+        at least one shard swept, so a tick every shard refused is retried
+        (not coalesced away) at the same simulated time.
+        """
+        with self._track_lock:
+            if self._last_track_s is not None and now_s <= self._last_track_s:
+                self._c_ticks.labels(outcome="coalesced").inc()
+                return 0
+            total = 0
+            applied = 0
+            for shard in self.supervisor.shards:
+                try:
+                    result = shard.rpc(
+                        "track",
+                        {"now_s": now_s},
+                        idem=f"track:{now_s}",
+                        wait_live_s=0.0,
+                    )
+                except (ShardOverloadError, WorkerCrashError,
+                        DeadlineExceededError, RpcError):
+                    continue
+                total += int(result["affected"])
+                applied += 1
+            if applied:
+                self._last_track_s = now_s
+                self._c_ticks.labels(outcome="applied").inc()
+            else:
+                self._c_ticks.labels(outcome="dropped").inc()
+            return total
+
+    def cancel(self, ride: Any) -> None:
+        shard_id = self.shard_of_ride(ride.ride_id)
+        self.supervisor.rpc(shard_id, "cancel", {"ride_id": ride.ride_id})
+
+    def active_rides(self) -> List[Any]:
+        rides: List[Any] = []
+        for shard in self.supervisor.shards:
+            result = shard.rpc("active_rides", readonly=True)
+            rides.extend(codec.ride_from(self.region, state)
+                         for state in result["rides"])
+        return rides
+
+    def rollback_count(self) -> int:
+        return sum(
+            int(shard.rpc("rollback_count", readonly=True)["count"])
+            for shard in self.supervisor.shards
+        )
+
+    def index_stats(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for shard in self.supervisor.shards:
+            stats = shard.rpc("index_stats", readonly=True)["stats"]
+            for key, value in stats.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    # ------------------------------------------------------------------
+    # Service introspection
+    # ------------------------------------------------------------------
+    def bookings(self) -> List[BookingRecord]:
+        records: List[BookingRecord] = []
+        for shard in self.supervisor.shards:
+            result = shard.rpc("bookings", readonly=True)
+            records.extend(codec.booking_from(state)
+                           for state in result["bookings"])
+        return records
+
+    def find_ride(self, ride_id: int) -> Any:
+        shard_id = self.shard_of_ride(ride_id)
+        result = self.supervisor.rpc(shard_id, "find_ride",
+                                     {"ride_id": ride_id}, readonly=True)
+        return codec.ride_from(self.region, result["ride"])
+
+    def audit(self, heal: bool = False) -> Dict[str, Any]:
+        per_shard: Dict[int, int] = {}
+        healed = 0
+        for shard in self.supervisor.shards:
+            result = shard.rpc("audit", {"heal": heal})
+            per_shard[shard.shard_id] = int(result["violations"])
+            healed += int(result["healed"])
+        return {
+            "violations": sum(per_shard.values()),
+            "per_shard": per_shard,
+            "healed": healed,
+        }
+
+    def checkpoint(self) -> None:
+        for shard in self.supervisor.shards:
+            shard.rpc("checkpoint")
+
+    def stats(self) -> Dict[str, Any]:
+        shard_stats = []
+        total_shed = 0
+        for shard in self.supervisor.shards:
+            try:
+                snapshot = shard.rpc("stats", readonly=True, deadline_s=5.0,
+                                     wait_live_s=0.0)
+            except (ShardOverloadError, WorkerCrashError,
+                    DeadlineExceededError, RpcError):
+                snapshot = {"unreachable": True}
+            snapshot["shard_id"] = shard.shard_id
+            snapshot["state"] = shard.state
+            snapshot["restarts"] = shard.restarts
+            total_shed += sum(snapshot.get("shed", {}).values())
+            shard_stats.append(snapshot)
+        return {
+            "name": self.name,
+            "n_shards": self.n_shards,
+            "fanout": self.fanout,
+            "fanout_radius_m": self.fanout_radius_m,
+            "total_shed": total_shed,
+            "partial_searches": self.partial_searches,
+            "search_failures": self.search_failures,
+            "states": self.supervisor.states(),
+            "shards": shard_stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Chaos + lifecycle
+    # ------------------------------------------------------------------
+    def crash_shard(self, shard_id: int, *, mid_book: bool = False,
+                    kill: bool = True) -> None:
+        self.supervisor.crash_shard(shard_id, mid_book=mid_book, kill=kill)
+
+    def wait_all_live(self, timeout_s: float = 30.0) -> bool:
+        return self.supervisor.wait_all_live(timeout_s)
+
+    def close(self) -> None:
+        self.supervisor.close()
+
+    def __enter__(self) -> "ProcRouter":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()

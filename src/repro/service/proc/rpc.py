@@ -1,0 +1,191 @@
+"""Binary RPC framing for process shards: length-prefixed, CRC-checked.
+
+The wire format is the WAL's frame format pointed at a socket instead of a
+file (one battle-tested codec for both)::
+
+    +----------------+----------------+-----------------------+
+    | length: u32 LE | crc32: u32 LE  | payload (JSON, UTF-8) |
+    +----------------+----------------+-----------------------+
+
+Requests carry a monotonically increasing ``id`` (per connection), the
+operation name, its arguments, the caller's remaining **deadline** in
+milliseconds and — for retriable mutations — an **idempotency key**::
+
+    {"id": 7, "op": "book", "deadline_ms": 450, "idem": "book:12:3",
+     "args": {...}}
+
+Responses echo the id: ``{"id": 7, "ok": true, "result": {...}}`` or
+``{"id": 7, "ok": false, "error": "BookingError", "message": "..."}``.
+Errors round-trip by class name: the client rebuilds the original exception
+type for every :class:`~repro.exceptions.XARError` subclass (shard overload
+stays shard overload, a stale booking stays a ``BookingError``), so callers
+upstack cannot tell a process shard from a thread shard by its failures.
+
+Transport failures are different in kind from remote errors: an EOF,
+reset or timeout mid-call raises :class:`~repro.exceptions.RpcTransportError`
+with ``request_sent`` recording whether the request bytes reached the
+socket.  A sent-but-unanswered mutation may already be in the shard's WAL —
+recovery will complete it — so only calls carrying an idempotency key (or
+declared read-idempotent) may be retried; the shard's recovered state is
+the dedupe source of truth.  :class:`RetryPolicy` bounds those retries and
+spaces them with decorrelated jittered backoff.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ... import exceptions as _exceptions
+from ...exceptions import (
+    RpcProtocolError,
+    RpcTransportError,
+    ShardOverloadError,
+    ShardQuarantinedError,
+    XARError,
+)
+
+#: Frame prefix: payload length + payload CRC32, both little-endian u32.
+_FRAME = struct.Struct("<II")
+
+#: Refuse absurd frames before allocating for them (a corrupt length
+#: prefix must not make the peer try to read gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def write_frame(sock: socket.socket, record: Dict[str, Any]) -> None:
+    """Frame and send one JSON record; raises RpcTransportError on failure."""
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    framed = _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+    try:
+        sock.sendall(framed)
+    except (OSError, ValueError) as exc:
+        raise RpcTransportError(f"send failed: {exc}", request_sent=False) from exc
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout as exc:
+            raise RpcTransportError(
+                "receive timed out", request_sent=True
+            ) from exc
+        except (OSError, ValueError) as exc:
+            raise RpcTransportError(
+                f"receive failed: {exc}", request_sent=True
+            ) from exc
+        if not chunk:
+            raise RpcTransportError("connection closed by peer",
+                                    request_sent=True)
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> Dict[str, Any]:
+    """Receive one frame; CRC and JSON validated.
+
+    Raises :class:`RpcTransportError` on EOF/reset/timeout and
+    :class:`RpcProtocolError` on a structurally invalid frame (after which
+    the stream cannot be resynchronised and must be closed).
+    """
+    header = _recv_exact(sock, _FRAME.size)
+    length, crc = _FRAME.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RpcProtocolError(
+            f"frame length {length} exceeds {MAX_FRAME_BYTES} bytes"
+        )
+    payload = _recv_exact(sock, length)
+    if zlib.crc32(payload) != crc:
+        raise RpcProtocolError("frame CRC mismatch")
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RpcProtocolError(f"undecodable frame payload: {exc}") from exc
+    if not isinstance(record, dict):
+        raise RpcProtocolError("frame payload is not a JSON object")
+    return record
+
+
+# ----------------------------------------------------------------------
+# Error envelopes
+# ----------------------------------------------------------------------
+def error_response(request_id: int, exc: BaseException) -> Dict[str, Any]:
+    """Serialize an exception into a response envelope."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": type(exc).__name__,
+        "message": str(exc),
+        "shard_id": getattr(exc, "shard_id", None),
+        "operation": getattr(exc, "operation", None),
+    }
+
+
+def raise_remote_error(response: Dict[str, Any], *, shard_id: int,
+                       operation: str) -> None:
+    """Rebuild and raise the exception a shard's error envelope names."""
+    name = str(response.get("error", "XARError"))
+    message = str(response.get("message", ""))
+    if name == "ShardQuarantinedError":
+        raise ShardQuarantinedError(
+            int(response.get("shard_id") or shard_id),
+            str(response.get("operation") or operation),
+        )
+    if name == "ShardOverloadError":
+        raise ShardOverloadError(
+            int(response.get("shard_id") or shard_id),
+            str(response.get("operation") or operation),
+        )
+    cls = getattr(_exceptions, name, None)
+    if isinstance(cls, type) and issubclass(cls, XARError):
+        try:
+            raise cls(message)
+        except TypeError:
+            # Class with a structured constructor we cannot rebuild 1:1
+            # (e.g. NoPathError(source, target)); degrade to the base class
+            # but keep the original name visible in the message.
+            raise XARError(f"{name}: {message}") from None
+    raise XARError(f"{name}: {message}")
+
+
+# ----------------------------------------------------------------------
+# Retry policy
+# ----------------------------------------------------------------------
+@dataclass
+class RetryPolicy:
+    """Bounded retry with decorrelated jittered backoff.
+
+    Applies only to transport failures of idempotent calls (reads, or
+    mutations carrying an idempotency key).  Remote *errors* are never
+    retried here — the shard already decided them deterministically.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Delay before retry ``attempt`` (1-based), jittered in [1/2, 1]x."""
+        ceiling = min(self.backoff_cap_s,
+                      self.backoff_base_s * (2.0 ** (attempt - 1)))
+        return ceiling * (0.5 + 0.5 * rng.random())
+
+
+def book_idempotency_key(request_id: int, ride_id: int) -> str:
+    """The canonical idempotency key for a booking.
+
+    Keyed on (request, ride): a retried ``book`` after a shard crash finds
+    the booking the WAL replay already completed and returns it instead of
+    double-applying — the ledger, not a client-side guess, is the dedupe
+    source of truth.
+    """
+    return f"book:{request_id}:{ride_id}"

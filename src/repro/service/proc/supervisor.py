@@ -1,0 +1,744 @@
+"""The supervision tree: spawn, watch, restart and quarantine shard processes.
+
+:class:`ShardSupervisor` owns one subprocess per shard.  Each spawn
+generation gets its own UNIX socket (``shard<k>.g<gen>.sock``) so a
+straggler from a previous life can never answer on the current channel,
+and its own stderr log.  Liveness is judged by two independent signals:
+
+* **exit codes** — the monitor polls ``Popen.poll()``; any exit while the
+  shard is supposed to be live is a *crash*;
+* **heartbeats** — the child sends a frame every ``heartbeat_interval_s``
+  on a dedicated connection; a process that is alive but silent for
+  ``hang_timeout_s`` is a *hang* and is SIGKILLed (a wedged shard and a
+  dead shard get the same treatment, because callers cannot tell them
+  apart).
+
+Every failure feeds the same restart path: crash recovery in the child
+(`worker.py` replays the shard's WAL on boot), scheduled with exponential
+backoff.  A shard that keeps dying — more than ``max_restarts`` consecutive
+failures without a stability window in between — is **quarantined**:
+requests fail fast with :class:`~repro.exceptions.ShardQuarantinedError`
+(a ``ShardOverloadError`` subclass, so the router's partial-search
+degradation serves around it) until a cooldown expires and a single probe
+restart is allowed.
+
+RPC calls go through :meth:`ProcShard.rpc`, which waits (bounded by the
+caller's deadline) for the shard to be live, checks a connection out of the
+pool, enforces the deadline as a socket timeout, and applies the bounded
+retry policy — but only for calls that are safe to retry: reads, and
+mutations carrying an idempotency key.  A ``create`` whose connection died
+after the request was sent is *not* retried (the WAL may already hold it;
+recovery completes it) and surfaces as
+:class:`~repro.exceptions.WorkerCrashError` exactly like a thread-mode
+crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import random
+import socket
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ...discretization import DiscretizedRegion, save_region
+from ...exceptions import (
+    DeadlineExceededError,
+    RpcProtocolError,
+    RpcTransportError,
+    ServiceClosedError,
+    ShardOverloadError,
+    ShardQuarantinedError,
+    WorkerCrashError,
+)
+from ...obs import DEFAULT_LATENCY_BUCKETS_S, MetricsRegistry
+from ..sharding import derive_seed
+from .rpc import RetryPolicy, raise_remote_error, read_frame, write_frame
+
+# Supervision states (exported as the ``xar_proc_shard_state`` gauge).
+STARTING = "starting"
+LIVE = "live"
+RESTARTING = "restarting"
+QUARANTINED = "quarantined"
+STOPPED = "stopped"
+
+STATE_CODES = {STARTING: 0, LIVE: 1, RESTARTING: 2, QUARANTINED: 3,
+               STOPPED: 4}
+
+
+@dataclass
+class SupervisorConfig:
+    """Knobs of the process-shard supervision tree."""
+
+    n_shards: int = 4
+    #: Scratch directory: per-shard WAL dirs, sockets, configs, logs.  The
+    #: region is saved here too unless ``region_dir`` points at one.
+    run_dir: str = "xar-proc"
+    #: Pre-saved region directory (skips the save step when provided).
+    region_dir: Optional[str] = None
+    #: Child-side heartbeat period.
+    heartbeat_interval_s: float = 0.25
+    #: Heartbeat silence (while the process is alive) declared a hang.
+    hang_timeout_s: float = 2.0
+    #: Monitor poll period.
+    check_interval_s: float = 0.1
+    #: Exponential restart backoff: base * 2^(n-1), capped.
+    restart_backoff_base_s: float = 0.1
+    restart_backoff_cap_s: float = 5.0
+    #: Consecutive failures beyond this quarantine the shard.
+    max_restarts: int = 3
+    #: A shard live this long has its consecutive-failure count reset.
+    stability_reset_s: float = 5.0
+    #: Quarantine cooldown before a single probe restart is allowed.
+    quarantine_cooldown_s: float = 30.0
+    #: How long a spawn may take to connect back before it is a failure.
+    spawn_timeout_s: float = 30.0
+    #: Parallel request/response channels per shard.
+    ops_connections: int = 2
+    #: Default per-op deadline when the caller does not bring one.
+    default_deadline_s: float = 30.0
+    #: Grace period for SIGTERM drain before escalating to SIGKILL.
+    drain_timeout_s: float = 10.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    # Child engine/stack knobs (mirror ServiceConfig).
+    queue_depth: int = 128
+    fsync_every: int = 64
+    checkpoint_every: int = 0
+    resilient: bool = False
+    optimize_insertion: bool = False
+    seed: int = 0
+
+
+class ProcShard:
+    """One supervised shard: process handle, connection pool, state machine."""
+
+    def __init__(self, shard_id: int, config: SupervisorConfig,
+                 supervisor: "ShardSupervisor"):
+        self.shard_id = shard_id
+        self.config = config
+        self.supervisor = supervisor
+        self.state = STARTING
+        self.generation = 0
+        self.process: Optional[subprocess.Popen] = None
+        self.last_heartbeat = time.monotonic()
+        self.live_since = 0.0
+        self.consecutive_failures = 0
+        self.restarts = 0
+        self.quarantines = 0
+        self.quarantine_until = 0.0
+        self.next_restart_at = 0.0
+        self.restart_inflight = False
+        self.last_recovery: Optional[Dict[str, Any]] = None
+        self.rng = random.Random(derive_seed(config.seed, shard_id) ^ 0x5AFE)
+        self._conns: "queue.Queue[socket.socket]" = queue.Queue()
+        self._hb_sock: Optional[socket.socket] = None
+        self._cond = threading.Condition()
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # State machine helpers (all transitions happen under ``_cond``)
+    # ------------------------------------------------------------------
+    def set_state(self, state: str) -> None:
+        with self._cond:
+            self.state = state
+            self._cond.notify_all()
+        self.supervisor._observe_state(self)
+
+    def _await_live(self, operation: str, deadline: float,
+                    fail_fast: bool = False) -> None:
+        with self._cond:
+            while True:
+                if self.state == LIVE:
+                    return
+                if self.state == QUARANTINED:
+                    raise ShardQuarantinedError(self.shard_id, operation)
+                if self.state == STOPPED:
+                    raise ServiceClosedError(
+                        f"shard {self.shard_id} is shut down")
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    if fail_fast:
+                        # The caller opted out of waiting for a restart
+                        # (``wait_live_s``): a recovering shard is shed
+                        # like an overloaded one, so fan-out searches
+                        # degrade to partial instead of stalling behind
+                        # WAL replay.
+                        raise ShardOverloadError(self.shard_id, operation)
+                    raise WorkerCrashError(
+                        f"shard {self.shard_id} is {self.state}, "
+                        f"not live in time for {operation}",
+                        mid_op=False,
+                    )
+                self._cond.wait(min(remaining, 0.05))
+
+    # ------------------------------------------------------------------
+    # RPC
+    # ------------------------------------------------------------------
+    def rpc(
+        self,
+        op: str,
+        args: Optional[Dict[str, Any]] = None,
+        *,
+        deadline_s: Optional[float] = None,
+        idem: Optional[str] = None,
+        readonly: bool = False,
+        wait_live_s: Optional[float] = None,
+    ) -> Any:
+        """Call ``op`` on the shard process; deadline- and retry-aware.
+
+        ``wait_live_s`` bounds how long the call blocks waiting for a
+        restarting shard (``0`` fails fast — the searcher's choice; the
+        default waits out the caller's whole deadline).  Transport failures
+        retry with jittered backoff only when ``readonly`` or ``idem`` says
+        a duplicate apply is impossible; anything else becomes a
+        :class:`WorkerCrashError` with ``mid_op`` telling the caller
+        whether the op may already be in the shard's WAL.
+        """
+        total_s = (self.config.default_deadline_s
+                   if deadline_s is None else deadline_s)
+        started = time.monotonic()
+        deadline = started + total_s
+        fail_fast = wait_live_s is not None
+        live_deadline = (deadline if wait_live_s is None
+                         else min(deadline, started + wait_live_s))
+        attempt = 0
+        while True:
+            self._await_live(op, live_deadline, fail_fast=fail_fast)
+            try:
+                return self._call_once(op, args, deadline, total_s, idem)
+            except (RpcTransportError, RpcProtocolError) as exc:
+                request_sent = getattr(exc, "request_sent", True)
+                if not (readonly or idem is not None or not request_sent):
+                    raise WorkerCrashError(
+                        f"shard {self.shard_id} connection lost mid-{op}: "
+                        f"{exc}",
+                        mid_op=True,
+                    ) from exc
+                attempt += 1
+                if attempt > self.config.retry.max_retries:
+                    raise WorkerCrashError(
+                        f"shard {self.shard_id} {op} failed after "
+                        f"{attempt} attempts: {exc}",
+                        mid_op=False,
+                    ) from exc
+                if fail_fast:
+                    # A fail-fast caller never sleeps on a dead channel:
+                    # the next ``_await_live`` sheds unless the shard is
+                    # already live again, so an immediate retry is cheap
+                    # and a backoff would just stretch the caller's tail.
+                    continue
+                delay = self.config.retry.backoff_s(attempt, self.rng)
+                if time.monotonic() + delay >= deadline:
+                    raise DeadlineExceededError(
+                        op, time.monotonic() - started, total_s) from exc
+                time.sleep(delay)
+                # After a crash the shard restarts behind our back;
+                # retries may wait for the new generation out to the full
+                # deadline (fail-fast callers shed in ``_await_live``
+                # instead of stalling behind the restart's WAL replay).
+                live_deadline = deadline
+
+    def _call_once(self, op: str, args: Optional[Dict[str, Any]],
+                   deadline: float, total_s: float,
+                   idem: Optional[str]) -> Any:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise DeadlineExceededError(op, total_s, total_s)
+        pool = self._conns
+        # Queue for a connection in slices: if the generation dies while
+        # we wait, its pool is orphaned (dead sockets are dropped, the
+        # restart installs a fresh queue) and blocking out the deadline on
+        # it would stall callers behind the whole WAL recovery.  Surfacing
+        # the death as an unsent transport failure lets ``rpc()`` re-await
+        # liveness — or shed immediately for fail-fast callers.
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ShardOverloadError(self.shard_id, op)
+            try:
+                sock = pool.get(timeout=min(remaining, 0.05))
+                break
+            except queue.Empty:
+                process = self.process
+                dead = process is not None and process.poll() is not None
+                if self._conns is not pool or self.state != LIVE or dead:
+                    raise RpcTransportError(
+                        f"shard {self.shard_id} restarted while queued "
+                        f"for a connection", request_sent=False,
+                    ) from None
+        reusable = True
+        try:
+            with self._id_lock:
+                self._next_id += 1
+                request_id = self._next_id
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(op, total_s, total_s)
+            request: Dict[str, Any] = {
+                "id": request_id,
+                "op": op,
+                "args": args or {},
+                "deadline_ms": remaining * 1000.0,
+            }
+            if idem is not None:
+                request["idem"] = idem
+            sock.settimeout(max(remaining, 0.001))
+            rpc_started = time.perf_counter()
+            write_frame(sock, request)
+            response = read_frame(sock)
+            self.supervisor._observe_rpc(
+                self.shard_id, op, time.perf_counter() - rpc_started)
+            if response.get("id") != request_id:
+                raise RpcProtocolError(
+                    f"shard {self.shard_id}: response id "
+                    f"{response.get('id')!r} != request id {request_id}"
+                )
+        except (RpcTransportError, RpcProtocolError):
+            # The channel cannot be trusted (a late response could answer
+            # the next request): drop it instead of returning it.
+            reusable = False
+            _close_quietly(sock)
+            raise
+        finally:
+            if reusable:
+                if self._conns is pool:
+                    pool.put(sock)
+                else:  # the shard restarted mid-call; this pool is history
+                    _close_quietly(sock)
+        if response.get("ok"):
+            return response.get("result")
+        raise_remote_error(response, shard_id=self.shard_id, operation=op)
+
+    # ------------------------------------------------------------------
+    # Plumbing used by the supervisor
+    # ------------------------------------------------------------------
+    def adopt(self, process: subprocess.Popen, generation: int,
+              ops_socks: List[socket.socket],
+              hb_sock: socket.socket,
+              recovery: Optional[Dict[str, Any]]) -> None:
+        pool: "queue.Queue[socket.socket]" = queue.Queue()
+        for sock in ops_socks:
+            pool.put(sock)
+        now = time.monotonic()
+        with self._cond:
+            self.process = process
+            self.generation = generation
+            self._conns = pool
+            self._hb_sock = hb_sock
+            self.last_heartbeat = now
+            self.live_since = now
+            self.last_recovery = recovery
+            self.restart_inflight = False
+            self.state = LIVE
+            self._cond.notify_all()
+        self.supervisor._observe_state(self)
+
+    def discard_channels(self) -> None:
+        """Close every socket of the current generation."""
+        pool = self._conns
+        self._conns = queue.Queue()
+        while True:
+            try:
+                _close_quietly(pool.get_nowait())
+            except queue.Empty:
+                break
+        if self._hb_sock is not None:
+            _close_quietly(self._hb_sock)
+            self._hb_sock = None
+
+
+class ShardSupervisor:
+    """Spawns and supervises the process-shard fleet."""
+
+    def __init__(
+        self,
+        region: DiscretizedRegion,
+        config: Optional[SupervisorConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.region = region
+        self.config = config or SupervisorConfig()
+        if self.config.n_shards < 1:
+            raise ValueError(
+                f"n_shards must be >= 1, got {self.config.n_shards!r}")
+        self.metrics = metrics
+        self.run_dir = os.path.abspath(self.config.run_dir)
+        os.makedirs(self.run_dir, exist_ok=True)
+        self._closing = threading.Event()
+        self._instrument(metrics)
+        self.region_dir = self.config.region_dir
+        if self.region_dir is None:
+            self.region_dir = os.path.join(self.run_dir, "region")
+            if not os.path.isdir(self.region_dir):
+                save_region(region, self.region_dir)
+        self.shards = [ProcShard(i, self.config, self)
+                       for i in range(self.config.n_shards)]
+        try:
+            for shard in self.shards:
+                self._spawn(shard)
+        except Exception:
+            self.close()
+            raise
+        self._monitor_thread = threading.Thread(
+            target=self._monitor, name="xar-proc-monitor", daemon=True)
+        self._monitor_thread.start()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _instrument(self, metrics: Optional[MetricsRegistry]) -> None:
+        self._c_failures = self._c_restarts = self._c_quarantines = None
+        self._g_hb_age = self._g_state = self._h_rpc = None
+        if metrics is None:
+            return
+        self._c_failures = metrics.counter(
+            "xar_proc_failures_total",
+            "Shard process failures by kind (crash / hang / spawn)",
+            labels=("shard", "kind"),
+        )
+        self._c_restarts = metrics.counter(
+            "xar_proc_restarts_total",
+            "Shard process restarts (each runs crash recovery)",
+            labels=("shard",),
+        )
+        self._c_quarantines = metrics.counter(
+            "xar_proc_quarantines_total",
+            "Shards quarantined after exhausting their restart budget",
+            labels=("shard",),
+        )
+        self._g_hb_age = metrics.gauge(
+            "xar_proc_heartbeat_age_seconds",
+            "Seconds since the last heartbeat from each shard process",
+            labels=("shard",),
+        )
+        self._g_state = metrics.gauge(
+            "xar_proc_shard_state",
+            "Supervision state per shard "
+            "(0 starting, 1 live, 2 restarting, 3 quarantined, 4 stopped)",
+            labels=("shard",),
+        )
+        self._h_rpc = metrics.histogram(
+            "xar_proc_rpc_latency_seconds",
+            "Round-trip latency of shard RPCs",
+            labels=("shard", "op"),
+            buckets=DEFAULT_LATENCY_BUCKETS_S,
+        )
+
+    def _observe_state(self, shard: ProcShard) -> None:
+        if self._g_state is not None:
+            self._g_state.labels(shard=str(shard.shard_id)).set(
+                STATE_CODES[shard.state])
+
+    def _observe_rpc(self, shard_id: int, op: str, elapsed_s: float) -> None:
+        if self._h_rpc is not None:
+            self._h_rpc.labels(shard=str(shard_id), op=op).observe(elapsed_s)
+
+    def _count_failure(self, shard: ProcShard, kind: str) -> None:
+        if self._c_failures is not None:
+            self._c_failures.labels(shard=str(shard.shard_id),
+                                    kind=kind).inc()
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def _child_env(self) -> Dict[str, str]:
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (src_root if not existing
+                             else src_root + os.pathsep + existing)
+        return env
+
+    def _shard_paths(self, shard_id: int, generation: int) -> Dict[str, str]:
+        return {
+            "socket": os.path.join(
+                self.run_dir, f"shard{shard_id}.g{generation}.sock"),
+            "config": os.path.join(self.run_dir, f"shard{shard_id}.json"),
+            "wal_dir": os.path.join(self.run_dir, f"shard{shard_id}"),
+            "log": os.path.join(self.run_dir, f"shard{shard_id}.log"),
+        }
+
+    def _spawn(self, shard: ProcShard) -> None:
+        """Start one shard process and wait for it to connect back.
+
+        Raises on failure; callers decide whether that is fatal (initial
+        boot) or another failure to classify (restarts).
+        """
+        cfg = self.config
+        generation = shard.generation + 1
+        paths = self._shard_paths(shard.shard_id, generation)
+        os.makedirs(paths["wal_dir"], exist_ok=True)
+        if os.path.exists(paths["socket"]):
+            os.unlink(paths["socket"])
+        child_config = {
+            "shard_id": shard.shard_id,
+            "n_shards": cfg.n_shards,
+            "generation": generation,
+            "region_dir": self.region_dir,
+            "socket_path": paths["socket"],
+            "wal_dir": paths["wal_dir"],
+            "fsync_every": cfg.fsync_every,
+            "checkpoint_every": cfg.checkpoint_every,
+            "queue_depth": cfg.queue_depth,
+            "resilient": cfg.resilient,
+            "optimize_insertion": cfg.optimize_insertion,
+            "seed": cfg.seed,
+            "heartbeat_interval_s": cfg.heartbeat_interval_s,
+            "ops_connections": cfg.ops_connections,
+        }
+        with open(paths["config"], "w", encoding="utf-8") as handle:
+            json.dump(child_config, handle)
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        process = None
+        try:
+            listener.bind(paths["socket"])
+            listener.listen(cfg.ops_connections + 1)
+            listener.settimeout(cfg.spawn_timeout_s)
+            with open(paths["log"], "ab") as log_handle:
+                process = subprocess.Popen(
+                    [sys.executable, "-m", "repro.service.proc.worker",
+                     paths["config"]],
+                    stdout=log_handle,
+                    stderr=subprocess.STDOUT,
+                    env=self._child_env(),
+                )
+            ops_socks: List[socket.socket] = []
+            hb_sock: Optional[socket.socket] = None
+            recovery: Optional[Dict[str, Any]] = None
+            while len(ops_socks) < cfg.ops_connections or hb_sock is None:
+                conn, _addr = listener.accept()
+                conn.settimeout(cfg.spawn_timeout_s)
+                hello = read_frame(conn)
+                if hello.get("generation") != generation:
+                    _close_quietly(conn)
+                    continue
+                if hello.get("role") == "hb":
+                    hb_sock = conn
+                    recovery = hello.get("recovery")
+                else:
+                    ops_socks.append(conn)
+            conn_ok = True
+        except Exception:
+            if process is not None and process.poll() is None:
+                process.kill()
+                process.wait()
+            raise
+        finally:
+            _close_quietly(listener)
+        assert conn_ok and hb_sock is not None
+        shard.adopt(process, generation, ops_socks, hb_sock, recovery)
+        threading.Thread(
+            target=self._heartbeat_loop,
+            args=(shard, generation, hb_sock),
+            name=f"xar-proc-hb-{shard.shard_id}",
+            daemon=True,
+        ).start()
+
+    def _heartbeat_loop(self, shard: ProcShard, generation: int,
+                        hb_sock: socket.socket) -> None:
+        hb_sock.settimeout(None)
+        while not self._closing.is_set():
+            try:
+                read_frame(hb_sock)
+            except Exception:  # noqa: BLE001 - EOF/reset ends this generation
+                return
+            if shard.generation != generation:
+                return
+            shard.last_heartbeat = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Monitoring, restarts, quarantine
+    # ------------------------------------------------------------------
+    def _monitor(self) -> None:
+        cfg = self.config
+        while not self._closing.is_set():
+            now = time.monotonic()
+            for shard in self.shards:
+                state = shard.state
+                if state == LIVE:
+                    process = shard.process
+                    if process is not None and process.poll() is not None:
+                        self._on_failure(shard, "crash")
+                        continue
+                    age = now - shard.last_heartbeat
+                    if self._g_hb_age is not None:
+                        self._g_hb_age.labels(
+                            shard=str(shard.shard_id)).set(age)
+                    if age > cfg.hang_timeout_s:
+                        # Alive but silent: a wedged process is
+                        # indistinguishable from a dead one to callers, so
+                        # it gets the same treatment — SIGKILL + recovery.
+                        if process is not None and process.poll() is None:
+                            process.kill()
+                            process.wait()
+                        self._on_failure(shard, "hang")
+                    elif (shard.consecutive_failures
+                          and now - shard.live_since >= cfg.stability_reset_s):
+                        shard.consecutive_failures = 0
+                elif state == RESTARTING:
+                    if now >= shard.next_restart_at and not shard.restart_inflight:
+                        shard.restart_inflight = True
+                        self._start_restart(shard)
+                elif state == QUARANTINED:
+                    if now >= shard.quarantine_until and not shard.restart_inflight:
+                        # Cooldown over: one probe restart.  If the probe
+                        # dies too the failure count is still above the
+                        # budget and the shard goes straight back in.
+                        shard.restart_inflight = True
+                        self._start_restart(shard)
+            self._closing.wait(cfg.check_interval_s)
+
+    def _on_failure(self, shard: ProcShard, kind: str) -> None:
+        """Classify a failure and schedule the shard's next life."""
+        cfg = self.config
+        process = shard.process
+        if process is not None:
+            if process.poll() is None:
+                process.kill()
+            process.wait()
+        shard.discard_channels()
+        shard.consecutive_failures += 1
+        self._count_failure(shard, kind)
+        now = time.monotonic()
+        if shard.consecutive_failures > cfg.max_restarts:
+            shard.quarantines += 1
+            shard.quarantine_until = now + cfg.quarantine_cooldown_s
+            if self._c_quarantines is not None:
+                self._c_quarantines.labels(shard=str(shard.shard_id)).inc()
+            shard.set_state(QUARANTINED)
+            return
+        backoff = min(
+            cfg.restart_backoff_cap_s,
+            cfg.restart_backoff_base_s
+            * (2.0 ** (shard.consecutive_failures - 1)),
+        )
+        shard.next_restart_at = now + backoff
+        shard.set_state(RESTARTING)
+
+    def _start_restart(self, shard: ProcShard) -> None:
+        threading.Thread(
+            target=self._restart,
+            args=(shard,),
+            name=f"xar-proc-restart-{shard.shard_id}",
+            daemon=True,
+        ).start()
+
+    def _restart(self, shard: ProcShard) -> None:
+        try:
+            self._spawn(shard)
+        except Exception:  # noqa: BLE001 - a failed spawn is another failure
+            shard.restart_inflight = False
+            if not self._closing.is_set():
+                self._count_failure(shard, "spawn")
+                shard.consecutive_failures += 1
+                now = time.monotonic()
+                if shard.consecutive_failures > self.config.max_restarts:
+                    shard.quarantines += 1
+                    shard.quarantine_until = (
+                        now + self.config.quarantine_cooldown_s)
+                    if self._c_quarantines is not None:
+                        self._c_quarantines.labels(
+                            shard=str(shard.shard_id)).inc()
+                    shard.set_state(QUARANTINED)
+                else:
+                    shard.next_restart_at = now + min(
+                        self.config.restart_backoff_cap_s,
+                        self.config.restart_backoff_base_s
+                        * (2.0 ** (shard.consecutive_failures - 1)),
+                    )
+                    shard.set_state(RESTARTING)
+            return
+        shard.restarts += 1
+        if self._c_restarts is not None:
+            self._c_restarts.labels(shard=str(shard.shard_id)).inc()
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    def rpc(self, shard_id: int, op: str,
+            args: Optional[Dict[str, Any]] = None, **kwargs: Any) -> Any:
+        return self.shards[shard_id].rpc(op, args, **kwargs)
+
+    def wait_all_live(self, timeout_s: float = 30.0) -> bool:
+        """Block until every shard is LIVE (True) or the timeout passes."""
+        deadline = time.monotonic() + timeout_s
+        for shard in self.shards:
+            with shard._cond:
+                while shard.state != LIVE:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    shard._cond.wait(min(remaining, 0.05))
+        return True
+
+    def crash_shard(self, shard_id: int, *, mid_book: bool = False,
+                    kill: bool = True) -> None:
+        """Chaos hook: kill a shard process (or arm a mid-book crash).
+
+        ``mid_book`` arms the child's fault hook so its *next* book dies
+        after the WAL append but before the engine splice — the recovery
+        path must complete it.  Otherwise the process is SIGKILLed outright
+        (``kill=True`` is the only process-mode flavour: there is no thread
+        to poison, only a process to kill).
+        """
+        shard = self.shards[shard_id]
+        if mid_book:
+            shard.rpc("crash", {"mode": "mid_book"}, deadline_s=5.0,
+                      readonly=True)
+            return
+        process = shard.process
+        if process is not None and process.poll() is None:
+            process.kill()
+
+    def states(self) -> Dict[int, str]:
+        return {shard.shard_id: shard.state for shard in self.shards}
+
+    def close(self) -> None:
+        """Drain and stop the fleet: SIGTERM (graceful drain in the child,
+        finishing queued mutations and syncing the WAL), escalate to
+        SIGKILL only past the drain timeout."""
+        self._closing.set()
+        monitor = getattr(self, "_monitor_thread", None)
+        if monitor is not None and monitor.is_alive():
+            monitor.join(timeout=self.config.check_interval_s * 20 + 1.0)
+        for shard in getattr(self, "shards", []):
+            shard.set_state(STOPPED)
+            process = shard.process
+            if process is not None and process.poll() is None:
+                process.terminate()
+                try:
+                    process.wait(timeout=self.config.drain_timeout_s)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+                    process.wait()
+            shard.discard_channels()
+        for shard in getattr(self, "shards", []):
+            for generation in range(1, shard.generation + 1):
+                path = self._shard_paths(shard.shard_id,
+                                         generation)["socket"]
+                if os.path.exists(path):
+                    try:
+                        os.unlink(path)
+                    except OSError:
+                        pass
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass

@@ -1,0 +1,471 @@
+"""The shard subprocess: ``python -m repro.service.proc.worker CONFIG.json``.
+
+One process per shard.  On start the child
+
+1. loads the discretized region from disk (regions are content-digested,
+   so parent and child provably serve the same geometry),
+2. **recovers** its engine from the shard's own WAL directory when one
+   exists — restart *is* crash recovery; there is no separate cold path —
+3. rebuilds the familiar adapter stack (``XARAdapter`` →
+   ``DurableAdapter`` → optional ``ResilientEngine``) behind a
+   :class:`~repro.service.shard.ShardWorker`, so admission control, the
+   bounded queue and the inline read path behave exactly as in thread
+   mode, and
+4. connects back to the supervisor's UNIX socket: ``ops_connections``
+   request/response channels plus one dedicated heartbeat channel.
+
+Failure semantics: a :class:`~repro.exceptions.WorkerCrashError` surfacing
+from the engine (injected mid-book crashes included) terminates the process
+with ``os._exit`` *without answering the in-flight request* — the parent
+observes EOF mid-call, exactly like a real process death, and recovery
+completes the op from the WAL.  ``SIGTERM`` triggers a graceful drain: stop
+admitting, finish the queued mutations, fsync the WAL, exit 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ...core import XAREngine
+from ...discretization import load_region, region_digest
+from ...durability import DurabilityConfig, DurableAdapter, WriteAheadLog, recover_engine
+from ...exceptions import (
+    DeadlineExceededError,
+    RpcError,
+    ShardOverloadError,
+    UnknownRideError,
+    WorkerCrashError,
+    XARError,
+)
+from ...obs import MetricsRegistry, to_prometheus_text
+from ...resilience import InvariantAuditor, ResilienceConfig, ResilientEngine
+from ...sim.adapters import XARAdapter
+from ..shard import ShardWorker
+from ..sharding import derive_seed
+from . import codec
+from .rpc import error_response, read_frame, write_frame
+
+#: Exit code for simulated/real worker crashes (parent classifies by it).
+CRASH_EXIT_CODE = 13
+
+
+class ShardProcess:
+    """Everything one shard subprocess owns; built from the config dict."""
+
+    def __init__(self, config: Dict[str, Any]):
+        self.config = config
+        self.shard_id = int(config["shard_id"])
+        self.n_shards = int(config["n_shards"])
+        self.generation = int(config.get("generation", 0))
+        self.metrics = MetricsRegistry()
+        self.region = load_region(config["region_dir"])
+        self.digest = region_digest(self.region)
+        self.durability = DurabilityConfig(
+            directory=config["wal_dir"],
+            fsync_every=int(config.get("fsync_every", 64)),
+            checkpoint_every=int(config.get("checkpoint_every", 0)),
+        )
+        self.recovery_info: Optional[Dict[str, Any]] = None
+        engine = self._recover_or_make_engine()
+        self.engine = engine
+        self.adapter = self._wrap_stack(engine)
+        self.worker = ShardWorker(
+            self.shard_id,
+            self.adapter,
+            queue_depth=int(config.get("queue_depth", 128)),
+            seed=derive_seed(int(config.get("seed", 0)), self.shard_id),
+            metrics=self.metrics,
+        )
+        self._draining = threading.Event()
+        self._shutdown = threading.Event()
+        self._hang_heartbeats = threading.Event()
+        self._hb_seq = 0
+
+    # ------------------------------------------------------------------
+    # Engine / stack construction (mirrors ShardRouter's per-shard build)
+    # ------------------------------------------------------------------
+    def _make_engine(self) -> XAREngine:
+        return XAREngine(
+            self.region,
+            optimize_insertion=bool(self.config.get("optimize_insertion")),
+            ride_id_start=self.shard_id + 1,
+            ride_id_step=self.n_shards,
+            metrics=self.metrics,
+            metrics_labels={"shard": str(self.shard_id)},
+        )
+
+    def _recover_or_make_engine(self) -> XAREngine:
+        wal_path = self.durability.wal_path(self.shard_id)
+        if os.path.exists(wal_path):
+            result = recover_engine(
+                self.region,
+                wal_path,
+                self.durability.checkpoint_path(self.shard_id),
+                engine_factory=self._make_engine,
+                metrics=self.metrics,
+            )
+            self.recovery_info = {
+                "replayed_ops": result.replayed_ops,
+                "skipped_ops": result.skipped_ops,
+                "failed_ops": result.failed_ops,
+                "torn_tail_bytes": result.torn_tail_bytes,
+                "checkpoint_seq": result.checkpoint_seq,
+                "last_seq": result.last_seq,
+            }
+            return result.engine
+        return self._make_engine()
+
+    def _wrap_stack(self, engine: XAREngine):
+        adapter: Any = XARAdapter(engine)
+        wal = WriteAheadLog.open(
+            self.durability.wal_path(self.shard_id),
+            shard_id=self.shard_id,
+            ride_id_start=self.shard_id + 1,
+            ride_id_step=self.n_shards,
+            region_digest=self.digest,
+            fsync_every=self.durability.fsync_every,
+            metrics=self.metrics,
+            metrics_labels={"shard": str(self.shard_id)},
+        )
+        self.durable = DurableAdapter(
+            adapter,
+            wal,
+            checkpoint_path=self.durability.checkpoint_path(self.shard_id),
+            checkpoint_every=self.durability.checkpoint_every,
+            shard_id=self.shard_id,
+            digest=self.digest,
+            metrics=self.metrics,
+        )
+        adapter = self.durable
+        if self.config.get("resilient"):
+            adapter = ResilientEngine(
+                adapter,
+                ResilienceConfig(
+                    seed=derive_seed(int(self.config.get("seed", 0)),
+                                     self.shard_id)
+                ),
+                metrics=self.metrics,
+                metrics_labels={"shard": str(self.shard_id)},
+            )
+        return adapter
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def dispatch(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        """Serve one request; returns the response envelope.
+
+        A ``WorkerCrashError`` escaping from here means the "process" died
+        mid-operation: the caller (the connection loop) must ``os._exit``
+        without responding, never answer on the worker's behalf.
+        """
+        request_id = int(request.get("id", -1))
+        op = str(request.get("op", ""))
+        args = request.get("args") or {}
+        deadline_ms = request.get("deadline_ms")
+        try:
+            if deadline_ms is not None and float(deadline_ms) <= 0.0:
+                raise DeadlineExceededError(op, 0.0, 0.0)
+            if self._draining.is_set() and op not in (
+                    "ping", "shutdown", "stats", "metrics"):
+                raise ShardOverloadError(self.shard_id, op)
+            result = self._execute(op, args)
+        except WorkerCrashError:
+            raise
+        except XARError as exc:
+            return error_response(request_id, exc)
+        except Exception as exc:  # noqa: BLE001 - relayed, never fatal here
+            return error_response(request_id, RpcError(
+                f"unhandled {type(exc).__name__}: {exc}"))
+        return {"id": request_id, "ok": True, "result": result}
+
+    def _execute(self, op: str, args: Dict[str, Any]) -> Any:
+        engine = self.engine
+        worker = self.worker
+        if op == "ping":
+            return {"pid": os.getpid(), "generation": self.generation}
+        if op == "search":
+            request = codec.request_from(args["request"])
+            k = args.get("k")
+            matches = worker.execute_inline(
+                "search",
+                lambda: self.adapter.search(request,
+                                            None if k is None else int(k)),
+            )
+            return {"matches": codec.matches_record(matches)}
+        if op == "create":
+            ride = worker.call(
+                "create",
+                lambda: self.adapter.create(
+                    _point(args["source"]),
+                    _point(args["destination"]),
+                    float(args["depart_s"]),
+                    seats=None if args.get("seats") is None
+                    else int(args["seats"]),
+                    detour_limit_m=codec.optional_float(
+                        args.get("detour_limit_m")),
+                ),
+            )
+            return {"ride": codec.ride_record(ride)}
+        if op == "book":
+            request = codec.request_from(args["request"])
+            match = codec.match_from(args["match"])
+
+            def do_book():
+                # Idempotent by ledger: a retried book whose first attempt
+                # crashed mid-apply finds the booking WAL replay completed
+                # and returns it verbatim — recovery, not the client, is
+                # the dedupe source of truth.
+                with engine.lock:
+                    for existing in engine.bookings:
+                        if (existing.request_id == request.request_id
+                                and existing.ride_id == match.ride_id):
+                            return existing, True
+                return self.adapter.book(request, match), False
+
+            record, deduped = worker.call("book", do_book)
+            return {"booking": codec.booking_record(record),
+                    "deduped": deduped}
+        if op == "cancel":
+            ride_id = int(args["ride_id"])
+
+            def do_cancel():
+                with engine.lock:
+                    ride = engine.rides.get(ride_id)
+                if ride is None:
+                    raise UnknownRideError(ride_id)
+                return self.adapter.cancel(ride)
+
+            worker.call("cancel", do_cancel)
+            return {}
+        if op == "track":
+            affected = worker.call(
+                "track", lambda: self.adapter.track_all(float(args["now_s"]))
+            )
+            return {"affected": affected}
+        if op == "active_rides":
+            def snapshot():
+                with engine.lock:
+                    return [codec.ride_record(r)
+                            for r in self.adapter.active_rides()]
+            return {"rides": worker.call("admin", snapshot)}
+        if op == "bookings":
+            def ledger():
+                with engine.lock:
+                    return [codec.booking_record(b) for b in engine.bookings]
+            return {"bookings": worker.call("admin", ledger)}
+        if op == "find_ride":
+            ride_id = int(args["ride_id"])
+            with engine.lock:
+                ride = (engine.rides.get(ride_id)
+                        or engine.completed_rides.get(ride_id))
+            if ride is None:
+                raise UnknownRideError(ride_id)
+            return {"ride": codec.ride_record(ride)}
+        if op == "audit":
+            heal = bool(args.get("heal"))
+
+            def sweep():
+                auditor = InvariantAuditor(engine)
+                report = auditor.audit()
+                actions = 0
+                if heal and not report.ok:
+                    actions = auditor.heal(report)
+                    report = auditor.audit()
+                return {"violations": len(report.violations),
+                        "healed": actions}
+
+            return worker.call("audit", sweep)
+        if op == "stats":
+            snapshot = worker.stats_snapshot()
+            with engine.lock:
+                snapshot["rides"] = engine.n_active_rides
+                snapshot["bookings"] = engine.n_bookings
+            snapshot["pid"] = os.getpid()
+            snapshot["generation"] = self.generation
+            return snapshot
+        if op == "rollback_count":
+            return {"count": self.adapter.rollback_count()}
+        if op == "index_stats":
+            return {"stats": worker.call(
+                "admin", lambda: engine.index_stats())}
+        if op == "checkpoint":
+            self.durable.checkpoint()
+            return {}
+        if op == "metrics":
+            return {"prometheus": to_prometheus_text(self.metrics)}
+        if op == "crash":
+            mode = str(args.get("mode", "exit"))
+            if mode == "mid_book":
+                def hook(point: str) -> None:
+                    if point == "book:post-snapshot":
+                        engine.fault_hook = None
+                        raise WorkerCrashError(
+                            f"injected crash in shard {self.shard_id} "
+                            f"at {point}"
+                        )
+                engine.fault_hook = hook
+                return {"armed": "mid_book"}
+            # Plain crash: die right now, mid-RPC — no response ever leaves.
+            raise WorkerCrashError(
+                f"injected crash in shard {self.shard_id}")
+        if op == "hang":
+            # Keep the process alive but stop the heartbeats: the exact
+            # failure the supervisor's hang detector must catch.
+            self._hang_heartbeats.set()
+            return {"hung": True}
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"draining": True}
+        raise RpcError(f"unknown rpc op {op!r}")
+
+    # ------------------------------------------------------------------
+    # Connection loops
+    # ------------------------------------------------------------------
+    def serve_connection(self, sock: socket.socket) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    request = read_frame(sock)
+                except RpcError:
+                    return  # peer gone or stream corrupt: this channel dies
+                try:
+                    response = self.dispatch(request)
+                except WorkerCrashError:
+                    # Process-death semantics: no response, no cleanup, no
+                    # final fsync — flushed WAL bytes survive, nothing else.
+                    os._exit(CRASH_EXIT_CODE)
+                try:
+                    write_frame(sock, response)
+                except RpcError:
+                    return
+        finally:
+            _close_quietly(sock)
+
+    def heartbeat_loop(self, sock: socket.socket, interval_s: float) -> None:
+        try:
+            while not self._shutdown.is_set():
+                if not self._hang_heartbeats.is_set():
+                    self._hb_seq += 1
+                    try:
+                        write_frame(sock, {
+                            "kind": "hb",
+                            "seq": self._hb_seq,
+                            "pid": os.getpid(),
+                            "generation": self.generation,
+                            "depth": self.worker.stats.queue_peak,
+                        })
+                    except RpcError:
+                        return
+                self._shutdown.wait(interval_s)
+        finally:
+            _close_quietly(sock)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain_and_exit(self) -> None:
+        """Graceful shutdown: admit nothing new, finish the queue, sync."""
+        self._draining.set()
+        self._shutdown.set()
+        self.worker.close(timeout_s=30.0)
+        if not self.durable.wal.closed:
+            self.durable.close()
+        # Give connection threads a beat to flush final responses.
+        time.sleep(0.05)
+        os._exit(0)
+
+
+def _point(coords) -> Any:
+    from ...geo import GeoPoint
+
+    return GeoPoint(float(coords[0]), float(coords[1]))
+
+
+def _close_quietly(sock: socket.socket) -> None:
+    try:
+        sock.close()
+    except OSError:
+        pass
+
+
+def _connect(path: str, timeout_s: float = 30.0) -> socket.socket:
+    deadline = time.monotonic() + timeout_s
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.05)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.service.proc.worker CONFIG.json",
+              file=sys.stderr)
+        return 2
+    with open(argv[0], "r", encoding="utf-8") as handle:
+        config = json.load(handle)
+
+    shard = ShardProcess(config)
+    handshake_base = {
+        "shard": shard.shard_id,
+        "pid": os.getpid(),
+        "generation": shard.generation,
+    }
+
+    ops_connections = int(config.get("ops_connections", 2))
+    socket_path = config["socket_path"]
+    ops_socks = []
+    for _n in range(ops_connections):
+        sock = _connect(socket_path)
+        write_frame(sock, {**handshake_base, "role": "ops"})
+        ops_socks.append(sock)
+    hb_sock = _connect(socket_path)
+    write_frame(hb_sock, {
+        **handshake_base,
+        "role": "hb",
+        "recovery": shard.recovery_info,
+    })
+
+    def on_sigterm(_signum, _frame):
+        # Run the drain off the signal frame so in-flight worker jobs are
+        # never interrupted mid-mutation.
+        threading.Thread(target=shard.drain_and_exit, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, on_sigterm)
+
+    threads = [
+        threading.Thread(target=shard.serve_connection, args=(sock,),
+                         name=f"xar-proc-ops-{i}", daemon=True)
+        for i, sock in enumerate(ops_socks)
+    ]
+    threads.append(threading.Thread(
+        target=shard.heartbeat_loop,
+        args=(hb_sock, float(config.get("heartbeat_interval_s", 0.5))),
+        name="xar-proc-hb",
+        daemon=True,
+    ))
+    for thread in threads:
+        thread.start()
+
+    # Park the main thread until a shutdown (RPC or SIGTERM) is requested.
+    shard._shutdown.wait()
+    shard.drain_and_exit()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -359,8 +359,14 @@ class ShardRouter:
             self.last_recoveries[shard.shard_id] = result
             engine = result.engine
             adapter, worker = self._wrap_stack(shard.shard_id, engine)
-            shard.engine, shard.adapter, shard.worker = engine, adapter, worker
-            self._c_failovers.labels(shard=str(shard.shard_id)).inc()
+            # Publish engine + adapter first (requeued jobs late-bind
+            # ``shard.adapter`` and may start executing immediately), but
+            # hold back ``shard.worker`` until every drained job is
+            # requeued: submitters route through the worker, so while it is
+            # unpublished none of them can race the survivors for queue
+            # slots — the drained jobs keep their FIFO positions ahead of
+            # all post-failover traffic.
+            shard.engine, shard.adapter = engine, adapter
             for job in pending:
                 if not worker.resubmit(job):
                     self.metrics.counter(
@@ -374,6 +380,8 @@ class ShardRouter:
                     job.future.set_exception(
                         ShardOverloadError(shard.shard_id, job.operation)
                     )
+            shard.worker = worker
+            self._c_failovers.labels(shard=str(shard.shard_id)).inc()
 
     def supervise(self) -> int:
         """Sweep every shard and recover any whose worker died; returns the
@@ -385,15 +393,19 @@ class ShardRouter:
                 recovered += 1
         return recovered
 
-    def crash_shard(self, shard_id: int, *, mid_book: bool = False) -> None:
+    def crash_shard(self, shard_id: int, *, mid_book: bool = False,
+                    kill: bool = False) -> None:
         """Chaos hook: kill one shard's worker as a process death would.
 
         Plain crashes enqueue a job that dies on the worker thread;
         ``mid_book=True`` instead arms a one-shot engine hook that kills
         the *next booking* between its transactional snapshot and the route
         splice — the op is in the WAL but never applied, the exact window
-        recovery must close.
+        recovery must close.  ``kill`` is accepted for signature parity with
+        the process-mode supervisor (where it means SIGKILL); a thread
+        worker's death is always the in-process flavour.
         """
+        del kill  # thread mode has no process to signal
         if self.durability is None:
             raise ConfigurationError(
                 "crash injection requires a durable service "

@@ -285,6 +285,15 @@ class ShardWorker:
         Holding the submit lock while draining closes the race with
         concurrent submitters: after this returns, no job can ever reach
         this worker's queue again.
+
+        The returned list is **FIFO by submission**: per-shard write
+        ordering is part of the service's contract (a create must not jump
+        a cancel that was accepted before it), and the failover path
+        requeues these jobs verbatim, so any reordering here would survive
+        into the recovered shard.  Queue drain order already is submission
+        order; the sort by enqueue timestamp makes the guarantee explicit
+        and self-enforcing rather than an accident of ``queue.Queue``
+        internals.
         """
         with self._submit_lock:
             self.crashed = True
@@ -296,6 +305,7 @@ class ShardWorker:
                     break
                 if job is not _STOP:
                     pending.append(job)
+            pending.sort(key=lambda job: job.enqueued_at)
             if self._m_depth is not None:
                 self._m_depth.set(0)
             return pending

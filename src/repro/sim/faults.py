@@ -226,31 +226,58 @@ class WorkerCrash(FaultPolicy):
     """Seeded worker deaths: a mutating op raises
     :class:`~repro.exceptions.WorkerCrashError` instead of running.
 
-    Two flavours, matching the two windows durability must close:
+    Three flavours, matching the windows durability must close:
 
     * ``rate`` — the op dies *before* it starts (crash between dequeue and
       execute; nothing logged, nothing applied);
     * ``mid_book_rate`` — arms the engine's one-shot ``fault_hook`` so the
       booking dies **between its WAL append + transactional snapshot and
       the route splice**: the op is on disk but not applied, the exact gap
-      crash recovery replays forward.
+      crash recovery replays forward;
+    * ``kill=True`` — process mode: instead of raising in the caller, the
+      policy SIGKILLs a random shard *subprocess* through the stack's
+      ``crash_shard(victim, kill=True)`` hook (the op then proceeds against
+      the dying fleet — in-flight RPCs see EOF exactly as a real crash).
+      Falls back to the in-process raise when the stack has no
+      ``crash_shard`` (e.g. a bare engine).
 
     Only meaningful on a stack with a durability layer underneath (a plain
-    engine cannot recover); the service's failover supervisor catches the
-    error, replays the shard's WAL and resumes.
+    engine cannot recover); the service's failover supervisor — thread
+    router or process supervisor — catches the death, replays the shard's
+    WAL and resumes.
     """
 
     name = "crash"
 
-    def __init__(self, rate: float = 0.0, mid_book_rate: float = 0.0):
+    def __init__(self, rate: float = 0.0, mid_book_rate: float = 0.0,
+                 kill: bool = False):
         super().__init__()
         if not (0.0 <= rate <= 1.0) or not (0.0 <= mid_book_rate <= 1.0):
             raise ValueError("fault rates must be within [0, 1]")
         self.rate = rate
         self.mid_book_rate = mid_book_rate
+        self.kill = kill
+
+    def _kill_one(self, ctx: FaultContext, *, mid_book: bool) -> bool:
+        """SIGKILL flavour: crash a random shard via the stack's own chaos
+        hook; False when the stack cannot kill (caller raises instead)."""
+        stack = ctx.adapter.inner
+        crash_shard = getattr(stack, "crash_shard", None)
+        n_shards = getattr(stack, "n_shards", 0)
+        if crash_shard is None or not n_shards:
+            return False
+        victim = ctx.rng.randrange(n_shards)
+        try:
+            crash_shard(victim, mid_book=mid_book, kill=True)
+        except Exception:  # noqa: BLE001 - chaos must never take down the run
+            return False
+        self.injections += 1
+        return True
 
     def _roll(self, ctx: FaultContext, operation: str) -> None:
         if self.rate > 0 and ctx.rng.random() < self.rate:
+            if self.kill and self._kill_one(ctx, mid_book=False):
+                return
             self.injections += 1
             raise WorkerCrashError(f"injected worker crash before {operation}")
 
@@ -259,6 +286,8 @@ class WorkerCrash(FaultPolicy):
 
     def before_book(self, ctx: FaultContext) -> None:
         if self.mid_book_rate > 0 and ctx.rng.random() < self.mid_book_rate:
+            if self.kill and self._kill_one(ctx, mid_book=True):
+                return
             engine = ctx.engine
             if engine is not None:
                 self.injections += 1

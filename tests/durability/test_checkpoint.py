@@ -5,6 +5,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import stat
 
 import pytest
 
@@ -145,3 +146,35 @@ class TestValidation:
             handle.write("{truncated")
         with pytest.raises(CheckpointError, match="unreadable"):
             read_checkpoint(path)
+
+
+class TestRenameDurability:
+    def test_parent_directory_is_fsynced_after_the_rename(
+        self, populated, digest, tmp_path, monkeypatch
+    ):
+        """os.replace only updates a directory entry; without an fsync of
+        the *directory* a power cut can forget the rename and resurface the
+        previous checkpoint.  Pin the full ordering: file contents fsynced
+        before the rename, directory fsynced after it."""
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            mode = os.fstat(fd).st_mode
+            events.append(("fsync", "dir" if stat.S_ISDIR(mode) else "file"))
+            real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append(("replace", None))
+            real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        write_checkpoint(
+            str(tmp_path / "shard0.ckpt"), populated, wal_seq=3, digest=digest
+        )
+        assert ("fsync", "file") in events
+        assert ("fsync", "dir") in events
+        replace_at = events.index(("replace", None))
+        assert events.index(("fsync", "file")) < replace_at
+        assert replace_at < events.index(("fsync", "dir"))

@@ -290,3 +290,31 @@ class TestIdentityGuards:
         )
         assert result.checkpoint_seq == -1
         assert result.replayed_ops == 1
+
+
+class TestYoungLogs:
+    """Empty and header-only WALs are valid young states, not damage.
+
+    A shard SIGKILLed before its very first write leaves a 0-byte WAL; one
+    killed right after spawn leaves just the header frame.  Recovery must
+    produce an empty engine from both (the process supervisor respawns
+    through this path on every restart).
+    """
+
+    def test_recover_from_a_zero_byte_wal(self, small_region, tmp_path):
+        path = tmp_path / "empty.wal"
+        path.write_bytes(b"")
+        result = recover_engine(small_region, str(path))
+        assert result.replayed_ops == 0
+        assert result.last_seq == -1
+        assert result.torn_tail_bytes == 0
+        assert not result.engine.rides
+        assert not result.engine.bookings
+
+    def test_recover_from_a_header_only_wal(self, make_stack, small_region):
+        adapter = make_stack("young")
+        wal_path = adapter.wal.path
+        adapter.abandon()
+        result = recover_engine(small_region, wal_path)
+        assert result.replayed_ops == 0
+        assert not result.engine.rides

@@ -1,0 +1,48 @@
+"""``xar wal-dump`` pins: ``--strict`` severity must track actual damage.
+
+Empty and header-only logs are healthy young shards (a process-mode fleet
+produces them on every cold spawn), so ``--strict`` exits 0 and the dump
+says explicitly which case it found.  A torn tail is damage and still
+exits 1.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.cli import main
+from repro.durability import WriteAheadLog
+
+
+def _header_only_wal(tmp_path, digest, name="young.wal"):
+    path = str(tmp_path / name)
+    wal = WriteAheadLog.open(
+        path, shard_id=0, ride_id_start=1, ride_id_step=1,
+        region_digest=digest, fsync_every=1,
+    )
+    wal.close()
+    return path
+
+
+def test_strict_exits_zero_on_an_empty_wal(tmp_path, capsys):
+    path = tmp_path / "empty.wal"
+    path.write_bytes(b"")
+    assert main(["wal-dump", str(path), "--strict"]) == 0
+    assert "empty WAL" in capsys.readouterr().out
+
+
+def test_strict_exits_zero_on_a_header_only_wal(tmp_path, digest, capsys):
+    path = _header_only_wal(tmp_path, digest)
+    assert main(["wal-dump", str(path), "--strict"]) == 0
+    out = capsys.readouterr().out
+    assert "header only" in out
+    assert "empty WAL" not in out
+
+
+def test_strict_still_fails_on_a_torn_tail(tmp_path, digest, capsys):
+    path = _header_only_wal(tmp_path, digest, "torn.wal")
+    with open(path, "ab") as handle:
+        # A frame whose CRC cannot match its payload: a torn tail.
+        handle.write(struct.pack("<II", 4, 0xDEADBEEF) + b"junk")
+    assert main(["wal-dump", str(path), "--strict"]) == 1
+    assert "TORN TAIL" in capsys.readouterr().err

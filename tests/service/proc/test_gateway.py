@@ -1,0 +1,124 @@
+"""Gateway HTTP surface, admission control and drain.
+
+The gateway fronts any EngineAdapter-shaped service, so these tests back it
+with a cheap in-process thread router — gateway behaviour, not process
+supervision, is under test here (the CI chaos smoke covers the full stack).
+"""
+
+from __future__ import annotations
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.exceptions import ShardOverloadError, UnknownRideError
+from repro.service import Gateway, GatewayConfig, HttpServiceClient, ShardRouter
+from repro.service.proc import codec
+
+from .conftest import make_request, seed_fleet
+
+
+@pytest.fixture
+def backend(small_region):
+    router = ShardRouter(small_region, 2, seed=11)
+    yield router
+    router.close()
+
+
+@pytest.fixture
+def gateway(backend):
+    gw = Gateway(backend, GatewayConfig(port=0, min_rtt_samples=5))
+    url = gw.start_background()
+    yield gw, url
+    gw.shutdown()
+
+
+@pytest.fixture
+def client(gateway, small_region):
+    _gw, url = gateway
+    c = HttpServiceClient(url, small_region)
+    yield c
+    c.close()
+
+
+def _shed_count(gw, reason):
+    return gw.metrics.counter(
+        "xar_gateway_shed_total", labels=("reason",)
+    ).labels(reason=reason).value
+
+
+class TestRoutes:
+    def test_adapter_surface_end_to_end_over_http(self, client, small_city):
+        assert client.healthz()["ok"] is True
+        booked = seed_fleet(client, small_city)
+        assert booked > 0
+        assert client.active_rides()
+        assert client.rollback_count() >= 0
+        assert sum(client.index_stats().values()) > 0
+        assert client.track_all(30.0) >= 0
+        assert client.stats()["n_shards"] == 2
+
+    def test_domain_errors_are_rebuilt_from_422_responses(
+        self, client, small_city
+    ):
+        ride = client.create(small_city.position(0),
+                             small_city.position(5), 0.0, 2, None)
+        client.cancel(ride)
+        with pytest.raises(UnknownRideError):
+            client.cancel(ride)  # already gone: 422 + class name
+
+    def test_metrics_endpoint_serves_prometheus_text(self, gateway, client):
+        _gw, url = gateway
+        client.healthz()
+        with urllib.request.urlopen(f"{url}/metrics") as response:
+            text = response.read().decode()
+        assert "xar_gateway_requests_total" in text
+        assert 'xar_gateway_shed_total{reason="deadline"}' in text
+
+    def test_unknown_route_is_a_404(self, gateway):
+        _gw, url = gateway
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(f"{url}/v1/nope")
+        assert err.value.code == 404
+
+
+class TestAdmissionControl:
+    def test_draining_gateway_sheds_before_any_work(self, gateway, client):
+        gw, _url = gateway
+        gw.draining = True
+        try:
+            with pytest.raises(ShardOverloadError) as err:
+                client.track_all(1.0)
+            assert err.value.operation == "draining"
+        finally:
+            gw.draining = False
+        assert _shed_count(gw, "draining") == 1
+
+    def test_hopeless_deadline_is_shed_once_rtt_is_known(
+        self, gateway, client, small_city, small_region
+    ):
+        gw, _url = gateway
+        # Prime the RTT window past min_rtt_samples.
+        for i in range(8):
+            client.track_all(float(i + 1))
+        request = make_request(small_region, 60_001, small_city.position(0),
+                               small_city.position(10))
+        payload = {"request": codec.request_record(request), "k": None}
+        with pytest.raises(ShardOverloadError) as err:
+            client._request("POST", "/v1/search", payload, deadline_ms=0.001)
+        assert err.value.operation == "deadline"
+        assert _shed_count(gw, "deadline") >= 1
+        # The same search under a sane deadline is still served.
+        client.search(request)
+
+
+class TestShutdown:
+    def test_background_shutdown_is_clean_and_idempotent(self, backend):
+        gw = Gateway(backend, GatewayConfig(port=0))
+        url = gw.start_background()
+        client = HttpServiceClient(url, backend.region)
+        assert client.healthz()["ok"] is True
+        client.close()
+        gw.shutdown()
+        gw.shutdown()  # second call is a no-op

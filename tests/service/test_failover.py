@@ -9,6 +9,8 @@ crash injection without durability is refused outright.
 from __future__ import annotations
 
 import random
+import threading
+import time
 
 import pytest
 
@@ -159,7 +161,43 @@ def test_restart_recovers_cold_state(region, city, tmp_path):
         assert second.audit()["violations"] == 0
 
 
-def test_crashing_an_already_dead_shard_is_a_noop(durable_service, city):
+def test_failover_requeues_pending_jobs_in_submission_order(
+    durable_service, city
+):
+    """Jobs still queued when a worker dies replay on the recovered worker
+    in the order they were accepted — per-shard write ordering is part of
+    the service contract and must survive a failover requeue."""
+    worker = durable_service.shards[0].worker
+    gate = threading.Event()
+    executed = []
+
+    # Park the worker on a blocking job so everything submitted after it
+    # piles up in the queue instead of running.
+    blocker = worker.submit("block", gate.wait)
+    # The injected death lands in the queue *ahead* of the probes (it has
+    # to run off the worker thread: crash_shard blocks on the die job).
+    crasher = threading.Thread(
+        target=durable_service.crash_shard, args=(0,), daemon=True
+    )
+    crasher.start()
+    deadline = time.monotonic() + 5.0
+    while worker._queue.qsize() < 1:  # die job queued => probes land after it
+        assert time.monotonic() < deadline, "injected crash never enqueued"
+        time.sleep(0.001)
+    probes = [
+        worker.submit("probe", (lambda i=i: executed.append(i)))
+        for i in range(5)
+    ]
+
+    gate.set()
+    crasher.join(timeout=5.0)
+    blocker.result(timeout=5.0)
+    assert worker.crashed
+
+    assert durable_service.supervise() == 1
+    for future in probes:
+        future.result(timeout=5.0)
+    assert executed == list(range(5))
     _seed(durable_service, city, random.Random(44), n_creates=6, n_books=0)
     durable_service.crash_shard(0)
     durable_service.crash_shard(0)  # already dead: nothing to kill
