@@ -1,0 +1,32 @@
+"""Windowed batch matching: collect requests, solve the assignment, commit.
+
+The per-request greedy engine answers each search in isolation; this
+package trades a short wait (the *window*) for a better joint assignment,
+following the batched ride-pool assignment literature (greedy seed plus
+swap/exchange improvement).  See ``docs/batching.md``.
+"""
+
+from .graph import CandidateGraph, build_candidate_graph, edge_cost
+from .matcher import OUTCOMES, BatchConfig, BatchMatcher
+from .solver import (
+    Candidate,
+    RideBudget,
+    SolveResult,
+    solve_assignment,
+)
+from .window import PendingRequest, WindowAccumulator
+
+__all__ = [
+    "BatchConfig",
+    "BatchMatcher",
+    "Candidate",
+    "CandidateGraph",
+    "OUTCOMES",
+    "PendingRequest",
+    "RideBudget",
+    "SolveResult",
+    "WindowAccumulator",
+    "build_candidate_graph",
+    "edge_cost",
+    "solve_assignment",
+]

@@ -1,0 +1,296 @@
+"""Batch assignment solver: greedy seed + swap/exchange improvement.
+
+Pure functions over plain data — no engine, no threads, no RNG — so every
+property test can drive it directly and two runs over the same candidate
+graph produce the same assignment bit for bit.
+
+The objective is lexicographic: **maximize matched requests, then minimize
+total edge cost** (walk metres + weighted detour metres).  The greedy seed
+scans candidates cheapest-first; two improvement moves then run to a fixed
+point (or until the time budget / pass cap is hit):
+
+* **eject-and-reinsert** — an unmatched request takes a seat on a full
+  ride by ejecting one of its assigned requests, provided the ejected
+  request re-inserts feasibly elsewhere: matched count +1, always accepted;
+* **2-swap exchange** — two matched requests trade rides when both reverse
+  edges exist, both budgets still hold, and the summed cost strictly drops:
+  matched count unchanged, total cost down.
+
+Both moves preserve per-ride feasibility (seats, remaining detour budget)
+as *estimated* by the candidate edges; the transactional booking re-checks
+the real schedule at commit time, so an estimate that went stale costs a
+rollback and a greedy fallback, never a corrupted ride.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One feasible request->ride edge of the bipartite candidate graph."""
+
+    request_index: int
+    ride_id: int
+    #: Scalar edge cost: total walk + detour_weight * detour estimate.
+    cost: float
+    #: Detour estimate (m) this assignment would charge to the ride.
+    detour_m: float
+
+
+@dataclass(frozen=True)
+class RideBudget:
+    """What a ride can still absorb, as seen at window-build time."""
+
+    ride_id: int
+    seats: int
+    detour_budget_m: float
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one window's assignment solve."""
+
+    #: request_index -> assigned Candidate (absent == unassigned).
+    assignment: Dict[int, Candidate] = field(default_factory=dict)
+    passes: int = 0
+    ejections: int = 0
+    swaps: int = 0
+    #: Total cost reduction the improvement passes bought (>= 0).
+    swap_gain: float = 0.0
+    seed_matched: int = 0
+    seed_cost: float = 0.0
+
+    @property
+    def matched(self) -> int:
+        return len(self.assignment)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(c.cost for c in self.assignment.values())
+
+
+class _RideState:
+    """Mutable per-ride tally while the solver moves requests around."""
+
+    __slots__ = ("budget", "seats_used", "detour_used")
+
+    def __init__(self, budget: RideBudget):
+        self.budget = budget
+        self.seats_used = 0
+        self.detour_used = 0.0
+
+    def fits(self, candidate: Candidate) -> bool:
+        return (
+            self.seats_used < self.budget.seats
+            and self.detour_used + candidate.detour_m
+            <= self.budget.detour_budget_m
+        )
+
+    def fits_replacing(self, incoming: Candidate, outgoing: Candidate) -> bool:
+        """Would ``incoming`` fit if ``outgoing`` left this ride first?"""
+        return (
+            self.detour_used - outgoing.detour_m + incoming.detour_m
+            <= self.budget.detour_budget_m
+        )
+
+    def add(self, candidate: Candidate) -> None:
+        self.seats_used += 1
+        self.detour_used += candidate.detour_m
+
+    def remove(self, candidate: Candidate) -> None:
+        self.seats_used -= 1
+        self.detour_used -= candidate.detour_m
+
+
+def solve_assignment(
+    candidates: List[Candidate],
+    budgets: Dict[int, RideBudget],
+    *,
+    max_passes: int = 8,
+    time_budget_s: float = 0.05,
+    clock: Callable[[], float] = monotonic,
+) -> SolveResult:
+    """Assign requests to rides: greedy seed, then improvement passes.
+
+    ``candidates`` may name rides absent from ``budgets`` (the ride vanished
+    between search and solve); such edges are ignored.  Deterministic for a
+    fixed input: candidate scans are pre-sorted and every move takes the
+    first improvement in that order.
+    """
+    deadline = clock() + max(0.0, time_budget_s)
+    result = SolveResult()
+    states: Dict[int, _RideState] = {
+        ride_id: _RideState(budget) for ride_id, budget in budgets.items()
+    }
+    #: request_index -> its edges, cheapest first (for reinsert scans).
+    by_request: Dict[int, List[Candidate]] = {}
+    ordered = sorted(
+        (c for c in candidates if c.ride_id in states),
+        key=lambda c: (c.cost, c.request_index, c.ride_id),
+    )
+    for candidate in ordered:
+        by_request.setdefault(candidate.request_index, []).append(candidate)
+
+    # -- greedy seed: cheapest feasible edge wins, one ride per request ----
+    assignment = result.assignment
+    for candidate in ordered:
+        if candidate.request_index in assignment:
+            continue
+        state = states[candidate.ride_id]
+        if state.fits(candidate):
+            assignment[candidate.request_index] = candidate
+            state.add(candidate)
+    result.seed_matched = result.matched
+    result.seed_cost = result.total_cost
+
+    # -- improvement passes ------------------------------------------------
+    while result.passes < max_passes and clock() < deadline:
+        result.passes += 1
+        improved = _eject_and_reinsert_pass(
+            result, states, by_request, deadline, clock
+        )
+        improved |= _two_swap_pass(result, states, by_request, deadline, clock)
+        if not improved:
+            break
+    return result
+
+
+def _eject_and_reinsert_pass(
+    result: SolveResult,
+    states: Dict[int, _RideState],
+    by_request: Dict[int, List[Candidate]],
+    deadline: float,
+    clock: Callable[[], float],
+) -> bool:
+    """Seat an unmatched request by relocating one assigned request.
+
+    For each unmatched request r and each of its edges onto ride R: if R is
+    full, try moving one of R's assigned requests onto a different ride with
+    spare capacity.  Matched count goes up by one per accepted move, so the
+    pass is monotone in the primary objective.
+    """
+    assignment = result.assignment
+    improved = False
+    unmatched = sorted(set(by_request) - set(assignment))
+    for request_index in unmatched:
+        if clock() >= deadline:
+            break
+        seated = False
+        for candidate in by_request[request_index]:
+            state = states[candidate.ride_id]
+            if state.fits(candidate):
+                # A direct seat opened up (an earlier move freed it).
+                assignment[request_index] = candidate
+                state.add(candidate)
+                seated = True
+                break
+            # Ride is full (or out of budget): try ejecting one occupant.
+            occupants = sorted(
+                (ri for ri, c in assignment.items()
+                 if c.ride_id == candidate.ride_id),
+            )
+            for occupant in occupants:
+                outgoing = assignment[occupant]
+                if not state.fits_replacing(candidate, outgoing):
+                    continue
+                relocation = _cheapest_elsewhere(
+                    by_request.get(occupant, ()), states, exclude=candidate.ride_id
+                )
+                if relocation is None:
+                    continue
+                # Commit: occupant moves, the unmatched request takes its seat.
+                state.remove(outgoing)
+                assignment[occupant] = relocation
+                states[relocation.ride_id].add(relocation)
+                assignment[request_index] = candidate
+                state.add(candidate)
+                result.ejections += 1
+                seated = True
+                break
+            if seated:
+                break
+        improved |= seated
+    return improved
+
+
+def _cheapest_elsewhere(
+    edges, states: Dict[int, _RideState], exclude: int
+) -> Optional[Candidate]:
+    """Cheapest feasible edge for a request onto any ride but ``exclude``."""
+    for candidate in edges:
+        if candidate.ride_id == exclude:
+            continue
+        if states[candidate.ride_id].fits(candidate):
+            return candidate
+    return None
+
+
+def _two_swap_pass(
+    result: SolveResult,
+    states: Dict[int, _RideState],
+    by_request: Dict[int, List[Candidate]],
+    deadline: float,
+    clock: Callable[[], float],
+) -> bool:
+    """Exchange the rides of two matched requests when total cost drops.
+
+    Matched count is invariant under a swap, and a swap is only taken when
+    the summed edge cost strictly decreases, so (matched, -cost) is
+    lexicographically monotone across the whole improvement loop.
+    """
+    assignment = result.assignment
+    improved = False
+    matched = sorted(assignment)
+    for i, first in enumerate(matched):
+        if clock() >= deadline:
+            break
+        a = assignment.get(first)
+        if a is None:
+            continue
+        cross_first = _cheapest_by_ride(by_request.get(first, ()))
+        for second in matched[i + 1:]:
+            b = assignment.get(second)
+            if b is None or b.ride_id == a.ride_id:
+                continue
+            a_to_b = cross_first.get(b.ride_id)
+            if a_to_b is None:
+                continue
+            b_to_a = next(
+                (c for c in by_request.get(second, ())
+                 if c.ride_id == a.ride_id),
+                None,
+            )
+            if b_to_a is None:
+                continue
+            gain = (a.cost + b.cost) - (a_to_b.cost + b_to_a.cost)
+            if gain <= 1e-9:
+                continue
+            state_a = states[a.ride_id]
+            state_b = states[b.ride_id]
+            if not state_a.fits_replacing(b_to_a, a):
+                continue
+            if not state_b.fits_replacing(a_to_b, b):
+                continue
+            state_a.remove(a)
+            state_b.remove(b)
+            state_a.add(b_to_a)
+            state_b.add(a_to_b)
+            assignment[first] = a_to_b
+            assignment[second] = b_to_a
+            result.swaps += 1
+            result.swap_gain += gain
+            improved = True
+            a = a_to_b
+    return improved
+
+
+def _cheapest_by_ride(edges) -> Dict[int, Candidate]:
+    """ride_id -> cheapest edge, from a cheapest-first edge list."""
+    out: Dict[int, Candidate] = {}
+    for candidate in edges:
+        out.setdefault(candidate.ride_id, candidate)
+    return out

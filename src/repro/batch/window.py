@@ -1,0 +1,153 @@
+"""Time/size window accumulator for batched matching.
+
+Incoming search calls park in a queue; a dedicated flusher thread cuts the
+queue into *windows* and hands each one to a flush callback:
+
+* a window **opens** when its first request arrives;
+* it **flushes** when it has been open for ``window_s`` seconds (trigger
+  ``"timeout"``), when it holds ``max_batch`` requests (trigger ``"size"``),
+  or when the accumulator shuts down with requests still queued (trigger
+  ``"close"`` — shutdown must never strand a waiting caller).
+
+``window_s=0`` degenerates to solo windows: every request flushes as soon
+as the flusher sees it, which is what the single-threaded differential
+replay uses (batching across ops would deadlock a serial driver).
+
+The flush callback runs on the flusher thread and must resolve every
+:class:`PendingRequest` it is handed (set ``result`` or ``error``, then
+``event``).  If it raises instead, the accumulator resolves the whole batch
+with that error — a solver bug surfaces to the callers as a failed search,
+not a hang.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass
+class PendingRequest:
+    """One enqueued search: the request, its k, and its completion latch."""
+
+    request: Any
+    k: Optional[int]
+    enqueued_at: float
+    event: threading.Event = field(default_factory=threading.Event)
+    result: Optional[List[Any]] = None
+    error: Optional[BaseException] = None
+
+    def resolve(self, result: List[Any]) -> None:
+        self.result = result
+        self.event.set()
+
+    def fail(self, error: BaseException) -> None:
+        self.error = error
+        self.event.set()
+
+
+class WindowAccumulator:
+    """Collects pending requests into windows and flushes them in batches."""
+
+    def __init__(
+        self,
+        flush: Callable[[List[PendingRequest], str], None],
+        window_s: float = 0.5,
+        max_batch: int = 64,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if window_s < 0:
+            raise ValueError("window_s must be >= 0")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self._flush = flush
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._nonempty = threading.Condition(self._lock)
+        self._queue: List[PendingRequest] = []
+        self._closed = False
+        self.windows_flushed = 0
+        self._thread = threading.Thread(
+            target=self._run, name="xar-batch-window", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, pending: PendingRequest) -> None:
+        """Enqueue one request; wakes the flusher (it decides when to cut)."""
+        with self._nonempty:
+            if self._closed:
+                raise RuntimeError("window accumulator is closed")
+            self._queue.append(pending)
+            self._nonempty.notify_all()
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Flusher thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch, trigger = self._next_window()
+            if batch is None:
+                return
+            self._dispatch(batch, trigger)
+
+    def _next_window(self):
+        """Block until one window is ready; None batch == shut down."""
+        with self._nonempty:
+            while not self._queue and not self._closed:
+                self._nonempty.wait()
+            if not self._queue:
+                return None, ""
+            if self._closed:
+                batch = self._queue[: self.max_batch]
+                del self._queue[: len(batch)]
+                return batch, "close"
+            deadline = self.clock() + self.window_s
+            trigger = "timeout"
+            while True:
+                if len(self._queue) >= self.max_batch:
+                    trigger = "size"
+                    break
+                if self._closed:
+                    trigger = "close"
+                    break
+                remaining = deadline - self.clock()
+                if remaining <= 0:
+                    break
+                self._nonempty.wait(timeout=remaining)
+            batch = self._queue[: self.max_batch]
+            del self._queue[: len(batch)]
+            return batch, trigger
+
+    def _dispatch(self, batch: List[PendingRequest], trigger: str) -> None:
+        try:
+            self._flush(batch, trigger)
+        except BaseException as exc:  # noqa: BLE001 - callers must not hang
+            for pending in batch:
+                if not pending.event.is_set():
+                    pending.fail(exc)
+        finally:
+            self.windows_flushed += 1
+            # Belt and braces: a flush that forgot a request must not
+            # strand its caller.
+            for pending in batch:
+                if not pending.event.is_set():
+                    pending.fail(
+                        RuntimeError("batch flush left a request unresolved")
+                    )
+
+    def close(self) -> None:
+        """Stop the flusher; queued requests flush first (trigger 'close')."""
+        with self._nonempty:
+            if self._closed:
+                return
+            self._closed = True
+            self._nonempty.notify_all()
+        self._thread.join(timeout=30.0)

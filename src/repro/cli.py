@@ -40,6 +40,7 @@ import time
 from typing import List, Optional
 
 from .baselines import TShareEngine
+from .batch import BatchConfig, BatchMatcher
 from .config import XARConfig
 from .core import XAREngine
 from .discretization import build_region, load_region, save_region
@@ -190,6 +191,12 @@ def _loadtest(args: argparse.Namespace) -> int:
     )
     supply, demand = requests[: args.prepopulate], requests[args.prepopulate:]
 
+    if getattr(args, "matcher", "greedy") == "batch" and (
+        args.procs or args.remote
+    ):
+        raise SystemExit("--matcher batch wraps the in-process thread-shard "
+                         "router; drop --procs/--remote")
+
     if args.remote:
         return _loadtest_remote(args, region, supply, demand)
 
@@ -237,7 +244,9 @@ def _loadtest(args: argparse.Namespace) -> int:
     with service_cm as service:
         for request in supply:
             service.create(request.source, request.destination,
-                           request.window_start_s)
+                           request.window_start_s,
+                           seats=args.supply_seats,
+                           detour_limit_m=args.supply_detour)
 
         chaos = None
         if args.crash_every:
@@ -259,10 +268,30 @@ def _loadtest(args: argparse.Namespace) -> int:
             workers=args.workers,
             target_qps=args.qps,
             looks_per_book=args.looks,
+            create_on_miss=not args.no_create,
             seed=args.seed,
             chaos=chaos,
+            arrival=args.arrival,
         )
-        report = LoadGenerator(service, demand, config).run()
+        target = service
+        batch = None
+        if args.matcher == "batch":
+            batch = BatchMatcher(
+                service,
+                BatchConfig(
+                    window_s=args.window_ms / 1000.0,
+                    max_batch=args.batch_max,
+                ),
+            )
+            target = batch
+        try:
+            report = LoadGenerator(target, demand, config).run()
+        finally:
+            if batch is not None:
+                batch.close()
+        if batch is not None:
+            ledger = batch.ledger()
+            print(f"batch ledger      : {ledger}")
         if durability is not None or args.procs:
             counter = ("xar_proc_restarts_total" if args.procs
                        else "xar_failovers_total")
@@ -322,6 +351,10 @@ def _loadtest_remote(args: argparse.Namespace, region, supply, demand) -> int:
     if args.crash_every:
         raise SystemExit("--crash-every cannot target a remote gateway "
                          "(the server owns its own fault injection)")
+    if args.supply_seats is not None or args.supply_detour is not None:
+        raise SystemExit("--supply-seats/--supply-detour only apply to "
+                         "in-process loadtests (the gateway's create API "
+                         "uses the server's engine config)")
     client = HttpServiceClient(args.remote, region,
                                deadline_ms=args.deadline_ms)
     try:
@@ -334,7 +367,9 @@ def _loadtest_remote(args: argparse.Namespace, region, supply, demand) -> int:
             workers=args.workers,
             target_qps=args.qps,
             looks_per_book=args.looks,
+            create_on_miss=not args.no_create,
             seed=args.seed,
+            arrival=args.arrival,
         )
         generator = LoadGenerator(client, demand, config)
         report = generator.run()
@@ -677,6 +712,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="target offered load (requests/s; default: unpaced)")
     p.add_argument("--looks", type=int, default=0,
                    help="extra look searches per request (look-to-book - 1)")
+    p.add_argument("--matcher", choices=["greedy", "batch"], default="greedy",
+                   help="assignment mode: per-request greedy (default) or "
+                        "windowed batch assignment with swap improvement")
+    p.add_argument("--window-ms", type=float, default=500.0, dest="window_ms",
+                   help="batch window length in milliseconds "
+                        "(--matcher batch)")
+    p.add_argument("--batch-max", type=int, default=32, dest="batch_max",
+                   help="flush a batch window early at this many requests "
+                        "(--matcher batch)")
+    p.add_argument("--arrival", choices=["paced", "poisson"], default="paced",
+                   help="arrival process when --qps is set: deterministic "
+                        "pacing or seeded Poisson bursts")
+    p.add_argument("--no-create", action="store_true", dest="no_create",
+                   help="do not create rides from unmatched requests (fixed "
+                        "supply: matcher comparisons at equal supply)")
     p.add_argument("--queue-depth", type=int, default=128, dest="queue_depth",
                    help="per-shard request queue bound (admission control)")
     p.add_argument("--fanout", choices=["local", "all"], default="local",
@@ -686,6 +736,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wrap each shard engine in the fault-tolerant runtime")
     p.add_argument("--prepopulate", type=int, default=0,
                    help="rides created before the measured run (supply)")
+    p.add_argument("--supply-seats", type=int, default=None,
+                   dest="supply_seats",
+                   help="seats per prepopulated ride (default: engine "
+                        "config)")
+    p.add_argument("--supply-detour", type=float, default=None,
+                   dest="supply_detour",
+                   help="detour budget in meters per prepopulated ride "
+                        "(default: engine config; tighten to create "
+                        "contention)")
     p.add_argument("--json", dest="json_path",
                    help="write the load report as JSON to this path")
     p.add_argument("--max-shed-rate", type=float, default=None,
@@ -803,7 +862,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="number of operations to generate")
     p.add_argument("--engines", default="xar,shard2",
                    help="comma-separated façades to diff against the oracle "
-                        "(xar, shard1, shard2, shard4, resilient)")
+                        "(xar, shard1, shard2, shard4, resilient, durable, "
+                        "batch — batch runs relaxed: quality checks only)")
     p.add_argument("--shrink", action="store_true",
                    help="delta-debug a failing sequence to a minimal repro")
     p.add_argument("--corpus-out",

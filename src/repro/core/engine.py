@@ -22,7 +22,7 @@ from ..discretization import DiscretizedRegion
 from ..exceptions import RideError, UnknownRideError, XARError
 from ..geo import GeoPoint
 from ..index import ClusterRideIndex, RideIndexEntry
-from ..obs import MetricsRegistry, Tracer
+from ..obs import DETOUR_RATIO_BUCKETS, MetricsRegistry, Tracer
 from ..roadnet import astar
 from .booking import BookingRecord, BookingRollback, book_ride
 from .reachability import build_ride_entry
@@ -123,6 +123,28 @@ class XAREngine:
         #: route → index) into ``metrics``; a ``None`` registry hands out
         #: null spans, so an uninstrumented engine pays nothing.
         self.tracer = Tracer(metrics, labels=metrics_labels)
+        self.metrics = metrics
+        #: Match-quality instruments (same extra labels as the tracer, so a
+        #: sharded deployment gets per-shard series): detour-to-direct ratio
+        #: of the best match, and searches that came back empty.  ``None``
+        #: registry == no quality series, zero overhead.
+        if metrics is not None:
+            quality_labels = dict(metrics_labels or {})
+            extra = tuple(sorted(quality_labels))
+            self._h_detour_ratio = metrics.histogram(
+                "xar_match_detour_ratio",
+                "Best-match detour estimate over direct trip distance",
+                labels=extra,
+                buckets=DETOUR_RATIO_BUCKETS,
+            ).labels(**quality_labels)
+            self._c_search_empty = metrics.counter(
+                "xar_search_empty_total",
+                "Searches that returned no feasible match",
+                labels=extra,
+            ).labels(**quality_labels)
+        else:
+            self._h_detour_ratio = None
+            self._c_search_empty = None
         #: Guards all mutable engine state (rides, index, ledgers).  Public
         #: operations take it, so a concurrent ``search`` can never observe a
         #: half-spliced route mid-``book``; reentrant because ``book`` calls
@@ -274,13 +296,33 @@ class XAREngine:
         try:
             with self.lock:
                 if ranking is None:
-                    return search_rides(self, request, k, span=span)
+                    matches = search_rides(self, request, k, span=span)
+                    self._observe_quality(request, matches)
+                    return matches
                 matches = search_rides(self, request, None, span=span)
             with span.stage("rank_merge"):
                 matches.sort(key=ranking)
-                return matches[:k] if k is not None else matches
+                if k is not None:
+                    matches = matches[:k]
+            self._observe_quality(request, matches)
+            return matches
         finally:
             span.finish()
+
+    def _observe_quality(
+        self, request: RideRequest, matches: Sequence[MatchOption]
+    ) -> None:
+        """Record match quality: best-match detour ratio, or an empty hit."""
+        if self._c_search_empty is None:
+            return
+        if not matches:
+            self._c_search_empty.inc()
+            return
+        direct = request.straight_line_m()
+        if direct > 0:
+            self._h_detour_ratio.observe(
+                matches[0].detour_estimate_m / direct
+            )
 
     def driver_of(self, ride_id: int) -> Optional[int]:
         """Driver user id of a ride, if it is live and has one."""

@@ -22,8 +22,10 @@ strict mini-parser CI uses to assert the exposition is valid.  See
 from .export import parse_prometheus_text, to_json, to_prometheus_text
 from .registry import (
     DEFAULT_LATENCY_BUCKETS_S,
+    DETOUR_RATIO_BUCKETS,
     FANOUT_BUCKETS,
     QUEUE_DEPTH_BUCKETS,
+    SWAP_GAIN_BUCKETS_M,
     Counter,
     Gauge,
     Histogram,
@@ -37,8 +39,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS_S",
+    "DETOUR_RATIO_BUCKETS",
     "FANOUT_BUCKETS",
     "QUEUE_DEPTH_BUCKETS",
+    "SWAP_GAIN_BUCKETS_M",
     "NULL_SPAN",
     "Span",
     "Tracer",

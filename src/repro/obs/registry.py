@@ -29,8 +29,10 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS_S",
+    "DETOUR_RATIO_BUCKETS",
     "FANOUT_BUCKETS",
     "QUEUE_DEPTH_BUCKETS",
+    "SWAP_GAIN_BUCKETS_M",
 ]
 
 #: Latency bucket upper bounds in seconds, 250 µs to 10 s (+Inf implicit).
@@ -46,6 +48,18 @@ FANOUT_BUCKETS: Tuple[float, ...] = (1, 2, 3, 4, 6, 8, 12, 16, 32, 64)
 
 #: Queue occupancy buckets for wait-depth style histograms.
 QUEUE_DEPTH_BUCKETS: Tuple[float, ...] = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+#: Match-quality buckets: matched detour / direct trip distance.  0 means
+#: the ride already passes both endpoints; 1 means the detour equals the
+#: whole direct trip.  Fine near zero where most XAR matches land.
+DETOUR_RATIO_BUCKETS: Tuple[float, ...] = (
+    0.0, 0.01, 0.025, 0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1.0, 1.5, 2.0,
+)
+
+#: Cost metres recovered by batch swap passes in one window.
+SWAP_GAIN_BUCKETS_M: Tuple[float, ...] = (
+    0.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
 
 
 class Counter:

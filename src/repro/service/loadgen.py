@@ -11,7 +11,10 @@ previous one completed — concurrency is bounded by ``workers``.  With
 ``target_qps`` set, drivers additionally pace their submissions against a
 global schedule (request *i* is due at ``start + i / qps``), so the offered
 load is controlled and the service's admission control (queue bounds →
-shed responses) is observable rather than implicit.
+shed responses) is observable rather than implicit.  ``arrival="poisson"``
+replaces the lockstep schedule with seeded exponential inter-arrival gaps
+at the same mean rate — an open-loop bursty process that actually fills
+the batch matcher's windows unevenly.
 
 Reproducibility: request streams are pre-generated and partitioned
 round-robin across drivers, and every stochastic draw comes from RNGs
@@ -31,6 +34,7 @@ exporters publish.
 from __future__ import annotations
 
 import json
+import random
 import threading
 import time
 from dataclasses import dataclass, field
@@ -55,6 +59,12 @@ class LoadGenConfig:
     workers: int = 4
     #: Offered load ceiling, requests/second (None = as fast as possible).
     target_qps: Optional[float] = None
+    #: Arrival process when ``target_qps`` is set: ``"paced"`` puts request
+    #: *i* on the deterministic schedule ``start + i / qps`` (lockstep);
+    #: ``"poisson"`` draws seeded exponential inter-arrival gaps at the same
+    #: mean rate, so the offered load is open-loop bursty — windows of a
+    #: batch matcher actually fill unevenly, like real rush-hour traffic.
+    arrival: str = "paced"
     #: Extra "look" searches per request before the booking decision
     #: (look-to-book ratio - 1; searches dominate real traffic).
     looks_per_book: int = 0
@@ -137,6 +147,7 @@ class LoadReport:
             "target": self.target_name,
             "workers": self.config.workers,
             "target_qps": self.config.target_qps,
+            "arrival": self.config.arrival,
             "looks_per_book": self.config.looks_per_book,
             "seed": self.config.seed,
             "duration_s": self.duration_s,
@@ -201,6 +212,13 @@ class LoadGenerator:
         self.config = config or LoadGenConfig()
         if self.config.workers < 1:
             raise ValueError("workers must be >= 1")
+        if self.config.arrival not in ("paced", "poisson"):
+            raise ValueError(
+                f"unknown arrival mode {self.config.arrival!r} "
+                "(expected 'paced' or 'poisson')"
+            )
+        if self.config.arrival == "poisson" and not self.config.target_qps:
+            raise ValueError("poisson arrivals need a target_qps rate")
         #: Share the target's registry when it has one, so client-side and
         #: service-side series land in a single exposition.
         if metrics is None:
@@ -318,6 +336,17 @@ class LoadGenerator:
         partitions: List[List[tuple]] = [[] for _w in range(workers)]
         for index, request in enumerate(self.requests):
             partitions[index % workers].append((index, request))
+        #: Poisson mode pre-draws the whole arrival schedule from one seeded
+        #: RNG, so the offered process is identical across runs (and across
+        #: worker counts — partitioning doesn't touch the draw order).
+        due_offsets: Optional[List[float]] = None
+        if config.target_qps and config.arrival == "poisson":
+            rng = random.Random(f"{config.seed}:arrival")
+            t = 0.0
+            due_offsets = []
+            for _request in self.requests:
+                t += rng.expovariate(config.target_qps)
+                due_offsets.append(t)
         # Registry baselines: the report is the *delta* over this run, so a
         # shared registry (several runs, a benchmark sweep) stays correct.
         base_requests = self._c_requests.value
@@ -349,7 +378,10 @@ class LoadGenerator:
             start = started_at[0]
             for global_index, request in partitions[worker_id]:
                 if config.target_qps:
-                    due = start + global_index / config.target_qps
+                    if due_offsets is not None:
+                        due = start + due_offsets[global_index]
+                    else:
+                        due = start + global_index / config.target_qps
                     delay = due - config.clock()
                     if delay > 0:
                         config.sleep(delay)

@@ -40,6 +40,7 @@ import os
 import shutil
 import tempfile
 
+from ..batch import BatchConfig, BatchMatcher
 from ..core import XAREngine
 from ..core.request import RideRequest
 from ..discretization import DiscretizedRegion, region_digest
@@ -56,6 +57,7 @@ from .oracle import OracleAdapter, OracleEngine
 #: Façade names the harness understands (``shardN`` for any N >= 1).
 FACADE_NAMES = (
     "oracle", "xar", "shard1", "shard2", "shard4", "resilient", "durable",
+    "batch",
 )
 
 
@@ -123,6 +125,7 @@ class Facade:
         target: Any,
         engines: Sequence[XAREngine] = (),
         closer: Optional[Callable[[], None]] = None,
+        relaxed: bool = False,
     ):
         self.name = name
         self.target = target
@@ -130,6 +133,12 @@ class Facade:
         #: the oracle, which has no cluster index to damage).
         self.xar_engines = list(engines)
         self._closer = closer
+        #: Relaxed façades (the batch matcher) are held to *quality*
+        #: guarantees, not schedule equality: creates must fingerprint-match,
+        #: invariant audits and the ε-bound hold verbatim (against a shadow
+        #: oracle over the façade's own state), but search lists, booking
+        #: choices and hence later live state may legitimately differ.
+        self.relaxed = relaxed
         #: handle (creation ordinal) -> this façade's ride object.
         self.rides_by_handle: Dict[int, Any] = {}
         #: this façade's ride id -> handle.
@@ -370,6 +379,20 @@ def make_facade(
     if name == "durable":
         directory = tempfile.mkdtemp(prefix="xar-differential-durable-")
         return DurableFacade(name, _DurableTarget(region, directory))
+    if name == "batch":
+        # window_s=0: the replay is single-threaded, so each search must
+        # flush solo or the driver would deadlock waiting on its own window.
+        # Multi-request windows are exercised by the batch test suite and
+        # the rush-hour benchmark; here the harness checks the quality
+        # contract (ε-bound, invariants, no request lost).
+        engine = XAREngine(region)
+        matcher = BatchMatcher(
+            XARAdapter(engine), BatchConfig(window_s=0.0, max_batch=8)
+        )
+        return Facade(
+            name, matcher, engines=[engine], closer=matcher.close,
+            relaxed=True,
+        )
     raise ValueError(
         f"unknown façade {name!r} (choose from {FACADE_NAMES} or shardN)"
     )
@@ -467,6 +490,8 @@ class DifferentialHarness:
         reference = facades[0]
         others = facades[1:]
         self._request_id = 0
+        #: Per-relaxed-façade shadow oracles (see :meth:`_shadow_oracle`).
+        self._shadows: Dict[str, OracleEngine] = {}
         try:
             for op_index, op in enumerate(ops):
                 kind = op.get("op")
@@ -609,17 +634,31 @@ class DifferentialHarness:
 
     def _run_search(
         self, report, op_index, op, reference, others
-    ) -> Optional[Tuple[RideRequest, List[Tuple[Facade, List[Any]]], List[Tuple]]]:
+    ) -> Optional[Tuple]:
         """Shared search flow for the search and book ops.
 
-        Returns (request, per-façade raw matches, reference normalized list)
-        or None when a divergence was recorded.
+        Returns (request, per-façade raw matches, reference normalized list,
+        relaxed façades' raw matches) or None when a divergence was
+        recorded.  Relaxed façades search against their *own* (divergent)
+        state, so their lists are held only to the per-façade quality checks
+        in :meth:`_check_relaxed_matches`, never to cross-façade equality.
         """
         request = self._make_request(op)
         k = op.get("k")
         raw: List[Tuple[Facade, List[Any]]] = []
         errors: List[Tuple[Facade, Optional[str]]] = []
+        relaxed_raw: List[Tuple[Facade, List[Any]]] = []
         for facade in [reference] + others:
+            if facade.relaxed:
+                try:
+                    matches = facade.target.search(request, k)
+                except XARError:
+                    continue  # façade-local refusal; its audits still run
+                self._check_relaxed_matches(
+                    report, op_index, op, facade, request, matches
+                )
+                relaxed_raw.append((facade, matches))
+                continue
             try:
                 raw.append((facade, facade.target.search(request, k)))
                 errors.append((facade, None))
@@ -651,7 +690,7 @@ class DifferentialHarness:
                 return None
         self._check_bound(report, op_index, op, reference, request, ref_normalized)
         report.searches_checked += 1
-        return request, raw, ref_normalized
+        return request, raw, ref_normalized, relaxed_raw
 
     def _check_bound(
         self, report, op_index, op, reference: Facade, request, normalized
@@ -687,6 +726,67 @@ class DifferentialHarness:
                     f"than the ε-bound {self.epsilon_bound_m:.1f} m",
                 )
 
+    def _shadow_oracle(self, facade: Facade) -> OracleEngine:
+        """An oracle view over a relaxed façade's *own* engine state.
+
+        The oracle's exhaustive scan only reads ``rides`` and
+        ``ride_entries`` — both built by the same ``build_ride_entry`` the
+        real engine uses — so repointing those dicts at the façade's engine
+        yields the exact insertion-point optimum for the state that façade's
+        search actually ran against, bookings-divergence and all.
+        """
+        oracle = self._shadows.get(facade.name)
+        if oracle is None:
+            oracle = OracleEngine(self.region)
+            engine = facade.xar_engines[0]
+            oracle.rides = engine.rides
+            oracle.ride_entries = engine.ride_entries
+            self._shadows[facade.name] = oracle
+        return oracle
+
+    def _check_relaxed_matches(
+        self, report, op_index, op, facade: Facade, request, matches
+    ) -> None:
+        """Quality gate for a relaxed façade's search answers.
+
+        Every returned match must name a ride the harness created, and its
+        detour estimate must sit within the ε-bound of the exhaustive
+        optimum *for this façade's state* — rank order and list membership
+        are free (the batch matcher reorders assigned-first).
+        """
+        if not matches:
+            return
+        optimum = self._shadow_oracle(facade).optimum(request)
+        for match in matches:
+            if match.ride_id not in facade.handle_of_ride:
+                self._diverge(
+                    report, op_index, op, "unknown-ride", facade.name,
+                    f"search returned untracked ride id {match.ride_id}",
+                )
+                continue
+            best = optimum.get(match.ride_id)
+            if best is None:
+                self._diverge(
+                    report, op_index, op, "epsilon-bound", facade.name,
+                    f"ride {match.ride_id} matched but the exhaustive scan "
+                    f"finds no feasible insertion at all",
+                )
+                continue
+            report.bound_checks += 1
+            if self._m_bound is not None:
+                self._m_bound.labels().inc()
+            gap = match.detour_estimate_m - best.min_detour_m
+            if gap > report.max_bound_gap_m:
+                report.max_bound_gap_m = gap
+            if gap > self.epsilon_bound_m:
+                self._diverge(
+                    report, op_index, op, "epsilon-bound", facade.name,
+                    f"ride {match.ride_id}: detour estimate "
+                    f"{match.detour_estimate_m:.1f} m exceeds exhaustive "
+                    f"optimum {best.min_detour_m:.1f} m by more than the "
+                    f"ε-bound {self.epsilon_bound_m:.1f} m",
+                )
+
     def _op_search(self, report, op_index, op, reference, others) -> None:
         self._run_search(report, op_index, op, reference, others)
 
@@ -694,8 +794,19 @@ class DifferentialHarness:
         result = self._run_search(report, op_index, op, reference, others)
         if result is None:
             return
-        request, raw, ref_normalized = result
+        request, raw, ref_normalized, relaxed_raw = result
         rank = op.get("rank", 0)
+        # Relaxed façades book like a real client: the ranked option at
+        # ``rank`` when it exists, falling through stale matches greedily.
+        # No cross-façade comparison — the matcher's ledger (checked in
+        # :meth:`_audit`) proves no request was lost.
+        for facade, matches in relaxed_raw:
+            for match in matches[rank:rank + 3]:
+                try:
+                    facade.target.book(request, match)
+                    break
+                except XARError:
+                    continue
         if rank >= len(ref_normalized):
             return  # uniform no-match / rank out of range: nothing to book
         target_handle = ref_normalized[rank][9]
@@ -751,6 +862,15 @@ class DifferentialHarness:
         outcomes: List[Tuple[Facade, Optional[str]]] = []
         for facade in [reference] + others:
             ride = facade.rides_by_handle.get(handle)
+            if facade.relaxed:
+                # Divergent bookings shift completion times, so a relaxed
+                # façade may legitimately reach a different cancel outcome.
+                if ride is not None:
+                    try:
+                        facade.target.cancel(ride)
+                    except XARError:
+                        pass
+                continue
             if ride is None:
                 outcomes.append((facade, "missing-handle"))
                 continue
@@ -804,7 +924,9 @@ class DifferentialHarness:
         now_s = op["now_s"]
         counts: List[Tuple[Facade, int]] = []
         for facade in [reference] + others:
-            counts.append((facade, facade.target.track_all(now_s)))
+            count = facade.target.track_all(now_s)
+            if not facade.relaxed:
+                counts.append((facade, count))
         ref_count = counts[0][1]
         for facade, count in counts[1:]:
             if count != ref_count:
@@ -830,6 +952,8 @@ class DifferentialHarness:
     ) -> None:
         ref_live = self._live_state(reference)
         for facade in others:
+            if facade.relaxed:
+                continue  # booking choices diverge, so live state does too
             live = self._live_state(facade)
             if set(live) != set(ref_live):
                 only_here = sorted(
@@ -860,6 +984,21 @@ class DifferentialHarness:
                     self._diverge(
                         report, op_index, op, "invariant", facade.name,
                         f"invariant audit failed: {kinds}",
+                    )
+            # No-request-lost accounting for façades that keep a ledger
+            # (the batch matcher): every submitted search must land in
+            # exactly one terminal outcome.
+            ledger_fn = getattr(facade.target, "ledger", None)
+            if callable(ledger_fn):
+                ledger = ledger_fn()
+                accounted = sum(
+                    ledger.get(key, 0)
+                    for key in ("assigned", "fallback", "unmatched", "failed")
+                )
+                if accounted != ledger.get("submitted", 0):
+                    self._diverge(
+                        report, op_index, op, "request-lost", facade.name,
+                        f"ledger out of balance: {ledger}",
                     )
 
 

@@ -1,0 +1,269 @@
+"""BatchMatcher facade: assignment-first ordering, ledger, fallback, commit.
+
+Most tests drive the matcher over a scripted stub inner adapter — the
+matcher only consumes the ``EngineAdapter`` surface, so a stub gives exact
+control over the candidate geometry without lattice reverse-engineering.
+One integration test runs the real engine underneath.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import pytest
+
+from repro.batch import BatchConfig, BatchMatcher
+from repro.core import XAREngine
+from repro.exceptions import BookingError, XARError
+from repro.resilience.audit import InvariantAuditor
+from repro.sim.adapters import XARAdapter
+from repro.workloads import NYCWorkloadGenerator, trips_to_requests
+
+
+@dataclass
+class StubRide:
+    ride_id: int
+    seats_available: int = 1
+    detour_limit_m: float = 10_000.0
+
+
+@dataclass(frozen=True)
+class StubOption:
+    ride_id: int
+    total_walk_m: float
+    detour_estimate_m: float
+
+
+@dataclass(frozen=True)
+class StubRequest:
+    request_id: int
+
+
+@dataclass
+class StubInner:
+    """Scripted EngineAdapter: per-request option lists, explicit supply."""
+
+    name: str = "Stub"
+    rides: List[StubRide] = field(default_factory=list)
+    options: Dict[int, List[StubOption]] = field(default_factory=dict)
+    search_error: Dict[int, Exception] = field(default_factory=dict)
+    book_error: Exception = None
+    booked: List[int] = field(default_factory=list)
+
+    def create(self, source, destination, depart_s, seats=None,
+               detour_limit_m=None):
+        ride = StubRide(ride_id=len(self.rides) + 1,
+                        seats_available=seats or 1)
+        self.rides.append(ride)
+        return ride
+
+    def search(self, request, k=None):
+        error = self.search_error.get(request.request_id)
+        if error is not None:
+            raise error
+        out = list(self.options.get(request.request_id, []))
+        return out[:k] if k is not None else out
+
+    def book(self, request, match):
+        if self.book_error is not None:
+            raise self.book_error
+        self.booked.append((request.request_id, match.ride_id))
+        return object()
+
+    def track_all(self, now_s):
+        return 0
+
+    def cancel(self, ride):
+        return None
+
+    def active_rides(self):
+        return list(self.rides)
+
+    def rollback_count(self):
+        return 0
+
+    def index_stats(self):
+        return {"rides": len(self.rides)}
+
+
+def _concurrent_search(matcher, requests):
+    """Submit every request from its own thread; return results by id."""
+    results: Dict[int, List] = {}
+    errors: Dict[int, Exception] = {}
+    lock = threading.Lock()
+
+    def worker(request):
+        try:
+            out = matcher.search(request)
+            with lock:
+                results[request.request_id] = out
+        except Exception as exc:  # noqa: BLE001 - surfaced via dict
+            with lock:
+                errors[request.request_id] = exc
+
+    threads = [threading.Thread(target=worker, args=(r,)) for r in requests]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    assert not any(thread.is_alive() for thread in threads)
+    return results, errors
+
+
+def test_contended_window_assigns_each_request_its_own_ride():
+    # Both requests prefer ride 1 (cheaper), which has one seat.  Solved
+    # jointly, one must be routed to ride 2 — and each caller sees its
+    # *assigned* ride first, not the greedy rank order.
+    inner = StubInner(
+        rides=[StubRide(1, seats_available=1), StubRide(2, seats_available=1)],
+        options={
+            1: [StubOption(1, 10.0, 0.0), StubOption(2, 20.0, 0.0)],
+            2: [StubOption(1, 11.0, 0.0), StubOption(2, 21.0, 0.0)],
+        },
+    )
+    with BatchMatcher(
+        inner, BatchConfig(window_s=30.0, max_batch=2)
+    ) as matcher:
+        results, errors = _concurrent_search(
+            matcher, [StubRequest(1), StubRequest(2)]
+        )
+        assert not errors
+        first_rides = {rid: opts[0].ride_id for rid, opts in results.items()}
+        assert sorted(first_rides.values()) == [1, 2]
+        # Greedy-cheapest goes to request 1; request 2 is routed around it.
+        assert first_rides[1] == 1 and first_rides[2] == 2
+        # The full option list is preserved, just reordered.
+        assert {opt.ride_id for opt in results[2]} == {1, 2}
+        ledger = matcher.ledger()
+        assert ledger["assigned"] == 2
+        assert ledger["submitted"] == 2
+
+
+def test_ledger_accounts_for_every_outcome():
+    full = StubRide(1, seats_available=0)  # supply exists but is full
+    inner = StubInner(
+        rides=[full],
+        options={
+            1: [StubOption(1, 10.0, 0.0)],  # feasible edge, unassignable
+            2: [],                            # no feasible ride at all
+        },
+        search_error={3: BookingError("engine said no")},
+    )
+    with BatchMatcher(
+        inner, BatchConfig(window_s=0.0, max_batch=4)
+    ) as matcher:
+        fallback = matcher.search(StubRequest(1))
+        assert [opt.ride_id for opt in fallback] == [1]  # greedy order kept
+        assert matcher.search(StubRequest(2)) == []
+        with pytest.raises(BookingError):
+            matcher.search(StubRequest(3))
+        ledger = matcher.ledger()
+    assert ledger["submitted"] == 3
+    assert ledger["fallback"] == 1
+    assert ledger["unmatched"] == 1
+    assert ledger["failed"] == 1
+    assert ledger["assigned"] == 0
+    total = sum(ledger[k] for k in ("assigned", "fallback", "unmatched",
+                                    "failed"))
+    assert total == ledger["submitted"]
+
+
+def test_book_counts_commits_and_conflicts():
+    inner = StubInner(
+        rides=[StubRide(1)],
+        options={1: [StubOption(1, 10.0, 0.0)]},
+    )
+    with BatchMatcher(
+        inner, BatchConfig(window_s=0.0, max_batch=4)
+    ) as matcher:
+        request = StubRequest(1)
+        match = matcher.search(request)[0]
+        matcher.book(request, match)
+        inner.book_error = BookingError("stale")
+        with pytest.raises(BookingError):
+            matcher.book(request, match)
+        ledger = matcher.ledger()
+    assert ledger["committed"] == 1
+    assert ledger["conflicts"] == 1
+    assert inner.booked == [(1, 1)]
+
+
+def test_window_metrics_are_emitted():
+    inner = StubInner(
+        rides=[StubRide(1, seats_available=2)],
+        options={
+            1: [StubOption(1, 10.0, 0.0)],
+            2: [StubOption(1, 12.0, 0.0)],
+        },
+    )
+    with BatchMatcher(
+        inner, BatchConfig(window_s=30.0, max_batch=2)
+    ) as matcher:
+        _results, errors = _concurrent_search(
+            matcher, [StubRequest(1), StubRequest(2)]
+        )
+        assert not errors
+        windows = matcher.metrics.get("xar_batch_windows_total")
+        assert windows is not None
+        assert windows.labels(trigger="size").value == 1
+        sizes = matcher.metrics.get("xar_batch_window_size")
+        assert sizes.labels().count == 1
+
+
+def test_close_stops_the_window_but_not_the_inner():
+    inner = StubInner(rides=[StubRide(1)],
+                      options={1: [StubOption(1, 10.0, 0.0)]})
+    matcher = BatchMatcher(inner, BatchConfig(window_s=0.0))
+    assert matcher.search(StubRequest(1))
+    matcher.close()
+    with pytest.raises(RuntimeError):
+        matcher.search(StubRequest(1))
+    assert inner.search(StubRequest(1), 5)  # inner still serves directly
+
+
+def test_name_and_delegation_surface():
+    inner = StubInner()
+    with BatchMatcher(inner, BatchConfig(window_s=0.0)) as matcher:
+        assert matcher.name == "Batch(Stub)"
+        assert matcher.rollback_count() == 0
+        assert matcher.index_stats() == {"rides": 0}
+        assert matcher.stats() == {"batch_ledger": matcher.ledger()}
+        assert matcher.audit(heal=True) == []
+        assert matcher.active_rides() == []
+        assert matcher.track_all(0.0) == 0
+
+
+def test_real_engine_integration_ledger_and_invariants(small_region):
+    """Batched matching over a live engine: balanced ledger, real bookings,
+    and a clean invariant sweep afterwards."""
+    engine = XAREngine(small_region)
+    generator = NYCWorkloadGenerator(small_region.network, seed=11)
+    requests = trips_to_requests(
+        generator.generate(60, start_hour=8.0, end_hour=9.0)
+    )
+    with BatchMatcher(
+        XARAdapter(engine), BatchConfig(window_s=0.0, max_batch=8)
+    ) as matcher:
+        for request in requests[:25]:
+            matcher.create(request.source, request.destination,
+                           request.window_start_s, seats=2)
+        booked = 0
+        for request in requests[25:]:
+            options = matcher.search(request, 5)
+            for option in options[:3]:
+                try:
+                    matcher.book(request, option)
+                    booked += 1
+                    break
+                except XARError:
+                    continue
+        ledger = matcher.ledger()
+    assert ledger["submitted"] == len(requests) - 25
+    accounted = sum(ledger[k] for k in ("assigned", "fallback", "unmatched",
+                                        "failed"))
+    assert accounted == ledger["submitted"]
+    assert ledger["committed"] == booked == len(engine.bookings)
+    audit = InvariantAuditor(engine).audit()
+    assert audit.ok, audit.by_kind()

@@ -1,0 +1,128 @@
+"""Solver properties: monotone improvement, determinism, budget respect."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.batch import Candidate, RideBudget, solve_assignment
+
+
+def _budget(ride_id, seats=1, detour=1000.0):
+    return RideBudget(ride_id=ride_id, seats=seats, detour_budget_m=detour)
+
+
+def _random_instance(seed, n_requests=14, n_rides=6):
+    rng = random.Random(seed)
+    budgets = {
+        r: _budget(r, seats=rng.randint(1, 3),
+                   detour=rng.uniform(200.0, 2000.0))
+        for r in range(1, n_rides + 1)
+    }
+    candidates = []
+    for request_index in range(n_requests):
+        for ride_id in rng.sample(sorted(budgets), rng.randint(1, n_rides)):
+            candidates.append(Candidate(
+                request_index=request_index,
+                ride_id=ride_id,
+                cost=rng.uniform(10.0, 500.0),
+                detour_m=rng.uniform(0.0, 800.0),
+            ))
+    return candidates, budgets
+
+
+def test_greedy_seed_assigns_cheapest_feasible_edge():
+    candidates = [
+        Candidate(0, 1, cost=5.0, detour_m=10.0),
+        Candidate(0, 2, cost=1.0, detour_m=10.0),
+    ]
+    result = solve_assignment(candidates, {1: _budget(1), 2: _budget(2)})
+    assert result.assignment[0].ride_id == 2
+
+
+def test_eject_and_reinsert_raises_matched_count():
+    # Request 0 grabs the only seat on ride 1 (cheapest edge); request 1
+    # can ONLY go on ride 1.  The eject pass must relocate request 0 to
+    # ride 2 so both end up matched.
+    candidates = [
+        Candidate(0, 1, cost=1.0, detour_m=10.0),
+        Candidate(0, 2, cost=2.0, detour_m=10.0),
+        Candidate(1, 1, cost=3.0, detour_m=10.0),
+    ]
+    result = solve_assignment(candidates, {1: _budget(1), 2: _budget(2)})
+    assert result.seed_matched == 1
+    assert result.matched == 2
+    assert result.ejections == 1
+    assert result.assignment[0].ride_id == 2
+    assert result.assignment[1].ride_id == 1
+
+
+def test_two_swap_reduces_total_cost():
+    # Greedy (scanning cheapest-first) puts request 0 on ride 2 (cost 1)
+    # and request 1 on ride 1 (cost 50); the exchange [0->1, 1->2] costs
+    # 2 + 3 < 1 + 50, so the swap pass must take it.
+    candidates = [
+        Candidate(0, 2, cost=1.0, detour_m=10.0),
+        Candidate(0, 1, cost=2.0, detour_m=10.0),
+        Candidate(1, 2, cost=3.0, detour_m=10.0),
+        Candidate(1, 1, cost=50.0, detour_m=10.0),
+    ]
+    result = solve_assignment(candidates, {1: _budget(1), 2: _budget(2)})
+    assert result.matched == 2
+    assert result.swaps >= 1
+    assert result.total_cost == pytest.approx(5.0)
+    assert result.swap_gain == pytest.approx(result.seed_cost - 5.0)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_improvement_is_lexicographically_monotone(seed):
+    """Final (matched, -cost) never regresses vs the greedy seed."""
+    candidates, budgets = _random_instance(seed)
+    result = solve_assignment(candidates, budgets, time_budget_s=1.0)
+    assert result.matched >= result.seed_matched
+    if result.matched == result.seed_matched:
+        assert result.total_cost <= result.seed_cost + 1e-9
+    assert result.swap_gain >= 0.0
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_assignment_respects_budgets(seed):
+    candidates, budgets = _random_instance(seed)
+    result = solve_assignment(candidates, budgets, time_budget_s=1.0)
+    seats = {r: 0 for r in budgets}
+    detour = {r: 0.0 for r in budgets}
+    for request_index, candidate in result.assignment.items():
+        assert candidate.request_index == request_index
+        seats[candidate.ride_id] += 1
+        detour[candidate.ride_id] += candidate.detour_m
+    for ride_id, budget in budgets.items():
+        assert seats[ride_id] <= budget.seats
+        assert detour[ride_id] <= budget.detour_budget_m + 1e-9
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_solver_is_deterministic(seed):
+    candidates, budgets = _random_instance(seed)
+    a = solve_assignment(candidates, budgets, time_budget_s=1.0)
+    b = solve_assignment(candidates, budgets, time_budget_s=1.0)
+    assert a.assignment == b.assignment
+    assert (a.passes, a.ejections, a.swaps) == (b.passes, b.ejections, b.swaps)
+
+
+def test_edges_onto_unknown_rides_are_ignored():
+    candidates = [Candidate(0, 99, cost=1.0, detour_m=10.0)]
+    result = solve_assignment(candidates, {1: _budget(1)})
+    assert result.matched == 0
+
+
+def test_time_budget_skips_improvement_but_keeps_seed():
+    candidates, budgets = _random_instance(3)
+    clock_values = iter([0.0] + [10.0] * 100)
+    result = solve_assignment(
+        candidates, budgets, time_budget_s=0.001,
+        clock=lambda: next(clock_values),
+    )
+    # Deadline hit immediately: the greedy seed still stands, no passes ran.
+    assert result.passes == 0
+    assert result.matched == result.seed_matched

@@ -1,0 +1,148 @@
+"""Window accumulator: flush triggers, error paths, shutdown draining."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.batch import PendingRequest, WindowAccumulator
+
+
+class _Collector:
+    """Records every flushed (batch, trigger) and resolves all pendings."""
+
+    def __init__(self):
+        self.calls = []
+        self.lock = threading.Lock()
+
+    def __call__(self, batch, trigger):
+        with self.lock:
+            self.calls.append(([p.request for p in batch], trigger))
+        for pending in batch:
+            pending.resolve([])
+
+    def triggers(self):
+        with self.lock:
+            return [trigger for _batch, trigger in self.calls]
+
+
+def _pending(tag):
+    return PendingRequest(request=tag, k=None, enqueued_at=time.monotonic())
+
+
+def _wait_until(predicate, timeout_s=5.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+def test_size_trigger_flushes_before_the_deadline():
+    collector = _Collector()
+    acc = WindowAccumulator(collector, window_s=30.0, max_batch=3)
+    try:
+        pendings = [_pending(i) for i in range(3)]
+        for pending in pendings:
+            acc.submit(pending)
+        assert _wait_until(lambda: all(p.event.is_set() for p in pendings))
+        assert collector.triggers() == ["size"]
+        assert collector.calls[0][0] == [0, 1, 2]
+    finally:
+        acc.close()
+
+
+def test_timeout_trigger_flushes_a_partial_window():
+    collector = _Collector()
+    acc = WindowAccumulator(collector, window_s=0.05, max_batch=100)
+    try:
+        pending = _pending("solo")
+        acc.submit(pending)
+        assert _wait_until(lambda: pending.event.is_set())
+        assert collector.triggers() == ["timeout"]
+    finally:
+        acc.close()
+
+
+def test_zero_window_flushes_immediately_per_request():
+    collector = _Collector()
+    acc = WindowAccumulator(collector, window_s=0.0, max_batch=100)
+    try:
+        first = _pending("a")
+        acc.submit(first)
+        assert _wait_until(lambda: first.event.is_set())
+        second = _pending("b")
+        acc.submit(second)
+        assert _wait_until(lambda: second.event.is_set())
+        assert len(collector.calls) == 2
+    finally:
+        acc.close()
+
+
+def test_close_drains_queued_requests_with_close_trigger():
+    collector = _Collector()
+    # Enormous window: only close() can flush these.
+    acc = WindowAccumulator(collector, window_s=600.0, max_batch=100)
+    pendings = []
+
+    def submitter():
+        pending = _pending("queued")
+        pendings.append(pending)
+        acc.submit(pending)
+        pending.event.wait(timeout=10.0)
+
+    thread = threading.Thread(target=submitter)
+    thread.start()
+    assert _wait_until(lambda: acc.pending_count() == 1 or collector.calls)
+    acc.close()
+    thread.join(timeout=10.0)
+    assert not thread.is_alive()
+    assert pendings[0].event.is_set()
+    assert "close" in collector.triggers()
+
+
+def test_flush_exception_fails_all_pendings_instead_of_hanging():
+    def exploding(batch, trigger):
+        raise RuntimeError("solver blew up")
+
+    acc = WindowAccumulator(exploding, window_s=0.0, max_batch=10)
+    try:
+        pending = _pending("doomed")
+        acc.submit(pending)
+        assert _wait_until(lambda: pending.event.is_set())
+        assert isinstance(pending.error, RuntimeError)
+    finally:
+        acc.close()
+
+
+def test_flush_that_forgets_a_request_still_resolves_it():
+    def forgetful(batch, trigger):
+        pass  # resolves nothing
+
+    acc = WindowAccumulator(forgetful, window_s=0.0, max_batch=10)
+    try:
+        pending = _pending("forgotten")
+        acc.submit(pending)
+        assert _wait_until(lambda: pending.event.is_set())
+        assert isinstance(pending.error, RuntimeError)
+    finally:
+        acc.close()
+
+
+def test_submit_after_close_is_rejected():
+    collector = _Collector()
+    acc = WindowAccumulator(collector, window_s=0.0, max_batch=10)
+    acc.close()
+    with pytest.raises(RuntimeError):
+        acc.submit(_pending("late"))
+
+
+def test_invalid_configuration_is_rejected():
+    collector = _Collector()
+    with pytest.raises(ValueError):
+        WindowAccumulator(collector, window_s=-1.0)
+    with pytest.raises(ValueError):
+        WindowAccumulator(collector, max_batch=0)

@@ -1,0 +1,61 @@
+"""Engine-level match-quality series: detour ratio + empty-search counter."""
+
+from __future__ import annotations
+
+from repro.core import XAREngine
+from repro.core.request import RideRequest
+from repro.obs import MetricsRegistry
+
+
+def _span_request(region, request_id=1, walk_m=800.0):
+    """A request along the lattice diagonal (matches a same-route ride)."""
+    network = region.network
+    source = network.position(0)
+    destination = network.position(network.node_count - 1)
+    return RideRequest(
+        request_id=request_id,
+        source=source,
+        destination=destination,
+        window_start_s=0.0,
+        window_end_s=600.0,
+        walk_threshold_m=walk_m,
+    )
+
+
+def test_empty_search_increments_the_counter(region):
+    metrics = MetricsRegistry()
+    engine = XAREngine(region, metrics=metrics)
+    engine.search(_span_request(region), 5)
+    assert metrics.get("xar_search_empty_total").labels().value == 1
+    assert metrics.get("xar_match_detour_ratio").labels().count == 0
+
+
+def test_matched_search_observes_the_detour_ratio(region):
+    metrics = MetricsRegistry()
+    engine = XAREngine(region, metrics=metrics)
+    request = _span_request(region)
+    engine.create_ride(
+        request.source, request.destination, departure_s=100.0, seats=2
+    )
+    matches = engine.search(request, 5)
+    assert matches
+    ratio = metrics.get("xar_match_detour_ratio").labels()
+    assert ratio.count == 1
+    expected = matches[0].detour_estimate_m / request.straight_line_m()
+    assert ratio.sum == expected
+    assert metrics.get("xar_search_empty_total").labels().value == 0
+
+
+def test_quality_series_carry_extra_labels(region):
+    metrics = MetricsRegistry()
+    engine = XAREngine(region, metrics=metrics, metrics_labels={"shard": "3"})
+    engine.search(_span_request(region), 5)
+    empty = metrics.get("xar_search_empty_total")
+    assert empty.labelnames == ("shard",)
+    assert empty.labels(shard="3").value == 1
+
+
+def test_uninstrumented_engine_pays_nothing(region):
+    engine = XAREngine(region)
+    assert engine._c_search_empty is None
+    assert engine.search(_span_request(region), 5) == []

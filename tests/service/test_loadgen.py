@@ -200,3 +200,68 @@ def test_same_seed_same_offered_work(region, workload):
 def test_rejects_zero_workers(workload):
     with pytest.raises(ValueError):
         LoadGenerator(_ScriptedTarget(), list(workload)[:1], LoadGenConfig(workers=0))
+
+
+def test_poisson_arrivals_follow_the_seeded_schedule(workload):
+    """Open-loop mode: request *i* is due at the i-th cumulative draw of a
+    seeded exponential process, so two runs offer identical burst shapes."""
+    import random
+
+    requests = list(workload)[:30]
+    fake = _FakeClock()
+    config = LoadGenConfig(
+        workers=4,
+        target_qps=200.0,
+        arrival="poisson",
+        track_every_s=0.0,
+        seed=77,
+        clock=fake.clock,
+        sleep=fake.sleep,
+    )
+    report = LoadGenerator(_ScriptedTarget(), requests, config).run()
+    # Reproduce the schedule the generator must have used.
+    rng = random.Random("77:arrival")
+    total = 0.0
+    offsets = []
+    for _ in requests:
+        total += rng.expovariate(200.0)
+        offsets.append(total)
+    # Workers sleep until each request's due time, so the run spans at
+    # least the latest offset on the fake clock.
+    assert report.duration_s >= max(offsets) - 1e-9
+    assert json.loads(report.to_json())["arrival"] == "poisson"
+
+
+def test_poisson_offered_work_is_seed_stable(workload):
+    requests = list(workload)[:40]
+    durations = []
+    for _run in range(2):
+        fake = _FakeClock()
+        report = LoadGenerator(
+            _ScriptedTarget(),
+            requests,
+            LoadGenConfig(
+                workers=3,
+                target_qps=150.0,
+                arrival="poisson",
+                track_every_s=0.0,
+                seed=5,
+                clock=fake.clock,
+                sleep=fake.sleep,
+            ),
+        ).run()
+        durations.append(report.duration_s)
+    assert durations[0] == pytest.approx(durations[1])
+
+
+def test_poisson_requires_a_rate(workload):
+    with pytest.raises(ValueError):
+        LoadGenerator(
+            _ScriptedTarget(), list(workload)[:1],
+            LoadGenConfig(arrival="poisson"),
+        )
+    with pytest.raises(ValueError):
+        LoadGenerator(
+            _ScriptedTarget(), list(workload)[:1],
+            LoadGenConfig(arrival="sometimes"),
+        )

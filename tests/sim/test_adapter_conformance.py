@@ -13,6 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.baselines import TShareEngine
+from repro.batch import BatchConfig, BatchMatcher
 from repro.core import XAREngine
 from repro.resilience import ResilienceConfig, ResilientEngine
 from repro.service import ShardRouter
@@ -50,13 +51,18 @@ def adapters(region):
         XARAdapter(XAREngine(region)), ResilienceConfig(seed=1)
     )
     oracle = OracleAdapter(OracleEngine(region))
-    return {
+    batch = BatchMatcher(
+        XARAdapter(XAREngine(region)), BatchConfig(window_s=0.0, max_batch=4)
+    )
+    yield {
         "XARAdapter": xar,
         "TShareAdapter": tshare,
         "FaultInjectingAdapter": faulty,
         "ResilientEngine": resilient,
         "OracleAdapter": oracle,
+        "BatchMatcher": batch,
     }
+    batch.close()
 
 
 def test_every_adapter_satisfies_the_protocol(adapters):
