@@ -21,7 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..discretization import DiscretizedRegion
 from ..exceptions import RideError, UnknownRideError, XARError
 from ..geo import GeoPoint
-from ..index import ClusterRideIndex, RideIndexEntry
+from ..index import ClusterRideIndex, FlatSearchIndex, RideIndexEntry
 from ..obs import DETOUR_RATIO_BUCKETS, MetricsRegistry, Tracer
 from ..roadnet import astar
 from .booking import BookingRecord, BookingRollback, book_ride
@@ -72,6 +72,7 @@ class XAREngine:
         ride_id_step: int = 1,
         metrics: Optional[MetricsRegistry] = None,
         metrics_labels: Optional[Dict[str, str]] = None,
+        use_flat_index: bool = True,
     ):
         self.region = region
         #: When True, ``create_ride`` and ``search`` raise
@@ -88,6 +89,14 @@ class XAREngine:
         #: ``shortest_path(a, b) -> (distance, node_path)``.
         self.router = router
         self.cluster_index = ClusterRideIndex(region.n_clusters)
+        #: Flat struct-of-arrays mirror of the cluster index + per-ride
+        #: budgets; when present, ``search`` runs the vectorized two-step
+        #: path over it (identical results to the legacy per-object scan —
+        #: ``use_flat_index=False`` keeps the legacy path for differential
+        #: comparison).  Maintained at every mutation seam below.
+        self.flat_index: Optional[FlatSearchIndex] = (
+            FlatSearchIndex(region.n_clusters) if use_flat_index else None
+        )
         self.rides: Dict[int, Ride] = {}
         self.completed_rides: Dict[int, Ride] = {}
         self.ride_entries: Dict[int, RideIndexEntry] = {}
@@ -209,10 +218,22 @@ class XAREngine:
     def _index_ride(self, ride: Ride) -> None:
         entry = build_ride_entry(self.region, ride)
         self.ride_entries[ride.ride_id] = entry
-        for cluster_id, info in entry.reachable.items():
-            self.cluster_index.add(cluster_id, ride.ride_id, info.eta_s)
+        # ``update`` (not ``add``): each reachable cluster appears once in
+        # the entry with its merged earliest ETA, so there is nothing left
+        # for add's earliest-wins rule to arbitrate — and if a stale stray
+        # row survived an earlier corruption, add would silently keep its
+        # outdated ETA where update replaces it with the recomputed one.
+        etas = {
+            cluster_id: info.eta_s for cluster_id, info in entry.reachable.items()
+        }
+        for cluster_id, eta_s in etas.items():
+            self.cluster_index.update(cluster_id, ride.ride_id, eta_s)
+        if self.flat_index is not None:
+            self.flat_index.reindex_ride(ride, entry, etas)
 
     def _unindex_ride(self, ride_id: int) -> None:
+        if self.flat_index is not None:
+            self.flat_index.drop_ride(ride_id)
         entry = self.ride_entries.pop(ride_id, None)
         if entry is None:
             return
@@ -226,6 +247,11 @@ class XAREngine:
             if ride is None:
                 raise UnknownRideError(ride_id)
             self._unindex_ride(ride_id)
+            # The entry-driven unindex removes only clusters the *old* entry
+            # named; rows left behind by a corrupted entry (ghosts) would
+            # otherwise survive every reindex — and the self-healing
+            # auditor's reindex-based repair would never converge.
+            self.cluster_index.purge_ride(ride_id)
             self._index_ride(ride)
             # Re-apply any progress the ride had already made: clusters
             # crossed before the booking stay obsolete.

@@ -53,6 +53,50 @@ class MatchOption:
         return self.walk_source_m + self.walk_destination_m
 
 
+def _build_match(
+    ride_id: int,
+    request_id: int,
+    pickup_cluster: int,
+    pickup_landmark: int,
+    walk_source_m: float,
+    dropoff_cluster: int,
+    dropoff_landmark: int,
+    walk_destination_m: float,
+    eta_pickup_s: float,
+    eta_dropoff_s: float,
+    detour_estimate_m: float,
+) -> MatchOption:
+    """Build a MatchOption ~3x faster than the dataclass constructor.
+
+    The frozen dataclass pays one guarded ``object.__setattr__`` per field;
+    the flat search path builds tens of these per search, so it fills the
+    instance dict directly instead.  Field set and semantics (eq/hash/repr)
+    are identical — kwargs go through the same names ``__init__`` takes.
+    """
+    match = object.__new__(MatchOption)
+    match.__dict__.update(
+        ride_id=ride_id,
+        request_id=request_id,
+        pickup_cluster=pickup_cluster,
+        pickup_landmark=pickup_landmark,
+        walk_source_m=walk_source_m,
+        dropoff_cluster=dropoff_cluster,
+        dropoff_landmark=dropoff_landmark,
+        walk_destination_m=walk_destination_m,
+        eta_pickup_s=eta_pickup_s,
+        eta_dropoff_s=eta_dropoff_s,
+        detour_estimate_m=detour_estimate_m,
+    )
+    return match
+
+
+#: Destination pass: probing one R1 ride's stored ETA (a by-ride bisect)
+#: costs roughly this many ETA-tail scan iterations; the intersection picks
+#: whichever strategy touches less.  Either strategy yields identical
+#: candidates — this is purely a work bound.
+_PROBE_COST_FACTOR = 2
+
+
 def search_rides(
     engine: "XAREngine",
     request: RideRequest,
@@ -64,14 +108,35 @@ def search_rides(
     Results are sorted by total walking distance (the simulation's booking
     policy picks the least-walk option, Section X-A2), ties broken by ETA.
 
+    Two implementations produce identical results: the flat struct-of-arrays
+    core (``engine.flat_index``, the default) and the legacy per-object scan
+    over the cluster index (``XAREngine(use_flat_index=False)``, kept for
+    differential comparison).
+
     ``span`` (a tracing span or the null span) times the five stages of the
-    search: **snap** (grid-cell resolution + walkable-cluster pruning for
-    both endpoints), **cluster_lookup** (ETA-window binary search on the
-    potential-ride lists; entered once per endpoint), **candidate_scan**
-    (best-walk reduction into the R1/R2 candidate maps), **feasibility_filter**
-    (R1 ∩ R2 plus seat/walk/order/detour validation) and **rank_merge**
-    (final ordering and top-k cut).
+    search — each entered **exactly once** per search: **snap** (grid-cell
+    resolution + walkable-cluster pruning for both endpoints),
+    **cluster_lookup** (ETA-window lookup on the source side's potential-ride
+    lists), **candidate_scan** (best-walk reduction into R1, then the
+    destination-side R1 intersection and reduction into R2),
+    **feasibility_filter** (seat/walk/order/detour validation) and
+    **rank_merge** (final ordering and top-k cut).
     """
+    flat = getattr(engine, "flat_index", None)
+    if flat is not None:
+        from ..index.flat_index import flat_search_rides
+
+        return flat_search_rides(engine, flat, request, k, span)
+    return _search_legacy(engine, request, k, span)
+
+
+def _search_legacy(
+    engine: "XAREngine",
+    request: RideRequest,
+    k: Optional[int],
+    span,
+) -> List[MatchOption]:
+    """The original per-object two-step search over ``ClusterRideIndex``."""
     region = engine.region
     index = engine.cluster_index
 
@@ -102,8 +167,10 @@ def search_rides(
             )
             for option in source_options
         ]
+
     # ride id -> best (walk, WalkOption, eta) among the source clusters.
     candidates_src: Dict[int, Tuple[float, WalkOption, float]] = {}
+    candidates_dst: Dict[int, Tuple[float, WalkOption, float]] = {}
     with span.stage("candidate_scan"):
         for option, potentials in source_lists:
             for potential in potentials:
@@ -114,38 +181,49 @@ def search_rides(
                         option,
                         potential.eta_s,
                     )
+        # Step 2: candidates near the destination.  The destination arrival
+        # is later than the departure window by the trip duration; we accept
+        # any ETA from window start onwards (drop-off has no hard deadline in
+        # the paper).  Only rides already in R1 can survive the intersection,
+        # so instead of scanning each destination cluster's entire ETA tail
+        # we take the cheaper of (a) probing every R1 ride's stored ETA and
+        # (b) the bounded tail scan — a hot cluster full of late-ETA rides no
+        # longer costs O(tail).
+        if candidates_src:
+            window_start = request.window_start_s
+            for option in destination_options:
+                cluster_id = option.cluster_id
+                tail = index.count_in_window(
+                    cluster_id, window_start, float("inf")
+                )
+                if tail > _PROBE_COST_FACTOR * len(candidates_src):
+                    for ride_id in candidates_src:
+                        eta = index.eta(cluster_id, ride_id)
+                        if eta is None or eta < window_start:
+                            continue
+                        best = candidates_dst.get(ride_id)
+                        if best is None or option.walk_m < best[0]:
+                            candidates_dst[ride_id] = (
+                                option.walk_m,
+                                option,
+                                eta,
+                            )
+                else:
+                    for potential in index.rides_in_window(
+                        cluster_id, window_start, float("inf")
+                    ):
+                        if potential.ride_id not in candidates_src:
+                            continue
+                        best = candidates_dst.get(potential.ride_id)
+                        if best is None or option.walk_m < best[0]:
+                            candidates_dst[potential.ride_id] = (
+                                option.walk_m,
+                                option,
+                                potential.eta_s,
+                            )
 
     if not candidates_src:
         return []
-
-    # Step 2: candidates near the destination.  The destination arrival is
-    # later than the departure window by the trip duration; we accept any ETA
-    # from window start onwards (drop-off has no hard deadline in the paper).
-    with span.stage("cluster_lookup"):
-        destination_lists = [
-            (
-                option,
-                list(
-                    index.rides_in_window(
-                        option.cluster_id, request.window_start_s, float("inf")
-                    )
-                ),
-            )
-            for option in destination_options
-        ]
-    candidates_dst: Dict[int, Tuple[float, WalkOption, float]] = {}
-    with span.stage("candidate_scan"):
-        for option, potentials in destination_lists:
-            for potential in potentials:
-                if potential.ride_id not in candidates_src:
-                    continue
-                best = candidates_dst.get(potential.ride_id)
-                if best is None or option.walk_m < best[0]:
-                    candidates_dst[potential.ride_id] = (
-                        option.walk_m,
-                        option,
-                        potential.eta_s,
-                    )
 
     # Intersection + final validity checks.
     with span.stage("feasibility_filter"):

@@ -69,6 +69,11 @@ def apply_obsolescence(engine: "XAREngine", ride_id: int, now_s: float) -> None:
         engine.cluster_index.remove(cluster_id, ride_id)
     # Step 3: crossed pass-through clusters leave the pass-through list.
     entry.drop_pass_through(crossed)
+    if getattr(engine, "flat_index", None) is not None:
+        # Mirror the shrink: orphaned clusters lose their row; surviving
+        # rows refresh their precomputed segment choice (the support set
+        # the choice depends on just changed).
+        engine.flat_index.refresh_supports(ride_id, entry)
 
 
 def track_all(engine: "XAREngine", now_s: float) -> int:
@@ -93,6 +98,8 @@ def _complete(engine: "XAREngine", ride: Ride) -> None:
     if entry is not None:
         for cluster_id in entry.reachable_ids():
             engine.cluster_index.remove(cluster_id, ride.ride_id)
+    if getattr(engine, "flat_index", None) is not None:
+        engine.flat_index.drop_ride(ride.ride_id)
     engine.rides.pop(ride.ride_id, None)
     # Drop the tracking watermark too — leaking it would grow unboundedly
     # over a long-running deployment and confuse later id reuse audits.

@@ -9,12 +9,14 @@ cluster, the reachable clusters within the detour limit.
 
 from .sorted_list import SortedKeyList
 from .cluster_index import ClusterRideIndex, PotentialRide
+from .flat_index import FlatSearchIndex
 from .ride_index import PassThrough, ReachableInfo, RideIndexEntry, SegmentMeta
 from .memory import deep_size_bytes
 
 __all__ = [
     "SortedKeyList",
     "ClusterRideIndex",
+    "FlatSearchIndex",
     "PotentialRide",
     "PassThrough",
     "ReachableInfo",

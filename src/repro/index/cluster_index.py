@@ -70,6 +70,28 @@ class ClusterRideIndex:
         lists.by_eta.add(entry)
         lists.by_ride.add(entry)
 
+    def update(self, cluster_id: int, ride_id: int, eta_s: float) -> None:
+        """Insert or *replace* ride's entry at a cluster, whatever the ETA.
+
+        :meth:`add` implements the paper's merge rule (earliest ETA wins),
+        which is correct when several pass-through clusters contribute
+        candidate ETAs for the same ride during one indexing pass.  It is
+        wrong for *re*-indexing: a booking splice shifts schedules later,
+        and keeping the stale earlier ETA pins the pre-booking schedule in
+        the index forever.  Reindex paths must use ``update`` so the stored
+        ETA always matches the recomputed schedule.
+        """
+        lists = self._lists[cluster_id]
+        existing = lists.by_ride.find_by_key(ride_id)
+        if existing is not None:
+            if eta_s == existing.eta_s:
+                return
+            lists.by_ride.remove(existing)
+            lists.by_eta.remove(existing)
+        entry = PotentialRide(ride_id=ride_id, eta_s=eta_s)
+        lists.by_eta.add(entry)
+        lists.by_ride.add(entry)
+
     def remove(self, cluster_id: int, ride_id: int) -> bool:
         """Remove ride's entry at a cluster; True if it existed."""
         lists = self._lists[cluster_id]
@@ -105,6 +127,14 @@ class ClusterRideIndex:
     ) -> Iterator[PotentialRide]:
         """Binary search on the ETA-sorted list (the paper's Step 1 lookup)."""
         return self._lists[cluster_id].by_eta.irange(start_s, end_s)
+
+    def count_in_window(
+        self, cluster_id: int, start_s: float, end_s: float
+    ) -> int:
+        """How many potential rides fall in the ETA window — two bisects,
+        no iteration.  Lets the search choose between scanning a window and
+        probing a candidate set without paying for the scan first."""
+        return self._lists[cluster_id].by_eta.count_in_range(start_s, end_s)
 
     def potential_count(self, cluster_id: int) -> int:
         return len(self._lists[cluster_id].by_ride)

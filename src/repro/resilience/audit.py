@@ -20,7 +20,9 @@ Invariants swept:
   (extra == *ghost* entry: a dead or re-routed ride still discoverable);
 * every reachable cluster keeps at least one supporting pass-through
   cluster that is still on the ride's pass-through list;
-* the cluster index's dual sort orders agree.
+* the cluster index's dual sort orders agree;
+* the flat search core (when enabled) strictly mirrors the cluster index
+  and the live rides' seat/detour budgets.
 
 The simulator runs the sweep on a cadence (``SimulatorConfig.audit_every_s``)
 and the CLI exposes it through ``xar simulate --audit-every``.
@@ -113,6 +115,18 @@ class InvariantAuditor:
             report.violations.append(
                 AuditViolation(kind="dual-list-divergence", detail=str(exc))
             )
+
+        # The flat search core must be a strict mirror of the cluster index
+        # and the live rides' seat/detour budgets.
+        if getattr(engine, "flat_index", None) is not None:
+            for ride_id, detail in engine.flat_index.divergences(engine):
+                report.violations.append(
+                    AuditViolation(
+                        kind="flat-index-divergence",
+                        detail=detail,
+                        ride_id=ride_id,
+                    )
+                )
 
         # ride_entries <-> rides, entry internals, entry -> cluster_index.
         for ride_id, entry in list(engine.ride_entries.items()):
@@ -245,13 +259,25 @@ class InvariantAuditor:
             if violation.kind == "entry-for-dead-ride":
                 engine.ride_entries.pop(violation.ride_id, None)
                 engine.cluster_index.purge_ride(violation.ride_id)
+                if getattr(engine, "flat_index", None) is not None:
+                    engine.flat_index.drop_ride(violation.ride_id)
                 actions += 1
             elif violation.kind == "ghost-index-entry":
                 if violation.ride_id not in engine.rides:
                     engine.cluster_index.purge_ride(violation.ride_id)
+                    if getattr(engine, "flat_index", None) is not None:
+                        engine.flat_index.drop_ride(violation.ride_id)
                     actions += 1
                 else:
                     reindex.add(violation.ride_id)
+            elif violation.kind == "flat-index-divergence":
+                if violation.ride_id is None:
+                    continue
+                if violation.ride_id in engine.rides:
+                    reindex.add(violation.ride_id)
+                elif getattr(engine, "flat_index", None) is not None:
+                    engine.flat_index.drop_ride(violation.ride_id)
+                    actions += 1
             elif violation.kind in (
                 "lost-index-entry",
                 "unsupported-reachable",

@@ -116,10 +116,17 @@ def restore_ride(engine: "XAREngine", snapshot: RideSnapshot) -> None:
         for cluster_id in current.reachable_ids():
             engine.cluster_index.remove(cluster_id, snapshot.ride_id)
     engine.cluster_index.purge_ride(snapshot.ride_id)
+    if getattr(engine, "flat_index", None) is not None:
+        engine.flat_index.drop_ride(snapshot.ride_id)
     if snapshot.entry is not None:
-        engine.ride_entries[snapshot.ride_id] = _copy_entry(snapshot.entry)
+        restored = _copy_entry(snapshot.entry)
+        engine.ride_entries[snapshot.ride_id] = restored
         for cluster_id, eta_s in snapshot.index_etas.items():
             engine.cluster_index.add(cluster_id, snapshot.ride_id, eta_s)
+        if getattr(engine, "flat_index", None) is not None:
+            # Replay the same snapshotted ETAs (seats/detour were restored
+            # above, so the budget columns come back verbatim too).
+            engine.flat_index.reindex_ride(ride, restored, snapshot.index_etas)
 
 
 def diff_ride(engine: "XAREngine", snapshot: RideSnapshot) -> List[str]:

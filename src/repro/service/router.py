@@ -100,6 +100,7 @@ class ShardRouter:
         fanout_radius_m: Optional[float] = None,
         resilient: bool = False,
         optimize_insertion: bool = False,
+        use_flat_index: bool = True,
         seed: int = 0,
         engine_factory: Optional[Callable[[int, int], XAREngine]] = None,
         metrics: Optional[MetricsRegistry] = None,
@@ -173,6 +174,7 @@ class ShardRouter:
         self._queue_depth = queue_depth
         self._resilient = resilient
         self._optimize_insertion = optimize_insertion
+        self._use_flat_index = use_flat_index
         self._engine_factory = engine_factory
         self._digest = region_digest(region) if durability is not None else ""
         self._failover_lock = threading.Lock()
@@ -218,6 +220,7 @@ class ShardRouter:
         return XAREngine(
             self.region,
             optimize_insertion=self._optimize_insertion,
+            use_flat_index=self._use_flat_index,
             ride_id_start=shard_id + 1,
             ride_id_step=self.n_shards,
             metrics=self.metrics,

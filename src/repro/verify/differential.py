@@ -55,9 +55,12 @@ from ..sim.adapters import XARAdapter
 from .oracle import OracleAdapter, OracleEngine
 
 #: Façade names the harness understands (``shardN`` for any N >= 1).
+#: ``xar`` runs the flat search core (the default engine); ``legacy`` pins
+#: the pre-flat per-object search path, so a run containing both is the
+#: old-vs-new search differential.
 FACADE_NAMES = (
-    "oracle", "xar", "shard1", "shard2", "shard4", "resilient", "durable",
-    "batch",
+    "oracle", "xar", "legacy", "shard1", "shard2", "shard4", "resilient",
+    "durable", "batch",
 )
 
 
@@ -343,13 +346,18 @@ class DurableFacade(Facade):
 def make_facade(
     name: str, region: DiscretizedRegion, seed: int = 0
 ) -> Facade:
-    """Build one façade by name: ``oracle | xar | shardN | resilient |
-    durable``."""
+    """Build one façade by name: ``oracle | xar | legacy | shardN |
+    resilient | durable``."""
     if name == "oracle":
         engine = OracleEngine(region)
         return Facade(name, OracleAdapter(engine))
     if name == "xar":
         engine = XAREngine(region)
+        return Facade(name, XARAdapter(engine), engines=[engine])
+    if name == "legacy":
+        # The pre-flat per-object search path, kept as a differential
+        # reference: result lists must equal the flat core's verbatim.
+        engine = XAREngine(region, use_flat_index=False)
         return Facade(name, XARAdapter(engine), engines=[engine])
     if name.startswith("shard"):
         n_shards = int(name[len("shard"):])

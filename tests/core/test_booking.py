@@ -100,6 +100,61 @@ class TestBookingEffects:
         # Segment metadata must match the post-splice segment structure.
         assert len(entry.segments) == ride.n_segments
 
+    def test_cluster_etas_match_recomputed_schedule_after_booking(
+        self, populated, city, rng
+    ):
+        """Regression: reindex must *replace* stored ETAs, not earliest-merge.
+
+        A booking splice shifts the ride's schedule later; with the old
+        ``add``-based reindex any cluster whose recomputed ETA moved later
+        silently kept the stale pre-booking arrival time.
+        """
+        _req, match, _rec = first_booking(populated, city, rng)
+        engine = populated
+        entry = engine.ride_entries[match.ride_id]
+        for cluster_id, info in entry.reachable.items():
+            stored = engine.cluster_index.eta(cluster_id, match.ride_id)
+            assert stored == info.eta_s, (
+                f"cluster {cluster_id}: stored ETA {stored} != recomputed "
+                f"{info.eta_s} after booking"
+            )
+
+    def test_reindex_replaces_stale_earlier_eta(self, populated, city, rng):
+        """Directly pin the update-vs-add semantics through reindex_ride."""
+        engine = populated
+        ride_id = next(iter(engine.rides))
+        entry = engine.ride_entries[ride_id]
+        cluster_id = next(iter(entry.reachable))
+        true_eta = entry.reachable[cluster_id].eta_s
+        # Corrupt the stored ETA to something much earlier; a reindex must
+        # restore the recomputed value even though it is *later*.
+        engine.cluster_index.remove(cluster_id, ride_id)
+        engine.cluster_index.add(cluster_id, ride_id, true_eta - 9999.0)
+        engine.reindex_ride(ride_id)
+        assert engine.cluster_index.eta(cluster_id, ride_id) == \
+            engine.ride_entries[ride_id].reachable[cluster_id].eta_s
+
+    def test_reindex_purges_stray_ghost_rows(self, populated, city, rng):
+        """A cluster row the entry does not name (a ghost) must not survive
+        reindexing — otherwise the auditor's reindex-based heal never
+        converges."""
+        engine = populated
+        ghost_cluster = None
+        for ride_id, entry in engine.ride_entries.items():
+            for c in range(engine.region.n_clusters):
+                if c not in entry.reachable:
+                    ghost_cluster = c
+                    break
+            if ghost_cluster is not None:
+                break
+        if ghost_cluster is None:
+            pytest.skip("every ride reaches every cluster in this region")
+        engine.cluster_index.add(ghost_cluster, ride_id, 1.0)
+        engine.reindex_ride(ride_id)
+        fresh = engine.ride_entries[ride_id]
+        if ghost_cluster not in fresh.reachable:
+            assert engine.cluster_index.eta(ghost_cluster, ride_id) is None
+
 
 class TestBookingFailures:
     def test_no_seats_rejected(self, populated, city, rng):

@@ -1,0 +1,179 @@
+"""Pinned stage semantics of the search path.
+
+Two regressions live here:
+
+* every search enters each of the five stages (snap, cluster_lookup,
+  candidate_scan, feasibility_filter, rank_merge) **exactly once** — the
+  tracer used to see cluster_lookup/candidate_scan twice per search (once
+  per endpoint), which doubled their histogram counts and made per-stage
+  means meaningless (see docs/observability.md);
+* the destination pass is **work-bounded**: a destination cluster whose
+  potential-ride list has a huge late-ETA tail is intersected by probing
+  the (small) R1 set instead of scanning the tail, at identical results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import XAREngine
+from repro.core.search import _PROBE_COST_FACTOR
+from repro.obs import MetricsRegistry
+from repro.obs.trace import STAGE_DURATION
+
+SEARCH_STAGES = (
+    "snap",
+    "cluster_lookup",
+    "candidate_scan",
+    "feasibility_filter",
+    "rank_merge",
+)
+
+
+def _populate(engine, city, rng, n_rides=40):
+    nodes = list(city.nodes())
+    for _ in range(n_rides):
+        a, b = rng.sample(nodes, 2)
+        try:
+            engine.create_ride(
+                city.position(a), city.position(b), departure_s=rng.uniform(0, 1800)
+            )
+        except Exception:
+            continue
+    return engine
+
+
+def _matching_requests(engine, city, rng, n):
+    """``n`` requests that each produce at least one match."""
+    nodes = list(city.nodes())
+    out = []
+    for _ in range(400):
+        a, b = rng.sample(nodes, 2)
+        request = engine.make_request(
+            city.position(a), city.position(b), 0.0, 3600.0
+        )
+        if engine.search(request):
+            out.append(request)
+            if len(out) == n:
+                return out
+    raise AssertionError("could not find enough matching requests")
+
+
+class TestStagesEnteredExactlyOnce:
+    @pytest.mark.parametrize("use_flat", [True, False], ids=["flat", "legacy"])
+    def test_five_searches_count_five_per_stage(self, region, city, rng, use_flat):
+        warm = _populate(XAREngine(region, use_flat_index=use_flat), city, rng)
+        requests = _matching_requests(warm, city, rng, 5)
+
+        registry = MetricsRegistry()
+        engine = XAREngine(region, metrics=registry, use_flat_index=use_flat)
+        for ride in warm.rides.values():
+            engine.create_ride(
+                ride.source_point, ride.destination_point, ride.departure_s
+            )
+        for request in requests:
+            assert engine.search(request, k=10)
+
+        family = registry.get(STAGE_DURATION)
+        for stage in SEARCH_STAGES:
+            count = family.labels(op="search", stage=stage).count
+            assert count == 5, (
+                f"stage {stage!r} entered {count} times over 5 searches "
+                f"(must be exactly once per search)"
+            )
+
+    @pytest.mark.parametrize("use_flat", [True, False], ids=["flat", "legacy"])
+    def test_empty_search_never_doubles_a_stage(self, region, city, rng, use_flat):
+        registry = MetricsRegistry()
+        engine = XAREngine(region, metrics=registry, use_flat_index=use_flat)
+        # No rides: the search early-returns after snap/cluster_lookup.
+        nodes = list(city.nodes())
+        a, b = rng.sample(nodes, 2)
+        request = engine.make_request(city.position(a), city.position(b), 0.0, 600.0)
+        assert engine.search(request) == []
+        family = registry.get(STAGE_DURATION)
+        for stage in SEARCH_STAGES:
+            child = family.labels(op="search", stage=stage)
+            assert child.count <= 1
+
+
+class _CountingIndex:
+    """Delegating wrapper that counts destination-side tail iterations."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.dst_scanned = 0
+
+    def rides_in_window(self, cluster_id, start_s, end_s):
+        for potential in self._inner.rides_in_window(cluster_id, start_s, end_s):
+            if end_s == float("inf"):
+                self.dst_scanned += 1
+            yield potential
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestDestinationPassWorkBound:
+    def test_late_eta_tail_does_not_dominate(self, region, city, rng):
+        """A destination cluster stuffed with late-ETA ghosts costs probes,
+        not a tail scan — and the results are byte-identical either way."""
+        engine = _populate(XAREngine(region, use_flat_index=False), city, rng)
+        request = _matching_requests(engine, city, rng, 1)[0]
+        before = engine.search(request)
+        assert before
+
+        # Stuff every destination-side walkable cluster with ghost rides
+        # whose ETAs sit far past the window start — exactly the late-ETA
+        # tail that used to be scanned end to end.
+        destination_options = region.walkable_clusters(
+            request.destination, request.walk_threshold_m
+        )
+        n_ghosts = 400
+        for option in destination_options:
+            for i in range(n_ghosts):
+                engine.cluster_index.add(
+                    option.cluster_id, 1_000_000 + i, request.window_start_s + 9e5 + i
+                )
+
+        counting = _CountingIndex(engine.cluster_index)
+        engine.cluster_index = counting
+        try:
+            after = engine.search(request)
+        finally:
+            engine.cluster_index = counting._inner
+
+        # Ghosts are not in R1, so the intersection is unchanged.
+        assert after == before
+        # Work bound: the probe strategy touches O(|R1|) entries, never the
+        # 400-deep tail.  |R1| is bounded by the live ride count.
+        bound = _PROBE_COST_FACTOR * len(engine.rides) * len(destination_options)
+        assert counting.dst_scanned <= bound
+        assert counting.dst_scanned < n_ghosts
+
+    def test_results_match_naive_full_scan_intersection(self, region, city, rng):
+        """The probe-vs-scan choice is invisible: search results stay inside
+        the naive full-scan R1 ∩ R2 computed straight off the index."""
+        engine = _populate(XAREngine(region, use_flat_index=False), city, rng)
+        request = _matching_requests(engine, city, rng, 1)[0]
+
+        r1 = set()
+        for option in region.walkable_clusters(
+            request.source, request.walk_threshold_m
+        ):
+            for potential in engine.cluster_index.rides_in_window(
+                option.cluster_id, request.window_start_s, request.window_end_s
+            ):
+                r1.add(potential.ride_id)
+        r2 = set()
+        for option in region.walkable_clusters(
+            request.destination, request.walk_threshold_m
+        ):
+            for potential in engine.cluster_index.rides_in_window(
+                option.cluster_id, request.window_start_s, float("inf")
+            ):
+                r2.add(potential.ride_id)
+
+        matches = engine.search(request)
+        assert matches
+        assert {m.ride_id for m in matches} <= (r1 & r2)

@@ -24,6 +24,39 @@ class TestAddRemove:
         assert index.eta(0, 7) == 50.0
         assert index.potential_count(0) == 1  # never duplicated
 
+    def test_update_replaces_regardless_of_direction(self, index):
+        # The reindex path must never keep a stale earlier ETA: a booking
+        # splice shifts schedules *later*, and `add`'s earliest-wins merge
+        # rule would silently pin the pre-booking arrival time.
+        index.add(0, 7, 100.0)
+        index.update(0, 7, 250.0)  # later: replaced anyway
+        assert index.eta(0, 7) == 250.0
+        index.update(0, 7, 40.0)  # earlier: replaced too
+        assert index.eta(0, 7) == 40.0
+        assert index.potential_count(0) == 1
+        index.check_consistency()
+
+    def test_update_inserts_when_absent(self, index):
+        index.update(3, 9, 77.0)
+        assert index.eta(3, 9) == 77.0
+        assert [p.ride_id for p in index.rides_in_window(3, 0.0, 100.0)] == [9]
+
+    def test_update_moves_entry_in_eta_order(self, index):
+        index.add(0, 1, 10.0)
+        index.add(0, 2, 20.0)
+        index.update(0, 1, 30.0)
+        assert [p.ride_id for p in index.rides_in_window(0, 0.0, 100.0)] == [2, 1]
+        index.check_consistency()
+
+    def test_count_in_window_matches_scan(self, index):
+        for ride, eta in [(1, 10.0), (2, 20.0), (3, 30.0), (4, 30.0)]:
+            index.add(2, ride, eta)
+        for lo, hi in [(0.0, 5.0), (10.0, 20.0), (25.0, float("inf")),
+                       (0.0, float("inf")), (31.0, float("inf"))]:
+            assert index.count_in_window(2, lo, hi) == len(
+                list(index.rides_in_window(2, lo, hi))
+            )
+
     def test_remove(self, index):
         index.add(1, 3, 10.0)
         assert index.remove(1, 3) is True

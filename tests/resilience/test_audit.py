@@ -76,6 +76,33 @@ class TestDamageDetectionAndHealing:
         auditor.heal(report)
         assert auditor.audit().ok
 
+    def test_stray_ghost_in_unreachable_cluster_heals_in_one_pass(self, loaded):
+        """Regression: heal's reindex must purge rows the rebuilt entry does
+        not name.  Before reindex_ride purged strays, a ghost row in a
+        cluster the ride cannot actually reach survived every heal (reindex
+        only removed entry-listed clusters, and earliest-wins `add` kept the
+        stray) — the auditor reported the same ghost forever."""
+        stray = None
+        for ride_id, entry in loaded.ride_entries.items():
+            for c in range(loaded.region.n_clusters):
+                if c not in entry.reachable:
+                    stray = c
+                    break
+            if stray is not None:
+                break
+        if stray is None:
+            pytest.skip("every ride reaches every cluster in this region")
+        loaded.cluster_index.add(stray, ride_id, 0.5)
+
+        auditor = InvariantAuditor(loaded)
+        report = auditor.audit()
+        assert report.by_kind().get("ghost-index-entry", 0) >= 1
+        auditor.heal(report)
+        after = auditor.audit()
+        assert after.ok, after.describe()
+        if stray not in loaded.ride_entries[ride_id].reachable:
+            assert loaded.cluster_index.eta(stray, ride_id) is None
+
     def test_entry_for_dead_ride_purged(self, loaded):
         ride_id, _entry = _indexed_ride(loaded)
         # The ride dies but its index footprint survives (a crashed removal).
