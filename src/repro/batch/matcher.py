@@ -128,10 +128,12 @@ class BatchMatcher:
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ):
         return self.inner.create(
             source, destination, depart_s,
             seats=seats, detour_limit_m=detour_limit_m,
+            shift_end_s=shift_end_s,
         )
 
     def search(self, request, k: Optional[int] = None) -> List[Any]:
@@ -166,6 +168,9 @@ class BatchMatcher:
 
     def cancel(self, ride) -> None:
         self.inner.cancel(ride)
+
+    def cancel_booking(self, request_id: int, ride_id: int):
+        return self.inner.cancel_booking(request_id, ride_id)
 
     def active_rides(self):
         return self.inner.active_rides()

@@ -17,6 +17,10 @@ Commands mirror a deployment's lifecycle:
 * ``modes``         the four-transport-mode comparison (Fig. 6),
 * ``fuzz``          differential-fuzz a seeded op sequence across engine
   façades against the brute-force oracle (non-zero exit on divergence),
+* ``scenario``      run, sweep or list the declarative scenario matrix
+  (``run`` executes one pinned name or a spec file, ``sweep`` executes
+  the whole pinned grid and writes per-scenario reports, ``list`` shows
+  what is pinned),
 * ``recover``       rebuild an engine from a write-ahead log (+ optional
   checkpoint) and report what replay did,
 * ``wal-dump``      human-readable dump of a write-ahead log, torn-tail
@@ -544,6 +548,102 @@ def _fuzz(args: argparse.Namespace) -> int:
     return 1
 
 
+def _scenario_load(args: argparse.Namespace):
+    """Resolve ``run``'s target: a pinned name or a spec file."""
+    from .scenarios import ScenarioSpec, pinned_scenario
+
+    if args.spec:
+        return ScenarioSpec.load(args.spec)
+    if not args.name:
+        raise SystemExit("scenario run: give a pinned NAME or --spec FILE")
+    return pinned_scenario(args.name)
+
+
+def _scenario_run(args: argparse.Namespace) -> int:
+    """Execute one scenario and print (optionally save) its report."""
+    from .scenarios import run_scenario
+
+    spec = _scenario_load(args)
+    report = run_scenario(spec)
+    # With --canonical, stdout carries only the deterministic JSON (so two
+    # runs can be byte-compared); the human-readable report moves to stderr.
+    print(report.describe(), file=sys.stderr if args.canonical else sys.stdout)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(include_timing=True), handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote report -> {args.out}")
+    if args.canonical:
+        sys.stdout.write(report.canonical_json())
+    return 0 if report.passed else 1
+
+
+def _scenario_sweep(args: argparse.Namespace) -> int:
+    """Run every pinned scenario; non-zero exit names each red spec+seed."""
+    from .scenarios import pinned_names, pinned_scenario, run_scenario
+
+    names = ([name.strip() for name in args.only.split(",") if name.strip()]
+             if args.only else pinned_names())
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+    failures = []
+    for name in names:
+        spec = pinned_scenario(name)
+        t0 = time.perf_counter()
+        report = run_scenario(spec)
+        elapsed = time.perf_counter() - t0
+        status = "PASS" if report.passed else "FAIL"
+        print(f"{status}  {name:<24} facade={spec.facade:<9} "
+              f"seed={spec.seed:<3} booked={report.counts['booked']:<4} "
+              f"pool={report.counts['max_pool']} ({elapsed:.1f}s)")
+        if not report.passed:
+            failures.append((name, spec.seed))
+            for entry in report.assertions:
+                if not entry["ok"]:
+                    print(f"      {entry['name']}: {entry['detail']}",
+                          file=sys.stderr)
+        if args.out_dir:
+            path = os.path.join(args.out_dir, f"{name}.json")
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(include_timing=True), handle,
+                          indent=2, sort_keys=True)
+                handle.write("\n")
+    if failures:
+        detail = ", ".join(f"{name} (seed {seed})" for name, seed in failures)
+        print(f"scenario sweep FAILED: {detail}", file=sys.stderr)
+        print("replay one locally with: "
+              f"xar scenario run {failures[0][0]}", file=sys.stderr)
+        return 1
+    print(f"scenario sweep: {len(names)} scenario(s) green")
+    return 0
+
+
+def _scenario_list(args: argparse.Namespace) -> int:
+    """Print the pinned matrix, one row per scenario."""
+    from .scenarios import pinned_names, pinned_scenario
+
+    print(f"{'name':<24} {'facade':<9} {'seed':<5} {'city':<18} "
+          f"{'requests':<9} overlays")
+    for name in pinned_names():
+        spec = pinned_scenario(name)
+        city = (f"{spec.city.kind} {spec.city.avenues}x{spec.city.streets}")
+        overlays = []
+        if spec.demand.surge:
+            overlays.append("surge")
+        if spec.demand.cancel_storm:
+            overlays.append("storm")
+        if spec.faults.policies:
+            overlays.append("faults")
+        if spec.faults.crash_every:
+            overlays.append("crashes")
+        if spec.supply.shift_length_s:
+            overlays.append("shifts")
+        print(f"{name:<24} {spec.facade:<9} {spec.seed:<5} {city:<18} "
+              f"{spec.demand.requests:<9} {','.join(overlays) or '-'}")
+    return 0
+
+
 def _recover(args: argparse.Namespace) -> int:
     """Rebuild an engine from a WAL (+ optional checkpoint) and report."""
     from .resilience.audit import InvariantAuditor
@@ -899,6 +999,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--poi-seed", type=int, default=0,
                    help="POI seed for the synthetic region")
     p.set_defaults(func=_fuzz)
+
+    p = sub.add_parser(
+        "scenario",
+        help="run, sweep or list the declarative scenario matrix",
+    )
+    scenario_sub = p.add_subparsers(dest="scenario_command", required=True)
+
+    sp = scenario_sub.add_parser(
+        "run", help="execute one scenario (pinned name or spec file)"
+    )
+    sp.add_argument("name", nargs="?",
+                    help="pinned scenario name (see 'scenario list')")
+    sp.add_argument("--spec", help="JSON/TOML scenario spec file to run "
+                                   "instead of a pinned name")
+    sp.add_argument("--out", help="write the full report (timing included) "
+                                  "as JSON to this path")
+    sp.add_argument("--canonical", action="store_true",
+                    help="print the canonical (deterministic) report JSON "
+                         "to stdout — byte-identical for the same spec+seed")
+    sp.set_defaults(func=_scenario_run)
+
+    sp = scenario_sub.add_parser(
+        "sweep", help="run every pinned scenario; red exits non-zero and "
+                      "names each failing spec+seed"
+    )
+    sp.add_argument("--out-dir", dest="out_dir",
+                    help="write one <name>.json report per scenario here")
+    sp.add_argument("--only", help="comma-separated subset of pinned names")
+    sp.set_defaults(func=_scenario_sweep)
+
+    sp = scenario_sub.add_parser("list", help="show the pinned matrix")
+    sp.set_defaults(func=_scenario_list)
 
     p = sub.add_parser(
         "recover",

@@ -7,16 +7,17 @@ defining property that **search never computes a shortest path** — all
 spatio-temporal reasoning happens at cluster level within the ε tolerance.
 """
 
-from .ride import Ride, RideStatus, ViaPoint
+from .ride import PassengerRecord, Ride, RideStatus, ViaPoint
 from .request import RideRequest
 from .search import MatchOption
-from .booking import BookingRecord, BookingRollback
+from .booking import BookingRecord, BookingRollback, CancellationRecord
 from .engine import XAREngine
 from .validation import EngineInvariantError, validate_engine
 
 __all__ = [
     "EngineInvariantError",
     "validate_engine",
+    "PassengerRecord",
     "Ride",
     "RideStatus",
     "ViaPoint",
@@ -24,5 +25,6 @@ __all__ = [
     "MatchOption",
     "BookingRecord",
     "BookingRollback",
+    "CancellationRecord",
     "XAREngine",
 ]

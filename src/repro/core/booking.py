@@ -30,7 +30,7 @@ from ..index import PassThrough
 from ..obs.trace import NULL_SPAN
 from ..roadnet import dijkstra_path
 from .request import RideRequest
-from .ride import Ride, ViaPoint
+from .ride import PassengerRecord, Ride, ViaPoint
 from .search import MatchOption, _splice_estimate
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -79,6 +79,21 @@ class BookingRollback:
     reason: str
 
 
+@dataclass(frozen=True)
+class CancellationRecord:
+    """The persisted outcome of a successful booking cancellation."""
+
+    request_id: int
+    ride_id: int
+    #: Route metres the un-splice removed (old length − new length).
+    route_delta_m: float
+    #: Detour budget returned to the ride by the cancellation.
+    detour_restored_m: float
+    #: Shortest-path computations performed (<= 2: one per junction where
+    #: the cancelled passenger's via-points sat).
+    shortest_paths_computed: int
+
+
 def book_ride(
     engine: "XAREngine",
     request: RideRequest,
@@ -93,6 +108,10 @@ def book_ride(
     the **snapshot** stage is timed by the caller, ``XAREngine.book``.
     """
     ride = engine.rides.get(match.ride_id)
+    if ride is not None and ride.retired:
+        raise BookingError(
+            f"ride {match.ride_id} retired at shift end and takes no bookings"
+        )
     entry = engine.ride_entries.get(match.ride_id)
     if ride is None or entry is None:
         raise BookingError(f"ride {match.ride_id} is no longer in the system")
@@ -222,8 +241,29 @@ def book_ride(
             raise BookingError(
                 f"ride {ride.ride_id} ran out of seats while booking was in flight"
             )
+
+        # Per-passenger budgets: the splice may stretch the onboard span of
+        # already-booked passengers; none may exceed their declared budget.
+        for record_existing in ride.passengers.values():
+            consumed = ride.passenger_consumed_m(record_existing.request_id)
+            if (
+                record_existing.max_detour_m is not None
+                and consumed > record_existing.max_detour_m
+            ):
+                ride.replace_route(route, vias)
+                raise BookingError(
+                    f"splice would stretch passenger {record_existing.request_id} "
+                    f"by {consumed:.0f} m, over their {record_existing.max_detour_m:.0f} m "
+                    "personal detour budget"
+                )
+
         ride.consume_seat()
         ride.consume_detour(actual_detour)
+        ride.passengers[request.request_id] = PassengerRecord(
+            request_id=request.request_id,
+            max_detour_m=getattr(request, "max_detour_m", None),
+            baseline_onboard_m=ride.onboard_span_m(request.request_id),
+        )
     with span.stage("reindex"):
         engine.reindex_ride(ride.ride_id)
 
@@ -241,6 +281,127 @@ def book_ride(
         shortest_paths_computed=sp_count,
     )
     engine.bookings.append(record)
+    return record
+
+
+def cancel_booking_ride(
+    engine: "XAREngine",
+    request_id: int,
+    ride_id: int,
+    span=NULL_SPAN,
+) -> CancellationRecord:
+    """Cancel one passenger's booking: un-splice their via-points, restore
+    the seat and the detour budget exactly, and re-index the ride.
+
+    Like booking, the operation is shortest-path bounded: every segment
+    between consecutive via-points is itself a shortest path (the initial
+    route is one, spliced pieces are, and verbatim-copied segments are
+    subpaths of shortest paths), so removing a passenger's two via-points
+    needs at most **2** new shortest-path computations — one per junction
+    where a removed via-point sat (1 when pickup and drop-off were adjacent
+    via-points, 0 when both collapse onto surviving via nodes).
+    """
+    ride = engine.rides.get(ride_id)
+    if ride is None:
+        raise BookingError(f"ride {ride_id} is no longer in the system")
+    booked = sum(
+        1 for b in engine.bookings
+        if b.request_id == request_id and b.ride_id == ride_id
+    )
+    cancelled = sum(
+        1 for c in engine.cancellations
+        if c.request_id == request_id and c.ride_id == ride_id
+    )
+    if booked <= cancelled:
+        raise BookingError(
+            f"request {request_id} holds no live booking on ride {ride_id}"
+        )
+
+    with span.stage("unsplice"):
+        old_route = ride.route
+        old_vias = list(ride.via_points)
+        old_length = ride.length_m
+        old_budget = ride.detour_limit_m
+
+        kept: List[Tuple[int, ViaPoint]] = []
+        removed = 0
+        for position, via in enumerate(old_vias):
+            if via.request_id == request_id and via.label in ("pickup", "dropoff"):
+                removed += 1
+            else:
+                kept.append((position, via))
+        if removed != 2:
+            raise BookingError(
+                f"ride {ride_id} carries {removed} via-points for request "
+                f"{request_id}, expected a pickup/dropoff pair"
+            )
+
+        network = engine.region.network
+        sp_count = 0
+
+        def shortest(a: int, b: int) -> List[int]:
+            nonlocal sp_count
+            if a == b:
+                return [a]
+            sp_count += 1
+            if engine.router is not None:
+                _dist, path = engine.router.shortest_path(a, b)
+            else:
+                _dist, path = dijkstra_path(network, a, b)
+            return path
+
+        first = kept[0][1]
+        new_route: List[int] = [first.node]
+        new_vias: List[ViaPoint] = [
+            ViaPoint(node=first.node, route_index=0, label=first.label,
+                     request_id=first.request_id)
+        ]
+        for (pos_a, via_a), (pos_b, via_b) in zip(kept, kept[1:]):
+            if pos_b == pos_a + 1:
+                # No via-point was removed between these two: the old segment
+                # survives verbatim (shortest-path free).
+                piece = old_route[via_a.route_index:via_b.route_index + 1]
+            else:
+                # A removed via-point sat here; re-route the junction.  The
+                # old adjacent segments were shortest paths, so one SP between
+                # the surviving endpoints restores the invariant.
+                piece = shortest(via_a.node, via_b.node)
+            new_route.extend(piece[1:])
+            new_vias.append(
+                ViaPoint(node=via_b.node, route_index=len(new_route) - 1,
+                         label=via_b.label, request_id=via_b.request_id)
+            )
+
+        if sp_count > 2:
+            raise BookingError(
+                f"internal invariant broken: {sp_count} shortest paths "
+                "(cancellation is bounded at 2)"
+            )
+
+        ride.replace_route(new_route, new_vias)
+        ride.release_seat()
+        # Exact budget restore: recompute the remaining budget from the
+        # declared initial limit and the detour still materialised in the
+        # route, instead of adding back a delta (consume_detour clamps at
+        # zero, so deltas can lose information).
+        ride.detour_limit_m = max(
+            0.0,
+            ride.detour_limit_initial_m
+            - max(0.0, ride.length_m - ride.base_length_m),
+        )
+        ride.passengers.pop(request_id, None)
+        ride.progressed_m = min(ride.progressed_m, ride.length_m)
+    with span.stage("reindex"):
+        engine.reindex_ride(ride.ride_id)
+
+    record = CancellationRecord(
+        request_id=request_id,
+        ride_id=ride_id,
+        route_delta_m=max(0.0, old_length - ride.length_m),
+        detour_restored_m=max(0.0, ride.detour_limit_m - old_budget),
+        shortest_paths_computed=sp_count,
+    )
+    engine.cancellations.append(record)
     return record
 
 

@@ -24,7 +24,13 @@ from ..geo import GeoPoint
 from ..index import ClusterRideIndex, FlatSearchIndex, RideIndexEntry
 from ..obs import DETOUR_RATIO_BUCKETS, MetricsRegistry, Tracer
 from ..roadnet import astar
-from .booking import BookingRecord, BookingRollback, book_ride
+from .booking import (
+    BookingRecord,
+    BookingRollback,
+    CancellationRecord,
+    book_ride,
+    cancel_booking_ride,
+)
 from .reachability import build_ride_entry
 from .request import RideRequest
 from .ride import Ride, RideStatus
@@ -102,6 +108,7 @@ class XAREngine:
         self.ride_entries: Dict[int, RideIndexEntry] = {}
         self.bookings: List[BookingRecord] = []
         self.rollbacks: List[BookingRollback] = []
+        self.cancellations: List[CancellationRecord] = []
         self.tracked_to: Dict[int, float] = {}
         #: Additive tolerance on the detour budget at booking time; defaults
         #: to the theoretical worst case 4ε (ε = 4δ, Theorem 6 + Section V).
@@ -172,6 +179,7 @@ class XAREngine:
         seats: Optional[int] = None,
         route: Optional[Sequence[int]] = None,
         driver_id: Optional[int] = None,
+        shift_end_s: Optional[float] = None,
     ) -> Ride:
         """Offer a new ride; routes via shortest path unless ``route`` given."""
         config = self.region.config
@@ -206,6 +214,7 @@ class XAREngine:
                 source_point=source,
                 destination_point=destination,
                 driver_id=driver_id,
+                shift_end_s=shift_end_s,
             )
             with self.lock:
                 with span.stage("index"):
@@ -216,6 +225,10 @@ class XAREngine:
             span.finish()
 
     def _index_ride(self, ride: Ride) -> None:
+        if ride.retired:
+            # A retired ride keeps draining its passengers but never
+            # re-enters the search index (shift-end semantics).
+            return
         entry = build_ride_entry(self.region, ride)
         self.ride_entries[ride.ride_id] = entry
         # ``update`` (not ``add``): each reachable cluster appears once in
@@ -393,6 +406,33 @@ class XAREngine:
                             reason=str(exc),
                         )
                     )
+                    raise
+        finally:
+            span.finish()
+
+    def cancel_booking(self, request_id: int, ride_id: int) -> CancellationRecord:
+        """Cancel one passenger's booking — transactionally.
+
+        The inverse of :meth:`book`: the passenger's via-points are
+        un-spliced (≤ 2 shortest paths — every inter-via segment is itself a
+        shortest path, so only the junctions where the removed via-points
+        sat need re-routing), the seat is released, and the ride's detour
+        budget is restored exactly from its declared initial limit.  Any
+        :class:`~repro.exceptions.XARError` mid-way restores the pre-call
+        snapshot verbatim, so a failed cancellation is a no-op.
+        """
+        from ..resilience.snapshot import restore_ride, snapshot_ride
+
+        span = self.tracer.span("cancel_booking")
+        try:
+            with self.lock:
+                with span.stage("snapshot"):
+                    snapshot = snapshot_ride(self, ride_id)
+                try:
+                    return cancel_booking_ride(self, request_id, ride_id, span=span)
+                except XARError:
+                    if snapshot is not None:
+                        restore_ride(self, snapshot)
                     raise
         finally:
             span.finish()

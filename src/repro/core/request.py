@@ -7,6 +7,7 @@ departure time window, and a walking threshold.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..exceptions import RequestError
 from ..geo import GeoPoint
@@ -22,6 +23,10 @@ class RideRequest:
     window_start_s: float
     window_end_s: float
     walk_threshold_m: float
+    #: Optional per-passenger detour budget: once booked, later splices may
+    #: not stretch this passenger's onboard span by more than this many
+    #: metres beyond what it was at their own booking commit.
+    max_detour_m: Optional[float] = None
 
     def __post_init__(self):
         if self.window_end_s < self.window_start_s:
@@ -33,6 +38,11 @@ class RideRequest:
             raise RequestError(
                 f"request {self.request_id}: negative walk threshold "
                 f"{self.walk_threshold_m}"
+            )
+        if self.max_detour_m is not None and self.max_detour_m < 0:
+            raise RequestError(
+                f"request {self.request_id}: negative per-passenger detour "
+                f"budget {self.max_detour_m}"
             )
         if self.source == self.destination:
             raise RequestError(

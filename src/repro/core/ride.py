@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 from bisect import bisect_right
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import RideError
 from ..geo import GeoPoint
@@ -43,6 +43,21 @@ class ViaPoint:
     request_id: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class PassengerRecord:
+    """Per-passenger pooling state (high-capacity pooling support).
+
+    ``baseline_onboard_m`` is the onboard span (pickup via → dropoff via
+    route distance) the passenger was promised at their own booking commit;
+    later splices may stretch it by at most ``max_detour_m`` (``None`` means
+    unbounded — the ride-level budget is then the only constraint).
+    """
+
+    request_id: int
+    max_detour_m: Optional[float]
+    baseline_onboard_m: float
+
+
 class Ride:
     """A mutable ride offer with its live spatio-temporal state."""
 
@@ -57,6 +72,7 @@ class Ride:
         source_point: Optional[GeoPoint] = None,
         destination_point: Optional[GeoPoint] = None,
         driver_id: Optional[int] = None,
+        shift_end_s: Optional[float] = None,
     ):
         if len(route) < 2:
             raise RideError(f"ride {ride_id}: route must have >= 2 nodes")
@@ -68,6 +84,9 @@ class Ride:
         self.network = network
         self.departure_s = departure_s
         self.detour_limit_m = detour_limit_m
+        #: Detour budget as declared at creation; with ``base_length_m`` this
+        #: recovers the exact remaining budget after a booking is cancelled.
+        self.detour_limit_initial_m = detour_limit_m
         self.seats_total = seats
         self.seats_available = seats
         self.status = RideStatus.PLANNED
@@ -75,6 +94,15 @@ class Ride:
         self.destination_point = destination_point or network.position(route[-1])
         #: User id of the offering driver (social-ranking support); optional.
         self.driver_id = driver_id
+        #: Driver shift end (fleet dynamics): once tracking passes this time
+        #: the ride stops accepting bookings and leaves the search index, but
+        #: keeps driving until arrival so booked passengers are never
+        #: stranded.  ``None`` — no shift limit.
+        self.shift_end_s = shift_end_s
+        #: True once the shift-end retirement has fired.
+        self.retired = False
+        #: Booked passengers keyed by request id (per-passenger budgets).
+        self.passengers: Dict[int, PassengerRecord] = {}
         #: Route offset (metres) the ride has verifiably progressed past;
         #: maintained by tracking.
         self.progressed_m = 0.0
@@ -206,12 +234,51 @@ class Ride:
         self.via_points = list(via_points)
 
     # ------------------------------------------------------------------
+    # Per-passenger accounting
+    # ------------------------------------------------------------------
+    def passenger_vias(self, request_id: int) -> Tuple[ViaPoint, ViaPoint]:
+        """The (pickup, dropoff) via-points of a booked passenger."""
+        pickup = dropoff = None
+        for via in self.via_points:
+            if via.request_id != request_id:
+                continue
+            if via.label == "pickup":
+                pickup = via
+            elif via.label == "dropoff":
+                dropoff = via
+        if pickup is None or dropoff is None:
+            raise RideError(
+                f"ride {self.ride_id}: request {request_id} has no "
+                f"pickup/dropoff via-points"
+            )
+        return pickup, dropoff
+
+    def onboard_span_m(self, request_id: int) -> float:
+        """Route distance a booked passenger spends onboard (pickup→dropoff)."""
+        pickup, dropoff = self.passenger_vias(request_id)
+        return self._offsets_m[dropoff.route_index] - self._offsets_m[pickup.route_index]
+
+    def passenger_consumed_m(self, request_id: int) -> float:
+        """Detour consumed against a passenger's own budget so far."""
+        record = self.passengers.get(request_id)
+        if record is None:
+            raise RideError(
+                f"ride {self.ride_id}: request {request_id} is not a passenger"
+            )
+        return max(0.0, self.onboard_span_m(request_id) - record.baseline_onboard_m)
+
+    # ------------------------------------------------------------------
     # Seats / detour accounting
     # ------------------------------------------------------------------
     def consume_seat(self) -> None:
         if self.seats_available <= 0:
             raise RideError(f"ride {self.ride_id}: no seats available")
         self.seats_available -= 1
+
+    def release_seat(self) -> None:
+        if self.seats_available >= self.seats_total:
+            raise RideError(f"ride {self.ride_id}: all seats already free")
+        self.seats_available += 1
 
     def consume_detour(self, metres: float) -> None:
         if metres < 0:

@@ -47,6 +47,13 @@ def track_ride(engine: "XAREngine", ride_id: int, now_s: float) -> None:
         _complete(engine, ride)
         return
 
+    if (
+        ride.shift_end_s is not None
+        and now_s >= ride.shift_end_s
+        and not ride.retired
+    ):
+        _retire(engine, ride)
+
     ride.status = RideStatus.ACTIVE
     ride.progressed_m = ride.offset_at_index(ride.index_at_time(now_s))
     apply_obsolescence(engine, ride_id, now_s)
@@ -88,6 +95,26 @@ def track_all(engine: "XAREngine", now_s: float) -> int:
         if ride.status is RideStatus.COMPLETED:
             completed += 1
     return completed
+
+
+def _retire(engine: "XAREngine", ride: Ride) -> None:
+    """Driver shift ended: withdraw the ride from the search index while it
+    keeps driving its committed route (strand-free drain).
+
+    The ride stays in ``engine.rides`` until arrival so booked passengers
+    still reach their drop-offs; it just stops surfacing as a match and
+    ``book_ride`` refuses it.  The full index footprint — entry, cluster
+    potential-ride rows, flat-index rows — goes in one step, exactly like
+    completion.
+    """
+    ride.retired = True
+    entry = engine.ride_entries.pop(ride.ride_id, None)
+    if entry is not None:
+        for cluster_id in entry.reachable_ids():
+            engine.cluster_index.remove(cluster_id, ride.ride_id)
+    engine.cluster_index.purge_ride(ride.ride_id)
+    if getattr(engine, "flat_index", None) is not None:
+        engine.flat_index.drop_ride(ride.ride_id)
 
 
 def _complete(engine: "XAREngine", ride: Ride) -> None:

@@ -61,7 +61,15 @@ def validate_engine(engine: "XAREngine") -> Dict[str, int]:
                     f"ride {ride_id}: reachable cluster {cluster_id} missing "
                     "from the cluster index"
                 )
-    for ride_id in engine.rides:
+    for ride_id, ride in engine.rides.items():
+        if ride.retired:
+            # Retired rides drain outside the index by design; their entry
+            # must be *absent*.
+            if ride_id in engine.ride_entries:
+                raise EngineInvariantError(
+                    f"retired ride {ride_id} still has an index entry"
+                )
+            continue
         if ride_id not in engine.ride_entries:
             raise EngineInvariantError(f"live ride {ride_id} has no index entry")
 
@@ -102,6 +110,26 @@ def validate_engine(engine: "XAREngine") -> Dict[str, int]:
             raise EngineInvariantError(
                 f"ride {ride.ride_id}: via-points not anchored at route ends"
             )
+        # 8. Per-passenger budgets: every passenger record points at a real
+        # pickup/dropoff via pair and the consumed detour respects the
+        # passenger's own declared budget.
+        for record in ride.passengers.values():
+            try:
+                consumed = ride.passenger_consumed_m(record.request_id)
+            except XARError as exc:
+                raise EngineInvariantError(
+                    f"ride {ride.ride_id}: passenger {record.request_id} "
+                    f"record without via-points ({exc})"
+                ) from exc
+            if (
+                record.max_detour_m is not None
+                and consumed > record.max_detour_m
+            ):
+                raise EngineInvariantError(
+                    f"ride {ride.ride_id}: passenger {record.request_id} "
+                    f"consumed {consumed:.1f} m over their "
+                    f"{record.max_detour_m:.1f} m budget"
+                )
 
     return {
         "rides": len(engine.rides),

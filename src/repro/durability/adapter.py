@@ -71,6 +71,7 @@ def _request_record(request: RideRequest) -> Dict[str, Any]:
         "window_start_s": request.window_start_s,
         "window_end_s": request.window_end_s,
         "walk_threshold_m": request.walk_threshold_m,
+        "max_detour_m": request.max_detour_m,
     }
 
 
@@ -171,6 +172,7 @@ class DurableAdapter:
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ):
         engine = self.engine
         record = {
@@ -183,11 +185,13 @@ class DurableAdapter:
             "seats": seats,
             "detour_limit_m": detour_limit_m,
             "driver_id": None,
+            "shift_end_s": shift_end_s,
         }
         return self._logged(
             record,
             lambda: self.inner.create(
-                source, destination, depart_s, seats, detour_limit_m
+                source, destination, depart_s, seats, detour_limit_m,
+                shift_end_s=shift_end_s,
             ),
             ride_id=record["ride_id"],
         )
@@ -210,6 +214,20 @@ class DurableAdapter:
         record = {"kind": "op", "op": "cancel", "ride_id": ride.ride_id}
         return self._logged(
             record, lambda: self.inner.cancel(ride), ride_id=ride.ride_id
+        )
+
+    def cancel_booking(self, request_id: int, ride_id: int):
+        record = {
+            "kind": "op",
+            "op": "cancel_booking",
+            "request_id": request_id,
+            "ride_id": ride_id,
+        }
+        return self._logged(
+            record,
+            lambda: self.inner.cancel_booking(request_id, ride_id),
+            request_id=request_id,
+            ride_id=ride_id,
         )
 
     def track_all(self, now_s: float) -> int:

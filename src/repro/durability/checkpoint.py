@@ -26,9 +26,9 @@ import json
 import os
 from typing import Any, Dict, Optional
 
-from ..core.booking import BookingRecord, BookingRollback
+from ..core.booking import BookingRecord, BookingRollback, CancellationRecord
 from ..core.engine import XAREngine
-from ..core.ride import Ride, RideStatus, ViaPoint
+from ..core.ride import PassengerRecord, Ride, RideStatus, ViaPoint
 from ..core.tracking import apply_obsolescence
 from ..discretization import DiscretizedRegion, region_digest
 from ..exceptions import CheckpointError
@@ -46,17 +46,24 @@ def _ride_state(ride: Ride) -> Dict[str, Any]:
         "route": ride.route,
         "departure_s": ride.departure_s,
         "detour_limit_m": ride.detour_limit_m,
+        "detour_limit_initial_m": ride.detour_limit_initial_m,
         "seats_total": ride.seats_total,
         "seats_available": ride.seats_available,
         "status": ride.status.value,
         "progressed_m": ride.progressed_m,
         "base_length_m": ride.base_length_m,
         "driver_id": ride.driver_id,
+        "shift_end_s": ride.shift_end_s,
+        "retired": ride.retired,
         "source": [ride.source_point.lat, ride.source_point.lon],
         "destination": [ride.destination_point.lat, ride.destination_point.lon],
         "via_points": [
             [via.node, via.route_index, via.label, via.request_id]
             for via in ride.via_points
+        ],
+        "passengers": [
+            [p.request_id, p.max_detour_m, p.baseline_onboard_m]
+            for p in ride.passengers.values()
         ],
     }
 
@@ -84,6 +91,16 @@ def engine_state(engine: XAREngine) -> Dict[str, Any]:
                 "reason": r.reason,
             }
             for r in engine.rollbacks
+        ],
+        "cancellations": [
+            {
+                "request_id": c.request_id,
+                "ride_id": c.ride_id,
+                "route_delta_m": c.route_delta_m,
+                "detour_restored_m": c.detour_restored_m,
+                "shortest_paths_computed": c.shortest_paths_computed,
+            }
+            for c in engine.cancellations
         ],
         "counters": engine.counter_state(),
     }
@@ -196,6 +213,7 @@ def read_checkpoint(path: str, *, expected_digest: str = "") -> Dict[str, Any]:
 
 def _restore_ride(region: DiscretizedRegion, state: Dict[str, Any]) -> Ride:
     route = [int(n) for n in state["route"]]
+    shift_end = state.get("shift_end_s")
     ride = Ride(
         ride_id=int(state["ride_id"]),
         network=region.network,
@@ -206,6 +224,7 @@ def _restore_ride(region: DiscretizedRegion, state: Dict[str, Any]) -> Ride:
         source_point=GeoPoint(*[float(c) for c in state["source"]]),
         destination_point=GeoPoint(*[float(c) for c in state["destination"]]),
         driver_id=state["driver_id"],
+        shift_end_s=None if shift_end is None else float(shift_end),
     )
     ride.replace_route(
         route,
@@ -223,8 +242,19 @@ def _restore_ride(region: DiscretizedRegion, state: Dict[str, Any]) -> Ride:
     ride.status = RideStatus(state["status"])
     ride.progressed_m = float(state["progressed_m"])
     # The ctor recomputed base_length_m from the stored (possibly already
-    # spliced) route; put back the original offer's length.
+    # spliced) route; put back the original offer's length.  Same for the
+    # declared initial detour budget (the ctor copied the *current* one).
     ride.base_length_m = float(state["base_length_m"])
+    ride.detour_limit_initial_m = float(
+        state.get("detour_limit_initial_m", state["detour_limit_m"])
+    )
+    ride.retired = bool(state.get("retired", False))
+    for request_id, max_detour, baseline in state.get("passengers", []):
+        ride.passengers[int(request_id)] = PassengerRecord(
+            request_id=int(request_id),
+            max_detour_m=None if max_detour is None else float(max_detour),
+            baseline_onboard_m=float(baseline),
+        )
     return ride
 
 
@@ -257,5 +287,9 @@ def restore_engine_state(engine: XAREngine, state: Dict[str, Any]) -> None:
         )
         engine.rollbacks.extend(
             BookingRollback(**rollback) for rollback in state["rollbacks"]
+        )
+        engine.cancellations.extend(
+            CancellationRecord(**cancellation)
+            for cancellation in state.get("cancellations", [])
         )
         engine.restore_counter_state(state["counters"])

@@ -61,6 +61,7 @@ class RecoveryResult:
 
 
 def _request_from(state: Dict[str, Any]) -> RideRequest:
+    max_detour = state.get("max_detour_m")
     return RideRequest(
         request_id=int(state["request_id"]),
         source=GeoPoint(*[float(c) for c in state["source"]]),
@@ -68,6 +69,7 @@ def _request_from(state: Dict[str, Any]) -> RideRequest:
         window_start_s=float(state["window_start_s"]),
         window_end_s=float(state["window_end_s"]),
         walk_threshold_m=float(state["walk_threshold_m"]),
+        max_detour_m=None if max_detour is None else float(max_detour),
     )
 
 
@@ -106,6 +108,11 @@ def replay_record(engine: XAREngine, record: Dict[str, Any]) -> None:
             ),
             seats=None if record.get("seats") is None else int(record["seats"]),
             driver_id=record.get("driver_id"),
+            shift_end_s=(
+                None
+                if record.get("shift_end_s") is None
+                else float(record["shift_end_s"])
+            ),
         )
     elif op == "book":
         request = _request_from(record["request"])
@@ -117,6 +124,8 @@ def replay_record(engine: XAREngine, record: Dict[str, Any]) -> None:
             engine._request_ids.next_value = request.request_id + 1
     elif op == "cancel":
         engine.remove_ride(int(record["ride_id"]))
+    elif op == "cancel_booking":
+        engine.cancel_booking(int(record["request_id"]), int(record["ride_id"]))
     elif op == "track":
         engine.track_all(float(record["now_s"]))
     else:

@@ -187,6 +187,10 @@ class RecoveryError(DurabilityError):
     """Crash recovery cannot proceed (e.g. WAL written for another region)."""
 
 
+class ScenarioError(XARError):
+    """A scenario spec is malformed or references unknown components."""
+
+
 class WorkerCrashError(Exception):
     """An injected (or real) worker-process death.
 

@@ -167,7 +167,19 @@ class InvariantAuditor:
                         )
                     )
 
-        for ride_id in engine.rides:
+        for ride_id, ride in engine.rides.items():
+            if ride.retired:
+                # Retired rides drain outside the index by design; one that
+                # still *has* an entry is the violation.
+                if ride_id in engine.ride_entries:
+                    report.violations.append(
+                        AuditViolation(
+                            kind="indexed-retired-ride",
+                            detail=f"retired ride {ride_id} still indexed",
+                            ride_id=ride_id,
+                        )
+                    )
+                continue
             if ride_id not in engine.ride_entries:
                 report.violations.append(
                     AuditViolation(
@@ -230,6 +242,41 @@ class InvariantAuditor:
                         ride_id=ride.ride_id,
                     )
                 )
+            # Per-passenger budgets (high-capacity pooling): every record
+            # must point at a live pickup/dropoff via pair and stay within
+            # its own declared detour budget.
+            for record in ride.passengers.values():
+                try:
+                    consumed = ride.passenger_consumed_m(record.request_id)
+                except Exception as exc:
+                    report.violations.append(
+                        AuditViolation(
+                            kind="passenger-via-mismatch",
+                            detail=(
+                                f"ride {ride.ride_id}: passenger "
+                                f"{record.request_id} record without "
+                                f"via-points ({exc})"
+                            ),
+                            ride_id=ride.ride_id,
+                        )
+                    )
+                    continue
+                if (
+                    record.max_detour_m is not None
+                    and consumed > record.max_detour_m
+                ):
+                    report.violations.append(
+                        AuditViolation(
+                            kind="passenger-budget-exceeded",
+                            detail=(
+                                f"ride {ride.ride_id}: passenger "
+                                f"{record.request_id} consumed "
+                                f"{consumed:.1f} m over their "
+                                f"{record.max_detour_m:.1f} m budget"
+                            ),
+                            ride_id=ride.ride_id,
+                        )
+                    )
 
         self.violations_found += len(report.violations)
         return report
@@ -256,7 +303,7 @@ class InvariantAuditor:
         actions = 0
         reindex: set = set()
         for violation in report.violations:
-            if violation.kind == "entry-for-dead-ride":
+            if violation.kind in ("entry-for-dead-ride", "indexed-retired-ride"):
                 engine.ride_entries.pop(violation.ride_id, None)
                 engine.cluster_index.purge_ride(violation.ride_id)
                 if getattr(engine, "flat_index", None) is not None:

@@ -341,12 +341,14 @@ class ResilientEngine:
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ) -> Any:
         result = self._call(
             "create",
             lambda: self.inner.create(
                 source, destination, depart_s,
                 seats=seats, detour_limit_m=detour_limit_m,
+                shift_end_s=shift_end_s,
             ),
             self.config.create_deadline_s,
             self.breakers["route"],

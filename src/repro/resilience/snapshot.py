@@ -60,6 +60,10 @@ class RideSnapshot:
     entry: Optional[RideIndexEntry]
     #: cluster id -> ETA currently stored in the cluster index for this ride.
     index_etas: Dict[int, float] = field(default_factory=dict)
+    #: Booked passengers (request id -> frozen PassengerRecord).
+    passengers: Dict[int, object] = field(default_factory=dict)
+    #: Shift-end retirement flag at snapshot time.
+    retired: bool = False
 
 
 def snapshot_ride(engine: "XAREngine", ride_id: int) -> Optional[RideSnapshot]:
@@ -86,6 +90,8 @@ def snapshot_ride(engine: "XAREngine", ride_id: int) -> Optional[RideSnapshot]:
         tracked_to=engine.tracked_to.get(ride_id),
         entry=_copy_entry(entry) if entry is not None else None,
         index_etas=index_etas,
+        passengers=dict(ride.passengers),
+        retired=ride.retired,
     )
 
 
@@ -104,6 +110,8 @@ def restore_ride(engine: "XAREngine", snapshot: RideSnapshot) -> None:
     ride.detour_limit_m = snapshot.detour_limit_m
     ride.status = snapshot.status
     ride.progressed_m = snapshot.progressed_m
+    ride.passengers = dict(snapshot.passengers)
+    ride.retired = snapshot.retired
     if snapshot.tracked_to is None:
         engine.tracked_to.pop(snapshot.ride_id, None)
     else:
@@ -151,6 +159,10 @@ def diff_ride(engine: "XAREngine", snapshot: RideSnapshot) -> List[str]:
         diffs.append(f"status {ride.status} != {snapshot.status}")
     if ride.progressed_m != snapshot.progressed_m:
         diffs.append("progress differs")
+    if dict(ride.passengers) != dict(snapshot.passengers):
+        diffs.append("passenger records differ")
+    if ride.retired != snapshot.retired:
+        diffs.append(f"retired {ride.retired} != {snapshot.retired}")
     if engine.tracked_to.get(snapshot.ride_id) != snapshot.tracked_to:
         diffs.append("tracked_to differs")
 

@@ -1,0 +1,49 @@
+"""Declarative scenario matrix: specs, runner, assertions, pinned grid.
+
+``repro.scenarios`` turns end-to-end simulations into data: a
+:class:`ScenarioSpec` declares the city (single lattice or bridged twin
+region), the driver supply (fleet size, seat capacity, detour budgets,
+shift lengths, repositioning), the demand (workload shape plus surge and
+cancellation-storm overlays), the fault policies to compose, and the
+declarative pass/fail assertions.  :class:`ScenarioRunner` executes a spec
+against any engine façade and emits a deterministic
+:class:`ScenarioReport` — same spec and seed, byte-identical canonical
+JSON.  The pinned matrix in :mod:`repro.scenarios.grid` is what CI sweeps.
+
+See ``docs/scenarios.md``.
+"""
+
+from .assertions import AssertionResult, evaluate, evaluate_timing
+from .city import build_city, region_for, twin_city
+from .grid import PINNED, get as pinned_scenario, pinned_names
+from .runner import ScenarioReport, ScenarioRunner, build_facade, run_scenario
+from .spec import (
+    AssertionSpec,
+    CitySpec,
+    DemandSpec,
+    FaultSpec,
+    ScenarioSpec,
+    SupplySpec,
+)
+
+__all__ = [
+    "AssertionResult",
+    "AssertionSpec",
+    "CitySpec",
+    "DemandSpec",
+    "FaultSpec",
+    "PINNED",
+    "ScenarioReport",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SupplySpec",
+    "build_city",
+    "build_facade",
+    "evaluate",
+    "evaluate_timing",
+    "pinned_names",
+    "pinned_scenario",
+    "region_for",
+    "run_scenario",
+    "twin_city",
+]

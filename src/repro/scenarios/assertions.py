@@ -1,0 +1,111 @@
+"""Declarative scenario assertions evaluated on a finished run.
+
+Each assertion is a pure function of the run's collected facts (counts,
+audit outcome, ledgers, budget sweep) — no re-execution.  Deterministic
+assertions land in the canonical report; the wall-clock p95 ceiling is
+evaluated separately because its outcome varies run to run and would break
+the byte-identical-report guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from .spec import AssertionSpec
+
+
+@dataclass(frozen=True)
+class AssertionResult:
+    """One evaluated assertion."""
+
+    name: str
+    ok: bool
+    detail: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "ok": self.ok, "detail": self.detail}
+
+
+def evaluate(
+    asserts: AssertionSpec,
+    counts: Dict[str, int],
+    audit: Dict[str, Any],
+    ledger: Dict[str, Any],
+    budget: Dict[str, Any],
+) -> List[AssertionResult]:
+    """Evaluate every deterministic assertion; returns one result each."""
+    results: List[AssertionResult] = []
+    requests = max(1, counts.get("requests", 0))
+    match_rate = counts.get("matched", 0) / requests
+
+    if asserts.min_match_rate is not None:
+        results.append(AssertionResult(
+            "min_match_rate",
+            match_rate >= asserts.min_match_rate,
+            f"match rate {match_rate:.3f} vs floor {asserts.min_match_rate}",
+        ))
+    if asserts.min_booked:
+        booked = counts.get("booked", 0)
+        results.append(AssertionResult(
+            "min_booked",
+            booked >= asserts.min_booked,
+            f"booked {booked} vs floor {asserts.min_booked}",
+        ))
+    if asserts.min_cancels:
+        cancels = counts.get("cancels_applied", 0)
+        results.append(AssertionResult(
+            "min_cancels",
+            cancels >= asserts.min_cancels,
+            f"cancels applied {cancels} vs floor {asserts.min_cancels}",
+        ))
+    if asserts.min_pool:
+        pool = counts.get("max_pool", 0)
+        results.append(AssertionResult(
+            "min_pool",
+            pool >= asserts.min_pool,
+            f"peak co-riders {pool} vs floor {asserts.min_pool}",
+        ))
+    if asserts.require_clean_audit:
+        violations = int(audit.get("violations", 0))
+        results.append(AssertionResult(
+            "clean_audit",
+            violations == 0,
+            f"{violations} invariant violation(s)" if violations
+            else "invariant audit clean",
+        ))
+    if asserts.require_balanced_ledger:
+        balanced = bool(ledger.get("balanced", False))
+        results.append(AssertionResult(
+            "balanced_ledger",
+            balanced,
+            ledger.get("detail", "ledger balanced") if balanced
+            else f"ledger imbalance: {ledger}",
+        ))
+    if asserts.require_budgets_respected:
+        violations = int(budget.get("violations", 0))
+        checked = budget.get("checked", 0)
+        results.append(AssertionResult(
+            "budgets_respected",
+            violations == 0,
+            f"{violations} budget violation(s)" if violations
+            else f"{checked} budgeted passenger(s) all within budget",
+        ))
+    return results
+
+
+def evaluate_timing(
+    asserts: AssertionSpec, timing: Dict[str, Any]
+) -> List[AssertionResult]:
+    """Evaluate the wall-clock assertions (non-canonical)."""
+    results: List[AssertionResult] = []
+    if asserts.max_search_p95_ms is not None:
+        p95 = timing.get("search_p95_ms")
+        ok = p95 is not None and p95 <= asserts.max_search_p95_ms
+        results.append(AssertionResult(
+            "max_search_p95_ms",
+            ok,
+            f"search p95 {p95 if p95 is None else round(p95, 2)} ms "
+            f"vs ceiling {asserts.max_search_p95_ms} ms",
+        ))
+    return results

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional
 
-from ...core.booking import BookingRecord
+from ...core.booking import BookingRecord, CancellationRecord
 from ...core.request import RideRequest
 from ...core.ride import Ride
 from ...core.search import MatchOption
@@ -56,6 +56,20 @@ def booking_record(record: BookingRecord) -> Dict[str, Any]:
 
 def booking_from(state: Dict[str, Any]) -> BookingRecord:
     return BookingRecord(**state)
+
+
+def cancellation_record(record: CancellationRecord) -> Dict[str, Any]:
+    return {
+        "request_id": record.request_id,
+        "ride_id": record.ride_id,
+        "route_delta_m": record.route_delta_m,
+        "detour_restored_m": record.detour_restored_m,
+        "shortest_paths_computed": record.shortest_paths_computed,
+    }
+
+
+def cancellation_from(state: Dict[str, Any]) -> CancellationRecord:
+    return CancellationRecord(**state)
 
 
 def matches_record(matches: List[MatchOption]) -> List[Dict[str, Any]]:

@@ -151,6 +151,7 @@ class ProcRouter:
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ) -> Any:
         shard_id = self.shard_map.shard_of_point(source)
         result = self.supervisor.rpc(shard_id, "create", {
@@ -159,6 +160,7 @@ class ProcRouter:
             "depart_s": depart_s,
             "seats": seats,
             "detour_limit_m": detour_limit_m,
+            "shift_end_s": shift_end_s,
         })
         return codec.ride_from(self.region, result["ride"])
 
@@ -245,6 +247,22 @@ class ProcRouter:
     def cancel(self, ride: Any) -> None:
         shard_id = self.shard_of_ride(ride.ride_id)
         self.supervisor.rpc(shard_id, "cancel", {"ride_id": ride.ride_id})
+
+    def cancel_booking(self, request_id: int, ride_id: int) -> Any:
+        """Cancel one passenger's booking on the ride's home shard.
+
+        Carries an idempotency key like ``book``: a retry whose first
+        attempt died mid-call is answered from the recovered shard's
+        cancellation ledger instead of un-splicing twice.
+        """
+        shard_id = self.shard_of_ride(ride_id)
+        result = self.supervisor.rpc(
+            shard_id,
+            "cancel_booking",
+            {"request_id": request_id, "ride_id": ride_id},
+            idem=f"cancel_booking:{request_id}:{ride_id}",
+        )
+        return codec.cancellation_from(result["cancellation"])
 
     def active_rides(self) -> List[Any]:
         rides: List[Any] = []

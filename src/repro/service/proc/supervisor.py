@@ -466,11 +466,15 @@ class ShardSupervisor:
             "log": os.path.join(self.run_dir, f"shard{shard_id}.log"),
         }
 
-    def _spawn(self, shard: ProcShard) -> None:
+    def _spawn(self, shard: ProcShard, count_restart: bool = False) -> None:
         """Start one shard process and wait for it to connect back.
 
         Raises on failure; callers decide whether that is fatal (initial
         boot) or another failure to classify (restarts).
+        ``count_restart`` bumps the shard's restart counter *before* the
+        new generation is published: ``adopt`` wakes every RPC blocked on
+        the LIVE state, so counting afterwards raced observers that act on
+        the recovered shard and then read ``restarts``.
         """
         cfg = self.config
         generation = shard.generation + 1
@@ -534,6 +538,10 @@ class ShardSupervisor:
         finally:
             _close_quietly(listener)
         assert conn_ok and hb_sock is not None
+        if count_restart:
+            shard.restarts += 1
+            if self._c_restarts is not None:
+                self._c_restarts.labels(shard=str(shard.shard_id)).inc()
         shard.adopt(process, generation, ops_socks, hb_sock, recovery)
         threading.Thread(
             target=self._heartbeat_loop,
@@ -633,7 +641,7 @@ class ShardSupervisor:
 
     def _restart(self, shard: ProcShard) -> None:
         try:
-            self._spawn(shard)
+            self._spawn(shard, count_restart=True)
         except Exception:  # noqa: BLE001 - a failed spawn is another failure
             shard.restart_inflight = False
             if not self._closing.is_set():
@@ -656,9 +664,6 @@ class ShardSupervisor:
                     )
                     shard.set_state(RESTARTING)
             return
-        shard.restarts += 1
-        if self._c_restarts is not None:
-            self._c_restarts.labels(shard=str(shard.shard_id)).inc()
 
     # ------------------------------------------------------------------
     # Public surface

@@ -211,6 +211,8 @@ class ShardProcess:
                     else int(args["seats"]),
                     detour_limit_m=codec.optional_float(
                         args.get("detour_limit_m")),
+                    shift_end_s=codec.optional_float(
+                        args.get("shift_end_s")),
                 ),
             )
             return {"ride": codec.ride_record(ride)}
@@ -245,6 +247,31 @@ class ShardProcess:
 
             worker.call("cancel", do_cancel)
             return {}
+        if op == "cancel_booking":
+            req_id = int(args["request_id"])
+            ride_id = int(args["ride_id"])
+
+            def do_cancel_booking():
+                # Idempotent by ledger, like book: a retried cancellation
+                # whose first attempt crashed mid-apply finds the WAL replay
+                # already balanced the ledgers and returns the original
+                # record instead of un-splicing twice.
+                with engine.lock:
+                    booked = sum(
+                        1 for b in engine.bookings
+                        if b.request_id == req_id and b.ride_id == ride_id
+                    )
+                    cancelled = [
+                        c for c in engine.cancellations
+                        if c.request_id == req_id and c.ride_id == ride_id
+                    ]
+                    if cancelled and len(cancelled) >= booked:
+                        return cancelled[-1], True
+                return self.adapter.cancel_booking(req_id, ride_id), False
+
+            record, deduped = worker.call("cancel_booking", do_cancel_booking)
+            return {"cancellation": codec.cancellation_record(record),
+                    "deduped": deduped}
         if op == "track":
             affected = worker.call(
                 "track", lambda: self.adapter.track_all(float(args["now_s"]))

@@ -450,6 +450,7 @@ class ShardRouter:
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ) -> Any:
         shard = self.shards[self.shard_map.shard_of_point(source)]
         return self._with_failover(
@@ -459,6 +460,7 @@ class ShardRouter:
                 lambda: shard.adapter.create(
                     source, destination, depart_s,
                     seats=seats, detour_limit_m=detour_limit_m,
+                    shift_end_s=shift_end_s,
                 ),
             ),
         )
@@ -581,6 +583,17 @@ class ShardRouter:
             shard,
             lambda: shard.worker.call(
                 "cancel", lambda: shard.adapter.cancel(ride)
+            ),
+        )
+
+    def cancel_booking(self, request_id: int, ride_id: int) -> Any:
+        """Cancel one passenger's booking on the ride's home shard."""
+        shard = self.shards[self.shard_of_ride(ride_id)]
+        return self._with_failover(
+            shard,
+            lambda: shard.worker.call(
+                "cancel_booking",
+                lambda: shard.adapter.cancel_booking(request_id, ride_id),
             ),
         )
 

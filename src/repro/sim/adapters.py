@@ -48,12 +48,16 @@ class EngineAdapter(Protocol):
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ) -> Any:
         """Offer a new ride/taxi starting at ``depart_s``.
 
         ``seats`` and ``detour_limit_m`` default to the engine's configured
         values when None; engines without a per-ride detour budget (T-Share)
-        accept and ignore ``detour_limit_m``.
+        accept and ignore ``detour_limit_m``.  ``shift_end_s`` is the
+        driver's shift end: past it the ride retires from matching and
+        drains its booked passengers (engines without shift semantics
+        accept and ignore it).
         """
         ...
 
@@ -71,6 +75,12 @@ class EngineAdapter(Protocol):
 
     def cancel(self, ride: Any) -> None:
         """Withdraw a previously created ride (driver cancellation)."""
+        ...
+
+    def cancel_booking(self, request_id: int, ride_id: int) -> Any:
+        """Cancel one passenger's booking: un-splice their via-points,
+        release the seat, restore the detour budget exactly (engines
+        without bookings raise)."""
         ...
 
     def active_rides(self) -> List[Any]:
@@ -102,6 +112,7 @@ class XARAdapter:
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ):
         return self.engine.create_ride(
             source,
@@ -109,6 +120,7 @@ class XARAdapter:
             departure_s=depart_s,
             seats=seats,
             detour_limit_m=detour_limit_m,
+            shift_end_s=shift_end_s,
         )
 
     def search(self, request: RideRequest, k: Optional[int] = None):
@@ -122,6 +134,9 @@ class XARAdapter:
 
     def cancel(self, ride) -> None:
         self.engine.remove_ride(ride.ride_id)
+
+    def cancel_booking(self, request_id: int, ride_id: int):
+        return self.engine.cancel_booking(request_id, ride_id)
 
     def active_rides(self):
         return list(self.engine.rides.values())
@@ -149,9 +164,11 @@ class TShareAdapter:
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ):
-        # T-Share has a global detour policy, not a per-taxi budget; the
-        # per-ride limit is accepted for protocol parity and ignored.
+        # T-Share has a global detour policy, not a per-taxi budget, and no
+        # shift model; both limits are accepted for protocol parity and
+        # ignored.
         return self.engine.create_taxi(
             source, destination, departure_s=depart_s, seats=seats
         )
@@ -167,6 +184,11 @@ class TShareAdapter:
 
     def cancel(self, taxi) -> None:
         self.engine.remove_taxi(taxi.ride_id)
+
+    def cancel_booking(self, request_id: int, ride_id: int):
+        raise NotImplementedError(
+            "T-Share bookings are not reversible (no via-point un-splice)"
+        )
 
     def active_rides(self):
         return list(self.engine.taxis.values())

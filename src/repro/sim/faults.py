@@ -417,12 +417,14 @@ class FaultInjectingAdapter:
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ) -> Any:
         for policy, ctx in zip(self.policies, self._contexts):
             policy.before_create(ctx)
         return self.inner.create(
             source, destination, depart_s,
             seats=seats, detour_limit_m=detour_limit_m,
+            shift_end_s=shift_end_s,
         )
 
     def search(self, request: RideRequest, k: Optional[int] = None) -> List[Any]:

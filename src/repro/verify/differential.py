@@ -254,9 +254,10 @@ class _DurableTarget:
 
     # -- EngineAdapter surface -------------------------------------------
     def create(self, source, destination, depart_s, seats=None,
-               detour_limit_m=None):
+               detour_limit_m=None, shift_end_s=None):
         return self.adapter.create(
-            source, destination, depart_s, seats, detour_limit_m
+            source, destination, depart_s, seats, detour_limit_m,
+            shift_end_s=shift_end_s,
         )
 
     def search(self, request, k=None):
@@ -284,6 +285,9 @@ class _DurableTarget:
 
     def cancel(self, ride) -> None:
         self.adapter.cancel(ride)
+
+    def cancel_booking(self, request_id: int, ride_id: int):
+        return self.adapter.cancel_booking(request_id, ride_id)
 
     def track_all(self, now_s: float) -> int:
         return self.adapter.track_all(now_s)
@@ -418,6 +422,13 @@ def _ride_fingerprint(ride: Any) -> Tuple:
         ride.status.value,
         ride.progressed_m,
         tuple((via.node, via.route_index, via.label) for via in ride.via_points),
+        getattr(ride, "retired", False),
+        tuple(
+            sorted(
+                (p.request_id, p.max_detour_m, p.baseline_onboard_m)
+                for p in getattr(ride, "passengers", {}).values()
+            )
+        ),
     )
 
 
@@ -558,6 +569,7 @@ class DifferentialHarness:
                     op["depart_s"],
                     seats=op.get("seats"),
                     detour_limit_m=op.get("detour_limit_m"),
+                    shift_end_s=op.get("shift_end_s"),
                 )
                 outcomes.append((facade, ride, None))
             except XARError as exc:
@@ -589,6 +601,7 @@ class DifferentialHarness:
             window_start_s=op["window"][0],
             window_end_s=op["window"][1],
             walk_threshold_m=op["walk_m"],
+            max_detour_m=op.get("max_detour_m"),
         )
 
     def _normalize(
@@ -894,6 +907,67 @@ class DifferentialHarness:
                     report, op_index, op, "cancel-outcome", facade.name,
                     f"{error or 'ok'} vs reference {ref_error or 'ok'}",
                 )
+
+    def _op_cancel_booking(self, report, op_index, op, reference, others) -> None:
+        """Cancel one passenger's booking on every façade and diff the
+        un-splice: the cancellation record (route delta, budget restored,
+        SPs computed) and the post-cancel ride fingerprint must match."""
+        handle = op["handle"]
+        request_id = op["request_id"]
+        if handle not in reference.rides_by_handle:
+            return
+        outcomes: List[Tuple[Facade, Any, Optional[str]]] = []
+        for facade in [reference] + others:
+            ride = facade.rides_by_handle.get(handle)
+            if facade.relaxed:
+                # Divergent bookings mean the request may not be on this
+                # façade's ride at all; its audits still verify the ledger.
+                if ride is not None:
+                    try:
+                        facade.target.cancel_booking(request_id, ride.ride_id)
+                    except XARError:
+                        pass
+                continue
+            if ride is None:
+                outcomes.append((facade, None, "missing-handle"))
+                continue
+            try:
+                record = facade.target.cancel_booking(request_id, ride.ride_id)
+                outcomes.append((facade, record, None))
+            except XARError as exc:
+                outcomes.append((facade, None, type(exc).__name__))
+        _f, ref_record, ref_error = outcomes[0]
+        ref_print = (
+            (
+                ref_record.request_id,
+                ref_record.route_delta_m,
+                ref_record.detour_restored_m,
+                ref_record.shortest_paths_computed,
+            )
+            if ref_record is not None
+            else None
+        )
+        for facade, record, error in outcomes:
+            if error != ref_error:
+                self._diverge(
+                    report, op_index, op, "cancel-booking-outcome", facade.name,
+                    f"{error or 'ok'} vs reference {ref_error or 'ok'}",
+                )
+                continue
+            if record is None:
+                continue
+            this_print = (
+                record.request_id,
+                record.route_delta_m,
+                record.detour_restored_m,
+                record.shortest_paths_computed,
+            )
+            if this_print != ref_print:
+                self._diverge(
+                    report, op_index, op, "cancellation-record", facade.name,
+                    f"cancellation record differs for handle {handle}",
+                )
+        self._compare_live_state(report, op_index, op, reference, others)
 
     def _op_crash(self, report, op_index, op, reference, others) -> None:
         """Crash-recover every durable façade, then diff recovered state.

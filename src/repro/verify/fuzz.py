@@ -9,10 +9,16 @@ harness, the shrinker, and the regression corpus in
 ``tests/verify/corpus/``:
 
 * ``{"op": "create", "handle": H, "src": [lat, lon], "dst": [lat, lon],
-  "depart_s": T, "seats": S|null, "detour_limit_m": D|null}``
+  "depart_s": T, "seats": S|null, "detour_limit_m": D|null}`` (optionally
+  ``"shift_end_s": T`` — the driver's shift end)
 * ``{"op": "search" | "book", "src": ..., "dst": ..., "window": [a, b],
-  "walk_m": W, "k": K|null}`` (book adds ``"rank": R``)
+  "walk_m": W, "k": K|null}`` (book adds ``"rank": R`` and optionally
+  ``"max_detour_m": D`` — the passenger's personal detour budget)
 * ``{"op": "cancel", "handle": H}``
+* ``{"op": "cancel_booking", "handle": H, "request_id": R}`` — un-splice
+  one passenger's booking; request ids are the harness's sequential
+  per-search/book ordinals, so a miss (never booked there) must fail
+  uniformly across façades. Weighted 0 by default.
 * ``{"op": "track", "now_s": T}`` (strictly increasing within a sequence)
 * ``{"op": "crash", "mode": "clean"}`` or ``{"op": "crash", "mode":
   "mid-book", ...book fields...}`` — crash-recover every durable façade
@@ -62,6 +68,7 @@ class FuzzConfig:
             # never wins a draw and never shifts the others' cut points);
             # crash-mode fuzzing opts in by raising it.
             "crash": 0.0,
+            "cancel_booking": 0.0,
         }
     )
     #: When a crash op fires, probability it strikes mid-book (inside the
@@ -73,6 +80,13 @@ class FuzzConfig:
     detour_scales: Sequence[Optional[float]] = (None, None, 0.5, 1.0)
     #: Top-k cut applied to searches (None → all matches).
     k_choices: Sequence[Optional[int]] = (None, 3, 5)
+    #: Per-passenger detour budgets on book ops, as fractions of the config
+    #: default (None → no personal budget).  The all-None default skips the
+    #: draw entirely, keeping old seeds byte-identical.
+    budget_scales: Sequence[Optional[float]] = (None,)
+    #: Probability an offered ride carries a driver shift end (0 keeps old
+    #: seeds draw-compatible; the shift falls 0.5–2 windows past departure).
+    shift_end_p: float = 0.0
     #: Probability a search/book rides the corridor of an earlier create
     #: (same endpoints, window anchored at its departure).  Uniform draws
     #: alone rarely match on small grids, leaving the booking and ε-bound
@@ -109,6 +123,10 @@ def generate_ops(
     next_handle = 0
     created: List[int] = []
     corridors: List[tuple] = []
+    #: Request ordinals consumed so far (the harness allocates sequentially
+    #: per search/book/mid-book-crash op) and the ones book ops used.
+    request_counter = 0
+    booked_ids: List[int] = []
     last_track = 0.0
     clock = 0.0
 
@@ -123,6 +141,8 @@ def generate_ops(
         if kind == "cancel" and not created:
             kind = "create"
         if kind == "book" and not created:
+            kind = "create"
+        if kind == "cancel_booking" and (not booked_ids or not created):
             kind = "create"
         if kind == "create":
             request = next_request()
@@ -142,6 +162,11 @@ def generate_ops(
                     ),
                 }
             )
+            if config.shift_end_p > 0 and rng.random() < config.shift_end_p:
+                ops[-1]["shift_end_s"] = (
+                    request.window_start_s
+                    + rng.uniform(0.5, 2.0) * config.window_s
+                )
             created.append(next_handle)
             corridors.append(
                 (ops[-1]["src"], ops[-1]["dst"], request.window_start_s)
@@ -167,8 +192,16 @@ def generate_ops(
                 "walk_m": walk_m,
                 "k": rng.choice(list(config.k_choices)),
             }
+            request_counter += 1
             if kind == "book":
                 op["rank"] = rng.randrange(0, 3)
+                if any(s is not None for s in config.budget_scales):
+                    budget = rng.choice(list(config.budget_scales))
+                    if budget is not None:
+                        op["max_detour_m"] = (
+                            region.config.default_detour_m * budget
+                        )
+                booked_ids.append(request_counter)
             ops.append(op)
         elif kind == "crash":
             if corridors and rng.random() < config.crash_mid_book_p:
@@ -188,8 +221,17 @@ def generate_ops(
                         "rank": rng.randrange(0, 3),
                     }
                 )
+                request_counter += 1
             else:
                 ops.append({"op": "crash", "mode": "clean"})
+        elif kind == "cancel_booking":
+            ops.append(
+                {
+                    "op": "cancel_booking",
+                    "handle": rng.choice(created),
+                    "request_id": rng.choice(booked_ids),
+                }
+            )
         elif kind == "cancel":
             ops.append({"op": "cancel", "handle": rng.choice(created)})
         elif kind == "track":

@@ -29,7 +29,13 @@ from __future__ import annotations
 import itertools
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
-from ..core.booking import BookingRecord, BookingRollback, book_ride
+from ..core.booking import (
+    BookingRecord,
+    BookingRollback,
+    CancellationRecord,
+    book_ride,
+    cancel_booking_ride,
+)
 from ..core.reachability import build_ride_entry
 from ..core.request import RideRequest
 from ..core.ride import Ride
@@ -100,6 +106,7 @@ class OracleEngine:
         self.ride_entries: Dict[int, RideIndexEntry] = {}
         self.bookings: List[BookingRecord] = []
         self.rollbacks: List[BookingRollback] = []
+        self.cancellations: List[CancellationRecord] = []
         self.tracked_to: Dict[int, float] = {}
         self.cluster_index = _NullClusterIndex()
         #: Same additive booking tolerance as the real engine (4ε default).
@@ -126,6 +133,7 @@ class OracleEngine:
         seats: Optional[int] = None,
         route: Optional[Sequence[int]] = None,
         driver_id: Optional[int] = None,
+        shift_end_s: Optional[float] = None,
     ) -> Ride:
         config = self.region.config
         network = self.region.network
@@ -149,6 +157,7 @@ class OracleEngine:
             source_point=source,
             destination_point=destination,
             driver_id=driver_id,
+            shift_end_s=shift_end_s,
         )
         self.rides[ride.ride_id] = ride
         self.ride_entries[ride.ride_id] = build_ride_entry(self.region, ride)
@@ -166,6 +175,11 @@ class OracleEngine:
         ride = self.rides.get(ride_id)
         if ride is None:
             raise UnknownRideError(ride_id)
+        if ride.retired:
+            # A retired ride is invisible to matching; a route change (e.g.
+            # a cancellation un-splice) must not resurrect its entry.
+            self.ride_entries.pop(ride_id, None)
+            return
         self.ride_entries[ride_id] = build_ride_entry(self.region, ride)
         tracked = self.tracked_to.get(ride_id)
         if tracked is not None and tracked > ride.departure_s:
@@ -518,6 +532,18 @@ class OracleEngine:
             )
             raise
 
+    def cancel_booking(self, request_id: int, ride_id: int) -> CancellationRecord:
+        """Transactional booking cancellation, identical to XAR's."""
+        from ..resilience.snapshot import restore_ride, snapshot_ride
+
+        snapshot = snapshot_ride(self, ride_id)
+        try:
+            return cancel_booking_ride(self, request_id, ride_id)
+        except XARError:
+            if snapshot is not None:
+                restore_ride(self, snapshot)
+            raise
+
     def track(self, ride_id: int, now_s: float) -> None:
         track_ride(self, ride_id, now_s)
 
@@ -564,6 +590,7 @@ class OracleAdapter:
         depart_s: float,
         seats: Optional[int] = None,
         detour_limit_m: Optional[float] = None,
+        shift_end_s: Optional[float] = None,
     ):
         return self.engine.create_ride(
             source,
@@ -571,6 +598,7 @@ class OracleAdapter:
             departure_s=depart_s,
             seats=seats,
             detour_limit_m=detour_limit_m,
+            shift_end_s=shift_end_s,
         )
 
     def search(self, request: RideRequest, k: Optional[int] = None):
@@ -584,6 +612,9 @@ class OracleAdapter:
 
     def cancel(self, ride) -> None:
         self.engine.remove_ride(ride.ride_id)
+
+    def cancel_booking(self, request_id: int, ride_id: int):
+        return self.engine.cancel_booking(request_id, ride_id)
 
     def active_rides(self):
         return list(self.engine.rides.values())

@@ -53,7 +53,7 @@ class StubInner:
     booked: List[int] = field(default_factory=list)
 
     def create(self, source, destination, depart_s, seats=None,
-               detour_limit_m=None):
+               detour_limit_m=None, shift_end_s=None):
         ride = StubRide(ride_id=len(self.rides) + 1,
                         seats_available=seats or 1)
         self.rides.append(ride)

@@ -48,7 +48,7 @@ class FakeAdapter:
             raise self.error
 
     def create(self, source, destination, depart_s, seats=None,
-               detour_limit_m=None):
+               detour_limit_m=None, shift_end_s=None):
         self._maybe_fail("create")
         return SimpleNamespace(ride_id=1)
 

@@ -1,0 +1,178 @@
+"""Cancellation-storm regression: a burst of cancels restores state exactly.
+
+Three layers:
+
+* **Engine-exact**: book a wave of passengers onto capacity-4 rides, then
+  cancel every one of them in a burst with no clock movement in between —
+  each ride's (seats, detour budget, route, passenger set) fingerprint
+  must return to its pre-wave value bit for bit, on the flat search core
+  AND on the legacy per-object mirror, and the two mirrors must agree
+  with each other throughout.
+* **Thread router**: the same storm shape driven declaratively through a
+  2-shard :class:`ShardRouter` scenario — applied cancels, balanced
+  ledgers, clean invariant audit.
+* **Process router**: ditto through supervised subprocess shards, where
+  the audit runs in-worker over RPC.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import XARError
+from repro.resilience.audit import InvariantAuditor
+from repro.scenarios import (
+    AssertionSpec,
+    CitySpec,
+    DemandSpec,
+    ScenarioSpec,
+    SupplySpec,
+    run_scenario,
+)
+from repro.verify.differential import make_facade
+from repro.workloads import corridor_workload, trips_to_requests
+
+SEED = 17
+BUDGET_SCALES = (0.5, 1.0, None)
+
+
+def _fingerprints(engine):
+    """Exact per-ride state: seats, remaining budget, route, passengers."""
+    with engine.lock:
+        return {
+            ride_id: (
+                ride.seats_available,
+                round(ride.detour_limit_m, 9),
+                tuple(ride.route),
+                frozenset(ride.passengers),
+            )
+            for ride_id, ride in engine.rides.items()
+        }
+
+
+def _normalized(matches):
+    """The harness's canonical cross-façade order (walk, ETA, ride)."""
+    return sorted(
+        matches, key=lambda m: (m.total_walk_m, m.eta_pickup_s, m.ride_id)
+    )
+
+
+def _run_storm(facade_name, region):
+    """Create capacity-4 supply, book a baseline wave, then book + burst-
+    cancel a storm wave.  Returns (facade, pre-storm fingerprints,
+    post-storm fingerprints, booked ride ids)."""
+    facade = make_facade(facade_name, region, seed=SEED)
+    default_detour = region.config.default_detour_m
+    trips = corridor_workload(region.network, 40, start_s=0.0, band_s=300.0,
+                              seed=SEED)
+    requests = trips_to_requests(trips, window_s=600.0)
+
+    # Stagger fleet departures across the demand band so every request's
+    # window overlaps live supply (a fleet that all departs at t~0 has
+    # passed its pickup points before the first window even opens).
+    for index, trip in enumerate(trips[:6]):
+        facade.target.create(trip.pickup, trip.dropoff, 100.0 * index,
+                             seats=4, detour_limit_m=default_detour)
+
+    def book_wave(wave):
+        booked = []
+        for index, request in enumerate(wave):
+            scale = BUDGET_SCALES[index % len(BUDGET_SCALES)]
+            request = dataclasses.replace(
+                request,
+                max_detour_m=None if scale is None else default_detour * scale,
+            )
+            matches = _normalized(facade.target.search(request, 5))
+            for match in matches[:3]:
+                try:
+                    record = facade.target.book(request, match)
+                except XARError:
+                    continue
+                booked.append((record.request_id, record.ride_id))
+                break
+        return booked
+
+    baseline = book_wave(requests[6:16])
+    assert baseline, "the baseline wave must land at least one booking"
+    before = _fingerprints(facade.xar_engines[0])
+
+    storm_victims = book_wave(requests[16:32])
+    assert len(storm_victims) >= 3, "the storm needs bookings to cancel"
+    during = _fingerprints(facade.xar_engines[0])
+    assert during != before, "storm bookings must visibly consume state"
+
+    for request_id, ride_id in storm_victims:
+        facade.target.cancel_booking(request_id, ride_id)
+    after = _fingerprints(facade.xar_engines[0])
+    return facade, before, after, storm_victims
+
+
+@pytest.mark.parametrize("facade_name", ["xar", "legacy"])
+def test_burst_cancel_restores_every_ride_exactly(small_region, facade_name):
+    facade, before, after, _ = _run_storm(facade_name, small_region)
+    try:
+        assert after == before, (
+            "cancelling the whole storm wave must restore seats, budgets, "
+            "routes and passenger sets to the pre-storm fingerprint"
+        )
+        audit = InvariantAuditor(facade.xar_engines[0]).audit()
+        assert audit.violations == [], audit.by_kind()
+    finally:
+        facade.close()
+
+
+def test_flat_and_legacy_mirrors_agree_through_the_storm(small_region):
+    flat, flat_before, flat_after, flat_victims = _run_storm(
+        "xar", small_region
+    )
+    legacy, legacy_before, legacy_after, legacy_victims = _run_storm(
+        "legacy", small_region
+    )
+    try:
+        # Identical op sequence -> identical bookings, identical state on
+        # both mirrors at every phase boundary.
+        assert flat_victims == legacy_victims
+        assert flat_before == legacy_before
+        assert flat_after == legacy_after
+        # And a post-storm probe search returns the same candidates.
+        probe = trips_to_requests(
+            corridor_workload(small_region.network, 45, start_s=0.0,
+                              band_s=300.0, seed=SEED)
+        )[-1]
+        flat_ids = [m.ride_id for m in _normalized(flat.target.search(probe, 5))]
+        legacy_ids = [
+            m.ride_id for m in _normalized(legacy.target.search(probe, 5))
+        ]
+        assert flat_ids == legacy_ids
+    finally:
+        flat.close()
+        legacy.close()
+
+
+def _storm_spec(facade: str) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"storm_regression_{facade}",
+        facade=facade,
+        seed=SEED,
+        city=CitySpec(kind="lattice", avenues=5, streets=10),
+        supply=SupplySpec(fleet=8, seats=4),
+        demand=DemandSpec(
+            workload="corridor", requests=50, duration_s=900.0,
+            budget_scales=BUDGET_SCALES,
+            cancel_storm=(100.0, 900.0, 0.5),
+        ),
+        asserts=AssertionSpec(min_booked=1, min_cancels=1),
+    )
+
+
+@pytest.mark.parametrize("facade", ["shard2", "proc2"])
+def test_storm_scenario_stays_clean_on_both_router_families(facade):
+    report = run_scenario(_storm_spec(facade))
+    failed = [entry for entry in report.assertions if not entry["ok"]]
+    assert report.passed, failed
+    assert report.counts["cancels_applied"] >= 1
+    assert report.counts["cancel_misses"] == 0
+    assert report.audit["violations"] == 0
+    assert report.ledger["balanced"], report.ledger

@@ -1,0 +1,66 @@
+"""Twin-city builder: merged topology, bridges, connectivity, caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ScenarioError
+from repro.roadnet import manhattan_city
+from repro.roadnet.generators import is_strongly_connected
+from repro.scenarios import CitySpec, build_city, region_for, twin_city
+
+
+def test_twin_city_merges_two_lattices():
+    lattice = manhattan_city(n_avenues=5, n_streets=10)
+    twin = twin_city(n_avenues=5, n_streets=10, n_bridges=2)
+    assert twin.node_count == 2 * lattice.node_count
+    # Both lattices' edges survive, plus two directed edges per bridge.
+    assert twin.edge_count == 2 * lattice.edge_count + 2 * 2
+
+
+def test_twin_city_is_strongly_connected_through_the_bridges():
+    twin = twin_city(n_avenues=5, n_streets=10, n_bridges=1)
+    assert is_strongly_connected(twin)
+
+
+def test_bridges_span_the_separation_gap():
+    n_avenues, n_streets = 5, 10
+    offset = n_avenues * n_streets
+    twin = twin_city(n_avenues=n_avenues, n_streets=n_streets,
+                     separation_m=2000.0, n_bridges=2)
+    bridges = [
+        edge for edge in twin.edges()
+        if (edge.source < offset) != (edge.target < offset)
+    ]
+    assert len(bridges) == 4  # 2 two-way bridges -> 4 directed edges
+    for edge in bridges:
+        # A bridge must actually cross the gap, i.e. be much longer than
+        # any intra-lattice block (geodesic length lands within ~1% of
+        # the requested separation).
+        assert edge.length_m >= 1900.0
+
+
+def test_east_lattice_sits_east_of_the_west_one():
+    twin = twin_city(n_avenues=5, n_streets=10, separation_m=2000.0)
+    west_lons = [twin.position(n).lon for n in range(50)]
+    east_lons = [twin.position(n).lon for n in range(50, 100)]
+    assert max(west_lons) < min(east_lons)
+
+
+def test_too_many_bridges_rejected():
+    with pytest.raises(ScenarioError, match="bridges"):
+        twin_city(n_avenues=4, n_streets=5, n_bridges=6)
+
+
+def test_build_city_dispatches_on_kind():
+    lattice = build_city(CitySpec(kind="lattice", avenues=4, streets=6))
+    assert lattice.node_count == 24
+    twin = build_city(CitySpec(kind="twin", avenues=4, streets=6, bridges=1))
+    assert twin.node_count == 48
+
+
+def test_region_cache_returns_the_same_region_for_equal_specs():
+    spec = CitySpec(kind="lattice", avenues=5, streets=10)
+    assert region_for(spec) is region_for(
+        CitySpec(kind="lattice", avenues=5, streets=10)
+    )

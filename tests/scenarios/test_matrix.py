@@ -1,0 +1,41 @@
+"""The full pinned scenario matrix (CI's scenario-matrix job).
+
+Every pinned spec must pass its own declarative assertions.  Marked
+``scenario`` and excluded from tier-1 addopts: run with ``-m scenario``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import pinned_names, pinned_scenario, run_scenario
+
+pytestmark = pytest.mark.scenario
+
+
+@pytest.mark.parametrize("name", pinned_names())
+def test_pinned_scenario_passes(name):
+    spec = pinned_scenario(name)
+    report = run_scenario(spec)
+    failed = [entry for entry in report.assertions if not entry["ok"]]
+    assert report.passed, (
+        f"scenario {name!r} (seed {spec.seed}) failed: {failed}; "
+        f"replay with: xar scenario run {name}"
+    )
+
+
+@pytest.mark.parametrize(
+    "name", [n for n in pinned_names()
+             if pinned_scenario(n).facade not in ("batch",)
+             and not pinned_scenario(n).facade.startswith("proc")]
+)
+def test_pinned_scenario_reports_are_deterministic(name):
+    """Same spec + seed -> byte-identical canonical report.
+
+    Batch and process façades run real concurrency (matcher thread,
+    subprocess restarts), so they promise accounting invariants rather
+    than a byte-stable transcript; every other façade must be exact.
+    """
+    spec = pinned_scenario(name)
+    assert (run_scenario(spec).canonical_json()
+            == run_scenario(spec).canonical_json())

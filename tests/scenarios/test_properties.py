@@ -1,0 +1,84 @@
+"""Property-style invariants over a seeded scenario sweep.
+
+Two properties, checked over a pinned seed grid with surge and
+cancellation-storm overlays active:
+
+* **Budgets**: no booked passenger's consumed detour ever exceeds their
+  declared per-passenger budget (the runner sweeps every live and
+  completed ride after the drain).
+* **Ledgers**: every booking and cancellation the runner observed is
+  accounted for by the engine's append-only ledgers — and on the batch
+  façade, the matcher's own ledger must balance
+  (assigned + fallback + unmatched + failed == submitted).
+
+One seed runs in tier-1; the rest of the grid rides in the
+``scenario``-marked sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    AssertionSpec,
+    CitySpec,
+    DemandSpec,
+    ScenarioSpec,
+    SupplySpec,
+    run_scenario,
+)
+
+#: The pinned property grid: seeds x façades, overlays always on.
+SEEDS = (3, 5, 7, 11, 13)
+FACADES = ("xar", "batch")
+
+
+def _property_spec(facade: str, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"property_{facade}_seed{seed}",
+        facade=facade,
+        seed=seed,
+        city=CitySpec(kind="lattice", avenues=5, streets=10),
+        supply=SupplySpec(fleet=8, seats=4),
+        demand=DemandSpec(
+            workload="corridor", requests=60, duration_s=1000.0,
+            budget_scales=(0.25, 0.5, 1.0, None),
+            surge=(0.0, 500.0, 2.0),
+            cancel_storm=(200.0, 1000.0, 0.3),
+        ),
+        asserts=AssertionSpec(min_booked=1),
+    )
+
+
+def _check_properties(facade: str, seed: int) -> None:
+    report = run_scenario(_property_spec(facade, seed))
+    # Property 1: budgets. The sweep must have actually checked budgeted
+    # passengers (three of every four bookings carry one) and found zero
+    # over-budget detours.
+    assert report.budget["violations"] == 0, report.budget
+    assert report.budget["checked"] > 0
+    # Property 2: ledgers. Engine ledgers balance the runner's counts;
+    # the batch façade's matcher ledger must also account for every
+    # submitted request.
+    assert report.ledger["balanced"], report.ledger
+    if facade == "batch":
+        batch = report.ledger["batch"]
+        assert (batch["assigned"] + batch["fallback"] + batch["unmatched"]
+                + batch["failed"] == batch["submitted"]), batch
+    # The overlays were genuinely active, and nothing broke invariants.
+    assert report.counts["booked"] >= 1
+    assert report.audit["violations"] == 0
+    failed = [entry for entry in report.assertions if not entry["ok"]]
+    assert report.passed, failed
+
+
+@pytest.mark.parametrize("facade", FACADES)
+def test_properties_hold_tier1(facade):
+    _check_properties(facade, SEEDS[0])
+
+
+@pytest.mark.scenario
+@pytest.mark.parametrize("facade", FACADES)
+@pytest.mark.parametrize("seed", SEEDS[1:])
+def test_properties_hold_across_the_seed_grid(facade, seed):
+    _check_properties(facade, seed)

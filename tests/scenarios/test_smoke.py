@@ -1,0 +1,34 @@
+"""Tier-1 scenario smoke: the pinned smoke spec passes and is deterministic.
+
+This is the one scenario that runs on every plain ``pytest`` invocation;
+the full matrix lives behind ``-m scenario`` (see ``test_matrix.py``).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import pinned_scenario, run_scenario
+
+
+def test_smoke_scenario_passes_and_reports_are_byte_identical():
+    spec = pinned_scenario("smoke_tiny")
+    first = run_scenario(spec)
+    assert first.passed, [
+        entry for entry in first.assertions if not entry["ok"]
+    ]
+    # Real activity, not a vacuous pass.
+    assert first.counts["booked"] >= 5
+    assert first.counts["max_pool"] >= 2
+    assert first.audit["violations"] == 0
+    assert first.budget["violations"] == 0
+
+    second = run_scenario(spec)
+    assert first.canonical_json() == second.canonical_json()
+
+
+def test_different_seed_changes_the_canonical_report():
+    import dataclasses
+
+    spec = pinned_scenario("smoke_tiny")
+    other = dataclasses.replace(spec, seed=spec.seed + 1)
+    assert (run_scenario(spec).canonical_json()
+            != run_scenario(other).canonical_json())

@@ -34,7 +34,7 @@ class _ScriptedTarget:
         return outcome
 
     def create(self, source, destination, depart_s, seats=None,
-               detour_limit_m=None):
+               detour_limit_m=None, shift_end_s=None):
         self.created.append(depart_s)
         return object()
 

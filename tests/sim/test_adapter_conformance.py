@@ -34,6 +34,7 @@ PROTOCOL_MEMBERS = (
     "book",
     "track_all",
     "cancel",
+    "cancel_booking",
     "active_rides",
     "rollback_count",
     "index_stats",
