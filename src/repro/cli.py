@@ -47,8 +47,14 @@ from .baselines import TShareEngine
 from .batch import BatchConfig, BatchMatcher
 from .config import XARConfig
 from .core import XAREngine
-from .discretization import build_region, load_region, save_region
-from .durability import DurabilityConfig, iter_frames, recover_engine
+from .discretization import build_region, load_region, region_digest, save_region
+from .durability import (
+    DurabilityConfig,
+    iter_frames,
+    read_topology,
+    recover_engine,
+    topology_path,
+)
 from .mmtp import MultiModalPlanner, synthetic_feed
 from .obs import MetricsRegistry, to_json, to_prometheus_text
 from .roadnet import (
@@ -66,9 +72,12 @@ from .service import (
     LoadGenConfig,
     LoadGenerator,
     ProcRouter,
+    ReshardConfig,
+    ReshardController,
     ServiceSLO,
     ShardRouter,
     SupervisorConfig,
+    skew_hotspot,
 )
 from .sim import (
     DriverCancellation,
@@ -197,6 +206,16 @@ def _loadtest(args: argparse.Namespace) -> int:
     requests = trips_to_requests(
         trips, window_s=args.window, walk_threshold_m=args.walk
     )
+    if getattr(args, "hotspot_frac", 0.0):
+        # Satellite workload skew: concentrate sources on a few Zipf-weighted
+        # zones — the load a static partition cannot absorb.
+        requests = skew_hotspot(
+            region,
+            requests,
+            hotspot_frac=args.hotspot_frac,
+            hotspot_zones=args.hotspot_zones,
+            seed=args.seed,
+        )
     supply, demand = requests[: args.prepopulate], requests[args.prepopulate:]
 
     if getattr(args, "matcher", "greedy") == "batch" and (
@@ -209,6 +228,22 @@ def _loadtest(args: argparse.Namespace) -> int:
         raise SystemExit("--legacy-search pins the in-process thread-shard "
                          "engines to the pre-flat search path; drop "
                          "--procs/--remote")
+
+    reshard = None
+    if getattr(args, "reshard", 0):
+        if args.remote:
+            raise SystemExit("--reshard drives a local router; drop --remote")
+        if args.reshard < args.shards:
+            raise SystemExit(f"--reshard {args.reshard} must be >= --shards "
+                             f"{args.shards} (it is the lifetime lane budget)")
+        if not args.procs and not args.durable:
+            raise SystemExit("--reshard needs durable shards: add "
+                             "--durable DIR (or --procs)")
+        reshard = ReshardConfig(
+            max_shards=args.reshard,
+            min_interval_ops=args.reshard_interval_ops,
+            split_pressure=args.reshard_pressure,
+        )
 
     if args.remote:
         return _loadtest_remote(args, region, supply, demand)
@@ -242,6 +277,7 @@ def _loadtest(args: argparse.Namespace) -> int:
                 seed=args.seed,
             ),
             fanout=args.fanout,
+            reshard=reshard,
         )
     else:
         service_cm = ShardRouter(
@@ -253,6 +289,7 @@ def _loadtest(args: argparse.Namespace) -> int:
             use_flat_index=not args.legacy_search,
             seed=args.seed,
             durability=durability,
+            reshard=reshard,
         )
 
     with service_cm as service:
@@ -274,9 +311,25 @@ def _loadtest(args: argparse.Namespace) -> int:
                     if global_index < crash_state["due"]:
                         return
                     crash_state["due"] += args.crash_every
-                    victim = crash_state["victim"] % service.n_shards
+                    victim = crash_state["victim"] % len(
+                        getattr(service, "active_slot_ids",
+                                lambda: range(service.n_shards))())
                     crash_state["victim"] += 1
                 service.crash_shard(victim)
+
+        controller = None
+        if reshard is not None:
+            # The controller rides the load generator's chaos seam: a cheap
+            # tick every few requests (op-volume gating keeps real reshard
+            # decisions far rarer than the probe).
+            controller = ReshardController(service, reshard)
+            crash_chaos = chaos
+
+            def chaos(global_index: int) -> None:
+                if crash_chaos is not None:
+                    crash_chaos(global_index)
+                if global_index % 25 == 0:
+                    controller.tick()
 
         config = LoadGenConfig(
             workers=args.workers,
@@ -325,6 +378,16 @@ def _loadtest(args: argparse.Namespace) -> int:
             label = "restarts" if args.procs else "failovers"
             print(f"{label:<18}: {failovers or 'none'}")
             print(f"replayed ops      : {replayed or 'none'}")
+        if controller is not None:
+            status = controller.status()
+            taken = [
+                "{action} {slot}->{peer}".format(**entry)
+                for entry in status["actions"]
+                if entry["action"] != "refused"
+            ]
+            print(f"reshard epoch     : {status['epoch']} "
+                  f"(slots {status['active_slots']})")
+            print(f"reshard actions   : {', '.join(taken) or 'none'}")
 
     return _finish_loadtest(args, report, service.metrics)
 
@@ -678,6 +741,180 @@ def _recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _reshard_slot_files(directory, manifest):
+    """Per active slot: (wal_path, checkpoint_path) the manifest names.
+
+    Thread-mode entries carry generation-suffixed ``wal``/``ckpt`` file
+    names; process-mode entries carry a ``dir`` (a run-dir subdirectory
+    holding the slot's default-named files).  A service that never
+    resharded has no manifest — fall back to the deterministic static
+    layout, both flat (thread mode) and per-shard-directory (process mode).
+    """
+    slots = {}
+    if manifest is not None:
+        for entry in sorted(manifest["slots"], key=lambda e: e["slot"]):
+            if not entry.get("active"):
+                continue
+            slot = int(entry["slot"])
+            if "dir" in entry:
+                base = os.path.join(directory, entry["dir"])
+                slots[slot] = (os.path.join(base, f"shard{slot}.wal"),
+                               os.path.join(base, f"shard{slot}.ckpt"))
+            elif "wal" in entry:
+                slots[slot] = (os.path.join(directory, entry["wal"]),
+                               os.path.join(directory, entry["ckpt"]))
+            else:
+                # Default layout: flat files in thread mode, a per-shard
+                # subdirectory in process mode.
+                flat = os.path.join(directory, f"shard{slot}.wal")
+                nested = os.path.join(
+                    directory, f"shard{slot}", f"shard{slot}.wal")
+                if os.path.exists(flat) or not os.path.exists(nested):
+                    slots[slot] = (flat, flat[:-4] + ".ckpt")
+                else:
+                    slots[slot] = (nested, nested[:-4] + ".ckpt")
+        return slots
+    slot = 0
+    while True:
+        flat = os.path.join(directory, f"shard{slot}.wal")
+        nested = os.path.join(directory, f"shard{slot}", f"shard{slot}.wal")
+        if os.path.exists(flat):
+            slots[slot] = (flat, os.path.join(directory, f"shard{slot}.ckpt"))
+        elif os.path.exists(nested):
+            slots[slot] = (nested, nested[:-4] + ".ckpt")
+        else:
+            break
+        slot += 1
+    return slots
+
+
+def _reshard_status(args: argparse.Namespace) -> int:
+    """Pretty-print the committed topology manifest of a durable run dir."""
+    manifest = read_topology(topology_path(args.dir))
+    if manifest is None:
+        print(f"{args.dir}: no topology manifest — static topology "
+              "(never resharded, or reshard mode was off)")
+        return 0
+    entries = sorted(manifest["slots"], key=lambda e: e["slot"])
+    active = [e for e in entries if e.get("active")]
+    print(f"run dir           : {args.dir}")
+    print(f"routing epoch     : {manifest['epoch']}")
+    print(f"lane modulus      : {manifest['lane_modulus']} "
+          f"(lifetime shard budget)")
+    print(f"active slots      : {[e['slot'] for e in active]} "
+          f"({len(entries)} ever created)")
+    for entry in entries:
+        slot = entry["slot"]
+        where = entry.get("dir") or entry.get("wal") or f"shard{slot}.wal"
+        state = "active" if entry.get("active") else "retired"
+        print(f"  slot {slot:<3} {state:<8} lane={entry.get('lane', slot)} "
+              f"-> {where}")
+    redirect = manifest.get("redirect", {})
+    if redirect:
+        print(f"merge redirects   : "
+              f"{ {int(k): v for k, v in redirect.items()} }")
+    homes = manifest.get("ride_homes", {})
+    print(f"migrated rides    : {len(homes)} pinned to an explicit home")
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+        print(f"wrote manifest -> {args.json_path}")
+    return 0
+
+
+def _reshard_verify(args: argparse.Namespace) -> int:
+    """Offline exactly-once proof over a (possibly resharded) run dir.
+
+    Replays every active slot's WAL from scratch, audits each recovered
+    engine, and checks the cross-slot invariants a reshard must preserve:
+    no ride or booking duplicated across slots, and every ride living in
+    the slot the committed routing tables say owns it.
+    """
+    from .resilience.audit import InvariantAuditor
+
+    region = load_region(args.region)
+    manifest = read_topology(
+        topology_path(args.dir), expected_digest=region_digest(region)
+    )
+    slot_files = _reshard_slot_files(args.dir, manifest)
+    if not slot_files:
+        print(f"{args.dir}: no shard WALs found", file=sys.stderr)
+        return 1
+
+    def owner_of(ride_id: int) -> Optional[int]:
+        if manifest is None:
+            return None
+        slot = manifest.get("ride_homes", {}).get(str(ride_id))
+        if slot is None:
+            lane = (ride_id - 1) % int(manifest["lane_modulus"])
+            slot = manifest["lane_owner"][lane]
+        redirect = manifest.get("redirect", {})
+        while str(slot) in redirect:
+            slot = redirect[str(slot)]
+        return int(slot)
+
+    failures = []
+    ride_seen = {}
+    booking_seen = {}
+    total_rides = total_bookings = total_replayed = 0
+    for slot, (wal, ckpt) in sorted(slot_files.items()):
+        result = recover_engine(region, wal, ckpt)
+        engine = result.engine
+        total_replayed += result.replayed_ops
+        audit = InvariantAuditor(engine).audit()
+        with engine.lock:
+            ride_ids = sorted(set(engine.rides) | set(engine.completed_rides))
+            bookings = list(engine.bookings)
+        total_rides += len(ride_ids)
+        total_bookings += len(bookings)
+        print(f"slot {slot:<3}: {result.replayed_ops} ops replayed, "
+              f"{len(ride_ids)} rides, {len(bookings)} bookings, "
+              f"audit {'clean' if audit.ok else 'FAILED'}")
+        if not audit.ok:
+            failures.append(f"slot {slot}: invariant audit {audit.by_kind()}")
+        for ride_id in ride_ids:
+            if ride_id in ride_seen:
+                failures.append(
+                    f"ride {ride_id} recovered in both slot "
+                    f"{ride_seen[ride_id]} and slot {slot}"
+                )
+            ride_seen[ride_id] = slot
+            home = owner_of(ride_id)
+            if home is not None and home != slot:
+                failures.append(
+                    f"ride {ride_id} recovered in slot {slot} but the "
+                    f"routing tables assign it to slot {home}"
+                )
+        for booking in bookings:
+            # A ledger row follows its ride through every carve, and a ride
+            # lives in exactly one slot — the same (request, ride) row in
+            # two slots means a migration duplicated it.
+            key = (booking.request_id, booking.ride_id)
+            if key in booking_seen and booking_seen[key] != slot:
+                failures.append(
+                    f"booking (request {key[0]}, ride {key[1]}) recovered "
+                    f"in both slot {booking_seen[key]} and slot {slot} "
+                    f"(exactly-once ledger violated)"
+                )
+            booking_seen.setdefault(key, slot)
+
+    epoch = manifest["epoch"] if manifest is not None else 0
+    print(f"topology          : epoch {epoch}, "
+          f"{len(slot_files)} active slots")
+    print(f"totals            : {total_replayed} ops replayed, "
+          f"{total_rides} rides, {total_bookings} bookings")
+    if failures:
+        print(f"verify FAILED ({len(failures)} violation(s)):",
+              file=sys.stderr)
+        for failure in failures[:20]:
+            print(f"  {failure}", file=sys.stderr)
+        if len(failures) > 20:
+            print(f"  ... and {len(failures) - 20} more", file=sys.stderr)
+        return 1
+    print("verify ok         : ledger exact, ownership consistent")
+    return 0
+
+
 def _wal_dump(args: argparse.Namespace) -> int:
     """Dump a WAL frame by frame; flags the torn tail when there is one."""
     try:
@@ -895,6 +1132,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="kill a rotating shard worker every N requests "
                         "(requires --durable in thread mode); the supervisor "
                         "must recover each")
+    p.add_argument("--reshard", type=int, default=0, metavar="MAX_SHARDS",
+                   help="enable elastic resharding with this lifetime shard "
+                        "budget (>= --shards); a load-watching controller "
+                        "splits hot shards / merges cold ones during the run "
+                        "(requires --durable or --procs)")
+    p.add_argument("--reshard-interval-ops", type=int, default=400,
+                   dest="reshard_interval_ops",
+                   help="completed ops between reshard controller decisions "
+                        "(volume-gated for reproducible cadence)")
+    p.add_argument("--reshard-pressure", type=float, default=1.75,
+                   dest="reshard_pressure",
+                   help="split the hottest shard when its load ratio (share "
+                        "of the active-slot mean) reaches this")
+    p.add_argument("--hotspot-frac", type=float, default=0.0,
+                   dest="hotspot_frac",
+                   help="fraction of request sources relocated onto a few "
+                        "hot zones (seeded Zipf over --hotspot-zones); the "
+                        "skew a static partition cannot absorb")
+    p.add_argument("--hotspot-zones", type=int, default=2,
+                   dest="hotspot_zones",
+                   help="number of hot zones for --hotspot-frac")
     p.add_argument("--procs", action="store_true",
                    help="process mode: each shard is a supervised subprocess "
                         "behind length-prefixed RPC (--durable names its run "
@@ -1046,6 +1304,35 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the invariant auditor on the recovered engine "
                         "(non-zero exit on violations)")
     p.set_defaults(func=_recover)
+
+    p = sub.add_parser(
+        "reshard",
+        help="inspect or verify the elastic-resharding state of a durable "
+             "run directory",
+    )
+    reshard_sub = p.add_subparsers(dest="reshard_cmd", required=True)
+
+    sp = reshard_sub.add_parser(
+        "status",
+        help="pretty-print the committed topology manifest (epoch, slots, "
+             "lanes, redirects)",
+    )
+    sp.add_argument("dir", help="durable run directory (--durable DIR / "
+                                "proc run dir)")
+    sp.add_argument("--json", dest="json_path",
+                    help="also write the raw manifest as JSON to this path")
+    sp.set_defaults(func=_reshard_status)
+
+    sp = reshard_sub.add_parser(
+        "verify",
+        help="offline exactly-once proof: replay every active slot's WAL, "
+             "audit each engine, check cross-slot ownership and ledger "
+             "uniqueness (non-zero exit on violation)",
+    )
+    sp.add_argument("region", help="the saved region the WALs were written "
+                                   "against (digests must match)")
+    sp.add_argument("dir", help="durable run directory")
+    sp.set_defaults(func=_reshard_verify)
 
     p = sub.add_parser(
         "wal-dump",

@@ -21,8 +21,18 @@ from .checkpoint import (
     read_checkpoint,
     restore_engine_state,
     write_checkpoint,
+    write_checkpoint_state,
 )
 from .recovery import RecoveryResult, recover_engine, replay_record
+from .reshard import (
+    TOPOLOGY_VERSION,
+    merge_engine_states,
+    read_topology,
+    split_engine_state,
+    state_ride_ids,
+    topology_path,
+    write_topology,
+)
 from .wal import (
     WAL_VERSION,
     WalFrame,
@@ -37,16 +47,24 @@ __all__ = [
     "DurabilityConfig",
     "DurableAdapter",
     "RecoveryResult",
+    "TOPOLOGY_VERSION",
     "WAL_VERSION",
     "WalFrame",
     "WalScan",
     "WriteAheadLog",
     "engine_state",
     "iter_frames",
+    "merge_engine_states",
     "read_checkpoint",
+    "read_topology",
     "recover_engine",
     "replay_record",
     "restore_engine_state",
     "scan_wal",
+    "split_engine_state",
+    "state_ride_ids",
+    "topology_path",
     "write_checkpoint",
+    "write_checkpoint_state",
+    "write_topology",
 ]

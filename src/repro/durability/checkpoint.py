@@ -145,13 +145,39 @@ def write_checkpoint(
     then replay from a WAL position the lost checkpoint was supposed to
     cover.
     """
+    write_checkpoint_state(
+        path,
+        engine_state(engine),
+        region_digest=(
+            digest if digest is not None else region_digest(engine.region)
+        ),
+        shard_id=shard_id,
+        wal_seq=wal_seq,
+    )
+
+
+def write_checkpoint_state(
+    path: str,
+    state: Dict[str, Any],
+    *,
+    region_digest: str,
+    shard_id: int = 0,
+    wal_seq: int = -1,
+) -> None:
+    """Atomically persist an already-serialized :func:`engine_state` dict.
+
+    The resharding carve path builds child states by partitioning a parent
+    snapshot — no child engine exists yet to snapshot — so the atomic
+    tmp-file + rename + directory-fsync protocol is exposed at the state
+    level too.  :func:`write_checkpoint` is now a thin wrapper over this.
+    """
     payload = {
         "format": "xar.checkpoint",
         "version": CHECKPOINT_VERSION,
-        "region_digest": digest if digest is not None else region_digest(engine.region),
+        "region_digest": region_digest,
         "shard_id": shard_id,
         "wal_seq": wal_seq,
-        "engine": engine_state(engine),
+        "engine": state,
     }
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)

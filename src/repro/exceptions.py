@@ -116,6 +116,19 @@ class ServiceClosedError(ServiceError):
     """An operation was submitted to a service that has been shut down."""
 
 
+class ReshardError(ServiceError):
+    """An elastic-resharding action (split / merge) cannot proceed.
+
+    Raised for precondition failures — resharding disabled, the slot is
+    inactive, too few clusters to carve, the ride-id lane budget is
+    exhausted — and as the wrapper for failures inside the migration
+    itself (the original exception rides along as ``__cause__``).  A
+    pre-commit failure leaves the old topology live; a post-commit failure
+    rolls forward to the new one — either way the routing table the caller
+    sees afterwards matches what a process restart would recover.
+    """
+
+
 class ShardQuarantinedError(ShardOverloadError):
     """A shard blew through its restart budget and is circuit-broken.
 

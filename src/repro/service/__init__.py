@@ -20,7 +20,7 @@ same adapter surface (:class:`ProcRouter`), with an async HTTP gateway
 (:class:`Gateway`) and client (:class:`HttpServiceClient`) on top.
 """
 
-from .loadgen import LoadGenConfig, LoadGenerator, LoadReport
+from .loadgen import LoadGenConfig, LoadGenerator, LoadReport, skew_hotspot
 from .merge import merge_matches, rank_key
 from .proc import (
     Gateway,
@@ -30,6 +30,7 @@ from .proc import (
     ShardSupervisor,
     SupervisorConfig,
 )
+from .reshard import ReshardAction, ReshardConfig, ReshardController
 from .router import ShardRouter
 from .shard import ShardStats, ShardWorker
 from .sharding import ShardMap, derive_seed, shard_local_requests
@@ -45,6 +46,9 @@ __all__ = [
     "merge_matches",
     "rank_key",
     "ProcRouter",
+    "ReshardAction",
+    "ReshardConfig",
+    "ReshardController",
     "ShardRouter",
     "ShardStats",
     "ShardWorker",
@@ -53,5 +57,6 @@ __all__ = [
     "SupervisorConfig",
     "derive_seed",
     "shard_local_requests",
+    "skew_hotspot",
     "ServiceSLO",
 ]

@@ -37,7 +37,7 @@ import json
 import random
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.request import RideRequest
@@ -444,3 +444,99 @@ class LoadGenerator:
         if callable(audit):
             report.audit = audit(heal=False)
         return report
+
+
+# ----------------------------------------------------------------------
+# Workload skew (elastic-resharding exercise harness)
+# ----------------------------------------------------------------------
+def skew_hotspot(
+    region,
+    requests: Sequence[RideRequest],
+    *,
+    hotspot_frac: float,
+    hotspot_zones: int = 2,
+    seed: int = 42,
+    zone_radius_m: float = 800.0,
+) -> List[RideRequest]:
+    """Concentrate a request stream onto a few geographic hotspot zones.
+
+    Rewrites the *source* of a seeded ``hotspot_frac`` fraction of the
+    requests so they originate inside one of ``hotspot_zones`` zones,
+    chosen Zipf-style (zone *j* drawn with weight ``1/(j+1)``, so the
+    first zone is by far the hottest).  Sources drive shard routing, so
+    this is exactly the skew a static cluster partition cannot absorb —
+    the workload the elastic reshard controller exists for.
+
+    Each zone is a *set of clusters* — the anchor cluster plus every
+    cluster within ``zone_radius_m`` of it — not a single point, so a
+    load-weighted split can still subdivide the hot range afterwards.
+    Zone anchors are spread evenly across the strip order (west → east),
+    which keeps them in distinct shards of the initial partition.
+
+    Destinations, time windows and walk thresholds are untouched;
+    relocations that would collapse a request onto its own destination
+    are skipped.  Deterministic in (``seed``, region, input order).
+    """
+    if not 0.0 <= hotspot_frac <= 1.0:
+        raise ValueError(f"hotspot_frac must be in [0, 1], got {hotspot_frac}")
+    if hotspot_zones < 1:
+        raise ValueError(f"hotspot_zones must be >= 1, got {hotspot_zones}")
+    clusters = list(region.clusters)
+    if not clusters or hotspot_frac == 0.0:
+        return list(requests)
+
+    def center(cluster) -> Any:
+        return region.landmarks[cluster.center_landmark].position
+
+    ordered = sorted(
+        clusters,
+        key=lambda c: (center(c).lon, center(c).lat, c.cluster_id),
+    )
+    k = min(hotspot_zones, len(ordered))
+    anchors = [
+        ordered[min(len(ordered) - 1, ((2 * j + 1) * len(ordered)) // (2 * k))]
+        for j in range(k)
+    ]
+    zone_points: List[List[Any]] = []
+    for anchor in anchors:
+        points = []
+        for cluster_id, _distance in region.clusters_within(
+            anchor.cluster_id, zone_radius_m
+        ):
+            member = clusters[cluster_id]
+            for landmark_id in member.landmark_ids:
+                points.append(region.landmarks[landmark_id].position)
+        zone_points.append(points or [center(anchor)])
+
+    weights = [1.0 / (j + 1) for j in range(k)]
+    rng = random.Random(f"{seed}:hotspot")
+    skewed: List[RideRequest] = []
+    for request in requests:
+        if rng.random() >= hotspot_frac:
+            skewed.append(request)
+            continue
+        zone = rng.choices(range(k), weights=weights)[0]
+        source = rng.choice(zone_points[zone])
+        if source == request.destination or _same_node(
+            region, source, request.destination
+        ):
+            skewed.append(request)
+            continue
+        skewed.append(replace(request, source=source))
+    return skewed
+
+
+def _same_node(region, source: Any, destination: Any) -> bool:
+    """Would the relocated source collapse onto the destination's road node?
+
+    Zone landmarks can sit a few meters from a request's destination; a
+    ride between two points that snap to the same node is invalid, so the
+    relocation is skipped (the request keeps its original source).
+    """
+    network = getattr(region, "network", None)
+    if network is None:
+        return False
+    try:
+        return network.snap(source) == network.snap(destination)
+    except Exception:  # pragma: no cover - snapping never raises on built maps
+        return False

@@ -45,7 +45,7 @@ import sys
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from ...discretization import DiscretizedRegion, save_region
 from ...exceptions import (
@@ -67,9 +67,13 @@ LIVE = "live"
 RESTARTING = "restarting"
 QUARANTINED = "quarantined"
 STOPPED = "stopped"
+#: Deliberately down for an elastic reshard: the monitor must NOT restart
+#: it (the router owns its next life — possibly under a different WAL
+#: directory), and RPC callers block until the new generation is adopted.
+RESHARDING = "resharding"
 
 STATE_CODES = {STARTING: 0, LIVE: 1, RESTARTING: 2, QUARANTINED: 3,
-               STOPPED: 4}
+               STOPPED: 4, RESHARDING: 5}
 
 
 @dataclass
@@ -362,7 +366,18 @@ class ShardSupervisor:
         region: DiscretizedRegion,
         config: Optional[SupervisorConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        *,
+        overrides: Optional[Dict[int, Dict[str, Any]]] = None,
+        inactive: Optional[Iterable[int]] = None,
+        n_slots: Optional[int] = None,
     ):
+        """``overrides`` maps slot → spawn-config overrides (``wal_dir``,
+        ``ride_id_start``, ``ride_id_step``) — the elastic-reshard seam: a
+        resharded slot's truth lives in a generation-suffixed directory on
+        a fixed ride-id lane, both dictated by the topology manifest.
+        ``inactive`` slots (merged away, in a restored topology) get a
+        placeholder entry but no process; ``n_slots`` widens the slot table
+        past ``config.n_shards`` for manifests that recorded splits."""
         self.region = region
         self.config = config or SupervisorConfig()
         if self.config.n_shards < 1:
@@ -378,10 +393,19 @@ class ShardSupervisor:
             self.region_dir = os.path.join(self.run_dir, "region")
             if not os.path.isdir(self.region_dir):
                 save_region(region, self.region_dir)
+        self.overrides: Dict[int, Dict[str, Any]] = {
+            int(slot): dict(values)
+            for slot, values in (overrides or {}).items()
+        }
+        never_spawn = frozenset(int(s) for s in (inactive or ()))
+        total = n_slots if n_slots is not None else self.config.n_shards
         self.shards = [ProcShard(i, self.config, self)
-                       for i in range(self.config.n_shards)]
+                       for i in range(total)]
         try:
             for shard in self.shards:
+                if shard.shard_id in never_spawn:
+                    shard.state = STOPPED
+                    continue
                 self._spawn(shard)
         except Exception:
             self.close()
@@ -458,11 +482,13 @@ class ShardSupervisor:
         return env
 
     def _shard_paths(self, shard_id: int, generation: int) -> Dict[str, str]:
+        wal_dir = self.overrides.get(shard_id, {}).get(
+            "wal_dir", os.path.join(self.run_dir, f"shard{shard_id}"))
         return {
             "socket": os.path.join(
                 self.run_dir, f"shard{shard_id}.g{generation}.sock"),
             "config": os.path.join(self.run_dir, f"shard{shard_id}.json"),
-            "wal_dir": os.path.join(self.run_dir, f"shard{shard_id}"),
+            "wal_dir": wal_dir,
             "log": os.path.join(self.run_dir, f"shard{shard_id}.log"),
         }
 
@@ -498,6 +524,10 @@ class ShardSupervisor:
             "heartbeat_interval_s": cfg.heartbeat_interval_s,
             "ops_connections": cfg.ops_connections,
         }
+        for key in ("ride_id_start", "ride_id_step"):
+            value = self.overrides.get(shard.shard_id, {}).get(key)
+            if value is not None:
+                child_config[key] = int(value)
         with open(paths["config"], "w", encoding="utf-8") as handle:
             json.dump(child_config, handle)
         listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -702,6 +732,77 @@ class ShardSupervisor:
         process = shard.process
         if process is not None and process.poll() is None:
             process.kill()
+
+    # ------------------------------------------------------------------
+    # Elastic resharding hooks (driven by ProcRouter.split_shard)
+    # ------------------------------------------------------------------
+    def stop_shard_for_reshard(self, shard_id: int, *,
+                               force: bool = False) -> None:
+        """Take a shard down for resharding and park it out of the monitor.
+
+        The RESHARDING state is set *first* so the monitor classifies the
+        process exit as intentional rather than a crash to restart.
+        Default is a graceful drain (SIGTERM → the child finishes its queue
+        and fsyncs the WAL); ``force=True`` SIGKILLs outright — the chaos
+        flavour, which must still reshard correctly off the synced WAL
+        prefix.  Callers blocked in RPC wait out the reshard and resume
+        against the respawned generation.
+        """
+        shard = self.shards[shard_id]
+        shard.set_state(RESHARDING)
+        process = shard.process
+        if process is not None and process.poll() is None:
+            if force:
+                process.kill()
+            else:
+                process.terminate()
+                try:
+                    process.wait(timeout=self.config.drain_timeout_s)
+                except subprocess.TimeoutExpired:
+                    process.kill()
+            process.wait()
+        shard.discard_channels()
+
+    def resume_shard(self, shard_id: int,
+                     overrides: Optional[Dict[str, Any]] = None) -> None:
+        """Respawn a RESHARDING/STOPPED shard, optionally re-homed.
+
+        With ``overrides`` the new generation boots from a different WAL
+        directory / ride-id lane (the committed child topology); without,
+        it recovers exactly where it left off (the abort path).
+        """
+        if overrides is not None:
+            self.overrides[shard_id] = dict(overrides)
+        shard = self.shards[shard_id]
+        shard.consecutive_failures = 0
+        self._spawn(shard)
+
+    def add_shard(self, shard_id: int,
+                  overrides: Dict[str, Any]) -> None:
+        """Bring a brand-new slot (a split's right child) into the fleet."""
+        if shard_id != len(self.shards):
+            raise ValueError(
+                f"new slot must be {len(self.shards)}, got {shard_id}")
+        self.overrides[shard_id] = dict(overrides)
+        shard = ProcShard(shard_id, self.config, self)
+        # Publish the entry before spawning: _observe_state and the monitor
+        # index self.shards by id (list append is atomic under the GIL).
+        self.shards.append(shard)
+        self._spawn(shard)
+
+    def retire_shard(self, shard_id: int) -> None:
+        """Permanently stop a merged-away slot (no process, no restarts)."""
+        shard = self.shards[shard_id]
+        shard.set_state(STOPPED)
+        process = shard.process
+        if process is not None and process.poll() is None:
+            process.terminate()
+            try:
+                process.wait(timeout=self.config.drain_timeout_s)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                process.wait()
+        shard.discard_channels()
 
     def states(self) -> Dict[int, str]:
         return {shard.shard_id: shard.state for shard in self.shards}

@@ -64,6 +64,12 @@ class ShardProcess:
         self.shard_id = int(config["shard_id"])
         self.n_shards = int(config["n_shards"])
         self.generation = int(config.get("generation", 0))
+        # Ride-id lane: defaults interleave by shard id, but elastic
+        # resharding hands children explicit lanes (and a modulus fixed at
+        # the service's max_shards) via the spawn config.
+        self.ride_id_start = int(
+            config.get("ride_id_start", self.shard_id + 1))
+        self.ride_id_step = int(config.get("ride_id_step", self.n_shards))
         self.metrics = MetricsRegistry()
         self.region = load_region(config["region_dir"])
         self.digest = region_digest(self.region)
@@ -95,8 +101,8 @@ class ShardProcess:
         return XAREngine(
             self.region,
             optimize_insertion=bool(self.config.get("optimize_insertion")),
-            ride_id_start=self.shard_id + 1,
-            ride_id_step=self.n_shards,
+            ride_id_start=self.ride_id_start,
+            ride_id_step=self.ride_id_step,
             metrics=self.metrics,
             metrics_labels={"shard": str(self.shard_id)},
         )
@@ -127,8 +133,8 @@ class ShardProcess:
         wal = WriteAheadLog.open(
             self.durability.wal_path(self.shard_id),
             shard_id=self.shard_id,
-            ride_id_start=self.shard_id + 1,
-            ride_id_step=self.n_shards,
+            ride_id_start=self.ride_id_start,
+            ride_id_step=self.ride_id_step,
             region_digest=self.digest,
             fsync_every=self.durability.fsync_every,
             metrics=self.metrics,
@@ -312,6 +318,7 @@ class ShardProcess:
             return worker.call("audit", sweep)
         if op == "stats":
             snapshot = worker.stats_snapshot()
+            snapshot["depth"] = worker.depth
             with engine.lock:
                 snapshot["rides"] = engine.n_active_rides
                 snapshot["bookings"] = engine.n_bookings

@@ -158,6 +158,11 @@ class ShardWorker:
                 shard=self._shard_label, op=operation, outcome=outcome
             ).inc()
 
+    @property
+    def depth(self) -> int:
+        """Jobs currently waiting in the queue (racy read, load signal)."""
+        return self._queue.qsize()
+
     def stats_snapshot(self) -> Dict[str, Any]:
         """Race-free copy of the legacy counters (dicts copied under the
         stats lock, so a concurrent increment can never be observed
@@ -306,6 +311,38 @@ class ShardWorker:
                 if job is not _STOP:
                     pending.append(job)
             pending.sort(key=lambda job: job.enqueued_at)
+            if self._m_depth is not None:
+                self._m_depth.set(0)
+            return pending
+
+    def retire(self) -> "list[_Job]":
+        """Stop a *healthy* worker for migration and take its queued jobs.
+
+        The elastic-resharding path needs what :meth:`drain_pending` gives a
+        failover — an atomic "no job can ever reach this queue again" plus
+        the pending backlog, FIFO — but for a worker whose thread is alive
+        and must be *stopped*, not merely abandoned.  Marking the worker
+        crashed redirects concurrent submitters into the router's
+        failover/retry path (where they block on the reshard lock and then
+        re-resolve routing under the new epoch); the stop sentinel lets the
+        thread finish its in-flight job against the old engine — whose WAL
+        is synced before the swap — and exit.  Caller joins, then requeues
+        the returned jobs on the successor worker(s).
+        """
+        with self._submit_lock:
+            self.crashed = True
+            pending = []
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if job is not _STOP:
+                    pending.append(job)
+            pending.sort(key=lambda job: job.enqueued_at)
+            # The queue was just emptied under the submit lock, so there is
+            # room for the sentinel; the worker thread exits after it.
+            self._queue.put_nowait(_STOP)
             if self._m_depth is not None:
                 self._m_depth.set(0)
             return pending

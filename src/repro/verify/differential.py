@@ -44,13 +44,23 @@ from ..batch import BatchConfig, BatchMatcher
 from ..core import XAREngine
 from ..core.request import RideRequest
 from ..discretization import DiscretizedRegion, region_digest
-from ..durability import DurableAdapter, WriteAheadLog, recover_engine
-from ..exceptions import BookingError, WorkerCrashError, XARError
+from ..durability import (
+    DurabilityConfig,
+    DurableAdapter,
+    WriteAheadLog,
+    recover_engine,
+)
+from ..exceptions import (
+    BookingError,
+    ReshardError,
+    WorkerCrashError,
+    XARError,
+)
 from ..geo import GeoPoint
 from ..obs import MetricsRegistry
 from ..resilience import ResilienceConfig, ResilientEngine
 from ..resilience.audit import InvariantAuditor
-from ..service import ShardRouter
+from ..service import ReshardConfig, ShardRouter
 from ..sim.adapters import XARAdapter
 from .oracle import OracleAdapter, OracleEngine
 
@@ -60,7 +70,7 @@ from .oracle import OracleAdapter, OracleEngine
 #: old-vs-new search differential.
 FACADE_NAMES = (
     "oracle", "xar", "legacy", "shard1", "shard2", "shard4", "resilient",
-    "durable", "batch",
+    "durable", "batch", "reshard",
 )
 
 
@@ -347,6 +357,155 @@ class DurableFacade(Facade):
                 self.rides_by_handle[handle] = recovered
 
 
+class _ReshardTarget:
+    """A reshard-enabled durable :class:`ShardRouter` the harness can split,
+    merge, and SIGKILL at any phase of a split, rebuilding from disk.
+
+    Attribute access falls through to the *current* router, so the façade's
+    op surface survives every rebuild.  ``reshard(op)`` executes one
+    split/merge; when the op carries a ``crash_phase``, a fault hook raises
+    from that phase seam and the target simulates full process death —
+    every WAL handle is abandoned without its final fsync and a fresh
+    router is built from the directory, exactly the recovery a restart
+    performs.  The harness then diffs the recovered live state against the
+    uninterrupted reference: crash-during-split must land on either the old
+    or the new topology with nothing lost, never a mix.
+    """
+
+    _PHASES = ("drained", "synced", "carved", "committed", "swapped")
+
+    def __init__(
+        self,
+        region: DiscretizedRegion,
+        directory: str,
+        *,
+        seed: int = 0,
+        n_shards: int = 2,
+        max_shards: int = 6,
+    ):
+        self.region = region
+        self.directory = directory
+        self.seed = seed
+        self.n_shards = n_shards
+        self.max_shards = max_shards
+        #: Called with the new router after every rebuild (the façade
+        #: re-points its handle maps and audit engine list).
+        self.on_rebuilt: Optional[Callable[[ShardRouter], None]] = None
+        self.reshards = 0
+        self.rebuilds = 0
+        self.router = self._build()
+
+    def _build(self) -> ShardRouter:
+        return ShardRouter(
+            self.region,
+            self.n_shards,
+            fanout="all",
+            queue_depth=4096,
+            seed=self.seed,
+            durability=DurabilityConfig(
+                directory=self.directory, fsync_every=8, checkpoint_every=25
+            ),
+            reshard=ReshardConfig(max_shards=self.max_shards),
+        )
+
+    def __getattr__(self, name: str):
+        return getattr(self.router, name)
+
+    def kill_and_rebuild(self) -> None:
+        """Simulate SIGKILL: drop every WAL handle un-fsynced, restart."""
+        router = self.router
+        for shard in router._active_shards():
+            shard.engine.fault_hook = None
+            durable = _durable_of_adapter(shard.adapter)
+            if durable is not None and not durable.wal.closed:
+                durable.abandon()
+        router._closed = True
+        for shard in router._active_shards():
+            shard.worker.close()
+        self.router = self._build()
+        self.rebuilds += 1
+        if self.on_rebuilt is not None:
+            self.on_rebuilt(self.router)
+
+    def reshard(self, op: Dict[str, Any]) -> None:
+        router = self.router
+        phase = op.get("crash_phase")
+        hook = None
+        if phase is not None:
+
+            def hook(point: str) -> None:
+                if point == phase:
+                    raise WorkerCrashError(
+                        f"injected process death after reshard phase {point}"
+                    )
+
+        try:
+            if op.get("action") == "merge":
+                pairs = router.shard_map.adjacent_pairs()
+                if not pairs:
+                    return
+                dst, src = pairs[op.get("slot_index", 0) % len(pairs)]
+                router.merge_shards(dst, src, fault_hook=hook)
+            else:
+                active = sorted(router.active_slot_ids())
+                slot = active[op.get("slot_index", 0) % len(active)]
+                router.split_shard(slot, fault_hook=hook)
+            self.reshards += 1
+        except WorkerCrashError:
+            # The injected death: whatever the router managed in process is
+            # moot — truth is on disk.  Recover like a restart would.
+            self.kill_and_rebuild()
+        except ReshardError:
+            # Refused (lane budget spent, slot owns one cluster): a no-op,
+            # uniformly — the refusal mutates nothing.
+            pass
+
+    def close(self) -> None:
+        try:
+            self.router.close()
+        except Exception:  # noqa: BLE001 - best effort on teardown
+            pass
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+
+def _durable_of_adapter(adapter: Any) -> Optional[DurableAdapter]:
+    while adapter is not None:
+        if isinstance(adapter, DurableAdapter):
+            return adapter
+        adapter = getattr(adapter, "inner", None)
+    return None
+
+
+class ReshardFacade(Facade):
+    """Facade whose handle maps survive splits, merges, and mid-split
+    crash rebuilds.
+
+    Every reshard recovers engines from carved checkpoints (and a rebuild
+    replaces the whole fleet), so ride *objects* churn while ride ids stay
+    stable — after each such event the façade re-points every handle at the
+    current owner and refreshes the audit engine list.
+    """
+
+    def __init__(self, name: str, target: _ReshardTarget):
+        super().__init__(name, target, closer=target.close)
+        target.on_rebuilt = lambda _router: self.refresh()
+        self.refresh()
+
+    def refresh(self) -> None:
+        router = self.target.router
+        self.xar_engines = [
+            shard.engine for shard in router._active_shards()
+        ]
+        for handle, ride in list(self.rides_by_handle.items()):
+            for engine in self.xar_engines:
+                recovered = engine.rides.get(ride.ride_id)
+                if recovered is None:
+                    recovered = engine.completed_rides.get(ride.ride_id)
+                if recovered is not None:
+                    self.rides_by_handle[handle] = recovered
+                    break
+
+
 def make_facade(
     name: str, region: DiscretizedRegion, seed: int = 0
 ) -> Facade:
@@ -391,6 +550,11 @@ def make_facade(
     if name == "durable":
         directory = tempfile.mkdtemp(prefix="xar-differential-durable-")
         return DurableFacade(name, _DurableTarget(region, directory))
+    if name == "reshard":
+        directory = tempfile.mkdtemp(prefix="xar-differential-reshard-")
+        return ReshardFacade(
+            name, _ReshardTarget(region, directory, seed=seed)
+        )
     if name == "batch":
         # window_s=0: the replay is single-threaded, so each search must
         # flush solo or the driver would deadlock waiting on its own window.
@@ -1000,6 +1164,24 @@ class DifferentialHarness:
         else:
             for facade in durables:
                 facade.target.crash()
+        self._compare_live_state(report, op_index, op, reference, others)
+
+    def _op_reshard(self, report, op_index, op, reference, others) -> None:
+        """Reshard every reshard-capable façade, then diff recovered state.
+
+        The op names an action (``split`` | ``merge``), a ``slot_index``
+        resolved modulo the façade's current active slots / adjacent pairs,
+        and optionally a ``crash_phase`` — one of the split/merge phase
+        seams; the façade then dies at that seam (WAL handles dropped
+        without the final fsync) and restarts from disk.  Either way the
+        façade's live state afterwards must equal the never-resharded
+        reference's exactly: a reshard — even one killed halfway — is
+        invisible to clients.
+        """
+        for facade in [reference] + others:
+            if isinstance(facade.target, _ReshardTarget):
+                facade.target.reshard(op)
+                facade.refresh()
         self._compare_live_state(report, op_index, op, reference, others)
 
     def _op_track(self, report, op_index, op, reference, others) -> None:

@@ -24,6 +24,12 @@ harness, the shrinker, and the regression corpus in
   "mid-book", ...book fields...}`` — crash-recover every durable façade
   (between ops, or inside the next booking); a no-op for runs without one.
   Weighted 0 by default so existing corpus seeds replay byte-identically.
+* ``{"op": "reshard", "action": "split" | "merge", "slot_index": I}``
+  (optionally ``"crash_phase": "drained" | "synced" | "carved" |
+  "committed" | "swapped"``) — split or merge a slot of every
+  reshard-capable façade, dying at the named phase seam when one is given
+  and restarting from disk; a no-op for runs without one.  Weighted 0 by
+  default.
 
 Handles are creation ordinals — the cross-façade ride identity the harness
 keys its diffs on — so any *subsequence* of a generated sequence is still a
@@ -69,11 +75,17 @@ class FuzzConfig:
             # crash-mode fuzzing opts in by raising it.
             "crash": 0.0,
             "cancel_booking": 0.0,
+            "reshard": 0.0,
         }
     )
     #: When a crash op fires, probability it strikes mid-book (inside the
     #: next booking, after the WAL record) rather than cleanly between ops.
     crash_mid_book_p: float = 0.5
+    #: When a reshard op fires, probability it carries a crash phase (the
+    #: façade dies at that seam and recovers from disk).
+    reshard_crash_p: float = 0.5
+    #: When a reshard op fires, probability it is a merge (otherwise split).
+    reshard_merge_p: float = 0.25
     #: Seat counts offered rides draw from (None → engine default).
     seat_choices: Sequence[Optional[int]] = (None, 1, 2, 3)
     #: Detour budgets as fractions of the config default (None → default).
@@ -224,6 +236,21 @@ def generate_ops(
                 request_counter += 1
             else:
                 ops.append({"op": "crash", "mode": "clean"})
+        elif kind == "reshard":
+            op = {
+                "op": "reshard",
+                "action": (
+                    "merge"
+                    if rng.random() < config.reshard_merge_p
+                    else "split"
+                ),
+                "slot_index": rng.randrange(0, 8),
+            }
+            if rng.random() < config.reshard_crash_p:
+                op["crash_phase"] = rng.choice(
+                    ["drained", "synced", "carved", "committed", "swapped"]
+                )
+            ops.append(op)
         elif kind == "cancel_booking":
             ops.append(
                 {

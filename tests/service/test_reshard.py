@@ -1,0 +1,378 @@
+"""Elastic resharding, thread mode: splits, merges, crashes, races.
+
+The contract under test: a reshard — even one killed halfway, even one
+racing live traffic — is invisible to clients.  Every acknowledged ride
+and booking survives, routing keeps resolving (lanes, homes, redirects),
+and the invariant auditor stays clean.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.durability import (
+    DurabilityConfig,
+    read_topology,
+    recover_engine,
+    topology_path,
+)
+from repro.exceptions import ReshardError, XARError
+from repro.service import ReshardConfig, ReshardController, ShardRouter
+from repro.service.router import _durable_of
+
+
+def make_router(region, directory, *, n_shards=2, max_shards=6, **overrides):
+    kwargs = dict(
+        seed=11,
+        queue_depth=1024,
+        fanout="all",
+        durability=DurabilityConfig(
+            directory=str(directory), fsync_every=4, checkpoint_every=0
+        ),
+        reshard=ReshardConfig(max_shards=max_shards),
+    )
+    kwargs.update(overrides)
+    return ShardRouter(region, n_shards, **kwargs)
+
+
+def seed_supply(router, requests, n=40):
+    rides = []
+    for request in list(requests)[:n]:
+        try:
+            rides.append(
+                router.create(
+                    request.source, request.destination,
+                    request.window_start_s, 3, None,
+                )
+            )
+        except XARError:
+            continue
+    return rides
+
+
+def replay(router, requests, *, seats=3):
+    """Search, book the first workable match, create on miss.
+
+    Returns ``(created_rides, booked_pairs)`` — only acknowledged ops.
+    """
+    rides, booked = [], []
+    for request in requests:
+        try:
+            matches = router.search(request)
+        except XARError:
+            continue
+        done = False
+        for match in matches:
+            try:
+                record = router.book(request, match)
+                booked.append((record.request_id, record.ride_id))
+                done = True
+                break
+            except XARError:
+                continue
+        if not done:
+            try:
+                rides.append(
+                    router.create(
+                        request.source, request.destination,
+                        request.window_start_s, seats, None,
+                    )
+                )
+            except XARError:
+                continue
+    return rides, booked
+
+
+def ledger_pairs(router):
+    return {(r.request_id, r.ride_id) for r in router.bookings()}
+
+
+def test_split_preserves_rides_and_bookings(region, workload, tmp_path):
+    with make_router(region, tmp_path) as router:
+        rides, booked = replay(router, list(workload)[:80])
+        assert rides and booked
+        before_pairs = ledger_pairs(router)
+        before_live = {ride.ride_id for ride in router.active_rides()}
+
+        new_slot = router.split_shard(0)
+
+        assert new_slot == 2
+        assert router.shard_map.epoch == 1
+        assert sorted(router.active_slot_ids()) == [0, 1, 2]
+        assert ledger_pairs(router) == before_pairs
+        assert {r.ride_id for r in router.active_rides()} == before_live
+        # Every surviving ride still resolves to a live slot that holds it.
+        for ride in router.active_rides():
+            slot = router.shard_of_ride(ride.ride_id)
+            assert slot in router.active_slot_ids()
+        assert router.audit()["violations"] == 0
+        splits = {
+            labels.get("action"): child.value
+            for labels, child in router.metrics.counter(
+                "xar_reshard_total", labels=("action",)
+            ).collect()
+        }
+        assert splits.get("split") == 1
+
+
+def test_split_requires_reshard_mode(region, tmp_path):
+    router = ShardRouter(
+        region, 2, seed=11,
+        durability=DurabilityConfig(directory=str(tmp_path)),
+    )
+    with router:
+        with pytest.raises(ReshardError):
+            router.split_shard(0)
+
+
+def test_lane_budget_bounds_lifetime_splits(region, workload, tmp_path):
+    with make_router(region, tmp_path, max_shards=3) as router:
+        seed_supply(router, workload)
+        router.split_shard(0)
+        with pytest.raises(ReshardError):
+            router.split_shard(0)  # lanes 0..2 all issued
+
+
+def test_merge_parks_the_lane_and_keeps_routing(region, workload, tmp_path):
+    with make_router(region, tmp_path) as router:
+        _rides, booked = replay(router, list(workload)[:80])
+        assert booked
+        new_slot = router.split_shard(0)
+        before_pairs = ledger_pairs(router)
+        before_live = {ride.ride_id for ride in router.active_rides()}
+
+        router.merge_shards(0, new_slot)
+
+        assert router.shard_map.epoch == 2
+        assert sorted(router.active_slot_ids()) == [0, 1]
+        # The merged-away slot id stays a valid routing handle forever.
+        assert ledger_pairs(router) == before_pairs
+        assert {r.ride_id for r in router.active_rides()} == before_live
+        for request_id, ride_id in booked:
+            assert router.shard_of_ride(ride_id) in router.active_slot_ids()
+        assert router.audit()["violations"] == 0
+
+
+def test_restart_adopts_the_committed_topology(region, workload, tmp_path):
+    with make_router(region, tmp_path) as router:
+        _rides, booked = replay(router, list(workload)[:80])
+        router.split_shard(0)
+        epoch = router.shard_map.epoch
+        pairs = ledger_pairs(router)
+        live = {ride.ride_id for ride in router.active_rides()}
+
+    with make_router(region, tmp_path) as reopened:
+        assert reopened.shard_map.epoch == epoch
+        assert sorted(reopened.active_slot_ids()) == [0, 1, 2]
+        assert ledger_pairs(reopened) == pairs
+        assert {r.ride_id for r in reopened.active_rides()} == live
+        assert reopened.audit()["violations"] == 0
+        assert booked
+
+
+def _kill(router):
+    """Simulate SIGKILL: drop WAL handles un-fsynced, stop the workers."""
+    for shard in router._active_shards():
+        shard.engine.fault_hook = None
+        durable = _durable_of(shard.adapter)
+        if durable is not None and not durable.wal.closed:
+            durable.abandon()
+    router._closed = True
+    for shard in router._active_shards():
+        shard.worker.close()
+
+
+@pytest.mark.parametrize(
+    "phase", ["drained", "synced", "carved", "committed", "swapped"]
+)
+def test_crash_during_split_recovers_old_or_new_never_mixed(
+    region, workload, tmp_path, phase
+):
+    """The headline: SIGKILL at any split phase recovers to exactly the old
+    or exactly the new topology, exactly-once ledger intact."""
+    router = make_router(region, tmp_path)
+    try:
+        replay(router, list(workload)[:80])
+        pairs = ledger_pairs(router)
+        live = {ride.ride_id for ride in router.active_rides()}
+
+        class _Die(RuntimeError):
+            pass
+
+        def hook(point):
+            if point == phase:
+                raise _Die(point)
+
+        with pytest.raises(_Die):
+            router.split_shard(0, fault_hook=hook)
+        _kill(router)
+    finally:
+        if not router._closed:
+            router.close()
+
+    manifest = read_topology(topology_path(str(tmp_path)))
+    committed = phase in ("committed", "swapped")
+    if committed:
+        assert manifest is not None and manifest["epoch"] == 1
+    else:
+        assert manifest is None, (
+            f"a crash at {phase} must not have committed a manifest"
+        )
+
+    with make_router(region, tmp_path) as recovered:
+        expected_slots = [0, 1, 2] if committed else [0, 1]
+        assert sorted(recovered.active_slot_ids()) == expected_slots
+        assert ledger_pairs(recovered) == pairs
+        assert {r.ride_id for r in recovered.active_rides()} == live
+        assert recovered.audit()["violations"] == 0
+
+
+def test_controller_splits_under_pressure(region, workload, tmp_path):
+    requests = list(workload)
+    with make_router(region, tmp_path) as router:
+        seed_supply(router, requests, n=20)
+        controller = ReshardController(
+            router,
+            ReshardConfig(
+                max_shards=6, min_interval_ops=10, split_pressure=1.3,
+                merge_enabled=False,
+            ),
+        )
+        # Slam one slot: creates route by source point, so every request
+        # whose source sits in slot 0 lands on the same worker.
+        hot = [
+            r for r in requests
+            if router.shard_map.shard_of_point(r.source) == 0
+        ]
+        assert len(hot) >= 100
+
+        def slam(batch):
+            for request in batch:
+                try:
+                    router.create(
+                        request.source, request.destination,
+                        request.window_start_s, 2, None,
+                    )
+                except XARError:
+                    continue
+
+        slam(hot[:80])
+        action = None
+        for round_index in range(4):
+            action = controller.tick()
+            if action is not None and action.action == "split":
+                break
+            slam(hot[80 + round_index * 20:100 + round_index * 20])
+        assert action is not None and action.action == "split"
+        assert router.shard_map.epoch >= 1
+        status = controller.status()
+        assert status["epoch"] == router.shard_map.epoch
+        assert status["actions"]
+        assert status["ratios"], "observe() must have exported ratios"
+        assert router.audit()["violations"] == 0
+
+
+def test_concurrent_ops_during_split_lose_nothing(region, workload, tmp_path):
+    """Satellite stress: book/cancel/search hammer the service while a slot
+    splits mid-stream.  No acknowledged op may be lost, and both the live
+    sweep and the offline WAL replay must balance."""
+    requests = list(workload)
+    with make_router(region, tmp_path, max_shards=8) as router:
+        seed_supply(router, requests, n=60)
+        acked_rides = []
+        acked_bookings = []
+        errors = []
+        lock = threading.Lock()
+        start = threading.Barrier(5)
+
+        def driver(worker_id):
+            slab = requests[80 + worker_id * 60:80 + (worker_id + 1) * 60]
+            start.wait()
+            for request in slab:
+                try:
+                    matches = router.search(request)
+                except XARError as exc:
+                    with lock:
+                        errors.append(type(exc).__name__)
+                    continue
+                done = False
+                for match in matches:
+                    try:
+                        record = router.book(request, match)
+                    except XARError:
+                        continue
+                    with lock:
+                        acked_bookings.append(
+                            (record.request_id, record.ride_id)
+                        )
+                    done = True
+                    break
+                if not done:
+                    try:
+                        ride = router.create(
+                            request.source, request.destination,
+                            request.window_start_s, 2, None,
+                        )
+                        with lock:
+                            acked_rides.append(ride.ride_id)
+                    except XARError as exc:
+                        with lock:
+                            errors.append(type(exc).__name__)
+
+        threads = [
+            threading.Thread(target=driver, args=(worker_id,))
+            for worker_id in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait()
+        first = router.split_shard(0)
+        second = router.split_shard(1)
+        for thread in threads:
+            thread.join()
+
+        assert first == 2 and second == 3
+        assert router.shard_map.epoch == 2
+        assert acked_rides and acked_bookings
+
+        # Live sweep: every acknowledged op is present and routed.
+        final_pairs = ledger_pairs(router)
+        live_and_done = set()
+        for shard in router._active_shards():
+            with shard.engine.lock:
+                live_and_done |= set(shard.engine.rides)
+                live_and_done |= set(shard.engine.completed_rides)
+        for ride_id in acked_rides:
+            assert ride_id in live_and_done, f"acked ride {ride_id} lost"
+            assert router.shard_of_ride(ride_id) in router.active_slot_ids()
+        for pair in acked_bookings:
+            assert pair in final_pairs, f"acked booking {pair} lost"
+        assert router.audit()["violations"] == 0
+
+    # Offline proof: replay the manifest-named WALs from scratch and the
+    # same ledger must come back.
+    manifest = read_topology(topology_path(str(tmp_path)))
+    assert manifest is not None and manifest["epoch"] == 2
+    replayed_pairs = set()
+    replayed_rides = set()
+    config = DurabilityConfig(directory=str(tmp_path))
+    for entry in manifest["slots"]:
+        if not entry.get("active"):
+            continue
+        config.names[entry["slot"]] = (entry["wal"], entry["ckpt"])
+        result = recover_engine(
+            region,
+            config.wal_path(entry["slot"]),
+            config.checkpoint_path(entry["slot"]),
+        )
+        engine = result.engine
+        replayed_pairs |= {
+            (r.request_id, r.ride_id) for r in engine.bookings
+        }
+        replayed_rides |= set(engine.rides) | set(engine.completed_rides)
+    for ride_id in acked_rides:
+        assert ride_id in replayed_rides
+    for pair in acked_bookings:
+        assert pair in replayed_pairs

@@ -85,3 +85,183 @@ def test_shard_local_requests_are_single_shard(region, workload):
 def test_derive_seed_is_injective_for_small_fleet():
     seeds = {derive_seed(root, shard) for root in range(30) for shard in range(16)}
     assert len(seeds) == 30 * 16
+
+
+# ----------------------------------------------------------------------
+# Epoch-versioned swaps + reshard assignment derivation
+# ----------------------------------------------------------------------
+class _StubLandmark:
+    def __init__(self, lat, lon):
+        from repro.geo import GeoPoint
+
+        self.position = GeoPoint(lat, lon)
+
+
+class _StubCluster:
+    def __init__(self, cluster_id, center_landmark):
+        self.cluster_id = cluster_id
+        self.center_landmark = center_landmark
+
+
+class _StubRegion:
+    """Minimal region: controlled center positions for boundary tests."""
+
+    def __init__(self, positions):
+        self.landmarks = [_StubLandmark(lat, lon) for lat, lon in positions]
+        self.clusters = [
+            _StubCluster(index, index) for index in range(len(positions))
+        ]
+        self.n_clusters = len(positions)
+
+
+def test_swap_bumps_epoch_and_installs_assignment(region):
+    shard_map = ShardMap(region, 2)
+    assert shard_map.epoch == 0
+    new_assignment = shard_map.assignment()
+    moved = [c for c, s in enumerate(new_assignment) if s == 1][0]
+    new_assignment[moved] = 2
+    epoch = shard_map.swap(new_assignment, 3)
+    assert epoch == 1 and shard_map.epoch == 1
+    assert shard_map.shard_of_cluster(moved) == 2
+    assert shard_map.n_shards == 3
+
+
+def test_swap_clears_the_neighbor_cache(region, workload):
+    shard_map = ShardMap(region, 2)
+    request = list(workload)[0]
+    shard_map.shards_for_request(request, fanout_radius_m=5000.0)
+    assert shard_map._neighbor_cache, "fan-out must have populated the cache"
+    # Move every cluster to one shard: the memoised neighbor sets are stale
+    # and must be dropped so the same request re-resolves to the new owner.
+    shard_map.swap([0] * region.n_clusters, 1)
+    assert not shard_map._neighbor_cache
+    assert set(
+        shard_map.shards_for_request(request, fanout_radius_m=5000.0)
+    ) == {0}
+
+
+def test_swap_rejects_bad_assignments(region):
+    from repro.exceptions import ReshardError
+
+    shard_map = ShardMap(region, 2)
+    with pytest.raises(ReshardError):
+        shard_map.swap([0] * (region.n_clusters - 1), 2)  # short
+    with pytest.raises(ReshardError):
+        shard_map.swap([5] * region.n_clusters, 2)  # out of range
+    with pytest.raises(ReshardError):
+        shard_map.swap([0] * region.n_clusters, 0)  # no shards
+    assert shard_map.epoch == 0, "a rejected swap must not bump the epoch"
+
+
+def test_restore_installs_a_recovered_epoch(region):
+    shard_map = ShardMap(region, 2)
+    shard_map.restore(shard_map.assignment(), 2, epoch=7)
+    assert shard_map.epoch == 7
+
+
+def test_split_assignment_is_balanced_and_contiguous(region):
+    shard_map = ShardMap(region, 2)
+    new_assignment, moved = shard_map.split_assignment(0, 2)
+    assert moved, "a split must move at least one cluster"
+    before = set(shard_map.clusters_of_shard(0))
+    assert set(moved) < before
+    kept = [
+        c for c in before
+        if new_assignment[c] == 0
+    ]
+    assert kept, "the parent keeps the left half"
+    # Equal-count cut (default weights): halves within one cluster.
+    assert abs(len(kept) - len(moved)) <= 1
+    # Shard 1 untouched.
+    for cluster_id in shard_map.clusters_of_shard(1):
+        assert new_assignment[cluster_id] == 1
+
+
+def test_split_assignment_follows_load_weights(region):
+    shard_map = ShardMap(region, 1)
+    owned = list(shard_map.clusters_of_shard(0))
+    # All load on one extreme cluster in strip order: the weighted cut
+    # isolates it (plus any tied-position partners) on one side.
+    ordered = sorted(
+        owned,
+        key=lambda c: shard_map._strip_key(region.clusters[c]),
+    )
+    hot = ordered[0]
+    _assignment, moved_hot = shard_map.split_assignment(
+        0, 1, weights={hot: 1000.0}
+    )
+    _assignment, moved_even = shard_map.split_assignment(0, 1)
+    # The hot cluster stays left; far fewer clusters join it there than
+    # under the even cut.
+    assert hot not in moved_hot
+    assert len(moved_hot) > len(moved_even) - 1
+
+
+def test_split_of_single_cluster_shard_is_refused():
+    from repro.exceptions import ReshardError
+
+    stub = _StubRegion([(0.0, 0.0), (0.0, 1.0)])
+    shard_map = ShardMapDirect(stub, 2)
+    with pytest.raises(ReshardError):
+        shard_map.split_assignment(0, 2)
+
+
+def test_partition_keeps_tied_position_runs_together():
+    """Regression: the equal-count cut used to fall inside a run of
+    clusters whose centers share one exact position — ownership then
+    depended on construction order, flipping across epoch swaps."""
+    positions = [(0.0, 0.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 2.0)]
+    stub = _StubRegion(positions)
+    shard_map = ShardMapDirect(stub, 2)
+    owners = {shard_map.shard_of_cluster(c) for c in (1, 2, 3)}
+    assert len(owners) == 1, (
+        f"tied-position clusters split across shards: {owners}"
+    )
+
+
+def test_split_never_cuts_inside_a_tied_position_run():
+    positions = [(0.0, 0.0), (0.0, 1.0), (0.0, 1.0), (0.0, 1.0), (0.0, 2.0)]
+    stub = _StubRegion(positions)
+    shard_map = ShardMapDirect(stub, 1)
+    # Pile the load inside the run: the balanced cut would land mid-run,
+    # but the guard must push it to a run boundary.
+    _assignment, moved = shard_map.split_assignment(0, 1, weights={2: 10.0})
+    tied = {1, 2, 3}
+    assert tied <= set(moved) or not (tied & set(moved))
+
+
+def test_split_all_tied_is_refused():
+    from repro.exceptions import ReshardError
+
+    stub = _StubRegion([(0.0, 1.0)] * 4)
+    shard_map = ShardMapDirect(stub, 1)
+    with pytest.raises(ReshardError):
+        shard_map.split_assignment(0, 1)
+
+
+def test_merge_assignment_folds_and_validates(region):
+    from repro.exceptions import ReshardError
+
+    shard_map = ShardMap(region, 3)
+    merged = shard_map.merge_assignment(0, 2)
+    assert set(merged) == {0, 1}
+    for cluster_id in shard_map.clusters_of_shard(2):
+        assert merged[cluster_id] == 0
+    with pytest.raises(ReshardError):
+        shard_map.merge_assignment(1, 1)
+    shard_map.swap(merged, 2)
+    with pytest.raises(ReshardError):
+        shard_map.merge_assignment(0, 2)  # shard 2 owns nothing now
+
+
+def test_adjacent_pairs_name_strip_neighbors(region):
+    shard_map = ShardMap(region, 3)
+    pairs = shard_map.adjacent_pairs()
+    assert pairs, "a 3-shard strip partition has adjacent pairs"
+    for a, b in pairs:
+        assert a != b
+        assert 0 <= a < 3 and 0 <= b < 3
+    assert len(pairs) == len(set(pairs))
+    # Strips: 0|1 and 1|2 touch; 0|2 do not.
+    normalized = {tuple(sorted(pair)) for pair in pairs}
+    assert (0, 1) in normalized and (1, 2) in normalized

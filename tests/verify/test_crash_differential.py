@@ -18,15 +18,15 @@ from __future__ import annotations
 import pytest
 
 from repro.verify import DifferentialHarness, FuzzConfig, generate_ops
-from repro.verify.differential import _DurableTarget, make_facade
+from repro.verify.differential import _DurableTarget, _ReshardTarget, make_facade
 
 
-def _tracking_factory(targets):
-    """A façade factory that also collects the durable targets it builds."""
+def _tracking_factory(targets, kind=_DurableTarget):
+    """A façade factory that also collects the targets it builds."""
 
     def factory(name, region, seed):
         facade = make_facade(name, region, seed)
-        if isinstance(facade.target, _DurableTarget):
+        if isinstance(facade.target, kind):
             targets.append(facade.target)
         return facade
 
@@ -118,6 +118,115 @@ def test_mid_book_crash_completes_the_interrupted_booking(small_region):
     assert target.recoveries == 1, "the mid-book hook never fired"
     assert len(target.engine.bookings) == 1
     assert target.last_recovery.replayed_ops >= 1
+
+
+# ----------------------------------------------------------------------
+# Elastic resharding under the same microscope
+# ----------------------------------------------------------------------
+def _reshard_ops(region, seed, n_ops, reshard_weight=0.12):
+    config = FuzzConfig(seed=seed, n_ops=n_ops, corridor_reuse_p=0.8)
+    config.weights["reshard"] = reshard_weight
+    return generate_ops(region, config)
+
+
+def test_smoke_reshard_with_crashes_has_zero_divergence(small_region):
+    """Tier-1 headline: splits and merges — half of them SIGKILLed at a
+    random phase — leave the reshard façade byte-identical to the oracle."""
+    targets = []
+    ops = _reshard_ops(small_region, seed=10, n_ops=120)
+    report = DifferentialHarness(
+        small_region,
+        engines=("xar", "reshard"),
+        seed=10,
+        facade_factory=_tracking_factory(targets, kind=_ReshardTarget),
+    ).run(ops)
+    assert report.ok, report.describe()
+    assert report.op_counts.get("reshard", 0) > 0, "no reshard op generated"
+    (target,) = targets
+    assert target.rebuilds > 0, "no reshard crash ever fired"
+    assert report.bookings_checked > 0
+
+
+def test_reshard_ops_are_noops_without_a_reshard_facade(small_region):
+    """Sequences with reshard ops still replay on static-topology façades."""
+    ops = _reshard_ops(small_region, seed=10, n_ops=60)
+    report = DifferentialHarness(
+        small_region, engines=("xar", "shard2"), seed=10
+    ).run(ops)
+    assert report.ok, report.describe()
+    assert report.op_counts.get("reshard", 0) > 0
+
+
+@pytest.mark.parametrize(
+    "phase,committed",
+    [
+        ("drained", False),
+        ("synced", False),
+        ("carved", False),
+        ("committed", True),
+        ("swapped", True),
+    ],
+)
+def test_split_crash_at_each_phase_recovers_old_or_new(
+    small_region, phase, committed
+):
+    """Hand-built sequence: seed rides, SIGKILL a split at one exact phase.
+    Recovery must land on the old topology (pre-commit) or the new one
+    (post-commit) — never a mix — with zero divergence from the oracle."""
+    network = small_region.network
+    ops = []
+    for handle in range(6):
+        src = network.position(handle)
+        dst = network.position(network.node_count - 1 - handle)
+        ops.append({
+            "op": "create",
+            "handle": handle,
+            "src": [src.lat, src.lon],
+            "dst": [dst.lat, dst.lon],
+            "depart_s": float(handle * 60),
+            "seats": 3,
+            "detour_limit_m": None,
+        })
+    ops.append({
+        "op": "reshard", "action": "split", "slot_index": 0,
+        "crash_phase": phase,
+    })
+    targets = []
+    report = DifferentialHarness(
+        small_region,
+        engines=("xar", "reshard"),
+        seed=0,
+        facade_factory=_tracking_factory(targets, kind=_ReshardTarget),
+    ).run(ops)
+    assert report.ok, report.describe()
+    (target,) = targets
+    assert target.rebuilds == 1, "the phase hook never fired"
+    router = target.router
+    if committed:
+        assert router.shard_map.epoch == 1
+        assert sorted(router.active_slot_ids()) == [0, 1, 2]
+    else:
+        assert router.shard_map.epoch == 0
+        assert sorted(router.active_slot_ids()) == [0, 1]
+
+
+@pytest.mark.fuzz
+@pytest.mark.parametrize("seed", [11, 13, 17])
+def test_reshard_sweep_covers_every_phase(small_region, seed):
+    """Longer reshard fuzz on the full façade matrix, fuzz-marked for the
+    CI job: splits, merges and phase-targeted crashes mixed into ordinary
+    traffic — zero divergence."""
+    targets = []
+    ops = _reshard_ops(small_region, seed=seed, n_ops=250)
+    report = DifferentialHarness(
+        small_region,
+        engines=("xar", "shard2", "reshard"),
+        seed=seed,
+        facade_factory=_tracking_factory(targets, kind=_ReshardTarget),
+    ).run(ops)
+    assert report.ok, report.describe()
+    assert report.op_counts.get("reshard", 0) >= 10
+    assert report.bookings_checked > 0
 
 
 @pytest.mark.fuzz
